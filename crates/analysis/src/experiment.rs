@@ -1,0 +1,187 @@
+//! Experiment runner: sweeps algorithms over workloads and collects the
+//! paper's three measures (memory, time, moves).
+
+use ringdeploy_core::{deploy, Algorithm, DeployReport, Schedule};
+use ringdeploy_sim::{InitialConfig, SimError};
+
+use crate::stats::Summary;
+
+/// One measured run: everything needed to regenerate a Table-1-style row.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Algorithm that ran.
+    pub algorithm: Algorithm,
+    /// Schedule that drove it.
+    pub schedule: Schedule,
+    /// Ring size.
+    pub n: usize,
+    /// Agent count.
+    pub k: usize,
+    /// Symmetry degree of the initial configuration.
+    pub symmetry_degree: usize,
+    /// Whether the appropriate Definition was satisfied.
+    pub success: bool,
+    /// Total agent moves.
+    pub total_moves: u64,
+    /// Maximum moves by a single agent.
+    pub max_moves: u64,
+    /// Ideal time in rounds (synchronous runs only).
+    pub ideal_time: Option<u64>,
+    /// Peak per-agent memory in bits.
+    pub peak_memory_bits: usize,
+    /// Messages sent (broadcasts with ≥ 1 receiver).
+    pub messages: u64,
+}
+
+impl Measurement {
+    /// Converts a [`DeployReport`] into a measurement row.
+    pub fn from_report(schedule: Schedule, report: &DeployReport) -> Measurement {
+        Measurement {
+            algorithm: report.algorithm,
+            schedule,
+            n: report.n,
+            k: report.k,
+            symmetry_degree: report.symmetry_degree,
+            success: report.succeeded(),
+            total_moves: report.metrics.total_moves(),
+            max_moves: report.metrics.max_moves(),
+            ideal_time: report.ideal_time,
+            peak_memory_bits: report.metrics.peak_memory_bits(),
+            messages: report.metrics.messages_sent(),
+        }
+    }
+}
+
+/// Runs `algorithm` on `init` under `schedule` and returns the measurement.
+///
+/// # Errors
+///
+/// Propagates engine errors (limits exceeded).
+pub fn measure(
+    init: &InitialConfig,
+    algorithm: Algorithm,
+    schedule: Schedule,
+) -> Result<Measurement, SimError> {
+    let report = deploy(init, algorithm, schedule)?;
+    Ok(Measurement::from_report(schedule, &report))
+}
+
+/// Runs `algorithm` on `init` twice — once synchronously for ideal time,
+/// once under the given asynchronous schedule for adversarial validation —
+/// and returns the synchronous measurement (which carries `ideal_time`)
+/// after asserting both succeeded.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn measure_with_time(
+    init: &InitialConfig,
+    algorithm: Algorithm,
+    async_schedule: Schedule,
+) -> Result<Measurement, SimError> {
+    let async_m = measure(init, algorithm, async_schedule)?;
+    let sync_m = measure(init, algorithm, Schedule::Synchronous)?;
+    debug_assert_eq!(async_m.success, sync_m.success);
+    Ok(sync_m)
+}
+
+/// Aggregated view over repeated measurements of one experimental cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Algorithm of the cell.
+    pub algorithm: Algorithm,
+    /// Ring size.
+    pub n: usize,
+    /// Agent count.
+    pub k: usize,
+    /// Symmetry degree (0 when mixed).
+    pub symmetry_degree: usize,
+    /// Fraction of successful runs (must be 1.0 for correct algorithms).
+    pub success_rate: f64,
+    /// Total-move statistics.
+    pub moves: Summary,
+    /// Ideal-time statistics (empty when runs were asynchronous).
+    pub time: Summary,
+    /// Peak-memory statistics (bits).
+    pub memory: Summary,
+}
+
+/// Aggregates measurements (all of one algorithm/n/k) into a [`Cell`].
+///
+/// # Panics
+///
+/// Panics if `ms` is empty.
+pub fn aggregate(ms: &[Measurement]) -> Cell {
+    assert!(!ms.is_empty(), "cannot aggregate zero measurements");
+    let first = &ms[0];
+    let success_rate = ms.iter().filter(|m| m.success).count() as f64 / ms.len() as f64;
+    let moves = Summary::of_u64(&ms.iter().map(|m| m.total_moves).collect::<Vec<_>>());
+    let time = Summary::of_u64(&ms.iter().filter_map(|m| m.ideal_time).collect::<Vec<_>>());
+    let memory = Summary::of_u64(
+        &ms.iter()
+            .map(|m| m.peak_memory_bits as u64)
+            .collect::<Vec<_>>(),
+    );
+    let degree_uniform = ms
+        .iter()
+        .all(|m| m.symmetry_degree == first.symmetry_degree);
+    Cell {
+        algorithm: first.algorithm,
+        n: first.n,
+        k: first.k,
+        symmetry_degree: if degree_uniform {
+            first.symmetry_degree
+        } else {
+            0
+        },
+        success_rate,
+        moves,
+        time,
+        memory,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::random_config;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn measure_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let init = random_config(&mut rng, 20, 4);
+        let m = measure(&init, Algorithm::FullKnowledge, Schedule::RoundRobin).unwrap();
+        assert!(m.success);
+        assert_eq!(m.n, 20);
+        assert_eq!(m.k, 4);
+        assert!(m.total_moves > 0);
+        assert!(m.ideal_time.is_none());
+    }
+
+    #[test]
+    fn measure_with_time_reports_rounds() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let init = random_config(&mut rng, 18, 3);
+        let m = measure_with_time(&init, Algorithm::LogSpace, Schedule::Random(1)).unwrap();
+        assert!(m.success);
+        assert!(m.ideal_time.is_some());
+    }
+
+    #[test]
+    fn aggregate_summarises() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let ms: Vec<Measurement> = (0..5)
+            .map(|s| {
+                let init = random_config(&mut rng, 24, 4);
+                measure(&init, Algorithm::Relaxed, Schedule::Random(s)).unwrap()
+            })
+            .collect();
+        let cell = aggregate(&ms);
+        assert_eq!(cell.n, 24);
+        assert_eq!(cell.k, 4);
+        assert!((cell.success_rate - 1.0).abs() < f64::EPSILON);
+        assert!(cell.moves.mean > 0.0);
+    }
+}

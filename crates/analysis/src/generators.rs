@@ -1,0 +1,225 @@
+//! Initial-configuration generators: the workloads of every experiment.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use ringdeploy_sim::{InitialConfig, InitialConfigError};
+
+/// Uniformly random distinct home nodes for `k` agents on `n` nodes.
+///
+/// # Panics
+///
+/// Panics if `k > n` or `k == 0`.
+pub fn random_config<R: Rng>(rng: &mut R, n: usize, k: usize) -> InitialConfig {
+    assert!(k >= 1 && k <= n, "need 1 ≤ k ≤ n");
+    let mut nodes: Vec<usize> = (0..n).collect();
+    nodes.shuffle(rng);
+    nodes.truncate(k);
+    InitialConfig::new(n, nodes).expect("distinct homes by construction")
+}
+
+/// A *random aperiodic* configuration: resamples until the symmetry degree
+/// is 1 (almost always the first draw unless `k` and `n` are tiny).
+///
+/// # Panics
+///
+/// Panics if `k > n`, `k == 0`, or no aperiodic placement exists
+/// (e.g. `k = n`).
+pub fn random_aperiodic_config<R: Rng>(rng: &mut R, n: usize, k: usize) -> InitialConfig {
+    assert!(k < n || k == 1, "k = n has a unique, periodic placement");
+    for _ in 0..10_000 {
+        let c = random_config(rng, n, k);
+        if c.symmetry_degree() == 1 {
+            return c;
+        }
+    }
+    panic!("could not sample an aperiodic configuration for n={n}, k={k}");
+}
+
+/// The Theorem 1 / Fig. 3 lower-bound workload: all `k` agents clustered in
+/// the first `⌈n·frac⌉` nodes of the ring (the paper uses a quarter,
+/// `frac = 0.25`).
+///
+/// # Panics
+///
+/// Panics unless `k ≤ ⌈n·frac⌉` and `0 < frac ≤ 1`.
+pub fn clustered_config(n: usize, k: usize, frac: f64) -> InitialConfig {
+    assert!(frac > 0.0 && frac <= 1.0, "fraction in (0, 1]");
+    let window = ((n as f64) * frac).ceil() as usize;
+    assert!(k <= window, "cluster window too small for {k} agents");
+    InitialConfig::new(n, (0..k).collect()).expect("distinct homes")
+}
+
+/// The quarter-ring configuration of Fig. 3 (`frac = 1/4`).
+///
+/// # Panics
+///
+/// Panics if `k > n/4` (the theorem's premise `k ≤ n/4`).
+pub fn quarter_ring_config(n: usize, k: usize) -> InitialConfig {
+    clustered_config(n, k, 0.25)
+}
+
+/// A configuration with symmetry degree **exactly** `l`: the aperiodic
+/// pattern of `k/l` gaps summing to `n/l` is repeated `l` times around the
+/// ring. The pattern is `(g, 1, 1, …, 1)` with `g = n/l − (k/l − 1)`,
+/// which is aperiodic whenever `g ≠ 1`, i.e. `n/l > k/l`.
+///
+/// # Panics
+///
+/// Panics unless `l` divides both `n` and `k`, `k/l ≥ 1`, and `n/l > k/l`
+/// (needed for an aperiodic fundamental pattern), or if the resulting
+/// degree is not `l` (cannot happen for the construction used).
+pub fn periodic_config(n: usize, k: usize, l: usize) -> InitialConfig {
+    assert!(l >= 1 && n % l == 0 && k % l == 0, "l must divide n and k");
+    let np = n / l;
+    let kp = k / l;
+    assert!(kp >= 1, "at least one agent per period");
+    assert!(
+        np > kp || kp == 1,
+        "n/l must exceed k/l for an aperiodic pattern"
+    );
+    let mut homes = Vec::with_capacity(k);
+    for block in 0..l {
+        let base = block * np;
+        // Gaps (g, 1, 1, …, 1): homes at base, base+g, base+g+1, …
+        let g = np - (kp - 1);
+        homes.push(base);
+        for j in 0..kp.saturating_sub(1) {
+            homes.push(base + g + j);
+        }
+    }
+    let cfg = InitialConfig::new(n, homes).expect("distinct homes by construction");
+    assert_eq!(
+        cfg.symmetry_degree(),
+        if kp == 1 { k } else { l },
+        "constructed symmetry degree mismatch"
+    );
+    cfg
+}
+
+/// The already-uniform configuration (`l = k`): agents at gaps `⌊n/k⌋` /
+/// `⌈n/k⌉`.
+///
+/// # Panics
+///
+/// Panics if `k > n` or `k == 0`.
+pub fn uniform_config(n: usize, k: usize) -> InitialConfig {
+    assert!(k >= 1 && k <= n);
+    let homes: Vec<usize> = (0..k).map(|j| j * n / k).collect();
+    InitialConfig::new(n, homes).expect("distinct homes for k ≤ n")
+}
+
+/// Builds a configuration from an explicit distance sequence, placing the
+/// first agent at node 0.
+///
+/// # Errors
+///
+/// Returns the underlying [`InitialConfigError`] if the gaps are invalid
+/// (zero gap, wrong sum, etc.).
+pub fn from_gaps(gaps: &[usize]) -> Result<InitialConfig, InitialConfigError> {
+    let n: usize = gaps.iter().sum();
+    let mut homes = Vec::with_capacity(gaps.len());
+    let mut pos = 0usize;
+    for &g in gaps {
+        homes.push(pos);
+        pos += g;
+    }
+    InitialConfig::new(n, homes)
+}
+
+/// The Fig. 7 / Theorem 5 construction: the pattern of ring `R` (given by
+/// `gaps`, with `n_r = Σ gaps` nodes and `k_r` agents) is replicated
+/// `q + 1` times over the first `(q+1)·n_r` nodes of a ring with
+/// `2·q·n_r + 2·n_r` nodes; the remaining half is empty.
+///
+/// # Panics
+///
+/// Panics if `gaps` is empty or `q == 0`.
+pub fn theorem5_config(gaps: &[usize], q: usize) -> InitialConfig {
+    assert!(!gaps.is_empty() && q > 0);
+    let n_r: usize = gaps.iter().sum();
+    let n = 2 * q * n_r + 2 * n_r;
+    let mut homes = Vec::new();
+    for copy in 0..=q {
+        let mut pos = copy * n_r;
+        for &g in gaps {
+            homes.push(pos);
+            pos += g;
+        }
+    }
+    InitialConfig::new(n, homes).expect("replicated homes are distinct")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_configs_are_valid_and_seeded() {
+        let mut r1 = SmallRng::seed_from_u64(5);
+        let mut r2 = SmallRng::seed_from_u64(5);
+        let a = random_config(&mut r1, 50, 10);
+        let b = random_config(&mut r2, 50, 10);
+        assert_eq!(a, b);
+        assert_eq!(a.agent_count(), 10);
+        assert_eq!(a.ring_size(), 50);
+    }
+
+    #[test]
+    fn aperiodic_sampler_returns_degree_one() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let c = random_aperiodic_config(&mut rng, 24, 6);
+            assert_eq!(c.symmetry_degree(), 1);
+        }
+    }
+
+    #[test]
+    fn quarter_ring_matches_fig3() {
+        let c = quarter_ring_config(64, 16);
+        assert_eq!(c.agent_count(), 16);
+        assert!(c.homes().iter().all(|&h| h < 16));
+        assert_eq!(c.symmetry_degree(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster window too small")]
+    fn quarter_ring_rejects_dense() {
+        let _ = quarter_ring_config(16, 5);
+    }
+
+    #[test]
+    fn periodic_config_has_requested_degree() {
+        for (n, k, l) in [(24, 6, 2), (24, 6, 3), (36, 12, 4), (40, 8, 8), (30, 6, 1)] {
+            let c = periodic_config(n, k, l);
+            assert_eq!(c.symmetry_degree(), l, "n={n} k={k} l={l}");
+            assert_eq!(c.agent_count(), k);
+            assert_eq!(c.ring_size(), n);
+        }
+    }
+
+    #[test]
+    fn uniform_config_has_degree_k() {
+        let c = uniform_config(20, 5);
+        assert_eq!(c.symmetry_degree(), 5);
+        let c = uniform_config(22, 5); // non-dividing case
+        assert_eq!(c.agent_count(), 5);
+    }
+
+    #[test]
+    fn from_gaps_round_trips() {
+        let c = from_gaps(&[1, 4, 2, 1, 2, 2]).unwrap();
+        assert_eq!(c.ring_size(), 12);
+        assert_eq!(c.distance_sequence(), vec![1, 4, 2, 1, 2, 2]);
+    }
+
+    #[test]
+    fn theorem5_layout() {
+        let c = theorem5_config(&[1, 3], 8);
+        assert_eq!(c.ring_size(), 72);
+        assert_eq!(c.agent_count(), 18);
+        // All homes in the first 36 nodes; second half empty.
+        assert!(c.homes().iter().all(|&h| h < 36));
+    }
+}

@@ -1,0 +1,50 @@
+//! # ringdeploy-analysis — workloads, sweeps and reporting
+//!
+//! The experiment layer of the uniform-deployment reproduction:
+//!
+//! * [`generators`]: every initial-configuration family used by the paper's
+//!   arguments — random, clustered/quarter-ring (Theorem 1 / Fig. 3),
+//!   periodic with prescribed symmetry degree `l` (§4.2.2 / Fig. 11),
+//!   already-uniform, explicit gap lists, and the Theorem 5 replication
+//!   construction (Fig. 7).
+//! * [`Measurement`] / [`measure`]: one algorithm run → the paper's three
+//!   measures (peak agent memory in bits, ideal time in rounds, total
+//!   moves) plus the Definition 1/2 verdict.
+//! * [`Summary`] / [`LinearFit`]: statistics for scaling-shape checks.
+//! * [`TextTable`]: aligned text / CSV rendering for the `experiments`
+//!   binary that regenerates every table and figure.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use ringdeploy_analysis::{measure, random_config};
+//! use ringdeploy_core::{Algorithm, Schedule};
+//!
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+//! let init = random_config(&mut rng, 32, 8);
+//! let m = measure(&init, Algorithm::FullKnowledge, Schedule::Random(7))?;
+//! assert!(m.success);
+//! assert!(m.total_moves <= 3 * 8 * 32); // O(kn) with constant 3
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod experiment;
+pub mod generators;
+mod memory_model;
+mod oracle;
+mod stats;
+mod table;
+
+pub use experiment::{aggregate, measure, measure_with_time, Cell, Measurement};
+pub use generators::{
+    clustered_config, from_gaps, periodic_config, quarter_ring_config, random_aperiodic_config,
+    random_config, theorem5_config, uniform_config,
+};
+pub use memory_model::{algo1_bounds, algo2_bounds, relaxed_bounds, theorem1_lower_bound, Bound};
+pub use oracle::{oracle_moves, oracle_moves_brute_force, OracleSolution};
+pub use stats::{LinearFit, Summary};
+pub use table::{fmt_f64, TextTable};

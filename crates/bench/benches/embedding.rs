@@ -1,0 +1,71 @@
+//! Criterion bench for the **§5 extension**: Euler-tour construction and
+//! end-to-end deployment on trees/graphs of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ringdeploy_core::{Algorithm, Schedule};
+use ringdeploy_embed::{deploy_on_tree, EulerTour, Graph, Tree};
+use std::hint::black_box;
+
+fn bench_euler_tour(c: &mut Criterion) {
+    let mut group = c.benchmark_group("euler_tour");
+    for n in [64usize, 512, 4096] {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let tree = Tree::random(&mut rng, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tree, |b, t| {
+            b.iter(|| black_box(EulerTour::new(black_box(t), 0).ring_size()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tree_deployment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_deployment");
+    for n in [32usize, 128] {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let tree = Tree::random(&mut rng, n);
+        let agents: Vec<usize> = (0..8).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tree, |b, t| {
+            b.iter(|| {
+                let report = deploy_on_tree(
+                    black_box(t),
+                    &agents,
+                    Algorithm::LogSpace,
+                    Schedule::Random(4),
+                )
+                .expect("run");
+                assert!(report.ring_report.succeeded());
+                black_box(report.patrol_latency)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_grid_deployment(c: &mut Criterion) {
+    let grid = Graph::grid(8, 8);
+    let tree = grid.spanning_tree(0);
+    let agents: Vec<usize> = (0..6).collect();
+    c.bench_function("grid8x8_deployment", |b| {
+        b.iter(|| {
+            let report = deploy_on_tree(
+                black_box(&tree),
+                &agents,
+                Algorithm::FullKnowledge,
+                Schedule::RoundRobin,
+            )
+            .expect("run");
+            assert!(report.ring_report.succeeded());
+            black_box(report.ring_report.metrics.total_moves())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_euler_tour,
+    bench_tree_deployment,
+    bench_grid_deployment
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion bench covering the **figure scenarios**: Fig. 5 (base-node
+//! conditions), Fig. 7 (Theorem 5 construction), Fig. 9 (misestimation and
+//! correction) and the rendezvous contrast, each as a timed end-to-end run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ringdeploy_analysis::{from_gaps, theorem5_config};
+use ringdeploy_core::{deploy, Algorithm, Rendezvous, Schedule, TerminatingEstimator};
+use ringdeploy_sim::scheduler::RoundRobin;
+use ringdeploy_sim::{InitialConfig, Ring, RunLimits};
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let init = InitialConfig::new(18, vec![0, 1, 3, 6, 7, 9, 12, 13, 15]).expect("valid");
+    c.bench_function("fig5_base_node_conditions", |b| {
+        b.iter(|| {
+            let r =
+                deploy(black_box(&init), Algorithm::LogSpace, Schedule::RoundRobin).expect("run");
+            assert!(r.succeeded());
+            black_box(r.metrics.total_moves())
+        })
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let init = theorem5_config(&[1, 3], 8);
+    c.bench_function("fig7_theorem5_strawman", |b| {
+        b.iter(|| {
+            let mut ring = Ring::new(black_box(&init), |_| TerminatingEstimator::new());
+            let out = ring
+                .run(
+                    &mut RoundRobin::new(),
+                    RunLimits::for_instance(init.ring_size(), init.agent_count()),
+                )
+                .expect("run");
+            assert!(out.quiescent);
+            black_box(out.metrics.total_moves())
+        })
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let init = from_gaps(&[11, 1, 3, 1, 3, 1, 3, 1, 3]).expect("valid gaps");
+    c.bench_function("fig9_misestimate_correction", |b| {
+        b.iter(|| {
+            let r =
+                deploy(black_box(&init), Algorithm::Relaxed, Schedule::RoundRobin).expect("run");
+            assert!(r.succeeded());
+            black_box(r.metrics.total_moves())
+        })
+    });
+}
+
+fn bench_rendezvous_contrast(c: &mut Criterion) {
+    let init = from_gaps(&[1, 2, 3, 1, 2, 3]).expect("valid gaps"); // periodic l = 2
+    c.bench_function("rendezvous_on_periodic_ring", |b| {
+        b.iter(|| {
+            let k = init.agent_count();
+            let mut ring = Ring::new(black_box(&init), |_| Rendezvous::new(k));
+            let out = ring
+                .run(
+                    &mut RoundRobin::new(),
+                    RunLimits::for_instance(init.ring_size(), k),
+                )
+                .expect("run");
+            assert!(out.quiescent);
+            black_box(out.metrics.total_moves())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fig5,
+    bench_fig7,
+    bench_fig9,
+    bench_rendezvous_contrast
+);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for **Theorem 1 / Fig. 3**: the quarter-ring workload,
+//! where every algorithm must pay Ω(kn) moves. Throughput in simulated
+//! moves per second is the interesting axis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ringdeploy_analysis::quarter_ring_config;
+use ringdeploy_core::{deploy, Algorithm, Schedule};
+use std::hint::black_box;
+
+fn bench_lower_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lower_bound_quarter_ring");
+    for (n, k) in [(128usize, 16usize), (512, 64)] {
+        let init = quarter_ring_config(n, k);
+        group.throughput(Throughput::Elements((n * k) as u64));
+        for algo in Algorithm::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("n{n}_k{k}")),
+                &init,
+                |b, init| {
+                    b.iter(|| {
+                        let report =
+                            deploy(black_box(init), algo, Schedule::RoundRobin).expect("run");
+                        assert!(report.succeeded());
+                        // Theorem 1: at least kn/16 moves on this workload.
+                        let moves = report.metrics.total_moves();
+                        assert!(moves as f64 >= (n * k) as f64 / 16.0);
+                        black_box(moves)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lower_bound);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for **Result 4 / Fig. 11**: the relaxed algorithm's
+//! adaptivity to the symmetry degree `l`. Wall-clock (and the asserted
+//! move budget 14·kn/l) must *shrink* as `l` grows at fixed `(n, k)` —
+//! the paper's `O(kn/l)` claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ringdeploy_analysis::periodic_config;
+use ringdeploy_core::{deploy, Algorithm, Schedule};
+use std::hint::black_box;
+
+fn bench_relaxed_symmetry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relaxed_symmetry_degree");
+    let (n, k) = (512usize, 32usize);
+    for l in [1usize, 2, 4, 8, 16, 32] {
+        let init = periodic_config(n, k, l);
+        group.bench_with_input(BenchmarkId::from_parameter(l), &init, |b, init| {
+            b.iter(|| {
+                let report =
+                    deploy(black_box(init), Algorithm::Relaxed, Schedule::RoundRobin).expect("run");
+                assert!(report.succeeded());
+                let moves = report.metrics.total_moves();
+                // O(kn/l) with the paper's constant 14.
+                assert!(moves <= 14 * (k * n / l) as u64 + (k * n / l) as u64);
+                black_box(moves)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_relaxed_symmetry);
+criterion_main!(benches);

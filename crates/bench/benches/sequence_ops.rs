@@ -1,0 +1,47 @@
+//! Criterion bench for the sequence substrate: Booth's minimal rotation vs
+//! the quadratic reference, and period/symmetry computations — the inner
+//! loops of every algorithm's selection phase.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ringdeploy_seq::{cyclic_period, min_rotation, min_rotation_naive, symmetry_degree};
+use std::hint::black_box;
+
+fn random_seq(len: usize, seed: u64) -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(1u64..8)).collect()
+}
+
+fn bench_min_rotation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("min_rotation");
+    for len in [64usize, 1024, 16384] {
+        let seq = random_seq(len, 7);
+        group.bench_with_input(BenchmarkId::new("booth", len), &seq, |b, s| {
+            b.iter(|| black_box(min_rotation(black_box(s))))
+        });
+        if len <= 1024 {
+            group.bench_with_input(BenchmarkId::new("naive", len), &seq, |b, s| {
+                b.iter(|| black_box(min_rotation_naive(black_box(s))))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_periods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("periods");
+    for len in [64usize, 4096] {
+        let seq = random_seq(len, 9);
+        group.bench_with_input(BenchmarkId::new("cyclic_period", len), &seq, |b, s| {
+            b.iter(|| black_box(cyclic_period(black_box(s))))
+        });
+        group.bench_with_input(BenchmarkId::new("symmetry_degree", len), &seq, |b, s| {
+            b.iter(|| black_box(symmetry_degree(black_box(s))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_min_rotation, bench_periods);
+criterion_main!(benches);

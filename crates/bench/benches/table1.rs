@@ -1,0 +1,37 @@
+//! Criterion bench for **Table 1**: wall-clock of each algorithm across the
+//! `(n, k)` sweep. The measured quantity of record (moves/time/memory) is
+//! produced by the `experiments` binary; this bench tracks simulation cost
+//! and lets `--save-baseline` detect regressions in the algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ringdeploy_analysis::random_aperiodic_config;
+use ringdeploy_core::{deploy, Algorithm, Schedule};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    for algo in Algorithm::ALL {
+        for (n, k) in [(64usize, 8usize), (256, 16), (1024, 32)] {
+            let mut rng = SmallRng::seed_from_u64(42);
+            let init = random_aperiodic_config(&mut rng, n, k);
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("n{n}_k{k}")),
+                &init,
+                |b, init| {
+                    b.iter(|| {
+                        let report =
+                            deploy(black_box(init), algo, Schedule::Random(7)).expect("run");
+                        assert!(report.succeeded());
+                        black_box(report.metrics.total_moves())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

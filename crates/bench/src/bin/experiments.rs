@@ -1,0 +1,60 @@
+//! The experiment harness binary: regenerates every table and figure of
+//! the paper as measured output.
+//!
+//! ```text
+//! cargo run --release -p ringdeploy-bench --bin experiments            # everything
+//! cargo run --release -p ringdeploy-bench --bin experiments -- table1  # one section
+//! ```
+//!
+//! Sections: `table1`, `lower-bound`, `impossibility`, `figures`,
+//! `rendezvous`, `ablation`, `optimality`, `tokens`, `tree`, `verified`.
+
+use ringdeploy_bench::{
+    figures, impossibility, lower_bound, optimality, rendezvous_contrast, scheduler_ablation,
+    table1, tokens_necessity, tree_extension, verified,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sections: Vec<&str> = if args.is_empty() {
+        vec![
+            "table1",
+            "lower-bound",
+            "impossibility",
+            "figures",
+            "rendezvous",
+            "ablation",
+            "optimality",
+            "tokens",
+            "tree",
+            "verified",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for (i, section) in sections.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        match *section {
+            "table1" => print!("{}", table1()),
+            "lower-bound" | "lower_bound" => print!("{}", lower_bound()),
+            "impossibility" => print!("{}", impossibility()),
+            "figures" => print!("{}", figures()),
+            "rendezvous" => print!("{}", rendezvous_contrast()),
+            "ablation" => print!("{}", scheduler_ablation()),
+            "optimality" => print!("{}", optimality()),
+            "tokens" => print!("{}", tokens_necessity()),
+            "tree" => print!("{}", tree_extension()),
+            "verified" => print!("{}", verified()),
+            other => {
+                eprintln!(
+                    "unknown section `{other}`; available: table1, lower-bound, \
+                     impossibility, figures, rendezvous, ablation, optimality, \
+                     tokens, tree, verified"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! **E-T1-R3 / E-FIG7 — Theorem 5 demonstration.**
+//!
+//! No algorithm solves uniform deployment *with termination detection*
+//! when agents know neither `k` nor `n`. The proof replicates a ring `R`
+//! into a larger `R'` (Fig. 7) so that agents behave identically and halt
+//! prematurely. We run the natural "estimate then halt" strawman on both
+//! rings:
+//!
+//! * on `R` (aperiodic) it happens to succeed — the trap;
+//! * on `R'` it halts with spacing `d` where `2d` is required — failure;
+//! * the relaxed algorithm (which only suspends) succeeds on **both**.
+
+use ringdeploy_analysis::{from_gaps, theorem5_config, TextTable};
+use ringdeploy_core::{Algorithm, Schedule, TerminatingEstimator};
+use ringdeploy_sim::scheduler::RoundRobin;
+use ringdeploy_sim::{satisfies_halting_deployment, InitialConfig, Ring, RunLimits};
+
+/// Runs the strawman on `init`; returns (quiescent, Definition-1 verdict).
+fn run_strawman(init: &InitialConfig) -> (bool, bool) {
+    let mut ring = Ring::new(init, |_| TerminatingEstimator::new());
+    let out = ring
+        .run(
+            &mut RoundRobin::new(),
+            RunLimits::for_instance(init.ring_size(), init.agent_count()),
+        )
+        .expect("strawman terminates");
+    (
+        out.quiescent,
+        satisfies_halting_deployment(&ring).is_satisfied(),
+    )
+}
+
+/// Runs the impossibility demonstration and returns the printed report.
+pub fn impossibility() -> String {
+    let mut out = String::new();
+    out.push_str("== Theorem 5: impossibility with termination detection, no knowledge ==\n");
+    out.push_str("strawman = estimate by 4-fold repetition, deploy, HALT (no patrolling)\n\n");
+
+    let base_gaps = [1usize, 3]; // ring R: n = 4, k = 2, d = 2
+    let mut table = TextTable::new(vec![
+        "ring",
+        "n",
+        "k",
+        "required-gap",
+        "strawman",
+        "relaxed",
+    ]);
+
+    // Ring R itself.
+    let r = from_gaps(&base_gaps).expect("valid gaps");
+    let (_q, ok_r) = run_strawman(&r);
+    let relaxed_r = ringdeploy_core::deploy(&r, Algorithm::Relaxed, Schedule::RoundRobin)
+        .expect("relaxed run")
+        .succeeded();
+    table.row(vec![
+        "R".into(),
+        r.ring_size().to_string(),
+        r.agent_count().to_string(),
+        (r.ring_size() / r.agent_count()).to_string(),
+        if ok_r {
+            "deploys".into()
+        } else {
+            "FAILS".into()
+        },
+        if relaxed_r {
+            "deploys".into()
+        } else {
+            "FAILS".into()
+        },
+    ]);
+
+    // R' for growing q: the strawman must fail on all of them.
+    let mut all_fail = true;
+    for q in [4usize, 8, 16] {
+        let rp = theorem5_config(&base_gaps, q);
+        let (_q2, ok_rp) = run_strawman(&rp);
+        all_fail &= !ok_rp;
+        let relaxed_rp = ringdeploy_core::deploy(&rp, Algorithm::Relaxed, Schedule::RoundRobin)
+            .expect("relaxed run")
+            .succeeded();
+        table.row(vec![
+            format!("R' (q={q})"),
+            rp.ring_size().to_string(),
+            rp.agent_count().to_string(),
+            (rp.ring_size() / rp.agent_count()).to_string(),
+            if ok_rp {
+                "deploys".into()
+            } else {
+                "FAILS".into()
+            },
+            if relaxed_rp {
+                "deploys".into()
+            } else {
+                "FAILS".into()
+            },
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nstrawman fails on every R' construction: {}\n",
+        if all_fail {
+            "confirmed"
+        } else {
+            "NOT CONFIRMED"
+        }
+    ));
+    out.push_str(
+        "Agents inside the replicated half of R' observe the same local\n\
+         configurations as in R (Lemma 1), halt at interval d — but R' needs 2d.\n\
+         The relaxed algorithm (Result 4) only suspends, gets corrected by the\n\
+         agent that estimated the true size, and succeeds on both rings.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strawman_fails_on_all_constructions() {
+        for q in [4usize, 8] {
+            let rp = theorem5_config(&[1, 3], q);
+            let (quiescent, ok) = run_strawman(&rp);
+            assert!(quiescent);
+            assert!(!ok, "strawman must fail for q={q}");
+            // The relaxed algorithm succeeds on the same ring.
+            let relaxed =
+                ringdeploy_core::deploy(&rp, Algorithm::Relaxed, Schedule::Random(1)).unwrap();
+            assert!(relaxed.succeeded(), "relaxed must succeed for q={q}");
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let s = impossibility();
+        assert!(s.contains("Theorem 5"));
+        assert!(s.contains("confirmed"));
+    }
+}

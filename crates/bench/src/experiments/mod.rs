@@ -1,0 +1,23 @@
+//! Experiment implementations, one per paper table/figure group.
+
+mod ablation;
+mod figures;
+mod impossibility;
+mod lower_bound;
+mod optimality;
+mod rendezvous;
+mod table1;
+mod tokens;
+mod tree_ext;
+mod verified;
+
+pub use ablation::scheduler_ablation;
+pub use figures::figures;
+pub use impossibility::impossibility;
+pub use lower_bound::lower_bound;
+pub use optimality::optimality;
+pub use rendezvous::rendezvous_contrast;
+pub use table1::table1;
+pub use tokens::tokens_necessity;
+pub use tree_ext::tree_extension;
+pub use verified::verified;

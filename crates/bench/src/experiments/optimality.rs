@@ -1,0 +1,111 @@
+//! **E-OPT — competitive ratio against the offline oracle.**
+//!
+//! Theorem 1 lower-bounds the *worst case*; this experiment compares each
+//! algorithm's measured moves against the instance-wise offline optimum
+//! ([`oracle_moves`]) — the cheapest any omniscient scheduler could do on
+//! a unidirectional ring. The gap is the price of anonymity + locality +
+//! token-only marking.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ringdeploy_analysis::{
+    fmt_f64, measure, oracle_moves, quarter_ring_config, random_aperiodic_config, TextTable,
+};
+use ringdeploy_core::{Algorithm, Schedule};
+use ringdeploy_sim::InitialConfig;
+
+fn workloads() -> Vec<(&'static str, InitialConfig)> {
+    let mut rng = SmallRng::seed_from_u64(606);
+    vec![
+        ("quarter-ring n=128 k=16", quarter_ring_config(128, 16)),
+        ("quarter-ring n=512 k=64", quarter_ring_config(512, 64)),
+        (
+            "random n=128 k=16",
+            random_aperiodic_config(&mut rng, 128, 16),
+        ),
+        (
+            "random n=512 k=32",
+            random_aperiodic_config(&mut rng, 512, 32),
+        ),
+        (
+            "near-uniform n=128 k=16",
+            InitialConfig::new(128, (0..16).map(|i| (i * 8 + (i % 2)) % 128).collect())
+                .expect("valid"),
+        ),
+    ]
+}
+
+/// Runs the optimality experiment and returns the printed report.
+pub fn optimality() -> String {
+    let mut out = String::new();
+    out.push_str("== Competitive ratio vs the offline oracle ==\n");
+    out.push_str(
+        "oracle = min total forward moves to any uniform placement (global knowledge)\n\n",
+    );
+    let mut table = TextTable::new(vec![
+        "workload", "oracle", "algo1", "x-opt", "algo2", "x-opt", "relaxed", "x-opt",
+    ]);
+    for (name, init) in workloads() {
+        let opt = oracle_moves(&init).total_moves;
+        let mut row = vec![name.to_string(), opt.to_string()];
+        for algo in Algorithm::ALL {
+            let m = measure(&init, algo, Schedule::Random(2)).expect("run");
+            assert!(m.success);
+            row.push(m.total_moves.to_string());
+            row.push(if opt == 0 {
+                "inf".into()
+            } else {
+                fmt_f64(m.total_moves as f64 / opt as f64)
+            });
+        }
+        table.row(row);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\nNo algorithm beats the oracle; on Theta(kn)-hard workloads (quarter\n\
+         ring) the knowledge-of-k algorithms run within a small constant of\n\
+         it. Near-uniform starts show the price of the mandatory survey\n\
+         circuit: the oracle pays ~0 while every distributed algorithm still\n\
+         walks Omega(n) per agent to *learn* the configuration (the relaxed\n\
+         algorithm adaptively pays less as l grows - see table1).\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_algorithm_beats_the_oracle() {
+        for (name, init) in workloads() {
+            let opt = oracle_moves(&init).total_moves;
+            for algo in Algorithm::ALL {
+                let m = measure(&init, algo, Schedule::Random(4)).expect("run");
+                assert!(
+                    m.total_moves >= opt,
+                    "{algo} on {name}: {} < oracle {opt}",
+                    m.total_moves
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn knowledge_algorithms_are_constant_competitive_on_hard_workloads() {
+        let init = quarter_ring_config(256, 32);
+        let opt = oracle_moves(&init).total_moves;
+        for algo in [Algorithm::FullKnowledge, Algorithm::LogSpace] {
+            let m = measure(&init, algo, Schedule::Random(4)).expect("run");
+            let ratio = m.total_moves as f64 / opt as f64;
+            assert!(ratio < 8.0, "{algo} ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let s = optimality();
+        assert!(s.contains("oracle"));
+        assert!(s.contains("x-opt"));
+    }
+}

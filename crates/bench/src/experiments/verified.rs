@@ -1,0 +1,125 @@
+//! **E-VERIFY — exhaustive schedule verification.**
+//!
+//! For small instances, enumerates *every* asynchronous schedule (not a
+//! sample) with the bounded model checker and reports the state counts.
+//! Success means: every maximal execution of the algorithm on that
+//! instance ends uniformly deployed, and no schedule can loop forever —
+//! machine-checked instances of Theorems 3, 4 and 6.
+
+use ringdeploy_analysis::TextTable;
+use ringdeploy_core::{FullKnowledge, LogSpace, NoKnowledge};
+use ringdeploy_sim::explore::{explore_all_schedules, ExploreLimits};
+use ringdeploy_sim::{
+    satisfies_halting_deployment, satisfies_suspended_deployment, InitialConfig, Ring,
+};
+
+/// Runs the verification experiment and returns the printed report.
+pub fn verified() -> String {
+    let mut out = String::new();
+    out.push_str("== Exhaustive verification: every schedule, small instances ==\n");
+    out.push_str("(bounded model checking: safety + termination under arbitrary schedules)\n\n");
+    let mut table = TextTable::new(vec![
+        "algorithm",
+        "n",
+        "homes",
+        "states",
+        "terminals",
+        "verdict",
+    ]);
+    let cases: Vec<(usize, Vec<usize>)> = vec![
+        (6, vec![0, 1]),
+        (6, vec![0, 1, 3]),
+        (8, vec![0, 1, 2]),
+        (10, vec![0, 5]),
+    ];
+    for (n, homes) in &cases {
+        let k = homes.len();
+        let init = InitialConfig::new(*n, homes.clone()).expect("valid");
+
+        let ring = Ring::new(&init, |_| FullKnowledge::new(k));
+        let r1 = explore_all_schedules(&ring, ExploreLimits::default(), |r| {
+            satisfies_halting_deployment(r).is_satisfied()
+        });
+        push_row(
+            &mut table,
+            "algo1",
+            *n,
+            homes,
+            r1.map(|r| (r.states, r.terminals)),
+        );
+
+        let ring = Ring::new(&init, |_| LogSpace::new(k));
+        let r2 = explore_all_schedules(&ring, ExploreLimits::default(), |r| {
+            satisfies_halting_deployment(r).is_satisfied()
+        });
+        push_row(
+            &mut table,
+            "algo2",
+            *n,
+            homes,
+            r2.map(|r| (r.states, r.terminals)),
+        );
+
+        if *n <= 6 {
+            // The relaxed algorithm's 14n-walks blow the state space up
+            // faster; verify on the smallest instances.
+            let ring = Ring::new(&init, |_| NoKnowledge::new());
+            let r3 = explore_all_schedules(&ring, ExploreLimits::default(), |r| {
+                satisfies_suspended_deployment(r).is_satisfied()
+            });
+            push_row(
+                &mut table,
+                "relaxed",
+                *n,
+                homes,
+                r3.map(|r| (r.states, r.terminals)),
+            );
+        }
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\nEvery reachable quiescent configuration is uniformly deployed and\n\
+         the configuration graphs are acyclic (no livelocks) - correctness on\n\
+         these instances holds for ALL schedules, not just the sampled ones.\n",
+    );
+    out
+}
+
+fn push_row<E: std::fmt::Display>(
+    table: &mut TextTable,
+    algo: &str,
+    n: usize,
+    homes: &[usize],
+    result: Result<(usize, usize), E>,
+) {
+    match result {
+        Ok((states, terminals)) => table.row(vec![
+            algo.into(),
+            n.to_string(),
+            format!("{homes:?}"),
+            states.to_string(),
+            terminals.to_string(),
+            "verified".into(),
+        ]),
+        Err(e) => table.row(vec![
+            algo.into(),
+            n.to_string(),
+            format!("{homes:?}"),
+            "-".into(),
+            "-".into(),
+            format!("FAILED: {e}"),
+        ]),
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verification_report_is_all_green() {
+        let s = verified();
+        assert!(s.contains("verified"));
+        assert!(!s.contains("FAILED"), "{s}");
+    }
+}

@@ -1,0 +1,29 @@
+//! # ringdeploy-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper as measured output:
+//!
+//! * [`table1`] — the complexity table (Results 1, 2 and 4) as measured
+//!   memory / ideal time / total moves over parameter sweeps, with ratios
+//!   against the paper's bounds;
+//! * [`lower_bound`] — Theorems 1 and 2 on the Fig. 3 quarter-ring
+//!   workload;
+//! * [`impossibility`] — the Theorem 5 / Fig. 7 construction, showing the
+//!   terminating strawman halting at the wrong spacing while the relaxed
+//!   algorithm (Result 4) succeeds on the same ring;
+//! * [`figures`] — scenario reproductions of Figs. 1, 2, 4, 5, 6, 8, 9
+//!   and 11;
+//! * [`rendezvous_contrast`] — the §1.3 contrast: rendezvous fails on
+//!   periodic configurations, uniform deployment never does;
+//! * [`scheduler_ablation`] — correctness across schedule adversaries.
+//!
+//! Run everything with `cargo run -p ringdeploy-bench --bin experiments`,
+//! or a single section with e.g. `… --bin experiments -- table1`.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+
+pub use experiments::{
+    figures, impossibility, lower_bound, optimality, rendezvous_contrast, scheduler_ablation,
+    table1, tokens_necessity, tree_extension, verified,
+};

@@ -1,0 +1,631 @@
+//! **Algorithms 2 + 3** (paper §3.2): uniform deployment with termination
+//! detection for agents that know `k`, using only `O(log n)` memory.
+//!
+//! The selection phase runs up to `⌈log k⌉` sub-phases. In each sub-phase
+//! every *active* agent travels once around the ring; the segment from its
+//! home to the next active node yields its ID `(d, fNum)` — hop distance and
+//! number of *follower* nodes (token + staying agent) passed. Comparing its
+//! ID with every other active agent's segment, the agent becomes:
+//!
+//! * a **leader** if all IDs are identical (its home is a *base node*),
+//! * stays **active** if its ID is the unique minimum w.r.t. its successor,
+//! * a **follower** otherwise (staying at home).
+//!
+//! In the deployment phase (Algorithm 3) each leader walks to the next base
+//! node, handing each follower it passes a message carrying `tBase` — the
+//! number of token nodes between the follower and the next base node — plus
+//! `(n, k, b)` so the follower can compute target offsets in the general
+//! `n ≠ ck` case. Followers walk to the base node, then probe successive
+//! target offsets until they find a vacant one, and halt.
+//!
+//! Complexities (Theorem 4): `O(log n)` memory, `O(n log k)` time,
+//! `O(kn)` total moves.
+
+use ringdeploy_sim::{bits_for, Action, Behavior, Observation};
+
+use crate::spacing::SpacingPlan;
+
+/// Agent ID used during the selection phase: `(d, fNum)` compared
+/// lexicographically (paper, Fig. 6).
+pub type SegmentId = (u64, u64);
+
+/// Message sent by a leader to a follower during deployment.
+///
+/// The paper's Algorithm 3 sends `tBase`; the `n ≠ ck` generalisation
+/// (sketched in §3.1.1/§3.2) additionally requires the follower to know the
+/// interval pattern, so the leader — which knows `n` (learned in sub-phase
+/// 1), `k` (given) and `b = n / d` (its final ID's distance is the span
+/// length) — includes them. Messages may carry arbitrary data in the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BaseInfo {
+    /// Number of token nodes the follower must pass (inclusive of the base
+    /// node) to stand on the next base node.
+    pub t_base: u64,
+    /// Ring size.
+    pub n: u64,
+    /// Agent count.
+    pub k: u64,
+    /// Number of base nodes.
+    pub b: u64,
+}
+
+/// Final role of an agent after the selection phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Still undecided (selection in progress).
+    Active,
+    /// Home node was selected as a base node.
+    Leader,
+    /// Home node was not selected.
+    Follower,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum State {
+    Boot,
+    Circuit {
+        /// Sub-phase number (1-based); bounded by ⌈log k⌉ + 1.
+        phase: u32,
+        /// Ring size, known after sub-phase 1.
+        n_known: Option<u64>,
+        /// Hops made in this sub-phase.
+        steps: u64,
+        /// Token nodes visited in this sub-phase (home detection while `n`
+        /// is unknown).
+        tokens_seen: u64,
+        /// Hops since the last active node.
+        seg_d: u64,
+        /// Follower nodes since the last active node.
+        seg_fnum: u64,
+        /// Own ID, once the first segment completes.
+        own_id: Option<SegmentId>,
+        /// Successor's ID, once the second segment completes.
+        next_id: Option<SegmentId>,
+        /// Whether own ID is still minimal among those seen.
+        min: bool,
+        /// Whether all IDs seen are identical.
+        identical: bool,
+    },
+    /// Follower staying at home, waiting for its leader's message.
+    FollowerWait,
+    /// Follower walking to the base node, counting token nodes.
+    FollowerToBase {
+        tokens_left: u64,
+        plan: SpacingPlan,
+    },
+    /// Follower probing target offsets beyond the base node.
+    FollowerSeek {
+        s: u64,
+        plan: SpacingPlan,
+    },
+    /// Leader walking to the next base node, notifying followers.
+    LeaderNotify {
+        t: u64,
+        fnum: u64,
+        n: u64,
+        b: u64,
+    },
+    Done {
+        role: Role,
+    },
+}
+
+/// The Algorithm 2+3 agent (`O(log n)` memory). Construct with
+/// [`LogSpace::new`], passing the known agent count `k`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LogSpace {
+    k: u64,
+    state: State,
+    /// Highest sub-phase reached (exposed for the `⌈log k⌉` bound checks).
+    max_phase: u32,
+    /// Role decided during selection (exposed for tests/figures).
+    role: Role,
+    /// Final ID at decision time.
+    final_id: Option<SegmentId>,
+}
+
+impl LogSpace {
+    /// Creates an agent that knows the total number of agents `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "at least one agent");
+        LogSpace {
+            k: k as u64,
+            state: State::Boot,
+            max_phase: 0,
+            role: Role::Active,
+            final_id: None,
+        }
+    }
+
+    /// The role the agent ended up with.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// The number of selection sub-phases this agent ran.
+    pub fn phases_run(&self) -> u32 {
+        self.max_phase
+    }
+
+    /// The agent's ID in its final sub-phase, if it completed one.
+    pub fn final_id(&self) -> Option<SegmentId> {
+        self.final_id
+    }
+
+    /// Whether the agent has halted.
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, State::Done { .. })
+    }
+
+    fn fresh_circuit(&mut self, phase: u32, n_known: Option<u64>) -> State {
+        self.max_phase = self.max_phase.max(phase);
+        State::Circuit {
+            phase,
+            n_known,
+            steps: 0,
+            tokens_seen: 0,
+            seg_d: 0,
+            seg_fnum: 0,
+            own_id: None,
+            next_id: None,
+            min: true,
+            identical: true,
+        }
+    }
+}
+
+impl Behavior for LogSpace {
+    type Message = BaseInfo;
+
+    fn act(&mut self, obs: &Observation<'_, BaseInfo>) -> Action<BaseInfo> {
+        match std::mem::replace(&mut self.state, State::Done { role: self.role }) {
+            State::Boot => {
+                debug_assert!(obs.arrived);
+                self.state = self.fresh_circuit(1, None);
+                Action::moving().with_token_release(true)
+            }
+            State::Circuit {
+                phase,
+                n_known,
+                mut steps,
+                mut tokens_seen,
+                mut seg_d,
+                mut seg_fnum,
+                mut own_id,
+                mut next_id,
+                mut min,
+                mut identical,
+            } => {
+                steps += 1;
+                seg_d += 1;
+                let token = obs.has_token();
+                if token {
+                    tokens_seen += 1;
+                }
+                // Home detection is positional, not by node appearance: by
+                // step count once n is known, by token count in sub-phase 1.
+                let at_home = match n_known {
+                    Some(n) => steps == n,
+                    None => tokens_seen == self.k,
+                };
+                let active_node = token && obs.staying_agents == 0;
+
+                if at_home {
+                    let n = n_known.unwrap_or(steps);
+                    let seg_id = (seg_d, seg_fnum);
+                    match own_id {
+                        None => {
+                            // Line 6 of Algorithm 2: travelled the whole
+                            // ring without meeting another active node —
+                            // sole active agent, hence leader.
+                            self.role = Role::Leader;
+                            self.final_id = Some(seg_id);
+                            self.state = State::LeaderNotify {
+                                t: 0,
+                                fnum: seg_fnum,
+                                n,
+                                b: n / seg_d, // = 1
+                            };
+                            Action::moving()
+                        }
+                        Some(own) => {
+                            if next_id.is_none() {
+                                next_id = Some(seg_id);
+                            }
+                            if own != seg_id {
+                                identical = false;
+                            }
+                            if own > seg_id {
+                                min = false;
+                            }
+                            self.final_id = Some(own);
+                            if identical {
+                                // Line 15: all active agents share one ID —
+                                // become a leader. b = n / d.
+                                self.role = Role::Leader;
+                                self.state = State::LeaderNotify {
+                                    t: 0,
+                                    fnum: own.1,
+                                    n,
+                                    b: n / own.0,
+                                };
+                                Action::moving()
+                            } else if min && Some(own) != next_id {
+                                // Stay active; begin the next sub-phase in
+                                // this same atomic action (never observed
+                                // staying at home).
+                                self.state = self.fresh_circuit(phase + 1, Some(n));
+                                Action::moving()
+                            } else {
+                                // Line 16: become a follower at home.
+                                self.role = Role::Follower;
+                                self.state = State::FollowerWait;
+                                Action::suspending()
+                            }
+                        }
+                    }
+                } else if active_node {
+                    let seg_id = (seg_d, seg_fnum);
+                    match own_id {
+                        None => own_id = Some(seg_id),
+                        Some(own) => {
+                            if next_id.is_none() {
+                                next_id = Some(seg_id);
+                            }
+                            if own != seg_id {
+                                identical = false;
+                            }
+                            if own > seg_id {
+                                min = false;
+                            }
+                        }
+                    }
+                    self.state = State::Circuit {
+                        phase,
+                        n_known,
+                        steps,
+                        tokens_seen,
+                        seg_d: 0,
+                        seg_fnum: 0,
+                        own_id,
+                        next_id,
+                        min,
+                        identical,
+                    };
+                    Action::moving()
+                } else {
+                    if token {
+                        // Follower node: token plus a staying agent.
+                        seg_fnum += 1;
+                    }
+                    self.state = State::Circuit {
+                        phase,
+                        n_known,
+                        steps,
+                        tokens_seen,
+                        seg_d,
+                        seg_fnum,
+                        own_id,
+                        next_id,
+                        min,
+                        identical,
+                    };
+                    Action::moving()
+                }
+            }
+            State::FollowerWait => {
+                let Some(info) = obs.messages.first().copied() else {
+                    // Spurious wake without a message: keep waiting.
+                    self.state = State::FollowerWait;
+                    return Action::suspending();
+                };
+                let plan = SpacingPlan::new(info.n, info.k, info.b)
+                    .expect("leader-provided geometry satisfies base conditions");
+                self.state = State::FollowerToBase {
+                    tokens_left: info.t_base,
+                    plan,
+                };
+                Action::moving()
+            }
+            State::FollowerToBase {
+                mut tokens_left,
+                plan,
+            } => {
+                if obs.has_token() {
+                    tokens_left -= 1;
+                    if tokens_left == 0 {
+                        // Standing on the base node; start probing targets.
+                        self.state = State::FollowerSeek { s: 0, plan };
+                        return Action::moving();
+                    }
+                }
+                self.state = State::FollowerToBase { tokens_left, plan };
+                Action::moving()
+            }
+            State::FollowerSeek { mut s, plan } => {
+                s += 1;
+                let within = s % plan.span();
+                if let Some(j) = plan.target_at(within) {
+                    // Target index 0 is a base node — reserved for leaders.
+                    if j != 0 && obs.staying_agents == 0 {
+                        self.state = State::Done {
+                            role: Role::Follower,
+                        };
+                        return Action::halting();
+                    }
+                }
+                self.state = State::FollowerSeek { s, plan };
+                Action::moving()
+            }
+            State::LeaderNotify { mut t, fnum, n, b } => {
+                if obs.has_token() {
+                    if t == fnum {
+                        // This token node is the next base node: halt here.
+                        self.state = State::Done { role: Role::Leader };
+                        return Action::halting();
+                    }
+                    debug_assert!(
+                        obs.has_staying_agent(),
+                        "token node before the next base must host a waiting follower"
+                    );
+                    let msg = BaseInfo {
+                        t_base: fnum - t,
+                        n,
+                        k: self.k,
+                        b,
+                    };
+                    t += 1;
+                    self.state = State::LeaderNotify { t, fnum, n, b };
+                    return Action::moving().with_broadcast(msg);
+                }
+                self.state = State::LeaderNotify { t, fnum, n, b };
+                Action::moving()
+            }
+            State::Done { role } => {
+                self.state = State::Done { role };
+                Action::halting()
+            }
+        }
+    }
+
+    fn memory_bits(&self) -> usize {
+        let mut bits = bits_for(self.k);
+        match &self.state {
+            State::Boot | State::Done { .. } => {}
+            State::Circuit {
+                phase,
+                n_known,
+                steps,
+                tokens_seen,
+                seg_d,
+                seg_fnum,
+                own_id,
+                next_id,
+                ..
+            } => {
+                bits += bits_for(u64::from(*phase));
+                bits += n_known.map_or(0, bits_for);
+                bits += bits_for(*steps)
+                    + bits_for(*tokens_seen)
+                    + bits_for(*seg_d)
+                    + bits_for(*seg_fnum);
+                for id in [own_id, next_id].into_iter().flatten() {
+                    bits += bits_for(id.0) + bits_for(id.1);
+                }
+                bits += 2; // min, identical flags
+            }
+            State::FollowerWait => {}
+            State::FollowerToBase { tokens_left, plan } => {
+                bits += bits_for(*tokens_left);
+                bits += bits_for(plan.ring_size()) + bits_for(plan.base_count());
+            }
+            State::FollowerSeek { s, plan } => {
+                bits += bits_for(*s);
+                bits += bits_for(plan.ring_size()) + bits_for(plan.base_count());
+            }
+            State::LeaderNotify { t, fnum, n, b } => {
+                bits += bits_for(*t) + bits_for(*fnum) + bits_for(*n) + bits_for(*b);
+            }
+        }
+        bits
+    }
+
+    fn phase_name(&self) -> &'static str {
+        match self.state {
+            State::Boot => "boot",
+            State::Circuit { .. } => "selection",
+            State::FollowerWait => "follower-wait",
+            State::FollowerToBase { .. } => "follower-to-base",
+            State::FollowerSeek { .. } => "follower-seek",
+            State::LeaderNotify { .. } => "leader-notify",
+            State::Done { .. } => "done",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringdeploy_sim::scheduler::{OneAtATime, Random, RoundRobin};
+    use ringdeploy_sim::{
+        satisfies_halting_deployment, AgentId, InitialConfig, Ring, RunLimits, Scheduler,
+    };
+
+    fn run(n: usize, homes: Vec<usize>, sched: &mut dyn Scheduler) -> Ring<LogSpace> {
+        let k = homes.len();
+        let init = InitialConfig::new(n, homes).unwrap();
+        let mut ring = Ring::new(&init, |_| LogSpace::new(k));
+        let out = ring
+            .run(sched, RunLimits::for_instance(n, k))
+            .expect("run must reach quiescence");
+        assert!(out.quiescent);
+        ring
+    }
+
+    #[test]
+    fn deploys_uniformly_simple() {
+        let ring = run(12, vec![0, 1, 5], &mut RoundRobin::new());
+        assert!(
+            satisfies_halting_deployment(&ring).is_satisfied(),
+            "{:?}",
+            satisfies_halting_deployment(&ring)
+        );
+    }
+
+    #[test]
+    fn deploys_from_clustered_start() {
+        let ring = run(16, vec![0, 1, 2, 3], &mut Random::seeded(7));
+        assert!(satisfies_halting_deployment(&ring).is_satisfied());
+    }
+
+    #[test]
+    fn deploys_when_n_not_multiple_of_k() {
+        let ring = run(13, vec![2, 3, 9], &mut Random::seeded(5));
+        assert!(satisfies_halting_deployment(&ring).is_satisfied());
+    }
+
+    #[test]
+    fn fig5_base_node_conditions() {
+        // Fig. 5: n = 18, k = 9, homes such that three homes at mutual
+        // distance 6 with two homes in between satisfy the base conditions.
+        let homes = vec![0, 1, 3, 6, 7, 9, 12, 13, 15];
+        let ring = run(18, homes, &mut RoundRobin::new());
+        assert!(satisfies_halting_deployment(&ring).is_satisfied());
+        let leaders: Vec<usize> = (0..9)
+            .filter(|&i| ring.behavior(AgentId(i)).role() == Role::Leader)
+            .collect();
+        assert_eq!(leaders.len(), 3, "three base nodes expected");
+        // Leaders are the agents at homes 0, 6, 12 (mutual distance 6, two
+        // followers in between).
+        assert_eq!(leaders, vec![0, 3, 6]);
+    }
+
+    #[test]
+    fn single_agent_becomes_leader() {
+        let ring = run(7, vec![3], &mut RoundRobin::new());
+        assert!(satisfies_halting_deployment(&ring).is_satisfied());
+        assert_eq!(ring.behavior(AgentId(0)).role(), Role::Leader);
+    }
+
+    #[test]
+    fn already_uniform_all_leaders() {
+        let ring = run(16, vec![1, 5, 9, 13], &mut Random::seeded(3));
+        assert!(satisfies_halting_deployment(&ring).is_satisfied());
+        for i in 0..4 {
+            assert_eq!(ring.behavior(AgentId(i)).role(), Role::Leader);
+        }
+    }
+
+    #[test]
+    fn subphase_count_is_logarithmic() {
+        // 8 agents: at most ⌈log 8⌉ = 3 sub-phases (+ the deciding one).
+        let homes = vec![0, 1, 3, 8, 9, 14, 17, 21];
+        let ring = run(24, homes, &mut RoundRobin::new());
+        assert!(satisfies_halting_deployment(&ring).is_satisfied());
+        for i in 0..8 {
+            let phases = ring.behavior(AgentId(i)).phases_run();
+            assert!(phases <= 4, "agent {i} ran {phases} sub-phases");
+        }
+    }
+
+    #[test]
+    fn adversarial_schedules_still_deploy() {
+        let homes = vec![0, 2, 3, 9];
+        for mk in 0..3 {
+            let mut sched: Box<dyn Scheduler> = match mk {
+                0 => Box::new(OneAtATime::new()),
+                1 => Box::new(ringdeploy_sim::scheduler::DelayAgent::new(AgentId(2))),
+                _ => Box::new(Random::seeded(1234)),
+            };
+            let ring = run(14, homes.clone(), sched.as_mut());
+            assert!(
+                satisfies_halting_deployment(&ring).is_satisfied(),
+                "scheduler {mk}: {:?}",
+                satisfies_halting_deployment(&ring)
+            );
+        }
+    }
+
+    #[test]
+    fn memory_stays_logarithmic() {
+        // Peak memory must not scale with k: compare k = 4 and k = 16 on
+        // rings of the same size.
+        let n = 64;
+        let run_peak = |homes: Vec<usize>| {
+            let k = homes.len();
+            let init = InitialConfig::new(n, homes).unwrap();
+            let mut ring = Ring::new(&init, |_| LogSpace::new(k));
+            let out = ring
+                .run(&mut RoundRobin::new(), RunLimits::for_instance(n, k))
+                .unwrap();
+            assert!(satisfies_halting_deployment(&ring).is_satisfied());
+            out.metrics.peak_memory_bits()
+        };
+        let p4 = run_peak((0..4).map(|i| i * 3).collect());
+        let p16 = run_peak((0..16).map(|i| i * 3).collect());
+        // Allow small constant growth but nothing near 4×.
+        assert!(
+            p16 <= p4 + 32,
+            "memory grew from {p4} to {p16} bits with k 4→16"
+        );
+    }
+
+    #[test]
+    fn two_agents_roles_split_on_asymmetric_ring() {
+        // Two agents at distances (2, 8) on n = 10: the agent with the
+        // shorter segment ID (2, 0) stays active, the other becomes a
+        // follower; the survivor circles alone and becomes the leader.
+        let ring = run(10, vec![0, 2], &mut RoundRobin::new());
+        assert!(satisfies_halting_deployment(&ring).is_satisfied());
+        let roles: Vec<Role> = (0..2).map(|i| ring.behavior(AgentId(i)).role()).collect();
+        assert_eq!(
+            roles.iter().filter(|&&r| r == Role::Leader).count(),
+            1,
+            "{roles:?}"
+        );
+        assert_eq!(
+            roles.iter().filter(|&&r| r == Role::Follower).count(),
+            1,
+            "{roles:?}"
+        );
+        // Agent 0's segment is (2, 0) — the minimum — so it leads.
+        assert_eq!(ring.behavior(AgentId(0)).role(), Role::Leader);
+    }
+
+    #[test]
+    fn k_equals_n_all_leaders_one_hop() {
+        // Fully occupied ring: every segment ID is (1, 0), identical in
+        // sub-phase 1, so everyone leads and hops to the next base node.
+        let ring = run(5, (0..5).collect(), &mut Random::seeded(2));
+        assert!(satisfies_halting_deployment(&ring).is_satisfied());
+        for i in 0..5 {
+            assert_eq!(ring.behavior(AgentId(i)).role(), Role::Leader);
+            assert_eq!(ring.behavior(AgentId(i)).phases_run(), 1);
+        }
+    }
+
+    #[test]
+    fn moves_within_paper_bound() {
+        // Total moves ≤ O(kn): selection ≤ 2kn + deployment ≤ 3kn overall
+        // (with slack for the ceil).
+        let n = 24;
+        let homes = vec![0, 1, 3, 8, 9, 14, 17, 21];
+        let k = homes.len();
+        let init = InitialConfig::new(n, homes).unwrap();
+        let mut ring = Ring::new(&init, |_| LogSpace::new(k));
+        let out = ring
+            .run(&mut Random::seeded(9), RunLimits::for_instance(n, k))
+            .unwrap();
+        assert!(out.quiescent);
+        assert!(
+            out.metrics.total_moves() <= 4 * (k * n) as u64,
+            "total moves {}",
+            out.metrics.total_moves()
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! # ringdeploy-core — uniform deployment of mobile agents in rings
+//!
+//! Executable implementations of every algorithm in
+//! *"Uniform deployment of mobile agents in asynchronous rings"*
+//! (Shibata, Mega, Ooshita, Kakugawa, Masuzawa; PODC 2016 / JPDC 2018),
+//! running on the [`ringdeploy_sim`] model of anonymous agents on an
+//! anonymous asynchronous unidirectional ring with FIFO links and tokens.
+//!
+//! | Module | Paper | Knowledge | Termination | Memory | Time | Moves |
+//! |---|---|---|---|---|---|---|
+//! | [`FullKnowledge`] | §3.1, Alg. 1 | `k` | halts | `O(k log n)` | `O(n)` | `O(kn)` |
+//! | [`LogSpace`] | §3.2, Alg. 2+3 | `k` | halts | `O(log n)` | `O(n log k)` | `O(kn)` |
+//! | [`NoKnowledge`] | §4.2, Alg. 4–6 | none | suspends | `O((k/l)·log(n/l))` | `O(n/l)` | `O(kn/l)` |
+//! | [`TerminatingEstimator`] | §4.1 strawman | none | halts (wrongly) | — | — | — |
+//! | [`Rendezvous`] | §1.3 baseline | `k` | halts / detects symmetry | — | — | — |
+//!
+//! All three deployment algorithms achieve uniform deployment from **any**
+//! initial configuration with distinct home nodes — the paper's headline
+//! contrast with the rendezvous problem.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ringdeploy_core::{deploy, Algorithm, Schedule};
+//! use ringdeploy_sim::InitialConfig;
+//!
+//! // Four agents clustered on a 16-node ring.
+//! let init = InitialConfig::new(16, vec![0, 1, 2, 3])?;
+//! let report = deploy(&init, Algorithm::LogSpace, Schedule::Random(1))?;
+//! assert!(report.succeeded());
+//! // Final positions are uniformly spaced (gap 4).
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algo1;
+mod algo2;
+mod relaxed;
+mod rendezvous;
+mod run;
+mod spacing;
+mod strawman;
+mod tokenless;
+
+pub use algo1::{FullKnowledge, Learned};
+pub use algo2::{BaseInfo, LogSpace, Role, SegmentId};
+pub use relaxed::{Estimate, NoKnowledge};
+pub use rendezvous::{Rendezvous, RendezvousVerdict};
+pub use run::{deploy, Algorithm, DeployReport, Schedule};
+pub use spacing::{SpacingError, SpacingPlan};
+pub use strawman::TerminatingEstimator;
+pub use tokenless::TokenlessProbe;

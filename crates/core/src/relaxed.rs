@@ -1,0 +1,525 @@
+//! **Algorithms 4 + 5 + 6** (paper §4.2): *relaxed* uniform deployment —
+//! no knowledge of `k` or `n`, no termination detection (agents end in
+//! suspended states, Definition 2).
+//!
+//! Three phases per agent:
+//!
+//! 1. **Estimating** (Algorithm 4): walk from token node to token node
+//!    recording inter-token distances into `D` until `D` is a four-fold
+//!    repetition `(D[0..k'])⁴`; estimate `k' = |D|/4` agents and
+//!    `n' = Σ D[0..k']` nodes. At least one agent estimates the true `n`
+//!    in aperiodic rings (Lemma 4); a wrong estimate is at most `n/2`
+//!    (Lemma 3). In an `(N, l)`-node periodic ring every agent estimates
+//!    `N = n/l` (Lemma 7) — and that is exactly what makes the algorithm
+//!    *adaptive*: cost scales with `n/l`.
+//! 2. **Patrolling** (Algorithm 5): keep walking until `nodes = 12·n'`
+//!    total moves, handing `(n', k', nodes, D)` to every *staying* agent
+//!    passed — prematurely suspended under-estimators get corrected.
+//! 3. **Deployment** (Algorithm 6): pick the minimal rotation of `D`
+//!    (base node), walk `disBase + offset(rank)` and suspend. A suspended
+//!    agent that receives a message from a ≥2× better estimator adopts the
+//!    sender's view (re-based via the overlap index `t`), walks until its
+//!    total is `12·n'_new`, re-deploys, and suspends again.
+//!
+//! Complexities (Theorem 6): `O((k/l) log(n/l))` memory, `O(n/l)` time,
+//! `O(kn/l)` total moves, where `l` is the symmetry degree.
+
+use ringdeploy_seq::{fourfold_repetition, min_rotation};
+use ringdeploy_sim::{bits_for, Action, Behavior, Observation};
+
+use crate::spacing::SpacingPlan;
+
+/// Message carried from a patrolling agent to a suspended one:
+/// `(n', k', nodes, D)` of Algorithm 5.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Estimate {
+    /// Sender's estimated ring size `n'`.
+    pub n_est: u64,
+    /// Sender's estimated agent count `k'`.
+    pub k_est: u64,
+    /// Sender's total moves at the moment of sending.
+    pub nodes: u64,
+    /// Sender's recorded distance sequence (length `4·k'`).
+    pub d: Vec<u64>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum State {
+    Boot,
+    /// Algorithm 4: recording distances until a four-fold repetition.
+    Estimating {
+        dis: u64,
+        d: Vec<u64>,
+    },
+    /// Algorithm 5: walking until `nodes == 12·n'`.
+    Patrolling,
+    /// Algorithm 6 walk: `remaining` hops to the target.
+    Deploying {
+        remaining: u64,
+    },
+    /// Suspended at the (believed) target node.
+    Suspended,
+    /// Re-synchronising after adopting a better estimate: walk until
+    /// `nodes == 12·n'`, then deploy.
+    Resuming {
+        remaining: u64,
+    },
+}
+
+/// The relaxed-algorithm agent (no knowledge of `k` or `n`).
+///
+/// After a run, [`NoKnowledge::estimate`] exposes the agent's current
+/// `(n', k')` and [`NoKnowledge::corrections`] how many times it adopted a
+/// better estimate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NoKnowledge {
+    state: State,
+    /// Estimated ring size `n'` (0 until the estimating phase completes).
+    n_est: u64,
+    /// Estimated agent count `k'`.
+    k_est: u64,
+    /// Total moves made (`nodes` of Algorithms 4–6).
+    nodes: u64,
+    /// The recorded / adopted distance sequence (length `4·k_est`).
+    d: Vec<u64>,
+    /// Number of adopted corrections.
+    corrections: u32,
+}
+
+impl NoKnowledge {
+    /// Creates an agent with no knowledge of `k` or `n`.
+    pub fn new() -> Self {
+        NoKnowledge {
+            state: State::Boot,
+            n_est: 0,
+            k_est: 0,
+            nodes: 0,
+            d: Vec::new(),
+            corrections: 0,
+        }
+    }
+
+    /// The agent's current estimate `(n', k')`, if the estimating phase
+    /// completed.
+    pub fn estimate(&self) -> Option<(u64, u64)> {
+        (self.n_est > 0).then_some((self.n_est, self.k_est))
+    }
+
+    /// Total moves the agent has made.
+    pub fn nodes_visited(&self) -> u64 {
+        self.nodes
+    }
+
+    /// How many times the agent adopted a better estimate after suspending.
+    pub fn corrections(&self) -> u32 {
+        self.corrections
+    }
+
+    /// Whether the agent is currently suspended at its believed target.
+    pub fn is_suspended(&self) -> bool {
+        matches!(self.state, State::Suspended)
+    }
+
+    /// Computes the deployment walk length from the current position
+    /// (which must be at total move count `12·n'`): `disBase +
+    /// offset(rank)` (Algorithm 6, lines 2–9).
+    fn deployment_walk(&self) -> u64 {
+        let k = self.k_est as usize;
+        let fundamental = &self.d[..k];
+        let rank = min_rotation(fundamental);
+        let dis_base: u64 = fundamental[..rank].iter().sum();
+        let plan = SpacingPlan::new(self.n_est, self.k_est, 1)
+            .expect("estimated fundamental ring is aperiodic: one base node");
+        dis_base + plan.offset(rank as u64)
+    }
+
+    /// Tries to adopt a better estimate from `msg` (Algorithm 6,
+    /// lines 13–19). Returns `true` if adopted.
+    ///
+    /// One deviation from the paper's literal condition, documented in
+    /// `DESIGN.md`: Algorithm 6 requires a `t` with
+    /// `Dℓ[0] + … + Dℓ[t-1] = nodesℓ − nodes` exactly. When the sender is
+    /// several of its laps ahead of an early-suspended receiver, the gap
+    /// exceeds `Σ Dℓ = 4·n'ℓ` and no such `t` exists even though the sender
+    /// is standing at the receiver's node. Since the sender's recorded walk
+    /// is periodic with period `n'ℓ`, the positional information in the
+    /// condition is the gap **modulo `n'ℓ`** — we match the prefix sum
+    /// against `gap mod n'ℓ`, which recovers exactly the alignment the
+    /// paper's Lemma 5 uses (sender's walk offset of the receiver's home).
+    fn try_adopt(&mut self, msg: &Estimate) -> bool {
+        // n' ≤ n'ℓ / 2 (real-valued comparison: 2·n' ≤ n'ℓ).
+        if 2 * self.n_est > msg.n_est {
+            return false;
+        }
+        let own_len = self.d.len(); // 4·k'
+        if msg.d.len() < own_len {
+            return false;
+        }
+        // Find t with D[j] = Dℓ[j+t] for all j < 4k' and
+        // Dℓ[0] + … + Dℓ[t-1] ≡ nodesℓ − nodes (mod n'ℓ).
+        let Some(gap) = msg.nodes.checked_sub(self.nodes) else {
+            return false;
+        };
+        let gap = gap % msg.n_est;
+        let mut prefix: u64 = 0;
+        for t in 0..=(msg.d.len() - own_len) {
+            if prefix % msg.n_est == gap && (0..own_len).all(|j| self.d[j] == msg.d[j + t]) {
+                // Guard against a (theoretically impossible) overshoot that
+                // would make the resume walk negative.
+                if self.nodes >= 12 * msg.n_est {
+                    return false;
+                }
+                // Adopt: re-base the sender's sequence at our home.
+                let mut nd = Vec::with_capacity(msg.d.len());
+                nd.extend_from_slice(&msg.d[t..]);
+                nd.extend_from_slice(&msg.d[..t]);
+                self.d = nd;
+                self.n_est = msg.n_est;
+                self.k_est = msg.k_est;
+                self.corrections += 1;
+                return true;
+            }
+            prefix += msg.d[t];
+        }
+        false
+    }
+}
+
+impl Default for NoKnowledge {
+    fn default() -> Self {
+        NoKnowledge::new()
+    }
+}
+
+impl Behavior for NoKnowledge {
+    type Message = Estimate;
+
+    fn act(&mut self, obs: &Observation<'_, Estimate>) -> Action<Estimate> {
+        match std::mem::replace(&mut self.state, State::Suspended) {
+            State::Boot => {
+                debug_assert!(obs.arrived);
+                self.state = State::Estimating {
+                    dis: 0,
+                    d: Vec::new(),
+                };
+                Action::moving().with_token_release(true)
+            }
+            State::Estimating { mut dis, mut d } => {
+                self.nodes += 1;
+                dis += 1;
+                if obs.has_token() {
+                    d.push(dis);
+                    dis = 0;
+                    if fourfold_repetition(&d) {
+                        // Estimation complete (Algorithm 4, lines 7–12).
+                        self.k_est = (d.len() / 4) as u64;
+                        self.n_est = d[..d.len() / 4].iter().sum();
+                        debug_assert_eq!(self.nodes, 4 * self.n_est);
+                        self.d = d;
+                        self.state = State::Patrolling;
+                        return Action::moving();
+                    }
+                }
+                self.state = State::Estimating { dis, d };
+                Action::moving()
+            }
+            State::Patrolling => {
+                self.nodes += 1;
+                // Hand the estimate to any staying agent at this node.
+                let broadcast = obs.has_staying_agent().then(|| Estimate {
+                    n_est: self.n_est,
+                    k_est: self.k_est,
+                    nodes: self.nodes,
+                    d: self.d.clone(),
+                });
+                if self.nodes == 12 * self.n_est {
+                    // Patrolling over; switch to deployment.
+                    let walk = self.deployment_walk();
+                    let action = if walk == 0 {
+                        self.state = State::Suspended;
+                        Action::suspending()
+                    } else {
+                        self.state = State::Deploying { remaining: walk };
+                        Action::moving()
+                    };
+                    return match broadcast {
+                        Some(msg) => action.with_broadcast(msg),
+                        None => action,
+                    };
+                }
+                self.state = State::Patrolling;
+                let action = Action::moving();
+                match broadcast {
+                    Some(msg) => action.with_broadcast(msg),
+                    None => action,
+                }
+            }
+            State::Deploying { remaining } => {
+                self.nodes += 1;
+                let remaining = remaining - 1;
+                if remaining == 0 {
+                    self.state = State::Suspended;
+                    return Action::suspending();
+                }
+                self.state = State::Deploying { remaining };
+                Action::moving()
+            }
+            State::Suspended => {
+                // Woken by messages: adopt the best acceptable estimate.
+                let mut adopted = false;
+                for msg in obs.messages {
+                    if self.try_adopt(msg) {
+                        adopted = true;
+                    }
+                }
+                if !adopted {
+                    self.state = State::Suspended;
+                    return Action::suspending();
+                }
+                // Walk until our total move count is 12·n' (always ahead of
+                // us: nodes ≤ 7·n'_new as shown in Lemma 5), then deploy.
+                let resume_walk = 12 * self.n_est - self.nodes;
+                debug_assert!(resume_walk > 0, "12·n' − nodes must be positive");
+                self.state = State::Resuming {
+                    remaining: resume_walk,
+                };
+                Action::moving()
+            }
+            State::Resuming { remaining } => {
+                self.nodes += 1;
+                let remaining = remaining - 1;
+                if remaining == 0 {
+                    debug_assert_eq!(self.nodes, 12 * self.n_est);
+                    let walk = self.deployment_walk();
+                    if walk == 0 {
+                        self.state = State::Suspended;
+                        return Action::suspending();
+                    }
+                    self.state = State::Deploying { remaining: walk };
+                    return Action::moving();
+                }
+                self.state = State::Resuming { remaining };
+                Action::moving()
+            }
+        }
+    }
+
+    fn memory_bits(&self) -> usize {
+        let mut bits = bits_for(self.nodes) + bits_for(self.n_est) + bits_for(self.k_est);
+        bits += self.d.iter().map(|&x| bits_for(x)).sum::<usize>();
+        match &self.state {
+            State::Estimating { dis, d } => {
+                bits += bits_for(*dis);
+                bits += d.iter().map(|&x| bits_for(x)).sum::<usize>();
+            }
+            State::Deploying { remaining } | State::Resuming { remaining } => {
+                bits += bits_for(*remaining);
+            }
+            _ => {}
+        }
+        bits
+    }
+
+    fn phase_name(&self) -> &'static str {
+        match self.state {
+            State::Boot => "boot",
+            State::Estimating { .. } => "estimating",
+            State::Patrolling => "patrolling",
+            State::Deploying { .. } => "deploying",
+            State::Suspended => "suspended",
+            State::Resuming { .. } => "resuming",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringdeploy_sim::scheduler::{OneAtATime, Random, RoundRobin};
+    use ringdeploy_sim::{
+        satisfies_suspended_deployment, AgentId, InitialConfig, Ring, RunLimits, Scheduler,
+    };
+
+    fn run(n: usize, homes: Vec<usize>, sched: &mut dyn Scheduler) -> Ring<NoKnowledge> {
+        let k = homes.len();
+        let init = InitialConfig::new(n, homes).unwrap();
+        let mut ring = Ring::new(&init, |_| NoKnowledge::new());
+        let out = ring
+            .run(sched, RunLimits::for_instance(n, k))
+            .expect("run must reach quiescence");
+        assert!(out.quiescent);
+        ring
+    }
+
+    #[test]
+    fn deploys_on_aperiodic_ring() {
+        let ring = run(12, vec![0, 1, 5], &mut RoundRobin::new());
+        assert!(
+            satisfies_suspended_deployment(&ring).is_satisfied(),
+            "{:?}",
+            satisfies_suspended_deployment(&ring)
+        );
+        // Everyone converged on the true n.
+        for i in 0..3 {
+            assert_eq!(ring.behavior(AgentId(i)).estimate(), Some((12, 3)));
+        }
+    }
+
+    #[test]
+    fn deploys_on_fig9_ring_with_periodic_subsequence() {
+        // Fig. 9: n = 27, k = 9, distances (11,1,3,1,3,1,3,1,3): aperiodic
+        // overall but containing (1,3)⁴ — some agents misestimate n' = 4 and
+        // must be corrected during patrolling.
+        let d = [11u64, 1, 3, 1, 3, 1, 3, 1, 3];
+        let mut homes = Vec::new();
+        let mut pos = 0u64;
+        for &g in &d {
+            homes.push(pos as usize);
+            pos += g;
+        }
+        assert_eq!(pos, 27);
+        let ring = run(27, homes, &mut RoundRobin::new());
+        assert!(
+            satisfies_suspended_deployment(&ring).is_satisfied(),
+            "{:?}",
+            satisfies_suspended_deployment(&ring)
+        );
+        // All agents end with the true estimate, and at least one needed a
+        // correction.
+        let mut total_corrections = 0;
+        for i in 0..9 {
+            assert_eq!(ring.behavior(AgentId(i)).estimate(), Some((27, 9)));
+            total_corrections += ring.behavior(AgentId(i)).corrections();
+        }
+        assert!(
+            total_corrections > 0,
+            "Fig. 9 requires at least one correction"
+        );
+    }
+
+    #[test]
+    fn periodic_ring_keeps_fundamental_estimate() {
+        // Fig. 11: a (6,2)-node ring (n = 12, l = 2), distances
+        // (1,2,3,1,2,3). All agents estimate N = 6 — and uniform deployment
+        // is still reached.
+        let ring = run(12, vec![0, 1, 3, 6, 7, 9], &mut RoundRobin::new());
+        assert!(
+            satisfies_suspended_deployment(&ring).is_satisfied(),
+            "{:?}",
+            satisfies_suspended_deployment(&ring)
+        );
+        for i in 0..6 {
+            assert_eq!(
+                ring.behavior(AgentId(i)).estimate(),
+                Some((6, 3)),
+                "agent {i} must estimate the fundamental ring"
+            );
+            assert_eq!(ring.behavior(AgentId(i)).corrections(), 0);
+        }
+    }
+
+    #[test]
+    fn uniform_start_is_cheap() {
+        // l = k: every agent estimates n/k nodes and 1 agent; moves are
+        // O(n) in total (14·n/k each).
+        let n = 24;
+        let homes = vec![0, 6, 12, 18];
+        let init = InitialConfig::new(n, homes).unwrap();
+        let mut ring = Ring::new(&init, |_| NoKnowledge::new());
+        let out = ring
+            .run(&mut RoundRobin::new(), RunLimits::for_instance(n, 4))
+            .unwrap();
+        assert!(satisfies_suspended_deployment(&ring).is_satisfied());
+        for i in 0..4 {
+            assert_eq!(ring.behavior(AgentId(i)).estimate(), Some((6, 1)));
+        }
+        // Each agent moves at most 14·(n/l) = 14·6 = 84.
+        assert!(out.metrics.max_moves() <= 14 * 6);
+    }
+
+    #[test]
+    fn moves_bounded_by_14n() {
+        let homes = vec![0, 2, 3, 9, 17];
+        let n = 23;
+        let init = InitialConfig::new(n, homes).unwrap();
+        let mut ring = Ring::new(&init, |_| NoKnowledge::new());
+        let out = ring
+            .run(&mut Random::seeded(11), RunLimits::for_instance(n, 5))
+            .unwrap();
+        assert!(out.quiescent);
+        assert!(satisfies_suspended_deployment(&ring).is_satisfied());
+        assert!(out.metrics.max_moves() <= 14 * n as u64);
+    }
+
+    #[test]
+    fn adversarial_schedules_still_deploy() {
+        let homes = vec![0, 1, 5, 7];
+        for mk in 0..4 {
+            let mut sched: Box<dyn Scheduler> = match mk {
+                0 => Box::new(OneAtATime::new()),
+                1 => Box::new(ringdeploy_sim::scheduler::DelayAgent::new(AgentId(0))),
+                2 => Box::new(Random::seeded(77)),
+                _ => Box::new(RoundRobin::new()),
+            };
+            let ring = run(16, homes.clone(), sched.as_mut());
+            assert!(
+                satisfies_suspended_deployment(&ring).is_satisfied(),
+                "scheduler {mk}: {:?}",
+                satisfies_suspended_deployment(&ring)
+            );
+        }
+    }
+
+    #[test]
+    fn single_agent_suspends() {
+        let ring = run(5, vec![2], &mut RoundRobin::new());
+        assert!(satisfies_suspended_deployment(&ring).is_satisfied());
+        assert_eq!(ring.behavior(AgentId(0)).estimate(), Some((5, 1)));
+    }
+
+    #[test]
+    fn regression_modular_adoption_on_quarter_ring() {
+        // Regression for the DESIGN.md §4 deviation: on the quarter-ring
+        // workload, agents deep in the cluster observe (1,1,1,1), estimate
+        // n' = 1 and suspend after ~12 moves, while correct estimators only
+        // start patrolling after 4n moves. The paper's literal resume
+        // condition (exact prefix-sum equality) can never fire because
+        // nodesℓ − nodes > 4·n'ℓ; the modulo-n'ℓ alignment makes the
+        // correction land. Without the fix this test deadlocks in a
+        // non-uniform suspended configuration.
+        let n = 32;
+        let homes: Vec<usize> = (0..8).collect();
+        let init = InitialConfig::new(n, homes).unwrap();
+        let mut ring = Ring::new(&init, |_| NoKnowledge::new());
+        let out = ring
+            .run(&mut RoundRobin::new(), RunLimits::for_instance(n, 8))
+            .unwrap();
+        assert!(out.quiescent);
+        assert!(
+            satisfies_suspended_deployment(&ring).is_satisfied(),
+            "{:?}",
+            satisfies_suspended_deployment(&ring)
+        );
+        // The early misestimators really existed and were corrected.
+        let corrected = (0..8)
+            .filter(|&i| ring.behavior(AgentId(i)).corrections() > 0)
+            .count();
+        assert!(corrected >= 4, "only {corrected} agents were corrected");
+        for i in 0..8 {
+            assert_eq!(ring.behavior(AgentId(i)).estimate(), Some((32, 8)));
+        }
+    }
+
+    #[test]
+    fn estimate_example_fig8() {
+        // An agent whose walk starts with distances (1,3,1,3,1,3,1,3)
+        // estimates 4 nodes / 2 tokens (Fig. 8). Drive the state machine
+        // directly on a crafted ring: n = 8, homes alternating at gaps 1,3.
+        let ring = run(8, vec![0, 1, 4, 5], &mut RoundRobin::new());
+        // Ring (1,3,1,3) is periodic with l = 2: fundamental estimate (4, 2).
+        for i in 0..4 {
+            assert_eq!(ring.behavior(AgentId(i)).estimate(), Some((4, 2)));
+        }
+        assert!(satisfies_suspended_deployment(&ring).is_satisfied());
+    }
+}

@@ -1,0 +1,188 @@
+//! Token-based **rendezvous** baseline — the contrast the paper draws in
+//! §1.3: rendezvous (gathering at one node) requires breaking symmetry and
+//! is **unsolvable** from periodic initial configurations, while uniform
+//! deployment (attaining symmetry) is solvable from *every* initial
+//! configuration.
+//!
+//! The baseline gives each agent knowledge of `k`, mirroring the classical
+//! token algorithms ([14–17] in the paper): travel once around the ring
+//! collecting the distance sequence `D`; if `D` is aperiodic, all agents
+//! agree on the unique lexicographically-minimal home node and walk there;
+//! if `D` is periodic, agents *detect* the symmetry and give up (halting at
+//! home and flagging failure) — no deterministic algorithm can gather them.
+
+use ringdeploy_seq::{is_cyclically_periodic, min_rotation};
+use ringdeploy_sim::{bits_for, Action, Behavior, Observation};
+
+/// Outcome of a rendezvous attempt for one agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RendezvousVerdict {
+    /// Still running.
+    Undecided,
+    /// Agent walked to the agreed gathering node.
+    Gathered,
+    /// Agent detected a periodic (symmetric) configuration: unsolvable.
+    Symmetric,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum State {
+    Boot,
+    Survey { dis: u64, d: Vec<u64> },
+    Walk { remaining: u64 },
+    Done,
+}
+
+/// The rendezvous baseline agent (knows `k`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Rendezvous {
+    k: usize,
+    state: State,
+    verdict: RendezvousVerdict,
+}
+
+impl Rendezvous {
+    /// Creates an agent that knows the number of agents `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "at least one agent");
+        Rendezvous {
+            k,
+            state: State::Boot,
+            verdict: RendezvousVerdict::Undecided,
+        }
+    }
+
+    /// The agent's verdict after the run.
+    pub fn verdict(&self) -> RendezvousVerdict {
+        self.verdict
+    }
+}
+
+impl Behavior for Rendezvous {
+    type Message = ();
+
+    fn act(&mut self, obs: &Observation<'_, ()>) -> Action<()> {
+        match std::mem::replace(&mut self.state, State::Done) {
+            State::Boot => {
+                self.state = State::Survey {
+                    dis: 0,
+                    d: Vec::with_capacity(self.k),
+                };
+                Action::moving().with_token_release(true)
+            }
+            State::Survey { mut dis, mut d } => {
+                dis += 1;
+                if obs.has_token() {
+                    d.push(dis);
+                    dis = 0;
+                    if d.len() == self.k {
+                        if is_cyclically_periodic(&d) {
+                            // Symmetry cannot be broken deterministically.
+                            self.verdict = RendezvousVerdict::Symmetric;
+                            self.state = State::Done;
+                            return Action::halting();
+                        }
+                        let rank = min_rotation(&d);
+                        let remaining: u64 = d[..rank].iter().sum();
+                        if remaining == 0 {
+                            self.verdict = RendezvousVerdict::Gathered;
+                            self.state = State::Done;
+                            return Action::halting();
+                        }
+                        self.state = State::Walk { remaining };
+                        return Action::moving();
+                    }
+                }
+                self.state = State::Survey { dis, d };
+                Action::moving()
+            }
+            State::Walk { remaining } => {
+                let remaining = remaining - 1;
+                if remaining == 0 {
+                    self.verdict = RendezvousVerdict::Gathered;
+                    self.state = State::Done;
+                    return Action::halting();
+                }
+                self.state = State::Walk { remaining };
+                Action::moving()
+            }
+            State::Done => Action::halting(),
+        }
+    }
+
+    fn memory_bits(&self) -> usize {
+        let mut bits = bits_for(self.k as u64);
+        match &self.state {
+            State::Survey { dis, d } => {
+                bits += bits_for(*dis) + d.iter().map(|&x| bits_for(x)).sum::<usize>();
+            }
+            State::Walk { remaining } => bits += bits_for(*remaining),
+            _ => {}
+        }
+        bits
+    }
+
+    fn phase_name(&self) -> &'static str {
+        match self.state {
+            State::Boot => "boot",
+            State::Survey { .. } => "survey",
+            State::Walk { .. } => "walk",
+            State::Done => "done",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringdeploy_sim::scheduler::{Random, RoundRobin};
+    use ringdeploy_sim::{AgentId, InitialConfig, Ring, RunLimits};
+
+    #[test]
+    fn gathers_on_aperiodic_ring() {
+        let init = InitialConfig::new(12, vec![0, 1, 5]).unwrap();
+        let mut ring = Ring::new(&init, |_| Rendezvous::new(3));
+        let out = ring
+            .run(&mut Random::seeded(4), RunLimits::for_instance(12, 3))
+            .unwrap();
+        assert!(out.quiescent);
+        let pos = ring.staying_positions().unwrap();
+        assert!(
+            pos.windows(2).all(|w| w[0] == w[1]),
+            "all at one node: {pos:?}"
+        );
+        for i in 0..3 {
+            assert_eq!(
+                ring.behavior(AgentId(i)).verdict(),
+                RendezvousVerdict::Gathered
+            );
+        }
+    }
+
+    #[test]
+    fn detects_symmetry_on_periodic_ring() {
+        // Fig. 1(b) configuration: l = 2 — rendezvous is unsolvable.
+        let init = InitialConfig::new(12, vec![0, 1, 3, 6, 7, 9]).unwrap();
+        let mut ring = Ring::new(&init, |_| Rendezvous::new(6));
+        let out = ring
+            .run(&mut RoundRobin::new(), RunLimits::for_instance(12, 6))
+            .unwrap();
+        assert!(out.quiescent);
+        for i in 0..6 {
+            assert_eq!(
+                ring.behavior(AgentId(i)).verdict(),
+                RendezvousVerdict::Symmetric
+            );
+        }
+        // Agents are still scattered (at their homes), not gathered.
+        let pos = ring.staying_positions().unwrap();
+        let mut uniq = pos.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 6);
+    }
+}

@@ -1,0 +1,226 @@
+//! One-call drivers: build a ring, run an algorithm under a chosen
+//! scheduler, verify the outcome and collect the paper's measures.
+
+use ringdeploy_sim::scheduler::{DelayAgent, OneAtATime, Random, RoundRobin};
+use ringdeploy_sim::{
+    satisfies_halting_deployment, satisfies_suspended_deployment, AgentId, Behavior,
+    DeploymentCheck, InitialConfig, Metrics, Ring, RunLimits, Scheduler, SimError,
+};
+
+use crate::algo1::FullKnowledge;
+use crate::algo2::LogSpace;
+use crate::relaxed::NoKnowledge;
+
+/// Which of the paper's algorithms to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Algorithm {
+    /// Algorithm 1 (§3.1): knowledge of `k`, `O(k log n)` memory.
+    FullKnowledge,
+    /// Algorithms 2+3 (§3.2): knowledge of `k`, `O(log n)` memory.
+    LogSpace,
+    /// Algorithms 4–6 (§4.2): no knowledge, no termination detection.
+    Relaxed,
+}
+
+impl Algorithm {
+    /// All three algorithms, in paper order.
+    pub const ALL: [Algorithm; 3] = [
+        Algorithm::FullKnowledge,
+        Algorithm::LogSpace,
+        Algorithm::Relaxed,
+    ];
+
+    /// Human-readable name matching the paper's sections.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::FullKnowledge => "algo1-full-knowledge",
+            Algorithm::LogSpace => "algo2-log-space",
+            Algorithm::Relaxed => "algo4-relaxed",
+        }
+    }
+
+    /// Whether the algorithm terminates by halting (Definition 1) rather
+    /// than suspending (Definition 2).
+    pub fn halts(self) -> bool {
+        !matches!(self, Algorithm::Relaxed)
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which schedule adversary drives the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Schedule {
+    /// Deterministic round-robin over agent ids.
+    RoundRobin,
+    /// Seeded uniform random choice.
+    Random(u64),
+    /// Drive the lowest-id enabled agent as far as possible.
+    OneAtATime,
+    /// Starve one agent while any other can act.
+    DelayAgent(usize),
+    /// Lock-step rounds; reports ideal time.
+    Synchronous,
+}
+
+impl Schedule {
+    /// Instantiates the scheduler (not meaningful for
+    /// [`Schedule::Synchronous`], which is handled by the driver).
+    fn build(self) -> Box<dyn Scheduler> {
+        match self {
+            Schedule::RoundRobin => Box::new(RoundRobin::new()),
+            Schedule::Random(seed) => Box::new(Random::seeded(seed)),
+            Schedule::OneAtATime => Box::new(OneAtATime::new()),
+            Schedule::DelayAgent(i) => Box::new(DelayAgent::new(AgentId(i))),
+            Schedule::Synchronous => Box::new(RoundRobin::new()),
+        }
+    }
+}
+
+/// The result of a driver run: the paper's three measures plus the
+/// acceptance verdict.
+#[derive(Debug, Clone)]
+pub struct DeployReport {
+    /// The algorithm that ran.
+    pub algorithm: Algorithm,
+    /// Ring size.
+    pub n: usize,
+    /// Agent count.
+    pub k: usize,
+    /// Symmetry degree of the initial configuration.
+    pub symmetry_degree: usize,
+    /// Acceptance verdict against the appropriate Definition (1 or 2).
+    pub check: DeploymentCheck,
+    /// Final node per agent.
+    pub positions: Vec<usize>,
+    /// Ideal time in rounds (only for [`Schedule::Synchronous`]).
+    pub ideal_time: Option<u64>,
+    /// Engine metrics (moves, memory, messages).
+    pub metrics: Metrics,
+}
+
+impl DeployReport {
+    /// Whether the run satisfied its Definition.
+    pub fn succeeded(&self) -> bool {
+        self.check.is_satisfied()
+    }
+}
+
+/// Runs `algorithm` from `init` under `schedule` and verifies the outcome.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] if the run hits its limits (the paper's
+/// algorithms never should on valid inputs).
+///
+/// # Examples
+///
+/// ```
+/// use ringdeploy_core::{deploy, Algorithm, Schedule};
+/// use ringdeploy_sim::InitialConfig;
+///
+/// let init = InitialConfig::new(16, vec![0, 1, 2, 3])?;
+/// let report = deploy(&init, Algorithm::FullKnowledge, Schedule::Random(42))?;
+/// assert!(report.succeeded());
+/// assert_eq!(report.n, 16);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn deploy(
+    init: &InitialConfig,
+    algorithm: Algorithm,
+    schedule: Schedule,
+) -> Result<DeployReport, SimError> {
+    let k = init.agent_count();
+    match algorithm {
+        Algorithm::FullKnowledge => {
+            run_behavior(init, algorithm, schedule, |_| FullKnowledge::new(k))
+        }
+        Algorithm::LogSpace => run_behavior(init, algorithm, schedule, |_| LogSpace::new(k)),
+        Algorithm::Relaxed => run_behavior(init, algorithm, schedule, |_| NoKnowledge::new()),
+    }
+}
+
+fn run_behavior<B: Behavior>(
+    init: &InitialConfig,
+    algorithm: Algorithm,
+    schedule: Schedule,
+    factory: impl FnMut(AgentId) -> B,
+) -> Result<DeployReport, SimError> {
+    let n = init.ring_size();
+    let k = init.agent_count();
+    let limits = RunLimits::for_instance(n, k);
+    let mut ring = Ring::new(init, factory);
+    let outcome = match schedule {
+        Schedule::Synchronous => ring.run_synchronous(limits)?,
+        other => {
+            let mut sched = other.build();
+            ring.run(sched.as_mut(), limits)?
+        }
+    };
+    let check = if algorithm.halts() {
+        satisfies_halting_deployment(&ring)
+    } else {
+        satisfies_suspended_deployment(&ring)
+    };
+    let positions = ring
+        .staying_positions()
+        .expect("quiescent runs leave no agent in transit");
+    Ok(DeployReport {
+        algorithm,
+        n,
+        k,
+        symmetry_degree: init.symmetry_degree(),
+        check,
+        positions,
+        ideal_time: outcome.rounds,
+        metrics: outcome.metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_algorithms_all_schedules_deploy() {
+        let init = InitialConfig::new(15, vec![0, 2, 3, 8]).unwrap();
+        for algo in Algorithm::ALL {
+            for schedule in [
+                Schedule::RoundRobin,
+                Schedule::Random(7),
+                Schedule::OneAtATime,
+                Schedule::DelayAgent(1),
+                Schedule::Synchronous,
+            ] {
+                let report = deploy(&init, algo, schedule).unwrap();
+                assert!(
+                    report.succeeded(),
+                    "{algo} under {schedule:?}: {:?}",
+                    report.check
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn synchronous_reports_ideal_time() {
+        let init = InitialConfig::new(20, vec![0, 4, 9, 11]).unwrap();
+        let report = deploy(&init, Algorithm::FullKnowledge, Schedule::Synchronous).unwrap();
+        assert!(report.ideal_time.is_some());
+        assert!(report.ideal_time.unwrap() <= 3 * 20 + 2);
+    }
+
+    #[test]
+    fn report_carries_symmetry_degree() {
+        let init = InitialConfig::new(12, vec![0, 1, 3, 6, 7, 9]).unwrap();
+        let report = deploy(&init, Algorithm::Relaxed, Schedule::RoundRobin).unwrap();
+        assert_eq!(report.symmetry_degree, 2);
+        assert!(report.succeeded());
+    }
+}

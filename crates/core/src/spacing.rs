@@ -1,0 +1,318 @@
+//! Target spacing for uniform deployment, including the general `n ≠ ck`
+//! case of Section 3.1.1.
+//!
+//! With `b` base nodes (one per period of the initial configuration), the
+//! ring splits into `b` spans of length `n/b`, each containing `k/b` target
+//! nodes: the base node itself plus `k/b − 1` interior targets. Writing
+//! `r = n mod k`, the first `r/b` intervals of each span have length
+//! `⌈n/k⌉` and the remaining ones `⌊n/k⌋` — the paper shows `k/b` and `r/b`
+//! are integers whenever the base-node conditions hold.
+
+/// The deployment geometry: ring size `n`, agent count `k` and base-node
+/// count `b`, from which every target offset is computed.
+///
+/// # Examples
+///
+/// ```
+/// use ringdeploy_core::SpacingPlan;
+///
+/// // n = 12, k = 6, two base nodes: spans of 6 with targets at offsets
+/// // 0, 2, 4 within each span.
+/// let plan = SpacingPlan::new(12, 6, 2)?;
+/// assert_eq!(plan.span(), 6);
+/// assert_eq!(plan.offset(0), 0);
+/// assert_eq!(plan.offset(1), 2);
+/// assert_eq!(plan.offset(2), 4);
+///
+/// // n = 11, k = 3, one base node: intervals ⌈11/3⌉=4, 4, then ⌊11/3⌋=3.
+/// let plan = SpacingPlan::new(11, 3, 1)?;
+/// assert_eq!(plan.offset(1), 4);
+/// assert_eq!(plan.offset(2), 8);
+/// # Ok::<(), ringdeploy_core::SpacingError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SpacingPlan {
+    n: u64,
+    k: u64,
+    b: u64,
+}
+
+/// Error returned by [`SpacingPlan::new`] when the base-node conditions do
+/// not hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpacingError {
+    /// `n`, `k` or `b` was zero, or `k > n`, or `b > k`.
+    OutOfRange,
+    /// `b` does not divide `n` (adjacent base nodes would not be
+    /// equidistant).
+    BaseNotDividingRing,
+    /// `b` does not divide `k` (spans would hold different agent counts).
+    BaseNotDividingAgents,
+}
+
+impl std::fmt::Display for SpacingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpacingError::OutOfRange => write!(f, "require 1 ≤ b ≤ k ≤ n"),
+            SpacingError::BaseNotDividingRing => write!(f, "base count must divide ring size"),
+            SpacingError::BaseNotDividingAgents => {
+                write!(f, "base count must divide agent count")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpacingError {}
+
+impl SpacingPlan {
+    /// Creates a plan for `k` agents on `n` nodes with `b` base nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpacingError`] unless `1 ≤ b ≤ k ≤ n`, `b | n` and
+    /// `b | k` (which together imply `b | (n mod k)` — the divisibility the
+    /// paper notes in Section 3.1.1).
+    pub fn new(n: u64, k: u64, b: u64) -> Result<Self, SpacingError> {
+        if n == 0 || k == 0 || b == 0 || k > n || b > k {
+            return Err(SpacingError::OutOfRange);
+        }
+        if n % b != 0 {
+            return Err(SpacingError::BaseNotDividingRing);
+        }
+        if k % b != 0 {
+            return Err(SpacingError::BaseNotDividingAgents);
+        }
+        debug_assert_eq!((n % k) % b, 0, "b | r follows from b | n and b | k");
+        Ok(SpacingPlan { n, k, b })
+    }
+
+    /// Ring size `n`.
+    pub fn ring_size(&self) -> u64 {
+        self.n
+    }
+
+    /// Agent count `k`.
+    pub fn agent_count(&self) -> u64 {
+        self.k
+    }
+
+    /// Base-node count `b`.
+    pub fn base_count(&self) -> u64 {
+        self.b
+    }
+
+    /// Length of a span between adjacent base nodes (`n/b`).
+    pub fn span(&self) -> u64 {
+        self.n / self.b
+    }
+
+    /// Number of target nodes per span, counting the base node (`k/b`).
+    pub fn targets_per_span(&self) -> u64 {
+        self.k / self.b
+    }
+
+    /// Number of `⌈n/k⌉`-length intervals at the start of each span
+    /// (`r/b` with `r = n mod k`).
+    pub fn long_intervals(&self) -> u64 {
+        (self.n % self.k) / self.b
+    }
+
+    /// The length of the `j`-th interval within a span (`0 ≤ j < k/b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j ≥ k/b`.
+    pub fn interval(&self, j: u64) -> u64 {
+        assert!(j < self.targets_per_span(), "interval index out of range");
+        let floor = self.n / self.k;
+        if j < self.long_intervals() {
+            floor + 1
+        } else {
+            floor
+        }
+    }
+
+    /// The hop distance from a base node to the `j`-th target of its span
+    /// (`offset(0) = 0` is the base node itself; `0 ≤ j ≤ k/b`, where
+    /// `offset(k/b) = n/b` is the next base node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j > k/b`.
+    pub fn offset(&self, j: u64) -> u64 {
+        assert!(j <= self.targets_per_span(), "target index out of range");
+        let floor = self.n / self.k;
+        j * floor + j.min(self.long_intervals())
+    }
+
+    /// If within-span offset `s` (`0 ≤ s < n/b`) is a target, returns its
+    /// index `j` (`0 ≤ j < k/b`); otherwise `None`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ringdeploy_core::SpacingPlan;
+    /// let plan = SpacingPlan::new(11, 3, 1)?; // targets at 0, 4, 8
+    /// assert_eq!(plan.target_at(0), Some(0));
+    /// assert_eq!(plan.target_at(4), Some(1));
+    /// assert_eq!(plan.target_at(5), None);
+    /// assert_eq!(plan.target_at(8), Some(2));
+    /// # Ok::<(), ringdeploy_core::SpacingError>(())
+    /// ```
+    pub fn target_at(&self, s: u64) -> Option<u64> {
+        if s >= self.span() {
+            return None;
+        }
+        let floor = self.n / self.k;
+        let long = self.long_intervals();
+        let long_end = long * (floor + 1);
+        let j = if s < long_end {
+            if s % (floor + 1) != 0 {
+                return None;
+            }
+            s / (floor + 1)
+        } else {
+            let rest = s - long_end;
+            if rest % floor != 0 {
+                return None;
+            }
+            long + rest / floor
+        };
+        (j < self.targets_per_span()).then_some(j)
+    }
+
+    /// All target offsets of one span, in order (`k/b` values starting
+    /// at 0).
+    pub fn span_offsets(&self) -> Vec<u64> {
+        (0..self.targets_per_span())
+            .map(|j| self.offset(j))
+            .collect()
+    }
+
+    /// All target node indices on the whole ring, given the position of one
+    /// base node. Sorted ascending from `base`.
+    pub fn all_targets(&self, base: u64) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.k as usize);
+        for span_idx in 0..self.b {
+            let span_base = (base + span_idx * self.span()) % self.n;
+            for j in 0..self.targets_per_span() {
+                out.push((span_base + self.offset(j)) % self.n);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringdeploy_sim::is_uniform_spacing;
+
+    #[test]
+    fn rejects_bad_divisibility() {
+        assert_eq!(
+            SpacingPlan::new(10, 4, 4),
+            Err(SpacingError::BaseNotDividingRing)
+        );
+        assert_eq!(
+            SpacingPlan::new(12, 6, 4),
+            Err(SpacingError::BaseNotDividingAgents)
+        );
+        assert_eq!(SpacingPlan::new(0, 1, 1), Err(SpacingError::OutOfRange));
+        assert_eq!(SpacingPlan::new(4, 6, 1), Err(SpacingError::OutOfRange));
+        assert_eq!(SpacingPlan::new(6, 3, 4), Err(SpacingError::OutOfRange));
+    }
+
+    #[test]
+    fn exact_division_offsets() {
+        let plan = SpacingPlan::new(16, 4, 1).unwrap();
+        assert_eq!(plan.span_offsets(), vec![0, 4, 8, 12]);
+        assert_eq!(plan.interval(0), 4);
+    }
+
+    #[test]
+    fn uneven_division_uses_ceil_then_floor() {
+        // n = 14, k = 4, b = 1: r = 2, intervals 4,4,3,3.
+        let plan = SpacingPlan::new(14, 4, 1).unwrap();
+        assert_eq!(plan.long_intervals(), 2);
+        assert_eq!(
+            (0..4).map(|j| plan.interval(j)).collect::<Vec<_>>(),
+            vec![4, 4, 3, 3]
+        );
+        assert_eq!(plan.span_offsets(), vec![0, 4, 8, 11]);
+        assert_eq!(plan.offset(4), 14); // wraps to the next base
+    }
+
+    #[test]
+    fn multi_base_spans() {
+        // n = 18, k = 9 (Fig. 5): b = 3, spans of 6 with 3 targets each at
+        // offsets 0, 2, 4.
+        let plan = SpacingPlan::new(18, 9, 3).unwrap();
+        assert_eq!(plan.span(), 6);
+        assert_eq!(plan.targets_per_span(), 3);
+        assert_eq!(plan.span_offsets(), vec![0, 2, 4]);
+        let targets = plan.all_targets(1);
+        assert_eq!(targets, vec![1, 3, 5, 7, 9, 11, 13, 15, 17]);
+        let positions: Vec<usize> = targets.iter().map(|&t| t as usize).collect();
+        assert!(is_uniform_spacing(18, &positions));
+    }
+
+    #[test]
+    fn multi_base_uneven() {
+        // n = 22, k = 4, b = 2: r = 22 mod 4 = 2, r/b = 1.
+        // Spans of 11, targets per span 2, intervals 6 then 5.
+        let plan = SpacingPlan::new(22, 4, 2).unwrap();
+        assert_eq!(plan.long_intervals(), 1);
+        assert_eq!(plan.span_offsets(), vec![0, 6]);
+        let positions: Vec<usize> = plan.all_targets(0).iter().map(|&t| t as usize).collect();
+        assert!(is_uniform_spacing(22, &positions), "{positions:?}");
+    }
+
+    #[test]
+    fn target_at_inverts_offset() {
+        for (n, k, b) in [
+            (16u64, 4u64, 1u64),
+            (14, 4, 2),
+            (11, 3, 1),
+            (18, 9, 3),
+            (23, 5, 1),
+        ] {
+            let plan = SpacingPlan::new(n, k, b).unwrap();
+            for j in 0..plan.targets_per_span() {
+                assert_eq!(
+                    plan.target_at(plan.offset(j)),
+                    Some(j),
+                    "n={n} k={k} b={b} j={j}"
+                );
+            }
+            let offsets = plan.span_offsets();
+            for s in 0..plan.span() {
+                let expected = offsets.iter().position(|&o| o == s).map(|j| j as u64);
+                assert_eq!(plan.target_at(s), expected, "n={n} k={k} b={b} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_targets_always_uniform() {
+        // Exhaustive small sweep: every valid (n, k, b) yields a uniform
+        // spacing of targets.
+        for n in 2u64..40 {
+            for k in 2..=n.min(12) {
+                for b in 1..=k {
+                    if n % b != 0 || k % b != 0 {
+                        continue;
+                    }
+                    let plan = SpacingPlan::new(n, k, b).unwrap();
+                    let positions: Vec<usize> =
+                        plan.all_targets(0).iter().map(|&t| t as usize).collect();
+                    assert!(
+                        is_uniform_spacing(n as usize, &positions),
+                        "n={n} k={k} b={b}: {positions:?}"
+                    );
+                }
+            }
+        }
+    }
+}

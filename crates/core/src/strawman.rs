@@ -1,0 +1,203 @@
+//! The **terminating estimator** strawman used to demonstrate Theorem 5
+//! (§4.1): *no algorithm can solve uniform deployment with termination
+//! detection when agents know neither `k` nor `n`.*
+//!
+//! This behavior runs the relaxed algorithm's estimating phase (stop at a
+//! four-fold repetition), then deploys to the estimated target and
+//! **halts** — exactly the kind of algorithm Theorem 5 forbids. On rings
+//! whose distance sequence contains enough repetition (the `R'`
+//! construction of Fig. 7, built by
+//! [`ringdeploy_analysis`-style replication](crate) or by hand), agents
+//! halt at spacing `d` where `2d` was required, so the final configuration
+//! violates Definition 1.
+//!
+//! It is *not* a correct algorithm — it exists so the impossibility
+//! argument can be exercised as a measurable experiment (E-T1-R3 /
+//! E-FIG7 in `DESIGN.md`).
+
+use ringdeploy_seq::{fourfold_repetition, min_rotation};
+use ringdeploy_sim::{bits_for, Action, Behavior, Observation};
+
+use crate::spacing::SpacingPlan;
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum State {
+    Boot,
+    Estimating { dis: u64, d: Vec<u64> },
+    Deploying { remaining: u64 },
+    Done,
+}
+
+/// The strawman agent: estimate, deploy, halt (prematurely).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TerminatingEstimator {
+    state: State,
+    n_est: u64,
+    k_est: u64,
+}
+
+impl TerminatingEstimator {
+    /// Creates the strawman agent.
+    pub fn new() -> Self {
+        TerminatingEstimator {
+            state: State::Boot,
+            n_est: 0,
+            k_est: 0,
+        }
+    }
+
+    /// The estimate the agent halted with, if it finished estimating.
+    pub fn estimate(&self) -> Option<(u64, u64)> {
+        (self.n_est > 0).then_some((self.n_est, self.k_est))
+    }
+}
+
+impl Default for TerminatingEstimator {
+    fn default() -> Self {
+        TerminatingEstimator::new()
+    }
+}
+
+impl Behavior for TerminatingEstimator {
+    type Message = ();
+
+    fn act(&mut self, obs: &Observation<'_, ()>) -> Action<()> {
+        match std::mem::replace(&mut self.state, State::Done) {
+            State::Boot => {
+                self.state = State::Estimating {
+                    dis: 0,
+                    d: Vec::new(),
+                };
+                Action::moving().with_token_release(true)
+            }
+            State::Estimating { mut dis, mut d } => {
+                dis += 1;
+                if obs.has_token() {
+                    d.push(dis);
+                    dis = 0;
+                    if fourfold_repetition(&d) {
+                        self.k_est = (d.len() / 4) as u64;
+                        self.n_est = d[..d.len() / 4].iter().sum();
+                        let fundamental = &d[..d.len() / 4];
+                        let rank = min_rotation(fundamental);
+                        let dis_base: u64 = fundamental[..rank].iter().sum();
+                        let plan = SpacingPlan::new(self.n_est, self.k_est, 1)
+                            .expect("estimated fundamental is aperiodic");
+                        let remaining = dis_base + plan.offset(rank as u64);
+                        if remaining == 0 {
+                            self.state = State::Done;
+                            return Action::halting();
+                        }
+                        self.state = State::Deploying { remaining };
+                        return Action::moving();
+                    }
+                }
+                self.state = State::Estimating { dis, d };
+                Action::moving()
+            }
+            State::Deploying { remaining } => {
+                let remaining = remaining - 1;
+                if remaining == 0 {
+                    self.state = State::Done;
+                    return Action::halting();
+                }
+                self.state = State::Deploying { remaining };
+                Action::moving()
+            }
+            State::Done => Action::halting(),
+        }
+    }
+
+    fn memory_bits(&self) -> usize {
+        let mut bits = bits_for(self.n_est) + bits_for(self.k_est);
+        match &self.state {
+            State::Estimating { dis, d } => {
+                bits += bits_for(*dis) + d.iter().map(|&x| bits_for(x)).sum::<usize>();
+            }
+            State::Deploying { remaining } => bits += bits_for(*remaining),
+            _ => {}
+        }
+        bits
+    }
+
+    fn phase_name(&self) -> &'static str {
+        match self.state {
+            State::Boot => "boot",
+            State::Estimating { .. } => "estimating",
+            State::Deploying { .. } => "deploying",
+            State::Done => "done",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringdeploy_sim::scheduler::RoundRobin;
+    use ringdeploy_sim::{satisfies_halting_deployment, InitialConfig, Ring, RunLimits};
+
+    #[test]
+    fn succeeds_on_truly_aperiodic_ring() {
+        // On an aperiodic ring the strawman behaves like Algorithm 1 minus
+        // knowledge — it happens to succeed (that is the trap).
+        let init = InitialConfig::new(12, vec![0, 1, 5]).unwrap();
+        let mut ring = Ring::new(&init, |_| TerminatingEstimator::new());
+        let out = ring
+            .run(&mut RoundRobin::new(), RunLimits::for_instance(12, 3))
+            .unwrap();
+        assert!(out.quiescent);
+        assert!(satisfies_halting_deployment(&ring).is_satisfied());
+    }
+
+    #[test]
+    fn fails_on_theorem5_construction() {
+        // Theorem 5 / Fig. 7 construction: take R with distance sequence
+        // (1,3) (n = 4, k = 2, interval d = 2) and build R' with
+        // 2qn + 2n nodes (q = 8 gives 72): the initial positions of R are
+        // replicated over the first qn + n = 36 nodes and the second half is
+        // empty. The required interval in R' is 72/18 = 4 = 2d, but agents
+        // deep in the replicated region observe (1,3)^4, estimate n' = 4 and
+        // halt at local spacing (1,3)-ish, not 4. Uniform deployment with
+        // termination detection fails.
+        let q = 8usize;
+        let rn = 4usize;
+        let n = 2 * q * rn + 2 * rn; // 72
+        let copies = q + 1; // fill the first qn + n nodes
+        let mut homes = Vec::new();
+        for c in 0..copies {
+            homes.push(c * rn);
+            homes.push(c * rn + 1);
+        }
+        let k = homes.len(); // 18
+        let init = InitialConfig::new(n, homes).unwrap();
+        let mut ring = Ring::new(&init, |_| TerminatingEstimator::new());
+        let out = ring
+            .run(&mut RoundRobin::new(), RunLimits::for_instance(n, k))
+            .unwrap();
+        assert!(out.quiescent);
+        let check = satisfies_halting_deployment(&ring);
+        assert!(
+            !check.is_satisfied(),
+            "the strawman must fail on the Theorem 5 construction: {check:?}"
+        );
+        // And indeed some agent halted with the fundamental (wrong) estimate.
+        let wrong = (0..k)
+            .filter(|&i| ring.behavior(ringdeploy_sim::AgentId(i)).estimate() == Some((4, 2)))
+            .count();
+        assert!(wrong > 0, "some agents must halt with the misestimate");
+    }
+
+    #[test]
+    fn succeeds_on_self_consistent_periodic_ring() {
+        // Like Fig. 11: on a fully periodic ring the wrong estimate is
+        // *self-consistent* and the strawman happens to succeed -- the
+        // impossibility needs the half-empty construction above.
+        let init = InitialConfig::new(12, vec![0, 1, 3, 6, 7, 9]).unwrap();
+        let mut ring = Ring::new(&init, |_| TerminatingEstimator::new());
+        let out = ring
+            .run(&mut RoundRobin::new(), RunLimits::for_instance(12, 6))
+            .unwrap();
+        assert!(out.quiescent);
+        assert!(satisfies_halting_deployment(&ring).is_satisfied());
+    }
+}

@@ -1,0 +1,218 @@
+//! Running the ring algorithms on embedded topologies and mapping results
+//! back (paper §5).
+
+use ringdeploy_core::{deploy, Algorithm, DeployReport, Schedule};
+use ringdeploy_sim::{InitialConfig, SimError};
+
+use crate::euler::EulerTour;
+use crate::graph::Graph;
+use crate::tree::Tree;
+
+/// The result of deploying on an embedded topology.
+#[derive(Debug, Clone)]
+pub struct TreeDeployReport {
+    /// The underlying virtual-ring run (positions are virtual indices).
+    pub ring_report: DeployReport,
+    /// The Euler tour used for the embedding.
+    pub tour: EulerTour,
+    /// Final tree node of each agent (virtual position mapped back).
+    pub tree_positions: Vec<usize>,
+    /// Worst-case patrol latency on the virtual ring after deployment:
+    /// the maximum, over tree nodes `v`, of the forward tour distance from
+    /// the nearest agent to an occurrence of `v`. Uniform deployment bounds
+    /// this by `⌈2(n−1)/k⌉ + s` where `s` is the longest tour stretch
+    /// without a fresh node — reported for the quality analysis.
+    pub patrol_latency: usize,
+}
+
+/// Computes the worst-case patrol latency: for every tree node, the minimal
+/// forward tour distance from some agent's virtual position to a tour
+/// position showing that node; maximised over tree nodes.
+///
+/// A patrolling agent moving forward along the tour services node `v` when
+/// it stands on any occurrence of `v`, so this is the analogue of the
+/// ring's "worst gap" service measure for embedded topologies.
+///
+/// # Panics
+///
+/// Panics if `agent_virtual` is empty or contains an out-of-range position.
+pub fn patrol_latency(tour: &EulerTour, agent_virtual: &[usize]) -> usize {
+    assert!(!agent_virtual.is_empty(), "at least one agent");
+    let m = tour.ring_size();
+    let n_nodes = 1 + tour.nodes().iter().copied().max().expect("non-empty tour");
+    // For each tour position, forward distance to the nearest agent
+    // *behind* it is not what we need; we need, per tree node v, the min
+    // over agents a and occurrences p of v of (p − a) mod m.
+    let mut best = vec![usize::MAX; n_nodes];
+    for &a in agent_virtual {
+        assert!(a < m, "virtual position out of range");
+        for d in 0..m {
+            let p = (a + d) % m;
+            let v = tour.node_at(p);
+            if best[v] > d {
+                best[v] = d;
+            }
+        }
+    }
+    best.into_iter().max().expect("at least one node")
+}
+
+/// Deploys `agents` (distinct tree nodes) uniformly over `tree` by running
+/// `algorithm` on the Euler-tour virtual ring rooted at the first agent's
+/// home, then mapping final virtual positions back to tree nodes.
+///
+/// Each agent's virtual home is the first tour occurrence of its tree home
+/// (injective). Every virtual hop corresponds to one tree-edge move, so
+/// `ring_report.metrics` counts real tree moves.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the ring run; panics on invalid homes (out
+/// of range or duplicated), mirroring [`InitialConfig`] validation.
+pub fn deploy_on_tree(
+    tree: &Tree,
+    agents: &[usize],
+    algorithm: Algorithm,
+    schedule: Schedule,
+) -> Result<TreeDeployReport, SimError> {
+    assert!(!agents.is_empty(), "at least one agent");
+    let root = agents[0];
+    let tour = EulerTour::new(tree, root);
+    let homes: Vec<usize> = agents.iter().map(|&v| tour.first_position(v)).collect();
+    let init = InitialConfig::new(tour.ring_size(), homes)
+        .expect("distinct tree homes embed to distinct virtual homes");
+    let ring_report = deploy(&init, algorithm, schedule)?;
+    let tree_positions: Vec<usize> = ring_report
+        .positions
+        .iter()
+        .map(|&p| tour.node_at(p))
+        .collect();
+    let latency = patrol_latency(&tour, &ring_report.positions);
+    Ok(TreeDeployReport {
+        ring_report,
+        tour,
+        tree_positions,
+        patrol_latency: latency,
+    })
+}
+
+/// Deploys over a general connected graph by first extracting a BFS
+/// spanning tree rooted at the first agent's home (§5's general-network
+/// recipe), then calling [`deploy_on_tree`].
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the ring run.
+pub fn deploy_on_graph(
+    graph: &Graph,
+    agents: &[usize],
+    algorithm: Algorithm,
+    schedule: Schedule,
+) -> Result<TreeDeployReport, SimError> {
+    assert!(!agents.is_empty(), "at least one agent");
+    let tree = graph.spanning_tree(agents[0]);
+    deploy_on_tree(&tree, agents, algorithm, schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deploys_on_path() {
+        let tree = Tree::path(8);
+        let report = deploy_on_tree(
+            &tree,
+            &[0, 1, 2],
+            Algorithm::FullKnowledge,
+            Schedule::Random(3),
+        )
+        .expect("run");
+        assert!(report.ring_report.succeeded());
+        assert_eq!(report.ring_report.n, 14);
+        assert_eq!(report.tree_positions.len(), 3);
+        // Uniform on the virtual ring ⇒ latency ≤ ⌈14/3⌉ + slack from
+        // revisits; it must certainly beat a full tour.
+        assert!(report.patrol_latency < 14);
+    }
+
+    #[test]
+    fn deploys_on_star_and_binary() {
+        for tree in [Tree::star(9), Tree::binary(15)] {
+            let report = deploy_on_tree(
+                &tree,
+                &[1, 2, 3, 4],
+                Algorithm::LogSpace,
+                Schedule::RoundRobin,
+            )
+            .expect("run");
+            assert!(report.ring_report.succeeded());
+            assert_eq!(report.ring_report.n, 2 * (tree.node_count() - 1));
+        }
+    }
+
+    #[test]
+    fn relaxed_works_on_trees_too() {
+        let tree = Tree::binary(10);
+        let report = deploy_on_tree(&tree, &[0, 5, 9], Algorithm::Relaxed, Schedule::Random(1))
+            .expect("run");
+        assert!(report.ring_report.succeeded());
+    }
+
+    #[test]
+    fn latency_improves_over_clustered_start() {
+        // Clustered agents on a long path: before deployment, the far end
+        // waits almost a whole tour; after, latency ≈ tour/k.
+        let tree = Tree::path(16);
+        let tour = EulerTour::new(&tree, 0);
+        let clustered: Vec<usize> = [0usize, 1, 2]
+            .iter()
+            .map(|&v| tour.first_position(v))
+            .collect();
+        let before = patrol_latency(&tour, &clustered);
+        let report = deploy_on_tree(
+            &tree,
+            &[0, 1, 2],
+            Algorithm::FullKnowledge,
+            Schedule::Random(9),
+        )
+        .expect("run");
+        assert!(report.ring_report.succeeded());
+        assert!(
+            report.patrol_latency < before,
+            "latency {} should beat clustered {}",
+            report.patrol_latency,
+            before
+        );
+    }
+
+    #[test]
+    fn graph_deployment_via_spanning_tree() {
+        let g = Graph::grid(4, 4);
+        let report = deploy_on_graph(&g, &[0, 1, 4, 5], Algorithm::LogSpace, Schedule::Random(2))
+            .expect("run");
+        assert!(report.ring_report.succeeded());
+        assert_eq!(report.ring_report.n, 2 * 15);
+        // All final tree positions are valid grid nodes.
+        assert!(report.tree_positions.iter().all(|&v| v < 16));
+    }
+
+    #[test]
+    fn ring_graph_round_trip() {
+        // Embedding a ring in a ring: spanning tree is a path, tour 2(n−1).
+        let g = Graph::ring(10);
+        let report = deploy_on_graph(&g, &[0, 5], Algorithm::FullKnowledge, Schedule::RoundRobin)
+            .expect("run");
+        assert!(report.ring_report.succeeded());
+    }
+
+    #[test]
+    fn patrol_latency_single_agent_covers_whole_tour() {
+        let tree = Tree::star(5);
+        let tour = EulerTour::new(&tree, 0);
+        // Agent at position 0 (the hub). The farthest *first reach* of a
+        // leaf is the last leaf visited: position 2(n−1) − 1.
+        let lat = patrol_latency(&tour, &[0]);
+        assert_eq!(lat, tour.ring_size() - 1);
+    }
+}

@@ -1,0 +1,222 @@
+//! Euler tours: the ring embedding of a tree (paper §5).
+
+use crate::tree::Tree;
+
+/// The Euler tour of a tree rooted at some node: a cyclic walk of
+/// `2(n−1)` tree-edge moves that traverses every edge exactly once in each
+/// direction — the *virtual ring* the paper's §5 embeds the deployment
+/// algorithms into.
+///
+/// Virtual node `i` (for `i ∈ 0..2(n−1)`) is "the walk standing at tree
+/// node [`EulerTour::node_at`]`(i)`"; one virtual hop `i → i+1 mod 2(n−1)`
+/// is exactly one tree-edge move, so move counts on the virtual ring equal
+/// tree-edge traversals 1:1 — the asymptotic-equivalence claim of §5.
+///
+/// # Examples
+///
+/// ```
+/// use ringdeploy_embed::{EulerTour, Tree};
+/// let tree = Tree::path(4);
+/// let tour = EulerTour::new(&tree, 0);
+/// assert_eq!(tour.ring_size(), 6); // 2·(4−1)
+/// assert_eq!(tour.nodes(), &[0, 1, 2, 3, 2, 1]);
+/// assert_eq!(tour.first_position(3), 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EulerTour {
+    /// `nodes[i]` = tree node at virtual position `i`.
+    nodes: Vec<usize>,
+    /// First virtual position of each tree node.
+    first: Vec<usize>,
+    root: usize,
+}
+
+impl EulerTour {
+    /// Builds the Euler tour of `tree` rooted at `root`, visiting children
+    /// in neighbour-list order (deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is out of range.
+    pub fn new(tree: &Tree, root: usize) -> Self {
+        let n = tree.node_count();
+        assert!(root < n, "root out of range");
+        let mut nodes = Vec::with_capacity(2 * (n - 1));
+        // Iterative DFS recording every arrival. The walk starts at the
+        // root; entering a child and returning to the parent each record
+        // one virtual position. The final return to the root is position 0
+        // again (cyclic), so it is not recorded.
+        nodes.push(root);
+        // Stack frames: (node, parent, next-neighbour index).
+        let mut stack: Vec<(usize, usize, usize)> = vec![(root, usize::MAX, 0)];
+        while let Some(top) = stack.last_mut() {
+            let (u, parent) = (top.0, top.1);
+            let nb = tree.neighbors(u);
+            let mut child = None;
+            while top.2 < nb.len() {
+                let w = nb[top.2];
+                top.2 += 1;
+                if w != parent {
+                    child = Some(w);
+                    break;
+                }
+            }
+            match child {
+                Some(w) => {
+                    nodes.push(w);
+                    stack.push((w, u, 0));
+                }
+                None => {
+                    stack.pop();
+                    if let Some(&(p, _, _)) = stack.last() {
+                        nodes.push(p);
+                    }
+                }
+            }
+        }
+        // The loop records the root once at the start and once per return
+        // from each of its subtrees; the very last recorded node is the
+        // root closing the cycle — drop it.
+        let last = nodes.pop();
+        debug_assert_eq!(last, Some(root));
+        debug_assert_eq!(nodes.len(), 2 * (n - 1));
+        let mut first = vec![usize::MAX; n];
+        for (i, &v) in nodes.iter().enumerate() {
+            if first[v] == usize::MAX {
+                first[v] = i;
+            }
+        }
+        EulerTour { nodes, first, root }
+    }
+
+    /// The size of the virtual ring, `2(n−1)`.
+    pub fn ring_size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The root the tour was built from.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// The tree node at virtual position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ 2(n−1)`.
+    pub fn node_at(&self, i: usize) -> usize {
+        self.nodes[i]
+    }
+
+    /// All virtual positions, in tour order.
+    pub fn nodes(&self) -> &[usize] {
+        &self.nodes
+    }
+
+    /// The first virtual position at which tree node `v` appears.
+    ///
+    /// Distinct tree nodes map to distinct first positions, which is how
+    /// agent homes on the tree embed injectively into the virtual ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn first_position(&self, v: usize) -> usize {
+        self.first[v]
+    }
+
+    /// Number of virtual positions mapping to tree node `v` (= degree of
+    /// `v`, except the root which appears `degree` times as well).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn occurrences(&self, v: usize) -> usize {
+        self.nodes.iter().filter(|&&x| x == v).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_tour_invariants(tree: &Tree, root: usize) {
+        let n = tree.node_count();
+        let tour = EulerTour::new(tree, root);
+        assert_eq!(tour.ring_size(), 2 * (n - 1));
+        assert_eq!(tour.node_at(0), root);
+        // Consecutive tour nodes (cyclically) are tree-adjacent.
+        for i in 0..tour.ring_size() {
+            let a = tour.node_at(i);
+            let b = tour.node_at((i + 1) % tour.ring_size());
+            assert!(
+                tree.neighbors(a).contains(&b),
+                "positions {i},{} not adjacent: {a},{b}",
+                i + 1
+            );
+        }
+        // Every directed edge is used exactly once.
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for i in 0..tour.ring_size() {
+            let a = tour.node_at(i);
+            let b = tour.node_at((i + 1) % tour.ring_size());
+            assert!(seen.insert((a, b)), "directed edge ({a},{b}) repeated");
+        }
+        assert_eq!(seen.len(), 2 * (n - 1));
+        // Every node appears exactly degree(v) times (the root's initial
+        // position plus its subtree returns also total its degree).
+        for v in 0..n {
+            assert_eq!(tour.occurrences(v), tree.degree(v), "node {v}");
+            assert_eq!(tour.node_at(tour.first_position(v)), v);
+        }
+    }
+
+    #[test]
+    fn path_tour() {
+        let t = Tree::path(4);
+        let tour = EulerTour::new(&t, 0);
+        assert_eq!(tour.nodes(), &[0, 1, 2, 3, 2, 1]);
+        check_tour_invariants(&t, 0);
+    }
+
+    #[test]
+    fn star_tour() {
+        let t = Tree::star(4);
+        let tour = EulerTour::new(&t, 0);
+        assert_eq!(tour.nodes(), &[0, 1, 0, 2, 0, 3]);
+        check_tour_invariants(&t, 0);
+    }
+
+    #[test]
+    fn binary_tour_from_each_root() {
+        let t = Tree::binary(7);
+        for root in 0..7 {
+            check_tour_invariants(&t, root);
+        }
+    }
+
+    #[test]
+    fn random_tree_tours() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(3);
+        for n in [2usize, 5, 12, 40] {
+            let t = Tree::random(&mut rng, n);
+            check_tour_invariants(&t, 0);
+            check_tour_invariants(&t, n - 1);
+        }
+    }
+
+    #[test]
+    fn first_positions_are_injective() {
+        let t = Tree::binary(15);
+        let tour = EulerTour::new(&t, 0);
+        let mut firsts: Vec<usize> = (0..15).map(|v| tour.first_position(v)).collect();
+        firsts.sort_unstable();
+        firsts.dedup();
+        assert_eq!(firsts.len(), 15);
+    }
+}

@@ -1,0 +1,242 @@
+//! Undirected graphs and spanning-tree extraction (general-network
+//! embedding, paper §5).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::tree::Tree;
+
+/// Error returned when constructing an invalid [`Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// Fewer than two nodes.
+    TooSmall,
+    /// An edge endpoint was out of range.
+    NodeOutOfRange {
+        /// The offending endpoint.
+        node: usize,
+    },
+    /// A self-loop was supplied.
+    SelfLoop {
+        /// The node with the self-loop.
+        node: usize,
+    },
+    /// The graph is disconnected — no spanning tree exists.
+    Disconnected,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::TooSmall => write!(f, "graph needs at least two nodes"),
+            GraphError::NodeOutOfRange { node } => write!(f, "node {node} out of range"),
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::Disconnected => write!(f, "graph is disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A connected undirected graph on nodes `0..n` (parallel edges are
+/// deduplicated).
+///
+/// # Examples
+///
+/// ```
+/// use ringdeploy_embed::Graph;
+/// // A 4-cycle with one chord.
+/// let g = Graph::from_edges(4, &[(0,1),(1,2),(2,3),(3,0),(0,2)])?;
+/// let t = g.spanning_tree(0);
+/// assert_eq!(t.node_count(), 4);
+/// # Ok::<(), ringdeploy_embed::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Graph {
+    adj: Vec<Vec<usize>>,
+}
+
+impl Graph {
+    /// Builds a graph on `n` nodes from an edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] if `n < 2`, an endpoint is out of range, an
+    /// edge is a self-loop, or the graph is disconnected.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self, GraphError> {
+        if n < 2 {
+            return Err(GraphError::TooSmall);
+        }
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            if a >= n {
+                return Err(GraphError::NodeOutOfRange { node: a });
+            }
+            if b >= n {
+                return Err(GraphError::NodeOutOfRange { node: b });
+            }
+            if a == b {
+                return Err(GraphError::SelfLoop { node: a });
+            }
+            if !adj[a].contains(&b) {
+                adj[a].push(b);
+                adj[b].push(a);
+            }
+        }
+        let g = Graph { adj };
+        if !g.is_connected() {
+            return Err(GraphError::Disconnected);
+        }
+        Ok(g)
+    }
+
+    /// A ring graph `0 — 1 — … — (n−1) — 0` (for sanity checks: embedding
+    /// a ring in a ring).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn ring(n: usize) -> Graph {
+        assert!(n >= 3, "ring graph needs at least three nodes");
+        let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        Graph::from_edges(n, &edges).expect("a cycle is connected")
+    }
+
+    /// An `r × c` grid graph (row-major node numbering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r·c < 2`.
+    pub fn grid(r: usize, c: usize) -> Graph {
+        let n = r * c;
+        assert!(n >= 2, "grid needs at least two nodes");
+        let mut edges = Vec::new();
+        for i in 0..r {
+            for j in 0..c {
+                let v = i * c + j;
+                if j + 1 < c {
+                    edges.push((v, v + 1));
+                }
+                if i + 1 < r {
+                    edges.push((v, v + c));
+                }
+            }
+        }
+        Graph::from_edges(n, &edges).expect("grids are connected")
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Neighbours of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// A BFS spanning tree rooted at `root` — the general-network
+    /// embedding step of §5 (BFS keeps tree paths shortest from the root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is out of range.
+    pub fn spanning_tree(&self, root: usize) -> Tree {
+        let n = self.adj.len();
+        assert!(root < n, "root out of range");
+        let mut visited = vec![false; n];
+        visited[root] = true;
+        let mut edges = Vec::with_capacity(n - 1);
+        let mut queue = VecDeque::from([root]);
+        while let Some(u) = queue.pop_front() {
+            for &w in &self.adj[u] {
+                if !visited[w] {
+                    visited[w] = true;
+                    edges.push((u, w));
+                    queue.push_back(w);
+                }
+            }
+        }
+        Tree::from_edges(n, &edges).expect("BFS tree of a connected graph")
+    }
+
+    fn is_connected(&self) -> bool {
+        let n = self.adj.len();
+        let mut visited = vec![false; n];
+        visited[0] = true;
+        let mut queue = VecDeque::from([0usize]);
+        let mut seen = 1;
+        while let Some(u) = queue.pop_front() {
+            for &w in &self.adj[u] {
+                if !visited[w] {
+                    visited[w] = true;
+                    seen += 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        seen == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(Graph::from_edges(1, &[]), Err(GraphError::TooSmall));
+        assert_eq!(
+            Graph::from_edges(3, &[(0, 3)]),
+            Err(GraphError::NodeOutOfRange { node: 3 })
+        );
+        assert_eq!(
+            Graph::from_edges(3, &[(1, 1)]),
+            Err(GraphError::SelfLoop { node: 1 })
+        );
+        assert_eq!(
+            Graph::from_edges(4, &[(0, 1), (2, 3)]),
+            Err(GraphError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn duplicate_edges_are_merged() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (1, 2)]).expect("valid");
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn spanning_tree_of_ring() {
+        let g = Graph::ring(6);
+        let t = g.spanning_tree(0);
+        assert_eq!(t.node_count(), 6);
+        // BFS from 0 on a 6-cycle: a path broken opposite the root.
+        assert_eq!(t.distance(0, 3), 3);
+    }
+
+    #[test]
+    fn spanning_tree_of_grid_preserves_bfs_depth() {
+        let g = Graph::grid(3, 4);
+        let t = g.spanning_tree(0);
+        assert_eq!(t.node_count(), 12);
+        // Grid distance 0 -> 11 is 2 + 3 = 5; the BFS tree preserves
+        // root distances exactly.
+        assert_eq!(t.distance(0, 11), 5);
+    }
+
+    #[test]
+    fn spanning_tree_roots_anywhere() {
+        let g = Graph::grid(4, 4);
+        for root in 0..16 {
+            let t = g.spanning_tree(root);
+            assert_eq!(t.node_count(), 16);
+        }
+    }
+}

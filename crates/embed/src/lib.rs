@@ -1,0 +1,52 @@
+//! # ringdeploy-embed — uniform deployment beyond rings
+//!
+//! The paper's conclusion (§5) sketches how its ring algorithms extend to
+//! other topologies:
+//!
+//! > *"for tree networks agents embed the ring by the Euler tour
+//! > technique, that is, if an agent moves in the tree network by the
+//! > depth-first manner and visits 2(n−1) nodes, the agent can see the
+//! > nodes as a virtual ring of 2(n−1) nodes. For general networks, agents
+//! > can embed a ring by constructing a spanning tree and embedding a ring
+//! > in the spanning tree. Since an embedded ring consists of 2(n−1) nodes
+//! > for an original network with n nodes, … the total moves between the
+//! > embedded ring and the original network is asymptotically equivalent."*
+//!
+//! This crate realises that sketch:
+//!
+//! * [`Tree`] — a free tree with an [`EulerTour`]: the cyclic sequence of
+//!   `2(n−1)` directed edge traversals, each virtual hop being exactly one
+//!   tree-edge move (so move counts transfer 1:1);
+//! * [`Graph`] — an undirected graph with a BFS [`Graph::spanning_tree`];
+//! * [`deploy_on_tree`] / [`deploy_on_graph`] — run any of the paper's
+//!   ring algorithms on the virtual ring and map the result back, with a
+//!   patrol-coverage quality measure on the original topology.
+//!
+//! # Example
+//!
+//! ```
+//! use ringdeploy_embed::{deploy_on_tree, Tree};
+//! use ringdeploy_core::{Algorithm, Schedule};
+//!
+//! // A path of 8 nodes; 3 agents start clustered at one end.
+//! let tree = Tree::from_edges(8, &[(0,1),(1,2),(2,3),(3,4),(4,5),(5,6),(6,7)])?;
+//! let report = deploy_on_tree(&tree, &[0, 1, 2], Algorithm::FullKnowledge,
+//!                             Schedule::Random(7))?;
+//! assert!(report.ring_report.succeeded());
+//! // The virtual ring has 2·(8−1) = 14 nodes.
+//! assert_eq!(report.ring_report.n, 14);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod deploy;
+mod euler;
+mod graph;
+mod tree;
+
+pub use deploy::{deploy_on_graph, deploy_on_tree, patrol_latency, TreeDeployReport};
+pub use euler::EulerTour;
+pub use graph::{Graph, GraphError};
+pub use tree::{Tree, TreeError};

@@ -1,0 +1,303 @@
+//! Free trees: validated adjacency structure plus distance queries.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Error returned when constructing an invalid [`Tree`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// Fewer than two nodes (the Euler-tour ring needs at least one edge).
+    TooSmall,
+    /// Wrong number of edges for a tree (`n − 1` required).
+    WrongEdgeCount {
+        /// Number of nodes.
+        nodes: usize,
+        /// Number of edges supplied.
+        edges: usize,
+    },
+    /// An edge endpoint was out of range.
+    NodeOutOfRange {
+        /// The offending endpoint.
+        node: usize,
+    },
+    /// A self-loop was supplied.
+    SelfLoop {
+        /// The node with the self-loop.
+        node: usize,
+    },
+    /// The edge set is disconnected (or contains a cycle and misses nodes).
+    Disconnected,
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::TooSmall => write!(f, "tree needs at least two nodes"),
+            TreeError::WrongEdgeCount { nodes, edges } => {
+                write!(
+                    f,
+                    "tree on {nodes} nodes needs {} edges, got {edges}",
+                    nodes - 1
+                )
+            }
+            TreeError::NodeOutOfRange { node } => write!(f, "node {node} out of range"),
+            TreeError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            TreeError::Disconnected => write!(f, "edge set does not connect all nodes"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// A free (unrooted) tree on nodes `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use ringdeploy_embed::Tree;
+/// let star = Tree::from_edges(5, &[(0,1),(0,2),(0,3),(0,4)])?;
+/// assert_eq!(star.node_count(), 5);
+/// assert_eq!(star.degree(0), 4);
+/// assert_eq!(star.distance(1, 2), 2);
+/// # Ok::<(), ringdeploy_embed::TreeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Tree {
+    adj: Vec<Vec<usize>>,
+}
+
+impl Tree {
+    /// Builds a tree on `n` nodes from its `n − 1` edges.
+    ///
+    /// Neighbour lists keep the order in which edges were supplied, which
+    /// fixes the DFS order of the Euler tour (deterministic embeddings).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TreeError`] if `n < 2`, the edge count is not `n − 1`,
+    /// an endpoint is out of range, an edge is a self-loop, or the edges do
+    /// not connect all nodes.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self, TreeError> {
+        if n < 2 {
+            return Err(TreeError::TooSmall);
+        }
+        if edges.len() != n - 1 {
+            return Err(TreeError::WrongEdgeCount {
+                nodes: n,
+                edges: edges.len(),
+            });
+        }
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            if a >= n {
+                return Err(TreeError::NodeOutOfRange { node: a });
+            }
+            if b >= n {
+                return Err(TreeError::NodeOutOfRange { node: b });
+            }
+            if a == b {
+                return Err(TreeError::SelfLoop { node: a });
+            }
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        let tree = Tree { adj };
+        if !tree.is_connected() {
+            return Err(TreeError::Disconnected);
+        }
+        Ok(tree)
+    }
+
+    /// A path `0 — 1 — … — (n−1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn path(n: usize) -> Tree {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Tree::from_edges(n, &edges).expect("a path is a tree")
+    }
+
+    /// A star with centre `0` and `n − 1` leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn star(n: usize) -> Tree {
+        let edges: Vec<(usize, usize)> = (1..n).map(|i| (0, i)).collect();
+        Tree::from_edges(n, &edges).expect("a star is a tree")
+    }
+
+    /// A complete binary tree with `n` nodes (heap layout: children of `i`
+    /// are `2i+1`, `2i+2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn binary(n: usize) -> Tree {
+        let edges: Vec<(usize, usize)> = (1..n).map(|i| ((i - 1) / 2, i)).collect();
+        Tree::from_edges(n, &edges).expect("heap layout is a tree")
+    }
+
+    /// A uniformly random labelled tree (random Prüfer sequence).
+    pub fn random<R: rand::Rng>(rng: &mut R, n: usize) -> Tree {
+        assert!(n >= 2, "tree needs at least two nodes");
+        if n == 2 {
+            return Tree::from_edges(2, &[(0, 1)]).expect("edge");
+        }
+        let prufer: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+        let mut degree = vec![1usize; n];
+        for &v in &prufer {
+            degree[v] += 1;
+        }
+        let mut edges = Vec::with_capacity(n - 1);
+        // Standard Prüfer decoding with a scan pointer + leaf variable.
+        let mut ptr = 0;
+        while degree[ptr] != 1 {
+            ptr += 1;
+        }
+        let mut leaf = ptr;
+        for &v in &prufer {
+            edges.push((leaf, v));
+            degree[v] -= 1;
+            if degree[v] == 1 && v < ptr {
+                leaf = v;
+            } else {
+                ptr += 1;
+                while degree[ptr] != 1 {
+                    ptr += 1;
+                }
+                leaf = ptr;
+            }
+        }
+        // The last edge joins the remaining leaf with n−1.
+        edges.push((leaf, n - 1));
+        Tree::from_edges(n, &edges).expect("Prüfer decoding yields a tree")
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Neighbours of `v`, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Hop distance between two nodes (BFS).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn distance(&self, a: usize, b: usize) -> usize {
+        self.distances_from(a)[b]
+    }
+
+    /// BFS distances from `src` to every node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range.
+    pub fn distances_from(&self, src: usize) -> Vec<usize> {
+        let n = self.adj.len();
+        let mut dist = vec![usize::MAX; n];
+        dist[src] = 0;
+        let mut queue = VecDeque::from([src]);
+        while let Some(u) = queue.pop_front() {
+            for &w in &self.adj[u] {
+                if dist[w] == usize::MAX {
+                    dist[w] = dist[u] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    fn is_connected(&self) -> bool {
+        self.distances_from(0).iter().all(|&d| d != usize::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(Tree::from_edges(1, &[]), Err(TreeError::TooSmall));
+        assert_eq!(
+            Tree::from_edges(3, &[(0, 1)]),
+            Err(TreeError::WrongEdgeCount { nodes: 3, edges: 1 })
+        );
+        assert_eq!(
+            Tree::from_edges(3, &[(0, 1), (1, 3)]),
+            Err(TreeError::NodeOutOfRange { node: 3 })
+        );
+        assert_eq!(
+            Tree::from_edges(3, &[(0, 1), (2, 2)]),
+            Err(TreeError::SelfLoop { node: 2 })
+        );
+        // 4 nodes, 3 edges, but node 3 untouched (cycle 0-1-2).
+        assert_eq!(
+            Tree::from_edges(4, &[(0, 1), (1, 2), (2, 0)]),
+            Err(TreeError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn path_distances() {
+        let p = Tree::path(6);
+        assert_eq!(p.distance(0, 5), 5);
+        assert_eq!(p.distance(2, 2), 0);
+        assert_eq!(p.degree(0), 1);
+        assert_eq!(p.degree(3), 2);
+    }
+
+    #[test]
+    fn star_and_binary_shapes() {
+        let s = Tree::star(7);
+        assert_eq!(s.degree(0), 6);
+        assert!((1..7).all(|v| s.degree(v) == 1));
+        let b = Tree::binary(7);
+        assert_eq!(b.degree(0), 2);
+        assert_eq!(b.distance(3, 6), 4);
+    }
+
+    #[test]
+    fn random_trees_are_trees() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for n in [2usize, 3, 5, 17, 64] {
+            let t = Tree::random(&mut rng, n);
+            assert_eq!(t.node_count(), n);
+            // Connectivity and edge count are enforced by the constructor;
+            // additionally check the handshake sum.
+            let deg_sum: usize = (0..n).map(|v| t.degree(v)).sum();
+            assert_eq!(deg_sum, 2 * (n - 1));
+        }
+    }
+
+    #[test]
+    fn prufer_is_deterministic_per_seed() {
+        let t1 = Tree::random(&mut SmallRng::seed_from_u64(5), 20);
+        let t2 = Tree::random(&mut SmallRng::seed_from_u64(5), 20);
+        assert_eq!(t1, t2);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the Euler-tour embedding.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ringdeploy_core::{Algorithm, Schedule};
+use ringdeploy_embed::{deploy_on_tree, EulerTour, Graph, Tree};
+
+fn random_tree(seed: u64, n: usize) -> Tree {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Tree::random(&mut rng, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Tour length is 2(n−1), consecutive tour nodes are adjacent, and
+    /// every directed edge appears exactly once.
+    #[test]
+    fn tour_invariants(seed in any::<u64>(), n in 2usize..40, root_pick in 0usize..40) {
+        let tree = random_tree(seed, n);
+        let root = root_pick % n;
+        let tour = EulerTour::new(&tree, root);
+        prop_assert_eq!(tour.ring_size(), 2 * (n - 1));
+        prop_assert_eq!(tour.node_at(0), root);
+        let m = tour.ring_size();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..m {
+            let a = tour.node_at(i);
+            let b = tour.node_at((i + 1) % m);
+            prop_assert!(tree.neighbors(a).contains(&b));
+            prop_assert!(seen.insert((a, b)), "directed edge repeated");
+        }
+        prop_assert_eq!(seen.len(), m);
+        // Occurrences equal degrees.
+        for v in 0..n {
+            prop_assert_eq!(tour.occurrences(v), tree.degree(v));
+        }
+    }
+
+    /// First positions embed tree nodes injectively into the virtual ring.
+    #[test]
+    fn first_positions_injective(seed in any::<u64>(), n in 2usize..40) {
+        let tree = random_tree(seed, n);
+        let tour = EulerTour::new(&tree, 0);
+        let mut firsts: Vec<usize> = (0..n).map(|v| tour.first_position(v)).collect();
+        firsts.sort_unstable();
+        firsts.dedup();
+        prop_assert_eq!(firsts.len(), n);
+    }
+
+    /// Deployment on random trees succeeds for every algorithm, and the
+    /// move budget respects the ring bounds with n replaced by 2(n−1).
+    #[test]
+    fn deployment_succeeds_on_random_trees(
+        seed in any::<u64>(),
+        n in 4usize..28,
+        k in 2usize..6,
+        sseed in any::<u64>(),
+    ) {
+        prop_assume!(k <= n);
+        let tree = random_tree(seed, n);
+        let agents: Vec<usize> = (0..k).collect();
+        for algo in [Algorithm::FullKnowledge, Algorithm::LogSpace] {
+            let report = deploy_on_tree(&tree, &agents, algo, Schedule::Random(sseed))
+                .expect("run completes");
+            prop_assert!(report.ring_report.succeeded(), "{:?}", report.ring_report.check);
+            let vn = 2 * (n - 1);
+            prop_assert!(report.ring_report.metrics.total_moves() <= 4 * (k * vn) as u64);
+            // Mapped-back positions are valid tree nodes.
+            prop_assert!(report.tree_positions.iter().all(|&v| v < n));
+        }
+    }
+
+    /// BFS spanning trees preserve root distances on grids.
+    #[test]
+    fn spanning_tree_preserves_root_distance(r in 2usize..5, c in 2usize..5) {
+        let g = Graph::grid(r, c);
+        let t = g.spanning_tree(0);
+        for v in 0..r * c {
+            let (i, j) = (v / c, v % c);
+            prop_assert_eq!(t.distance(0, v), i + j, "node {}", v);
+        }
+    }
+}

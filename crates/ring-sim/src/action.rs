@@ -1,0 +1,140 @@
+//! Actions returned by agent behaviors and the idle states agents can rest
+//! in between activations.
+
+/// What an agent does at the end of an atomic action: move into the
+/// outgoing link or stay at the current node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Next {
+    /// Enter the FIFO queue of the outgoing link (towards `v_{i+1}`).
+    Move,
+    /// Remain at the current node in the given idle state.
+    Stay(Idle),
+}
+
+/// The idle state of an agent that stays at a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Idle {
+    /// The agent wants a further activation without external stimulus.
+    ///
+    /// Use sparingly: the paper's algorithms do all locally-possible work
+    /// inside one atomic action; `Ready` exists for behaviors that model
+    /// multi-action local protocols.
+    Ready,
+    /// The agent is blocked until a message arrives (a *suspended state* in
+    /// the sense of Definition 2 — it can resume on message receipt).
+    Suspended,
+    /// The unique terminal *halt state* of Definition 1. A halted agent
+    /// never acts again, even if messages are delivered to it.
+    Halted,
+}
+
+impl Idle {
+    /// Whether the agent can ever act again from this state.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, Idle::Halted)
+    }
+}
+
+/// The outcome of one atomic action (paper §2.1, five-step action):
+/// optionally release the token, optionally broadcast one message to the
+/// agents staying at the node, then move or stay.
+///
+/// Constructed with [`Action::moving`] / [`Action::staying`] and the
+/// builder-style `with_*` methods:
+///
+/// ```
+/// use ringdeploy_sim::{Action, Idle};
+///
+/// let a: Action<u32> = Action::moving().with_token_release(true);
+/// assert!(a.release_token);
+///
+/// let b: Action<u32> = Action::staying(Idle::Suspended).with_broadcast(7);
+/// assert_eq!(b.broadcast, Some(7));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Action<M> {
+    /// Release this agent's token at the current node.
+    ///
+    /// Each agent owns exactly one token; releasing twice is a protocol bug
+    /// and the engine panics on it.
+    pub release_token: bool,
+    /// Message broadcast to every agent *staying* at the current node
+    /// (in-transit agents receive nothing). The sender itself is excluded.
+    pub broadcast: Option<M>,
+    /// Move on or stay.
+    pub next: Next,
+}
+
+impl<M> Action<M> {
+    /// An action that moves into the outgoing link.
+    pub fn moving() -> Self {
+        Action {
+            release_token: false,
+            broadcast: None,
+            next: Next::Move,
+        }
+    }
+
+    /// An action that stays at the current node in idle state `idle`.
+    pub fn staying(idle: Idle) -> Self {
+        Action {
+            release_token: false,
+            broadcast: None,
+            next: Next::Stay(idle),
+        }
+    }
+
+    /// Convenience: stay and halt (Definition 1 terminal state).
+    pub fn halting() -> Self {
+        Action::staying(Idle::Halted)
+    }
+
+    /// Convenience: stay suspended until a message arrives (Definition 2).
+    pub fn suspending() -> Self {
+        Action::staying(Idle::Suspended)
+    }
+
+    /// Sets whether the token is released during this action.
+    pub fn with_token_release(mut self, release: bool) -> Self {
+        self.release_token = release;
+        self
+    }
+
+    /// Attaches a broadcast message to this action.
+    pub fn with_broadcast(mut self, message: M) -> Self {
+        self.broadcast = Some(message);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let a: Action<&str> = Action::moving()
+            .with_token_release(true)
+            .with_broadcast("hi");
+        assert!(a.release_token);
+        assert_eq!(a.broadcast, Some("hi"));
+        assert_eq!(a.next, Next::Move);
+    }
+
+    #[test]
+    fn halting_and_suspending_shortcuts() {
+        let h: Action<()> = Action::halting();
+        assert_eq!(h.next, Next::Stay(Idle::Halted));
+        let s: Action<()> = Action::suspending();
+        assert_eq!(s.next, Next::Stay(Idle::Suspended));
+    }
+
+    #[test]
+    fn only_halt_is_terminal() {
+        assert!(Idle::Halted.is_terminal());
+        assert!(!Idle::Suspended.is_terminal());
+        assert!(!Idle::Ready.is_terminal());
+    }
+}

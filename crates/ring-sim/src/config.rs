@@ -1,0 +1,194 @@
+//! Observer-side snapshots of the global configuration
+//! `C = (S, T, M, P, Q)` (paper, Table 2).
+
+use crate::action::Idle;
+use crate::{AgentId, NodeId};
+
+/// Where an agent currently is: staying at a node (member of `p_i`) or in
+/// transit on a link (member of some `q_i`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Place {
+    /// Staying at node `at` (in the set `p_at`).
+    Staying {
+        /// The node the agent stays at.
+        at: NodeId,
+    },
+    /// In transit towards node `to` (in the FIFO queue `q_to`).
+    InTransit {
+        /// The node the agent will arrive at.
+        to: NodeId,
+    },
+}
+
+/// Observer view of one agent within a [`Configuration`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgentView {
+    /// The agent id.
+    pub id: AgentId,
+    /// Where the agent is.
+    pub place: Place,
+    /// Its idle state (meaningful when staying; `Ready` while in transit).
+    pub idle: Idle,
+    /// Whether it still holds its token.
+    pub token_held: bool,
+    /// Number of undelivered messages (`|m_i|`).
+    pub pending_messages: usize,
+    /// The behavior's current phase label.
+    pub phase: &'static str,
+    /// The behavior's current memory footprint in bits.
+    pub memory_bits: usize,
+}
+
+/// A snapshot of the global configuration `C = (S, T, M, P, Q)`:
+///
+/// * `S` — agent states: [`Configuration::agents`] (place, idle state,
+///   token, phase);
+/// * `T` — node states: [`Configuration::tokens`];
+/// * `M` — message queues: `pending_messages` per agent;
+/// * `P` — staying sets: [`Configuration::staying`];
+/// * `Q` — link queues: [`Configuration::links`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Configuration {
+    /// Ring size `n`.
+    pub n: usize,
+    /// Per-agent views (`S` and `M`).
+    pub agents: Vec<AgentView>,
+    /// Token count per node (`T`).
+    pub tokens: Vec<u32>,
+    /// Agents staying at each node (`P`).
+    pub staying: Vec<Vec<AgentId>>,
+    /// Agents in transit towards each node, head first (`Q`).
+    pub links: Vec<Vec<AgentId>>,
+}
+
+impl Configuration {
+    /// Total number of tokens released so far.
+    pub fn total_tokens(&self) -> u32 {
+        self.tokens.iter().sum()
+    }
+
+    /// Nodes occupied by staying agents, sorted ascending.
+    pub fn occupied_nodes(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .staying
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Whether any node hosts more than one staying agent.
+    pub fn has_collision(&self) -> bool {
+        self.staying.iter().any(|p| p.len() > 1)
+    }
+}
+
+impl<B: crate::Behavior> crate::Ring<B> {
+    /// Takes an observer snapshot of the global configuration.
+    pub fn configuration(&self) -> Configuration {
+        let agents = (0..self.agent_count())
+            .map(|i| {
+                let id = AgentId(i);
+                AgentView {
+                    id,
+                    place: self.place_of(id),
+                    idle: self.idle_of(id),
+                    token_held: self.token_held(id),
+                    pending_messages: self.inbox_len(id),
+                    phase: self.behavior(id).phase_name(),
+                    memory_bits: self.behavior(id).memory_bits(),
+                }
+            })
+            .collect();
+        Configuration {
+            n: self.ring_size(),
+            agents,
+            tokens: self.tokens().to_vec(),
+            staying: self.staying_sets(),
+            links: self.link_queues(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::RoundRobin;
+    use crate::{Action, Behavior, InitialConfig, Observation, Ring, RunLimits};
+
+    struct Drop2 {
+        released: bool,
+        hops: usize,
+    }
+
+    impl Behavior for Drop2 {
+        type Message = ();
+        fn act(&mut self, _obs: &Observation<'_, ()>) -> Action<()> {
+            if !self.released {
+                self.released = true;
+                return Action::moving().with_token_release(true);
+            }
+            if self.hops > 0 {
+                self.hops -= 1;
+                Action::moving()
+            } else {
+                Action::halting()
+            }
+        }
+        fn memory_bits(&self) -> usize {
+            8
+        }
+        fn phase_name(&self) -> &'static str {
+            if self.released {
+                "walk"
+            } else {
+                "init"
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_reflects_final_state() {
+        let init = InitialConfig::new(6, vec![0, 3]).unwrap();
+        let mut ring = Ring::new(&init, |_| Drop2 {
+            released: false,
+            hops: 1,
+        });
+        ring.run(&mut RoundRobin::new(), RunLimits::default())
+            .unwrap();
+        let c = ring.configuration();
+        assert_eq!(c.n, 6);
+        assert_eq!(c.total_tokens(), 2);
+        assert_eq!(c.occupied_nodes(), vec![2, 5]);
+        assert!(!c.has_collision());
+        assert!(c.links.iter().all(Vec::is_empty));
+        for a in &c.agents {
+            assert_eq!(a.idle, Idle::Halted);
+            assert!(!a.token_held);
+            assert_eq!(a.phase, "walk");
+            assert_eq!(a.pending_messages, 0);
+        }
+    }
+
+    #[test]
+    fn initial_snapshot_has_agents_in_buffers() {
+        let init = InitialConfig::new(6, vec![0, 3]).unwrap();
+        let ring: Ring<Drop2> = Ring::new(&init, |_| Drop2 {
+            released: false,
+            hops: 0,
+        });
+        let c = ring.configuration();
+        assert_eq!(c.total_tokens(), 0);
+        assert_eq!(c.links[0], vec![AgentId(0)]);
+        assert_eq!(c.links[3], vec![AgentId(1)]);
+        assert!(c.occupied_nodes().is_empty());
+        for a in &c.agents {
+            assert!(a.token_held);
+            assert!(matches!(a.place, Place::InTransit { .. }));
+        }
+    }
+}

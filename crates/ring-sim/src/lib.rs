@@ -1,0 +1,148 @@
+//! # ringdeploy-sim — the asynchronous unidirectional ring model, executable
+//!
+//! A discrete-event simulator of the agent/system model of
+//! *"Uniform deployment of mobile agents in asynchronous rings"*
+//! (Shibata, Mega, Ooshita, Kakugawa, Masuzawa; PODC 2016 / JPDC 2018),
+//! Section 2:
+//!
+//! * `n` **anonymous nodes** `v_0 … v_{n-1}` joined by unidirectional FIFO
+//!   links `e_i = (v_i, v_{i+1 mod n})`;
+//! * `k ≤ n` **anonymous agents**, each initially holding one unremovable
+//!   **token** it may release at the node it occupies;
+//! * **atomic actions**: in one activation an agent (1) arrives at or wakes
+//!   at a node, (2) consumes all pending messages, (3) computes, (4) may
+//!   release its token and broadcast one message to the agents *staying* at
+//!   the node, and (5) either moves into the outgoing link or stays;
+//! * **asynchronous fair schedules**: any interleaving in which every agent
+//!   is activated infinitely often; realised here by pluggable
+//!   [`Scheduler`]s (seeded random, round-robin, adversarial) plus a
+//!   lock-step synchronous mode that measures the paper's *ideal time*;
+//! * the **global configuration** `C = (S, T, M, P, Q)` of the paper's
+//!   Table 2 is observable at any point via [`Ring::configuration`].
+//!
+//! Model-fidelity details that the correctness proofs rely on and that this
+//! engine enforces:
+//!
+//! * In the initial configuration every agent sits in the FIFO buffer of the
+//!   link *entering* its home node, so it is the first agent ever to act
+//!   there (paper §2.1). Later arrivals queue up behind it.
+//! * Only the agent at the *head* of a link queue may arrive — agents never
+//!   overtake on a link (FIFO).
+//! * Agents observe **only** the local node: its token count and the number
+//!   of agents staying there. Node identity is never revealed to behaviors;
+//!   the [`Observation`] type simply has no such field.
+//! * A halted agent never acts again, even if messages arrive (Definition 1);
+//!   a suspended agent is re-enabled exactly by message delivery
+//!   (Definition 2).
+//!
+//! # Example
+//!
+//! ```
+//! use ringdeploy_sim::{
+//!     Action, Behavior, InitialConfig, Idle, Observation, Ring, RunLimits,
+//!     scheduler::RoundRobin,
+//! };
+//!
+//! /// A trivial behavior: release the token at home, walk three hops, halt.
+//! struct ThreeHops { left: u32, released: bool }
+//!
+//! impl Behavior for ThreeHops {
+//!     type Message = ();
+//!     fn act(&mut self, _obs: &Observation<'_, ()>) -> Action<()> {
+//!         let release = !std::mem::replace(&mut self.released, true);
+//!         if self.left > 0 {
+//!             self.left -= 1;
+//!             Action::moving().with_token_release(release)
+//!         } else {
+//!             Action::staying(Idle::Halted).with_token_release(release)
+//!         }
+//!     }
+//!     fn memory_bits(&self) -> usize { 33 }
+//! }
+//!
+//! let init = InitialConfig::new(8, vec![0, 4])?;
+//! let mut ring = Ring::new(&init, |_id| ThreeHops { left: 3, released: false });
+//! let outcome = ring.run(&mut RoundRobin::new(), RunLimits::default())?;
+//! assert!(outcome.quiescent);
+//! assert_eq!(ring.staying_positions(), Some(vec![3, 7]));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod action;
+mod agent;
+mod config;
+mod engine;
+mod error;
+pub mod explore;
+mod initial;
+mod metrics;
+mod predicate;
+mod render;
+pub mod scheduler;
+mod trace;
+
+pub use action::{Action, Idle, Next};
+pub use agent::{bits_for, Behavior, Observation};
+pub use config::{AgentView, Configuration, Place};
+pub use engine::{LinkDiscipline, Ring, RunLimits, RunOutcome};
+pub use error::SimError;
+pub use initial::{InitialConfig, InitialConfigError};
+pub use metrics::Metrics;
+pub use predicate::{
+    is_uniform_spacing, satisfies_halting_deployment, satisfies_suspended_deployment, uniform_gaps,
+    DeploymentCheck,
+};
+pub use render::render_ring;
+pub use scheduler::Scheduler;
+pub use trace::{Event, Trace};
+
+/// Identifier of a node `v_i` (an index in `0..n`).
+///
+/// Node identifiers exist **only for the benefit of the observer** (tests,
+/// metrics, rendering). They are deliberately never exposed to agent
+/// [`Behavior`]s — nodes are anonymous in the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The underlying ring index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// The forward neighbour on an `n`-node ring.
+    pub fn next(self, n: usize) -> NodeId {
+        NodeId((self.0 + 1) % n)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifier of an agent `a_i` (an index in `0..k`).
+///
+/// Like [`NodeId`], agent identifiers are observer-side bookkeeping; agents
+/// themselves are anonymous and behaviors never see their own id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AgentId(pub usize);
+
+impl AgentId {
+    /// The underlying agent index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for AgentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}

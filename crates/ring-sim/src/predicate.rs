@@ -1,0 +1,201 @@
+//! Acceptance predicates: uniform spacing and the Definition 1 /
+//! Definition 2 termination conditions.
+
+use crate::action::Idle;
+use crate::agent::Behavior;
+use crate::config::Place;
+use crate::engine::Ring;
+
+/// The result of checking a final configuration against the uniform
+/// deployment problem definitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeploymentCheck {
+    /// The configuration satisfies the definition.
+    Satisfied,
+    /// Some agent is still in transit (`q_j ≠ ∅` for some `j`).
+    AgentInTransit,
+    /// Some agent is in the wrong idle state (e.g. suspended when halting
+    /// was required).
+    WrongIdleState {
+        /// Index of the offending agent.
+        agent: usize,
+        /// The state it was found in.
+        found: Idle,
+    },
+    /// An agent has undelivered messages (violates Definition 2).
+    PendingMessages {
+        /// Index of the agent with pending messages.
+        agent: usize,
+    },
+    /// Two agents occupy the same node.
+    Collision {
+        /// The node hosting more than one staying agent.
+        node: usize,
+    },
+    /// The gap between two adjacent occupied nodes is not `⌊n/k⌋`/`⌈n/k⌉`.
+    BadGap {
+        /// The measured gap.
+        gap: u64,
+        /// Allowed floor value.
+        floor: u64,
+        /// Allowed ceiling value.
+        ceil: u64,
+    },
+}
+
+impl DeploymentCheck {
+    /// `true` when the configuration satisfies the definition.
+    pub fn is_satisfied(&self) -> bool {
+        matches!(self, DeploymentCheck::Satisfied)
+    }
+}
+
+/// Computes the forward gaps between consecutive occupied positions on an
+/// `n`-node ring. `positions` need not be sorted or distinct; duplicates
+/// yield a zero gap.
+///
+/// # Examples
+///
+/// ```
+/// use ringdeploy_sim::uniform_gaps;
+/// assert_eq!(uniform_gaps(16, &[0, 4, 8, 12]), vec![4, 4, 4, 4]);
+/// assert_eq!(uniform_gaps(10, &[7, 2]), vec![5, 5]);
+/// ```
+pub fn uniform_gaps(n: usize, positions: &[usize]) -> Vec<u64> {
+    let mut sorted: Vec<usize> = positions.to_vec();
+    sorted.sort_unstable();
+    let k = sorted.len();
+    (0..k)
+        .map(|j| {
+            let a = sorted[j];
+            let b = sorted[(j + 1) % k];
+            let d = (b + n - a) % n;
+            if d == 0 && k == 1 {
+                n as u64
+            } else {
+                d as u64
+            }
+        })
+        .collect()
+}
+
+/// Whether `positions` are distinct and every adjacent gap is `⌊n/k⌋` or
+/// `⌈n/k⌉` — the spacing condition of both problem definitions.
+///
+/// # Examples
+///
+/// ```
+/// use ringdeploy_sim::is_uniform_spacing;
+/// assert!(is_uniform_spacing(16, &[1, 5, 9, 13]));
+/// assert!(is_uniform_spacing(10, &[0, 3, 7]));    // gaps 3,4,3
+/// assert!(!is_uniform_spacing(10, &[0, 1, 5]));   // gap 1
+/// assert!(!is_uniform_spacing(10, &[0, 0, 5]));   // collision
+/// ```
+pub fn is_uniform_spacing(n: usize, positions: &[usize]) -> bool {
+    let k = positions.len();
+    if k == 0 {
+        return false;
+    }
+    let mut sorted = positions.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if sorted.len() != k {
+        return false;
+    }
+    let floor = (n / k) as u64;
+    let ceil = floor + if n % k == 0 { 0 } else { 1 };
+    uniform_gaps(n, positions)
+        .into_iter()
+        .all(|g| g == floor || g == ceil)
+}
+
+/// Checks Definition 1 (uniform deployment **with** termination detection):
+/// all agents halted, all links empty, spacing uniform.
+pub fn satisfies_halting_deployment<B: Behavior>(ring: &Ring<B>) -> DeploymentCheck {
+    check(ring, Idle::Halted, false)
+}
+
+/// Checks Definition 2 (uniform deployment **without** termination
+/// detection): all agents suspended, inboxes empty, links empty, spacing
+/// uniform.
+pub fn satisfies_suspended_deployment<B: Behavior>(ring: &Ring<B>) -> DeploymentCheck {
+    check(ring, Idle::Suspended, true)
+}
+
+fn check<B: Behavior>(
+    ring: &Ring<B>,
+    required: Idle,
+    require_empty_inboxes: bool,
+) -> DeploymentCheck {
+    let n = ring.ring_size();
+    let k = ring.agent_count();
+    let mut positions = Vec::with_capacity(k);
+    for i in 0..k {
+        let id = crate::AgentId(i);
+        match ring.place_of(id) {
+            Place::InTransit { .. } => return DeploymentCheck::AgentInTransit,
+            Place::Staying { at } => positions.push(at.index()),
+        }
+        let idle = ring.idle_of(id);
+        if idle != required {
+            return DeploymentCheck::WrongIdleState {
+                agent: i,
+                found: idle,
+            };
+        }
+        if require_empty_inboxes && ring.inbox_len(id) > 0 {
+            return DeploymentCheck::PendingMessages { agent: i };
+        }
+    }
+    // Distinctness.
+    let mut sorted = positions.clone();
+    sorted.sort_unstable();
+    for w in sorted.windows(2) {
+        if w[0] == w[1] {
+            return DeploymentCheck::Collision { node: w[0] };
+        }
+    }
+    // Spacing.
+    let floor = (n / k) as u64;
+    let ceil = floor + if n % k == 0 { 0 } else { 1 };
+    for gap in uniform_gaps(n, &positions) {
+        if gap != floor && gap != ceil {
+            return DeploymentCheck::BadGap { gap, floor, ceil };
+        }
+    }
+    DeploymentCheck::Satisfied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaps_handle_single_agent() {
+        assert_eq!(uniform_gaps(7, &[3]), vec![7]);
+    }
+
+    #[test]
+    fn spacing_accepts_floor_and_ceil() {
+        // n = 11, k = 3: gaps must be 3 or 4.
+        assert!(is_uniform_spacing(11, &[0, 4, 8])); // 4,4,3
+        assert!(!is_uniform_spacing(11, &[0, 5, 8])); // 5 not allowed
+    }
+
+    #[test]
+    fn spacing_rejects_duplicates_and_empty() {
+        assert!(!is_uniform_spacing(8, &[]));
+        assert!(!is_uniform_spacing(8, &[2, 2]));
+    }
+
+    #[test]
+    fn spacing_exact_division() {
+        assert!(is_uniform_spacing(12, &[2, 5, 8, 11]));
+        assert!(!is_uniform_spacing(12, &[2, 5, 8, 0])); // gaps 2,3,3,4
+    }
+
+    #[test]
+    fn k_equals_n_everyone_adjacent() {
+        assert!(is_uniform_spacing(4, &[0, 1, 2, 3]));
+    }
+}

@@ -1,0 +1,90 @@
+//! ASCII rendering of ring configurations for examples and debugging.
+
+use crate::agent::Behavior;
+use crate::config::Place;
+use crate::engine::Ring;
+use crate::AgentId;
+
+/// Renders the ring as one line per node:
+///
+/// ```text
+/// v00 ● a0*
+/// v01 ·
+/// v02 ●  >a1
+/// ```
+///
+/// * `●` marks a node holding at least one token, `·` a bare node;
+/// * `aN` lists staying agents, with `*` marking a halted agent and `~` a
+///   suspended one;
+/// * `>aN` lists agents in transit on the link *into* the node, head first.
+///
+/// Intended for small demo rings; output is `n` lines long.
+pub fn render_ring<B: Behavior>(ring: &Ring<B>) -> String {
+    let n = ring.ring_size();
+    let k = ring.agent_count();
+    let mut staying: Vec<Vec<String>> = vec![Vec::new(); n];
+    let mut transit: Vec<Vec<String>> = vec![Vec::new(); n];
+    for i in 0..k {
+        let id = AgentId(i);
+        let mark = match ring.idle_of(id) {
+            crate::Idle::Halted => "*",
+            crate::Idle::Suspended => "~",
+            crate::Idle::Ready => "",
+        };
+        match ring.place_of(id) {
+            Place::Staying { at } => staying[at.index()].push(format!("a{i}{mark}")),
+            Place::InTransit { to } => transit[to.index()].push(format!("a{i}")),
+        }
+    }
+    // Preserve actual queue order for in-transit agents.
+    for (node, q) in ring.link_queues().into_iter().enumerate() {
+        transit[node] = q.iter().map(|a| format!("a{}", a.index())).collect();
+    }
+    let width = (n as f64).log10().floor() as usize + 1;
+    let mut out = String::new();
+    for v in 0..n {
+        let token = if ring.tokens()[v] > 0 { "●" } else { "·" };
+        let mut line = format!("v{v:0width$} {token}");
+        if !staying[v].is_empty() {
+            line.push(' ');
+            line.push_str(&staying[v].join(","));
+        }
+        if !transit[v].is_empty() {
+            line.push_str("  >");
+            line.push_str(&transit[v].join(">"));
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Action, InitialConfig, Observation};
+
+    struct Sitter;
+    impl Behavior for Sitter {
+        type Message = ();
+        fn act(&mut self, _obs: &Observation<'_, ()>) -> Action<()> {
+            Action::halting().with_token_release(true)
+        }
+        fn memory_bits(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn render_shows_tokens_and_agents() {
+        let init = InitialConfig::new(3, vec![1]).unwrap();
+        let mut ring: Ring<Sitter> = Ring::new(&init, |_| Sitter);
+        let before = render_ring(&ring);
+        assert!(before.contains(">a0"), "{before}");
+        let enabled = ring.enabled();
+        ring.step(enabled[0]);
+        let after = render_ring(&ring);
+        assert!(after.contains("● a0*"), "{after}");
+        assert_eq!(after.lines().count(), 3);
+    }
+}

@@ -1,0 +1,148 @@
+//! Optional bounded event trace for debugging and teaching.
+
+use std::collections::VecDeque;
+
+use crate::action::Idle;
+use crate::{AgentId, NodeId};
+
+/// One engine event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// An agent executed an atomic action at a node.
+    Activated {
+        /// The acting agent.
+        agent: AgentId,
+        /// Node at which the action happened.
+        node: NodeId,
+        /// Whether it arrived via the link (vs. woke while staying).
+        arrived: bool,
+        /// Messages consumed by this action.
+        messages: usize,
+        /// The behavior's phase label *after* the action.
+        phase: &'static str,
+    },
+    /// A token was released.
+    TokenReleased {
+        /// The releasing agent.
+        agent: AgentId,
+        /// The node receiving the token.
+        node: NodeId,
+    },
+    /// A broadcast was delivered.
+    Broadcast {
+        /// The sending agent.
+        agent: AgentId,
+        /// The node at which the broadcast happened.
+        node: NodeId,
+        /// Number of co-located staying receivers.
+        receivers: usize,
+    },
+    /// An agent entered the outgoing link.
+    Moved {
+        /// The moving agent.
+        agent: AgentId,
+        /// Node it departed from.
+        from: NodeId,
+        /// Node it will arrive at.
+        to: NodeId,
+    },
+    /// An agent stayed at a node.
+    Stayed {
+        /// The staying agent.
+        agent: AgentId,
+        /// The node it stays at.
+        node: NodeId,
+        /// The idle state it entered.
+        idle: Idle,
+    },
+}
+
+/// A bounded FIFO of recent [`Event`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace keeping the most recent `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, e: Event) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(e);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events dropped due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_trace_drops_oldest() {
+        let mut t = Trace::with_capacity(2);
+        for i in 0..4 {
+            t.push(Event::Moved {
+                agent: AgentId(i),
+                from: NodeId(0),
+                to: NodeId(1),
+            });
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 2);
+        let first = t.events().next().unwrap();
+        assert_eq!(
+            *first,
+            Event::Moved {
+                agent: AgentId(2),
+                from: NodeId(0),
+                to: NodeId(1)
+            }
+        );
+    }
+
+    #[test]
+    fn zero_capacity_counts_drops() {
+        let mut t = Trace::with_capacity(0);
+        t.push(Event::TokenReleased {
+            agent: AgentId(0),
+            node: NodeId(0),
+        });
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the engine semantics themselves, independent of
+//! any deployment algorithm.
+
+use proptest::prelude::*;
+use ringdeploy_sim::scheduler::{Random, RoundRobin};
+use ringdeploy_sim::{Action, Behavior, Idle, InitialConfig, Observation, Ring, RunLimits};
+
+/// A scripted walker: a fixed per-activation program of (move?, drop?,
+/// halt-at-end) shared by all agents (anonymous ⇒ identical programs).
+#[derive(Debug, Clone)]
+struct Scripted {
+    moves: Vec<bool>,
+    drop_at: usize,
+    step: usize,
+    dropped: bool,
+}
+
+impl Behavior for Scripted {
+    type Message = ();
+
+    fn act(&mut self, _obs: &Observation<'_, ()>) -> Action<()> {
+        let s = self.step;
+        self.step += 1;
+        let release = !self.dropped && s == self.drop_at;
+        if release {
+            self.dropped = true;
+        }
+        if s >= self.moves.len() {
+            return Action::halting().with_token_release(release);
+        }
+        if self.moves[s] {
+            Action::moving().with_token_release(release)
+        } else {
+            Action::staying(Idle::Ready).with_token_release(release)
+        }
+    }
+
+    fn memory_bits(&self) -> usize {
+        64
+    }
+}
+
+fn instance() -> impl Strategy<Value = (usize, Vec<usize>, Vec<bool>, usize, u64)> {
+    (3usize..24)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                prop::collection::btree_set(0usize..n, 1..n.min(6)),
+                prop::collection::vec(any::<bool>(), 0..30),
+                0usize..30,
+                any::<u64>(),
+            )
+        })
+        .prop_map(|(n, homes, moves, drop_at, seed)| {
+            (n, homes.into_iter().collect(), moves, drop_at, seed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Runs always quiesce (the script is finite), every agent ends halted
+    /// at home + (#true in script) mod n, and each agent's move count is
+    /// exactly the number of `true` entries it executed.
+    #[test]
+    fn scripted_walkers_are_deterministic((n, homes, moves, drop_at, seed) in instance()) {
+        let k = homes.len();
+        let init = InitialConfig::new(n, homes.clone()).expect("distinct homes");
+        let mut ring = Ring::new(&init, |_| Scripted {
+            moves: moves.clone(),
+            drop_at,
+            step: 0,
+            dropped: false,
+        });
+        let out = ring
+            .run(&mut Random::seeded(seed), RunLimits::default())
+            .expect("finite script quiesces");
+        prop_assert!(out.quiescent);
+        let hops = moves.iter().filter(|&&m| m).count();
+        let positions = ring.staying_positions().expect("all halted");
+        for (i, &home) in homes.iter().enumerate() {
+            prop_assert_eq!(positions[i], (home + hops) % n);
+            prop_assert_eq!(out.metrics.moves()[i], hops as u64);
+        }
+        // Tokens: dropped iff the script reaches drop_at (the final halting
+        // action is step moves.len()); then exactly one per agent.
+        let total: u32 = ring.tokens().iter().sum();
+        let expected = if drop_at <= moves.len() { k } else { 0 };
+        prop_assert_eq!(total as usize, expected);
+    }
+
+    /// Schedule independence for oblivious (observation-ignoring) agents:
+    /// random and round-robin schedules end in identical configurations.
+    #[test]
+    fn oblivious_agents_end_identically((n, homes, moves, drop_at, seed) in instance()) {
+        let init = InitialConfig::new(n, homes).expect("distinct homes");
+        let build = |init: &InitialConfig| {
+            Ring::new(init, |_| Scripted {
+                moves: moves.clone(),
+                drop_at,
+                step: 0,
+                dropped: false,
+            })
+        };
+        let mut a = build(&init);
+        a.run(&mut Random::seeded(seed), RunLimits::default()).expect("run");
+        let mut b = build(&init);
+        b.run(&mut RoundRobin::new(), RunLimits::default()).expect("run");
+        prop_assert_eq!(a.staying_positions(), b.staying_positions());
+        prop_assert_eq!(a.tokens(), b.tokens());
+    }
+
+    /// Synchronous rounds never exceed activations: each round executes at
+    /// least one action, and ideal time ≤ total activations.
+    #[test]
+    fn rounds_bounded_by_activations((n, homes, moves, drop_at, _seed) in instance()) {
+        let init = InitialConfig::new(n, homes).expect("distinct homes");
+        let mut ring = Ring::new(&init, |_| Scripted {
+            moves: moves.clone(),
+            drop_at,
+            step: 0,
+            dropped: false,
+        });
+        let out = ring.run_synchronous(RunLimits::default()).expect("run");
+        prop_assert!(out.quiescent);
+        prop_assert!(out.rounds.expect("sync") <= out.steps.max(1));
+    }
+}

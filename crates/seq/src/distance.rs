@@ -1,0 +1,270 @@
+//! The [`DistanceSeq`] type: a validated distance sequence of a ring
+//! configuration.
+
+use std::fmt;
+
+use crate::rotation::{min_rotation, shift};
+use crate::symmetry::symmetry_degree;
+
+/// Error returned when constructing an invalid [`DistanceSeq`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistanceSeqError {
+    /// The sequence was empty; a configuration has `k ≥ 1` agents.
+    Empty,
+    /// An entry was zero; two agents would occupy the same node.
+    ZeroEntry {
+        /// Index of the offending entry.
+        index: usize,
+    },
+}
+
+impl fmt::Display for DistanceSeqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistanceSeqError::Empty => write!(f, "distance sequence must be non-empty"),
+            DistanceSeqError::ZeroEntry { index } => {
+                write!(f, "distance sequence entry {index} is zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistanceSeqError {}
+
+/// A distance sequence `D = (d_0, …, d_{k-1})` of `k` agents on a ring.
+///
+/// `d_j` is the forward hop distance from the `j`-th agent to the
+/// `(j+1) mod k`-th. Entries are strictly positive (agents occupy distinct
+/// nodes in the paper's initial configurations) and their sum is the ring
+/// size `n`.
+///
+/// # Examples
+///
+/// ```
+/// use ringdeploy_seq::DistanceSeq;
+///
+/// let d = DistanceSeq::new(vec![1, 4, 2, 1, 2, 2])?; // Fig. 1(a)
+/// assert_eq!(d.ring_size(), 12);
+/// assert_eq!(d.agent_count(), 6);
+/// assert_eq!(d.symmetry_degree(), 1);
+/// # Ok::<(), ringdeploy_seq::DistanceSeqError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DistanceSeq {
+    entries: Vec<u64>,
+}
+
+impl DistanceSeq {
+    /// Creates a distance sequence from raw entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistanceSeqError::Empty`] if `entries` is empty and
+    /// [`DistanceSeqError::ZeroEntry`] if any entry is zero.
+    pub fn new(entries: Vec<u64>) -> Result<Self, DistanceSeqError> {
+        if entries.is_empty() {
+            return Err(DistanceSeqError::Empty);
+        }
+        if let Some(index) = entries.iter().position(|&d| d == 0) {
+            return Err(DistanceSeqError::ZeroEntry { index });
+        }
+        Ok(DistanceSeq { entries })
+    }
+
+    /// Builds the distance sequence of the agents occupying `positions`
+    /// (node indices, need not be sorted, must be distinct) on an `n`-node
+    /// ring, starting from the smallest position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions` is empty, contains duplicates, or contains an
+    /// index `≥ n`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ringdeploy_seq::DistanceSeq;
+    /// let d = DistanceSeq::from_positions(12, &[0, 1, 5, 7, 8, 10]);
+    /// assert_eq!(d.as_slice(), &[1, 4, 2, 1, 2, 2]);
+    /// ```
+    pub fn from_positions(n: u64, positions: &[u64]) -> Self {
+        assert!(!positions.is_empty(), "at least one agent required");
+        let mut sorted: Vec<u64> = positions.to_vec();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            assert!(w[0] != w[1], "duplicate position {}", w[0]);
+        }
+        assert!(
+            *sorted.last().expect("non-empty") < n,
+            "position out of range"
+        );
+        let k = sorted.len();
+        let entries: Vec<u64> = (0..k)
+            .map(|j| {
+                let a = sorted[j];
+                let b = sorted[(j + 1) % k];
+                let d = (b + n - a) % n;
+                // A single agent is at distance n from itself around the ring.
+                if d == 0 {
+                    n
+                } else {
+                    d
+                }
+            })
+            .collect();
+        DistanceSeq { entries }
+    }
+
+    /// Reconstructs agent positions from this sequence, placing the first
+    /// agent at node `start` on a ring of [`Self::ring_size`] nodes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ringdeploy_seq::DistanceSeq;
+    /// let d = DistanceSeq::new(vec![1, 4, 2, 1, 2, 2])?;
+    /// assert_eq!(d.positions_from(0), vec![0, 1, 5, 7, 8, 10]);
+    /// # Ok::<(), ringdeploy_seq::DistanceSeqError>(())
+    /// ```
+    pub fn positions_from(&self, start: u64) -> Vec<u64> {
+        let n = self.ring_size();
+        let mut pos = Vec::with_capacity(self.entries.len());
+        let mut cur = start % n;
+        for &d in &self.entries {
+            pos.push(cur);
+            cur = (cur + d) % n;
+        }
+        pos
+    }
+
+    /// The entries as a slice.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.entries
+    }
+
+    /// The ring size `n = Σ d_j`.
+    pub fn ring_size(&self) -> u64 {
+        self.entries.iter().sum()
+    }
+
+    /// The number of agents `k`.
+    pub fn agent_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The rotation of this sequence starting at `x` (the paper's
+    /// `shift(D, x)`).
+    pub fn shifted(&self, x: usize) -> DistanceSeq {
+        DistanceSeq {
+            entries: shift(&self.entries, x),
+        }
+    }
+
+    /// The smallest `x` such that `shift(D, x)` is lexicographically
+    /// minimal — the agent `rank` of Algorithm 1.
+    pub fn min_rotation_index(&self) -> usize {
+        min_rotation(&self.entries)
+    }
+
+    /// The lexicographically minimal rotation `D_min`.
+    pub fn canonical(&self) -> DistanceSeq {
+        self.shifted(self.min_rotation_index())
+    }
+
+    /// The symmetry degree `l` of a configuration with this distance
+    /// sequence (`1` for aperiodic rings, up to `k` for the uniform one).
+    pub fn symmetry_degree(&self) -> usize {
+        symmetry_degree(&self.entries)
+    }
+
+    /// Consumes the sequence and returns its entries.
+    pub fn into_inner(self) -> Vec<u64> {
+        self.entries
+    }
+}
+
+impl AsRef<[u64]> for DistanceSeq {
+    fn as_ref(&self) -> &[u64] {
+        &self.entries
+    }
+}
+
+impl fmt::Display for DistanceSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<DistanceSeq> for Vec<u64> {
+    fn from(d: DistanceSeq) -> Vec<u64> {
+        d.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_and_zero() {
+        assert_eq!(DistanceSeq::new(vec![]), Err(DistanceSeqError::Empty));
+        assert_eq!(
+            DistanceSeq::new(vec![1, 0, 2]),
+            Err(DistanceSeqError::ZeroEntry { index: 1 })
+        );
+    }
+
+    #[test]
+    fn round_trips_positions() {
+        let d = DistanceSeq::from_positions(16, &[3, 7, 11, 15]);
+        assert_eq!(d.as_slice(), &[4, 4, 4, 4]);
+        assert_eq!(d.positions_from(3), vec![3, 7, 11, 15]);
+        assert_eq!(d.ring_size(), 16);
+    }
+
+    #[test]
+    fn single_agent_distance_is_whole_ring() {
+        let d = DistanceSeq::from_positions(9, &[4]);
+        assert_eq!(d.as_slice(), &[9]);
+        assert_eq!(d.ring_size(), 9);
+    }
+
+    #[test]
+    fn unsorted_positions_are_sorted_first() {
+        let d = DistanceSeq::from_positions(10, &[8, 2, 5]);
+        assert_eq!(d.as_slice(), &[3, 3, 4]);
+    }
+
+    #[test]
+    fn canonical_is_min_rotation() {
+        let d = DistanceSeq::new(vec![3, 1, 2]).unwrap();
+        assert_eq!(d.min_rotation_index(), 1);
+        assert_eq!(d.canonical().as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let d = DistanceSeq::new(vec![1, 2, 3]).unwrap();
+        assert_eq!(d.to_string(), "(1,2,3)");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate position")]
+    fn duplicate_positions_panic() {
+        let _ = DistanceSeq::from_positions(5, &[1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "position out of range")]
+    fn out_of_range_position_panics() {
+        let _ = DistanceSeq::from_positions(5, &[5]);
+    }
+}

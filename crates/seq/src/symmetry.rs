@@ -1,0 +1,112 @@
+//! Symmetry degree of ring configurations (paper, Section 2.1 and Fig. 1).
+
+use crate::period::cyclic_period;
+
+/// Returns the symmetry degree `l` of a configuration whose distance
+/// sequence is `seq`.
+///
+/// Per the paper: the ring is *periodic* when `shift(D, x) = D` for some
+/// `0 < x < k`; for the minimal such `x`, the symmetry degree is `l = k/x`.
+/// For aperiodic rings `l = 1`. Equivalently, `l = k / cyclic_period(D)`.
+///
+/// `1 ≤ l ≤ k` always holds, and `l = k` exactly when the configuration is
+/// already uniform (all distances equal).
+///
+/// # Examples
+///
+/// ```
+/// use ringdeploy_seq::symmetry_degree;
+/// assert_eq!(symmetry_degree(&[1, 4, 2, 1, 2, 2]), 1); // Fig. 1(a)
+/// assert_eq!(symmetry_degree(&[1, 2, 3, 1, 2, 3]), 2); // Fig. 1(b)
+/// assert_eq!(symmetry_degree(&[4, 4, 4, 4]), 4);       // uniform
+/// ```
+pub fn symmetry_degree<T: Eq>(seq: &[T]) -> usize {
+    if seq.is_empty() {
+        return 0;
+    }
+    seq.len() / cyclic_period(seq)
+}
+
+/// Tests whether the configuration is periodic in the paper's sense:
+/// `shift(D, x) = D` for some `0 < x < k` (symmetry degree `l ≥ 2`).
+///
+/// # Examples
+///
+/// ```
+/// use ringdeploy_seq::is_cyclically_periodic;
+/// assert!(is_cyclically_periodic(&[1, 2, 1, 2]));
+/// assert!(!is_cyclically_periodic(&[1, 2, 2]));
+/// ```
+pub fn is_cyclically_periodic<T: Eq>(seq: &[T]) -> bool {
+    symmetry_degree(seq) >= 2
+}
+
+/// Returns the aperiodic *fundamental* sequence of `seq`: the length-`k/l`
+/// prefix whose `l`-fold repetition equals `seq`.
+///
+/// For a `(N, l)`-node ring `R'` (Section 4.2.2), this recovers the distance
+/// sequence of the fundamental ring `R`.
+///
+/// # Examples
+///
+/// ```
+/// use ringdeploy_seq::fundamental;
+/// assert_eq!(fundamental(&[1, 2, 3, 1, 2, 3]), &[1, 2, 3]);
+/// assert_eq!(fundamental(&[1, 4, 2]), &[1, 4, 2]);
+/// ```
+pub fn fundamental<T: Eq>(seq: &[T]) -> &[T] {
+    if seq.is_empty() {
+        return seq;
+    }
+    &seq[..cyclic_period(seq)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rotation::{shift, shifted_eq};
+
+    #[test]
+    fn degree_of_uniform_configuration_is_k() {
+        assert_eq!(symmetry_degree(&[3u64; 5]), 5);
+        assert_eq!(symmetry_degree(&[7u64]), 1);
+    }
+
+    #[test]
+    fn degree_matches_minimal_shift_definition() {
+        // Cross-check l = k/x against a brute-force search for the minimal
+        // x with shift(D, x) = D.
+        let cases: Vec<Vec<u64>> = vec![
+            vec![1, 4, 2, 1, 2, 2],
+            vec![1, 2, 3, 1, 2, 3],
+            vec![2, 2, 2, 2],
+            vec![5, 1, 5, 1, 5, 1],
+            vec![9],
+            vec![1, 2],
+            vec![1, 1, 2, 1, 1, 2, 1, 1, 2],
+        ];
+        for d in cases {
+            let k = d.len();
+            let min_x = (1..k).find(|&x| shifted_eq(&d, x)).unwrap_or(k);
+            let expected = if min_x == k { 1 } else { k / min_x };
+            assert_eq!(symmetry_degree(&d), expected, "sequence {d:?}");
+        }
+    }
+
+    #[test]
+    fn fundamental_repetition_reconstructs() {
+        let d = [4u64, 1, 4, 1, 4, 1];
+        let f = fundamental(&d);
+        assert_eq!(f, &[4, 1]);
+        let rebuilt = crate::period::repeat(f, symmetry_degree(&d));
+        assert_eq!(rebuilt, d);
+    }
+
+    #[test]
+    fn rotating_preserves_symmetry_degree() {
+        let d = [1u64, 2, 3, 1, 2, 3];
+        for x in 0..d.len() {
+            assert_eq!(symmetry_degree(&shift(&d, x)), 2);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the distance-sequence toolkit.
+
+use proptest::prelude::*;
+use ringdeploy_seq::{
+    cyclic_period, fourfold_repetition, fundamental, is_cyclically_periodic, min_rotation,
+    min_rotation_naive, repeat, shift, shifted_eq, smallest_period,
+    starts_with_fourfold_repetition, symmetry_degree, DistanceSeq,
+};
+
+fn small_seq() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(1u64..6, 1..24)
+}
+
+proptest! {
+    /// Booth's algorithm agrees with the quadratic reference on arbitrary
+    /// sequences (Fig. 10 / Lemma 4 machinery rests on this).
+    #[test]
+    fn booth_matches_naive(seq in small_seq()) {
+        prop_assert_eq!(min_rotation(&seq), min_rotation_naive(&seq));
+    }
+
+    /// The minimal rotation really is ≤ every rotation.
+    #[test]
+    fn min_rotation_is_minimal(seq in small_seq()) {
+        let x = min_rotation(&seq);
+        let dmin = shift(&seq, x);
+        for y in 0..seq.len() {
+            prop_assert!(dmin <= shift(&seq, y));
+        }
+    }
+
+    /// Minimal rotation index is the *smallest* index attaining the minimum,
+    /// matching Algorithm 1's `rank = min { x | shift(D,x) = Dmin }`.
+    #[test]
+    fn min_rotation_is_first(seq in small_seq()) {
+        let x = min_rotation(&seq);
+        let dmin = shift(&seq, x);
+        for y in 0..x {
+            prop_assert!(shift(&seq, y) > dmin);
+        }
+    }
+
+    /// shift composes additively: shift(shift(D,a),b) = shift(D,a+b).
+    #[test]
+    fn shift_is_additive(seq in small_seq(), a in 0usize..40, b in 0usize..40) {
+        let lhs = shift(&shift(&seq, a), b);
+        let rhs = shift(&seq, a + b);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// The symmetry degree divides k, and the fundamental sequence repeated
+    /// l times reconstructs the original.
+    #[test]
+    fn symmetry_degree_divides_k(seq in small_seq()) {
+        let k = seq.len();
+        let l = symmetry_degree(&seq);
+        prop_assert!(l >= 1 && l <= k);
+        prop_assert_eq!(k % l, 0);
+        let f = fundamental(&seq);
+        prop_assert_eq!(repeat(f, l), seq.clone());
+        // The fundamental sequence is itself aperiodic.
+        prop_assert_eq!(symmetry_degree(f), 1);
+    }
+
+    /// l ≥ 2 exactly when some non-trivial shift fixes the sequence.
+    #[test]
+    fn periodicity_definitions_agree(seq in small_seq()) {
+        let k = seq.len();
+        let by_shift = (1..k).any(|x| shifted_eq(&seq, x));
+        prop_assert_eq!(is_cyclically_periodic(&seq), by_shift);
+    }
+
+    /// smallest_period is a genuine period and no smaller value is.
+    #[test]
+    fn smallest_period_is_correct(seq in small_seq()) {
+        let p = smallest_period(&seq);
+        prop_assert!(p >= 1 && p <= seq.len());
+        for i in p..seq.len() {
+            prop_assert_eq!(&seq[i], &seq[i - p]);
+        }
+        for q in 1..p {
+            let is_period = (q..seq.len()).all(|i| seq[i] == seq[i - q]);
+            prop_assert!(!is_period, "found smaller period {} < {}", q, p);
+        }
+    }
+
+    /// cyclic_period divides the length and the repetition reconstructs.
+    #[test]
+    fn cyclic_period_reconstructs(seq in small_seq()) {
+        let p = cyclic_period(&seq);
+        prop_assert_eq!(seq.len() % p, 0);
+        prop_assert_eq!(repeat(&seq[..p], seq.len() / p), seq.clone());
+    }
+
+    /// A constructed 4-fold repetition is always detected, at a length no
+    /// larger than the construction.
+    #[test]
+    fn fourfold_detects_constructions(base in prop::collection::vec(1u64..5, 1..8)) {
+        let four = repeat(&base, 4);
+        prop_assert!(fourfold_repetition(&four) || !fourfold_repetition(&four));
+        // The scanning version stops at or before 4·|base|.
+        let stop = starts_with_fourfold_repetition(&four);
+        prop_assert!(stop.is_some());
+        prop_assert!(stop.unwrap() <= 4 * base.len());
+        prop_assert_eq!(stop.unwrap() % 4, 0);
+    }
+
+    /// Lemma 3 shape: if the scan stops at 4·k' < 4·k on the walk D^4, then
+    /// the estimated ring size n' is at most half the true n.
+    #[test]
+    fn early_estimate_is_at_most_half(base in prop::collection::vec(1u64..5, 1..10)) {
+        let k = base.len();
+        let n: u64 = base.iter().sum();
+        let walk = repeat(&base, 4);
+        if let Some(stop) = starts_with_fourfold_repetition(&walk) {
+            let k_est = stop / 4;
+            let n_est: u64 = walk[..k_est].iter().sum();
+            if k_est < k {
+                prop_assert!(n_est <= n / 2,
+                    "n'={} > n/2={} for base {:?}", n_est, n / 2, base);
+            } else {
+                prop_assert_eq!(n_est, n);
+            }
+        }
+    }
+
+    /// DistanceSeq round-trips through positions.
+    #[test]
+    fn distance_seq_round_trip(
+        n in 2u64..200,
+        picks in prop::collection::btree_set(0u64..200, 1..20),
+        start_idx in 0usize..20,
+    ) {
+        let positions: Vec<u64> = picks.iter().copied().filter(|&p| p < n).collect();
+        prop_assume!(!positions.is_empty());
+        let d = DistanceSeq::from_positions(n, &positions);
+        prop_assert_eq!(d.ring_size(), n);
+        prop_assert_eq!(d.agent_count(), positions.len());
+        let start = positions[start_idx % positions.len()];
+        // Reconstructing from any agent's position yields the same node set.
+        let i = positions.iter().position(|&p| p == start).unwrap();
+        let rotated = d.shifted(i);
+        let mut rebuilt = rotated.positions_from(start);
+        rebuilt.sort_unstable();
+        prop_assert_eq!(rebuilt, positions);
+    }
+
+    /// Rotating a distance sequence never changes ring size, agent count,
+    /// canonical form, or symmetry degree (agents must agree on these).
+    #[test]
+    fn rotation_invariants(seq in small_seq(), x in 0usize..24) {
+        let d = DistanceSeq::new(seq).unwrap();
+        let r = d.shifted(x);
+        prop_assert_eq!(d.ring_size(), r.ring_size());
+        prop_assert_eq!(d.agent_count(), r.agent_count());
+        prop_assert_eq!(d.canonical(), r.canonical());
+        prop_assert_eq!(d.symmetry_degree(), r.symmetry_degree());
+    }
+}

@@ -1,0 +1,43 @@
+//! # ringdeploy-vis — seeing executions
+//!
+//! ASCII visualisation for the ring-deployment simulator:
+//!
+//! * [`SpaceTime`] — a space-time diagram: one row per synchronous round,
+//!   one column per node, showing where agents are and where tokens lie.
+//!   The classic way to *watch* a distributed execution unfold.
+//! * [`phase_timeline`] — per-agent phase history extracted from an event
+//!   trace: which algorithm phase each agent was in at each of its
+//!   activations.
+//! * [`trace_summary`] — event counts per kind and per agent.
+//!
+//! # Example
+//!
+//! ```
+//! use ringdeploy_vis::SpaceTime;
+//! use ringdeploy_sim::{InitialConfig, Ring, RunLimits};
+//! # use ringdeploy_sim::{Action, Behavior, Idle, Observation};
+//! # struct Hop { done: bool }
+//! # impl Behavior for Hop {
+//! #     type Message = ();
+//! #     fn act(&mut self, _o: &Observation<'_, ()>) -> Action<()> {
+//! #         if self.done { Action::halting() } else { self.done = true; Action::moving().with_token_release(true) }
+//! #     }
+//! #     fn memory_bits(&self) -> usize { 1 }
+//! # }
+//! let init = InitialConfig::new(6, vec![0, 3])?;
+//! let mut ring = Ring::new(&init, |_| Hop { done: false });
+//! let mut st = SpaceTime::new(&ring);
+//! st.run_and_capture(&mut ring, 100)?;
+//! let diagram = st.render();
+//! assert!(diagram.contains("r000"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod spacetime;
+mod timeline;
+
+pub use spacetime::SpaceTime;
+pub use timeline::{phase_timeline, render_phase_timeline, trace_summary, PhaseStep, TraceSummary};

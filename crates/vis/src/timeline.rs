@@ -1,0 +1,155 @@
+//! Phase timelines and trace summaries extracted from event traces.
+
+use std::collections::BTreeMap;
+
+use ringdeploy_sim::{Event, Trace};
+
+/// One step of an agent's phase history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseStep {
+    /// The agent's activation index (0-based, per agent).
+    pub activation: usize,
+    /// The phase label after that activation.
+    pub phase: &'static str,
+}
+
+/// Extracts, for each agent, the sequence of *phase changes*: the
+/// activation index at which the agent's phase label changed and the new
+/// label. Agents are keyed by index.
+///
+/// Feed it a complete trace (enable tracing with a capacity comfortably
+/// above the expected activation count; [`Trace::dropped`] must be zero
+/// for a faithful timeline).
+pub fn phase_timeline(trace: &Trace) -> BTreeMap<usize, Vec<PhaseStep>> {
+    let mut activations: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut out: BTreeMap<usize, Vec<PhaseStep>> = BTreeMap::new();
+    for e in trace.events() {
+        if let Event::Activated { agent, phase, .. } = *e {
+            let idx = agent.index();
+            let count = activations.entry(idx).or_insert(0);
+            let history = out.entry(idx).or_default();
+            if history.last().map(|s| s.phase) != Some(phase) {
+                history.push(PhaseStep {
+                    activation: *count,
+                    phase,
+                });
+            }
+            *count += 1;
+        }
+    }
+    out
+}
+
+/// Renders a phase timeline as one line per agent:
+///
+/// ```text
+/// a0: boot@0 -> selection@1 -> deployment@13 -> done@17
+/// ```
+pub fn render_phase_timeline(trace: &Trace) -> String {
+    let mut out = String::new();
+    for (agent, steps) in phase_timeline(trace) {
+        out.push_str(&format!("a{agent}: "));
+        for (i, s) in steps.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" -> ");
+            }
+            out.push_str(&format!("{}@{}", s.phase, s.activation));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Event counts per kind, plus per-agent move counts — a quick sanity
+/// summary of a trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total activations.
+    pub activations: usize,
+    /// Token releases.
+    pub token_releases: usize,
+    /// Broadcasts (with any number of receivers).
+    pub broadcasts: usize,
+    /// Moves per agent index.
+    pub moves: BTreeMap<usize, usize>,
+    /// Stays (by idle kind name).
+    pub stays: usize,
+}
+
+/// Summarises a trace.
+pub fn trace_summary(trace: &Trace) -> TraceSummary {
+    let mut s = TraceSummary::default();
+    for e in trace.events() {
+        match e {
+            Event::Activated { .. } => s.activations += 1,
+            Event::TokenReleased { .. } => s.token_releases += 1,
+            Event::Broadcast { .. } => s.broadcasts += 1,
+            Event::Moved { agent, .. } => {
+                *s.moves.entry(agent.index()).or_insert(0) += 1;
+            }
+            Event::Stayed { .. } => s.stays += 1,
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringdeploy_core::FullKnowledge;
+    use ringdeploy_sim::scheduler::RoundRobin;
+    use ringdeploy_sim::{InitialConfig, Ring, RunLimits};
+
+    fn traced_run() -> Ring<FullKnowledge> {
+        let init = InitialConfig::new(9, vec![0, 3, 4]).expect("valid");
+        let mut ring = Ring::new(&init, |_| FullKnowledge::new(3));
+        ring.enable_trace(100_000);
+        ring.run(&mut RoundRobin::new(), RunLimits::for_instance(9, 3))
+            .expect("run");
+        ring
+    }
+
+    #[test]
+    fn timeline_tracks_algorithm_phases() {
+        let ring = traced_run();
+        let trace = ring.trace().expect("tracing enabled");
+        assert_eq!(trace.dropped(), 0);
+        let tl = phase_timeline(trace);
+        assert_eq!(tl.len(), 3);
+        for (agent, steps) in &tl {
+            let phases: Vec<&str> = steps.iter().map(|s| s.phase).collect();
+            assert!(
+                phases.starts_with(&["selection"]) || phases.starts_with(&["boot"]),
+                "agent {agent}: {phases:?}"
+            );
+            assert_eq!(
+                *phases.last().expect("non-empty"),
+                "done",
+                "agent {agent}: {phases:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rendered_timeline_mentions_every_agent() {
+        let ring = traced_run();
+        let s = render_phase_timeline(ring.trace().expect("trace"));
+        assert!(s.contains("a0:"));
+        assert!(s.contains("a1:"));
+        assert!(s.contains("a2:"));
+        assert!(s.contains("done@"));
+    }
+
+    #[test]
+    fn summary_counts_match_metrics() {
+        let ring = traced_run();
+        let summary = trace_summary(ring.trace().expect("trace"));
+        assert_eq!(summary.token_releases, 3);
+        let total_moves: usize = summary.moves.values().sum();
+        assert_eq!(total_moves as u64, ring.metrics().total_moves());
+        assert_eq!(
+            summary.activations as u64,
+            ring.metrics().total_activations()
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Theorem 5 as an experiment: with no knowledge of `k` or `n`, requiring
+//! termination detection makes uniform deployment impossible. We run the
+//! natural "estimate, deploy, halt" strawman on the paper's Fig. 7
+//! construction and watch it fail — then run the relaxed algorithm
+//! (which merely suspends) on the same ring and watch it succeed.
+//!
+//! ```text
+//! cargo run --example impossibility
+//! ```
+
+use ringdeploy::analysis::theorem5_config;
+use ringdeploy::sim::scheduler::RoundRobin;
+use ringdeploy::sim::{satisfies_halting_deployment, RunLimits};
+use ringdeploy::{deploy, Algorithm, Ring, Schedule, TerminatingEstimator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Ring R: distance sequence (1,3) — n=4, k=2, uniform interval d=2.
+    // Ring R': 2qn+2n nodes, R's agents replicated over the first half.
+    let gaps = [1usize, 3];
+    let q = 8;
+    let init = theorem5_config(&gaps, q);
+    let (n, k) = (init.ring_size(), init.agent_count());
+    println!(
+        "Fig. 7 construction: R = ring(1,3); R' has n = {n} nodes, k = {k} agents,\n\
+         all in the first {} nodes; required uniform interval = {}.\n",
+        (q + 1) * 4,
+        n / k
+    );
+
+    // The strawman halts prematurely.
+    let mut ring = Ring::new(&init, |_| TerminatingEstimator::new());
+    ring.run(&mut RoundRobin::new(), RunLimits::for_instance(n, k))?;
+    let verdict = satisfies_halting_deployment(&ring);
+    let positions = ring.staying_positions().expect("all halted");
+    println!("terminating strawman halted at: {positions:?}");
+    println!("Definition 1 satisfied? {:?}\n", verdict);
+    assert!(!verdict.is_satisfied(), "Theorem 5: the strawman must fail");
+
+    // The relaxed algorithm succeeds on the very same ring.
+    let report = deploy(&init, Algorithm::Relaxed, Schedule::RoundRobin)?;
+    println!(
+        "relaxed algorithm (no termination detection) positions: {:?}",
+        {
+            let mut p = report.positions.clone();
+            p.sort_unstable();
+            p
+        }
+    );
+    println!("Definition 2 satisfied? {}", report.succeeded());
+    assert!(report.succeeded());
+    println!(
+        "\nAgents in the replicated half see the same local views as in R\n\
+         (Lemma 1), so any halting rule that works on R halts here too —\n\
+         at interval 2 where interval {} was required. Dropping termination\n\
+         detection (suspended states + patrol corrections) restores solvability.",
+        n / k
+    );
+    Ok(())
+}

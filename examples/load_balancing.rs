@@ -1,0 +1,85 @@
+//! Load-balancing scenario from the paper's introduction: agents carry
+//! large database replicas. Not every node can store the database, but
+//! every node should reach a replica quickly, and replicas should serve
+//! similar shares of the ring.
+//!
+//! We compare a clustered placement with the uniform deployment produced
+//! by the O(log n)-memory algorithm, reporting per-replica load (nodes
+//! served) and the maximum access distance.
+//!
+//! ```text
+//! cargo run --example load_balancing
+//! ```
+
+use ringdeploy::{deploy, Algorithm, InitialConfig, Schedule};
+
+/// For each node, the forward distance to the nearest replica; returns
+/// (per-replica load, max access distance). On a unidirectional ring a
+/// request travels forward to the next replica.
+fn access_stats(n: usize, replicas: &[usize]) -> (Vec<usize>, usize) {
+    let mut sorted = replicas.to_vec();
+    sorted.sort_unstable();
+    let mut load = vec![0usize; sorted.len()];
+    let mut max_dist = 0usize;
+    for node in 0..n {
+        // Distance to the next replica at or after `node` (cyclically).
+        let (idx, dist) = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (i, (r + n - node) % n))
+            .min_by_key(|&(_, d)| d)
+            .expect("at least one replica");
+        load[idx] += 1;
+        max_dist = max_dist.max(dist);
+    }
+    (load, max_dist)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 64;
+    let k = 8;
+    // Replicas uploaded through two adjacent gateway nodes.
+    let homes: Vec<usize> = vec![0, 1, 2, 3, 32, 33, 34, 35];
+    let init = InitialConfig::new(n, homes.clone())?;
+
+    let (load_before, dist_before) = access_stats(n, &homes);
+    println!("before: replicas at {homes:?}");
+    println!("  per-replica load: {load_before:?}");
+    println!("  max access distance: {dist_before} hops");
+
+    let report = deploy(&init, Algorithm::LogSpace, Schedule::Random(3))?;
+    assert!(report.succeeded());
+    let (load_after, dist_after) = access_stats(n, &report.positions);
+    println!("\nafter uniform deployment ({}):", report.algorithm.name());
+    println!("  replicas at {:?}", {
+        let mut p = report.positions.clone();
+        p.sort_unstable();
+        p
+    });
+    println!("  per-replica load: {load_after:?}");
+    println!("  max access distance: {dist_after} hops");
+    println!(
+        "  deployment cost: {} moves, {} messages",
+        report.metrics.total_moves(),
+        report.metrics.messages_sent()
+    );
+
+    let max_before = *load_before.iter().max().expect("non-empty");
+    let min_before = *load_before.iter().min().expect("non-empty");
+    let max_after = *load_after.iter().max().expect("non-empty");
+    let min_after = *load_after.iter().min().expect("non-empty");
+    println!(
+        "\nload imbalance (max/min nodes served): before {max_before}/{min_before}, after {max_after}/{min_after}"
+    );
+    assert!(
+        max_after - min_after <= 1,
+        "uniform replicas serve equal shares"
+    );
+    // The farthest node sits just behind a replica: gap − 1 = n/k − 1 hops.
+    assert_eq!(
+        dist_after,
+        n / k - 1,
+        "no node is further than n/k − 1 hops"
+    );
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! The relaxed algorithm without knowledge of `k` or `n` (§4.2): agents
+//! estimate the ring from observed token distances and adapt to the
+//! symmetry degree `l` of the initial configuration — more symmetric
+//! starts cost proportionally less.
+//!
+//! ```text
+//! cargo run --example no_knowledge
+//! ```
+
+use ringdeploy::analysis::periodic_config;
+use ringdeploy::{deploy, Algorithm, Schedule};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (n, k) = (240usize, 24usize);
+    println!("relaxed uniform deployment on n = {n}, k = {k}, varying symmetry degree l\n");
+    println!(
+        "{:>4}  {:>12}  {:>12}  {:>14}  {:>10}",
+        "l", "total moves", "moves/agent", "paper 14*n/l", "uniform?"
+    );
+    for l in [1usize, 2, 4, 8, 24] {
+        let init = periodic_config(n, k, l);
+        let report = deploy(&init, Algorithm::Relaxed, Schedule::Random(11))?;
+        let bound = 14 * (n / l);
+        println!(
+            "{:>4}  {:>12}  {:>12}  {:>14}  {:>10}",
+            l,
+            report.metrics.total_moves(),
+            report.metrics.max_moves(),
+            bound,
+            report.succeeded()
+        );
+        assert!(report.succeeded());
+        assert!(report.metrics.max_moves() <= bound as u64);
+    }
+    println!(
+        "\nCost shrinks linearly with l: the paper's adaptive O(kn/l) moves.\n\
+         With l = k (already uniform) agents only confirm their estimate and\n\
+         settle after ~14*n/k moves each; the Omega(kn) lower bound applies\n\
+         only to worst-case (l = 1) configurations."
+    );
+    Ok(())
+}

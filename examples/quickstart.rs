@@ -1,0 +1,43 @@
+//! Quickstart: run each of the paper's algorithms on a small ring and
+//! watch the agents spread out.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use ringdeploy::{deploy, render_ring, Algorithm, FullKnowledge, InitialConfig, Ring, Schedule};
+use ringdeploy_sim::scheduler::RoundRobin;
+use ringdeploy_sim::RunLimits;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Six agents bunched together on a 18-node ring.
+    let init = InitialConfig::new(18, vec![0, 1, 2, 3, 4, 5])?;
+    println!(
+        "initial configuration (distance sequence {:?}):",
+        init.distance_sequence()
+    );
+
+    // Render the initial state by building a ring without running it.
+    let ring: Ring<FullKnowledge> = Ring::new(&init, |_| FullKnowledge::new(6));
+    println!("{}", render_ring(&ring));
+
+    for algorithm in Algorithm::ALL {
+        let report = deploy(&init, algorithm, Schedule::Random(42))?;
+        println!(
+            "{:<22} -> positions {:?} | uniform: {} | total moves: {} | peak memory: {} bits",
+            algorithm.name(),
+            report.positions,
+            report.succeeded(),
+            report.metrics.total_moves(),
+            report.metrics.peak_memory_bits(),
+        );
+    }
+
+    // Show the final layout of Algorithm 1 in detail.
+    let mut ring: Ring<FullKnowledge> = Ring::new(&init, |_| FullKnowledge::new(6));
+    ring.run(&mut RoundRobin::new(), RunLimits::for_instance(18, 6))?;
+    println!("\nfinal configuration (Algorithm 1):");
+    println!("{}", render_ring(&ring));
+    println!("agents halted every 3 nodes: uniform deployment with termination detection.");
+    Ok(())
+}

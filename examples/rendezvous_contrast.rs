@@ -1,0 +1,68 @@
+//! The paper's headline contrast (§1.3): rendezvous must *break* symmetry
+//! and fails on periodic configurations; uniform deployment *attains*
+//! symmetry and succeeds from every initial configuration.
+//!
+//! ```text
+//! cargo run --example rendezvous_contrast
+//! ```
+
+use rand::SeedableRng;
+use ringdeploy::analysis::{from_gaps, random_aperiodic_config};
+use ringdeploy::sim::scheduler::Random;
+use ringdeploy::sim::RunLimits;
+use ringdeploy::{deploy, Algorithm, Rendezvous, RendezvousVerdict, Ring, Schedule};
+
+fn try_rendezvous(init: &ringdeploy::InitialConfig) -> &'static str {
+    let k = init.agent_count();
+    let mut ring = Ring::new(init, |_| Rendezvous::new(k));
+    ring.run(
+        &mut Random::seeded(5),
+        RunLimits::for_instance(init.ring_size(), k),
+    )
+    .expect("rendezvous terminates");
+    let verdicts: Vec<RendezvousVerdict> = (0..k)
+        .map(|i| ring.behavior(ringdeploy::sim::AgentId(i)).verdict())
+        .collect();
+    if verdicts.iter().all(|&v| v == RendezvousVerdict::Gathered) {
+        "gathered at one node"
+    } else if verdicts.iter().all(|&v| v == RendezvousVerdict::Symmetric) {
+        "UNSOLVABLE (symmetry detected)"
+    } else {
+        "mixed"
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(2016);
+
+    println!("aperiodic configuration (l = 1):");
+    let aperiodic = random_aperiodic_config(&mut rng, 30, 5);
+    println!("  homes: {:?}", aperiodic.homes());
+    println!("  rendezvous:          {}", try_rendezvous(&aperiodic));
+    let ud = deploy(&aperiodic, Algorithm::FullKnowledge, Schedule::Random(1))?;
+    println!(
+        "  uniform deployment:  {} -> {:?}",
+        if ud.succeeded() { "deployed" } else { "failed" },
+        ud.positions
+    );
+
+    println!("\nperiodic configuration (l = 3, distance sequence (2,3,5)^3):");
+    let periodic = from_gaps(&[2, 3, 5, 2, 3, 5, 2, 3, 5])?;
+    println!("  homes: {:?}", periodic.homes());
+    println!("  rendezvous:          {}", try_rendezvous(&periodic));
+    let ud = deploy(&periodic, Algorithm::FullKnowledge, Schedule::Random(1))?;
+    println!(
+        "  uniform deployment:  {} -> {:?}",
+        if ud.succeeded() { "deployed" } else { "failed" },
+        ud.positions
+    );
+    assert!(ud.succeeded());
+
+    println!(
+        "\nSymmetry blocks rendezvous (anonymous agents cannot elect a single\n\
+         meeting node on a rotationally symmetric ring) but never blocks\n\
+         uniform deployment — all three paper algorithms succeed from any\n\
+         initial configuration, periodic or not."
+    );
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! The paper's §5 extension in action: uniform deployment on **trees** and
+//! **general graphs** by embedding a virtual ring (Euler tour of the tree /
+//! of a BFS spanning tree).
+//!
+//! ```text
+//! cargo run --example tree_deployment
+//! ```
+
+use ringdeploy::embed::{deploy_on_graph, deploy_on_tree, patrol_latency, EulerTour, Graph, Tree};
+use ringdeploy::{Algorithm, Schedule};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Tree: a complete binary tree with 15 nodes ------------------
+    let tree = Tree::binary(15);
+    let agents = [0usize, 1, 2, 3];
+    let tour = EulerTour::new(&tree, agents[0]);
+    println!(
+        "binary tree, n = {} nodes -> virtual ring of 2(n-1) = {} nodes",
+        tree.node_count(),
+        tour.ring_size()
+    );
+    println!("Euler tour: {:?}", tour.nodes());
+
+    let homes: Vec<usize> = agents.iter().map(|&v| tour.first_position(v)).collect();
+    let before = patrol_latency(&tour, &homes);
+    let report = deploy_on_tree(&tree, &agents, Algorithm::LogSpace, Schedule::Random(5))?;
+    println!(
+        "agents start at tree nodes {agents:?} (virtual {homes:?}); worst patrol latency {before} tour steps"
+    );
+    println!(
+        "after deployment: tree nodes {:?} (virtual {:?}); worst patrol latency {} tour steps",
+        report.tree_positions, report.ring_report.positions, report.patrol_latency
+    );
+    println!(
+        "uniform on the virtual ring: {} | tree-edge moves spent: {}",
+        report.ring_report.succeeded(),
+        report.ring_report.metrics.total_moves()
+    );
+    assert!(report.ring_report.succeeded());
+    assert!(report.patrol_latency < before);
+
+    // --- General graph: a 5x5 grid -----------------------------------
+    let grid = Graph::grid(5, 5);
+    let agents = [0usize, 1, 5, 6];
+    let report = deploy_on_graph(
+        &grid,
+        &agents,
+        Algorithm::FullKnowledge,
+        Schedule::Random(7),
+    )?;
+    println!(
+        "\n5x5 grid (spanning tree -> virtual ring of {} nodes):",
+        report.ring_report.n
+    );
+    println!(
+        "agents from corner {agents:?} deploy to tree nodes {:?}; uniform on virtual ring: {}",
+        report.tree_positions,
+        report.ring_report.succeeded()
+    );
+    assert!(report.ring_report.succeeded());
+    println!(
+        "\nEvery virtual hop is one real edge traversal, so the O(kn) move\n\
+         bounds carry over with n replaced by 2(n-1) - the asymptotic\n\
+         equivalence the paper's Section 5 claims."
+    );
+    Ok(())
+}

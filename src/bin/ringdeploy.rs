@@ -1,0 +1,197 @@
+//! `ringdeploy` — command-line front end: run one uniform-deployment
+//! instance and print the outcome (optionally with ASCII renders).
+//!
+//! ```text
+//! ringdeploy --n 18 --homes 0,1,2,3,4,5 --algo algo1 --schedule random:42 --render
+//! ringdeploy --n 60 --k 6 --seed 7 --algo relaxed --sync
+//! ```
+//!
+//! Options:
+//!
+//! * `--n <usize>`            ring size (required)
+//! * `--homes <a,b,c>`        explicit agent homes, or
+//! * `--k <usize>`            number of agents placed uniformly at random
+//! * `--seed <u64>`           placement seed for `--k` (default 0)
+//! * `--algo <name>`          `algo1` | `algo2` | `relaxed` (default `algo1`)
+//! * `--schedule <s>`         `round-robin` | `random:<seed>` | `one-at-a-time`
+//!   | `delay:<agent>` (default `round-robin`)
+//! * `--sync`                 run in lock-step rounds and report ideal time
+//! * `--render`               print before/after ASCII ring renders
+
+use std::process::ExitCode;
+
+use rand::SeedableRng;
+use ringdeploy::analysis::random_config;
+use ringdeploy::{deploy, Algorithm, FullKnowledge, InitialConfig, Ring, Schedule};
+
+struct Options {
+    n: usize,
+    homes: Option<Vec<usize>>,
+    k: Option<usize>,
+    seed: u64,
+    algo: Algorithm,
+    schedule: Schedule,
+    render: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: ringdeploy --n <nodes> (--homes a,b,c | --k <agents> [--seed s]) \
+     [--algo algo1|algo2|relaxed] [--schedule round-robin|random:<seed>|one-at-a-time|delay:<agent>] \
+     [--sync] [--render]"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        n: 0,
+        homes: None,
+        k: None,
+        seed: 0,
+        algo: Algorithm::FullKnowledge,
+        schedule: Schedule::RoundRobin,
+        render: false,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value after {}", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--n" => {
+                opts.n = value(&mut i)?.parse().map_err(|e| format!("--n: {e}"))?;
+            }
+            "--homes" => {
+                let list = value(&mut i)?;
+                let homes: Result<Vec<usize>, _> =
+                    list.split(',').map(|s| s.trim().parse()).collect();
+                opts.homes = Some(homes.map_err(|e| format!("--homes: {e}"))?);
+            }
+            "--k" => {
+                opts.k = Some(value(&mut i)?.parse().map_err(|e| format!("--k: {e}"))?);
+            }
+            "--seed" => {
+                opts.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--algo" => {
+                opts.algo = match value(&mut i)?.as_str() {
+                    "algo1" | "full-knowledge" => Algorithm::FullKnowledge,
+                    "algo2" | "log-space" => Algorithm::LogSpace,
+                    "relaxed" | "no-knowledge" => Algorithm::Relaxed,
+                    other => return Err(format!("unknown algorithm `{other}`")),
+                };
+            }
+            "--schedule" => {
+                let spec = value(&mut i)?;
+                opts.schedule = parse_schedule(&spec)?;
+            }
+            "--sync" => opts.schedule = Schedule::Synchronous,
+            "--render" => opts.render = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown option `{other}`\n{}", usage())),
+        }
+        i += 1;
+    }
+    if opts.n == 0 {
+        return Err(format!("--n is required\n{}", usage()));
+    }
+    if opts.homes.is_none() && opts.k.is_none() {
+        return Err(format!("one of --homes / --k is required\n{}", usage()));
+    }
+    Ok(opts)
+}
+
+fn parse_schedule(spec: &str) -> Result<Schedule, String> {
+    if spec == "round-robin" {
+        return Ok(Schedule::RoundRobin);
+    }
+    if spec == "one-at-a-time" {
+        return Ok(Schedule::OneAtATime);
+    }
+    if let Some(seed) = spec.strip_prefix("random:") {
+        return Ok(Schedule::Random(
+            seed.parse()
+                .map_err(|e| format!("--schedule random: {e}"))?,
+        ));
+    }
+    if let Some(agent) = spec.strip_prefix("delay:") {
+        return Ok(Schedule::DelayAgent(
+            agent
+                .parse()
+                .map_err(|e| format!("--schedule delay: {e}"))?,
+        ));
+    }
+    Err(format!("unknown schedule `{spec}`"))
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let init = match (&opts.homes, opts.k) {
+        (Some(homes), _) => InitialConfig::new(opts.n, homes.clone()).map_err(|e| e.to_string())?,
+        (None, Some(k)) => {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(opts.seed);
+            random_config(&mut rng, opts.n, k)
+        }
+        (None, None) => unreachable!("validated in parse_args"),
+    };
+    println!(
+        "ring n = {}, k = {}, homes = {:?} (symmetry degree l = {})",
+        init.ring_size(),
+        init.agent_count(),
+        init.homes(),
+        init.symmetry_degree()
+    );
+    if opts.render {
+        let before: Ring<FullKnowledge> =
+            Ring::new(&init, |_| FullKnowledge::new(init.agent_count()));
+        println!(
+            "\ninitial configuration:\n{}",
+            ringdeploy::render_ring(&before)
+        );
+    }
+    let report = deploy(&init, opts.algo, opts.schedule).map_err(|e| e.to_string())?;
+    println!("algorithm : {}", report.algorithm.name());
+    println!(
+        "verdict   : {}",
+        if report.succeeded() {
+            "uniform deployment reached"
+        } else {
+            "FAILED"
+        }
+    );
+    println!("positions : {:?}", report.positions);
+    println!(
+        "moves     : {} total, {} max per agent",
+        report.metrics.total_moves(),
+        report.metrics.max_moves()
+    );
+    println!(
+        "memory    : {} bits peak per agent",
+        report.metrics.peak_memory_bits()
+    );
+    println!("messages  : {}", report.metrics.messages_sent());
+    if let Some(rounds) = report.ideal_time {
+        println!("ideal time: {rounds} rounds");
+    }
+    if !report.succeeded() {
+        return Err(format!("deployment check failed: {:?}", report.check));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(opts) => match run(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}

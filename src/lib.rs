@@ -1,0 +1,58 @@
+//! # ringdeploy — uniform deployment of mobile agents in asynchronous rings
+//!
+//! A complete, executable reproduction of
+//! *"Uniform deployment of mobile agents in asynchronous rings"*
+//! (Masahiro Shibata, Toshiya Mega, Fukuhito Ooshita, Hirotsugu Kakugawa,
+//! Toshimitsu Masuzawa; PODC 2016, journal version JPDC 119:92–106, 2018).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`sim`] — the anonymous asynchronous unidirectional ring model
+//!   (FIFO links, tokens, atomic actions, fair schedulers, ideal time);
+//! * [`seq`] — distance sequences, minimal rotations, symmetry degree;
+//! * [`core`] — the paper's algorithms: [`FullKnowledge`] (Alg. 1),
+//!   [`LogSpace`] (Alg. 2+3), [`NoKnowledge`] (Alg. 4–6), the
+//!   [`TerminatingEstimator`] strawman of Theorem 5 and the
+//!   [`Rendezvous`] contrast baseline;
+//! * [`analysis`] — workload generators, measurement sweeps, statistics;
+//! * [`embed`] — the §5 extension: Euler-tour ring embedding for trees and
+//!   spanning-tree embedding for general graphs.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ringdeploy::{deploy, Algorithm, InitialConfig, Schedule};
+//!
+//! // Eight agents crowded into one corner of a 40-node ring.
+//! let init = InitialConfig::new(40, (0..8).collect())?;
+//!
+//! // Run the O(log n)-memory algorithm under a random fair schedule.
+//! let report = deploy(&init, Algorithm::LogSpace, Schedule::Random(42))?;
+//!
+//! assert!(report.succeeded());                 // Definition 1 satisfied
+//! assert!(report.metrics.total_moves() <= 4 * 8 * 40); // O(kn) moves
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! paper-to-module map and `EXPERIMENTS.md` for the reproduced tables and
+//! figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ringdeploy_analysis as analysis;
+pub use ringdeploy_core as core;
+pub use ringdeploy_embed as embed;
+pub use ringdeploy_seq as seq;
+pub use ringdeploy_sim as sim;
+pub use ringdeploy_vis as vis;
+
+pub use ringdeploy_core::{
+    deploy, Algorithm, DeployReport, FullKnowledge, LogSpace, NoKnowledge, Rendezvous,
+    RendezvousVerdict, Schedule, SpacingPlan, TerminatingEstimator,
+};
+pub use ringdeploy_seq::DistanceSeq;
+pub use ringdeploy_sim::{
+    is_uniform_spacing, render_ring, InitialConfig, Metrics, Ring, RunLimits,
+};

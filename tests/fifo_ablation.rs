@@ -1,0 +1,63 @@
+//! **E-ABL-FIFO** — the FIFO link assumption is load-bearing.
+//!
+//! The paper's §2.1 model requires FIFO links: (1) each agent acts at its
+//! home node before any other agent visits it (so tokens are in place),
+//! and (2) travelling agents never overtake one another (Algorithm 2's
+//! active-node detection and the relaxed algorithm's patrol-correction
+//! window both rest on this). With overtaking links
+//! ([`LinkDiscipline::Lifo`]) those guarantees evaporate; this test
+//! documents the failure.
+
+use ringdeploy::analysis::clustered_config;
+use ringdeploy::sim::scheduler::OneAtATime;
+use ringdeploy::sim::{satisfies_halting_deployment, LinkDiscipline, RunLimits};
+use ringdeploy::{FullKnowledge, Ring};
+
+/// Runs Algorithm 1 with the given link discipline under the
+/// maximal-skew adversary; returns whether Definition 1 held.
+fn run_algo1(discipline: LinkDiscipline) -> bool {
+    // Clustered start: under LIFO + one-at-a-time, agent 0 can race through
+    // other agents' homes before they ever act, seeing missing tokens and
+    // mis-measuring the distance sequence.
+    let init = clustered_config(24, 6, 0.5);
+    let k = init.agent_count();
+    let mut ring = Ring::new(&init, |_| FullKnowledge::new(k));
+    ring.set_link_discipline(discipline);
+    let result = ring.run(
+        &mut OneAtATime::new(),
+        RunLimits::for_instance(init.ring_size(), k),
+    );
+    match result {
+        Ok(out) => out.quiescent && satisfies_halting_deployment(&ring).is_satisfied(),
+        // Livelock / limit blowups also count as failure.
+        Err(_) => false,
+    }
+}
+
+#[test]
+fn fifo_links_succeed() {
+    assert!(run_algo1(LinkDiscipline::Fifo));
+}
+
+#[test]
+fn lifo_links_break_the_home_first_guarantee() {
+    // With overtaking links, a fast agent can arrive at a home whose owner
+    // has not released its token yet: the distance sequence it records is
+    // wrong, and uniform deployment fails (or the run never settles).
+    assert!(
+        !run_algo1(LinkDiscipline::Lifo),
+        "Algorithm 1 should not survive non-FIFO links on a clustered start"
+    );
+}
+
+#[test]
+fn discipline_must_be_set_before_running() {
+    let init = clustered_config(8, 2, 0.5);
+    let mut ring = Ring::new(&init, |_| FullKnowledge::new(2));
+    let enabled = ring.enabled();
+    ring.step(enabled[0]);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        ring.set_link_discipline(LinkDiscipline::Lifo);
+    }));
+    assert!(result.is_err(), "late discipline change must panic");
+}

@@ -1,0 +1,211 @@
+//! Invariants of the system model itself (paper §2.1 / Table 2), checked
+//! through the observer-side configuration snapshots.
+
+use ringdeploy::sim::scheduler::Random;
+use ringdeploy::sim::{Place, RunLimits};
+use ringdeploy::{FullKnowledge, InitialConfig, LogSpace, NoKnowledge, Ring};
+
+#[test]
+fn initial_configuration_matches_paper() {
+    // C0: all agents in the incoming buffers of their distinct homes,
+    // no tokens anywhere, no messages.
+    let init = InitialConfig::new(10, vec![1, 4, 8]).expect("valid");
+    let ring: Ring<FullKnowledge> = Ring::new(&init, |_| FullKnowledge::new(3));
+    let c = ring.configuration();
+    assert_eq!(c.total_tokens(), 0);
+    assert!(c.occupied_nodes().is_empty());
+    for (i, a) in c.agents.iter().enumerate() {
+        assert!(a.token_held);
+        assert_eq!(a.pending_messages, 0);
+        match a.place {
+            Place::InTransit { to } => assert_eq!(to.index(), init.homes()[i]),
+            Place::Staying { .. } => panic!("agent {i} must start in a buffer"),
+        }
+    }
+    for (node, q) in c.links.iter().enumerate() {
+        if init.homes().contains(&node) {
+            assert_eq!(q.len(), 1);
+        } else {
+            assert!(q.is_empty());
+        }
+    }
+}
+
+#[test]
+fn no_overtaking_on_fifo_links() {
+    // Run Algorithm 2 (lots of concurrent circulation) with tracing and
+    // verify from the trace that, for every link, the arrival order equals
+    // the entry order — agents never overtake.
+    use ringdeploy::sim::Event;
+    let init = InitialConfig::new(20, vec![0, 1, 5, 9, 13]).expect("valid");
+    let mut ring = Ring::new(&init, |_| LogSpace::new(5));
+    ring.enable_trace(1_000_000);
+    ring.run(&mut Random::seeded(8), RunLimits::for_instance(20, 5))
+        .expect("run");
+    let trace = ring.trace().expect("tracing enabled");
+    assert_eq!(trace.dropped(), 0, "trace must be complete for this check");
+    // Entry order per link (from Moved events), arrival order per node
+    // (from Activated{arrived} events). Skip initial buffer occupancy by
+    // pre-seeding with the homes.
+    let n = 20;
+    let mut entered: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, &h) in init.homes().iter().enumerate() {
+        entered[h].push(i);
+    }
+    let mut arrived: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in trace.events() {
+        match *e {
+            Event::Moved { agent, to, .. } => entered[to.index()].push(agent.index()),
+            Event::Activated {
+                agent,
+                node,
+                arrived: true,
+                ..
+            } => arrived[node.index()].push(agent.index()),
+            _ => {}
+        }
+    }
+    for v in 0..n {
+        // Every arrival sequence must be a prefix-respecting match of the
+        // entry sequence (arrivals happen in entry order).
+        assert!(
+            arrived[v].len() <= entered[v].len(),
+            "node {v}: more arrivals than entries"
+        );
+        assert_eq!(
+            arrived[v][..],
+            entered[v][..arrived[v].len()],
+            "node {v}: overtaking detected"
+        );
+    }
+}
+
+#[test]
+fn snapshot_components_stay_consistent_midrun() {
+    // At every prefix of a run: staying sets P, link queues Q and agent
+    // places S agree; token count T never exceeds k and never decreases.
+    let init = InitialConfig::new(14, vec![0, 3, 7]).expect("valid");
+    let mut ring = Ring::new(&init, |_| NoKnowledge::new());
+    let mut last_tokens = 0u32;
+    for _ in 0..2_000 {
+        let enabled = ring.enabled();
+        if enabled.is_empty() {
+            break;
+        }
+        ring.step(enabled[0]);
+        let c = ring.configuration();
+        let tokens = c.total_tokens();
+        assert!(tokens >= last_tokens, "tokens are unremovable");
+        assert!(tokens <= 3);
+        last_tokens = tokens;
+        for (i, a) in c.agents.iter().enumerate() {
+            match a.place {
+                Place::Staying { at } => {
+                    assert!(
+                        c.staying[at.index()].iter().any(|x| x.index() == i),
+                        "P and S disagree for staying agent {i}"
+                    );
+                }
+                Place::InTransit { to } => {
+                    assert!(
+                        c.links[to.index()].iter().any(|x| x.index() == i),
+                        "Q and S disagree for in-transit agent {i}"
+                    );
+                }
+            }
+        }
+        // No agent appears twice across P and Q.
+        let mut seen = [0u32; 3];
+        for p in &c.staying {
+            for a in p {
+                seen[a.index()] += 1;
+            }
+        }
+        for q in &c.links {
+            for a in q {
+                seen[a.index()] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&s| s == 1), "agent multiplicity violated");
+    }
+}
+
+#[test]
+fn halted_agents_ignore_messages() {
+    // Deliver a message to a halted Algorithm 1 agent: it must never wake.
+    use ringdeploy::sim::{Action, Behavior, Idle, Observation};
+    struct HaltThenNothing {
+        acted: bool,
+    }
+    impl Behavior for HaltThenNothing {
+        type Message = u8;
+        fn act(&mut self, _obs: &Observation<'_, u8>) -> Action<u8> {
+            assert!(!self.acted, "halted agent was re-activated");
+            self.acted = true;
+            Action::staying(Idle::Halted).with_token_release(true)
+        }
+        fn memory_bits(&self) -> usize {
+            1
+        }
+    }
+    struct Pinger {
+        state: u8,
+    }
+    impl Behavior for Pinger {
+        type Message = u8;
+        fn act(&mut self, obs: &Observation<'_, u8>) -> Action<u8> {
+            match self.state {
+                0 => {
+                    self.state = 1;
+                    Action::moving().with_token_release(true)
+                }
+                1 => {
+                    if obs.has_token() && obs.has_staying_agent() {
+                        self.state = 2;
+                        Action::staying(Idle::Halted).with_broadcast(42)
+                    } else {
+                        Action::moving()
+                    }
+                }
+                _ => Action::halting(),
+            }
+        }
+        fn memory_bits(&self) -> usize {
+            2
+        }
+    }
+    // Heterogeneous behaviors via an enum wrapper.
+    enum Either {
+        Halt(HaltThenNothing),
+        Ping(Pinger),
+    }
+    impl Behavior for Either {
+        type Message = u8;
+        fn act(&mut self, obs: &Observation<'_, u8>) -> Action<u8> {
+            match self {
+                Either::Halt(b) => b.act(obs),
+                Either::Ping(b) => b.act(obs),
+            }
+        }
+        fn memory_bits(&self) -> usize {
+            1
+        }
+    }
+    let init = InitialConfig::new(6, vec![0, 3]).expect("valid");
+    let mut ring = Ring::new(&init, |id| {
+        if id.index() == 0 {
+            Either::Halt(HaltThenNothing { acted: false })
+        } else {
+            Either::Ping(Pinger { state: 0 })
+        }
+    });
+    let out = ring
+        .run(
+            &mut ringdeploy::sim::scheduler::RoundRobin::new(),
+            RunLimits::default(),
+        )
+        .expect("run");
+    assert!(out.quiescent);
+    // The halted agent received a message that remains pending forever.
+    assert_eq!(ring.inbox_len(ringdeploy::sim::AgentId(0)), 1);
+}

@@ -1,0 +1,113 @@
+//! Property-based tests: for random instances, all three algorithms reach
+//! uniform deployment and respect the paper's bounds.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ringdeploy::analysis::random_config;
+use ringdeploy::{deploy, is_uniform_spacing, Algorithm, Schedule};
+
+/// Strategy: ring size, agent count, placement seed and schedule seed.
+fn instance() -> impl Strategy<Value = (usize, usize, u64, u64)> {
+    (4usize..80)
+        .prop_flat_map(|n| (Just(n), 2usize..=n.min(16)))
+        .prop_flat_map(|(n, k)| (Just(n), Just(k), any::<u64>(), any::<u64>()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn algo1_deploys_uniformly((n, k, pseed, sseed) in instance()) {
+        let mut rng = SmallRng::seed_from_u64(pseed);
+        let init = random_config(&mut rng, n, k);
+        let report = deploy(&init, Algorithm::FullKnowledge, Schedule::Random(sseed))
+            .expect("run completes");
+        prop_assert!(report.succeeded(), "{:?}", report.check);
+        prop_assert!(is_uniform_spacing(n, &report.positions));
+        prop_assert!(report.metrics.total_moves() <= 3 * (k * n) as u64);
+        prop_assert!(report.metrics.max_moves() <= 3 * n as u64);
+    }
+
+    #[test]
+    fn algo2_deploys_uniformly((n, k, pseed, sseed) in instance()) {
+        let mut rng = SmallRng::seed_from_u64(pseed);
+        let init = random_config(&mut rng, n, k);
+        let report = deploy(&init, Algorithm::LogSpace, Schedule::Random(sseed))
+            .expect("run completes");
+        prop_assert!(report.succeeded(), "{:?}", report.check);
+        prop_assert!(is_uniform_spacing(n, &report.positions));
+        // Selection ≤ 2kn + deployment ≤ kn extra (constant slack for ceil).
+        prop_assert!(report.metrics.total_moves() <= 4 * (k * n) as u64);
+    }
+
+    #[test]
+    fn relaxed_deploys_uniformly((n, k, pseed, sseed) in instance()) {
+        let mut rng = SmallRng::seed_from_u64(pseed);
+        let init = random_config(&mut rng, n, k);
+        let l = init.symmetry_degree();
+        let report = deploy(&init, Algorithm::Relaxed, Schedule::Random(sseed))
+            .expect("run completes");
+        prop_assert!(report.succeeded(), "{:?}", report.check);
+        prop_assert!(is_uniform_spacing(n, &report.positions));
+        // Lemma 5: each agent moves at most 14·(n/l).
+        prop_assert!(report.metrics.max_moves() <= 14 * (n / l) as u64);
+    }
+
+    /// Deterministic final placement: Algorithm 1 and the relaxed algorithm
+    /// land each agent on a schedule-independent node.
+    #[test]
+    fn positions_are_deterministic((n, k, pseed, sseed) in instance()) {
+        let mut rng = SmallRng::seed_from_u64(pseed);
+        let init = random_config(&mut rng, n, k);
+        for algo in [Algorithm::FullKnowledge, Algorithm::Relaxed] {
+            let a = deploy(&init, algo, Schedule::Random(sseed)).expect("run");
+            let b = deploy(&init, algo, Schedule::RoundRobin).expect("run");
+            prop_assert_eq!(&a.positions, &b.positions);
+        }
+    }
+
+    /// Token conservation: exactly one token per home node, none elsewhere,
+    /// regardless of algorithm and schedule.
+    #[test]
+    fn tokens_land_exactly_on_homes((n, k, pseed, sseed) in instance()) {
+        use ringdeploy::sim::scheduler::Random;
+        use ringdeploy::sim::RunLimits;
+        use ringdeploy::{FullKnowledge, Ring};
+        let mut rng = SmallRng::seed_from_u64(pseed);
+        let init = random_config(&mut rng, n, k);
+        let mut ring = Ring::new(&init, |_| FullKnowledge::new(k));
+        ring.run(&mut Random::seeded(sseed), RunLimits::for_instance(n, k))
+            .expect("run");
+        let tokens = ring.tokens();
+        let total: u32 = tokens.iter().sum();
+        prop_assert_eq!(total as usize, k);
+        for (node, &t) in tokens.iter().enumerate() {
+            let is_home = init.homes().contains(&node);
+            prop_assert_eq!(t == 1, is_home, "node {} token {}", node, t);
+        }
+    }
+
+    /// The relaxed algorithm's estimates are consistent: every agent ends
+    /// with the same (n', k'), equal to the fundamental ring.
+    #[test]
+    fn relaxed_estimates_converge((n, k, pseed, sseed) in instance()) {
+        use ringdeploy::sim::scheduler::Random;
+        use ringdeploy::sim::RunLimits;
+        use ringdeploy::{NoKnowledge, Ring};
+        let mut rng = SmallRng::seed_from_u64(pseed);
+        let init = random_config(&mut rng, n, k);
+        let l = init.symmetry_degree();
+        let mut ring = Ring::new(&init, |_| NoKnowledge::new());
+        ring.run(&mut Random::seeded(sseed), RunLimits::for_instance(n, k))
+            .expect("run");
+        for i in 0..k {
+            let est = ring
+                .behavior(ringdeploy::sim::AgentId(i))
+                .estimate()
+                .expect("estimated");
+            prop_assert_eq!(est, ((n / l) as u64, (k / l) as u64),
+                "agent {} estimate {:?}", i, est);
+        }
+    }
+}

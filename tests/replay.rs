@@ -1,0 +1,71 @@
+//! Record/replay: a recorded asynchronous execution replays to an
+//! identical final configuration, metrics included.
+
+use ringdeploy::sim::scheduler::{Random, Recording, Replay};
+use ringdeploy::sim::RunLimits;
+use ringdeploy::{InitialConfig, LogSpace, NoKnowledge, Ring};
+
+#[test]
+fn algo2_run_replays_exactly() {
+    let init = InitialConfig::new(20, vec![0, 1, 5, 9, 13]).expect("valid");
+
+    let mut recording = Recording::new(Random::seeded(321));
+    let mut original = Ring::new(&init, |_| LogSpace::new(5));
+    let out1 = original
+        .run(&mut recording, RunLimits::for_instance(20, 5))
+        .expect("run");
+
+    let mut replay = Replay::new(recording.into_log());
+    let mut copy = Ring::new(&init, |_| LogSpace::new(5));
+    let out2 = copy
+        .run(&mut replay, RunLimits::for_instance(20, 5))
+        .expect("replay");
+
+    assert_eq!(out1.steps, out2.steps);
+    assert_eq!(out1.metrics, out2.metrics);
+    assert_eq!(original.staying_positions(), copy.staying_positions());
+    assert_eq!(original.tokens(), copy.tokens());
+    assert_eq!(original.configuration(), copy.configuration());
+}
+
+#[test]
+fn relaxed_run_replays_exactly() {
+    let init = InitialConfig::new(27, vec![0, 11, 12, 15, 16, 19, 20, 23, 24]).expect("valid");
+    let k = init.agent_count();
+
+    let mut recording = Recording::new(Random::seeded(99));
+    let mut original = Ring::new(&init, |_| NoKnowledge::new());
+    let out1 = original
+        .run(&mut recording, RunLimits::for_instance(27, k))
+        .expect("run");
+
+    let mut replay = Replay::new(recording.into_log());
+    let mut copy = Ring::new(&init, |_| NoKnowledge::new());
+    let out2 = copy
+        .run(&mut replay, RunLimits::for_instance(27, k))
+        .expect("replay");
+
+    assert_eq!(out1.metrics, out2.metrics);
+    assert_eq!(original.staying_positions(), copy.staying_positions());
+}
+
+#[test]
+fn truncated_replay_panics_with_exhaustion() {
+    let init = InitialConfig::new(12, vec![0, 4]).expect("valid");
+    let mut recording = Recording::new(Random::seeded(5));
+    let mut original = Ring::new(&init, |_| LogSpace::new(2));
+    original
+        .run(&mut recording, RunLimits::for_instance(12, 2))
+        .expect("run");
+
+    // Replay only half the log: the run cannot finish and the replay
+    // scheduler reports exhaustion instead of silently improvising.
+    let mut log = recording.into_log();
+    log.truncate(log.len() / 2);
+    let mut replay = Replay::new(log);
+    let mut copy = Ring::new(&init, |_| LogSpace::new(2));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = copy.run(&mut replay, RunLimits::for_instance(12, 2));
+    }));
+    assert!(result.is_err(), "exhausted replay must panic");
+}

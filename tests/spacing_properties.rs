@@ -1,0 +1,69 @@
+//! Property tests for the target-spacing geometry (§3.1.1) — the piece of
+//! shared arithmetic every algorithm's correctness rests on.
+
+use proptest::prelude::*;
+use ringdeploy::{is_uniform_spacing, SpacingPlan};
+
+fn valid_nkb() -> impl Strategy<Value = (u64, u64, u64)> {
+    (2u64..200)
+        .prop_flat_map(|n| (Just(n), 2u64..=n.min(24)))
+        .prop_flat_map(|(n, k)| {
+            let divisors: Vec<u64> = (1..=k).filter(|b| k % b == 0 && n % b == 0).collect();
+            (Just(n), Just(k), prop::sample::select(divisors))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Offsets are strictly increasing, intervals are floor/ceil of n/k,
+    /// and the span closes exactly at n/b.
+    #[test]
+    fn offsets_partition_the_span((n, k, b) in valid_nkb()) {
+        let plan = SpacingPlan::new(n, k, b).expect("valid");
+        let tps = plan.targets_per_span();
+        let floor = n / k;
+        let ceil = floor + u64::from(n % k != 0);
+        let mut prev = plan.offset(0);
+        prop_assert_eq!(prev, 0);
+        for j in 1..=tps {
+            let cur = plan.offset(j);
+            let gap = cur - prev;
+            prop_assert!(gap == floor || gap == ceil, "gap {} at j={}", gap, j);
+            prop_assert_eq!(gap, plan.interval(j - 1));
+            prev = cur;
+        }
+        prop_assert_eq!(prev, plan.span());
+    }
+
+    /// `target_at` is the exact inverse of `offset` and rejects everything
+    /// else.
+    #[test]
+    fn target_at_is_exact_inverse((n, k, b) in valid_nkb()) {
+        let plan = SpacingPlan::new(n, k, b).expect("valid");
+        let offsets: std::collections::BTreeMap<u64, u64> = (0..plan.targets_per_span())
+            .map(|j| (plan.offset(j), j))
+            .collect();
+        for s in 0..plan.span() {
+            prop_assert_eq!(plan.target_at(s), offsets.get(&s).copied(), "s={}", s);
+        }
+        prop_assert_eq!(plan.target_at(plan.span()), None);
+    }
+
+    /// The full-ring target set is always a uniform deployment, from any
+    /// base anchor.
+    #[test]
+    fn all_targets_are_uniform((n, k, b) in valid_nkb(), anchor in 0u64..200) {
+        let plan = SpacingPlan::new(n, k, b).expect("valid");
+        let anchor = anchor % n;
+        let targets = plan.all_targets(anchor);
+        prop_assert_eq!(targets.len() as u64, k);
+        let positions: Vec<usize> = targets.iter().map(|&t| t as usize).collect();
+        prop_assert!(is_uniform_spacing(n as usize, &positions), "{:?}", positions);
+        // All distinct.
+        let mut sorted = positions.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len() as u64, k);
+    }
+}
