@@ -1,13 +1,16 @@
-//! Experiment runner: sweeps algorithms over workloads and collects the
-//! paper's three measures (memory, time, moves).
+//! Measurement rows and Table-1-style aggregates, plus the deprecated
+//! single-run shims. The canonical batch API is [`crate::sweep::Sweep`];
+//! the canonical single-run functions are [`crate::sweep::measure_one`]
+//! and [`crate::sweep::measure_with_ideal_time`].
 
-use ringdeploy_core::{deploy, Algorithm, DeployReport, Schedule};
-use ringdeploy_sim::{InitialConfig, SimError};
+use ringdeploy_core::{Algorithm, DeployError, DeployReport, Schedule};
+use ringdeploy_sim::InitialConfig;
 
 use crate::stats::Summary;
+use crate::sweep::{measure_one, measure_with_ideal_time, MeasureError};
 
 /// One measured run: everything needed to regenerate a Table-1-style row.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Measurement {
     /// Algorithm that ran.
     pub algorithm: Algorithm,
@@ -54,35 +57,46 @@ impl Measurement {
 
 /// Runs `algorithm` on `init` under `schedule` and returns the measurement.
 ///
+/// Deprecated shim over [`measure_one`], kept for one release. Like
+/// `measure_one`, [`Schedule::Synchronous`] runs in lock-step mode and
+/// yields an `ideal_time`-carrying measurement.
+///
 /// # Errors
 ///
-/// Propagates engine errors (limits exceeded).
+/// Propagates [`DeployError`] (limits exceeded).
+#[deprecated(
+    since = "0.2.0",
+    note = "use sweep::measure_one (single runs) or the Sweep batch API"
+)]
 pub fn measure(
     init: &InitialConfig,
     algorithm: Algorithm,
     schedule: Schedule,
-) -> Result<Measurement, SimError> {
-    let report = deploy(init, algorithm, schedule)?;
-    Ok(Measurement::from_report(schedule, &report))
+) -> Result<Measurement, DeployError> {
+    measure_one(init, algorithm, schedule, None)
 }
 
-/// Runs `algorithm` on `init` twice — once synchronously for ideal time,
-/// once under the given asynchronous schedule for adversarial validation —
-/// and returns the synchronous measurement (which carries `ideal_time`)
-/// after asserting both succeeded.
+/// Runs `algorithm` on `init` twice — asynchronously for validation and
+/// synchronously for ideal time — returning the synchronous measurement.
+///
+/// Deprecated shim over [`measure_with_ideal_time`], kept for one
+/// release. Unlike the original, a success-verdict disagreement between
+/// the two runs is a real [`MeasureError::VerdictMismatch`], not a
+/// `debug_assert_eq!`.
 ///
 /// # Errors
 ///
-/// Propagates engine errors.
+/// Propagates engine errors and verdict mismatches.
+#[deprecated(
+    since = "0.2.0",
+    note = "use sweep::measure_with_ideal_time or Sweep::with_ideal_time"
+)]
 pub fn measure_with_time(
     init: &InitialConfig,
     algorithm: Algorithm,
     async_schedule: Schedule,
-) -> Result<Measurement, SimError> {
-    let async_m = measure(init, algorithm, async_schedule)?;
-    let sync_m = measure(init, algorithm, Schedule::Synchronous)?;
-    debug_assert_eq!(async_m.success, sync_m.success);
-    Ok(sync_m)
+) -> Result<Measurement, MeasureError> {
+    measure_with_ideal_time(init, algorithm, async_schedule, None)
 }
 
 /// Aggregated view over repeated measurements of one experimental cell.
@@ -108,9 +122,13 @@ pub struct Cell {
 
 /// Aggregates measurements (all of one algorithm/n/k) into a [`Cell`].
 ///
+/// Deprecated shim kept for one release; prefer
+/// [`crate::sweep::summarize`], which groups a whole sweep's rows.
+///
 /// # Panics
 ///
 /// Panics if `ms` is empty.
+#[deprecated(since = "0.2.0", note = "use sweep::summarize on SweepRows")]
 pub fn aggregate(ms: &[Measurement]) -> Cell {
     assert!(!ms.is_empty(), "cannot aggregate zero measurements");
     let first = &ms[0];
@@ -141,8 +159,52 @@ pub fn aggregate(ms: &[Measurement]) -> Cell {
     }
 }
 
+#[cfg(feature = "serde")]
+mod json_impls {
+    use super::Measurement;
+    use ringdeploy_json::{FromJson, Json, JsonError, ToJson};
+
+    impl ToJson for Measurement {
+        fn to_json(&self) -> Json {
+            Json::object([
+                ("algorithm", self.algorithm.to_json()),
+                ("schedule", self.schedule.to_json()),
+                ("n", self.n.to_json()),
+                ("k", self.k.to_json()),
+                ("symmetry_degree", self.symmetry_degree.to_json()),
+                ("success", self.success.to_json()),
+                ("total_moves", self.total_moves.to_json()),
+                ("max_moves", self.max_moves.to_json()),
+                ("ideal_time", self.ideal_time.to_json()),
+                ("peak_memory_bits", self.peak_memory_bits.to_json()),
+                ("messages", self.messages.to_json()),
+            ])
+        }
+    }
+
+    impl FromJson for Measurement {
+        fn from_json(json: &Json) -> Result<Self, JsonError> {
+            Ok(Measurement {
+                algorithm: json.field("algorithm")?,
+                schedule: json.field("schedule")?,
+                n: json.field("n")?,
+                k: json.field("k")?,
+                symmetry_degree: json.field("symmetry_degree")?,
+                success: json.field("success")?,
+                total_moves: json.field("total_moves")?,
+                max_moves: json.field("max_moves")?,
+                ideal_time: json.optional_field("ideal_time")?,
+                peak_memory_bits: json.field("peak_memory_bits")?,
+                messages: json.field("messages")?,
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use crate::generators::random_config;
     use rand::rngs::SmallRng;

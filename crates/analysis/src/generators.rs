@@ -69,7 +69,10 @@ pub fn quarter_ring_config(n: usize, k: usize) -> InitialConfig {
 /// (needed for an aperiodic fundamental pattern), or if the resulting
 /// degree is not `l` (cannot happen for the construction used).
 pub fn periodic_config(n: usize, k: usize, l: usize) -> InitialConfig {
-    assert!(l >= 1 && n % l == 0 && k % l == 0, "l must divide n and k");
+    assert!(
+        l >= 1 && n.is_multiple_of(l) && k.is_multiple_of(l),
+        "l must divide n and k"
+    );
     let np = n / l;
     let kp = k / l;
     assert!(kp >= 1, "at least one agent per period");

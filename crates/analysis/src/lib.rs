@@ -7,7 +7,7 @@
 //!   periodic with prescribed symmetry degree `l` (§4.2.2 / Fig. 11),
 //!   already-uniform, explicit gap lists, and the Theorem 5 replication
 //!   construction (Fig. 7).
-//! * [`Measurement`] / [`measure`]: one algorithm run → the paper's three
+//! * [`Sweep`] / [`Measurement`]: batched (parallel) runs → the paper's three
 //!   measures (peak agent memory in bits, ideal time in rounds, total
 //!   moves) plus the Definition 1/2 verdict.
 //! * [`Summary`] / [`LinearFit`]: statistics for scaling-shape checks.
@@ -17,15 +17,20 @@
 //! # Example
 //!
 //! ```
-//! use rand::SeedableRng;
-//! use ringdeploy_analysis::{measure, random_config};
-//! use ringdeploy_core::{Algorithm, Schedule};
+//! use ringdeploy_analysis::{Sweep, Workload};
+//! use ringdeploy_core::Algorithm;
 //!
-//! let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
-//! let init = random_config(&mut rng, 32, 8);
-//! let m = measure(&init, Algorithm::FullKnowledge, Schedule::Random(7))?;
-//! assert!(m.success);
-//! assert!(m.total_moves <= 3 * 8 * 32); // O(kn) with constant 3
+//! // Eight agents on a 32-node ring, three seeds, random adversaries.
+//! let rows = Sweep::new()
+//!     .algorithm(Algorithm::FullKnowledge)
+//!     .workload(Workload::Random { n: 32, k: 8 })
+//!     .random_per_seed()
+//!     .seeds([7, 8, 9])
+//!     .run()?;
+//! for row in &rows {
+//!     assert!(row.measurement.success);
+//!     assert!(row.measurement.total_moves <= 3 * 8 * 32); // O(kn), constant 3
+//! }
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -37,9 +42,12 @@ pub mod generators;
 mod memory_model;
 mod oracle;
 mod stats;
+pub mod sweep;
 mod table;
 
-pub use experiment::{aggregate, measure, measure_with_time, Cell, Measurement};
+#[allow(deprecated)]
+pub use experiment::{aggregate, measure, measure_with_time};
+pub use experiment::{Cell, Measurement};
 pub use generators::{
     clustered_config, from_gaps, periodic_config, quarter_ring_config, random_aperiodic_config,
     random_config, theorem5_config, uniform_config,
@@ -47,4 +55,8 @@ pub use generators::{
 pub use memory_model::{algo1_bounds, algo2_bounds, relaxed_bounds, theorem1_lower_bound, Bound};
 pub use oracle::{oracle_moves, oracle_moves_brute_force, OracleSolution};
 pub use stats::{LinearFit, Summary};
+pub use sweep::{
+    measure_one, measure_with_ideal_time, summarize, MeasureError, Sweep, SweepCell, SweepError,
+    SweepRow, SweepSchedule, Workload,
+};
 pub use table::{fmt_f64, TextTable};

@@ -104,7 +104,7 @@ pub fn oracle_moves_brute_force(init: &InitialConfig) -> u64 {
         a
     };
     let floor = n / k;
-    let ceil = floor + usize::from(n % k != 0);
+    let ceil = floor + usize::from(!n.is_multiple_of(k));
     let r = n % k;
     // Enumerate gap patterns: which of the k gaps are ceil (choose r).
     let mut best = u64::MAX;

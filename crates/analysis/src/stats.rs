@@ -2,7 +2,6 @@
 
 /// Summary statistics of a sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Summary {
     /// Number of observations.
     pub count: usize,
@@ -72,7 +71,6 @@ impl Summary {
 /// Used to check scaling shapes: e.g. total moves vs `k·n` should fit a
 /// line with positive slope and high `r²` if moves are `Θ(kn)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LinearFit {
     /// Fitted slope.
     pub slope: f64,

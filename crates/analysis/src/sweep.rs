@@ -1,0 +1,870 @@
+//! The [`Sweep`] batch API: cross-products algorithms × workloads ×
+//! schedules × seeds, executes the cells in parallel on OS threads and
+//! streams [`Measurement`] rows in deterministic cell order.
+//!
+//! `Sweep` subsumes the old `measure` / `measure_with_time` / `aggregate`
+//! trio: one-off runs are a 1×1×1×1 sweep, ideal-time measurement is the
+//! [`Sweep::with_ideal_time`] knob (whose async/sync verdict cross-check
+//! is now a real [`MeasureError::VerdictMismatch`] instead of a
+//! `debug_assert_eq!`), and [`summarize`] groups rows into the
+//! Table-1-style [`Cell`]s.
+//!
+//! # Example
+//!
+//! ```
+//! use ringdeploy_analysis::{Sweep, Workload};
+//! use ringdeploy_core::{Algorithm, Schedule};
+//!
+//! let rows = Sweep::new()
+//!     .algorithms([Algorithm::FullKnowledge, Algorithm::LogSpace])
+//!     .workload(Workload::Random { n: 48, k: 6 })
+//!     .schedule(Schedule::RoundRobin)
+//!     .random_per_seed()
+//!     .seeds([1, 2, 3])
+//!     .run()?;
+//! assert_eq!(rows.len(), 2 * 1 * 2 * 3);
+//! assert!(rows.iter().all(|row| row.measurement.success));
+//! # Ok::<(), ringdeploy_analysis::SweepError>(())
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ringdeploy_core::{Algorithm, DeployError, Deployment, Schedule};
+use ringdeploy_sim::{InitialConfig, RunLimits};
+
+use crate::experiment::{Cell, Measurement};
+use crate::generators::{
+    periodic_config, quarter_ring_config, random_aperiodic_config, random_config, uniform_config,
+};
+use crate::stats::Summary;
+
+/// A named initial-configuration family, instantiable per seed.
+///
+/// This is the declarative (serializable, cross-product-able) counterpart
+/// of the closure-style generators in [`crate::generators`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Uniformly random distinct homes.
+    Random {
+        /// Ring size.
+        n: usize,
+        /// Agent count.
+        k: usize,
+    },
+    /// Random homes resampled until the symmetry degree is 1.
+    RandomAperiodic {
+        /// Ring size.
+        n: usize,
+        /// Agent count.
+        k: usize,
+    },
+    /// All agents clustered in the first quarter of the ring (Fig. 3).
+    QuarterRing {
+        /// Ring size.
+        n: usize,
+        /// Agent count.
+        k: usize,
+    },
+    /// Symmetry degree exactly `l` (§4.2.2 / Fig. 11).
+    Periodic {
+        /// Ring size.
+        n: usize,
+        /// Agent count.
+        k: usize,
+        /// Symmetry degree (must divide `n` and `k`).
+        l: usize,
+    },
+    /// Already uniformly deployed (`l = k`).
+    Uniform {
+        /// Ring size.
+        n: usize,
+        /// Agent count.
+        k: usize,
+    },
+}
+
+impl Workload {
+    /// Ring size of the family.
+    pub fn n(self) -> usize {
+        match self {
+            Workload::Random { n, .. }
+            | Workload::RandomAperiodic { n, .. }
+            | Workload::QuarterRing { n, .. }
+            | Workload::Periodic { n, .. }
+            | Workload::Uniform { n, .. } => n,
+        }
+    }
+
+    /// Agent count of the family.
+    pub fn k(self) -> usize {
+        match self {
+            Workload::Random { k, .. }
+            | Workload::RandomAperiodic { k, .. }
+            | Workload::QuarterRing { k, .. }
+            | Workload::Periodic { k, .. }
+            | Workload::Uniform { k, .. } => k,
+        }
+    }
+
+    /// Builds the concrete initial configuration for `seed`.
+    /// Deterministic: the same workload and seed always produce the same
+    /// configuration (deterministic families ignore the seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters (e.g. `k > n`), mirroring the
+    /// underlying generator.
+    pub fn instantiate(self, seed: u64) -> InitialConfig {
+        match self {
+            Workload::Random { n, k } => {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                random_config(&mut rng, n, k)
+            }
+            Workload::RandomAperiodic { n, k } => {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                random_aperiodic_config(&mut rng, n, k)
+            }
+            Workload::QuarterRing { n, k } => quarter_ring_config(n, k),
+            Workload::Periodic { n, k, l } => periodic_config(n, k, l),
+            Workload::Uniform { n, k } => uniform_config(n, k),
+        }
+    }
+
+    /// A short label for tables and error messages.
+    pub fn label(self) -> String {
+        match self {
+            Workload::Random { n, k } => format!("random(n={n},k={k})"),
+            Workload::RandomAperiodic { n, k } => format!("aperiodic(n={n},k={k})"),
+            Workload::QuarterRing { n, k } => format!("quarter(n={n},k={k})"),
+            Workload::Periodic { n, k, l } => format!("periodic(n={n},k={k},l={l})"),
+            Workload::Uniform { n, k } => format!("uniform(n={n},k={k})"),
+        }
+    }
+}
+
+/// How a sweep cell is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SweepSchedule {
+    /// A fixed preset. [`Schedule::Synchronous`] selects the lock-step
+    /// driver mode for the cell (ideal-time-only measurement).
+    Preset(Schedule),
+    /// `Schedule::Random(seed)` with the cell's own seed — the common
+    /// "vary the adversary with the workload" pattern.
+    RandomPerSeed,
+}
+
+impl SweepSchedule {
+    fn resolve(self, seed: u64) -> Schedule {
+        match self {
+            SweepSchedule::Preset(preset) => preset,
+            SweepSchedule::RandomPerSeed => Schedule::Random(seed),
+        }
+    }
+}
+
+/// Coordinates of one cell in a sweep's cross product.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepCell {
+    /// Position in the deterministic enumeration order (row order).
+    pub index: usize,
+    /// Algorithm of the cell.
+    pub algorithm: Algorithm,
+    /// Workload family of the cell.
+    pub workload: Workload,
+    /// Resolved schedule of the cell.
+    pub schedule: Schedule,
+    /// Seed used for workload instantiation (and the per-seed schedule).
+    pub seed: u64,
+}
+
+impl SweepCell {
+    /// A human-readable cell label for reports and errors.
+    pub fn label(&self) -> String {
+        format!(
+            "{} × {} × {} × seed {}",
+            self.algorithm,
+            self.workload.label(),
+            self.schedule.label(),
+            self.seed
+        )
+    }
+}
+
+/// One streamed result row: the cell coordinates plus its measurement.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Which cell produced this row.
+    pub cell: SweepCell,
+    /// The measured quantities.
+    pub measurement: Measurement,
+}
+
+/// Error from a single measurement (one cell).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeasureError {
+    /// The run itself failed (limits, synchronous-preset misuse).
+    Deploy(DeployError),
+    /// With ideal-time measurement enabled, the asynchronous and
+    /// synchronous runs disagreed on success — previously a
+    /// `debug_assert_eq!`, now a first-class error.
+    VerdictMismatch {
+        /// Algorithm that disagreed.
+        algorithm: Algorithm,
+        /// Verdict of the asynchronous run.
+        asynchronous: bool,
+        /// Verdict of the synchronous run.
+        synchronous: bool,
+    },
+}
+
+impl std::fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeasureError::Deploy(e) => write!(f, "{e}"),
+            MeasureError::VerdictMismatch {
+                algorithm,
+                asynchronous,
+                synchronous,
+            } => write!(
+                f,
+                "{algorithm}: asynchronous run success = {asynchronous} but \
+                 synchronous run success = {synchronous}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MeasureError::Deploy(e) => Some(e),
+            MeasureError::VerdictMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<DeployError> for MeasureError {
+    fn from(e: DeployError) -> Self {
+        MeasureError::Deploy(e)
+    }
+}
+
+/// Error aborting a sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError {
+    /// A dimension of the cross product is empty.
+    EmptyDimension {
+        /// Which builder list was empty.
+        dimension: &'static str,
+    },
+    /// A cell failed; carries the cell label for diagnosis.
+    Cell {
+        /// Enumeration index of the failing cell.
+        index: usize,
+        /// [`SweepCell::label`] of the failing cell.
+        label: String,
+        /// The underlying measurement error.
+        error: MeasureError,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::EmptyDimension { dimension } => {
+                write!(f, "sweep has an empty {dimension} list")
+            }
+            SweepError::Cell {
+                index,
+                label,
+                error,
+            } => write!(f, "sweep cell #{index} ({label}) failed: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Measures one run of `algorithm` on `init` under `schedule`, using the
+/// [`Deployment`] builder. `Schedule::Synchronous` selects the lock-step
+/// driver mode.
+///
+/// # Errors
+///
+/// Propagates [`DeployError`] from the run.
+pub fn measure_one(
+    init: &InitialConfig,
+    algorithm: Algorithm,
+    schedule: Schedule,
+    limits: Option<RunLimits>,
+) -> Result<Measurement, DeployError> {
+    let mut deployment = Deployment::of(init).algorithm(algorithm);
+    if let Some(limits) = limits {
+        deployment = deployment.limits(limits);
+    }
+    let report = deployment.run_preset(schedule)?;
+    Ok(Measurement::from_report(schedule, &report))
+}
+
+/// Runs `algorithm` on `init` twice — once under the asynchronous
+/// `schedule` for adversarial validation, once synchronously for ideal
+/// time — and returns the synchronous measurement (which carries
+/// `ideal_time`).
+///
+/// # Errors
+///
+/// Propagates run errors, and returns
+/// [`MeasureError::VerdictMismatch`] when the two runs disagree on
+/// success (the old `measure_with_time` only `debug_assert`ed this).
+pub fn measure_with_ideal_time(
+    init: &InitialConfig,
+    algorithm: Algorithm,
+    schedule: Schedule,
+    limits: Option<RunLimits>,
+) -> Result<Measurement, MeasureError> {
+    let async_m = measure_one(init, algorithm, schedule, limits)?;
+    let sync_m = measure_one(init, algorithm, Schedule::Synchronous, limits)?;
+    if async_m.success != sync_m.success {
+        return Err(MeasureError::VerdictMismatch {
+            algorithm,
+            asynchronous: async_m.success,
+            synchronous: sync_m.success,
+        });
+    }
+    Ok(sync_m)
+}
+
+/// A batch of measurement runs over the cross product
+/// algorithms × workloads × schedules × seeds.
+///
+/// Cells execute in parallel on OS threads ([`Sweep::threads`] caps the
+/// pool; the default is the machine's available parallelism) and results
+/// stream to the caller **in deterministic cell order**, so a parallel
+/// sweep is row-for-row identical to a sequential one.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    algorithms: Vec<Algorithm>,
+    workloads: Vec<(Workload, Option<u64>)>,
+    schedules: Vec<SweepSchedule>,
+    seeds: Vec<u64>,
+    ideal_time: bool,
+    threads: Option<usize>,
+    limits: Option<RunLimits>,
+}
+
+impl Default for Sweep {
+    fn default() -> Self {
+        Sweep::new()
+    }
+}
+
+impl Sweep {
+    /// An empty sweep: add at least one algorithm, workload, schedule and
+    /// seed before running ([`Sweep::seeds`] defaults to the single seed
+    /// 0 if never called).
+    pub fn new() -> Self {
+        Sweep {
+            algorithms: Vec::new(),
+            workloads: Vec::new(),
+            schedules: Vec::new(),
+            seeds: vec![0],
+            ideal_time: false,
+            threads: None,
+            limits: None,
+        }
+    }
+
+    /// Adds one algorithm.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithms.push(algorithm);
+        self
+    }
+
+    /// Adds several algorithms.
+    pub fn algorithms(mut self, algorithms: impl IntoIterator<Item = Algorithm>) -> Self {
+        self.algorithms.extend(algorithms);
+        self
+    }
+
+    /// Adds one workload family.
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workloads.push((workload, None));
+        self
+    }
+
+    /// Adds several workload families.
+    pub fn workloads(mut self, workloads: impl IntoIterator<Item = Workload>) -> Self {
+        self.workloads
+            .extend(workloads.into_iter().map(|w| (w, None)));
+        self
+    }
+
+    /// Adds a workload with a **fixed** seed that overrides the sweep's
+    /// seed list for this workload (the resolved per-cell seed also feeds
+    /// [`SweepSchedule::RandomPerSeed`]). This is how per-cell seed
+    /// conventions like Table 1's `1000 + cell_index` are expressed.
+    pub fn seeded_workload(mut self, workload: Workload, seed: u64) -> Self {
+        self.workloads.push((workload, Some(seed)));
+        self
+    }
+
+    /// Adds a preset schedule. `Schedule::Synchronous` makes the cell run
+    /// in lock-step mode.
+    pub fn schedule(mut self, preset: Schedule) -> Self {
+        self.schedules.push(SweepSchedule::Preset(preset));
+        self
+    }
+
+    /// Adds several preset schedules.
+    pub fn schedules(mut self, presets: impl IntoIterator<Item = Schedule>) -> Self {
+        self.schedules
+            .extend(presets.into_iter().map(SweepSchedule::Preset));
+        self
+    }
+
+    /// Adds the per-seed random schedule: each cell runs under
+    /// `Schedule::Random(cell_seed)`.
+    pub fn random_per_seed(mut self) -> Self {
+        self.schedules.push(SweepSchedule::RandomPerSeed);
+        self
+    }
+
+    /// Replaces the seed list (default: the single seed 0).
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Also measures ideal time: every asynchronous cell additionally
+    /// runs synchronously, the success verdicts are cross-checked
+    /// ([`MeasureError::VerdictMismatch`]), and the synchronous
+    /// measurement (carrying `ideal_time`) becomes the row.
+    pub fn with_ideal_time(mut self) -> Self {
+        self.ideal_time = true;
+        self
+    }
+
+    /// Caps the worker-thread count (default: available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Overrides the run limits of every cell.
+    pub fn limits(mut self, limits: RunLimits) -> Self {
+        self.limits = Some(limits);
+        self
+    }
+
+    /// Enumerates the cells in deterministic order (algorithms outermost,
+    /// seeds innermost). Workloads with a fixed seed contribute one cell
+    /// per schedule instead of one per schedule × seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::EmptyDimension`] when a dimension is empty.
+    pub fn cells(&self) -> Result<Vec<SweepCell>, SweepError> {
+        for (dimension, empty) in [
+            ("algorithm", self.algorithms.is_empty()),
+            ("workload", self.workloads.is_empty()),
+            ("schedule", self.schedules.is_empty()),
+            ("seed", self.seeds.is_empty()),
+        ] {
+            if empty {
+                return Err(SweepError::EmptyDimension { dimension });
+            }
+        }
+        let mut cells = Vec::new();
+        for &algorithm in &self.algorithms {
+            for &(workload, fixed_seed) in &self.workloads {
+                for &schedule in &self.schedules {
+                    let seeds: &[u64] = match &fixed_seed {
+                        Some(seed) => std::slice::from_ref(seed),
+                        None => &self.seeds,
+                    };
+                    for &seed in seeds {
+                        cells.push(SweepCell {
+                            index: cells.len(),
+                            algorithm,
+                            workload,
+                            schedule: schedule.resolve(seed),
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(cells)
+    }
+
+    fn measure_cell(&self, cell: &SweepCell) -> Result<Measurement, MeasureError> {
+        let init = cell.workload.instantiate(cell.seed);
+        if self.ideal_time && cell.schedule != Schedule::Synchronous {
+            measure_with_ideal_time(&init, cell.algorithm, cell.schedule, self.limits)
+        } else {
+            measure_one(&init, cell.algorithm, cell.schedule, self.limits)
+                .map_err(MeasureError::from)
+        }
+    }
+
+    /// Runs every cell and collects the rows in cell order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (lowest-index) failing cell's error; rows after
+    /// a failure are discarded.
+    pub fn run(&self) -> Result<Vec<SweepRow>, SweepError> {
+        let mut rows = Vec::new();
+        self.stream(|row| rows.push(row))?;
+        Ok(rows)
+    }
+
+    /// Runs every cell sequentially on the calling thread — the reference
+    /// implementation that parallel [`Sweep::run`] must match row for
+    /// row.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Sweep::run`].
+    pub fn run_sequential(&self) -> Result<Vec<SweepRow>, SweepError> {
+        let cells = self.cells()?;
+        let mut rows = Vec::with_capacity(cells.len());
+        for cell in cells {
+            let measurement = self.measure_cell(&cell).map_err(|error| SweepError::Cell {
+                index: cell.index,
+                label: cell.label(),
+                error,
+            })?;
+            rows.push(SweepRow { cell, measurement });
+        }
+        Ok(rows)
+    }
+
+    /// Executes all cells in parallel, invoking `on_row` for every result
+    /// **in cell order** as soon as its contiguous prefix has completed
+    /// (streaming: early rows are delivered while later cells still run).
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-index failing cell's error. `on_row` is never
+    /// called for rows at or after the failing index.
+    pub fn stream(&self, mut on_row: impl FnMut(SweepRow)) -> Result<(), SweepError> {
+        let cells = self.cells()?;
+        if cells.is_empty() {
+            return Ok(());
+        }
+        let workers = self
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+            .min(cells.len());
+        if workers <= 1 {
+            return self.run_sequential().map(|rows| {
+                for row in rows {
+                    on_row(row);
+                }
+            });
+        }
+
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<usize>();
+        let slots: Vec<Mutex<Option<Result<SweepRow, SweepError>>>> =
+            cells.iter().map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let cells = &cells;
+                let slots = &slots;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    let cell = cells[i].clone();
+                    let result = self
+                        .measure_cell(&cell)
+                        .map(|measurement| SweepRow {
+                            cell: cells[i].clone(),
+                            measurement,
+                        })
+                        .map_err(|error| SweepError::Cell {
+                            index: cell.index,
+                            label: cell.label(),
+                            error,
+                        });
+                    *slots[i].lock().expect("sweep slot poisoned") = Some(result);
+                    if tx.send(i).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+
+            // Emit the contiguous prefix in order as results land.
+            let mut emitted = 0usize;
+            let mut first_error: Option<SweepError> = None;
+            for _ in 0..cells.len() {
+                let Ok(_done) = rx.recv() else { break };
+                while emitted < cells.len() {
+                    let mut slot = slots[emitted].lock().expect("sweep slot poisoned");
+                    match slot.take() {
+                        None => break,
+                        Some(Ok(row)) => {
+                            drop(slot);
+                            if first_error.is_none() {
+                                on_row(row);
+                            }
+                            emitted += 1;
+                        }
+                        Some(Err(error)) => {
+                            drop(slot);
+                            if first_error.is_none() {
+                                first_error = Some(error);
+                                // The sweep's outcome is decided: park the
+                                // work queue so idle workers stop picking
+                                // up cells (in-flight cells still finish).
+                                next.store(cells.len(), Ordering::Relaxed);
+                            }
+                            emitted += 1;
+                        }
+                    }
+                }
+            }
+            match first_error {
+                None => Ok(()),
+                Some(error) => Err(error),
+            }
+        })
+    }
+}
+
+/// Groups rows by `(algorithm, n, k)` — in first-appearance order — and
+/// aggregates each group into a Table-1-style [`Cell`].
+pub fn summarize(rows: &[SweepRow]) -> Vec<Cell> {
+    let mut order: Vec<(Algorithm, usize, usize)> = Vec::new();
+    for row in rows {
+        let key = (
+            row.measurement.algorithm,
+            row.measurement.n,
+            row.measurement.k,
+        );
+        if !order.contains(&key) {
+            order.push(key);
+        }
+    }
+    order
+        .into_iter()
+        .map(|(algorithm, n, k)| {
+            let group: Vec<&Measurement> = rows
+                .iter()
+                .map(|r| &r.measurement)
+                .filter(|m| m.algorithm == algorithm && m.n == n && m.k == k)
+                .collect();
+            let success_rate =
+                group.iter().filter(|m| m.success).count() as f64 / group.len() as f64;
+            let moves = Summary::of_u64(&group.iter().map(|m| m.total_moves).collect::<Vec<_>>());
+            let time = Summary::of_u64(
+                &group
+                    .iter()
+                    .filter_map(|m| m.ideal_time)
+                    .collect::<Vec<_>>(),
+            );
+            let memory = Summary::of_u64(
+                &group
+                    .iter()
+                    .map(|m| m.peak_memory_bits as u64)
+                    .collect::<Vec<_>>(),
+            );
+            let symmetry_degree = match group.split_first() {
+                Some((first, rest))
+                    if rest
+                        .iter()
+                        .all(|m| m.symmetry_degree == first.symmetry_degree) =>
+                {
+                    first.symmetry_degree
+                }
+                _ => 0,
+            };
+            Cell {
+                algorithm,
+                n,
+                k,
+                symmetry_degree,
+                success_rate,
+                moves,
+                time,
+                memory,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_sweep() -> Sweep {
+        Sweep::new()
+            .algorithms(Algorithm::ALL)
+            .workload(Workload::Random { n: 30, k: 5 })
+            .workload(Workload::Periodic { n: 24, k: 4, l: 2 })
+            .schedule(Schedule::RoundRobin)
+            .random_per_seed()
+            .seeds([11, 12])
+    }
+
+    #[test]
+    fn cross_product_enumeration_is_complete_and_ordered() {
+        let cells = small_sweep().cells().unwrap();
+        assert_eq!(cells.len(), 3 * 2 * 2 * 2);
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.index, i);
+        }
+        // Seeds innermost.
+        assert_eq!(cells[0].seed, 11);
+        assert_eq!(cells[1].seed, 12);
+        // RandomPerSeed resolves to the cell seed.
+        let random_cells: Vec<_> = cells
+            .iter()
+            .filter(|c| matches!(c.schedule, Schedule::Random(_)))
+            .collect();
+        assert!(random_cells
+            .iter()
+            .all(|c| c.schedule == Schedule::Random(c.seed)));
+    }
+
+    #[test]
+    fn empty_dimensions_are_reported() {
+        let err = Sweep::new().cells().unwrap_err();
+        assert_eq!(
+            err,
+            SweepError::EmptyDimension {
+                dimension: "algorithm"
+            }
+        );
+        let err = Sweep::new()
+            .algorithm(Algorithm::LogSpace)
+            .workload(Workload::Uniform { n: 8, k: 2 })
+            .cells()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SweepError::EmptyDimension {
+                dimension: "schedule"
+            }
+        );
+    }
+
+    #[test]
+    fn parallel_rows_equal_sequential_rows() {
+        let sweep = small_sweep();
+        let sequential = sweep.run_sequential().unwrap();
+        let parallel = sweep.clone().threads(4).run().unwrap();
+        assert_eq!(sequential.len(), parallel.len());
+        for (a, b) in sequential.iter().zip(&parallel) {
+            assert_eq!(a.cell, b.cell);
+            assert_eq!(a.measurement, b.measurement);
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic_for_a_fixed_seed() {
+        let rows1 = small_sweep().threads(3).run().unwrap();
+        let rows2 = small_sweep().threads(2).run().unwrap();
+        for (a, b) in rows1.iter().zip(&rows2) {
+            assert_eq!(a.cell, b.cell);
+            assert_eq!(a.measurement, b.measurement);
+        }
+    }
+
+    #[test]
+    fn ideal_time_mode_fills_rounds_and_checks_verdicts() {
+        let rows = Sweep::new()
+            .algorithm(Algorithm::LogSpace)
+            .workload(Workload::RandomAperiodic { n: 36, k: 4 })
+            .random_per_seed()
+            .seeds([5])
+            .with_ideal_time()
+            .run()
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].measurement.ideal_time.is_some());
+        assert!(rows[0].measurement.success);
+    }
+
+    #[test]
+    fn synchronous_preset_cells_run_in_lock_step() {
+        let rows = Sweep::new()
+            .algorithm(Algorithm::FullKnowledge)
+            .workload(Workload::Uniform { n: 20, k: 4 })
+            .schedule(Schedule::Synchronous)
+            .run()
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].measurement.ideal_time.is_some());
+        assert_eq!(rows[0].measurement.schedule, Schedule::Synchronous);
+    }
+
+    #[test]
+    fn seeded_workloads_override_the_seed_list() {
+        let cells = Sweep::new()
+            .algorithm(Algorithm::FullKnowledge)
+            .seeded_workload(Workload::Random { n: 16, k: 3 }, 777)
+            .random_per_seed()
+            .seeds([1, 2, 3])
+            .cells()
+            .unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].seed, 777);
+        assert_eq!(cells[0].schedule, Schedule::Random(777));
+    }
+
+    #[test]
+    fn failing_cell_aborts_with_its_label() {
+        // Unreachable limits force a StepLimitExceeded in every cell.
+        let err = Sweep::new()
+            .algorithm(Algorithm::FullKnowledge)
+            .workload(Workload::QuarterRing { n: 64, k: 16 })
+            .schedule(Schedule::RoundRobin)
+            .limits(RunLimits::new(5, 5))
+            .run()
+            .unwrap_err();
+        let SweepError::Cell { index, label, .. } = err else {
+            panic!("expected cell error, got {err:?}");
+        };
+        assert_eq!(index, 0);
+        assert!(label.contains("quarter(n=64,k=16)"), "{label}");
+    }
+
+    #[test]
+    fn streaming_delivers_rows_in_cell_order() {
+        let mut indices = Vec::new();
+        small_sweep()
+            .threads(4)
+            .stream(|row| indices.push(row.cell.index))
+            .unwrap();
+        assert_eq!(indices, (0..indices.len().max(1)).collect::<Vec<_>>());
+        assert!(!indices.is_empty());
+    }
+
+    #[test]
+    fn summarize_groups_by_algorithm_and_size() {
+        let rows = small_sweep().run().unwrap();
+        let cells = summarize(&rows);
+        // 3 algorithms × 2 workload sizes.
+        assert_eq!(cells.len(), 6);
+        for cell in &cells {
+            assert!((cell.success_rate - 1.0).abs() < f64::EPSILON);
+            assert!(cell.moves.mean > 0.0);
+        }
+    }
+}

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ringdeploy_analysis::{from_gaps, theorem5_config};
-use ringdeploy_core::{deploy, Algorithm, Rendezvous, Schedule, TerminatingEstimator};
+use ringdeploy_core::{Algorithm, Deployment, Rendezvous, Schedule, TerminatingEstimator};
 use ringdeploy_sim::scheduler::RoundRobin;
 use ringdeploy_sim::{InitialConfig, Ring, RunLimits};
 use std::hint::black_box;
@@ -13,8 +13,12 @@ fn bench_fig5(c: &mut Criterion) {
     let init = InitialConfig::new(18, vec![0, 1, 3, 6, 7, 9, 12, 13, 15]).expect("valid");
     c.bench_function("fig5_base_node_conditions", |b| {
         b.iter(|| {
-            let r =
-                deploy(black_box(&init), Algorithm::LogSpace, Schedule::RoundRobin).expect("run");
+            let r = Deployment::of(black_box(&init))
+                .algorithm(Algorithm::LogSpace)
+                .schedule(Schedule::RoundRobin)
+                .expect("preset")
+                .run()
+                .expect("run");
             assert!(r.succeeded());
             black_box(r.metrics.total_moves())
         })
@@ -42,8 +46,12 @@ fn bench_fig9(c: &mut Criterion) {
     let init = from_gaps(&[11, 1, 3, 1, 3, 1, 3, 1, 3]).expect("valid gaps");
     c.bench_function("fig9_misestimate_correction", |b| {
         b.iter(|| {
-            let r =
-                deploy(black_box(&init), Algorithm::Relaxed, Schedule::RoundRobin).expect("run");
+            let r = Deployment::of(black_box(&init))
+                .algorithm(Algorithm::Relaxed)
+                .schedule(Schedule::RoundRobin)
+                .expect("preset")
+                .run()
+                .expect("run");
             assert!(r.succeeded());
             black_box(r.metrics.total_moves())
         })

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ringdeploy_analysis::quarter_ring_config;
-use ringdeploy_core::{deploy, Algorithm, Schedule};
+use ringdeploy_core::{Algorithm, Deployment, Schedule};
 use std::hint::black_box;
 
 fn bench_lower_bound(c: &mut Criterion) {
@@ -18,8 +18,12 @@ fn bench_lower_bound(c: &mut Criterion) {
                 &init,
                 |b, init| {
                     b.iter(|| {
-                        let report =
-                            deploy(black_box(init), algo, Schedule::RoundRobin).expect("run");
+                        let report = Deployment::of(black_box(init))
+                            .algorithm(algo)
+                            .schedule(Schedule::RoundRobin)
+                            .expect("preset")
+                            .run()
+                            .expect("run");
                         assert!(report.succeeded());
                         // Theorem 1: at least kn/16 moves on this workload.
                         let moves = report.metrics.total_moves();

@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ringdeploy_analysis::periodic_config;
-use ringdeploy_core::{deploy, Algorithm, Schedule};
+use ringdeploy_core::{Algorithm, Deployment, Schedule};
 use std::hint::black_box;
 
 fn bench_relaxed_symmetry(c: &mut Criterion) {
@@ -15,8 +15,12 @@ fn bench_relaxed_symmetry(c: &mut Criterion) {
         let init = periodic_config(n, k, l);
         group.bench_with_input(BenchmarkId::from_parameter(l), &init, |b, init| {
             b.iter(|| {
-                let report =
-                    deploy(black_box(init), Algorithm::Relaxed, Schedule::RoundRobin).expect("run");
+                let report = Deployment::of(black_box(init))
+                    .algorithm(Algorithm::Relaxed)
+                    .schedule(Schedule::RoundRobin)
+                    .expect("preset")
+                    .run()
+                    .expect("run");
                 assert!(report.succeeded());
                 let moves = report.metrics.total_moves();
                 // O(kn/l) with the paper's constant 14.

@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use ringdeploy_analysis::random_aperiodic_config;
-use ringdeploy_core::{deploy, Algorithm, Schedule};
+use ringdeploy_core::{Algorithm, Deployment, Schedule};
 use std::hint::black_box;
 
 fn bench_table1(c: &mut Criterion) {
@@ -21,8 +21,12 @@ fn bench_table1(c: &mut Criterion) {
                 &init,
                 |b, init| {
                     b.iter(|| {
-                        let report =
-                            deploy(black_box(init), algo, Schedule::Random(7)).expect("run");
+                        let report = Deployment::of(black_box(init))
+                            .algorithm(algo)
+                            .schedule(Schedule::Random(7))
+                            .expect("preset")
+                            .run()
+                            .expect("run");
                         assert!(report.succeeded());
                         black_box(report.metrics.total_moves())
                     })

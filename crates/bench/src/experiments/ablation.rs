@@ -6,20 +6,18 @@
 //! interleaving (e.g. which follower claims which target) but correctness
 //! must not.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use ringdeploy_analysis::{measure, random_aperiodic_config, TextTable};
+use ringdeploy_analysis::{Sweep, TextTable, Workload};
 use ringdeploy_core::{Algorithm, Schedule};
 
 /// The schedules exercised by the ablation.
-pub fn schedules() -> Vec<(&'static str, Schedule)> {
+pub fn schedules() -> Vec<Schedule> {
     vec![
-        ("round-robin", Schedule::RoundRobin),
-        ("random(1)", Schedule::Random(1)),
-        ("random(2)", Schedule::Random(2)),
-        ("one-at-a-time", Schedule::OneAtATime),
-        ("delay-agent-0", Schedule::DelayAgent(0)),
-        ("synchronous", Schedule::Synchronous),
+        Schedule::RoundRobin,
+        Schedule::Random(1),
+        Schedule::Random(2),
+        Schedule::OneAtATime,
+        Schedule::DelayAgent(0),
+        Schedule::Synchronous,
     ]
 }
 
@@ -28,20 +26,23 @@ pub fn scheduler_ablation() -> String {
     let mut out = String::new();
     out.push_str("== Scheduler ablation: correctness under every fair adversary ==\n\n");
     let mut table = TextTable::new(vec!["algorithm", "schedule", "total-moves", "ok"]);
-    let mut rng = SmallRng::seed_from_u64(4242);
-    let init = random_aperiodic_config(&mut rng, 96, 8);
+    // One fixed aperiodic instance (workload seed 4242) across all cells.
+    let rows = Sweep::new()
+        .algorithms(Algorithm::ALL)
+        .seeded_workload(Workload::RandomAperiodic { n: 96, k: 8 }, 4242)
+        .schedules(schedules())
+        .run()
+        .expect("all runs complete");
     let mut all_ok = true;
-    for algo in Algorithm::ALL {
-        for (name, schedule) in schedules() {
-            let m = measure(&init, algo, schedule).expect("run completes");
-            all_ok &= m.success;
-            table.row(vec![
-                algo.name().into(),
-                name.into(),
-                m.total_moves.to_string(),
-                if m.success { "yes".into() } else { "NO".into() },
-            ]);
-        }
+    for row in &rows {
+        let m = &row.measurement;
+        all_ok &= m.success;
+        table.row(vec![
+            m.algorithm.name().into(),
+            row.cell.schedule.label(),
+            m.total_moves.to_string(),
+            if m.success { "yes".into() } else { "NO".into() },
+        ]);
     }
     out.push_str(&table.render());
     out.push_str(&format!(
@@ -60,5 +61,13 @@ mod tests {
         let report = scheduler_ablation();
         assert!(report.contains("confirmed"), "{report}");
         assert!(!report.contains("NO"), "{report}");
+    }
+
+    #[test]
+    fn ablation_covers_the_full_matrix() {
+        let report = scheduler_ablation();
+        for schedule in schedules() {
+            assert!(report.contains(&schedule.label()), "{schedule} missing");
+        }
     }
 }

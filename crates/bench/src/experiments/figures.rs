@@ -5,7 +5,7 @@
 //! and printed.
 
 use ringdeploy_analysis::from_gaps;
-use ringdeploy_core::{deploy, Algorithm, FullKnowledge, LogSpace, NoKnowledge, Role, Schedule};
+use ringdeploy_core::{Algorithm, Deployment, FullKnowledge, LogSpace, NoKnowledge, Role};
 use ringdeploy_seq::{starts_with_fourfold_repetition, symmetry_degree, DistanceSeq};
 use ringdeploy_sim::scheduler::RoundRobin;
 use ringdeploy_sim::{
@@ -169,7 +169,10 @@ fn fig10() -> String {
 fn fig11() -> String {
     // (6,2)-node periodic ring: every agent estimates N = 6, still uniform.
     let init = from_gaps(&[1, 2, 3, 1, 2, 3]).expect("valid gaps");
-    let report = deploy(&init, Algorithm::Relaxed, Schedule::RoundRobin).expect("run");
+    let report = Deployment::of(&init)
+        .algorithm(Algorithm::Relaxed)
+        .run()
+        .expect("run");
     format!(
         "Fig 11 (6,2)-node periodic ring (n=12): relaxed algorithm deploys uniformly = {} with every agent estimating the fundamental ring N=6\n",
         report.succeeded()

@@ -11,7 +11,7 @@
 //! * the relaxed algorithm (which only suspends) succeeds on **both**.
 
 use ringdeploy_analysis::{from_gaps, theorem5_config, TextTable};
-use ringdeploy_core::{Algorithm, Schedule, TerminatingEstimator};
+use ringdeploy_core::{Algorithm, Deployment, TerminatingEstimator};
 use ringdeploy_sim::scheduler::RoundRobin;
 use ringdeploy_sim::{satisfies_halting_deployment, InitialConfig, Ring, RunLimits};
 
@@ -49,7 +49,9 @@ pub fn impossibility() -> String {
     // Ring R itself.
     let r = from_gaps(&base_gaps).expect("valid gaps");
     let (_q, ok_r) = run_strawman(&r);
-    let relaxed_r = ringdeploy_core::deploy(&r, Algorithm::Relaxed, Schedule::RoundRobin)
+    let relaxed_r = Deployment::of(&r)
+        .algorithm(Algorithm::Relaxed)
+        .run()
         .expect("relaxed run")
         .succeeded();
     table.row(vec![
@@ -75,7 +77,9 @@ pub fn impossibility() -> String {
         let rp = theorem5_config(&base_gaps, q);
         let (_q2, ok_rp) = run_strawman(&rp);
         all_fail &= !ok_rp;
-        let relaxed_rp = ringdeploy_core::deploy(&rp, Algorithm::Relaxed, Schedule::RoundRobin)
+        let relaxed_rp = Deployment::of(&rp)
+            .algorithm(Algorithm::Relaxed)
+            .run()
             .expect("relaxed run")
             .succeeded();
         table.row(vec![
@@ -116,6 +120,7 @@ pub fn impossibility() -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ringdeploy_core::Schedule;
 
     #[test]
     fn strawman_fails_on_all_constructions() {
@@ -125,8 +130,12 @@ mod tests {
             assert!(quiescent);
             assert!(!ok, "strawman must fail for q={q}");
             // The relaxed algorithm succeeds on the same ring.
-            let relaxed =
-                ringdeploy_core::deploy(&rp, Algorithm::Relaxed, Schedule::Random(1)).unwrap();
+            let relaxed = Deployment::of(&rp)
+                .algorithm(Algorithm::Relaxed)
+                .schedule(Schedule::Random(1))
+                .unwrap()
+                .run()
+                .unwrap();
             assert!(relaxed.succeeded(), "relaxed must succeed for q={q}");
         }
     }

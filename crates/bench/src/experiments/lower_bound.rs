@@ -8,7 +8,7 @@
 //! it shows asymptotic optimality, Theorems 3/4).
 
 use ringdeploy_analysis::{
-    fmt_f64, measure_with_time, quarter_ring_config, theorem1_lower_bound, TextTable,
+    fmt_f64, measure_with_ideal_time, quarter_ring_config, theorem1_lower_bound, TextTable,
 };
 use ringdeploy_core::{Algorithm, Schedule};
 
@@ -39,7 +39,8 @@ pub fn lower_bound() -> String {
     for (n, k) in grid() {
         let init = quarter_ring_config(n, k);
         for algo in Algorithm::ALL {
-            let m = measure_with_time(&init, algo, Schedule::Random(7)).expect("run completes");
+            let m = measure_with_ideal_time(&init, algo, Schedule::Random(7), None)
+                .expect("run completes");
             let lb_moves = theorem1_lower_bound(n, k);
             let lb_time = n as f64 / 4.0;
             let time = m.ideal_time.expect("synchronous run") as f64;
@@ -82,7 +83,7 @@ mod tests {
         let (n, k) = (128, 16);
         let init = quarter_ring_config(n, k);
         for algo in Algorithm::ALL {
-            let m = measure_with_time(&init, algo, Schedule::Random(3)).unwrap();
+            let m = measure_with_ideal_time(&init, algo, Schedule::Random(3), None).unwrap();
             assert!(m.success, "{algo} failed");
             assert!(
                 m.total_moves as f64 >= theorem1_lower_bound(n, k),

@@ -9,7 +9,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use ringdeploy_analysis::{
-    fmt_f64, measure, oracle_moves, quarter_ring_config, random_aperiodic_config, TextTable,
+    fmt_f64, measure_one, oracle_moves, quarter_ring_config, random_aperiodic_config, TextTable,
 };
 use ringdeploy_core::{Algorithm, Schedule};
 use ringdeploy_sim::InitialConfig;
@@ -49,7 +49,7 @@ pub fn optimality() -> String {
         let opt = oracle_moves(&init).total_moves;
         let mut row = vec![name.to_string(), opt.to_string()];
         for algo in Algorithm::ALL {
-            let m = measure(&init, algo, Schedule::Random(2)).expect("run");
+            let m = measure_one(&init, algo, Schedule::Random(2), None).expect("run");
             assert!(m.success);
             row.push(m.total_moves.to_string());
             row.push(if opt == 0 {
@@ -81,7 +81,7 @@ mod tests {
         for (name, init) in workloads() {
             let opt = oracle_moves(&init).total_moves;
             for algo in Algorithm::ALL {
-                let m = measure(&init, algo, Schedule::Random(4)).expect("run");
+                let m = measure_one(&init, algo, Schedule::Random(4), None).expect("run");
                 assert!(
                     m.total_moves >= opt,
                     "{algo} on {name}: {} < oracle {opt}",
@@ -96,7 +96,7 @@ mod tests {
         let init = quarter_ring_config(256, 32);
         let opt = oracle_moves(&init).total_moves;
         for algo in [Algorithm::FullKnowledge, Algorithm::LogSpace] {
-            let m = measure(&init, algo, Schedule::Random(4)).expect("run");
+            let m = measure_one(&init, algo, Schedule::Random(4), None).expect("run");
             let ratio = m.total_moves as f64 / opt as f64;
             assert!(ratio < 8.0, "{algo} ratio {ratio}");
         }

@@ -7,7 +7,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use ringdeploy_analysis::{periodic_config, random_aperiodic_config, TextTable};
-use ringdeploy_core::{deploy, Algorithm, Rendezvous, RendezvousVerdict, Schedule};
+use ringdeploy_core::{Algorithm, Deployment, Rendezvous, RendezvousVerdict, Schedule};
 use ringdeploy_sim::scheduler::Random;
 use ringdeploy_sim::{InitialConfig, Ring, RunLimits};
 
@@ -48,7 +48,11 @@ pub fn rendezvous_contrast() -> String {
     for i in 0..3 {
         let init = random_aperiodic_config(&mut rng, 60, 6);
         let (gathered, _) = run_rendezvous(&init, i);
-        let ud = deploy(&init, Algorithm::LogSpace, Schedule::Random(i))
+        let ud = Deployment::of(&init)
+            .algorithm(Algorithm::LogSpace)
+            .schedule(Schedule::Random(i))
+            .expect("preset")
+            .run()
             .expect("run")
             .succeeded();
         table.row(vec![
@@ -67,7 +71,11 @@ pub fn rendezvous_contrast() -> String {
     for l in [2usize, 3, 6] {
         let init = periodic_config(60, 6, l);
         let (gathered, symmetric) = run_rendezvous(&init, 7);
-        let ud = deploy(&init, Algorithm::LogSpace, Schedule::Random(7))
+        let ud = Deployment::of(&init)
+            .algorithm(Algorithm::LogSpace)
+            .schedule(Schedule::Random(7))
+            .expect("preset")
+            .run()
             .expect("run")
             .succeeded();
         table.row(vec![
@@ -107,7 +115,12 @@ mod tests {
         let (gathered, symmetric) = run_rendezvous(&peri, 0);
         assert!(!gathered);
         assert!(symmetric);
-        let ud = deploy(&peri, Algorithm::FullKnowledge, Schedule::Random(0)).unwrap();
+        let ud = Deployment::of(&peri)
+            .algorithm(Algorithm::FullKnowledge)
+            .schedule(Schedule::Random(0))
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(ud.succeeded());
     }
 

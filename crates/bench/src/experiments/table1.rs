@@ -5,14 +5,17 @@
 //! measures and reports the ratio `measured / bound`. A complexity claim
 //! "holds" when the ratio stays bounded (roughly constant) across the
 //! sweep — that is the *shape* reproduction the experiment targets.
+//!
+//! The grid is executed through the parallel [`Sweep`] batch API; because
+//! sweep rows stream in deterministic cell order and every cell's seed is
+//! fixed (`1000 + cell_index`, as in the original sequential harness),
+//! the reproduced numbers are identical run to run and thread-count to
+//! thread-count.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use ringdeploy_analysis::{
-    algo1_bounds, algo2_bounds, fmt_f64, measure_with_time, periodic_config,
-    random_aperiodic_config, relaxed_bounds, Measurement, TextTable,
+    algo1_bounds, algo2_bounds, fmt_f64, relaxed_bounds, Measurement, Sweep, TextTable, Workload,
 };
-use ringdeploy_core::{Algorithm, Schedule};
+use ringdeploy_core::Algorithm;
 
 /// The `(n, k)` grid used for the knowledge-of-`k` algorithms.
 pub fn nk_grid() -> Vec<(usize, usize)> {
@@ -43,15 +46,37 @@ pub fn symmetry_grid() -> Vec<(usize, usize, usize)> {
     ]
 }
 
-fn measure_cell(algorithm: Algorithm, n: usize, k: usize, l: usize, seed: u64) -> Measurement {
-    let init = if l == 1 {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        random_aperiodic_config(&mut rng, n, k)
+/// The `(n, k, l)` cells measured for `algorithm`, in row order.
+pub fn cells_for(algorithm: Algorithm) -> Vec<(usize, usize, usize)> {
+    if algorithm == Algorithm::Relaxed {
+        symmetry_grid()
     } else {
-        periodic_config(n, k, l)
-    };
-    measure_with_time(&init, algorithm, Schedule::Random(seed))
-        .expect("paper algorithms terminate within limits")
+        nk_grid().into_iter().map(|(n, k)| (n, k, 1)).collect()
+    }
+}
+
+/// The workload family of one grid cell: aperiodic random placements for
+/// `l = 1`, the prescribed-symmetry construction otherwise.
+pub fn workload_for(n: usize, k: usize, l: usize) -> Workload {
+    if l == 1 {
+        Workload::RandomAperiodic { n, k }
+    } else {
+        Workload::Periodic { n, k, l }
+    }
+}
+
+/// The sweep measuring `algorithm`'s grid: one seeded workload per cell
+/// (seed `1000 + i`), each run under `Random(seed)` for adversarial
+/// validation plus a synchronous run for ideal time.
+pub fn table1_sweep(algorithm: Algorithm) -> Sweep {
+    let mut sweep = Sweep::new()
+        .algorithm(algorithm)
+        .random_per_seed()
+        .with_ideal_time();
+    for (i, (n, k, l)) in cells_for(algorithm).into_iter().enumerate() {
+        sweep = sweep.seeded_workload(workload_for(n, k, l), 1000 + i as u64);
+    }
+    sweep
 }
 
 fn bound_values(algorithm: Algorithm, n: usize, k: usize, l: usize) -> [f64; 3] {
@@ -79,13 +104,13 @@ pub fn table1_for(algorithm: Algorithm) -> (TextTable, [f64; 3]) {
         "ok",
     ]);
     let mut worst = [0.0f64; 3];
-    let cells: Vec<(usize, usize, usize)> = if algorithm == Algorithm::Relaxed {
-        symmetry_grid()
-    } else {
-        nk_grid().into_iter().map(|(n, k)| (n, k, 1)).collect()
-    };
-    for (i, (n, k, l)) in cells.into_iter().enumerate() {
-        let m = measure_cell(algorithm, n, k, l, 1000 + i as u64);
+    let measurements: Vec<Measurement> = table1_sweep(algorithm)
+        .run()
+        .expect("paper algorithms terminate within limits")
+        .into_iter()
+        .map(|row| row.measurement)
+        .collect();
+    for ((n, k, l), m) in cells_for(algorithm).into_iter().zip(measurements) {
         let bounds = bound_values(algorithm, n, k, l);
         let mem = m.peak_memory_bits as f64;
         let time = m.ideal_time.expect("synchronous run") as f64;
@@ -139,6 +164,8 @@ pub fn table1() -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ringdeploy_analysis::measure_with_ideal_time;
+    use ringdeploy_core::Schedule;
 
     #[test]
     fn ratios_stay_bounded_for_algo1() {
@@ -158,6 +185,24 @@ mod tests {
         // but remains a bounded constant times n/l.
         assert!(worst[1] < 30.0, "time ratio {}", worst[1]);
         assert!(worst[2] < 15.0, "moves ratio {}", worst[2]);
+    }
+
+    #[test]
+    fn parallel_sweep_reproduces_the_sequential_loop_exactly() {
+        // The acceptance bar for the Sweep migration: for a fixed per-cell
+        // seed, the parallel batch rows carry *identical numbers* to the
+        // old sequential measure-with-time loop.
+        let algorithm = Algorithm::LogSpace;
+        let rows = table1_sweep(algorithm).threads(4).run().expect("sweep");
+        let cells = cells_for(algorithm);
+        assert_eq!(rows.len(), cells.len());
+        for (i, ((n, k, l), row)) in cells.into_iter().zip(&rows).enumerate() {
+            let seed = 1000 + i as u64;
+            let init = workload_for(n, k, l).instantiate(seed);
+            let reference = measure_with_ideal_time(&init, algorithm, Schedule::Random(seed), None)
+                .expect("reference run");
+            assert_eq!(row.measurement, reference, "cell {i} diverged");
+        }
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! Offline drop-in subset of the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this workspace-local
+//! crate keeps `cargo bench` working with the familiar criterion surface
+//! (`criterion_group!`, `criterion_main!`, benchmark groups,
+//! `bench_with_input`, `Bencher::iter`) while measuring with a plain
+//! wall-clock loop: a short warm-up, then enough iterations to fill a
+//! fixed time budget, reporting the median per-iteration time. There are
+//! no statistical comparisons or saved baselines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Label of one benchmark within a group: a function name plus a
+/// parameter rendering, shown as `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id rendered as `name/param`.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            param: param.to_string(),
+        }
+    }
+
+    /// A benchmark id from just a parameter value.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: "param".to_string(),
+            param: param.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.name, self.param)
+    }
+}
+
+/// Throughput annotation (accepted and echoed, not used in analysis).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Runs closures under the timing loop.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    budget: Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, collecting per-iteration samples until the time
+    /// budget is exhausted.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: one untimed call (also primes caches/allocations).
+        black_box(routine());
+        let start = Instant::now();
+        while start.elapsed() < self.budget || self.samples.len() < 5 {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if self.samples.len() >= 1000 {
+                break;
+            }
+        }
+    }
+}
+
+fn render_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepts a throughput annotation (echoed only).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, |b| routine(b, input));
+        self
+    }
+
+    /// Benchmarks a closure without an explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, |b| routine(b));
+        self
+    }
+
+    /// Ends the group (formatting separator only).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            param: "-".to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            param: "-".to_string(),
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            budget: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a closure at the top level.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = name.to_string();
+        self.run_one(&label, |b| routine(b));
+        self
+    }
+
+    fn run_one(&mut self, label: &str, mut routine: impl FnMut(&mut Bencher<'_>)) {
+        let mut samples = Vec::new();
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            budget: self.budget,
+        };
+        routine(&mut bencher);
+        if samples.is_empty() {
+            println!("{label:<56} (no samples)");
+            return;
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        println!(
+            "{label:<56} median {:>12}   min {:>12}   max {:>12}   ({} samples)",
+            render_duration(median),
+            render_duration(min),
+            render_duration(max),
+            samples.len()
+        );
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs this group's benchmark functions.
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_loop_collects_samples() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("square", 7u64), &7u64, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_renders_name_and_param() {
+        assert_eq!(BenchmarkId::new("algo", "n64").to_string(), "algo/n64");
+    }
+}

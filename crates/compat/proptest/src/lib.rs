@@ -1,0 +1,517 @@
+//! Offline drop-in subset of the `proptest` crate.
+//!
+//! The build environment of this repository cannot reach crates.io, so
+//! this workspace-local crate re-implements the slice of the proptest API
+//! that the property-test suites use:
+//!
+//! * the [`Strategy`] trait with [`Strategy::prop_map`] /
+//!   [`Strategy::prop_flat_map`], range and tuple strategies, [`Just`] and
+//!   [`any`];
+//! * [`prop::collection::vec`], [`prop::collection::btree_set`] and
+//!   [`prop::sample::select`];
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//!   plus [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`].
+//!
+//! Differences from the real crate: generation is driven by a fixed-seed
+//! [`rand::rngs::SmallRng`] (so every run explores the same cases — fully
+//! reproducible CI), and failing inputs are reported but **not shrunk**.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+/// Outcome of a single property-test case body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's preconditions did not hold ([`prop_assume!`]); the case
+    /// is skipped without counting as a failure.
+    Reject,
+    /// An assertion failed with the given message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed case with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Execution parameters of a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+    /// Seed of the case stream (fixed ⇒ reproducible runs).
+    pub rng_seed: u64,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            rng_seed: 0x5EED_CAFE_F00D_0001,
+        }
+    }
+}
+
+/// A recipe producing random values for a property test.
+pub trait Strategy {
+    /// The type of values produced.
+    type Value: std::fmt::Debug;
+
+    /// Produces one value from the given generator.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Post-processes every generated value.
+    fn prop_map<U: std::fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds every generated value into a strategy-producing function —
+    /// the dependent-generation combinator.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: std::fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut SmallRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut SmallRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// The constant strategy: always produces a clone of its value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: SampleUniform + std::fmt::Debug,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+macro_rules! impl_inclusive_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_inclusive_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S0.0);
+impl_tuple_strategy!(S0.0, S1.1);
+impl_tuple_strategy!(S0.0, S1.1, S2.2);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+
+/// Marker strategy of [`any`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The full-domain strategy for primitive types.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(std::marker::PhantomData)
+}
+
+impl Strategy for Any<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut SmallRng) -> u64 {
+        rng.gen_range(0u64..=u64::MAX)
+    }
+}
+
+impl Strategy for Any<u32> {
+    type Value = u32;
+    fn generate(&self, rng: &mut SmallRng) -> u32 {
+        rng.gen_range(0u32..=u32::MAX)
+    }
+}
+
+impl Strategy for Any<usize> {
+    type Value = usize;
+    fn generate(&self, rng: &mut SmallRng) -> usize {
+        rng.gen_range(0usize..=usize::MAX)
+    }
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut SmallRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+/// Collection and sampling strategies, mirroring the `prop` module paths.
+pub mod prop {
+    /// Strategies for standard collections.
+    pub mod collection {
+        use super::super::*;
+
+        /// Strategy producing `Vec`s with lengths drawn from `sizes`.
+        pub struct VecStrategy<S> {
+            element: S,
+            sizes: std::ops::Range<usize>,
+        }
+
+        /// A `Vec` of values from `element`, with length in `sizes`.
+        pub fn vec<S: Strategy>(element: S, sizes: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, sizes }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.sizes.clone());
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Strategy producing `BTreeSet`s with target sizes from `sizes`.
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            sizes: std::ops::Range<usize>,
+        }
+
+        /// A `BTreeSet` of values from `element` with a size drawn from
+        /// `sizes`. If the element domain is too small, the produced set
+        /// may be smaller than the drawn size (duplicates are merged), but
+        /// it is never empty when `sizes` excludes 0.
+        pub fn btree_set<S: Strategy>(
+            element: S,
+            sizes: std::ops::Range<usize>,
+        ) -> BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            BTreeSetStrategy { element, sizes }
+        }
+
+        impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            type Value = std::collections::BTreeSet<S::Value>;
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                let target = rng.gen_range(self.sizes.clone());
+                let mut set = std::collections::BTreeSet::new();
+                let mut tries = 0usize;
+                while set.len() < target && tries < 8 * target.max(1) {
+                    set.insert(self.element.generate(rng));
+                    tries += 1;
+                }
+                set
+            }
+        }
+    }
+
+    /// Sampling from explicit value lists.
+    pub mod sample {
+        use super::super::*;
+
+        /// Strategy choosing uniformly among the given values.
+        pub struct Select<T>(Vec<T>);
+
+        /// A uniform choice from `values`.
+        ///
+        /// # Panics
+        ///
+        /// Panics at generation time if `values` is empty.
+        pub fn select<T: Clone + std::fmt::Debug>(values: Vec<T>) -> Select<T> {
+            Select(values)
+        }
+
+        impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut SmallRng) -> T {
+                assert!(!self.0.is_empty(), "select from empty list");
+                self.0[rng.gen_range(0..self.0.len())].clone()
+            }
+        }
+    }
+}
+
+/// Drives one property: generates cases from `strategy` until `cfg.cases`
+/// accepted runs complete, panicking (with the failing input) on the first
+/// assertion failure.
+///
+/// This is the runtime behind the [`proptest!`] macro; tests normally do
+/// not call it directly.
+///
+/// # Panics
+///
+/// Panics if a case fails, or if too many consecutive cases are rejected
+/// by [`prop_assume!`].
+pub fn run_proptest<S: Strategy>(
+    cfg: ProptestConfig,
+    property: &str,
+    strategy: S,
+    mut body: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+) {
+    let mut rng = SmallRng::seed_from_u64(cfg.rng_seed);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    while accepted < cfg.cases {
+        let value = strategy.generate(&mut rng);
+        let rendered = format!("{value:?}");
+        match body(value) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected < cfg.cases.saturating_mul(20).max(1000),
+                    "property `{property}`: too many cases rejected by prop_assume! \
+                     ({rejected} rejected, {accepted} accepted)"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property `{property}` failed after {accepted} passing case(s)\n\
+                     input: {rendered}\n{msg}"
+                );
+            }
+        }
+    }
+}
+
+/// Declares property tests: an optional `#![proptest_config(..)]` header
+/// followed by `#[test] fn name(pattern in strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_proptest(
+                    $cfg,
+                    stringify!($name),
+                    ($($strat,)+),
+                    |($($pat,)+)| { $body Ok(()) },
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (not
+/// aborting the process) so the harness can report the generated input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+                stringify!($left), stringify!($right), left, right, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// One-stop import mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use super::{
+        any, prop, prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(n in 4usize..80, x in any::<u64>()) {
+            prop_assert!((4..80).contains(&n));
+            let _ = x;
+        }
+
+        #[test]
+        fn flat_map_dependency_holds((n, k) in (4usize..80).prop_flat_map(|n| (Just(n), 2usize..=n))) {
+            prop_assert!(k >= 2, "k = {}", k);
+            prop_assert!(k <= n);
+        }
+
+        #[test]
+        fn collections_obey_sizes(
+            v in prop::collection::vec(1u64..6, 1..24),
+            s in prop::collection::btree_set(0usize..100, 1..6),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 24);
+            prop_assert!(v.iter().all(|&x| (1..6).contains(&x)));
+            prop_assert!(!s.is_empty() && s.len() < 6);
+        }
+
+        #[test]
+        fn select_picks_member(x in prop::sample::select(vec![3u64, 5, 9])) {
+            prop_assert!([3u64, 5, 9].contains(&x));
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion failed")]
+    fn failures_carry_input() {
+        super::run_proptest(
+            ProptestConfig::with_cases(8),
+            "always_fails",
+            0usize..10,
+            |_n| {
+                prop_assert!(false, "intentional");
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let collect = || {
+            let mut out = Vec::new();
+            super::run_proptest(
+                ProptestConfig::with_cases(16),
+                "collect",
+                0usize..1000,
+                |n| {
+                    out.push(n);
+                    Ok(())
+                },
+            );
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+}

@@ -37,7 +37,6 @@ pub type SegmentId = (u64, u64);
 /// 1), `k` (given) and `b = n / d` (its final ID's distance is the span
 /// length) — includes them. Messages may carry arbitrary data in the model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BaseInfo {
     /// Number of token nodes the follower must pass (inclusive of the base
     /// node) to stand on the next base node.

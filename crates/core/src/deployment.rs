@@ -1,0 +1,426 @@
+//! The composable run driver: [`Deployment`] builds and executes one
+//! algorithm run under any fair scheduler — preset or user-defined — or
+//! in lock-step synchronous mode, chosen at the type level.
+//!
+//! # Why a builder
+//!
+//! The paper's headline result is that uniform deployment works from
+//! *any* initial configuration under *any* fair asynchronous schedule, so
+//! the driver must accept arbitrary adversaries, not just a closed preset
+//! enum. The builder exposes every knob the old flat `deploy()` call
+//! hard-coded: the scheduler (any `impl Scheduler`), the run limits, and
+//! trace capture. The synchronous (ideal-time) mode is a *different
+//! driver*, not a scheduler; the old API blurred that line by treating
+//! `Schedule::Synchronous` as just another enum variant (its private
+//! scheduler-builder helper silently fell back to round-robin for it).
+//! Here the distinction is a type-state:
+//! [`Deployment<Asynchronous>`] carries a scheduler,
+//! [`Deployment<Synchronous>`] provably has none.
+//!
+//! # Examples
+//!
+//! Preset schedule, default limits:
+//!
+//! ```
+//! use ringdeploy_core::{Algorithm, Deployment, Schedule};
+//! use ringdeploy_sim::InitialConfig;
+//!
+//! let init = InitialConfig::new(24, vec![0, 1, 2, 3])?;
+//! let report = Deployment::of(&init)
+//!     .algorithm(Algorithm::LogSpace)
+//!     .schedule(Schedule::Random(42))?
+//!     .run()?;
+//! assert!(report.succeeded());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! A user-defined adversary (any [`Scheduler`]), with a captured trace:
+//!
+//! ```
+//! use ringdeploy_core::{Algorithm, Deployment};
+//! use ringdeploy_sim::scheduler::{Activation, Scheduler};
+//! use ringdeploy_sim::InitialConfig;
+//!
+//! /// Always activates the highest-id enabled agent (fair: an enabled
+//! /// agent left alone is eventually the maximum).
+//! struct HighestFirst;
+//!
+//! impl Scheduler for HighestFirst {
+//!     fn select(&mut self, enabled: &[Activation]) -> usize {
+//!         (0..enabled.len()).max_by_key(|&i| enabled[i].agent.index()).unwrap()
+//!     }
+//!     fn name(&self) -> &'static str { "highest-first" }
+//! }
+//!
+//! let init = InitialConfig::new(18, vec![0, 1, 2])?;
+//! let report = Deployment::of(&init)
+//!     .algorithm(Algorithm::FullKnowledge)
+//!     .scheduler(HighestFirst)
+//!     .capture_trace(1024)
+//!     .run()?;
+//! assert!(report.succeeded());
+//! assert_eq!(report.scheduler, "highest-first");
+//! assert!(report.trace.is_some());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Lock-step synchronous mode — a type-level switch, so it cannot be
+//! combined with a scheduler:
+//!
+//! ```
+//! use ringdeploy_core::{Algorithm, Deployment};
+//! use ringdeploy_sim::InitialConfig;
+//!
+//! let init = InitialConfig::new(20, vec![0, 4, 9, 11])?;
+//! let report = Deployment::of(&init)
+//!     .algorithm(Algorithm::FullKnowledge)
+//!     .synchronous()
+//!     .run()?;
+//! assert!(report.ideal_time.is_some());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use ringdeploy_sim::scheduler::RoundRobin;
+use ringdeploy_sim::{
+    satisfies_halting_deployment, satisfies_suspended_deployment, Behavior, InitialConfig, Ring,
+    RunLimits, Scheduler,
+};
+
+use crate::algo1::FullKnowledge;
+use crate::algo2::LogSpace;
+use crate::relaxed::NoKnowledge;
+use crate::run::{Algorithm, DeployError, DeployReport, PhaseMetric, Schedule};
+
+/// Type-state of [`Deployment`]: asynchronous execution under a fair
+/// scheduler (the default mode).
+pub struct Asynchronous {
+    scheduler: Box<dyn Scheduler>,
+}
+
+/// Type-state of [`Deployment`]: lock-step rounds measuring the paper's
+/// *ideal time*. Carries no scheduler — the type system rules out the
+/// old "synchronous schedule silently runs round-robin" confusion.
+pub struct Synchronous;
+
+/// A configured run of one algorithm from one initial configuration.
+///
+/// Construct with [`Deployment::of`], chain the knobs, and finish with
+/// [`run`](Deployment::run). See the [module docs](self) for examples.
+pub struct Deployment<'a, M = Asynchronous> {
+    init: &'a InitialConfig,
+    algorithm: Algorithm,
+    limits: Option<RunLimits>,
+    trace_capacity: Option<usize>,
+    mode: M,
+}
+
+impl<'a> Deployment<'a, Asynchronous> {
+    /// Starts a deployment of `init` with the defaults: Algorithm 1
+    /// (full knowledge), a round-robin scheduler, instance-scaled limits
+    /// and no trace.
+    pub fn of(init: &'a InitialConfig) -> Self {
+        Deployment {
+            init,
+            algorithm: Algorithm::FullKnowledge,
+            limits: None,
+            trace_capacity: None,
+            mode: Asynchronous {
+                scheduler: Box::new(RoundRobin::new()),
+            },
+        }
+    }
+
+    /// Drives the run with a custom fair scheduler — any [`Scheduler`]
+    /// implementation, including a `Box<dyn Scheduler>`.
+    ///
+    /// The scheduler must be fair (every enabled agent is eventually
+    /// chosen); an unfair scheduler can livelock the run, which the
+    /// [`RunLimits`] then report as an error.
+    pub fn scheduler(mut self, scheduler: impl Scheduler + 'static) -> Self {
+        self.mode.scheduler = Box::new(scheduler);
+        self
+    }
+
+    /// Drives the run with one of the [`Schedule`] presets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError::SynchronousSchedule`] for
+    /// [`Schedule::Synchronous`] — switch modes with
+    /// [`synchronous`](Deployment::synchronous) instead.
+    pub fn schedule(mut self, preset: Schedule) -> Result<Self, DeployError> {
+        self.mode.scheduler = preset.into_scheduler()?;
+        Ok(self)
+    }
+
+    /// Switches to lock-step synchronous execution (ideal-time
+    /// measurement). This consumes the scheduler: the synchronous driver
+    /// activates every enabled agent once per round by construction.
+    pub fn synchronous(self) -> Deployment<'a, Synchronous> {
+        Deployment {
+            init: self.init,
+            algorithm: self.algorithm,
+            limits: self.limits,
+            trace_capacity: self.trace_capacity,
+            mode: Synchronous,
+        }
+    }
+
+    /// Executes the run and verifies the outcome against the algorithm's
+    /// Definition (1 or 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError::Sim`] when the run exceeds its limits (the
+    /// paper's algorithms never should under a fair scheduler on valid
+    /// inputs — limit errors usually mean an unfair custom scheduler).
+    pub fn run(self) -> Result<DeployReport, DeployError> {
+        let Deployment {
+            init,
+            algorithm,
+            limits,
+            trace_capacity,
+            mode: Asynchronous { mut scheduler },
+        } = self;
+        let driver = Driver {
+            init,
+            algorithm,
+            limits,
+            trace_capacity,
+        };
+        driver.execute(Mode::Asynchronous(scheduler.as_mut()))
+    }
+
+    /// Runs under any [`Schedule`] preset, mapping
+    /// [`Schedule::Synchronous`] to the lock-step mode — the dynamic
+    /// counterpart of the typed [`schedule`](Deployment::schedule) /
+    /// [`synchronous`](Deployment::synchronous) pair, for callers that
+    /// loop over mixed preset lists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError::Sim`] when the run exceeds its limits.
+    pub fn run_preset(self, preset: Schedule) -> Result<DeployReport, DeployError> {
+        match preset {
+            Schedule::Synchronous => self.synchronous().run(),
+            asynchronous => self.schedule(asynchronous)?.run(),
+        }
+    }
+}
+
+impl<'a> Deployment<'a, Synchronous> {
+    /// Executes the lock-step run; the report carries
+    /// [`ideal_time`](DeployReport::ideal_time).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError::Sim`] when the round limit is exceeded.
+    pub fn run(self) -> Result<DeployReport, DeployError> {
+        let driver = Driver {
+            init: self.init,
+            algorithm: self.algorithm,
+            limits: self.limits,
+            trace_capacity: self.trace_capacity,
+        };
+        driver.execute(Mode::Synchronous)
+    }
+}
+
+impl<'a, M> Deployment<'a, M> {
+    /// Selects the algorithm (default: [`Algorithm::FullKnowledge`]).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Overrides the run limits (default: [`RunLimits::for_instance`]
+    /// scaled to `n` and `k`).
+    pub fn limits(mut self, limits: RunLimits) -> Self {
+        self.limits = Some(limits);
+        self
+    }
+
+    /// Captures the last `capacity` engine events into
+    /// [`DeployReport::trace`].
+    pub fn capture_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+}
+
+enum Mode<'s> {
+    Asynchronous(&'s mut dyn Scheduler),
+    Synchronous,
+}
+
+struct Driver<'a> {
+    init: &'a InitialConfig,
+    algorithm: Algorithm,
+    limits: Option<RunLimits>,
+    trace_capacity: Option<usize>,
+}
+
+impl Driver<'_> {
+    fn execute(self, mode: Mode<'_>) -> Result<DeployReport, DeployError> {
+        let k = self.init.agent_count();
+        match self.algorithm {
+            Algorithm::FullKnowledge => self.run_behavior(mode, |_| FullKnowledge::new(k)),
+            Algorithm::LogSpace => self.run_behavior(mode, |_| LogSpace::new(k)),
+            Algorithm::Relaxed => self.run_behavior(mode, |_| NoKnowledge::new()),
+        }
+    }
+
+    fn run_behavior<B: Behavior>(
+        self,
+        mode: Mode<'_>,
+        factory: impl FnMut(ringdeploy_sim::AgentId) -> B,
+    ) -> Result<DeployReport, DeployError> {
+        let n = self.init.ring_size();
+        let k = self.init.agent_count();
+        let limits = self.limits.unwrap_or_else(|| RunLimits::for_instance(n, k));
+        let mut ring = Ring::new(self.init, factory);
+        if let Some(capacity) = self.trace_capacity {
+            ring.enable_trace(capacity);
+        }
+        let (outcome, scheduler_label) = match mode {
+            Mode::Asynchronous(scheduler) => {
+                let label = scheduler.name().to_string();
+                (ring.run(scheduler, limits)?, label)
+            }
+            Mode::Synchronous => (ring.run_synchronous(limits)?, "synchronous".to_string()),
+        };
+        let check = if self.algorithm.halts() {
+            satisfies_halting_deployment(&ring)
+        } else {
+            satisfies_suspended_deployment(&ring)
+        };
+        let positions = ring
+            .staying_positions()
+            .expect("quiescent runs leave no agent in transit");
+        let phases = ring.phase_tallies().iter().map(PhaseMetric::from).collect();
+        Ok(DeployReport {
+            algorithm: self.algorithm,
+            scheduler: scheduler_label,
+            n,
+            k,
+            symmetry_degree: self.init.symmetry_degree(),
+            check,
+            positions,
+            ideal_time: outcome.rounds,
+            steps: outcome.steps,
+            metrics: outcome.metrics,
+            phases,
+            trace: ring.take_trace(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringdeploy_sim::scheduler::Activation;
+    use ringdeploy_sim::SimError;
+
+    #[test]
+    fn defaults_run_algorithm1_round_robin() {
+        let init = InitialConfig::new(16, vec![0, 1, 2, 3]).unwrap();
+        let report = Deployment::of(&init).run().unwrap();
+        assert!(report.succeeded());
+        assert_eq!(report.algorithm, Algorithm::FullKnowledge);
+        assert_eq!(report.scheduler, "round-robin");
+        assert!(report.ideal_time.is_none());
+        assert!(report.trace.is_none());
+        assert!(report.steps > 0);
+    }
+
+    #[test]
+    fn synchronous_mode_reports_ideal_time() {
+        let init = InitialConfig::new(20, vec![0, 4, 9, 11]).unwrap();
+        let report = Deployment::of(&init)
+            .algorithm(Algorithm::FullKnowledge)
+            .synchronous()
+            .run()
+            .unwrap();
+        assert!(report.succeeded());
+        assert_eq!(report.scheduler, "synchronous");
+        assert!(report.ideal_time.unwrap() <= 3 * 20 + 2);
+    }
+
+    #[test]
+    fn preset_schedule_rejects_synchronous() {
+        let init = InitialConfig::new(8, vec![0, 1]).unwrap();
+        let err = Deployment::of(&init)
+            .schedule(Schedule::Synchronous)
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err, DeployError::SynchronousSchedule);
+    }
+
+    #[test]
+    fn custom_scheduler_runs_to_quiescence() {
+        /// Picks the last enabled activation — fair for the same reason
+        /// as OneAtATime (a lone enabled agent is always picked).
+        struct LastEnabled;
+        impl Scheduler for LastEnabled {
+            fn select(&mut self, enabled: &[Activation]) -> usize {
+                enabled.len() - 1
+            }
+            fn name(&self) -> &'static str {
+                "last-enabled"
+            }
+        }
+        let init = InitialConfig::new(21, vec![0, 3, 4]).unwrap();
+        for algorithm in Algorithm::ALL {
+            let report = Deployment::of(&init)
+                .algorithm(algorithm)
+                .scheduler(LastEnabled)
+                .run()
+                .unwrap();
+            assert!(report.succeeded(), "{algorithm}: {:?}", report.check);
+            assert_eq!(report.scheduler, "last-enabled");
+        }
+    }
+
+    #[test]
+    fn boxed_scheduler_is_accepted() {
+        let init = InitialConfig::new(12, vec![0, 1, 2]).unwrap();
+        let boxed: Box<dyn Scheduler> = Schedule::Random(9).into_scheduler().unwrap();
+        let report = Deployment::of(&init).scheduler(boxed).run().unwrap();
+        assert!(report.succeeded());
+        assert_eq!(report.scheduler, "random");
+    }
+
+    #[test]
+    fn explicit_limits_are_enforced() {
+        let init = InitialConfig::new(64, vec![0, 1, 2, 3, 4, 5, 6, 7]).unwrap();
+        let err = Deployment::of(&init)
+            .limits(RunLimits::new(10, 10))
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DeployError::Sim(SimError::StepLimitExceeded { limit: 10 })
+        );
+    }
+
+    #[test]
+    fn captured_trace_lands_in_report() {
+        let init = InitialConfig::new(12, vec![0, 1, 2]).unwrap();
+        let report = Deployment::of(&init).capture_trace(256).run().unwrap();
+        let trace = report.trace.expect("trace captured");
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn phase_metrics_cover_all_activity() {
+        let init = InitialConfig::new(18, vec![0, 1, 2, 5]).unwrap();
+        for algorithm in Algorithm::ALL {
+            let report = Deployment::of(&init).algorithm(algorithm).run().unwrap();
+            assert!(!report.phases.is_empty(), "{algorithm}");
+            let total_activations: u64 = report.phases.iter().map(|p| p.activations).sum();
+            let total_moves: u64 = report.phases.iter().map(|p| p.moves).sum();
+            assert_eq!(total_activations, report.steps, "{algorithm}");
+            assert_eq!(total_moves, report.metrics.total_moves(), "{algorithm}");
+        }
+    }
+}

@@ -21,12 +21,15 @@
 //! # Quickstart
 //!
 //! ```
-//! use ringdeploy_core::{deploy, Algorithm, Schedule};
+//! use ringdeploy_core::{Algorithm, Deployment, Schedule};
 //! use ringdeploy_sim::InitialConfig;
 //!
 //! // Four agents clustered on a 16-node ring.
 //! let init = InitialConfig::new(16, vec![0, 1, 2, 3])?;
-//! let report = deploy(&init, Algorithm::LogSpace, Schedule::Random(1))?;
+//! let report = Deployment::of(&init)
+//!     .algorithm(Algorithm::LogSpace)
+//!     .schedule(Schedule::Random(1))?
+//!     .run()?;
 //! assert!(report.succeeded());
 //! // Final positions are uniformly spaced (gap 4).
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -37,6 +40,7 @@
 
 mod algo1;
 mod algo2;
+pub mod deployment;
 mod relaxed;
 mod rendezvous;
 mod run;
@@ -46,9 +50,12 @@ mod tokenless;
 
 pub use algo1::{FullKnowledge, Learned};
 pub use algo2::{BaseInfo, LogSpace, Role, SegmentId};
+pub use deployment::{Asynchronous, Deployment, Synchronous};
 pub use relaxed::{Estimate, NoKnowledge};
 pub use rendezvous::{Rendezvous, RendezvousVerdict};
-pub use run::{deploy, Algorithm, DeployReport, Schedule};
+#[allow(deprecated)]
+pub use run::deploy;
+pub use run::{Algorithm, DeployError, DeployReport, PhaseMetric, Schedule};
 pub use spacing::{SpacingError, SpacingPlan};
 pub use strawman::TerminatingEstimator;
 pub use tokenless::TokenlessProbe;

@@ -1,19 +1,17 @@
-//! One-call drivers: build a ring, run an algorithm under a chosen
-//! scheduler, verify the outcome and collect the paper's measures.
+//! Run-driver vocabulary: the [`Algorithm`] choice, the [`Schedule`]
+//! adversary presets, the [`DeployReport`] produced by every run and the
+//! deprecated flat [`deploy`] entry point.
+//!
+//! The builder that actually drives runs lives in
+//! [`crate::deployment::Deployment`].
 
 use ringdeploy_sim::scheduler::{DelayAgent, OneAtATime, Random, RoundRobin};
-use ringdeploy_sim::{
-    satisfies_halting_deployment, satisfies_suspended_deployment, AgentId, Behavior,
-    DeploymentCheck, InitialConfig, Metrics, Ring, RunLimits, Scheduler, SimError,
-};
+use ringdeploy_sim::{AgentId, DeploymentCheck, Metrics, PhaseTally, Scheduler, SimError, Trace};
 
-use crate::algo1::FullKnowledge;
-use crate::algo2::LogSpace;
-use crate::relaxed::NoKnowledge;
+use crate::deployment::Deployment;
 
 /// Which of the paper's algorithms to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Algorithm {
     /// Algorithm 1 (§3.1): knowledge of `k`, `O(k log n)` memory.
     FullKnowledge,
@@ -45,6 +43,12 @@ impl Algorithm {
     pub fn halts(self) -> bool {
         !matches!(self, Algorithm::Relaxed)
     }
+
+    /// Parses the output of [`Algorithm::name`] (used by serialization and
+    /// the CLI).
+    pub fn from_name(name: &str) -> Option<Algorithm> {
+        Algorithm::ALL.into_iter().find(|a| a.name() == name)
+    }
 }
 
 impl std::fmt::Display for Algorithm {
@@ -53,9 +57,18 @@ impl std::fmt::Display for Algorithm {
     }
 }
 
-/// Which schedule adversary drives the run.
+/// Which schedule adversary drives the run — the *preset* vocabulary.
+///
+/// Presets cover the paper's standard adversaries; arbitrary user-defined
+/// adversaries plug into
+/// [`Deployment::scheduler`](crate::deployment::Deployment::scheduler)
+/// directly. Note that [`Schedule::Synchronous`] is **not** a scheduler:
+/// lock-step execution is a different driver mode, selected type-safely
+/// with [`Deployment::synchronous`](crate::deployment::Deployment::synchronous).
+/// [`Schedule::into_scheduler`] therefore returns an error for it instead
+/// of silently substituting an arbitrary fair scheduler (which is what
+/// its predecessor, the old private `Schedule::build()` helper, did).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Schedule {
     /// Deterministic round-robin over agent ids.
     RoundRobin,
@@ -65,30 +78,117 @@ pub enum Schedule {
     OneAtATime,
     /// Starve one agent while any other can act.
     DelayAgent(usize),
-    /// Lock-step rounds; reports ideal time.
+    /// Lock-step rounds; reports ideal time. Handled by the synchronous
+    /// driver mode, never by a [`Scheduler`].
     Synchronous,
 }
 
 impl Schedule {
-    /// Instantiates the scheduler (not meaningful for
-    /// [`Schedule::Synchronous`], which is handled by the driver).
-    fn build(self) -> Box<dyn Scheduler> {
+    /// Instantiates the scheduler realising this preset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError::SynchronousSchedule`] for
+    /// [`Schedule::Synchronous`]: lock-step execution is a driver mode,
+    /// not a schedule adversary.
+    pub fn into_scheduler(self) -> Result<Box<dyn Scheduler>, DeployError> {
         match self {
-            Schedule::RoundRobin => Box::new(RoundRobin::new()),
-            Schedule::Random(seed) => Box::new(Random::seeded(seed)),
-            Schedule::OneAtATime => Box::new(OneAtATime::new()),
-            Schedule::DelayAgent(i) => Box::new(DelayAgent::new(AgentId(i))),
-            Schedule::Synchronous => Box::new(RoundRobin::new()),
+            Schedule::RoundRobin => Ok(Box::new(RoundRobin::new())),
+            Schedule::Random(seed) => Ok(Box::new(Random::seeded(seed))),
+            Schedule::OneAtATime => Ok(Box::new(OneAtATime::new())),
+            Schedule::DelayAgent(i) => Ok(Box::new(DelayAgent::new(AgentId(i)))),
+            Schedule::Synchronous => Err(DeployError::SynchronousSchedule),
+        }
+    }
+
+    /// A stable label for reports and tables (e.g. `random(42)`).
+    pub fn label(self) -> String {
+        match self {
+            Schedule::RoundRobin => "round-robin".to_string(),
+            Schedule::Random(seed) => format!("random({seed})"),
+            Schedule::OneAtATime => "one-at-a-time".to_string(),
+            Schedule::DelayAgent(i) => format!("delay-agent({i})"),
+            Schedule::Synchronous => "synchronous".to_string(),
         }
     }
 }
 
-/// The result of a driver run: the paper's three measures plus the
-/// acceptance verdict.
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Error produced by the run drivers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeployError {
+    /// The underlying simulation hit a limit or a scheduler bug.
+    Sim(SimError),
+    /// [`Schedule::Synchronous`] was used where an asynchronous scheduler
+    /// is required. Use
+    /// [`Deployment::synchronous`](crate::deployment::Deployment::synchronous)
+    /// for lock-step runs.
+    SynchronousSchedule,
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::Sim(e) => write!(f, "{e}"),
+            DeployError::SynchronousSchedule => write!(
+                f,
+                "Schedule::Synchronous is a driver mode, not a scheduler; \
+                 use Deployment::synchronous() for lock-step runs"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeployError::Sim(e) => Some(e),
+            DeployError::SynchronousSchedule => None,
+        }
+    }
+}
+
+impl From<SimError> for DeployError {
+    fn from(e: SimError) -> Self {
+        DeployError::Sim(e)
+    }
+}
+
+/// Per-phase slice of a run's activity, derived from the engine's
+/// [`PhaseTally`] with an owned label so reports stay self-contained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseMetric {
+    /// The behavior-reported phase label (e.g. `"selection"`).
+    pub name: String,
+    /// Atomic actions executed in this phase.
+    pub activations: u64,
+    /// Moves performed in this phase.
+    pub moves: u64,
+}
+
+impl From<&PhaseTally> for PhaseMetric {
+    fn from(tally: &PhaseTally) -> Self {
+        PhaseMetric {
+            name: tally.name.to_string(),
+            activations: tally.activations,
+            moves: tally.moves,
+        }
+    }
+}
+
+/// The result of a driver run: the paper's three measures, the acceptance
+/// verdict, per-phase breakdowns and (optionally) the captured trace.
 #[derive(Debug, Clone)]
 pub struct DeployReport {
     /// The algorithm that ran.
     pub algorithm: Algorithm,
+    /// Label of the scheduler (or `"synchronous"`) that drove the run.
+    pub scheduler: String,
     /// Ring size.
     pub n: usize,
     /// Agent count.
@@ -99,10 +199,18 @@ pub struct DeployReport {
     pub check: DeploymentCheck,
     /// Final node per agent.
     pub positions: Vec<usize>,
-    /// Ideal time in rounds (only for [`Schedule::Synchronous`]).
+    /// Ideal time in rounds (synchronous runs only).
     pub ideal_time: Option<u64>,
+    /// Atomic actions executed by the run.
+    pub steps: u64,
     /// Engine metrics (moves, memory, messages).
     pub metrics: Metrics,
+    /// Activity broken down by algorithm phase, in order of appearance.
+    pub phases: Vec<PhaseMetric>,
+    /// The event trace, when requested via
+    /// [`Deployment::capture_trace`](crate::deployment::Deployment::capture_trace).
+    /// Not serialized.
+    pub trace: Option<Trace>,
 }
 
 impl DeployReport {
@@ -114,14 +222,22 @@ impl DeployReport {
 
 /// Runs `algorithm` from `init` under `schedule` and verifies the outcome.
 ///
+/// Deprecated flat entry point, kept as a thin shim for one release: it
+/// forwards to [`Deployment`]. **Behavior change:** the old `deploy()`
+/// accepted [`Schedule::Synchronous`] and ran in lock-step mode; the shim
+/// rejects it with [`DeployError::SynchronousSchedule`] so the sync/async
+/// distinction stays explicit during migration. Use
+/// [`Deployment::synchronous`] (or [`Deployment::run_preset`]) instead.
+///
 /// # Errors
 ///
-/// Propagates [`SimError`] if the run hits its limits (the paper's
-/// algorithms never should on valid inputs).
+/// Propagates [`DeployError`] if the run hits its limits or the schedule
+/// is [`Schedule::Synchronous`].
 ///
 /// # Examples
 ///
 /// ```
+/// #![allow(deprecated)]
 /// use ringdeploy_core::{deploy, Algorithm, Schedule};
 /// use ringdeploy_sim::InitialConfig;
 ///
@@ -131,64 +247,140 @@ impl DeployReport {
 /// assert_eq!(report.n, 16);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use Deployment::of(init).algorithm(..).schedule(..).run() \
+            (or .synchronous().run() for lock-step runs)"
+)]
 pub fn deploy(
-    init: &InitialConfig,
+    init: &ringdeploy_sim::InitialConfig,
     algorithm: Algorithm,
     schedule: Schedule,
-) -> Result<DeployReport, SimError> {
-    let k = init.agent_count();
-    match algorithm {
-        Algorithm::FullKnowledge => {
-            run_behavior(init, algorithm, schedule, |_| FullKnowledge::new(k))
-        }
-        Algorithm::LogSpace => run_behavior(init, algorithm, schedule, |_| LogSpace::new(k)),
-        Algorithm::Relaxed => run_behavior(init, algorithm, schedule, |_| NoKnowledge::new()),
-    }
+) -> Result<DeployReport, DeployError> {
+    Deployment::of(init)
+        .algorithm(algorithm)
+        .schedule(schedule)?
+        .run()
 }
 
-fn run_behavior<B: Behavior>(
-    init: &InitialConfig,
-    algorithm: Algorithm,
-    schedule: Schedule,
-    factory: impl FnMut(AgentId) -> B,
-) -> Result<DeployReport, SimError> {
-    let n = init.ring_size();
-    let k = init.agent_count();
-    let limits = RunLimits::for_instance(n, k);
-    let mut ring = Ring::new(init, factory);
-    let outcome = match schedule {
-        Schedule::Synchronous => ring.run_synchronous(limits)?,
-        other => {
-            let mut sched = other.build();
-            ring.run(sched.as_mut(), limits)?
+#[cfg(feature = "serde")]
+mod json_impls {
+    use super::{Algorithm, DeployReport, PhaseMetric, Schedule};
+    use ringdeploy_json::{FromJson, Json, JsonError, ToJson};
+
+    impl ToJson for Algorithm {
+        fn to_json(&self) -> Json {
+            Json::String(self.name().to_string())
         }
-    };
-    let check = if algorithm.halts() {
-        satisfies_halting_deployment(&ring)
-    } else {
-        satisfies_suspended_deployment(&ring)
-    };
-    let positions = ring
-        .staying_positions()
-        .expect("quiescent runs leave no agent in transit");
-    Ok(DeployReport {
-        algorithm,
-        n,
-        k,
-        symmetry_degree: init.symmetry_degree(),
-        check,
-        positions,
-        ideal_time: outcome.rounds,
-        metrics: outcome.metrics,
-    })
+    }
+
+    impl FromJson for Algorithm {
+        fn from_json(json: &Json) -> Result<Self, JsonError> {
+            json.as_str()
+                .and_then(Algorithm::from_name)
+                .ok_or_else(|| JsonError::Decode(format!("unknown algorithm {json}")))
+        }
+    }
+
+    impl ToJson for Schedule {
+        fn to_json(&self) -> Json {
+            match self {
+                Schedule::RoundRobin => Json::String("round-robin".to_string()),
+                Schedule::OneAtATime => Json::String("one-at-a-time".to_string()),
+                Schedule::Synchronous => Json::String("synchronous".to_string()),
+                Schedule::Random(seed) => Json::object([("random", seed.to_json())]),
+                Schedule::DelayAgent(i) => Json::object([("delay_agent", i.to_json())]),
+            }
+        }
+    }
+
+    impl FromJson for Schedule {
+        fn from_json(json: &Json) -> Result<Self, JsonError> {
+            if let Some(name) = json.as_str() {
+                return match name {
+                    "round-robin" => Ok(Schedule::RoundRobin),
+                    "one-at-a-time" => Ok(Schedule::OneAtATime),
+                    "synchronous" => Ok(Schedule::Synchronous),
+                    other => Err(JsonError::Decode(format!("unknown schedule `{other}`"))),
+                };
+            }
+            if let Ok(seed) = json.field::<u64>("random") {
+                return Ok(Schedule::Random(seed));
+            }
+            if let Ok(agent) = json.field::<usize>("delay_agent") {
+                return Ok(Schedule::DelayAgent(agent));
+            }
+            Err(JsonError::Decode(format!("unknown schedule {json}")))
+        }
+    }
+
+    impl ToJson for PhaseMetric {
+        fn to_json(&self) -> Json {
+            Json::object([
+                ("name", self.name.to_json()),
+                ("activations", self.activations.to_json()),
+                ("moves", self.moves.to_json()),
+            ])
+        }
+    }
+
+    impl FromJson for PhaseMetric {
+        fn from_json(json: &Json) -> Result<Self, JsonError> {
+            Ok(PhaseMetric {
+                name: json.field("name")?,
+                activations: json.field("activations")?,
+                moves: json.field("moves")?,
+            })
+        }
+    }
+
+    impl ToJson for DeployReport {
+        fn to_json(&self) -> Json {
+            Json::object([
+                ("algorithm", self.algorithm.to_json()),
+                ("scheduler", self.scheduler.to_json()),
+                ("n", self.n.to_json()),
+                ("k", self.k.to_json()),
+                ("symmetry_degree", self.symmetry_degree.to_json()),
+                ("check", self.check.to_json()),
+                ("positions", self.positions.to_json()),
+                ("ideal_time", self.ideal_time.to_json()),
+                ("steps", self.steps.to_json()),
+                ("metrics", self.metrics.to_json()),
+                ("phases", self.phases.to_json()),
+            ])
+        }
+    }
+
+    impl FromJson for DeployReport {
+        fn from_json(json: &Json) -> Result<Self, JsonError> {
+            Ok(DeployReport {
+                algorithm: json.field("algorithm")?,
+                scheduler: json.field("scheduler")?,
+                n: json.field("n")?,
+                k: json.field("k")?,
+                symmetry_degree: json.field("symmetry_degree")?,
+                check: json.field("check")?,
+                positions: json.field("positions")?,
+                ideal_time: json.optional_field("ideal_time")?,
+                steps: json.field("steps")?,
+                metrics: json.field("metrics")?,
+                phases: json.field("phases")?,
+                trace: None,
+            })
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
+    use ringdeploy_sim::InitialConfig;
 
     #[test]
-    fn all_algorithms_all_schedules_deploy() {
+    fn legacy_shim_still_deploys_async_presets() {
         let init = InitialConfig::new(15, vec![0, 2, 3, 8]).unwrap();
         for algo in Algorithm::ALL {
             for schedule in [
@@ -196,7 +388,6 @@ mod tests {
                 Schedule::Random(7),
                 Schedule::OneAtATime,
                 Schedule::DelayAgent(1),
-                Schedule::Synchronous,
             ] {
                 let report = deploy(&init, algo, schedule).unwrap();
                 assert!(
@@ -209,11 +400,23 @@ mod tests {
     }
 
     #[test]
-    fn synchronous_reports_ideal_time() {
-        let init = InitialConfig::new(20, vec![0, 4, 9, 11]).unwrap();
-        let report = deploy(&init, Algorithm::FullKnowledge, Schedule::Synchronous).unwrap();
-        assert!(report.ideal_time.is_some());
-        assert!(report.ideal_time.unwrap() <= 3 * 20 + 2);
+    fn legacy_shim_rejects_synchronous() {
+        let init = InitialConfig::new(12, vec![0, 1, 2]).unwrap();
+        let err = deploy(&init, Algorithm::FullKnowledge, Schedule::Synchronous).unwrap_err();
+        assert_eq!(err, DeployError::SynchronousSchedule);
+        assert!(err.to_string().contains("synchronous"));
+    }
+
+    #[test]
+    fn into_scheduler_rejects_synchronous() {
+        assert!(matches!(
+            Schedule::Synchronous.into_scheduler(),
+            Err(DeployError::SynchronousSchedule)
+        ));
+        assert_eq!(
+            Schedule::Random(3).into_scheduler().unwrap().name(),
+            "random"
+        );
     }
 
     #[test]
@@ -222,5 +425,16 @@ mod tests {
         let report = deploy(&init, Algorithm::Relaxed, Schedule::RoundRobin).unwrap();
         assert_eq!(report.symmetry_degree, 2);
         assert!(report.succeeded());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Schedule::Random(42).label(), "random(42)");
+        assert_eq!(Schedule::DelayAgent(1).label(), "delay-agent(1)");
+        assert_eq!(
+            Algorithm::from_name("algo2-log-space"),
+            Some(Algorithm::LogSpace)
+        );
+        assert_eq!(Algorithm::from_name("nope"), None);
     }
 }

@@ -31,7 +31,6 @@
 /// # Ok::<(), ringdeploy_core::SpacingError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SpacingPlan {
     n: u64,
     k: u64,
@@ -77,10 +76,10 @@ impl SpacingPlan {
         if n == 0 || k == 0 || b == 0 || k > n || b > k {
             return Err(SpacingError::OutOfRange);
         }
-        if n % b != 0 {
+        if !n.is_multiple_of(b) {
             return Err(SpacingError::BaseNotDividingRing);
         }
-        if k % b != 0 {
+        if !k.is_multiple_of(b) {
             return Err(SpacingError::BaseNotDividingAgents);
         }
         debug_assert_eq!((n % k) % b, 0, "b | r follows from b | n and b | k");
@@ -168,13 +167,13 @@ impl SpacingPlan {
         let long = self.long_intervals();
         let long_end = long * (floor + 1);
         let j = if s < long_end {
-            if s % (floor + 1) != 0 {
+            if !s.is_multiple_of(floor + 1) {
                 return None;
             }
             s / (floor + 1)
         } else {
             let rest = s - long_end;
-            if rest % floor != 0 {
+            if !rest.is_multiple_of(floor) {
                 return None;
             }
             long + rest / floor

@@ -53,7 +53,7 @@ impl TokenlessProbe {
     /// counter only (all anonymous agents share it). Mixes periods 2, 3
     /// and 5 so the walk is not a plain march.
     fn wants_to_move(step: u64) -> bool {
-        (step % 2 == 0) || (step % 3 == 1) || (step % 5 == 4)
+        step.is_multiple_of(2) || (step % 3 == 1) || (step % 5 == 4)
     }
 }
 

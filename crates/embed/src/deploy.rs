@@ -1,8 +1,8 @@
 //! Running the ring algorithms on embedded topologies and mapping results
 //! back (paper §5).
 
-use ringdeploy_core::{deploy, Algorithm, DeployReport, Schedule};
-use ringdeploy_sim::{InitialConfig, SimError};
+use ringdeploy_core::{Algorithm, DeployError, DeployReport, Deployment, Schedule};
+use ringdeploy_sim::InitialConfig;
 
 use crate::euler::EulerTour;
 use crate::graph::Graph;
@@ -67,21 +67,23 @@ pub fn patrol_latency(tour: &EulerTour, agent_virtual: &[usize]) -> usize {
 ///
 /// # Errors
 ///
-/// Propagates [`SimError`] from the ring run; panics on invalid homes (out
-/// of range or duplicated), mirroring [`InitialConfig`] validation.
+/// Propagates [`DeployError`] from the ring run; panics on invalid homes
+/// (out of range or duplicated), mirroring [`InitialConfig`] validation.
 pub fn deploy_on_tree(
     tree: &Tree,
     agents: &[usize],
     algorithm: Algorithm,
     schedule: Schedule,
-) -> Result<TreeDeployReport, SimError> {
+) -> Result<TreeDeployReport, DeployError> {
     assert!(!agents.is_empty(), "at least one agent");
     let root = agents[0];
     let tour = EulerTour::new(tree, root);
     let homes: Vec<usize> = agents.iter().map(|&v| tour.first_position(v)).collect();
     let init = InitialConfig::new(tour.ring_size(), homes)
         .expect("distinct tree homes embed to distinct virtual homes");
-    let ring_report = deploy(&init, algorithm, schedule)?;
+    let ring_report = Deployment::of(&init)
+        .algorithm(algorithm)
+        .run_preset(schedule)?;
     let tree_positions: Vec<usize> = ring_report
         .positions
         .iter()
@@ -102,13 +104,13 @@ pub fn deploy_on_tree(
 ///
 /// # Errors
 ///
-/// Propagates [`SimError`] from the ring run.
+/// Propagates [`DeployError`] from the ring run.
 pub fn deploy_on_graph(
     graph: &Graph,
     agents: &[usize],
     algorithm: Algorithm,
     schedule: Schedule,
-) -> Result<TreeDeployReport, SimError> {
+) -> Result<TreeDeployReport, DeployError> {
     assert!(!agents.is_empty(), "at least one agent");
     let tree = graph.spanning_tree(agents[0]);
     deploy_on_tree(&tree, agents, algorithm, schedule)

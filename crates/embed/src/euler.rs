@@ -24,7 +24,6 @@ use crate::tree::Tree;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EulerTour {
     /// `nodes[i]` = tree node at virtual position `i`.
     nodes: Vec<usize>,

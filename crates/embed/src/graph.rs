@@ -52,7 +52,6 @@ impl std::error::Error for GraphError {}
 /// # Ok::<(), ringdeploy_embed::GraphError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Graph {
     adj: Vec<Vec<usize>>,
 }

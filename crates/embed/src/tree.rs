@@ -62,7 +62,6 @@ impl std::error::Error for TreeError {}
 /// # Ok::<(), ringdeploy_embed::TreeError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Tree {
     adj: Vec<Vec<usize>>,
 }

@@ -4,7 +4,6 @@
 /// What an agent does at the end of an atomic action: move into the
 /// outgoing link or stay at the current node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Next {
     /// Enter the FIFO queue of the outgoing link (towards `v_{i+1}`).
     Move,
@@ -14,7 +13,6 @@ pub enum Next {
 
 /// The idle state of an agent that stays at a node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Idle {
     /// The agent wants a further activation without external stimulus.
     ///

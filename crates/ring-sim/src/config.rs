@@ -7,7 +7,6 @@ use crate::{AgentId, NodeId};
 /// Where an agent currently is: staying at a node (member of `p_i`) or in
 /// transit on a link (member of some `q_i`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Place {
     /// Staying at node `at` (in the set `p_at`).
     Staying {

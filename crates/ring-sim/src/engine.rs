@@ -62,13 +62,26 @@ impl Default for RunLimits {
 /// correctness *depends* on the FIFO assumption. Never use `Lifo` outside
 /// ablation studies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum LinkDiscipline {
     /// Paper-faithful FIFO queues (default).
     #[default]
     Fifo,
     /// Overtaking links: later entrants arrive first (ablation only).
     Lifo,
+}
+
+/// Per-phase activity accumulated during a run, keyed by the behaviors'
+/// [`phase_name`](crate::Behavior::phase_name) labels (in order of first
+/// appearance). Lets reports break the paper's measures down by algorithm
+/// phase without re-running under a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseTally {
+    /// The behavior-reported phase label.
+    pub name: &'static str,
+    /// Atomic actions executed while an agent reported this phase.
+    pub activations: u64,
+    /// Moves performed by actions in this phase.
+    pub moves: u64,
 }
 
 /// Summary of a completed (or aborted) run.
@@ -125,6 +138,7 @@ pub struct Ring<B: Behavior> {
     agents: Vec<AgentSlot<B>>,
     metrics: Metrics,
     trace: Option<Trace>,
+    phases: Vec<PhaseTally>,
     steps: u64,
     discipline: LinkDiscipline,
 }
@@ -143,6 +157,7 @@ where
             agents: self.agents.clone(),
             metrics: self.metrics.clone(),
             trace: self.trace.clone(),
+            phases: self.phases.clone(),
             steps: self.steps,
             discipline: self.discipline,
         }
@@ -184,6 +199,7 @@ impl<B: Behavior> Ring<B> {
             agents,
             metrics,
             trace: None,
+            phases: Vec::new(),
             steps: 0,
             discipline: LinkDiscipline::Fifo,
         }
@@ -209,6 +225,23 @@ impl<B: Behavior> Ring<B> {
     /// The recorded trace, if tracing was enabled.
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_ref()
+    }
+
+    /// Takes the recorded trace out of the engine (tracing stops), leaving
+    /// `None`. Used by run drivers that hand the trace to their report.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+
+    /// Per-phase activity tallies, in order of first phase appearance.
+    pub fn phase_tallies(&self) -> &[PhaseTally] {
+        &self.phases
+    }
+
+    /// Total atomic actions executed over the ring's lifetime (across
+    /// multiple `run` calls, unlike [`RunOutcome::steps`]).
+    pub fn steps(&self) -> u64 {
+        self.steps
     }
 
     /// Ring size `n`.
@@ -387,6 +420,22 @@ impl<B: Behavior> Ring<B> {
         self.metrics.record_activation(id);
         self.metrics
             .observe_memory(self.agents[idx].behavior.memory_bits());
+        let phase = self.agents[idx].behavior.phase_name();
+        let tally = match self.phases.iter_mut().find(|t| t.name == phase) {
+            Some(tally) => tally,
+            None => {
+                self.phases.push(PhaseTally {
+                    name: phase,
+                    activations: 0,
+                    moves: 0,
+                });
+                self.phases.last_mut().expect("just pushed")
+            }
+        };
+        tally.activations += 1;
+        if action.next == Next::Move {
+            tally.moves += 1;
+        }
         if let Some(trace) = &mut self.trace {
             trace.push(Event::Activated {
                 agent: id,

@@ -72,7 +72,6 @@ impl std::error::Error for InitialConfigError {}
 /// # Ok::<(), ringdeploy_sim::InitialConfigError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct InitialConfig {
     n: usize,
     homes: Vec<usize>,
@@ -164,7 +163,7 @@ impl InitialConfig {
         let k = d.len();
         // Smallest p dividing k with p-periodicity (cyclic period).
         for p in 1..=k {
-            if k % p != 0 {
+            if !k.is_multiple_of(p) {
                 continue;
             }
             if (p..k).all(|i| d[i] == d[i % p]) {

@@ -37,6 +37,13 @@
 //!
 //! # Example
 //!
+//! This crate is the *model* layer: you hand the engine a [`Behavior`]
+//! and a [`Scheduler`] and step it explicitly. To run the paper's
+//! algorithms, prefer the `Deployment` builder in `ringdeploy-core`
+//! (`Deployment::of(&init).algorithm(..).scheduler(..).run()`), which
+//! drives this engine and verifies the outcome; the raw engine API below
+//! is for custom behaviors and tests.
+//!
 //! ```
 //! use ringdeploy_sim::{
 //!     Action, Behavior, InitialConfig, Idle, Observation, Ring, RunLimits,
@@ -87,7 +94,7 @@ mod trace;
 pub use action::{Action, Idle, Next};
 pub use agent::{bits_for, Behavior, Observation};
 pub use config::{AgentView, Configuration, Place};
-pub use engine::{LinkDiscipline, Ring, RunLimits, RunOutcome};
+pub use engine::{LinkDiscipline, PhaseTally, Ring, RunLimits, RunOutcome};
 pub use error::SimError;
 pub use initial::{InitialConfig, InitialConfigError};
 pub use metrics::Metrics;
@@ -105,7 +112,6 @@ pub use trace::{Event, Trace};
 /// metrics, rendering). They are deliberately never exposed to agent
 /// [`Behavior`]s — nodes are anonymous in the model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(pub usize);
 
 impl NodeId {
@@ -131,7 +137,6 @@ impl std::fmt::Display for NodeId {
 /// Like [`NodeId`], agent identifiers are observer-side bookkeeping; agents
 /// themselves are anonymous and behaviors never see their own id.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AgentId(pub usize);
 
 impl AgentId {

@@ -12,7 +12,6 @@ use crate::AgentId;
 /// * ideal **time** is reported separately by
 ///   [`Ring::run_synchronous`](crate::Ring::run_synchronous) as rounds.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Metrics {
     moves: Vec<u64>,
     activations: Vec<u64>,
@@ -127,5 +126,37 @@ mod tests {
         assert_eq!(m.message_receipts(), 2);
         assert_eq!(m.token_releases(), 1);
         assert_eq!(m.peak_memory_bits(), 10);
+    }
+}
+
+#[cfg(feature = "serde")]
+mod json_impls {
+    use super::Metrics;
+    use ringdeploy_json::{FromJson, Json, JsonError, ToJson};
+
+    impl ToJson for Metrics {
+        fn to_json(&self) -> Json {
+            Json::object([
+                ("moves", self.moves.to_json()),
+                ("activations", self.activations.to_json()),
+                ("messages_sent", self.messages_sent.to_json()),
+                ("message_receipts", self.message_receipts.to_json()),
+                ("token_releases", self.token_releases.to_json()),
+                ("peak_memory_bits", self.peak_memory_bits.to_json()),
+            ])
+        }
+    }
+
+    impl FromJson for Metrics {
+        fn from_json(json: &Json) -> Result<Self, JsonError> {
+            Ok(Metrics {
+                moves: json.field("moves")?,
+                activations: json.field("activations")?,
+                messages_sent: json.field("messages_sent")?,
+                message_receipts: json.field("message_receipts")?,
+                token_releases: json.field("token_releases")?,
+                peak_memory_bits: json.field("peak_memory_bits")?,
+            })
+        }
     }
 }

@@ -103,7 +103,7 @@ pub fn is_uniform_spacing(n: usize, positions: &[usize]) -> bool {
         return false;
     }
     let floor = (n / k) as u64;
-    let ceil = floor + if n % k == 0 { 0 } else { 1 };
+    let ceil = floor + if n.is_multiple_of(k) { 0 } else { 1 };
     uniform_gaps(n, positions)
         .into_iter()
         .all(|g| g == floor || g == ceil)
@@ -157,7 +157,7 @@ fn check<B: Behavior>(
     }
     // Spacing.
     let floor = (n / k) as u64;
-    let ceil = floor + if n % k == 0 { 0 } else { 1 };
+    let ceil = floor + if n.is_multiple_of(k) { 0 } else { 1 };
     for gap in uniform_gaps(n, &positions) {
         if gap != floor && gap != ceil {
             return DeploymentCheck::BadGap { gap, floor, ceil };
@@ -197,5 +197,100 @@ mod tests {
     #[test]
     fn k_equals_n_everyone_adjacent() {
         assert!(is_uniform_spacing(4, &[0, 1, 2, 3]));
+    }
+}
+
+#[cfg(feature = "serde")]
+mod json_impls {
+    use super::DeploymentCheck;
+    use crate::action::Idle;
+    use ringdeploy_json::{FromJson, Json, JsonError, ToJson};
+
+    impl ToJson for Idle {
+        fn to_json(&self) -> Json {
+            Json::String(
+                match self {
+                    Idle::Ready => "ready",
+                    Idle::Suspended => "suspended",
+                    Idle::Halted => "halted",
+                }
+                .to_string(),
+            )
+        }
+    }
+
+    impl FromJson for Idle {
+        fn from_json(json: &Json) -> Result<Self, JsonError> {
+            match json.as_str() {
+                Some("ready") => Ok(Idle::Ready),
+                Some("suspended") => Ok(Idle::Suspended),
+                Some("halted") => Ok(Idle::Halted),
+                _ => Err(JsonError::Decode(format!("unknown idle state {json}"))),
+            }
+        }
+    }
+
+    impl ToJson for DeploymentCheck {
+        fn to_json(&self) -> Json {
+            match self {
+                DeploymentCheck::Satisfied => Json::String("satisfied".to_string()),
+                DeploymentCheck::AgentInTransit => Json::String("agent_in_transit".to_string()),
+                DeploymentCheck::WrongIdleState { agent, found } => Json::object([(
+                    "wrong_idle_state",
+                    Json::object([("agent", agent.to_json()), ("found", found.to_json())]),
+                )]),
+                DeploymentCheck::PendingMessages { agent } => Json::object([(
+                    "pending_messages",
+                    Json::object([("agent", agent.to_json())]),
+                )]),
+                DeploymentCheck::Collision { node } => {
+                    Json::object([("collision", Json::object([("node", node.to_json())]))])
+                }
+                DeploymentCheck::BadGap { gap, floor, ceil } => Json::object([(
+                    "bad_gap",
+                    Json::object([
+                        ("gap", gap.to_json()),
+                        ("floor", floor.to_json()),
+                        ("ceil", ceil.to_json()),
+                    ]),
+                )]),
+            }
+        }
+    }
+
+    impl FromJson for DeploymentCheck {
+        fn from_json(json: &Json) -> Result<Self, JsonError> {
+            match json.as_str() {
+                Some("satisfied") => return Ok(DeploymentCheck::Satisfied),
+                Some("agent_in_transit") => return Ok(DeploymentCheck::AgentInTransit),
+                Some(other) => return Err(JsonError::Decode(format!("unknown check `{other}`"))),
+                None => {}
+            }
+            let Json::Object(map) = json else {
+                return Err(JsonError::Decode(format!("bad deployment check {json}")));
+            };
+            let (variant, payload) = map
+                .iter()
+                .next()
+                .ok_or_else(|| JsonError::Decode("empty check object".to_string()))?;
+            match variant.as_str() {
+                "wrong_idle_state" => Ok(DeploymentCheck::WrongIdleState {
+                    agent: payload.field("agent")?,
+                    found: payload.field("found")?,
+                }),
+                "pending_messages" => Ok(DeploymentCheck::PendingMessages {
+                    agent: payload.field("agent")?,
+                }),
+                "collision" => Ok(DeploymentCheck::Collision {
+                    node: payload.field("node")?,
+                }),
+                "bad_gap" => Ok(DeploymentCheck::BadGap {
+                    gap: payload.field("gap")?,
+                    floor: payload.field("floor")?,
+                    ceil: payload.field("ceil")?,
+                }),
+                other => Err(JsonError::Decode(format!("unknown check `{other}`"))),
+            }
+        }
     }
 }

@@ -47,6 +47,16 @@ pub trait Scheduler {
     }
 }
 
+impl Scheduler for Box<dyn Scheduler> {
+    fn select(&mut self, enabled: &[Activation]) -> usize {
+        (**self).select(enabled)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
 /// Deterministic fair scheduler: cycles through agent ids, at each step
 /// activating the first enabled agent at or after the cursor.
 #[derive(Debug, Clone, Default)]

@@ -50,7 +50,6 @@ impl std::error::Error for DistanceSeqError {}
 /// # Ok::<(), ringdeploy_seq::DistanceSeqError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DistanceSeq {
     entries: Vec<u64>,
 }

@@ -66,7 +66,7 @@ pub fn cyclic_period<T: Eq>(seq: &[T]) -> usize {
         return 0;
     }
     let p = smallest_period(seq);
-    if n % p == 0 {
+    if n.is_multiple_of(p) {
         p
     } else {
         n
@@ -128,7 +128,7 @@ pub fn repeat<T: Clone>(base: &[T], times: usize) -> Vec<T> {
 /// ```
 pub fn fourfold_repetition<T: Eq>(seq: &[T]) -> bool {
     let j = seq.len();
-    if j == 0 || j % 4 != 0 {
+    if j == 0 || !j.is_multiple_of(4) {
         return false;
     }
     let q = j / 4;

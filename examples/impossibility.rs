@@ -11,7 +11,7 @@
 use ringdeploy::analysis::theorem5_config;
 use ringdeploy::sim::scheduler::RoundRobin;
 use ringdeploy::sim::{satisfies_halting_deployment, RunLimits};
-use ringdeploy::{deploy, Algorithm, Ring, Schedule, TerminatingEstimator};
+use ringdeploy::{Algorithm, Deployment, Ring, TerminatingEstimator};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Ring R: distance sequence (1,3) — n=4, k=2, uniform interval d=2.
@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(!verdict.is_satisfied(), "Theorem 5: the strawman must fail");
 
     // The relaxed algorithm succeeds on the very same ring.
-    let report = deploy(&init, Algorithm::Relaxed, Schedule::RoundRobin)?;
+    let report = Deployment::of(&init).algorithm(Algorithm::Relaxed).run()?;
     println!(
         "relaxed algorithm (no termination detection) positions: {:?}",
         {

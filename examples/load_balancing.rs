@@ -11,7 +11,7 @@
 //! cargo run --example load_balancing
 //! ```
 
-use ringdeploy::{deploy, Algorithm, InitialConfig, Schedule};
+use ringdeploy::{Algorithm, Deployment, InitialConfig, Schedule};
 
 /// For each node, the forward distance to the nearest replica; returns
 /// (per-replica load, max access distance). On a unidirectional ring a
@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  per-replica load: {load_before:?}");
     println!("  max access distance: {dist_before} hops");
 
-    let report = deploy(&init, Algorithm::LogSpace, Schedule::Random(3))?;
+    let report = Deployment::of(&init)
+        .algorithm(Algorithm::LogSpace)
+        .schedule(Schedule::Random(3))?
+        .run()?;
     assert!(report.succeeded());
     let (load_after, dist_after) = access_stats(n, &report.positions);
     println!("\nafter uniform deployment ({}):", report.algorithm.name());

@@ -8,7 +8,7 @@
 //! ```
 
 use ringdeploy::analysis::periodic_config;
-use ringdeploy::{deploy, Algorithm, Schedule};
+use ringdeploy::{Algorithm, Deployment, Schedule};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (n, k) = (240usize, 24usize);
@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for l in [1usize, 2, 4, 8, 24] {
         let init = periodic_config(n, k, l);
-        let report = deploy(&init, Algorithm::Relaxed, Schedule::Random(11))?;
+        let report = Deployment::of(&init)
+            .algorithm(Algorithm::Relaxed)
+            .schedule(Schedule::Random(11))?
+            .run()?;
         let bound = 14 * (n / l);
         println!(
             "{:>4}  {:>12}  {:>12}  {:>14}  {:>10}",

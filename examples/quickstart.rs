@@ -5,7 +5,9 @@
 //! cargo run --example quickstart
 //! ```
 
-use ringdeploy::{deploy, render_ring, Algorithm, FullKnowledge, InitialConfig, Ring, Schedule};
+use ringdeploy::{
+    render_ring, Algorithm, Deployment, FullKnowledge, InitialConfig, Ring, Schedule,
+};
 use ringdeploy_sim::scheduler::RoundRobin;
 use ringdeploy_sim::RunLimits;
 
@@ -22,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", render_ring(&ring));
 
     for algorithm in Algorithm::ALL {
-        let report = deploy(&init, algorithm, Schedule::Random(42))?;
+        let report = Deployment::of(&init)
+            .algorithm(algorithm)
+            .schedule(Schedule::Random(42))?
+            .run()?;
         println!(
             "{:<22} -> positions {:?} | uniform: {} | total moves: {} | peak memory: {} bits",
             algorithm.name(),

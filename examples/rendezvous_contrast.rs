@@ -10,7 +10,7 @@ use rand::SeedableRng;
 use ringdeploy::analysis::{from_gaps, random_aperiodic_config};
 use ringdeploy::sim::scheduler::Random;
 use ringdeploy::sim::RunLimits;
-use ringdeploy::{deploy, Algorithm, Rendezvous, RendezvousVerdict, Ring, Schedule};
+use ringdeploy::{Algorithm, Deployment, Rendezvous, RendezvousVerdict, Ring, Schedule};
 
 fn try_rendezvous(init: &ringdeploy::InitialConfig) -> &'static str {
     let k = init.agent_count();
@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let aperiodic = random_aperiodic_config(&mut rng, 30, 5);
     println!("  homes: {:?}", aperiodic.homes());
     println!("  rendezvous:          {}", try_rendezvous(&aperiodic));
-    let ud = deploy(&aperiodic, Algorithm::FullKnowledge, Schedule::Random(1))?;
+    let ud = Deployment::of(&aperiodic)
+        .algorithm(Algorithm::FullKnowledge)
+        .schedule(Schedule::Random(1))?
+        .run()?;
     println!(
         "  uniform deployment:  {} -> {:?}",
         if ud.succeeded() { "deployed" } else { "failed" },
@@ -50,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let periodic = from_gaps(&[2, 3, 5, 2, 3, 5, 2, 3, 5])?;
     println!("  homes: {:?}", periodic.homes());
     println!("  rendezvous:          {}", try_rendezvous(&periodic));
-    let ud = deploy(&periodic, Algorithm::FullKnowledge, Schedule::Random(1))?;
+    let ud = Deployment::of(&periodic)
+        .algorithm(Algorithm::FullKnowledge)
+        .schedule(Schedule::Random(1))?
+        .run()?;
     println!(
         "  uniform deployment:  {} -> {:?}",
         if ud.succeeded() { "deployed" } else { "failed" },

@@ -14,7 +14,7 @@
 //! cargo run --example software_update
 //! ```
 
-use ringdeploy::{deploy, Algorithm, InitialConfig, Schedule};
+use ringdeploy::{Algorithm, Deployment, InitialConfig, Schedule};
 
 /// Largest gap between consecutive occupied positions = worst-case hops a
 /// node waits for a patrolling agent.
@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  worst-case update latency: {before} hops (one region waits almost a full ring)");
 
     for algorithm in Algorithm::ALL {
-        let report = deploy(&init, algorithm, Schedule::Random(7))?;
+        let report = Deployment::of(&init)
+            .algorithm(algorithm)
+            .schedule(Schedule::Random(7))?
+            .run()?;
         let after = worst_service_interval(n, &report.positions);
         println!(
             "\n{}:\n  final positions {:?}\n  worst-case update latency: {} hops ({}x better), deployment cost: {} agent moves",

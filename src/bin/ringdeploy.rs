@@ -17,12 +17,13 @@
 //!   | `delay:<agent>` (default `round-robin`)
 //! * `--sync`                 run in lock-step rounds and report ideal time
 //! * `--render`               print before/after ASCII ring renders
+//! * `--json`                 print the full report as JSON instead of text
 
 use std::process::ExitCode;
 
 use rand::SeedableRng;
 use ringdeploy::analysis::random_config;
-use ringdeploy::{deploy, Algorithm, FullKnowledge, InitialConfig, Ring, Schedule};
+use ringdeploy::{Algorithm, Deployment, FullKnowledge, InitialConfig, Ring, Schedule};
 
 struct Options {
     n: usize,
@@ -32,12 +33,13 @@ struct Options {
     algo: Algorithm,
     schedule: Schedule,
     render: bool,
+    json: bool,
 }
 
 fn usage() -> &'static str {
     "usage: ringdeploy --n <nodes> (--homes a,b,c | --k <agents> [--seed s]) \
      [--algo algo1|algo2|relaxed] [--schedule round-robin|random:<seed>|one-at-a-time|delay:<agent>] \
-     [--sync] [--render]"
+     [--sync] [--render] [--json]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -49,6 +51,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         algo: Algorithm::FullKnowledge,
         schedule: Schedule::RoundRobin,
         render: false,
+        json: false,
     };
     let mut i = 0;
     let value = |i: &mut usize| -> Result<String, String> {
@@ -88,6 +91,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--sync" => opts.schedule = Schedule::Synchronous,
             "--render" => opts.render = true,
+            "--json" => opts.json = true,
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown option `{other}`\n{}", usage())),
         }
@@ -149,8 +153,26 @@ fn run(opts: &Options) -> Result<(), String> {
             ringdeploy::render_ring(&before)
         );
     }
-    let report = deploy(&init, opts.algo, opts.schedule).map_err(|e| e.to_string())?;
+    let report = Deployment::of(&init)
+        .algorithm(opts.algo)
+        .run_preset(opts.schedule)
+        .map_err(|e| e.to_string())?;
+    if opts.json {
+        #[cfg(feature = "serde")]
+        {
+            use ringdeploy_json::ToJson;
+            println!("{}", report.to_json());
+            return if report.succeeded() {
+                Ok(())
+            } else {
+                Err(format!("deployment check failed: {:?}", report.check))
+            };
+        }
+        #[cfg(not(feature = "serde"))]
+        return Err("--json requires the `serde` feature (enabled by default)".to_string());
+    }
     println!("algorithm : {}", report.algorithm.name());
+    println!("scheduler : {}", report.scheduler);
     println!(
         "verdict   : {}",
         if report.succeeded() {

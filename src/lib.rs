@@ -13,30 +13,41 @@
 //! * [`core`] — the paper's algorithms: [`FullKnowledge`] (Alg. 1),
 //!   [`LogSpace`] (Alg. 2+3), [`NoKnowledge`] (Alg. 4–6), the
 //!   [`TerminatingEstimator`] strawman of Theorem 5 and the
-//!   [`Rendezvous`] contrast baseline;
-//! * [`analysis`] — workload generators, measurement sweeps, statistics;
+//!   [`Rendezvous`] contrast baseline — plus the [`Deployment`] run
+//!   builder;
+//! * [`analysis`] — workload generators, the parallel [`Sweep`] batch
+//!   API, statistics;
 //! * [`embed`] — the §5 extension: Euler-tour ring embedding for trees and
 //!   spanning-tree embedding for general graphs.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use ringdeploy::{deploy, Algorithm, InitialConfig, Schedule};
+//! use ringdeploy::{Algorithm, Deployment, InitialConfig, Schedule};
 //!
 //! // Eight agents crowded into one corner of a 40-node ring.
 //! let init = InitialConfig::new(40, (0..8).collect())?;
 //!
 //! // Run the O(log n)-memory algorithm under a random fair schedule.
-//! let report = deploy(&init, Algorithm::LogSpace, Schedule::Random(42))?;
+//! let report = Deployment::of(&init)
+//!     .algorithm(Algorithm::LogSpace)
+//!     .schedule(Schedule::Random(42))?
+//!     .run()?;
 //!
 //! assert!(report.succeeded());                 // Definition 1 satisfied
 //! assert!(report.metrics.total_moves() <= 4 * 8 * 40); // O(kn) moves
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
+//! Custom adversaries implement [`sim::Scheduler`] and plug into
+//! [`Deployment::scheduler`]; lock-step ideal-time runs use
+//! [`Deployment::synchronous`]; parameter studies cross-product
+//! algorithms × workloads × schedules × seeds with [`Sweep`] and run the
+//! cells in parallel.
+//!
 //! See `README.md` for the architecture overview, `DESIGN.md` for the
-//! paper-to-module map and `EXPERIMENTS.md` for the reproduced tables and
-//! figures.
+//! paper-to-module map and the `experiments` binary for the reproduced
+//! tables and figures.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,15 +55,20 @@
 pub use ringdeploy_analysis as analysis;
 pub use ringdeploy_core as core;
 pub use ringdeploy_embed as embed;
+#[cfg(feature = "serde")]
+pub use ringdeploy_json as json;
 pub use ringdeploy_seq as seq;
 pub use ringdeploy_sim as sim;
 pub use ringdeploy_vis as vis;
 
+pub use ringdeploy_analysis::{Sweep, SweepRow, Workload};
+#[allow(deprecated)]
+pub use ringdeploy_core::deploy;
 pub use ringdeploy_core::{
-    deploy, Algorithm, DeployReport, FullKnowledge, LogSpace, NoKnowledge, Rendezvous,
-    RendezvousVerdict, Schedule, SpacingPlan, TerminatingEstimator,
+    Algorithm, DeployError, DeployReport, Deployment, FullKnowledge, LogSpace, NoKnowledge,
+    PhaseMetric, Rendezvous, RendezvousVerdict, Schedule, SpacingPlan, TerminatingEstimator,
 };
 pub use ringdeploy_seq::DistanceSeq;
 pub use ringdeploy_sim::{
-    is_uniform_spacing, render_ring, InitialConfig, Metrics, Ring, RunLimits,
+    is_uniform_spacing, render_ring, InitialConfig, Metrics, Ring, RunLimits, Scheduler,
 };

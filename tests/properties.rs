@@ -5,7 +5,21 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use ringdeploy::analysis::random_config;
-use ringdeploy::{deploy, is_uniform_spacing, Algorithm, Schedule};
+use ringdeploy::{is_uniform_spacing, Algorithm, DeployReport, Deployment, Schedule};
+
+/// Runs one deployment through the builder (presets only, asynchronous).
+fn run_deploy(
+    init: &ringdeploy::InitialConfig,
+    algo: Algorithm,
+    schedule: Schedule,
+) -> DeployReport {
+    Deployment::of(init)
+        .algorithm(algo)
+        .schedule(schedule)
+        .expect("asynchronous preset")
+        .run()
+        .expect("run completes")
+}
 
 /// Strategy: ring size, agent count, placement seed and schedule seed.
 fn instance() -> impl Strategy<Value = (usize, usize, u64, u64)> {
@@ -21,8 +35,7 @@ proptest! {
     fn algo1_deploys_uniformly((n, k, pseed, sseed) in instance()) {
         let mut rng = SmallRng::seed_from_u64(pseed);
         let init = random_config(&mut rng, n, k);
-        let report = deploy(&init, Algorithm::FullKnowledge, Schedule::Random(sseed))
-            .expect("run completes");
+        let report = run_deploy(&init, Algorithm::FullKnowledge, Schedule::Random(sseed));
         prop_assert!(report.succeeded(), "{:?}", report.check);
         prop_assert!(is_uniform_spacing(n, &report.positions));
         prop_assert!(report.metrics.total_moves() <= 3 * (k * n) as u64);
@@ -33,8 +46,7 @@ proptest! {
     fn algo2_deploys_uniformly((n, k, pseed, sseed) in instance()) {
         let mut rng = SmallRng::seed_from_u64(pseed);
         let init = random_config(&mut rng, n, k);
-        let report = deploy(&init, Algorithm::LogSpace, Schedule::Random(sseed))
-            .expect("run completes");
+        let report = run_deploy(&init, Algorithm::LogSpace, Schedule::Random(sseed));
         prop_assert!(report.succeeded(), "{:?}", report.check);
         prop_assert!(is_uniform_spacing(n, &report.positions));
         // Selection ≤ 2kn + deployment ≤ kn extra (constant slack for ceil).
@@ -46,8 +58,7 @@ proptest! {
         let mut rng = SmallRng::seed_from_u64(pseed);
         let init = random_config(&mut rng, n, k);
         let l = init.symmetry_degree();
-        let report = deploy(&init, Algorithm::Relaxed, Schedule::Random(sseed))
-            .expect("run completes");
+        let report = run_deploy(&init, Algorithm::Relaxed, Schedule::Random(sseed));
         prop_assert!(report.succeeded(), "{:?}", report.check);
         prop_assert!(is_uniform_spacing(n, &report.positions));
         // Lemma 5: each agent moves at most 14·(n/l).
@@ -61,8 +72,8 @@ proptest! {
         let mut rng = SmallRng::seed_from_u64(pseed);
         let init = random_config(&mut rng, n, k);
         for algo in [Algorithm::FullKnowledge, Algorithm::Relaxed] {
-            let a = deploy(&init, algo, Schedule::Random(sseed)).expect("run");
-            let b = deploy(&init, algo, Schedule::RoundRobin).expect("run");
+            let a = run_deploy(&init, algo, Schedule::Random(sseed));
+            let b = run_deploy(&init, algo, Schedule::RoundRobin);
             prop_assert_eq!(&a.positions, &b.positions);
         }
     }
