@@ -1,13 +1,11 @@
-//! Measurement rows and Table-1-style aggregates, plus the deprecated
-//! single-run shims. The canonical batch API is [`crate::sweep::Sweep`];
-//! the canonical single-run functions are [`crate::sweep::measure_one`]
-//! and [`crate::sweep::measure_with_ideal_time`].
+//! Measurement rows and Table-1-style aggregates. The canonical batch API
+//! is [`crate::sweep::Sweep`]; the canonical single-run functions are
+//! [`crate::sweep::measure_one`] and
+//! [`crate::sweep::measure_with_ideal_time`].
 
-use ringdeploy_core::{Algorithm, DeployError, DeployReport, Schedule};
-use ringdeploy_sim::InitialConfig;
+use ringdeploy_core::{Algorithm, DeployReport, Schedule};
 
 use crate::stats::Summary;
-use crate::sweep::{measure_one, measure_with_ideal_time, MeasureError};
 
 /// One measured run: everything needed to regenerate a Table-1-style row.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,50 +53,6 @@ impl Measurement {
     }
 }
 
-/// Runs `algorithm` on `init` under `schedule` and returns the measurement.
-///
-/// Deprecated shim over [`measure_one`], kept for one release. Like
-/// `measure_one`, [`Schedule::Synchronous`] runs in lock-step mode and
-/// yields an `ideal_time`-carrying measurement.
-///
-/// # Errors
-///
-/// Propagates [`DeployError`] (limits exceeded).
-#[deprecated(
-    since = "0.2.0",
-    note = "use sweep::measure_one (single runs) or the Sweep batch API"
-)]
-pub fn measure(
-    init: &InitialConfig,
-    algorithm: Algorithm,
-    schedule: Schedule,
-) -> Result<Measurement, DeployError> {
-    measure_one(init, algorithm, schedule, None)
-}
-
-/// Runs `algorithm` on `init` twice — asynchronously for validation and
-/// synchronously for ideal time — returning the synchronous measurement.
-///
-/// Deprecated shim over [`measure_with_ideal_time`], kept for one
-/// release. Unlike the original, a success-verdict disagreement between
-/// the two runs is a real [`MeasureError::VerdictMismatch`], not a
-/// `debug_assert_eq!`.
-///
-/// # Errors
-///
-/// Propagates engine errors and verdict mismatches.
-#[deprecated(
-    since = "0.2.0",
-    note = "use sweep::measure_with_ideal_time or Sweep::with_ideal_time"
-)]
-pub fn measure_with_time(
-    init: &InitialConfig,
-    algorithm: Algorithm,
-    async_schedule: Schedule,
-) -> Result<Measurement, MeasureError> {
-    measure_with_ideal_time(init, algorithm, async_schedule, None)
-}
-
 /// Aggregated view over repeated measurements of one experimental cell.
 #[derive(Debug, Clone)]
 pub struct Cell {
@@ -118,45 +72,6 @@ pub struct Cell {
     pub time: Summary,
     /// Peak-memory statistics (bits).
     pub memory: Summary,
-}
-
-/// Aggregates measurements (all of one algorithm/n/k) into a [`Cell`].
-///
-/// Deprecated shim kept for one release; prefer
-/// [`crate::sweep::summarize`], which groups a whole sweep's rows.
-///
-/// # Panics
-///
-/// Panics if `ms` is empty.
-#[deprecated(since = "0.2.0", note = "use sweep::summarize on SweepRows")]
-pub fn aggregate(ms: &[Measurement]) -> Cell {
-    assert!(!ms.is_empty(), "cannot aggregate zero measurements");
-    let first = &ms[0];
-    let success_rate = ms.iter().filter(|m| m.success).count() as f64 / ms.len() as f64;
-    let moves = Summary::of_u64(&ms.iter().map(|m| m.total_moves).collect::<Vec<_>>());
-    let time = Summary::of_u64(&ms.iter().filter_map(|m| m.ideal_time).collect::<Vec<_>>());
-    let memory = Summary::of_u64(
-        &ms.iter()
-            .map(|m| m.peak_memory_bits as u64)
-            .collect::<Vec<_>>(),
-    );
-    let degree_uniform = ms
-        .iter()
-        .all(|m| m.symmetry_degree == first.symmetry_degree);
-    Cell {
-        algorithm: first.algorithm,
-        n: first.n,
-        k: first.k,
-        symmetry_degree: if degree_uniform {
-            first.symmetry_degree
-        } else {
-            0
-        },
-        success_rate,
-        moves,
-        time,
-        memory,
-    }
 }
 
 #[cfg(feature = "serde")]
@@ -203,18 +118,17 @@ mod json_impls {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)]
-
     use super::*;
     use crate::generators::random_config;
+    use crate::sweep::{measure_one, measure_with_ideal_time};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
     #[test]
-    fn measure_roundtrip() {
+    fn measure_one_roundtrip() {
         let mut rng = SmallRng::seed_from_u64(3);
         let init = random_config(&mut rng, 20, 4);
-        let m = measure(&init, Algorithm::FullKnowledge, Schedule::RoundRobin).unwrap();
+        let m = measure_one(&init, Algorithm::FullKnowledge, Schedule::RoundRobin, None).unwrap();
         assert!(m.success);
         assert_eq!(m.n, 20);
         assert_eq!(m.k, 4);
@@ -223,27 +137,12 @@ mod tests {
     }
 
     #[test]
-    fn measure_with_time_reports_rounds() {
+    fn measure_with_ideal_time_reports_rounds() {
         let mut rng = SmallRng::seed_from_u64(4);
         let init = random_config(&mut rng, 18, 3);
-        let m = measure_with_time(&init, Algorithm::LogSpace, Schedule::Random(1)).unwrap();
+        let m =
+            measure_with_ideal_time(&init, Algorithm::LogSpace, Schedule::Random(1), None).unwrap();
         assert!(m.success);
         assert!(m.ideal_time.is_some());
-    }
-
-    #[test]
-    fn aggregate_summarises() {
-        let mut rng = SmallRng::seed_from_u64(5);
-        let ms: Vec<Measurement> = (0..5)
-            .map(|s| {
-                let init = random_config(&mut rng, 24, 4);
-                measure(&init, Algorithm::Relaxed, Schedule::Random(s)).unwrap()
-            })
-            .collect();
-        let cell = aggregate(&ms);
-        assert_eq!(cell.n, 24);
-        assert_eq!(cell.k, 4);
-        assert!((cell.success_rate - 1.0).abs() < f64::EPSILON);
-        assert!(cell.moves.mean > 0.0);
     }
 }

@@ -45,8 +45,6 @@ mod stats;
 pub mod sweep;
 mod table;
 
-#[allow(deprecated)]
-pub use experiment::{aggregate, measure, measure_with_time};
 pub use experiment::{Cell, Measurement};
 pub use generators::{
     clustered_config, from_gaps, periodic_config, quarter_ring_config, random_aperiodic_config,

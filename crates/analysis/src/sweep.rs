@@ -38,7 +38,8 @@ use ringdeploy_sim::{InitialConfig, RunLimits};
 
 use crate::experiment::{Cell, Measurement};
 use crate::generators::{
-    periodic_config, quarter_ring_config, random_aperiodic_config, random_config, uniform_config,
+    clustered_config, periodic_config, quarter_ring_config, random_aperiodic_config, random_config,
+    uniform_config,
 };
 use crate::stats::Summary;
 
@@ -85,6 +86,17 @@ pub enum Workload {
         /// Agent count.
         k: usize,
     },
+    /// Large-ring stress tier: `k` agents packed onto the first `k` nodes
+    /// of an `n ≥ 1024` ring — the Theorem-1 worst case (agents must cover
+    /// `Ω(kn)` distance) at scales the incremental enabled-set engine
+    /// reaches in milliseconds but the old rescan loop could not.
+    LargeRing {
+        /// Ring size (at least 1024; `instantiate` panics below that —
+        /// smaller instances belong to [`Workload::QuarterRing`]).
+        n: usize,
+        /// Agent count.
+        k: usize,
+    },
 }
 
 impl Workload {
@@ -95,7 +107,8 @@ impl Workload {
             | Workload::RandomAperiodic { n, .. }
             | Workload::QuarterRing { n, .. }
             | Workload::Periodic { n, .. }
-            | Workload::Uniform { n, .. } => n,
+            | Workload::Uniform { n, .. }
+            | Workload::LargeRing { n, .. } => n,
         }
     }
 
@@ -106,7 +119,8 @@ impl Workload {
             | Workload::RandomAperiodic { k, .. }
             | Workload::QuarterRing { k, .. }
             | Workload::Periodic { k, .. }
-            | Workload::Uniform { k, .. } => k,
+            | Workload::Uniform { k, .. }
+            | Workload::LargeRing { k, .. } => k,
         }
     }
 
@@ -131,6 +145,14 @@ impl Workload {
             Workload::QuarterRing { n, k } => quarter_ring_config(n, k),
             Workload::Periodic { n, k, l } => periodic_config(n, k, l),
             Workload::Uniform { n, k } => uniform_config(n, k),
+            Workload::LargeRing { n, k } => {
+                assert!(
+                    n >= 1024,
+                    "LargeRing is the n ≥ 1024 tier (got n = {n}); \
+                     use QuarterRing for smaller instances"
+                );
+                clustered_config(n, k, 1.0)
+            }
         }
     }
 
@@ -142,6 +164,7 @@ impl Workload {
             Workload::QuarterRing { n, k } => format!("quarter(n={n},k={k})"),
             Workload::Periodic { n, k, l } => format!("periodic(n={n},k={k},l={l})"),
             Workload::Uniform { n, k } => format!("uniform(n={n},k={k})"),
+            Workload::LargeRing { n, k } => format!("large(n={n},k={k})"),
         }
     }
 }
@@ -854,6 +877,33 @@ mod tests {
             .unwrap();
         assert_eq!(indices, (0..indices.len().max(1)).collect::<Vec<_>>());
         assert!(!indices.is_empty());
+    }
+
+    #[test]
+    fn large_ring_tier_runs_at_thousands_of_nodes() {
+        // Feasible only with the incremental enabled-set engine: the old
+        // rescan loop made every step Θ(n) at n = 2048.
+        let rows = Sweep::new()
+            .algorithm(Algorithm::FullKnowledge)
+            .workload(Workload::LargeRing { n: 2048, k: 4 })
+            .schedule(Schedule::RoundRobin)
+            .run()
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].measurement.success);
+        assert_eq!(rows[0].measurement.n, 2048);
+        // The clustered start really forces Ω(kn)-scale movement.
+        assert!(rows[0].measurement.total_moves > 2048);
+        assert_eq!(
+            Workload::LargeRing { n: 2048, k: 4 }.label(),
+            "large(n=2048,k=4)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "n ≥ 1024")]
+    fn large_ring_tier_rejects_small_rings() {
+        Workload::LargeRing { n: 512, k: 4 }.instantiate(0);
     }
 
     #[test]

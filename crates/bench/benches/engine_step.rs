@@ -1,0 +1,151 @@
+//! Step-loop microbenchmark: the incremental `EnabledSet` engine against
+//! the retained full-rescan reference (`Ring::enabled_rescan`).
+//!
+//! Both drivers execute the *same* schedule (round-robin over Algorithm 1
+//! on a clustered large ring), so the measured difference is purely the
+//! per-step cost of computing the enabled activations:
+//!
+//! * **incremental** — `Ring::run`, which hands the scheduler the
+//!   maintained set (`O(k)` per step, independent of `n`);
+//! * **rescan** — a hand-rolled loop calling `enabled_rescan()` before
+//!   every step (`Θ(n + k)` per step), the engine's pre-0.3 behavior.
+//!   (The rescan loop still pays the incremental upkeep inside `step()`,
+//!   so the reported speedup is a conservative lower bound.)
+//!
+//! Run with `cargo bench -p ringdeploy-bench --bench engine_step`; besides
+//! the table on stdout it writes the results to `BENCH_engine.json` at the
+//! workspace root (published as a CI artifact).
+
+use std::time::{Duration, Instant};
+
+use ringdeploy_core::FullKnowledge;
+use ringdeploy_sim::scheduler::{RoundRobin, Scheduler};
+use ringdeploy_sim::{InitialConfig, Ring, RunLimits};
+
+struct Sample {
+    n: usize,
+    k: usize,
+    steps: u64,
+    incremental: Duration,
+    rescan: Duration,
+}
+
+impl Sample {
+    fn speedup(&self) -> f64 {
+        self.rescan.as_secs_f64() / self.incremental.as_secs_f64()
+    }
+
+    fn ns_per_step(&self, total: Duration) -> f64 {
+        total.as_secs_f64() * 1e9 / self.steps as f64
+    }
+}
+
+fn clustered(n: usize, k: usize) -> InitialConfig {
+    InitialConfig::new(n, (0..k).collect()).expect("valid homes")
+}
+
+fn run_incremental(n: usize, k: usize) -> (u64, Duration) {
+    let init = clustered(n, k);
+    let mut ring = Ring::new(&init, |_| FullKnowledge::new(k));
+    let mut scheduler = RoundRobin::new();
+    let start = Instant::now();
+    let out = ring
+        .run(&mut scheduler, RunLimits::for_instance(n, k))
+        .expect("quiesces");
+    (out.steps, start.elapsed())
+}
+
+fn run_rescan(n: usize, k: usize) -> (u64, Duration) {
+    let init = clustered(n, k);
+    let mut ring = Ring::new(&init, |_| FullKnowledge::new(k));
+    let mut scheduler = RoundRobin::new();
+    let mut steps = 0u64;
+    let start = Instant::now();
+    loop {
+        let enabled = ring.enabled_rescan();
+        if enabled.is_empty() {
+            return (steps, start.elapsed());
+        }
+        let chosen = scheduler.select(&enabled);
+        ring.step(enabled[chosen]);
+        steps += 1;
+    }
+}
+
+fn measure(n: usize, k: usize, repeats: usize) -> Sample {
+    let mut incremental = Duration::MAX;
+    let mut rescan = Duration::MAX;
+    let mut steps = 0;
+    for _ in 0..repeats {
+        let (s, d) = run_incremental(n, k);
+        steps = s;
+        incremental = incremental.min(d);
+        let (s2, d2) = run_rescan(n, k);
+        assert_eq!(s, s2, "both drivers must execute the same schedule");
+        rescan = rescan.min(d2);
+    }
+    Sample {
+        n,
+        k,
+        steps,
+        incremental,
+        rescan,
+    }
+}
+
+fn main() {
+    let configs = [(256usize, 16usize), (1024, 16), (4096, 16), (4096, 64)];
+    println!(
+        "{:>6} {:>4} {:>9} {:>16} {:>16} {:>9}",
+        "n", "k", "steps", "incremental", "rescan", "speedup"
+    );
+    let mut samples = Vec::new();
+    for (n, k) in configs {
+        let sample = measure(n, k, 3);
+        println!(
+            "{:>6} {:>4} {:>9} {:>13.1} ns {:>13.1} ns {:>8.2}x",
+            sample.n,
+            sample.k,
+            sample.steps,
+            sample.ns_per_step(sample.incremental),
+            sample.ns_per_step(sample.rescan),
+            sample.speedup()
+        );
+        samples.push(sample);
+    }
+
+    let rows: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"n\": {}, \"k\": {}, \"steps\": {}, \
+                 \"incremental_ns_per_step\": {:.1}, \
+                 \"rescan_ns_per_step\": {:.1}, \"speedup\": {:.2}}}",
+                s.n,
+                s.k,
+                s.steps,
+                s.ns_per_step(s.incremental),
+                s.ns_per_step(s.rescan),
+                s.speedup()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"engine_step\",\n  \"scheduler\": \"round-robin\",\n  \
+         \"algorithm\": \"algo1-full-knowledge\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, &json).expect("write BENCH_engine.json");
+    println!("\nwrote {path}");
+
+    let large = samples.iter().filter(|s| s.n >= 1024);
+    for s in large {
+        assert!(
+            s.speedup() >= 2.0,
+            "expected ≥2x speedup at n = {} (got {:.2}x)",
+            s.n,
+            s.speedup()
+        );
+    }
+}

@@ -53,8 +53,6 @@ pub use algo2::{BaseInfo, LogSpace, Role, SegmentId};
 pub use deployment::{Asynchronous, Deployment, Synchronous};
 pub use relaxed::{Estimate, NoKnowledge};
 pub use rendezvous::{Rendezvous, RendezvousVerdict};
-#[allow(deprecated)]
-pub use run::deploy;
 pub use run::{Algorithm, DeployError, DeployReport, PhaseMetric, Schedule};
 pub use spacing::{SpacingError, SpacingPlan};
 pub use strawman::TerminatingEstimator;

@@ -1,14 +1,11 @@
 //! Run-driver vocabulary: the [`Algorithm`] choice, the [`Schedule`]
-//! adversary presets, the [`DeployReport`] produced by every run and the
-//! deprecated flat [`deploy`] entry point.
+//! adversary presets and the [`DeployReport`] produced by every run.
 //!
 //! The builder that actually drives runs lives in
 //! [`crate::deployment::Deployment`].
 
 use ringdeploy_sim::scheduler::{DelayAgent, OneAtATime, Random, RoundRobin};
 use ringdeploy_sim::{AgentId, DeploymentCheck, Metrics, PhaseTally, Scheduler, SimError, Trace};
-
-use crate::deployment::Deployment;
 
 /// Which of the paper's algorithms to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -220,49 +217,6 @@ impl DeployReport {
     }
 }
 
-/// Runs `algorithm` from `init` under `schedule` and verifies the outcome.
-///
-/// Deprecated flat entry point, kept as a thin shim for one release: it
-/// forwards to [`Deployment`]. **Behavior change:** the old `deploy()`
-/// accepted [`Schedule::Synchronous`] and ran in lock-step mode; the shim
-/// rejects it with [`DeployError::SynchronousSchedule`] so the sync/async
-/// distinction stays explicit during migration. Use
-/// [`Deployment::synchronous`] (or [`Deployment::run_preset`]) instead.
-///
-/// # Errors
-///
-/// Propagates [`DeployError`] if the run hits its limits or the schedule
-/// is [`Schedule::Synchronous`].
-///
-/// # Examples
-///
-/// ```
-/// #![allow(deprecated)]
-/// use ringdeploy_core::{deploy, Algorithm, Schedule};
-/// use ringdeploy_sim::InitialConfig;
-///
-/// let init = InitialConfig::new(16, vec![0, 1, 2, 3])?;
-/// let report = deploy(&init, Algorithm::FullKnowledge, Schedule::Random(42))?;
-/// assert!(report.succeeded());
-/// assert_eq!(report.n, 16);
-/// # Ok::<(), Box<dyn std::error::Error>>(())
-/// ```
-#[deprecated(
-    since = "0.2.0",
-    note = "use Deployment::of(init).algorithm(..).schedule(..).run() \
-            (or .synchronous().run() for lock-step runs)"
-)]
-pub fn deploy(
-    init: &ringdeploy_sim::InitialConfig,
-    algorithm: Algorithm,
-    schedule: Schedule,
-) -> Result<DeployReport, DeployError> {
-    Deployment::of(init)
-        .algorithm(algorithm)
-        .schedule(schedule)?
-        .run()
-}
-
 #[cfg(feature = "serde")]
 mod json_impls {
     use super::{Algorithm, DeployReport, PhaseMetric, Schedule};
@@ -374,13 +328,12 @@ mod json_impls {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)]
-
     use super::*;
+    use crate::deployment::Deployment;
     use ringdeploy_sim::InitialConfig;
 
     #[test]
-    fn legacy_shim_still_deploys_async_presets() {
+    fn every_async_preset_deploys_every_algorithm() {
         let init = InitialConfig::new(15, vec![0, 2, 3, 8]).unwrap();
         for algo in Algorithm::ALL {
             for schedule in [
@@ -389,7 +342,12 @@ mod tests {
                 Schedule::OneAtATime,
                 Schedule::DelayAgent(1),
             ] {
-                let report = deploy(&init, algo, schedule).unwrap();
+                let report = Deployment::of(&init)
+                    .algorithm(algo)
+                    .schedule(schedule)
+                    .unwrap()
+                    .run()
+                    .unwrap();
                 assert!(
                     report.succeeded(),
                     "{algo} under {schedule:?}: {:?}",
@@ -400,11 +358,10 @@ mod tests {
     }
 
     #[test]
-    fn legacy_shim_rejects_synchronous() {
-        let init = InitialConfig::new(12, vec![0, 1, 2]).unwrap();
-        let err = deploy(&init, Algorithm::FullKnowledge, Schedule::Synchronous).unwrap_err();
-        assert_eq!(err, DeployError::SynchronousSchedule);
+    fn synchronous_schedule_error_names_the_fix() {
+        let err = DeployError::SynchronousSchedule;
         assert!(err.to_string().contains("synchronous"));
+        assert!(err.to_string().contains("Deployment::synchronous"));
     }
 
     #[test]
@@ -422,7 +379,10 @@ mod tests {
     #[test]
     fn report_carries_symmetry_degree() {
         let init = InitialConfig::new(12, vec![0, 1, 3, 6, 7, 9]).unwrap();
-        let report = deploy(&init, Algorithm::Relaxed, Schedule::RoundRobin).unwrap();
+        let report = Deployment::of(&init)
+            .algorithm(Algorithm::Relaxed)
+            .run()
+            .unwrap();
         assert_eq!(report.symmetry_degree, 2);
         assert!(report.succeeded());
     }

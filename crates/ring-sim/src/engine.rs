@@ -34,12 +34,21 @@ impl RunLimits {
 
     /// Scales limits to the instance: `c · k · n + slack` steps, `c · n`
     /// rounds — far above the paper's `O(kn)` move bounds.
+    ///
+    /// The arithmetic saturates at `u64::MAX`, so extreme `k`/`n` values
+    /// (e.g. on 64-bit hosts where `200 · k · n` does not fit in a `u64`)
+    /// degrade to "effectively unlimited" instead of overflowing — which
+    /// in debug builds was a panic and in release builds silently wrapped
+    /// to a *tiny* budget that aborted valid runs.
     pub fn for_instance(n: usize, k: usize) -> Self {
         let n = n as u64;
         let k = k as u64;
         RunLimits {
-            max_steps: 200 * k * n + 10_000,
-            max_rounds: 200 * n + 10_000,
+            max_steps: 200u64
+                .saturating_mul(k)
+                .saturating_mul(n)
+                .saturating_add(10_000),
+            max_rounds: 200u64.saturating_mul(n).saturating_add(10_000),
         }
     }
 }
@@ -119,6 +128,118 @@ impl<B: Behavior + Clone> Clone for AgentSlot<B> {
     }
 }
 
+/// Sentinel for "agent has no enabled activation" in [`EnabledSet::pos`].
+const NOT_ENABLED: usize = usize::MAX;
+
+/// The incrementally maintained set of enabled activations.
+///
+/// The engine used to recompute enablement from scratch — a full scan of
+/// all `n` link queues plus all `k` agent slots — before *every* step,
+/// making a run `Θ(n · steps)` regardless of how few agents were active.
+/// This structure is instead updated in place by the handful of mutations
+/// that can toggle enablement (link push/pop, inbox push/drain, idle-state
+/// transitions, halting), so a step costs `O(k)` in the worst case and
+/// `O(log k)` typically, independent of `n`.
+///
+/// # Invariants
+///
+/// * At most one activation per agent is ever enabled (an agent is either
+///   in transit or staying, never both), so `pos` is keyed by agent.
+/// * `acts` is kept in the *canonical scan order* of the historical full
+///   rescan — arrivals ordered by destination node, then wakes ordered by
+///   agent id (`keys[i] = dest_node` for arrivals, `n + agent` for wakes;
+///   keys are unique because each link queue has one head). Index-picking
+///   schedulers such as [`Random`](crate::scheduler::Random) therefore
+///   observe exactly the slice the rescan produced, byte for byte, which
+///   is what makes executions bit-identical to the reference
+///   implementation retained as [`Ring::enabled_rescan`]. Keeping an
+///   indexable, canonically ordered view is also why updates are `O(k)`
+///   memmoves rather than `O(1)` pointer swaps: `Scheduler::select`
+///   consumes `&[Activation]` by index, so order is behaviorally
+///   significant and cannot be sacrificed for a swap-remove dense set.
+/// * `pos[a]` is the index of agent `a`'s activation in `acts`, or
+///   [`NOT_ENABLED`].
+///
+/// Which mutations toggle enablement (each arm of [`Ring::step`] updates
+/// the set exactly where the old code relied on the next rescan):
+///
+/// * **link pop** (an arrival executes): the arriving agent's activation
+///   leaves the set; the new queue head (if any) enters.
+/// * **link push** (a move): onto an empty queue, the mover becomes head
+///   and enters; under LIFO ablation a push displaces the old head, which
+///   leaves the set.
+/// * **inbox push** (a broadcast): a suspended receiver whose inbox was
+///   empty becomes enabled; ready receivers were already enabled and
+///   halted receivers never wake.
+/// * **inbox drain / idle transition** (the acting agent settles): staying
+///   `Ready` re-enables the agent; `Suspended` enables it only with a
+///   non-empty inbox; `Halted` (and being in transit behind a head) means
+///   absent from the set.
+#[derive(Debug, Clone)]
+struct EnabledSet {
+    /// Sort keys parallel to `acts`; see the type-level invariants.
+    keys: Vec<usize>,
+    /// The enabled activations in canonical scan order.
+    acts: Vec<Activation>,
+    /// Per-agent position into `acts`, or [`NOT_ENABLED`].
+    pos: Vec<usize>,
+}
+
+impl EnabledSet {
+    fn new(agent_count: usize) -> Self {
+        EnabledSet {
+            keys: Vec::with_capacity(agent_count),
+            acts: Vec::with_capacity(agent_count),
+            pos: vec![NOT_ENABLED; agent_count],
+        }
+    }
+
+    fn as_slice(&self) -> &[Activation] {
+        &self.acts
+    }
+
+    fn is_empty(&self) -> bool {
+        self.acts.is_empty()
+    }
+
+    fn len(&self) -> usize {
+        self.acts.len()
+    }
+
+    /// Whether exactly this activation (same agent, same form) is enabled.
+    fn contains(&self, act: Activation) -> bool {
+        let p = self.pos[act.agent.index()];
+        p != NOT_ENABLED && self.acts[p] == act
+    }
+
+    fn insert(&mut self, key: usize, act: Activation) {
+        debug_assert_eq!(
+            self.pos[act.agent.index()],
+            NOT_ENABLED,
+            "agent {} already has an enabled activation",
+            act.agent
+        );
+        let i = self.keys.partition_point(|&k| k < key);
+        debug_assert!(self.keys.get(i) != Some(&key), "duplicate key {key}");
+        self.keys.insert(i, key);
+        self.acts.insert(i, act);
+        for (j, a) in self.acts.iter().enumerate().skip(i) {
+            self.pos[a.agent.index()] = j;
+        }
+    }
+
+    fn remove(&mut self, agent: AgentId) {
+        let i = self.pos[agent.index()];
+        assert!(i != NOT_ENABLED, "agent {agent} has no enabled activation");
+        self.keys.remove(i);
+        self.acts.remove(i);
+        self.pos[agent.index()] = NOT_ENABLED;
+        for (j, a) in self.acts.iter().enumerate().skip(i) {
+            self.pos[a.agent.index()] = j;
+        }
+    }
+}
+
 /// The simulator: an `n`-node anonymous unidirectional ring with `k` agents.
 ///
 /// See the [crate-level documentation](crate) for the model. Construct with
@@ -136,6 +257,8 @@ pub struct Ring<B: Behavior> {
     /// `m_j`: pending messages per agent.
     inboxes: Vec<VecDeque<B::Message>>,
     agents: Vec<AgentSlot<B>>,
+    /// Incrementally maintained enabled activations; see [`EnabledSet`].
+    enabled: EnabledSet,
     metrics: Metrics,
     trace: Option<Trace>,
     phases: Vec<PhaseTally>,
@@ -155,6 +278,7 @@ where
             links: self.links.clone(),
             inboxes: self.inboxes.clone(),
             agents: self.agents.clone(),
+            enabled: self.enabled.clone(),
             metrics: self.metrics.clone(),
             trace: self.trace.clone(),
             phases: self.phases.clone(),
@@ -190,6 +314,21 @@ impl<B: Behavior> Ring<B> {
         for slot in &agents {
             metrics.observe_memory(slot.behavior.memory_bits());
         }
+        // Seed the enabled set: every home buffer's head may arrive; no
+        // agent stays yet. Iterating nodes in order appends in canonical
+        // order, so each insert lands at the tail.
+        let mut enabled = EnabledSet::new(k);
+        for (v, q) in links.iter().enumerate() {
+            if let Some(&head) = q.front() {
+                enabled.insert(
+                    v,
+                    Activation {
+                        agent: head,
+                        arrival: true,
+                    },
+                );
+            }
+        }
         Ring {
             n,
             tokens: vec![0; n],
@@ -197,6 +336,7 @@ impl<B: Behavior> Ring<B> {
             links,
             inboxes: vec![VecDeque::new(); k],
             agents,
+            enabled,
             metrics,
             trace: None,
             phases: Vec::new(),
@@ -336,12 +476,38 @@ impl<B: Behavior> Ring<B> {
             .all(|s| matches!(s.place, Place::Staying { .. }) && s.idle == Idle::Suspended)
     }
 
-    /// Collects the currently enabled activations:
+    /// The currently enabled activations:
     ///
     /// * the head of every non-empty link queue may arrive;
     /// * a staying agent may wake if it is `Ready`, or if it is `Suspended`
     ///   with a non-empty inbox. Halted agents never wake.
+    ///
+    /// Reads the incrementally maintained [`EnabledSet`] — `O(k)` for the
+    /// copy, not the historical `Θ(n + k)` rescan. The order is the
+    /// canonical scan order (arrivals by destination node, then wakes by
+    /// agent id), identical to [`Ring::enabled_rescan`]. Callers that only
+    /// need to look use the allocation-free
+    /// [`enabled_activations`](Ring::enabled_activations).
     pub fn enabled(&self) -> Vec<Activation> {
+        self.enabled.as_slice().to_vec()
+    }
+
+    /// Borrowed, allocation-free view of the enabled activations, in the
+    /// same canonical order as [`Ring::enabled`]. This is the slice the
+    /// run loops hand to [`Scheduler::select`].
+    pub fn enabled_activations(&self) -> &[Activation] {
+        self.enabled.as_slice()
+    }
+
+    /// Recomputes the enabled activations by a full scan of all link
+    /// queues and agent slots — the **reference implementation** the
+    /// incremental [`EnabledSet`] must agree with at every reachable
+    /// configuration (`tests/differential_enabled.rs` replays identical
+    /// schedules through both and asserts bit-identical executions).
+    ///
+    /// `Θ(n + k)` per call; production paths use [`Ring::enabled`] /
+    /// [`Ring::enabled_activations`] instead.
+    pub fn enabled_rescan(&self) -> Vec<Activation> {
         let mut out = Vec::new();
         for q in &self.links {
             if let Some(&head) = q.front() {
@@ -380,6 +546,15 @@ impl<B: Behavior> Ring<B> {
         let id = activation.agent;
         let idx = id.index();
 
+        // 0. Consume the activation from the enabled set; the arms below
+        // re-insert whatever the mutations re-enable.
+        assert!(
+            self.enabled.contains(activation),
+            "activation of {id} (arrival: {}) is not enabled",
+            activation.arrival
+        );
+        self.enabled.remove(id);
+
         // 1. Resolve the node and (for arrivals) complete the move.
         let node = if activation.arrival {
             let to = match self.agents[idx].place {
@@ -393,6 +568,17 @@ impl<B: Behavior> Ring<B> {
                 "agent {id} must be at the head of its link queue (FIFO)"
             );
             q.pop_front();
+            // Link pop: the next queued agent (if any) becomes the head
+            // and may now arrive.
+            if let Some(&new_head) = q.front() {
+                self.enabled.insert(
+                    to.index(),
+                    Activation {
+                        agent: new_head,
+                        arrival: true,
+                    },
+                );
+            }
             to
         } else {
             match self.agents[idx].place {
@@ -470,8 +656,21 @@ impl<B: Behavior> Ring<B> {
                 .filter(|&a| a != id)
                 .collect();
             for a in targets {
+                // Inbox push: a suspended receiver with a previously empty
+                // inbox becomes enabled. Ready receivers already are;
+                // halted receivers never wake.
+                let was_empty = self.inboxes[a.index()].is_empty();
                 self.inboxes[a.index()].push_back(msg.clone());
                 receivers += 1;
+                if was_empty && self.agents[a.index()].idle == Idle::Suspended {
+                    self.enabled.insert(
+                        self.n + a.index(),
+                        Activation {
+                            agent: a,
+                            arrival: false,
+                        },
+                    );
+                }
             }
             self.metrics.record_broadcast(receivers);
             if let Some(trace) = &mut self.trace {
@@ -495,8 +694,38 @@ impl<B: Behavior> Ring<B> {
                 }
                 let dest = node.next(self.n);
                 match self.discipline {
-                    LinkDiscipline::Fifo => self.links[dest.index()].push_back(id),
-                    LinkDiscipline::Lifo => self.links[dest.index()].push_front(id),
+                    LinkDiscipline::Fifo => {
+                        let q = &mut self.links[dest.index()];
+                        q.push_back(id);
+                        // Link push (FIFO): only a push onto an empty queue
+                        // creates a new head.
+                        if q.len() == 1 {
+                            self.enabled.insert(
+                                dest.index(),
+                                Activation {
+                                    agent: id,
+                                    arrival: true,
+                                },
+                            );
+                        }
+                    }
+                    LinkDiscipline::Lifo => {
+                        let q = &mut self.links[dest.index()];
+                        q.push_front(id);
+                        // Link push (LIFO ablation): the mover overtakes;
+                        // the displaced head (if any) is no longer enabled.
+                        let displaced = q.get(1).copied();
+                        if let Some(displaced) = displaced {
+                            self.enabled.remove(displaced);
+                        }
+                        self.enabled.insert(
+                            dest.index(),
+                            Activation {
+                                agent: id,
+                                arrival: true,
+                            },
+                        );
+                    }
                 }
                 self.agents[idx].place = Place::InTransit { to: dest };
                 self.agents[idx].idle = Idle::Ready;
@@ -515,6 +744,25 @@ impl<B: Behavior> Ring<B> {
                 }
                 self.agents[idx].place = Place::Staying { at: node };
                 self.agents[idx].idle = idle;
+                // Idle transition: `Ready` re-enables the agent;
+                // `Suspended` wakes only on a non-empty inbox (always empty
+                // here — the inbox was drained this step and broadcasts
+                // exclude self — but checked rather than assumed); `Halted`
+                // leaves the agent out of the set for good.
+                let wake = match idle {
+                    Idle::Ready => true,
+                    Idle::Suspended => !self.inboxes[idx].is_empty(),
+                    Idle::Halted => false,
+                };
+                if wake {
+                    self.enabled.insert(
+                        self.n + idx,
+                        Activation {
+                            agent: id,
+                            arrival: false,
+                        },
+                    );
+                }
                 if let Some(trace) = &mut self.trace {
                     trace.push(Event::Stayed {
                         agent: id,
@@ -539,8 +787,7 @@ impl<B: Behavior> Ring<B> {
     ) -> Result<RunOutcome, SimError> {
         let start_steps = self.steps;
         loop {
-            let enabled = self.enabled();
-            if enabled.is_empty() {
+            if self.enabled.is_empty() {
                 return Ok(RunOutcome {
                     quiescent: true,
                     steps: self.steps - start_steps,
@@ -553,14 +800,16 @@ impl<B: Behavior> Ring<B> {
                     limit: limits.max_steps,
                 });
             }
-            let chosen = scheduler.select(&enabled);
-            if chosen >= enabled.len() {
+            // The incremental set is handed to the scheduler as-is: no
+            // per-step rescan, no allocation.
+            let chosen = scheduler.select(self.enabled.as_slice());
+            if chosen >= self.enabled.len() {
                 return Err(SimError::SchedulerOutOfRange {
                     chosen,
-                    enabled: enabled.len(),
+                    enabled: self.enabled.len(),
                 });
             }
-            self.step(enabled[chosen]);
+            self.step(self.enabled.as_slice()[chosen]);
         }
     }
 
@@ -581,8 +830,7 @@ impl<B: Behavior> Ring<B> {
         let start_steps = self.steps;
         let mut rounds: u64 = 0;
         loop {
-            let mut enabled = self.enabled();
-            if enabled.is_empty() {
+            if self.enabled.is_empty() {
                 return Ok(RunOutcome {
                     quiescent: true,
                     steps: self.steps - start_steps,
@@ -595,12 +843,24 @@ impl<B: Behavior> Ring<B> {
                     limit: limits.max_rounds,
                 });
             }
+            // Snapshot the incremental set (no rescan) — the activations
+            // enabled at the start of the round, executed in agent-id
+            // order.
+            let mut enabled = self.enabled.as_slice().to_vec();
             enabled.sort_by_key(|a| a.agent.index());
             for act in enabled {
-                // Re-validate: the activation may have been consumed or
-                // superseded by an earlier action this round (e.g. a queue
-                // head changed). Only execute if still enabled in the same
-                // form.
+                // Re-validate: the activation may have been disabled by an
+                // earlier action this round (under the LIFO ablation, a
+                // smaller-id agent overtaking the queue head). It cannot
+                // have been disabled *and re-enabled in the same form*
+                // within one round — re-enabling an overtaken arrival
+                // would require the overtaker to arrive too, i.e. act
+                // twice in one round, and a snapshot holds at most one
+                // activation per agent. Under FIFO the check is provably
+                // vacuous (heads only change by their own arrival; ready
+                // agents stay ready; inboxes only grow mid-round), so no
+                // activation is ever double-charged within a round —
+                // `tests/sync_round_semantics.rs` pins both facts.
                 if self.is_enabled(act) {
                     self.step(act);
                 }
@@ -609,20 +869,12 @@ impl<B: Behavior> Ring<B> {
         }
     }
 
-    /// Whether a specific activation is currently enabled.
-    fn is_enabled(&self, act: Activation) -> bool {
-        let idx = act.agent.index();
-        match (act.arrival, self.agents[idx].place) {
-            (true, Place::InTransit { to }) => {
-                self.links[to.index()].front().copied() == Some(act.agent)
-            }
-            (false, Place::Staying { .. }) => match self.agents[idx].idle {
-                Idle::Ready => true,
-                Idle::Suspended => !self.inboxes[idx].is_empty(),
-                Idle::Halted => false,
-            },
-            _ => false,
-        }
+    /// Whether a specific activation (same agent, same form) is currently
+    /// enabled — an `O(1)` lookup in the incremental set. This is the
+    /// predicate external round drivers (e.g. the vis space-time capture)
+    /// should use instead of re-deriving enablement from queue state.
+    pub fn is_enabled(&self, act: Activation) -> bool {
+        self.enabled.contains(act)
     }
 
     /// Number of pending messages for an agent.

@@ -1,0 +1,220 @@
+//! Differential test of the incremental [`EnabledSet`] engine against the
+//! retained full-rescan reference (`Ring::enabled_rescan`).
+//!
+//! Two properties together imply that the incremental engine executes
+//! **bit-identically** to an engine that rescans before every step:
+//!
+//! 1. at every reachable configuration the incremental view equals the
+//!    rescan, element for element (same activations, same order) — so any
+//!    `Scheduler`, including index-picking ones like `Random`, makes the
+//!    same choice against either;
+//! 2. a run driven through `Ring::run` (which selects from the incremental
+//!    set) produces the same step sequence and final configuration as a
+//!    hand-rolled loop that selects from `enabled_rescan()`.
+//!
+//! Coverage: all four schedulers × ≥20 seeds × rings up to n = 256, both
+//! link disciplines, with a behavior that exercises every enablement
+//! transition (arrivals, moves onto empty/non-empty queues, suspension,
+//! broadcast wake-ups, halting, LIFO head displacement).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ringdeploy_sim::scheduler::{
+    Activation, DelayAgent, OneAtATime, Random, Recording, RoundRobin, Scheduler,
+};
+use ringdeploy_sim::{
+    Action, AgentId, Behavior, InitialConfig, LinkDiscipline, Observation, Ring, RunLimits,
+};
+
+/// Exercises every enablement-toggling mutation: walks `hops` hops, then
+/// suspends after broadcasting one greeting; a woken agent walks one more
+/// hop and halts on its next wake. Terminates under every fair schedule
+/// (each agent performs at most `hops + 1` moves and O(1) wakes).
+#[derive(Debug, Clone)]
+struct Hopper {
+    hops: usize,
+    released: bool,
+    greeted: bool,
+    woken: bool,
+}
+
+impl Hopper {
+    fn new(hops: usize) -> Self {
+        Hopper {
+            hops,
+            released: false,
+            greeted: false,
+            woken: false,
+        }
+    }
+}
+
+impl Behavior for Hopper {
+    type Message = u8;
+
+    fn act(&mut self, obs: &Observation<'_, u8>) -> Action<u8> {
+        let release = !std::mem::replace(&mut self.released, true);
+        if !obs.messages.is_empty() && !self.woken {
+            self.woken = true;
+            self.hops += 1;
+        }
+        if self.hops > 0 {
+            self.hops -= 1;
+            return Action::moving().with_token_release(release);
+        }
+        if !std::mem::replace(&mut self.greeted, true) {
+            Action::suspending()
+                .with_token_release(release)
+                .with_broadcast(3)
+        } else if self.woken {
+            Action::halting().with_token_release(release)
+        } else {
+            Action::suspending().with_token_release(release)
+        }
+    }
+
+    fn memory_bits(&self) -> usize {
+        usize::BITS as usize + 3
+    }
+}
+
+fn random_instance(rng: &mut SmallRng, max_n: usize) -> (InitialConfig, usize) {
+    let n = rng.gen_range(3..=max_n);
+    let k = rng.gen_range(2..=n.min(16));
+    // Distinct random homes.
+    let mut homes: Vec<usize> = Vec::with_capacity(k);
+    while homes.len() < k {
+        let h = rng.gen_range(0..n);
+        if !homes.contains(&h) {
+            homes.push(h);
+        }
+    }
+    homes.sort_unstable();
+    let hops = rng.gen_range(1..=n);
+    (InitialConfig::new(n, homes).expect("valid homes"), hops)
+}
+
+fn schedulers(seed: u64, k: usize) -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(RoundRobin::new()),
+        Box::new(Random::seeded(seed)),
+        Box::new(OneAtATime::new()),
+        Box::new(DelayAgent::new(AgentId(seed as usize % k))),
+    ]
+}
+
+/// Drives `ring` with `scheduler`, selecting from the **rescan** reference
+/// at every step, and asserts the incremental view is identical before
+/// each selection. Returns the chosen step sequence.
+fn run_against_rescan<B: Behavior>(
+    ring: &mut Ring<B>,
+    scheduler: &mut dyn Scheduler,
+    max_steps: usize,
+) -> Vec<Activation> {
+    let mut log = Vec::new();
+    loop {
+        let reference = ring.enabled_rescan();
+        assert_eq!(
+            ring.enabled_activations(),
+            reference.as_slice(),
+            "incremental enabled set diverged from the full rescan at step {}",
+            log.len()
+        );
+        if reference.is_empty() {
+            return log;
+        }
+        assert!(log.len() < max_steps, "reference run exceeded step budget");
+        let chosen = scheduler.select(&reference);
+        let act = reference[chosen];
+        log.push(act);
+        ring.step(act);
+    }
+}
+
+#[test]
+fn incremental_set_matches_rescan_under_all_schedulers_and_seeds() {
+    for seed in 0..24u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Ring sizes grow with the seed so the 24 seeds cover n up to 256.
+        let max_n = [8, 16, 33, 64, 128, 256][seed as usize % 6];
+        let (init, hops) = random_instance(&mut rng, max_n);
+        let k = init.agent_count();
+        for discipline in [LinkDiscipline::Fifo, LinkDiscipline::Lifo] {
+            for scheduler in &mut schedulers(seed, k) {
+                let mut ring: Ring<Hopper> = Ring::new(&init, |_| Hopper::new(hops));
+                ring.set_link_discipline(discipline);
+                let budget = 64 * k * (init.ring_size() + 4);
+                let log = run_against_rescan(&mut ring, scheduler.as_mut(), budget);
+                assert!(!log.is_empty());
+                assert!(ring.enabled_activations().is_empty());
+                assert_eq!(ring.steps(), log.len() as u64);
+            }
+        }
+    }
+}
+
+#[test]
+fn production_run_loop_replays_the_rescan_driven_execution() {
+    // The same schedule choices must fall out of `Ring::run` (incremental
+    // selection) and the rescan-driven loop: record the rescan run, then
+    // replay nothing — just run the production loop with an identically
+    // seeded scheduler and compare the recorded step sequences and final
+    // configurations.
+    for seed in 0..20u64 {
+        let mut rng = SmallRng::seed_from_u64(1000 + seed);
+        let (init, hops) = random_instance(&mut rng, 96);
+        let k = init.agent_count();
+
+        for which in 0..4usize {
+            let make: &dyn Fn() -> Box<dyn Scheduler> = match which {
+                0 => &|| Box::new(RoundRobin::new()),
+                1 => &|| Box::new(Random::seeded(seed * 7 + 1)),
+                2 => &|| Box::new(OneAtATime::new()),
+                _ => &|| Box::new(DelayAgent::new(AgentId(seed as usize % k))),
+            };
+
+            let mut reference_ring: Ring<Hopper> = Ring::new(&init, |_| Hopper::new(hops));
+            let mut reference_sched = make();
+            let reference_log = run_against_rescan(
+                &mut reference_ring,
+                reference_sched.as_mut(),
+                64 * k * (init.ring_size() + 4),
+            );
+
+            let mut production_ring: Ring<Hopper> = Ring::new(&init, |_| Hopper::new(hops));
+            let mut production_sched = Recording::new(make());
+            let outcome = production_ring
+                .run(&mut production_sched, RunLimits::default())
+                .expect("production run quiesces");
+
+            assert!(outcome.quiescent);
+            assert_eq!(
+                production_sched.log(),
+                reference_log.as_slice(),
+                "step sequences diverged (seed {seed}, scheduler #{which})"
+            );
+            assert_eq!(
+                production_ring.staying_positions(),
+                reference_ring.staying_positions()
+            );
+            assert_eq!(production_ring.tokens(), reference_ring.tokens());
+            assert_eq!(production_ring.metrics(), reference_ring.metrics());
+        }
+    }
+}
+
+#[test]
+fn enabled_and_enabled_activations_agree() {
+    let init = InitialConfig::new(12, vec![0, 3, 7]).expect("valid");
+    let mut ring: Ring<Hopper> = Ring::new(&init, |_| Hopper::new(5));
+    let mut scheduler = RoundRobin::new();
+    loop {
+        assert_eq!(ring.enabled(), ring.enabled_activations().to_vec());
+        let enabled = ring.enabled();
+        if enabled.is_empty() {
+            break;
+        }
+        let chosen = scheduler.select(&enabled);
+        ring.step(enabled[chosen]);
+    }
+}

@@ -1,0 +1,267 @@
+//! Fairness property tests for the bundled schedulers, driven against the
+//! engine's incremental enabled set.
+//!
+//! The paper's executions assume *fair* schedules: every agent that stays
+//! enabled is eventually activated. These tests pin the concrete bounds
+//! each scheduler provides:
+//!
+//! * [`RoundRobin`]: an agent that remains continuously enabled is chosen
+//!   within `k` selections (the cyclic `wrapping_sub` cursor passes at
+//!   most `k − 1` other agents first);
+//! * [`OneAtATime`]: always the lowest enabled id — an enabled agent is
+//!   only ever passed over for a *smaller* id, so it runs as soon as it is
+//!   the minimum;
+//! * [`DelayAgent`]: the victim is never chosen while any other agent is
+//!   enabled, and is scheduled once it is the only enabled agent.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ringdeploy_sim::scheduler::{Activation, DelayAgent, OneAtATime, RoundRobin, Scheduler};
+use ringdeploy_sim::{Action, AgentId, Behavior, InitialConfig, Observation, Ring, RunLimits};
+
+/// Records every (enabled set, choice) pair the engine presents.
+struct Spy<S> {
+    inner: S,
+    log: Vec<(Vec<Activation>, usize)>,
+}
+
+impl<S> Spy<S> {
+    fn new(inner: S) -> Self {
+        Spy {
+            inner,
+            log: Vec::new(),
+        }
+    }
+}
+
+impl<S: Scheduler> Scheduler for Spy<S> {
+    fn select(&mut self, enabled: &[Activation]) -> usize {
+        let chosen = self.inner.select(enabled);
+        self.log.push((enabled.to_vec(), chosen));
+        chosen
+    }
+
+    fn name(&self) -> &'static str {
+        "spy"
+    }
+}
+
+/// Walks `hops` hops after releasing the token, then halts.
+struct Walker {
+    hops: usize,
+    released: bool,
+}
+
+impl Behavior for Walker {
+    type Message = ();
+
+    fn act(&mut self, _obs: &Observation<'_, ()>) -> Action<()> {
+        let release = !std::mem::replace(&mut self.released, true);
+        if self.hops > 0 {
+            self.hops -= 1;
+            Action::moving().with_token_release(release)
+        } else {
+            Action::halting().with_token_release(release)
+        }
+    }
+
+    fn memory_bits(&self) -> usize {
+        usize::BITS as usize + 1
+    }
+}
+
+fn walker_ring(n: usize, homes: Vec<usize>, hops: usize) -> Ring<Walker> {
+    let init = InitialConfig::new(n, homes).expect("valid homes");
+    Ring::new(&init, |_| Walker {
+        hops,
+        released: false,
+    })
+}
+
+fn random_homes(rng: &mut SmallRng, n: usize, k: usize) -> Vec<usize> {
+    let mut homes = Vec::with_capacity(k);
+    while homes.len() < k {
+        let h = rng.gen_range(0..n);
+        if !homes.contains(&h) {
+            homes.push(h);
+        }
+    }
+    homes.sort_unstable();
+    homes
+}
+
+/// For every agent: the longest run of consecutive selections in which the
+/// agent was enabled but not chosen (reset when chosen or disabled).
+fn max_waiting_streaks(k: usize, log: &[(Vec<Activation>, usize)]) -> Vec<usize> {
+    let mut streak = vec![0usize; k];
+    let mut worst = vec![0usize; k];
+    for (enabled, chosen) in log {
+        let chosen_agent = enabled[*chosen].agent;
+        for a in 0..k {
+            let id = AgentId(a);
+            if chosen_agent == id {
+                streak[a] = 0;
+            } else if enabled.iter().any(|act| act.agent == id) {
+                streak[a] += 1;
+                worst[a] = worst[a].max(streak[a]);
+            } else {
+                streak[a] = 0;
+            }
+        }
+    }
+    worst
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// RoundRobin against adversarial synthetic enabled sets: a target
+    /// agent that stays enabled is chosen within `k` selections.
+    #[test]
+    fn round_robin_bounded_waiting_on_synthetic_sets(
+        k in 2usize..12,
+        target in 0usize..12,
+        seed in 0u64..1_000,
+    ) {
+        let target = target % k;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rr = RoundRobin::new();
+        let mut since_chosen = 0usize;
+        for _ in 0..200 {
+            // Random non-empty subset of agents, always containing the
+            // target, with random arrival flags (RoundRobin is id-driven).
+            let mut ids: Vec<usize> = (0..k).filter(|_| rng.gen_range(0..2) == 0).collect();
+            if !ids.contains(&target) {
+                ids.push(target);
+                ids.sort_unstable();
+            }
+            let enabled: Vec<Activation> = ids
+                .iter()
+                .map(|&i| Activation {
+                    agent: AgentId(i),
+                    arrival: rng.gen_range(0..2) == 0,
+                })
+                .collect();
+            let chosen = rr.select(&enabled);
+            prop_assert!(chosen < enabled.len());
+            if enabled[chosen].agent == AgentId(target) {
+                since_chosen = 0;
+            } else {
+                since_chosen += 1;
+                prop_assert!(
+                    since_chosen < k,
+                    "target {target} waited {since_chosen} selections (k = {k})"
+                );
+            }
+        }
+    }
+
+    /// RoundRobin's selection is exactly the cyclic order by agent id from
+    /// the cursor, realized with `wrapping_sub`: ids at or after the
+    /// cursor come first (ascending), then ids below it.
+    #[test]
+    fn round_robin_follows_cyclic_cursor_order(k in 2usize..16, seed in 0u64..1_000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rr = RoundRobin::new();
+        let mut cursor = 0usize; // model of the scheduler's internal state
+        for _ in 0..200 {
+            let subset_size = rng.gen_range(1..=k);
+            let ids = random_homes(&mut rng, k, subset_size);
+            let enabled: Vec<Activation> = ids
+                .iter()
+                .map(|&i| Activation { agent: AgentId(i), arrival: false })
+                .collect();
+            let chosen = rr.select(&enabled);
+            let expected = ids
+                .iter()
+                .copied()
+                .min_by_key(|&id| id.wrapping_sub(cursor))
+                .expect("non-empty");
+            prop_assert_eq!(enabled[chosen].agent, AgentId(expected));
+            cursor = expected + 1;
+        }
+    }
+
+    /// RoundRobin in real engine runs: no agent waits `k` selections while
+    /// continuously enabled, and the run quiesces with every agent having
+    /// acted.
+    #[test]
+    fn round_robin_bounded_waiting_in_engine_runs(
+        n in 4usize..48,
+        k in 2usize..8,
+        hops in 1usize..12,
+        seed in 0u64..1_000,
+    ) {
+        let k = k.min(n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let homes = random_homes(&mut rng, n, k);
+        let mut ring = walker_ring(n, homes, hops);
+        let mut spy = Spy::new(RoundRobin::new());
+        let out = ring.run(&mut spy, RunLimits::default()).expect("quiesces");
+        prop_assert!(out.quiescent);
+        for (agent, &worst) in max_waiting_streaks(k, &spy.log).iter().enumerate() {
+            prop_assert!(worst < k, "agent {agent} waited {worst} (k = {k})");
+        }
+        prop_assert!(out.metrics.activations().iter().all(|&a| a > 0));
+    }
+
+    /// OneAtATime always drives the lowest enabled id; every agent still
+    /// acts (the low agent eventually halts or blocks), so runs quiesce.
+    #[test]
+    fn one_at_a_time_drives_lowest_enabled_id(
+        n in 4usize..48,
+        k in 2usize..8,
+        hops in 1usize..12,
+        seed in 0u64..1_000,
+    ) {
+        let k = k.min(n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let homes = random_homes(&mut rng, n, k);
+        let mut ring = walker_ring(n, homes, hops);
+        let mut spy = Spy::new(OneAtATime::new());
+        let out = ring.run(&mut spy, RunLimits::default()).expect("quiesces");
+        prop_assert!(out.quiescent);
+        for (enabled, chosen) in &spy.log {
+            let min_id = enabled.iter().map(|a| a.agent.index()).min().expect("non-empty");
+            prop_assert_eq!(enabled[*chosen].agent.index(), min_id);
+        }
+        prop_assert!(out.metrics.activations().iter().all(|&a| a > 0));
+    }
+
+    /// DelayAgent never schedules the victim while any other agent is
+    /// enabled — and *does* schedule it once it is the only enabled agent,
+    /// which is exactly why the run still quiesces.
+    #[test]
+    fn delay_agent_victim_scheduled_only_when_alone(
+        n in 4usize..48,
+        k in 2usize..8,
+        hops in 1usize..12,
+        victim in 0usize..8,
+        seed in 0u64..1_000,
+    ) {
+        let k = k.min(n);
+        let victim = victim % k;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let homes = random_homes(&mut rng, n, k);
+        let mut ring = walker_ring(n, homes, hops);
+        let mut spy = Spy::new(DelayAgent::new(AgentId(victim)));
+        let out = ring.run(&mut spy, RunLimits::default()).expect("quiesces");
+        prop_assert!(out.quiescent);
+        let mut victim_was_scheduled = false;
+        for (enabled, chosen) in &spy.log {
+            let others_enabled = enabled.iter().any(|a| a.agent != AgentId(victim));
+            if enabled[*chosen].agent == AgentId(victim) {
+                victim_was_scheduled = true;
+                prop_assert!(
+                    !others_enabled,
+                    "victim scheduled while others were enabled"
+                );
+            }
+        }
+        // Fairness: the victim still acted (it starts in its home buffer,
+        // so it must arrive for the run to quiesce).
+        prop_assert!(victim_was_scheduled);
+        prop_assert!(out.metrics.activations()[victim] > 0);
+    }
+}

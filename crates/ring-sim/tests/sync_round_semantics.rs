@@ -1,0 +1,189 @@
+//! Regression tests pinning the ideal-time semantics of
+//! `Ring::run_synchronous` (audited for the incremental enabled-set
+//! engine), plus the `RunLimits::for_instance` overflow fix.
+//!
+//! The audited contract: in each round, exactly the activations enabled
+//! *at the start of the round* execute, once each, in agent-id order. The
+//! mid-round `is_enabled` re-check can only *skip* an activation that an
+//! earlier action this round disabled (LIFO overtaking); it can never
+//! re-admit one, because a disabled arrival would only be re-enabled by
+//! the overtaker arriving too — a second action by the same agent in the
+//! same round, which the one-activation-per-agent snapshot rules out.
+//! Under FIFO the re-check is vacuous: queue heads change only by their
+//! own arrival, ready agents stay ready, and inboxes only grow mid-round.
+//! Consequently **no activation is ever double-charged within a round**:
+//! every agent acts at most once per round.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ringdeploy_sim::{
+    Action, AgentId, Behavior, Idle, InitialConfig, LinkDiscipline, Observation, Ring, RunLimits,
+};
+
+/// One planned action per activation.
+#[derive(Debug, Clone, Copy)]
+enum Plan {
+    Move,
+    Stay,
+    Halt,
+}
+
+/// Executes a fixed per-agent script; repeats `Halt` when exhausted.
+#[derive(Debug, Clone)]
+struct Scripted {
+    plan: Vec<Plan>,
+    step: usize,
+    released: bool,
+}
+
+impl Scripted {
+    fn new(plan: Vec<Plan>) -> Self {
+        Scripted {
+            plan,
+            step: 0,
+            released: false,
+        }
+    }
+}
+
+impl Behavior for Scripted {
+    type Message = ();
+
+    fn act(&mut self, _obs: &Observation<'_, ()>) -> Action<()> {
+        let release = !std::mem::replace(&mut self.released, true);
+        let plan = self.plan.get(self.step).copied().unwrap_or(Plan::Halt);
+        self.step += 1;
+        match plan {
+            Plan::Move => Action::moving().with_token_release(release),
+            Plan::Stay => Action::staying(Idle::Ready).with_token_release(release),
+            Plan::Halt => Action::halting().with_token_release(release),
+        }
+    }
+
+    fn memory_bits(&self) -> usize {
+        usize::BITS as usize + 1
+    }
+}
+
+/// The overtaking scenario: A (id 0, home 1) moves into node 2's link in
+/// the same round in which B (id 1, home 2, still in its home buffer) has
+/// its arrival scheduled.
+fn overtake_ring(discipline: LinkDiscipline) -> Ring<Scripted> {
+    let init = InitialConfig::new(4, vec![1, 2]).expect("valid");
+    let mut ring = Ring::new(&init, |id| {
+        if id == AgentId(0) {
+            Scripted::new(vec![Plan::Move, Plan::Halt])
+        } else {
+            Scripted::new(vec![Plan::Halt])
+        }
+    });
+    ring.set_link_discipline(discipline);
+    ring
+}
+
+#[test]
+fn fifo_queue_push_does_not_invalidate_the_scheduled_head() {
+    // Round 0: A arrives at 1 and moves into node 2's queue *behind* B
+    // (FIFO push_back) — B's scheduled arrival stays valid and executes in
+    // the same round. Round 1: A arrives at 2. Ideal time = 2.
+    let mut ring = overtake_ring(LinkDiscipline::Fifo);
+    let out = ring
+        .run_synchronous(RunLimits::default())
+        .expect("quiesces");
+    assert_eq!(out.rounds, Some(2));
+    assert_eq!(out.steps, 3);
+    assert_eq!(ring.staying_positions(), Some(vec![2, 2]));
+}
+
+#[test]
+fn lifo_overtaken_arrival_is_skipped_and_charged_to_the_next_round() {
+    // Round 0: A overtakes (LIFO push_front), so B — though scheduled at
+    // the start of the round — is no longer the head when its turn comes:
+    // it is skipped, executing nothing. Round 1: A arrives at 2 and halts,
+    // restoring B to the head. Round 2: B finally arrives. Ideal time = 3,
+    // and B was charged exactly one activation — skipped rounds cost
+    // waiting time, never double execution.
+    let mut ring = overtake_ring(LinkDiscipline::Lifo);
+    let out = ring
+        .run_synchronous(RunLimits::default())
+        .expect("quiesces");
+    assert_eq!(out.rounds, Some(3));
+    assert_eq!(out.steps, 3);
+    assert_eq!(out.metrics.activations(), &[2, 1]);
+    assert_eq!(ring.staying_positions(), Some(vec![2, 2]));
+}
+
+#[test]
+fn ready_agents_are_rescheduled_every_round() {
+    // A staying `Ready` agent is enabled at every round start, so each
+    // plan entry costs exactly one round: the staying arrival, two wake
+    // stays and the halting wake = 4 rounds, 4 activations.
+    let init = InitialConfig::new(5, vec![2]).expect("valid");
+    let mut ring = Ring::new(&init, |_| {
+        Scripted::new(vec![Plan::Stay, Plan::Stay, Plan::Stay, Plan::Halt])
+    });
+    let out = ring
+        .run_synchronous(RunLimits::default())
+        .expect("quiesces");
+    assert_eq!(out.rounds, Some(4));
+    assert_eq!(out.metrics.activations(), &[4]);
+}
+
+#[test]
+fn no_agent_is_activated_twice_in_one_round() {
+    // Across random walker rings and both disciplines: total activations
+    // per agent never exceed the number of rounds — the operational form
+    // of "no activation is double-charged within a round".
+    for seed in 0..16u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = rng.gen_range(4..40);
+        let k = rng.gen_range(2..=n.min(6));
+        let mut homes = Vec::with_capacity(k);
+        while homes.len() < k {
+            let h = rng.gen_range(0..n);
+            if !homes.contains(&h) {
+                homes.push(h);
+            }
+        }
+        homes.sort_unstable();
+        let hops = rng.gen_range(1..2 * n);
+        for discipline in [LinkDiscipline::Fifo, LinkDiscipline::Lifo] {
+            let init = InitialConfig::new(n, homes.clone()).expect("valid");
+            let mut ring = Ring::new(&init, |_| {
+                let mut plan = vec![Plan::Move; hops];
+                plan.push(Plan::Halt);
+                Scripted::new(plan)
+            });
+            ring.set_link_discipline(discipline);
+            let out = ring
+                .run_synchronous(RunLimits::default())
+                .expect("quiesces");
+            let rounds = out.rounds.expect("synchronous run");
+            for (agent, &acts) in out.metrics.activations().iter().enumerate() {
+                assert!(
+                    acts <= rounds,
+                    "agent {agent} acted {acts} times in {rounds} rounds \
+                     (seed {seed}, {discipline:?})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn for_instance_limits_saturate_instead_of_overflowing() {
+    // `200 · k · n + 10_000` used to overflow u64 for extreme instances —
+    // a debug-build panic and a silently *tiny* wrapped budget in release.
+    let limits = RunLimits::for_instance(usize::MAX, usize::MAX);
+    assert_eq!(limits.max_steps, u64::MAX);
+    assert_eq!(limits.max_rounds, u64::MAX);
+
+    // A single factor near the top also saturates rather than wrapping.
+    let limits = RunLimits::for_instance(usize::MAX, 2);
+    assert_eq!(limits.max_steps, u64::MAX);
+
+    // Ordinary instances keep the exact documented formula.
+    let limits = RunLimits::for_instance(1_000, 32);
+    assert_eq!(limits.max_steps, 200 * 32 * 1_000 + 10_000);
+    assert_eq!(limits.max_rounds, 200 * 1_000 + 10_000);
+}

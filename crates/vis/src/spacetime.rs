@@ -1,6 +1,6 @@
 //! Space-time diagrams: the execution as a round-by-round grid.
 
-use ringdeploy_sim::{Behavior, Idle, Place, Ring, SimError};
+use ringdeploy_sim::{Behavior, Place, Ring, SimError};
 
 /// Collects per-round snapshots of a synchronous execution and renders
 /// them as a space-time diagram:
@@ -84,20 +84,20 @@ impl SpaceTime {
     ) -> Result<(), SimError> {
         self.capture(ring);
         for _ in 0..max_rounds {
-            if ring.enabled().is_empty() {
+            if ring.enabled_activations().is_empty() {
                 return Ok(());
             }
-            // One synchronous round.
+            // One synchronous round: snapshot the incremental enabled set.
             let mut acts = ring.enabled();
             acts.sort_by_key(|a| a.agent.index());
             for act in acts {
-                if is_still_enabled(ring, act) {
+                if ring.is_enabled(act) {
                     ring.step(act);
                 }
             }
             self.capture(ring);
         }
-        if ring.enabled().is_empty() {
+        if ring.enabled_activations().is_empty() {
             Ok(())
         } else {
             Err(SimError::RoundLimitExceeded { limit: max_rounds })
@@ -152,27 +152,6 @@ impl SpaceTime {
             out.push('\n');
         }
         out
-    }
-}
-
-fn is_still_enabled<B: Behavior>(
-    ring: &Ring<B>,
-    act: ringdeploy_sim::scheduler::Activation,
-) -> bool {
-    let idx = act.agent;
-    match (act.arrival, ring.place_of(idx)) {
-        (true, Place::InTransit { to }) => {
-            ring.link_queues()
-                .get(to.index())
-                .and_then(|q| q.first().copied())
-                == Some(idx)
-        }
-        (false, Place::Staying { .. }) => match ring.idle_of(idx) {
-            Idle::Ready => true,
-            Idle::Suspended => ring.inbox_len(idx) > 0,
-            Idle::Halted => false,
-        },
-        _ => false,
     }
 }
 

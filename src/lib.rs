@@ -62,8 +62,6 @@ pub use ringdeploy_sim as sim;
 pub use ringdeploy_vis as vis;
 
 pub use ringdeploy_analysis::{Sweep, SweepRow, Workload};
-#[allow(deprecated)]
-pub use ringdeploy_core::deploy;
 pub use ringdeploy_core::{
     Algorithm, DeployError, DeployReport, Deployment, FullKnowledge, LogSpace, NoKnowledge,
     PhaseMetric, Rendezvous, RendezvousVerdict, Schedule, SpacingPlan, TerminatingEstimator,

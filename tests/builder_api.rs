@@ -1,7 +1,7 @@
-//! Contract tests for the `Deployment` builder / `Sweep` batch redesign:
+//! Contract tests for the `Deployment` builder / `Sweep` batch API:
 //!
-//! * builder defaults produce byte-identical reports to the legacy flat
-//!   `deploy()` shim on the same seeds;
+//! * builder runs are deterministic — identical configurations and seeds
+//!   produce byte-identical reports;
 //! * a user-defined `Scheduler` drives every algorithm to quiescence
 //!   end-to-end;
 //! * `Sweep` is deterministic for a fixed seed, across thread counts and
@@ -9,20 +9,16 @@
 //! * `DeployReport` and `Measurement` survive a JSON round-trip (the
 //!   workspace `serde` feature).
 
-#![allow(deprecated)]
-
 use ringdeploy::analysis::{summarize, Workload};
 use ringdeploy::sim::scheduler::{Activation, Scheduler};
-use ringdeploy::{
-    deploy, Algorithm, DeployError, Deployment, InitialConfig, RunLimits, Schedule, Sweep,
-};
+use ringdeploy::{Algorithm, DeployError, Deployment, InitialConfig, RunLimits, Schedule, Sweep};
 
 fn clustered_init() -> InitialConfig {
     InitialConfig::new(36, vec![0, 1, 2, 3, 4, 5]).expect("valid")
 }
 
 #[test]
-fn builder_defaults_match_legacy_deploy_on_identical_seeds() {
+fn builder_runs_are_deterministic_on_identical_seeds() {
     let init = clustered_init();
     for algorithm in Algorithm::ALL {
         for schedule in [
@@ -32,18 +28,23 @@ fn builder_defaults_match_legacy_deploy_on_identical_seeds() {
             Schedule::OneAtATime,
             Schedule::DelayAgent(2),
         ] {
-            let legacy = deploy(&init, algorithm, schedule).expect("legacy shim");
-            let built = Deployment::of(&init)
-                .algorithm(algorithm)
-                .schedule(schedule)
-                .expect("asynchronous preset")
-                .run()
-                .expect("builder run");
-            assert_eq!(built.positions, legacy.positions, "{algorithm} {schedule}");
-            assert_eq!(built.check, legacy.check);
-            assert_eq!(built.metrics, legacy.metrics);
-            assert_eq!(built.steps, legacy.steps);
-            assert_eq!(built.ideal_time, legacy.ideal_time);
+            let runs: Vec<_> = (0..2)
+                .map(|_| {
+                    Deployment::of(&init)
+                        .algorithm(algorithm)
+                        .schedule(schedule)
+                        .expect("asynchronous preset")
+                        .run()
+                        .expect("builder run")
+                })
+                .collect();
+            let (a, b) = (&runs[0], &runs[1]);
+            assert_eq!(a.positions, b.positions, "{algorithm} {schedule}");
+            assert_eq!(a.check, b.check);
+            assert_eq!(a.metrics, b.metrics);
+            assert_eq!(a.steps, b.steps);
+            assert_eq!(a.ideal_time, b.ideal_time);
+            assert!(a.succeeded(), "{algorithm} {schedule}: {:?}", a.check);
         }
     }
 }
@@ -99,12 +100,7 @@ fn synchronous_is_a_mode_not_a_schedule() {
             .unwrap_err(),
         DeployError::SynchronousSchedule
     );
-    // ...and the legacy shim errors instead of silently substituting.
-    assert_eq!(
-        deploy(&init, Algorithm::LogSpace, Schedule::Synchronous).unwrap_err(),
-        DeployError::SynchronousSchedule
-    );
-    // The typed mode works and reports ideal time.
+    // ...while the typed mode works and reports ideal time.
     let report = Deployment::of(&init)
         .algorithm(Algorithm::LogSpace)
         .synchronous()
