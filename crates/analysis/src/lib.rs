@@ -10,6 +10,9 @@
 //! * [`Sweep`] / [`Measurement`]: batched (parallel) runs → the paper's three
 //!   measures (peak agent memory in bits, ideal time in rounds, total
 //!   moves) plus the Definition 1/2 verdict.
+//! * [`Explore`]: the exhaustive-verification counterpart of `Sweep` —
+//!   each cell runs the symmetry-reduced bounded model checker over
+//!   *every* schedule of its instance instead of sampling one.
 //! * [`Summary`] / [`LinearFit`]: statistics for scaling-shape checks.
 //! * [`TextTable`]: aligned text / CSV rendering for the `experiments`
 //!   binary that regenerates every table and figure.
@@ -38,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod experiment;
+pub mod explore;
 pub mod generators;
 mod memory_model;
 mod oracle;
@@ -46,6 +50,7 @@ pub mod sweep;
 mod table;
 
 pub use experiment::{Cell, Measurement};
+pub use explore::{explore_one, Explore, ExploreBatchError, ExploreCell, ExploreRow};
 pub use generators::{
     clustered_config, from_gaps, periodic_config, quarter_ring_config, random_aperiodic_config,
     random_config, theorem5_config, uniform_config,

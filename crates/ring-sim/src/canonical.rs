@@ -1,0 +1,209 @@
+//! Canonical forms of configurations under ring rotation — the symmetry
+//! quotient used by the exhaustive explorer ([`crate::explore`]).
+//!
+//! # Why rotation-quotienting is sound
+//!
+//! Nodes and agents are **anonymous** (paper §2.1): no behavior can
+//! observe a node index or an agent id, so rotating the whole
+//! configuration by `r` (and relabeling agents arbitrarily) is an
+//! automorphism of the transition system —
+//!
+//! * an activation is enabled in `C` iff its image is enabled in `σ(C)`;
+//! * stepping the image activation in `σ(C)` yields `σ(step(C, a))`.
+//!
+//! Consequently the quotient graph reached by identifying
+//! rotation-equivalent configurations preserves exactly the properties
+//! the explorer certifies:
+//!
+//! * **safety** — every terminal configuration of the concrete graph is a
+//!   rotation of a terminal representative the explorer visited, so a
+//!   rotation-invariant terminal predicate (uniform spacing is one —
+//!   gaps do not change under rotation) holds on all concrete terminals
+//!   iff it holds on all representatives;
+//! * **termination** — if the quotient graph has a cycle
+//!   `[C] →⁺ [C]`, lifting the cycle's schedule from `C` reaches some
+//!   rotation `σ(C)`, and iterating the rotated schedule `ord(σ)` times
+//!   closes a *concrete* cycle (the rotation group is finite); conversely
+//!   every concrete cycle projects onto a quotient cycle. So the quotient
+//!   graph is acyclic iff the concrete graph is.
+//!
+//! The requirements on user input, enforced by documentation rather than
+//! types: behaviors must not depend on the [`crate::AgentId`] passed to
+//! the factory, and the terminal predicate must be invariant under
+//! rotation and agent relabeling. The paper's algorithms and the
+//! Definition 1/2 predicates satisfy both.
+//!
+//! # The canonical form
+//!
+//! [`Ring::node_symbols`] compresses each node's local state (tokens,
+//! staying agents, in-transit agents — each with behavior state, idle
+//! state, token flag and inbox) into one rotation-invariant `u64`, so a
+//! configuration becomes a length-`n` symbol sequence and rotating the
+//! configuration rotates the sequence. [`canonical_fingerprint`] then
+//! hashes the lexicographically minimal rotation of that sequence (Booth's
+//! algorithm via [`ringdeploy_seq::min_rotation`] — the same machinery the
+//! paper's algorithms use on distance sequences), collapsing all `n`
+//! rotations of a configuration to a single 64-bit visited-set entry.
+//!
+//! As with the plain fingerprint, a hash collision can only merge two
+//! distinct states and therefore *under*-explore — never produce a false
+//! violation report (the usual explicit-state model-checking trade-off).
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use ringdeploy_seq::canonical_rotation;
+
+use crate::agent::Behavior;
+use crate::engine::Ring;
+
+/// Hashes `(n, k, symbols)` into the final 64-bit fingerprint.
+fn seal(n: usize, k: usize, symbols: &[u64]) -> u64 {
+    let mut h = DefaultHasher::new();
+    n.hash(&mut h);
+    k.hash(&mut h);
+    symbols.hash(&mut h);
+    h.finish()
+}
+
+/// Fingerprint of the schedule-relevant state **without** any symmetry
+/// reduction: everything that influences future behavior (tokens, staying
+/// sets, link queues, inboxes, agent places/idle/token flags, behavior
+/// states) and nothing that does not (metrics, step counters, traces).
+///
+/// Distinguishes rotations of the same configuration; see
+/// [`canonical_fingerprint`] for the quotient map.
+pub fn plain_fingerprint<B>(ring: &Ring<B>) -> u64
+where
+    B: Behavior + Hash,
+    B::Message: Hash,
+{
+    let mut h = DefaultHasher::new();
+    ring.hash_schedule_state(&mut h);
+    h.finish()
+}
+
+/// Fingerprint of the configuration's **rotation class**: all `n`
+/// rotations of a configuration (with agents relabeled along) produce the
+/// same value, and — up to 64-bit hash collisions — non-equivalent
+/// configurations produce different values.
+///
+/// `O(n)` beyond the symbol extraction, using Booth's minimal-rotation
+/// algorithm. See the [module docs](self) for the soundness argument.
+pub fn canonical_fingerprint<B>(ring: &Ring<B>) -> u64
+where
+    B: Behavior + Hash,
+    B::Message: Hash,
+{
+    let symbols = ring.node_symbols();
+    seal(
+        ring.ring_size(),
+        ring.agent_count(),
+        &canonical_rotation(&symbols),
+    )
+}
+
+/// Reference implementation of [`canonical_fingerprint`]: materialises
+/// every rotation of the ring with [`Ring::rotated`], takes the
+/// lexicographically minimal symbol sequence among them and hashes it.
+///
+/// `O(n²)` and allocation-heavy — exists to differentially test the fast
+/// path (it exercises `Ring::rotated` and `node_symbols` independently of
+/// Booth's algorithm); never use it in exploration.
+pub fn canonical_fingerprint_naive<B>(ring: &Ring<B>) -> u64
+where
+    B: Behavior + Clone + Hash,
+    B::Message: Clone + Hash,
+{
+    let n = ring.ring_size();
+    let best = (0..n)
+        .map(|r| ring.rotated(r).node_symbols())
+        .min()
+        .expect("rings have at least one node");
+    seal(n, ring.agent_count(), &best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::agent::Observation;
+    use crate::initial::InitialConfig;
+
+    /// Walks `hops` hops, drops its token at home, halts.
+    #[derive(Clone, Hash, PartialEq, Eq)]
+    struct Walker {
+        hops: usize,
+        released: bool,
+    }
+
+    impl Behavior for Walker {
+        type Message = ();
+        fn act(&mut self, _obs: &Observation<'_, ()>) -> Action<()> {
+            let release = !std::mem::replace(&mut self.released, true);
+            if self.hops > 0 {
+                self.hops -= 1;
+                Action::moving().with_token_release(release)
+            } else {
+                Action::halting().with_token_release(release)
+            }
+        }
+        fn memory_bits(&self) -> usize {
+            8
+        }
+    }
+
+    fn ring(n: usize, homes: Vec<usize>, hops: usize) -> Ring<Walker> {
+        let init = InitialConfig::new(n, homes).expect("valid");
+        Ring::new(&init, |_| Walker {
+            hops,
+            released: false,
+        })
+    }
+
+    #[test]
+    fn rotations_share_one_canonical_fingerprint() {
+        let r = ring(7, vec![0, 2, 3], 2);
+        let canon = canonical_fingerprint(&r);
+        assert_eq!(canon, canonical_fingerprint_naive(&r));
+        for x in 0..7 {
+            let rot = r.rotated(x);
+            assert_eq!(canonical_fingerprint(&rot), canon, "rotation {x}");
+            // Plain fingerprints distinguish non-trivial rotations.
+            if x != 0 {
+                assert_ne!(plain_fingerprint(&rot), plain_fingerprint(&r));
+            }
+        }
+    }
+
+    #[test]
+    fn rotated_ring_is_a_working_engine() {
+        use crate::engine::RunLimits;
+        use crate::scheduler::RoundRobin;
+        let r = ring(6, vec![0, 3], 2);
+        let mut rot = r.rotated(2);
+        assert_eq!(rot.enabled(), rot.enabled_rescan());
+        let out = rot
+            .run(&mut RoundRobin::new(), RunLimits::default())
+            .expect("runs");
+        assert!(out.quiescent);
+        // Homes 0 and 3 rotate to 4 and 1; two hops land at 0 and 3.
+        assert_eq!(rot.staying_positions(), Some(vec![0, 3]));
+    }
+
+    #[test]
+    fn distinct_states_get_distinct_fingerprints() {
+        let a = ring(8, vec![0, 4], 2);
+        let b = ring(8, vec![0, 4], 3);
+        assert_ne!(canonical_fingerprint(&a), canonical_fingerprint(&b));
+        let c = ring(8, vec![0, 3], 2);
+        assert_ne!(canonical_fingerprint(&a), canonical_fingerprint(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rotation_out_of_range_panics() {
+        let r = ring(4, vec![0], 1);
+        let _ = r.rotated(4);
+    }
+}

@@ -314,35 +314,24 @@ impl<B: Behavior> Ring<B> {
         for slot in &agents {
             metrics.observe_memory(slot.behavior.memory_bits());
         }
-        // Seed the enabled set: every home buffer's head may arrive; no
-        // agent stays yet. Iterating nodes in order appends in canonical
-        // order, so each insert lands at the tail.
-        let mut enabled = EnabledSet::new(k);
-        for (v, q) in links.iter().enumerate() {
-            if let Some(&head) = q.front() {
-                enabled.insert(
-                    v,
-                    Activation {
-                        agent: head,
-                        arrival: true,
-                    },
-                );
-            }
-        }
-        Ring {
+        let mut ring = Ring {
             n,
             tokens: vec![0; n],
             staying: vec![Vec::new(); n],
             links,
             inboxes: vec![VecDeque::new(); k],
             agents,
-            enabled,
+            // Placeholder; seeded from the rescan below (every home
+            // buffer's head may arrive; no agent stays yet).
+            enabled: EnabledSet::new(k),
             metrics,
             trace: None,
             phases: Vec::new(),
             steps: 0,
             discipline: LinkDiscipline::Fifo,
-        }
+        };
+        ring.enabled = ring.rebuilt_enabled();
+        ring
     }
 
     /// Switches the link queueing discipline — **ablation only**; see
@@ -801,8 +790,16 @@ impl<B: Behavior> Ring<B> {
                 });
             }
             // The incremental set is handed to the scheduler as-is: no
-            // per-step rescan, no allocation.
-            let chosen = scheduler.select(self.enabled.as_slice());
+            // per-step rescan, no allocation. Finite schedules (Replay)
+            // end with a typed error instead of a panic.
+            let chosen = match scheduler.try_select(self.enabled.as_slice()) {
+                Ok(chosen) => chosen,
+                Err(e) => {
+                    return Err(SimError::ScheduleExhausted {
+                        consumed: e.consumed as u64,
+                    })
+                }
+            };
             if chosen >= self.enabled.len() {
                 return Err(SimError::SchedulerOutOfRange {
                     chosen,
@@ -921,6 +918,144 @@ impl<B: Behavior> Ring<B> {
             slot.idle.hash(h);
             slot.token_held.hash(h);
         }
+    }
+
+    /// One rotation-invariant 64-bit summary ("symbol") per node of the
+    /// schedule-relevant state local to that node: the token count, the
+    /// staying agents in list order and the in-transit agents in queue
+    /// order, each agent contributing its behavior state, idle state,
+    /// token flag and inbox contents.
+    ///
+    /// Deliberately excluded, so that the symbol of a node depends only on
+    /// what the model can observe there:
+    ///
+    /// * **agent identities** — agents are anonymous; two configurations
+    ///   that differ by a relabeling of agents with identical local data
+    ///   produce identical symbols (the same abstraction
+    ///   [`hash_schedule_state`](Ring::hash_schedule_state) does *not*
+    ///   make);
+    /// * **absolute node indices** (incl. `home`) — nodes are anonymous,
+    ///   so rotating the ring by `r` rotates the symbol sequence by `r`
+    ///   and changes no individual symbol:
+    ///   `ring.rotated(r).node_symbols() == shift(ring.node_symbols(), r)`;
+    /// * metrics, traces and step counters, as for
+    ///   [`hash_schedule_state`](Ring::hash_schedule_state).
+    ///
+    /// This is the raw material of the exhaustive explorer's rotation
+    /// quotient: see [`crate::canonical`].
+    pub fn node_symbols(&self) -> Vec<u64>
+    where
+        B: std::hash::Hash,
+        B::Message: std::hash::Hash,
+    {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash_agent = |h: &mut DefaultHasher, idx: usize| {
+            let slot = &self.agents[idx];
+            slot.behavior.hash(h);
+            slot.idle.hash(h);
+            slot.token_held.hash(h);
+            self.inboxes[idx].hash(h);
+        };
+        (0..self.n)
+            .map(|v| {
+                let mut h = DefaultHasher::new();
+                self.tokens[v].hash(&mut h);
+                self.staying[v].len().hash(&mut h);
+                for &a in &self.staying[v] {
+                    hash_agent(&mut h, a.index());
+                }
+                self.links[v].len().hash(&mut h);
+                for &a in &self.links[v] {
+                    hash_agent(&mut h, a.index());
+                }
+                h.finish()
+            })
+            .collect()
+    }
+
+    /// Observer-side rotation of the whole configuration: node `r` of
+    /// `self` becomes node `0` of the result (agents, tokens, staying
+    /// sets, link queues and homes move along; agent ids are unchanged).
+    ///
+    /// The rotated ring is a fully functional engine — its enabled set is
+    /// rebuilt in canonical order, so it can be stepped and explored like
+    /// any other ring. Used by symmetry diagnostics and the
+    /// canonicalization tests ([`crate::canonical`]); the model itself
+    /// never rotates (nodes are anonymous, so a rotation is unobservable
+    /// to the agents — which is exactly the property the tests pin down).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= n`.
+    pub fn rotated(&self, r: usize) -> Ring<B>
+    where
+        B: Clone,
+        B::Message: Clone,
+    {
+        assert!(r < self.n, "rotation {r} out of range for {} nodes", self.n);
+        let n = self.n;
+        let map = |node: NodeId| NodeId((node.index() + n - r) % n);
+        let rotate_vec = |v: &[Vec<AgentId>]| -> Vec<Vec<AgentId>> {
+            (0..n).map(|i| v[(i + r) % n].clone()).collect()
+        };
+        let staying: Vec<Vec<AgentId>> = rotate_vec(&self.staying);
+        let links: Vec<VecDeque<AgentId>> =
+            (0..n).map(|i| self.links[(i + r) % n].clone()).collect();
+        let agents: Vec<AgentSlot<B>> = self
+            .agents
+            .iter()
+            .map(|slot| AgentSlot {
+                behavior: slot.behavior.clone(),
+                place: match slot.place {
+                    Place::Staying { at } => Place::Staying { at: map(at) },
+                    Place::InTransit { to } => Place::InTransit { to: map(to) },
+                },
+                idle: slot.idle,
+                token_held: slot.token_held,
+                home: map(slot.home),
+            })
+            .collect();
+        let mut rotated = Ring {
+            n,
+            tokens: (0..n).map(|i| self.tokens[(i + r) % n]).collect(),
+            staying,
+            links,
+            inboxes: self.inboxes.clone(),
+            agents,
+            // Placeholder; replaced by the rescan-derived rebuild below.
+            enabled: EnabledSet::new(self.agents.len()),
+            metrics: self.metrics.clone(),
+            trace: self.trace.clone(),
+            phases: self.phases.clone(),
+            steps: self.steps,
+            discipline: self.discipline,
+        };
+        rotated.enabled = rotated.rebuilt_enabled();
+        rotated
+    }
+
+    /// Builds a fresh [`EnabledSet`] for the current configuration from
+    /// the [`enabled_rescan`](Ring::enabled_rescan) reference
+    /// implementation — the single source of truth for the enablement
+    /// predicate, so constructors of derived rings (e.g.
+    /// [`Ring::rotated`]) cannot drift from `step`'s incremental updates.
+    fn rebuilt_enabled(&self) -> EnabledSet {
+        // The rescan emits arrivals by destination node, then wakes by
+        // agent id — ascending keys, so each insert lands at the tail.
+        let mut enabled = EnabledSet::new(self.agents.len());
+        for act in self.enabled_rescan() {
+            let key = if act.arrival {
+                match self.agents[act.agent.index()].place {
+                    Place::InTransit { to } => to.index(),
+                    Place::Staying { .. } => unreachable!("arrival implies in transit"),
+                }
+            } else {
+                self.n + act.agent.index()
+            };
+            enabled.insert(key, act);
+        }
+        enabled
     }
 }
 

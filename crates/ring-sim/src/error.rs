@@ -25,6 +25,13 @@ pub enum SimError {
         /// The number of enabled activations it had to choose from.
         enabled: usize,
     },
+    /// A finite scheduler (e.g. [`Replay`](crate::scheduler::Replay) of a
+    /// recorded log) ran out of choices before the run reached quiescence
+    /// — typically a truncated or mismatched replay log.
+    ScheduleExhausted {
+        /// Choices the scheduler had served before running out.
+        consumed: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -44,6 +51,12 @@ impl fmt::Display for SimError {
             }
             SimError::SchedulerOutOfRange { chosen, enabled } => {
                 write!(f, "scheduler chose activation {chosen} of {enabled}")
+            }
+            SimError::ScheduleExhausted { consumed } => {
+                write!(
+                    f,
+                    "schedule exhausted after {consumed} choices before quiescence"
+                )
             }
         }
     }

@@ -2,7 +2,7 @@
 //! model.
 //!
 //! Random and adversarial schedulers *sample* executions; this module
-//! *enumerates* them. Starting from `C_0`, it walks the full tree of
+//! *enumerates* them. Starting from `C_0`, it walks the full graph of
 //! schedules (every enabled activation at every configuration), memoising
 //! visited configurations, and checks a user predicate at every terminal
 //! (quiescent) configuration.
@@ -13,21 +13,59 @@
 //!   satisfying the predicate (e.g. Definition 1/2 uniform deployment);
 //! * **termination under every schedule** — the explored state graph is
 //!   acyclic (a cycle would be an infinite execution that never makes new
-//!   progress, i.e. a livelock); the checker detects back-edges and reports
-//!   them.
+//!   progress, i.e. a livelock).
 //!
 //! Because the paper's schedules are *arbitrary fair* interleavings and
-//! every finite execution prefix appears in the tree, exhaustive success on
-//! an instance is a machine-checked proof of the algorithm's correctness on
-//! that instance — far stronger than any number of random runs. State
-//! counts explode with `n` and `k`, so keep instances small (the test suite
-//! verifies e.g. all three algorithms on rings up to ~10 nodes / 3 agents).
+//! every finite execution prefix appears in the graph, exhaustive success
+//! on an instance is a machine-checked proof of the algorithm's
+//! correctness on that instance — far stronger than any number of random
+//! runs.
+//!
+//! # The [`Explorer`] engine
+//!
+//! State counts explode with `n` and `k`; the engine fights back on two
+//! fronts, configured through the [`Explorer`] builder:
+//!
+//! * **rotation symmetry reduction** ([`SymmetryMode::Rotation`], the
+//!   default): nodes and agents are anonymous, so all `n` rotations of a
+//!   configuration are behaviourally equivalent; the visited set stores
+//!   one [`canonical_fingerprint`] per rotation class instead of `n`
+//!   plain fingerprints. On an instance whose initial configuration has
+//!   symmetry degree `l`, this cuts visited states by up to `l`×. See
+//!   [`crate::canonical`] for the canonical form and the soundness
+//!   argument; it requires the terminal predicate to be
+//!   rotation-invariant (the Definition 1/2 predicates are).
+//! * **frontier-parallel search** ([`Explorer::threads`]): breadth-first
+//!   layers are expanded by a persistent, barrier-synchronized worker
+//!   pool over a hash-sharded visited map (narrow layers run inline —
+//!   no per-layer thread churn), and reports are aggregated
+//!   deterministically — a
+//!   parallel run returns byte-identical `states` / `terminals` /
+//!   [`terminal_fingerprints`](ExploreReport::terminal_fingerprints) /
+//!   [`merge_edges`](ExploreReport::merge_edges) to the retained serial
+//!   reference ([`Explorer::run_serial`]).
+//!
+//! The serial reference detects livelocks as DFS back-edges on the
+//! current path; the parallel engine records the quotient edge list and
+//! certifies acyclicity with a Kahn elimination after the sweep
+//! ([`Explorer::certify_termination`] turns this off to save the edge
+//! memory on very large sweeps — at the cost of the termination half of
+//! the proof). The two engines may disagree on
+//! [`max_depth_seen`](ExploreReport::max_depth_seen) (DFS path depth vs.
+//! BFS layer count) and on *which* error they report when several exist.
+//! For the same reason [`ExploreLimits::max_depth`] is interpreted in
+//! each engine's own depth measure: a limit tight enough to bind can
+//! stop the serial DFS (whose paths run deeper than BFS layers) on an
+//! instance the parallel engine still covers. With non-binding limits —
+//! the verification regime — the engines never disagree on whether
+//! exploration succeeds, and the other report fields are byte-identical.
 
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashSet;
-use std::hash::{Hash, Hasher};
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use crate::agent::Behavior;
+use crate::canonical::{canonical_fingerprint, plain_fingerprint};
 use crate::engine::Ring;
 use crate::error::SimError;
 
@@ -36,8 +74,39 @@ use crate::error::SimError;
 pub struct ExploreLimits {
     /// Maximum number of distinct configurations to visit.
     pub max_states: usize,
-    /// Maximum schedule length (tree depth).
+    /// Maximum schedule length (DFS tree depth / BFS layer count).
     pub max_depth: usize,
+}
+
+impl ExploreLimits {
+    /// Explicit limits.
+    pub fn new(max_states: usize, max_depth: usize) -> Self {
+        ExploreLimits {
+            max_states,
+            max_depth,
+        }
+    }
+
+    /// Scales limits to the instance, like
+    /// [`RunLimits::for_instance`](crate::RunLimits::for_instance): the
+    /// depth budget tracks the paper's `O(kn)` move bounds with a generous
+    /// constant, the state budget grows linearly with `k` from the default
+    /// 2 M baseline.
+    ///
+    /// The arithmetic **saturates** at `usize::MAX`, so extreme `k`/`n`
+    /// values degrade to "effectively unlimited" instead of overflowing —
+    /// the same fix PR 2 applied to the run side, where the debug build
+    /// panicked and the release build silently wrapped to a tiny budget
+    /// that aborted valid explorations.
+    pub fn for_instance(n: usize, k: usize) -> Self {
+        ExploreLimits {
+            max_states: 2_000_000usize.saturating_mul(k.max(1)),
+            max_depth: 400usize
+                .saturating_mul(k)
+                .saturating_mul(n)
+                .saturating_add(10_000),
+        }
+    }
 }
 
 impl Default for ExploreLimits {
@@ -49,15 +118,78 @@ impl Default for ExploreLimits {
     }
 }
 
+/// Which state-space quotient the explorer's visited set uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SymmetryMode {
+    /// No reduction: every concrete configuration (up to the 64-bit
+    /// fingerprint) is its own visited-set entry. Distinguishes rotations
+    /// and supports terminal predicates that are *not*
+    /// rotation-invariant.
+    Off,
+    /// Quotient by ring rotation (and the agent relabeling it induces):
+    /// all `n` rotations of a configuration share one
+    /// [`canonical_fingerprint`] entry. Sound for anonymous behaviors and
+    /// rotation-invariant predicates — see [`crate::canonical`].
+    #[default]
+    Rotation,
+}
+
 /// Outcome of an exhaustive exploration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExploreReport {
-    /// Distinct configurations visited.
+    /// Distinct configurations visited (rotation classes under
+    /// [`SymmetryMode::Rotation`]).
     pub states: usize,
-    /// Terminal (quiescent) configurations reached.
+    /// Distinct terminal (quiescent) configurations reached.
     pub terminals: usize,
-    /// Length of the longest schedule explored.
+    /// Deepest point of the exploration: longest DFS path for the serial
+    /// engine; for the parallel engine, the deepest BFS layer at which a
+    /// **new** state was discovered (a final layer whose expansions all
+    /// hit already-visited states does not count). The only report field
+    /// on which the two engines may differ.
     pub max_depth_seen: usize,
+    /// Fingerprints of the terminal configurations, sorted ascending —
+    /// the key to membership checks such as "does every terminal reached
+    /// by a sampled run appear in the exhaustive terminal set?"
+    /// ([`ExploreReport::contains_terminal`]).
+    pub terminal_fingerprints: Vec<u64>,
+    /// Back/cross-edge diagnostic: transitions whose target configuration
+    /// had already been visited (diamonds from commuting activations, and
+    /// — under symmetry reduction — rotated re-encounters). Equal to
+    /// `edges − (states − 1)`, and identical between the serial and
+    /// parallel engines.
+    pub merge_edges: u64,
+}
+
+impl ExploreReport {
+    /// Whether `fingerprint` (from [`canonical_fingerprint`] or
+    /// [`plain_fingerprint`], matching the [`SymmetryMode`] the
+    /// exploration ran under) is one of the terminal configurations.
+    pub fn contains_terminal(&self, fingerprint: u64) -> bool {
+        self.terminal_fingerprints
+            .binary_search(&fingerprint)
+            .is_ok()
+    }
+}
+
+#[cfg(feature = "serde")]
+mod json_impls {
+    use super::ExploreReport;
+    use ringdeploy_json::{Json, ToJson};
+
+    impl ToJson for ExploreReport {
+        /// Scalar fields only: the terminal fingerprint list (potentially
+        /// thousands of entries) stays a programmatic API; JSON reports
+        /// carry its cardinality as `terminals`.
+        fn to_json(&self) -> Json {
+            Json::object([
+                ("states", self.states.to_json()),
+                ("terminals", self.terminals.to_json()),
+                ("max_depth_seen", self.max_depth_seen.to_json()),
+                ("merge_edges", self.merge_edges.to_json()),
+            ])
+        }
+    }
 }
 
 /// Failures of an exhaustive exploration.
@@ -76,11 +208,75 @@ where
     /// A configuration repeats along one schedule: an infinite execution
     /// (livelock) exists.
     CycleDetected {
-        /// Schedule depth at which the repeat was found.
+        /// Schedule depth at which the repeat was found (serial engine)
+        /// or, for the parallel engine, the earliest first-seen BFS layer
+        /// among the states with cyclic ancestry — states on a cycle *or
+        /// downstream of one* (Kahn elimination cannot tell the two
+        /// apart without a full SCC pass), so the layer locates the
+        /// entangled region, not necessarily a cycle member.
         depth: usize,
     },
     /// `max_states` or `max_depth` exceeded before the space was covered.
     LimitExceeded(SimError),
+}
+
+/// The shape of an [`ExploreError`] without the embedded ring — `Clone` +
+/// `Eq`, for batch surfaces and reports that must not be generic over the
+/// behavior type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExploreErrorKind {
+    /// See [`ExploreError::PredicateViolated`].
+    PredicateViolated {
+        /// Schedule depth at which the violation was reached.
+        depth: usize,
+    },
+    /// See [`ExploreError::CycleDetected`].
+    CycleDetected {
+        /// Schedule depth at which the repeat was found.
+        depth: usize,
+    },
+    /// See [`ExploreError::LimitExceeded`].
+    LimitExceeded(SimError),
+}
+
+impl std::fmt::Display for ExploreErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExploreErrorKind::PredicateViolated { depth } => {
+                write!(
+                    f,
+                    "terminal configuration at depth {depth} violates the predicate"
+                )
+            }
+            ExploreErrorKind::CycleDetected { depth } => {
+                write!(
+                    f,
+                    "configuration repeats at depth {depth}: livelock possible"
+                )
+            }
+            ExploreErrorKind::LimitExceeded(e) => write!(f, "exploration limits exceeded: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExploreErrorKind {}
+
+impl<B: Behavior + Clone> ExploreError<B>
+where
+    B::Message: Clone,
+{
+    /// The non-generic shape of this error (drops the embedded ring).
+    pub fn kind(&self) -> ExploreErrorKind {
+        match self {
+            ExploreError::PredicateViolated { depth, .. } => {
+                ExploreErrorKind::PredicateViolated { depth: *depth }
+            }
+            ExploreError::CycleDetected { depth } => {
+                ExploreErrorKind::CycleDetected { depth: *depth }
+            }
+            ExploreError::LimitExceeded(e) => ExploreErrorKind::LimitExceeded(e.clone()),
+        }
+    }
 }
 
 impl<B: Behavior + Clone> std::fmt::Display for ExploreError<B>
@@ -88,21 +284,7 @@ where
     B::Message: Clone,
 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ExploreError::PredicateViolated { depth, .. } => {
-                write!(
-                    f,
-                    "terminal configuration at depth {depth} violates the predicate"
-                )
-            }
-            ExploreError::CycleDetected { depth } => {
-                write!(
-                    f,
-                    "configuration repeats at depth {depth}: livelock possible"
-                )
-            }
-            ExploreError::LimitExceeded(e) => write!(f, "exploration limits exceeded: {e}"),
-        }
+        self.kind().fmt(f)
     }
 }
 
@@ -118,28 +300,13 @@ where
 
 impl<B: Behavior + Clone> std::error::Error for ExploreError<B> where B::Message: Clone {}
 
-/// Fingerprint of the schedule-relevant state of a ring: everything that
-/// influences future behavior (tokens, staying sets, link queues, inboxes,
-/// agent places/idle/token flags, behavior states) — and nothing that does
-/// not (metrics, step counters, traces).
-fn fingerprint<B>(ring: &Ring<B>) -> u64
-where
-    B: Behavior + Clone + Hash,
-    B::Message: Clone + Hash,
-{
-    let mut h = DefaultHasher::new();
-    ring.hash_schedule_state(&mut h);
-    h.finish()
-}
-
 /// Exhaustively explores every schedule of `ring`, checking `terminal_ok`
-/// at each quiescent configuration.
+/// at each quiescent configuration — the classic serial entry point,
+/// equivalent to [`Explorer::run_serial`] with [`SymmetryMode::Off`].
 ///
-/// Distinct configurations are deduplicated by a 64-bit fingerprint (the
-/// usual model-checking trade-off: a hash collision could merge two
-/// distinct states; with the tiny state spaces used in tests the collision
-/// probability is negligible, and a collision can only cause *under*-
-/// exploration, never a false violation report).
+/// Kept with its original signature (and its original semantics — no
+/// symmetry quotient, so predicates need not be rotation-invariant);
+/// scaling work goes through [`Explorer`].
 ///
 /// # Errors
 ///
@@ -147,81 +314,654 @@ where
 pub fn explore_all_schedules<B>(
     ring: &Ring<B>,
     limits: ExploreLimits,
-    mut terminal_ok: impl FnMut(&Ring<B>) -> bool,
+    terminal_ok: impl FnMut(&Ring<B>) -> bool,
 ) -> Result<ExploreReport, ExploreError<B>>
 where
     B: Behavior + Clone + Hash,
     B::Message: Clone + Hash,
 {
-    let mut visited: HashSet<u64> = HashSet::new();
-    // DFS stack: (state, depth, on-path fingerprints index for back-edge
-    // detection). We keep the path as a Vec of fingerprints with a set for
-    // O(1) membership.
-    let mut path: Vec<u64> = Vec::new();
-    let mut on_path: HashSet<u64> = HashSet::new();
-    let mut report = ExploreReport {
-        states: 0,
-        terminals: 0,
-        max_depth_seen: 0,
-    };
+    Explorer::new()
+        .limits(limits)
+        .symmetry(SymmetryMode::Off)
+        .run_serial(ring, terminal_ok)
+}
 
-    enum Frame<B: Behavior + Clone>
-    where
-        B::Message: Clone,
-    {
-        /// Explore this state (push children).
-        Enter(Box<Ring<B>>, usize),
-        /// Pop the path entry for this fingerprint.
-        Leave(u64),
+/// Number of mutex-guarded partitions of the parallel visited map. A
+/// power of two well above any realistic worker count, so contention is
+/// dominated by the hash distribution, not the shard count.
+const VISITED_SHARDS: usize = 64;
+
+/// How many frontier states a worker claims per fetch — large enough to
+/// amortise the atomic, small enough to balance ragged layers.
+const CLAIM_CHUNK: usize = 16;
+
+/// Frontiers narrower than this are expanded inline on the coordinating
+/// thread: spawning workers for a handful of states costs more than the
+/// expansion itself, and deep explorations are mostly narrow layers.
+const PARALLEL_FRONTIER_MIN: usize = 32;
+
+/// The configurable exploration engine. See the [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// use ringdeploy_sim::explore::{Explorer, SymmetryMode};
+/// # use ringdeploy_sim::{Action, Behavior, InitialConfig, Observation, Ring};
+/// # #[derive(Clone, Hash)]
+/// # struct Hop { left: usize, released: bool }
+/// # impl Behavior for Hop {
+/// #     type Message = ();
+/// #     fn act(&mut self, _o: &Observation<'_, ()>) -> Action<()> {
+/// #         let release = !std::mem::replace(&mut self.released, true);
+/// #         if self.left > 0 { self.left -= 1; Action::moving().with_token_release(release) }
+/// #         else { Action::halting().with_token_release(release) }
+/// #     }
+/// #     fn memory_bits(&self) -> usize { 8 }
+/// # }
+/// let init = InitialConfig::new(6, vec![0, 3])?;
+/// let ring = Ring::new(&init, |_| Hop { left: 2, released: false });
+/// let report = Explorer::new()
+///     .symmetry(SymmetryMode::Rotation)
+///     .threads(2)
+///     .run(&ring, |r| r.links_empty())?;
+/// assert_eq!(report.terminals, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    limits: ExploreLimits,
+    symmetry: SymmetryMode,
+    threads: Option<usize>,
+    certify_termination: bool,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer::new()
+    }
+}
+
+impl Explorer {
+    /// Default engine: default [`ExploreLimits`],
+    /// [`SymmetryMode::Rotation`], one worker per available core,
+    /// termination certification on.
+    pub fn new() -> Self {
+        Explorer {
+            limits: ExploreLimits::default(),
+            symmetry: SymmetryMode::default(),
+            threads: None,
+            certify_termination: true,
+        }
     }
 
-    let mut stack: Vec<Frame<B>> = vec![Frame::Enter(Box::new(ring.clone()), 0)];
-    while let Some(frame) = stack.pop() {
-        match frame {
-            Frame::Leave(fp) => {
-                on_path.remove(&fp);
-                path.pop();
-            }
-            Frame::Enter(state, depth) => {
-                report.max_depth_seen = report.max_depth_seen.max(depth);
-                if depth > limits.max_depth {
-                    return Err(ExploreError::LimitExceeded(SimError::StepLimitExceeded {
-                        limit: limits.max_depth as u64,
-                    }));
+    /// Overrides the exploration limits.
+    pub fn limits(mut self, limits: ExploreLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Selects the state-space quotient (default:
+    /// [`SymmetryMode::Rotation`]).
+    pub fn symmetry(mut self, symmetry: SymmetryMode) -> Self {
+        self.symmetry = symmetry;
+        self
+    }
+
+    /// Sets the worker-thread count (default: available parallelism).
+    /// `1` selects the serial reference engine.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Whether the **parallel** engine records the quotient edge list and
+    /// certifies acyclicity after the sweep (default: `true`). Turning
+    /// this off drops the termination half of the proof in exchange for
+    /// `O(edges)` less memory; the serial engine always detects cycles
+    /// (its DFS path makes them free).
+    pub fn certify_termination(mut self, certify: bool) -> Self {
+        self.certify_termination = certify;
+        self
+    }
+
+    /// The fingerprint function selected by the symmetry mode.
+    fn fingerprint<B>(&self, ring: &Ring<B>) -> u64
+    where
+        B: Behavior + Hash,
+        B::Message: Hash,
+    {
+        match self.symmetry {
+            SymmetryMode::Off => plain_fingerprint(ring),
+            SymmetryMode::Rotation => canonical_fingerprint(ring),
+        }
+    }
+
+    /// Explores every schedule of `ring`, dispatching to the serial
+    /// reference for one thread and to the frontier-parallel engine
+    /// otherwise.
+    ///
+    /// Under [`SymmetryMode::Rotation`] the predicate must be invariant
+    /// under rotation and agent relabeling (the Definition 1/2 uniform
+    /// deployment predicates are): it is evaluated on one representative
+    /// per equivalence class.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExploreError`].
+    pub fn run<B>(
+        &self,
+        ring: &Ring<B>,
+        terminal_ok: impl Fn(&Ring<B>) -> bool + Sync,
+    ) -> Result<ExploreReport, ExploreError<B>>
+    where
+        B: Behavior + Clone + Hash + Send + Sync,
+        B::Message: Clone + Hash + Send + Sync,
+    {
+        let threads = self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        if threads <= 1 {
+            self.run_serial(ring, |r| terminal_ok(r))
+        } else {
+            self.run_parallel(ring, threads, &terminal_ok)
+        }
+    }
+
+    /// The serial reference engine: depth-first, with back-edge (livelock)
+    /// detection on the DFS path. The parallel engine must report
+    /// identical `states`, `terminals`, `terminal_fingerprints` and
+    /// `merge_edges` on every instance — `tests/explorer_differential.rs`
+    /// pins this.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExploreError`].
+    pub fn run_serial<B>(
+        &self,
+        ring: &Ring<B>,
+        mut terminal_ok: impl FnMut(&Ring<B>) -> bool,
+    ) -> Result<ExploreReport, ExploreError<B>>
+    where
+        B: Behavior + Clone + Hash,
+        B::Message: Clone + Hash,
+    {
+        let limits = self.limits;
+        let mut visited: HashSet<u64> = HashSet::new();
+        // DFS path as a set of fingerprints for O(1) back-edge checks.
+        let mut on_path: HashSet<u64> = HashSet::new();
+        let mut terminal_fps: Vec<u64> = Vec::new();
+        let mut report = ExploreReport {
+            states: 0,
+            terminals: 0,
+            max_depth_seen: 0,
+            terminal_fingerprints: Vec::new(),
+            merge_edges: 0,
+        };
+
+        enum Frame<B: Behavior + Clone>
+        where
+            B::Message: Clone,
+        {
+            /// Explore this state (push children).
+            Enter(Box<Ring<B>>, usize),
+            /// Pop the path entry for this fingerprint.
+            Leave(u64),
+        }
+
+        let mut stack: Vec<Frame<B>> = vec![Frame::Enter(Box::new(ring.clone()), 0)];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Leave(fp) => {
+                    on_path.remove(&fp);
                 }
-                let fp = fingerprint(&state);
-                if on_path.contains(&fp) {
-                    return Err(ExploreError::CycleDetected { depth });
-                }
-                if !visited.insert(fp) {
-                    continue;
-                }
-                report.states += 1;
-                if report.states > limits.max_states {
-                    return Err(ExploreError::LimitExceeded(SimError::StepLimitExceeded {
-                        limit: limits.max_states as u64,
-                    }));
-                }
-                let enabled = state.enabled();
-                if enabled.is_empty() {
-                    report.terminals += 1;
-                    if !terminal_ok(&state) {
-                        return Err(ExploreError::PredicateViolated { ring: state, depth });
+                Frame::Enter(state, depth) => {
+                    report.max_depth_seen = report.max_depth_seen.max(depth);
+                    if depth > limits.max_depth {
+                        return Err(ExploreError::LimitExceeded(SimError::StepLimitExceeded {
+                            limit: limits.max_depth as u64,
+                        }));
                     }
-                    continue;
-                }
-                path.push(fp);
-                on_path.insert(fp);
-                stack.push(Frame::Leave(fp));
-                for act in enabled {
-                    let mut child = state.as_ref().clone();
-                    child.step(act);
-                    stack.push(Frame::Enter(Box::new(child), depth + 1));
+                    let fp = self.fingerprint(&state);
+                    if on_path.contains(&fp) {
+                        return Err(ExploreError::CycleDetected { depth });
+                    }
+                    if !visited.insert(fp) {
+                        report.merge_edges += 1;
+                        continue;
+                    }
+                    report.states += 1;
+                    if report.states > limits.max_states {
+                        return Err(ExploreError::LimitExceeded(SimError::StepLimitExceeded {
+                            limit: limits.max_states as u64,
+                        }));
+                    }
+                    if state.enabled_activations().is_empty() {
+                        report.terminals += 1;
+                        terminal_fps.push(fp);
+                        if !terminal_ok(&state) {
+                            return Err(ExploreError::PredicateViolated { ring: state, depth });
+                        }
+                        continue;
+                    }
+                    on_path.insert(fp);
+                    stack.push(Frame::Leave(fp));
+                    // Index loop over the borrowed enabled slice —
+                    // allocation-free in the checker's innermost loop
+                    // (`Activation` is `Copy`; the child is a fresh clone).
+                    for i in 0..state.enabled_activations().len() {
+                        let act = state.enabled_activations()[i];
+                        let mut child = state.as_ref().clone();
+                        child.step(act);
+                        stack.push(Frame::Enter(Box::new(child), depth + 1));
+                    }
                 }
             }
         }
+        terminal_fps.sort_unstable();
+        report.terminal_fingerprints = terminal_fps;
+        Ok(report)
     }
-    Ok(report)
+
+    /// The frontier-parallel engine: expands breadth-first layers with a
+    /// scoped worker pool over a sharded visited map.
+    fn run_parallel<B>(
+        &self,
+        ring: &Ring<B>,
+        threads: usize,
+        terminal_ok: &(impl Fn(&Ring<B>) -> bool + Sync),
+    ) -> Result<ExploreReport, ExploreError<B>>
+    where
+        B: Behavior + Clone + Hash + Send + Sync,
+        B::Message: Clone + Hash + Send + Sync,
+    {
+        let limits = self.limits;
+        let visited = ShardedVisited::new();
+        let root_fp = self.fingerprint(ring);
+        visited.insert(root_fp, 0);
+        if limits.max_states == 0 {
+            return Err(ExploreError::LimitExceeded(SimError::StepLimitExceeded {
+                limit: 0,
+            }));
+        }
+        let mut terminal_fps: Vec<u64> = Vec::new();
+        let mut edges: Vec<(u64, u64)> = Vec::new();
+        let mut edge_count: u64 = 0;
+        let state_count = AtomicUsize::new(1);
+        let limit_hit = AtomicBool::new(false);
+
+        if ring.enabled_activations().is_empty() {
+            if !terminal_ok(ring) {
+                return Err(ExploreError::PredicateViolated {
+                    ring: Box::new(ring.clone()),
+                    depth: 0,
+                });
+            }
+            return Ok(ExploreReport {
+                states: 1,
+                terminals: 1,
+                max_depth_seen: 0,
+                terminal_fingerprints: vec![root_fp],
+                merge_edges: 0,
+            });
+        }
+
+        // The persistent worker pool: one `thread::scope` for the whole
+        // sweep, synchronized per layer with a barrier — workers park on
+        // the start barrier between layers, so a layer costs two barrier
+        // crossings instead of a spawn/join cycle per worker (deep
+        // explorations have hundreds of layers).
+        let barrier = std::sync::Barrier::new(threads + 1);
+        let stop = AtomicBool::new(false);
+        let job: std::sync::Mutex<Option<LayerJob<B>>> = std::sync::Mutex::new(None);
+        let outs: std::sync::Mutex<Vec<WorkerOut<B>>> = std::sync::Mutex::new(Vec::new());
+        let cursor = AtomicUsize::new(0);
+
+        let mut max_depth_seen: usize = 0;
+        let loop_result = std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let barrier = &barrier;
+                let stop = &stop;
+                let job = &job;
+                let outs = &outs;
+                let cursor = &cursor;
+                let visited = &visited;
+                let state_count = &state_count;
+                let limit_hit = &limit_hit;
+                scope.spawn(move || loop {
+                    barrier.wait();
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let current = job
+                        .lock()
+                        .expect("explorer job slot poisoned")
+                        .clone()
+                        .expect("a released layer always has a job");
+                    let out = self.expand_chunks(
+                        &current.frontier,
+                        cursor,
+                        visited,
+                        state_count,
+                        limit_hit,
+                        current.layer,
+                        terminal_ok,
+                    );
+                    outs.lock().expect("explorer outs poisoned").push(out);
+                    barrier.wait();
+                });
+            }
+
+            let mut frontier: std::sync::Arc<Vec<(Box<Ring<B>>, u64)>> =
+                std::sync::Arc::new(vec![(Box::new(ring.clone()), root_fp)]);
+            let mut layer: usize = 0;
+            let result = loop {
+                if frontier.is_empty() {
+                    break Ok(());
+                }
+                layer += 1;
+                if layer > limits.max_depth {
+                    break Err(ExploreError::LimitExceeded(SimError::StepLimitExceeded {
+                        limit: limits.max_depth as u64,
+                    }));
+                }
+                let states_before = state_count.load(Ordering::Relaxed);
+                cursor.store(0, Ordering::Relaxed);
+                // Narrow layers (a handful of states near the root and
+                // the terminals) are expanded inline: waking the pool
+                // costs more than the work, and the workers stay parked.
+                let mut merged = if frontier.len() < PARALLEL_FRONTIER_MIN {
+                    self.expand_chunks(
+                        &frontier,
+                        &cursor,
+                        &visited,
+                        &state_count,
+                        &limit_hit,
+                        layer,
+                        terminal_ok,
+                    )
+                } else {
+                    *job.lock().expect("explorer job slot poisoned") = Some(LayerJob {
+                        frontier: frontier.clone(),
+                        layer,
+                    });
+                    barrier.wait(); // release the pool onto this layer
+                    barrier.wait(); // all workers done
+                    let mut merged = WorkerOut::new();
+                    for out in outs.lock().expect("explorer outs poisoned").drain(..) {
+                        merged.absorb(out);
+                    }
+                    merged
+                };
+                // Limit errors take precedence: once the flag is set,
+                // workers stop early and the layer's other diagnostics
+                // are incomplete.
+                if limit_hit.load(Ordering::Relaxed) {
+                    break Err(ExploreError::LimitExceeded(SimError::StepLimitExceeded {
+                        limit: limits.max_states as u64,
+                    }));
+                }
+                if let Some((_, violating)) = merged.violation.take() {
+                    break Err(ExploreError::PredicateViolated {
+                        ring: violating,
+                        depth: layer,
+                    });
+                }
+                if state_count.load(Ordering::Relaxed) > states_before {
+                    max_depth_seen = layer;
+                }
+                terminal_fps.extend_from_slice(&merged.terminals);
+                edge_count += merged.edge_count;
+                if self.certify_termination {
+                    edges.append(&mut merged.edges);
+                }
+                frontier = std::sync::Arc::new(merged.next);
+            };
+            // Shutdown: release the parked workers exactly once with the
+            // stop flag set; they break before the end barrier.
+            stop.store(true, Ordering::Relaxed);
+            barrier.wait();
+            result
+        });
+        loop_result?;
+
+        let states = state_count.load(Ordering::Relaxed);
+        if self.certify_termination {
+            if let Some(depth) = find_cycle(&mut edges, &visited) {
+                return Err(ExploreError::CycleDetected { depth });
+            }
+        }
+        terminal_fps.sort_unstable();
+        Ok(ExploreReport {
+            states,
+            terminals: terminal_fps.len(),
+            max_depth_seen,
+            merge_edges: edge_count - (states as u64 - 1),
+            terminal_fingerprints: terminal_fps,
+        })
+    }
+
+    /// Worker body: claim chunks of the frontier, expand each state, and
+    /// collect the thread-local partial results.
+    #[allow(clippy::too_many_arguments)]
+    fn expand_chunks<B>(
+        &self,
+        frontier: &[(Box<Ring<B>>, u64)],
+        cursor: &AtomicUsize,
+        visited: &ShardedVisited,
+        state_count: &AtomicUsize,
+        limit_hit: &AtomicBool,
+        layer: usize,
+        terminal_ok: &(impl Fn(&Ring<B>) -> bool + Sync),
+    ) -> WorkerOut<B>
+    where
+        B: Behavior + Clone + Hash,
+        B::Message: Clone + Hash,
+    {
+        let mut out = WorkerOut::new();
+        'claim: loop {
+            if limit_hit.load(Ordering::Relaxed) {
+                break;
+            }
+            let start = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
+            if start >= frontier.len() {
+                break;
+            }
+            let end = (start + CLAIM_CHUNK).min(frontier.len());
+            for (state, fp) in &frontier[start..end] {
+                // Index loop over the borrowed slice: allocation-free in
+                // the hot path (`Activation` is `Copy`).
+                for i in 0..state.enabled_activations().len() {
+                    let act = state.enabled_activations()[i];
+                    let mut child = state.as_ref().clone();
+                    child.step(act);
+                    let child_fp = self.fingerprint(&child);
+                    out.edge_count += 1;
+                    if self.certify_termination {
+                        out.edges.push((*fp, child_fp));
+                    }
+                    if !visited.insert(child_fp, layer as u32) {
+                        continue;
+                    }
+                    let count = state_count.fetch_add(1, Ordering::Relaxed) + 1;
+                    if count > self.limits.max_states {
+                        limit_hit.store(true, Ordering::Relaxed);
+                        break 'claim;
+                    }
+                    if child.enabled_activations().is_empty() {
+                        out.terminals.push(child_fp);
+                        if !terminal_ok(&child) {
+                            out.offer_violation(child_fp, Box::new(child));
+                        }
+                    } else {
+                        out.next.push((Box::new(child), child_fp));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One BFS layer's work order, published to the persistent worker pool.
+struct LayerJob<B: Behavior> {
+    /// The states to expand (shared read-only with every worker).
+    frontier: std::sync::Arc<Vec<(Box<Ring<B>>, u64)>>,
+    /// The layer index (first-seen depth of the children).
+    layer: usize,
+}
+
+impl<B: Behavior> Clone for LayerJob<B> {
+    fn clone(&self) -> Self {
+        LayerJob {
+            frontier: self.frontier.clone(),
+            layer: self.layer,
+        }
+    }
+}
+
+/// Thread-local partial results of one worker over one BFS layer.
+struct WorkerOut<B: Behavior> {
+    /// Newly discovered non-terminal states (the next frontier's share).
+    next: Vec<(Box<Ring<B>>, u64)>,
+    /// Newly discovered terminal fingerprints.
+    terminals: Vec<u64>,
+    /// Recorded quotient edges (when termination certification is on).
+    edges: Vec<(u64, u64)>,
+    /// All transitions generated (tree + merge edges).
+    edge_count: u64,
+    /// Smallest-fingerprint predicate violation, for a deterministic
+    /// error choice regardless of worker interleaving.
+    violation: Option<(u64, Box<Ring<B>>)>,
+}
+
+impl<B: Behavior> WorkerOut<B> {
+    fn new() -> Self {
+        WorkerOut {
+            next: Vec::new(),
+            terminals: Vec::new(),
+            edges: Vec::new(),
+            edge_count: 0,
+            violation: None,
+        }
+    }
+
+    fn offer_violation(&mut self, fp: u64, ring: Box<Ring<B>>) {
+        match &self.violation {
+            Some((best, _)) if *best <= fp => {}
+            _ => self.violation = Some((fp, ring)),
+        }
+    }
+
+    fn absorb(&mut self, mut other: WorkerOut<B>) {
+        self.next.append(&mut other.next);
+        self.terminals.append(&mut other.terminals);
+        self.edges.append(&mut other.edges);
+        self.edge_count += other.edge_count;
+        if let Some((fp, ring)) = other.violation.take() {
+            self.offer_violation(fp, ring);
+        }
+    }
+}
+
+/// The parallel visited map: fingerprint → first-seen BFS layer,
+/// hash-partitioned into [`VISITED_SHARDS`] mutex-guarded shards so
+/// workers contend only when their fingerprints collide modulo the shard
+/// count.
+struct ShardedVisited {
+    shards: Vec<std::sync::Mutex<HashMap<u64, u32>>>,
+}
+
+impl ShardedVisited {
+    fn new() -> Self {
+        ShardedVisited {
+            shards: (0..VISITED_SHARDS)
+                .map(|_| std::sync::Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    /// Inserts `fp` first seen at `layer`; `false` if already present.
+    fn insert(&self, fp: u64, layer: u32) -> bool {
+        let shard = (fp % VISITED_SHARDS as u64) as usize;
+        let mut map = self.shards[shard].lock().expect("visited shard poisoned");
+        match map.entry(fp) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(layer);
+                true
+            }
+        }
+    }
+
+    /// First-seen layer of a fingerprint, if visited.
+    fn layer_of(&self, fp: u64) -> Option<u32> {
+        let shard = (fp % VISITED_SHARDS as u64) as usize;
+        self.shards[shard]
+            .lock()
+            .expect("visited shard poisoned")
+            .get(&fp)
+            .copied()
+    }
+
+    /// All visited fingerprints (drains nothing; snapshot copy).
+    fn fingerprints(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(
+                shard
+                    .lock()
+                    .expect("visited shard poisoned")
+                    .keys()
+                    .copied(),
+            );
+        }
+        out
+    }
+}
+
+/// Kahn elimination over the recorded quotient edges: returns the
+/// earliest first-seen layer among the residual states (on a cycle or
+/// downstream of one — see [`ExploreError::CycleDetected`]), or `None`
+/// when the graph is acyclic (termination certified).
+///
+/// Sound and complete on the quotient graph, which is acyclic iff the
+/// concrete configuration graph is (see [`crate::canonical`]).
+fn find_cycle(edges: &mut [(u64, u64)], visited: &ShardedVisited) -> Option<usize> {
+    edges.sort_unstable();
+    let mut indegree: HashMap<u64, u32> = HashMap::new();
+    for &(_, to) in edges.iter() {
+        *indegree.entry(to).or_insert(0) += 1;
+    }
+    let all = visited.fingerprints();
+    let mut queue: Vec<u64> = all
+        .iter()
+        .copied()
+        .filter(|fp| !indegree.contains_key(fp))
+        .collect();
+    let mut removed = queue.len();
+    while let Some(u) = queue.pop() {
+        let start = edges.partition_point(|&(from, _)| from < u);
+        for &(_, v) in edges[start..].iter().take_while(|&&(from, _)| from == u) {
+            let d = indegree.get_mut(&v).expect("edge target counted");
+            *d -= 1;
+            if *d == 0 {
+                removed += 1;
+                queue.push(v);
+            }
+        }
+    }
+    if removed == all.len() {
+        return None;
+    }
+    // Residual states (in-degree never reached zero) lie on a cycle or
+    // downstream of one; report the earliest layer among them.
+    all.iter()
+        .filter(|fp| indegree.get(fp).is_some_and(|d| *d > 0))
+        .filter_map(|fp| visited.layer_of(*fp))
+        .min()
+        .map(|layer| layer as usize)
 }
 
 #[cfg(test)]
@@ -270,6 +1010,66 @@ mod tests {
         assert!(report.states >= 10, "states {}", report.states);
         assert_eq!(report.terminals, 1);
         assert_eq!(report.max_depth_seen, 6);
+        assert_eq!(report.terminal_fingerprints.len(), 1);
+        assert!(report.contains_terminal(report.terminal_fingerprints[0]));
+        assert!(!report.contains_terminal(report.terminal_fingerprints[0] ^ 1));
+    }
+
+    #[test]
+    fn rotation_quotient_collapses_symmetric_interleavings() {
+        // Two identical walkers at antipodes of a 6-ring: the instance is
+        // periodic with l = 2, so the quotient merges mirror-image
+        // interleavings and strictly reduces the state count.
+        let init = InitialConfig::new(6, vec![0, 3]).expect("valid");
+        let ring = Ring::new(&init, |_| Walker {
+            hops: 2,
+            released: false,
+        });
+        let plain = Explorer::new()
+            .symmetry(SymmetryMode::Off)
+            .threads(1)
+            .run_serial(&ring, |_| true)
+            .expect("plain");
+        let reduced = Explorer::new()
+            .symmetry(SymmetryMode::Rotation)
+            .threads(1)
+            .run_serial(&ring, |_| true)
+            .expect("reduced");
+        assert!(
+            reduced.states < plain.states,
+            "quotient must shrink the space: {} vs {}",
+            reduced.states,
+            plain.states
+        );
+        assert_eq!(reduced.terminals, 1);
+        assert_eq!(plain.terminals, 1);
+    }
+
+    #[test]
+    fn parallel_engine_matches_serial_reference() {
+        let init = InitialConfig::new(8, vec![0, 2, 5]).expect("valid");
+        let ring = Ring::new(&init, |_| Walker {
+            hops: 3,
+            released: false,
+        });
+        for symmetry in [SymmetryMode::Off, SymmetryMode::Rotation] {
+            let serial = Explorer::new()
+                .symmetry(symmetry)
+                .run_serial(&ring, |_| true)
+                .expect("serial");
+            let parallel = Explorer::new()
+                .symmetry(symmetry)
+                .threads(4)
+                .run(&ring, |_| true)
+                .expect("parallel");
+            assert_eq!(serial.states, parallel.states, "{symmetry:?}");
+            assert_eq!(serial.terminals, parallel.terminals, "{symmetry:?}");
+            assert_eq!(
+                serial.terminal_fingerprints, parallel.terminal_fingerprints,
+                "{symmetry:?}"
+            );
+            assert_eq!(serial.merge_edges, parallel.merge_edges, "{symmetry:?}");
+        }
     }
 
     #[test]
@@ -284,6 +1084,24 @@ mod tests {
             ExploreError::PredicateViolated { depth, .. } => assert_eq!(depth, 4),
             other => panic!("unexpected {other}"),
         }
+    }
+
+    #[test]
+    fn parallel_engine_reports_predicate_violation() {
+        let init = InitialConfig::new(6, vec![0, 3]).expect("valid");
+        let ring = Ring::new(&init, |_| Walker {
+            hops: 1,
+            released: false,
+        });
+        let err = Explorer::new()
+            .threads(3)
+            .run(&ring, |_| false)
+            .unwrap_err();
+        assert!(
+            matches!(err, ExploreError::PredicateViolated { .. }),
+            "{err}"
+        );
+        assert_eq!(err.kind(), ExploreErrorKind::PredicateViolated { depth: 4 });
     }
 
     /// An agent that ping-pongs between Ready-stay states forever.
@@ -309,21 +1127,98 @@ mod tests {
     }
 
     #[test]
+    fn parallel_engine_certifies_termination_or_finds_the_cycle() {
+        let init = InitialConfig::new(3, vec![0]).expect("valid");
+        let ring = Ring::new(&init, |_| Spinner);
+        let err = Explorer::new().threads(2).run(&ring, |_| true).unwrap_err();
+        assert!(matches!(err, ExploreError::CycleDetected { .. }), "{err}");
+        // With certification off the livelock is (documented to be)
+        // invisible to the parallel engine: the sweep simply converges.
+        let report = Explorer::new()
+            .threads(2)
+            .certify_termination(false)
+            .run(&ring, |_| true)
+            .expect("safety-only sweep converges");
+        assert_eq!(report.terminals, 0);
+    }
+
+    /// Moves forever: an unbounded acyclic walk on the ring… except the
+    /// ring is finite, so configurations must eventually repeat through a
+    /// multi-state cycle (never a self-loop) — exercising the Kahn
+    /// elimination beyond trivial self-edges.
+    #[derive(Clone, Hash, PartialEq, Eq)]
+    struct Orbiter;
+
+    impl Behavior for Orbiter {
+        type Message = ();
+        fn act(&mut self, _obs: &Observation<'_, ()>) -> Action<()> {
+            Action::moving()
+        }
+        fn memory_bits(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn multi_state_cycles_are_found_by_both_engines() {
+        let init = InitialConfig::new(4, vec![0, 2]).expect("valid");
+        let ring = Ring::new(&init, |_| Orbiter);
+        let serial = explore_all_schedules(&ring, ExploreLimits::default(), |_| true).unwrap_err();
+        assert!(matches!(serial, ExploreError::CycleDetected { .. }));
+        let parallel = Explorer::new().threads(2).run(&ring, |_| true).unwrap_err();
+        assert!(matches!(parallel, ExploreError::CycleDetected { .. }));
+    }
+
+    #[test]
     fn state_limit_is_enforced() {
         let init = InitialConfig::new(8, vec![0, 2, 4, 6]).expect("valid");
         let ring = Ring::new(&init, |_| Walker {
             hops: 7,
             released: false,
         });
-        let err = explore_all_schedules(
-            &ring,
-            ExploreLimits {
-                max_states: 5,
-                max_depth: 10_000,
-            },
-            |_| true,
-        )
-        .unwrap_err();
-        assert!(matches!(err, ExploreError::LimitExceeded(_)));
+        for threads in [1, 4] {
+            let err = Explorer::new()
+                .limits(ExploreLimits::new(5, 10_000))
+                .symmetry(SymmetryMode::Off)
+                .threads(threads)
+                .run(&ring, |_| true)
+                .unwrap_err();
+            assert!(matches!(err, ExploreError::LimitExceeded(_)), "{threads}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_is_enforced() {
+        let init = InitialConfig::new(6, vec![0, 3]).expect("valid");
+        let ring = Ring::new(&init, |_| Walker {
+            hops: 4,
+            released: false,
+        });
+        for threads in [1, 4] {
+            let err = Explorer::new()
+                .limits(ExploreLimits::new(1_000_000, 3))
+                .threads(threads)
+                .run(&ring, |_| true)
+                .unwrap_err();
+            assert!(matches!(err, ExploreError::LimitExceeded(_)), "{threads}");
+        }
+    }
+
+    #[test]
+    fn for_instance_limits_saturate_at_extreme_bounds() {
+        // Regression: the run-side limits overflowed before PR 2; the
+        // explore side must saturate the same way rather than panic in
+        // debug or wrap to a tiny budget in release.
+        let limits = ExploreLimits::for_instance(usize::MAX, usize::MAX);
+        assert_eq!(limits.max_states, usize::MAX);
+        assert_eq!(limits.max_depth, usize::MAX);
+        let limits = ExploreLimits::for_instance(usize::MAX / 2, 3);
+        assert!(limits.max_depth >= usize::MAX / 2);
+        // Sane scaling in the normal regime.
+        let limits = ExploreLimits::for_instance(12, 4);
+        assert_eq!(limits.max_states, 8_000_000);
+        assert_eq!(limits.max_depth, 400 * 4 * 12 + 10_000);
+        // k = 0 is degenerate but must not zero the state budget.
+        assert_eq!(ExploreLimits::for_instance(5, 0).max_states, 2_000_000);
     }
 }

@@ -80,6 +80,7 @@
 
 mod action;
 mod agent;
+pub mod canonical;
 mod config;
 mod engine;
 mod error;

@@ -31,6 +31,23 @@ pub struct Activation {
     pub arrival: bool,
 }
 
+/// Returned by [`Scheduler::try_select`] when a finite schedule (e.g. a
+/// [`Replay`] log) has no further choices. The engine converts it into
+/// [`SimError::ScheduleExhausted`](crate::SimError::ScheduleExhausted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleExhausted {
+    /// Choices the scheduler had served before running out.
+    pub consumed: usize,
+}
+
+impl std::fmt::Display for ScheduleExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "schedule exhausted after {} choices", self.consumed)
+    }
+}
+
+impl std::error::Error for ScheduleExhausted {}
+
 /// A strategy choosing the next activation among the enabled ones.
 ///
 /// Implementations must return an index `< enabled.len()`; the engine
@@ -41,6 +58,15 @@ pub trait Scheduler {
     /// Picks the next activation; returns an index into `enabled`.
     fn select(&mut self, enabled: &[Activation]) -> usize;
 
+    /// Like [`select`](Scheduler::select), but allows a *finite* schedule
+    /// to report that it has run out of choices instead of panicking —
+    /// the engine run loop calls this and surfaces
+    /// [`SimError::ScheduleExhausted`](crate::SimError::ScheduleExhausted)
+    /// as a typed error. Infinite schedulers (the default) never fail.
+    fn try_select(&mut self, enabled: &[Activation]) -> Result<usize, ScheduleExhausted> {
+        Ok(self.select(enabled))
+    }
+
     /// A short label for reports.
     fn name(&self) -> &'static str {
         "scheduler"
@@ -50,6 +76,12 @@ pub trait Scheduler {
 impl Scheduler for Box<dyn Scheduler> {
     fn select(&mut self, enabled: &[Activation]) -> usize {
         (**self).select(enabled)
+    }
+
+    // Forwarded explicitly: the default implementation would call the
+    // *box's* `select` and lose the inner scheduler's override.
+    fn try_select(&mut self, enabled: &[Activation]) -> Result<usize, ScheduleExhausted> {
+        (**self).try_select(enabled)
     }
 
     fn name(&self) -> &'static str {
@@ -241,6 +273,17 @@ impl<S: Scheduler> Scheduler for Recording<S> {
         chosen
     }
 
+    // Forwarded to the inner scheduler's `try_select` (not the default
+    // `select` shim) so recording a finite scheduler preserves its typed
+    // exhaustion; nothing is logged for a failed choice.
+    fn try_select(&mut self, enabled: &[Activation]) -> Result<usize, ScheduleExhausted> {
+        let chosen = self.inner.try_select(enabled)?;
+        if chosen < enabled.len() {
+            self.log.push(enabled[chosen]);
+        }
+        Ok(chosen)
+    }
+
     fn name(&self) -> &'static str {
         "recording"
     }
@@ -268,25 +311,46 @@ impl Replay {
     pub fn position(&self) -> usize {
         self.pos
     }
+
+    /// How many log entries remain to be replayed.
+    pub fn remaining(&self) -> usize {
+        self.log.len() - self.pos
+    }
 }
 
 impl Scheduler for Replay {
     /// # Panics
     ///
-    /// Panics if the log is exhausted or the logged activation is not
-    /// currently enabled — both indicate the run being replayed diverged
-    /// from the recorded one (different initial configuration or
-    /// behaviors).
+    /// Panics if the log is exhausted. Engine run loops go through
+    /// [`try_select`](Scheduler::try_select) instead, which reports
+    /// exhaustion as a typed error; the panic remains only for direct
+    /// callers of `select` on a log they failed to size.
     fn select(&mut self, enabled: &[Activation]) -> usize {
+        self.try_select(enabled)
+            .unwrap_or_else(|e| panic!("replay log exhausted at step {}", e.consumed))
+    }
+
+    /// Reports [`ScheduleExhausted`] once the log runs out — a truncated
+    /// log replays its prefix exactly and then ends with
+    /// [`SimError::ScheduleExhausted`](crate::SimError::ScheduleExhausted)
+    /// from the engine instead of panicking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the logged activation is not currently enabled — the run
+    /// being replayed diverged from the recorded one (different initial
+    /// configuration or behaviors), which is caller misuse rather than an
+    /// end-of-schedule condition.
+    fn try_select(&mut self, enabled: &[Activation]) -> Result<usize, ScheduleExhausted> {
         let want = self
             .log
             .get(self.pos)
-            .unwrap_or_else(|| panic!("replay log exhausted at step {}", self.pos));
+            .ok_or(ScheduleExhausted { consumed: self.pos })?;
         let idx = enabled.iter().position(|a| a == want).unwrap_or_else(|| {
             panic!("replay diverged at step {}: {want:?} not enabled", self.pos)
         });
         self.pos += 1;
-        idx
+        Ok(idx)
     }
 
     fn name(&self) -> &'static str {

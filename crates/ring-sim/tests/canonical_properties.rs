@@ -1,0 +1,129 @@
+//! Property tests for the rotation-canonicalization layer: on random
+//! mid-execution configurations, the min-rotation canonical fingerprint is
+//! invariant under **every** rotation of the ring and agrees with the
+//! naive all-rotations-minimum reference implementation.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ringdeploy_sim::canonical::{
+    canonical_fingerprint, canonical_fingerprint_naive, plain_fingerprint,
+};
+use ringdeploy_sim::scheduler::{Random, Scheduler};
+use ringdeploy_sim::{Action, Behavior, Idle, InitialConfig, Observation, Ring};
+
+/// Walks a per-agent number of hops, greets co-located agents once, then
+/// suspends — mid-run states cover tokens, staying sets, link queues,
+/// inboxes and every idle state, so the canonical form is exercised on
+/// all state components.
+#[derive(Clone, Hash, PartialEq, Eq)]
+struct Wanderer {
+    hops: usize,
+    released: bool,
+    greeted: bool,
+}
+
+impl Behavior for Wanderer {
+    type Message = u8;
+    fn act(&mut self, obs: &Observation<'_, u8>) -> Action<u8> {
+        let release = !std::mem::replace(&mut self.released, true);
+        if self.hops > 0 {
+            self.hops -= 1;
+            return Action::moving().with_token_release(release);
+        }
+        let greet = !std::mem::replace(&mut self.greeted, true) && obs.staying_agents > 0;
+        let action = Action::staying(Idle::Suspended).with_token_release(release);
+        if greet {
+            action.with_broadcast(42)
+        } else {
+            action
+        }
+    }
+    fn memory_bits(&self) -> usize {
+        16
+    }
+}
+
+/// A random instance (distinct homes, per-agent walk lengths) advanced a
+/// random number of steps under a seeded random scheduler.
+fn random_mid_run_ring(seed: u64) -> Ring<Wanderer> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n: usize = rng.gen_range(3..=10);
+    let k = rng.gen_range(1..=n.min(4));
+    let mut homes: Vec<usize> = (0..n).collect();
+    // Partial Fisher–Yates: the first k entries become distinct homes.
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        homes.swap(i, j);
+    }
+    homes.truncate(k);
+    let hops: Vec<usize> = (0..k).map(|_| rng.gen_range(0..2 * n)).collect();
+    let init = InitialConfig::new(n, homes).expect("distinct homes in range");
+    let mut ring = Ring::new(&init, |id| Wanderer {
+        hops: hops[id.index()],
+        released: false,
+        greeted: false,
+    });
+    let steps = rng.gen_range(0..3 * n * k + 1);
+    let mut scheduler = Random::seeded(seed ^ 0x9e37_79b9_7f4a_7c15);
+    for _ in 0..steps {
+        let enabled = ring.enabled();
+        if enabled.is_empty() {
+            break;
+        }
+        let chosen = scheduler.select(&enabled);
+        ring.step(enabled[chosen]);
+    }
+    ring
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// The fast (Booth) canonical fingerprint equals the naive
+    /// all-rotations-minimum reference on arbitrary reachable states.
+    #[test]
+    fn canonical_fingerprint_agrees_with_naive_reference(seed in 0u64..1_000_000) {
+        let ring = random_mid_run_ring(seed);
+        prop_assert_eq!(
+            canonical_fingerprint(&ring),
+            canonical_fingerprint_naive(&ring),
+            "n = {}, k = {}", ring.ring_size(), ring.agent_count()
+        );
+    }
+
+    /// Every rotation of a configuration produces the same canonical
+    /// fingerprint — and the rotated rings are themselves consistent
+    /// engines (their incremental enabled set matches a fresh rescan).
+    #[test]
+    fn canonical_fingerprint_is_rotation_invariant(seed in 0u64..1_000_000) {
+        let ring = random_mid_run_ring(seed);
+        let canon = canonical_fingerprint(&ring);
+        let mut plains = std::collections::HashSet::new();
+        for r in 0..ring.ring_size() {
+            let rotated = ring.rotated(r);
+            prop_assert_eq!(
+                canonical_fingerprint(&rotated), canon,
+                "rotation {} of n = {}", r, ring.ring_size()
+            );
+            prop_assert_eq!(rotated.enabled(), rotated.enabled_rescan());
+            plains.insert(plain_fingerprint(&rotated));
+        }
+        // The plain fingerprint separates what the canonical one merges:
+        // distinct rotations hash differently unless the configuration is
+        // itself periodic (then exactly n / period distinct values).
+        prop_assert!(ring.ring_size().is_multiple_of(plains.len()),
+            "orbit size {} must divide n = {}", plains.len(), ring.ring_size());
+    }
+
+    /// Rotating by `r` is undone by rotating by `n − r`.
+    #[test]
+    fn rotations_compose_back_to_identity(seed in 0u64..1_000_000) {
+        let ring = random_mid_run_ring(seed);
+        let n = ring.ring_size();
+        for r in 1..n {
+            let back = ring.rotated(r).rotated(n - r);
+            prop_assert_eq!(plain_fingerprint(&back), plain_fingerprint(&ring));
+        }
+    }
+}

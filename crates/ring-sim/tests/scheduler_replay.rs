@@ -1,0 +1,202 @@
+//! Record/replay contract tests at the engine level: a `Recording` of any
+//! run replays **bit-identically** (same schedule-relevant fingerprint
+//! after every single step, not just at quiescence), and an exhausted
+//! replay log is a typed [`SimError::ScheduleExhausted`] rather than a
+//! panic.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use ringdeploy_sim::scheduler::{
+    Activation, Random, Recording, Replay, RoundRobin, ScheduleExhausted, Scheduler,
+};
+use ringdeploy_sim::{
+    Action, AgentId, Behavior, Idle, InitialConfig, Observation, Ring, RunLimits, SimError,
+};
+
+/// Releases its token at home, walks `hops` hops, then suspends; on its
+/// first settled action it greets co-located agents (at most one
+/// broadcast, so wake-ups cannot ping-pong forever) — exercises moves,
+/// broadcasts, inboxes and idle transitions, so step fingerprints cover
+/// every state component.
+#[derive(Clone, Hash, PartialEq, Eq)]
+struct Greeter {
+    hops: usize,
+    released: bool,
+    greeted: bool,
+}
+
+impl Behavior for Greeter {
+    type Message = u8;
+    fn act(&mut self, obs: &Observation<'_, u8>) -> Action<u8> {
+        let release = !std::mem::replace(&mut self.released, true);
+        if self.hops > 0 {
+            self.hops -= 1;
+            return Action::moving().with_token_release(release);
+        }
+        let greet = !std::mem::replace(&mut self.greeted, true) && obs.staying_agents > 0;
+        let action = Action::staying(Idle::Suspended).with_token_release(release);
+        if greet {
+            action.with_broadcast(7)
+        } else {
+            action
+        }
+    }
+    fn memory_bits(&self) -> usize {
+        16
+    }
+}
+
+/// `hops[i]` is agent `i`'s walk length — unequal walks let agents meet,
+/// so broadcasts and suspended wake-ups actually occur.
+fn greeter_ring(n: usize, homes: Vec<usize>, hops: Vec<usize>) -> Ring<Greeter> {
+    let init = InitialConfig::new(n, homes).expect("valid");
+    Ring::new(&init, |id| Greeter {
+        hops: hops[id.index()],
+        released: false,
+        greeted: false,
+    })
+}
+
+fn fingerprint(ring: &Ring<Greeter>) -> u64 {
+    let mut h = DefaultHasher::new();
+    ring.hash_schedule_state(&mut h);
+    h.finish()
+}
+
+/// Drives `ring` step by step under `scheduler`, returning the
+/// fingerprint after every step.
+fn step_fingerprints(ring: &mut Ring<Greeter>, scheduler: &mut dyn Scheduler) -> Vec<u64> {
+    let mut fps = Vec::new();
+    loop {
+        let enabled = ring.enabled();
+        if enabled.is_empty() {
+            return fps;
+        }
+        let chosen = match scheduler.try_select(&enabled) {
+            Ok(chosen) => chosen,
+            Err(_) => return fps,
+        };
+        ring.step(enabled[chosen]);
+        fps.push(fingerprint(ring));
+    }
+}
+
+#[test]
+fn recording_replay_round_trip_is_bit_identical_at_every_step() {
+    for seed in [1u64, 17, 99, 4242] {
+        let mut original = greeter_ring(9, vec![0, 3, 5], vec![6, 3, 1]);
+        let mut recording = Recording::new(Random::seeded(seed));
+        let original_fps = step_fingerprints(&mut original, &mut recording);
+        assert!(!original_fps.is_empty());
+
+        let mut copy = greeter_ring(9, vec![0, 3, 5], vec![6, 3, 1]);
+        let mut replay = Replay::new(recording.into_log());
+        let replay_fps = step_fingerprints(&mut copy, &mut replay);
+
+        // Bit-identical: the same schedule-relevant fingerprint after
+        // every single step, not merely at the end.
+        assert_eq!(original_fps, replay_fps, "seed {seed}");
+        assert_eq!(replay.remaining(), 0);
+        assert_eq!(original.configuration(), copy.configuration());
+        assert_eq!(original.metrics(), copy.metrics());
+    }
+}
+
+#[test]
+fn engine_surfaces_exhaustion_as_typed_error() {
+    let mut original = greeter_ring(8, vec![0, 4], vec![3, 3]);
+    let mut recording = Recording::new(RoundRobin::new());
+    original
+        .run(&mut recording, RunLimits::default())
+        .expect("original run quiesces");
+
+    let mut log = recording.into_log();
+    log.truncate(3);
+    let mut replay = Replay::new(log);
+    let mut copy = greeter_ring(8, vec![0, 4], vec![3, 3]);
+    let err = copy
+        .run(&mut replay, RunLimits::default())
+        .expect_err("3 steps cannot reach quiescence");
+    assert_eq!(err, SimError::ScheduleExhausted { consumed: 3 });
+    assert!(err.to_string().contains("after 3 choices"), "{err}");
+    // The prefix was consumed exactly; nothing was improvised after it.
+    assert_eq!(replay.position(), 3);
+    assert_eq!(copy.steps(), 3);
+}
+
+#[test]
+fn empty_log_exhausts_immediately_without_stepping() {
+    let mut replay = Replay::new(Vec::new());
+    let mut ring = greeter_ring(6, vec![0], vec![2]);
+    let err = ring.run(&mut replay, RunLimits::default()).unwrap_err();
+    assert_eq!(err, SimError::ScheduleExhausted { consumed: 0 });
+    assert_eq!(ring.steps(), 0, "no step may execute without a choice");
+}
+
+#[test]
+fn try_select_reports_exhaustion_and_select_still_panics() {
+    let acts = [Activation {
+        agent: AgentId(0),
+        arrival: true,
+    }];
+    let mut replay = Replay::new(vec![acts[0]]);
+    assert_eq!(replay.try_select(&acts), Ok(0));
+    assert_eq!(
+        replay.try_select(&acts),
+        Err(ScheduleExhausted { consumed: 1 })
+    );
+    // Exhaustion is not consuming: asking again reports the same position.
+    assert_eq!(
+        replay.try_select(&acts),
+        Err(ScheduleExhausted { consumed: 1 })
+    );
+    assert_eq!(replay.position(), 1);
+
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| replay.select(&acts)));
+    assert!(result.is_err(), "direct select keeps the loud failure");
+}
+
+#[test]
+fn recording_forwards_inner_exhaustion_without_logging() {
+    let acts = [Activation {
+        agent: AgentId(1),
+        arrival: false,
+    }];
+    let mut recording = Recording::new(Replay::new(vec![acts[0]]));
+    assert_eq!(recording.try_select(&acts), Ok(0));
+    assert_eq!(
+        recording.try_select(&acts),
+        Err(ScheduleExhausted { consumed: 1 })
+    );
+    assert_eq!(recording.log(), &acts[..], "failed choices are not logged");
+}
+
+#[test]
+fn boxed_scheduler_preserves_try_select_override() {
+    let acts = [Activation {
+        agent: AgentId(0),
+        arrival: true,
+    }];
+    // Through Box<dyn Scheduler>, the Replay override must still fire —
+    // a plain default-method dispatch on the box would panic via select.
+    let mut boxed: Box<dyn Scheduler> = Box::new(Replay::new(Vec::new()));
+    assert_eq!(
+        boxed.try_select(&acts),
+        Err(ScheduleExhausted { consumed: 0 })
+    );
+}
+
+#[test]
+#[should_panic(expected = "replay diverged")]
+fn divergence_is_still_caller_misuse() {
+    let mut replay = Replay::new(vec![Activation {
+        agent: AgentId(7),
+        arrival: false,
+    }]);
+    let acts = [Activation {
+        agent: AgentId(0),
+        arrival: true,
+    }];
+    let _ = replay.try_select(&acts);
+}

@@ -45,5 +45,7 @@ pub use period::{
     cyclic_period, fourfold_repetition, is_periodic_linear, repeat, smallest_period,
     starts_with_fourfold_repetition,
 };
-pub use rotation::{compare_rotations, min_rotation, min_rotation_naive, shift, shifted_eq};
+pub use rotation::{
+    canonical_rotation, compare_rotations, min_rotation, min_rotation_naive, shift, shifted_eq,
+};
 pub use symmetry::{fundamental, is_cyclically_periodic, symmetry_degree};

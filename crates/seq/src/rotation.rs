@@ -136,6 +136,27 @@ pub fn min_rotation<T: Ord>(seq: &[T]) -> usize {
     k % n
 }
 
+/// Returns the lexicographically minimal rotation of `seq` itself —
+/// `shift(seq, min_rotation(seq))` — the canonical representative of the
+/// rotation class of `seq`.
+///
+/// Two sequences are rotations of each other **iff** their canonical
+/// rotations are equal, which is what makes this the quotient map used by
+/// the exhaustive explorer's rotation-symmetry reduction (`ringdeploy-sim`
+/// hashes the canonical rotation of its per-node state symbols).
+///
+/// # Examples
+///
+/// ```
+/// use ringdeploy_seq::canonical_rotation;
+/// assert_eq!(canonical_rotation(&[3u64, 1, 2]), vec![1, 2, 3]);
+/// // All rotations share one canonical form.
+/// assert_eq!(canonical_rotation(&[1u64, 2, 3]), canonical_rotation(&[2u64, 3, 1]));
+/// ```
+pub fn canonical_rotation<T: Ord + Clone>(seq: &[T]) -> Vec<T> {
+    shift(seq, min_rotation(seq))
+}
+
 /// Reference implementation of [`min_rotation`]: compares all rotations in
 /// `O(n²)`. Exposed for differential testing and teaching; prefer
 /// [`min_rotation`] in real code.
@@ -229,6 +250,19 @@ mod tests {
         let d2 = [3u64, 1, 2, 3, 1, 2];
         assert_eq!(min_rotation(&d2), 1);
         assert_eq!(min_rotation_naive(&d2), 1);
+    }
+
+    #[test]
+    fn canonical_rotation_is_a_rotation_class_invariant() {
+        let d = [1u64, 4, 2, 1, 2, 2];
+        let canon = canonical_rotation(&d);
+        assert_eq!(canon, vec![1, 2, 2, 1, 4, 2]);
+        for x in 0..d.len() {
+            assert_eq!(canonical_rotation(&shift(&d, x)), canon, "shift {x}");
+        }
+        // Non-rotations disagree.
+        assert_ne!(canonical_rotation(&[1u64, 4, 2, 1, 2, 3]), canon);
+        assert_eq!(canonical_rotation::<u64>(&[]), Vec::<u64>::new());
     }
 
     #[test]

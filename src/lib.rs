@@ -43,7 +43,10 @@
 //! [`Deployment::scheduler`]; lock-step ideal-time runs use
 //! [`Deployment::synchronous`]; parameter studies cross-product
 //! algorithms × workloads × schedules × seeds with [`Sweep`] and run the
-//! cells in parallel.
+//! cells in parallel. For machine-checked proofs on small instances,
+//! [`Explore`] runs the symmetry-reduced exhaustive model checker
+//! ([`sim::explore::Explorer`]) over **every** fair schedule of each
+//! cell.
 //!
 //! See `README.md` for the architecture overview, `DESIGN.md` for the
 //! paper-to-module map and the `experiments` binary for the reproduced
@@ -61,7 +64,7 @@ pub use ringdeploy_seq as seq;
 pub use ringdeploy_sim as sim;
 pub use ringdeploy_vis as vis;
 
-pub use ringdeploy_analysis::{Sweep, SweepRow, Workload};
+pub use ringdeploy_analysis::{Explore, ExploreRow, Sweep, SweepRow, Workload};
 pub use ringdeploy_core::{
     Algorithm, DeployError, DeployReport, Deployment, FullKnowledge, LogSpace, NoKnowledge,
     PhaseMetric, Rendezvous, RendezvousVerdict, Schedule, SpacingPlan, TerminatingEstimator,

@@ -7,9 +7,33 @@
 //! * termination under arbitrary (even unfair-in-the-limit) schedules —
 //!   the configuration graph is acyclic.
 
-use ringdeploy::sim::explore::{explore_all_schedules, ExploreLimits};
+use ringdeploy::analysis::explore_one;
+use ringdeploy::sim::explore::{
+    explore_all_schedules, ExploreLimits, ExploreReport, Explorer, SymmetryMode,
+};
 use ringdeploy::sim::{satisfies_halting_deployment, satisfies_suspended_deployment};
-use ringdeploy::{FullKnowledge, InitialConfig, LogSpace, NoKnowledge, Ring, TerminatingEstimator};
+use ringdeploy::{
+    Algorithm, FullKnowledge, InitialConfig, LogSpace, NoKnowledge, Ring, TerminatingEstimator,
+};
+
+/// Runs the symmetry-reduced explorer on one instance through the shared
+/// algorithm dispatch (`analysis::explore_one`), asserting success and
+/// returning the report. Two worker threads exercise the parallel engine
+/// at verification scale regardless of host core count; the serial
+/// reference is differentially checked in `explorer_differential.rs`.
+fn verify_instance(n: usize, homes: &[usize], algorithm: Algorithm) -> ExploreReport {
+    let k = homes.len();
+    let init = InitialConfig::new(n, homes.to_vec()).expect("valid instance");
+    let explorer = Explorer::new()
+        .limits(ExploreLimits::for_instance(n, k))
+        .symmetry(SymmetryMode::Rotation)
+        .threads(2);
+    let report = explore_one(algorithm, &init, &explorer)
+        .unwrap_or_else(|e| panic!("n={n} homes={homes:?}: {e}"));
+    assert!(report.terminals >= 1, "n={n} homes={homes:?}");
+    assert!(report.states > report.terminals, "n={n} homes={homes:?}");
+    report
+}
 
 #[test]
 fn algo1_correct_under_all_schedules() {
@@ -68,6 +92,95 @@ fn relaxed_correct_under_all_schedules() {
         .unwrap_or_else(|e| panic!("n={n} homes={homes:?}: {e}"));
         assert!(report.terminals >= 1, "n={n} homes={homes:?}");
     }
+}
+
+// ---------------------------------------------------------------------
+// Verification at n ≥ 12, k = 4 — the scale the rotation-quotient +
+// parallel engine unlocked (the plain serial DFS topped out around
+// n = 10 / k = 3). Each algorithm family is machine-checked on one
+// clustered (worst-case spread, aperiodic) and one symmetric instance.
+// ---------------------------------------------------------------------
+
+#[test]
+fn algo1_exhaustive_n12_k4_clustered() {
+    // Aperiodic worst case: the quotient cannot merge rotations of the
+    // start, but the proof still covers every one of the thousands of
+    // interleavings of the four selection walks.
+    let report = verify_instance(12, &[0, 1, 2, 3], Algorithm::FullKnowledge);
+    assert_eq!(report.terminals, 1);
+}
+
+#[test]
+fn algo1_exhaustive_n16_k4_uniform() {
+    // Symmetry degree l = 4: the quotient collapses the four rotated
+    // copies of every asymmetric intermediate state (~3.9× fewer states).
+    let report = verify_instance(16, &[0, 4, 8, 12], Algorithm::FullKnowledge);
+    assert_eq!(report.terminals, 1);
+}
+
+#[test]
+fn algo1_exhaustive_n12_k6() {
+    // Six agents: branching grows with k, reduction approaches l = 6.
+    let report = verify_instance(12, &[0, 2, 4, 6, 8, 10], Algorithm::FullKnowledge);
+    assert_eq!(report.terminals, 1);
+}
+
+#[test]
+fn algo2_exhaustive_n12_k4_clustered() {
+    let report = verify_instance(12, &[0, 1, 2, 3], Algorithm::LogSpace);
+    // Algorithm 2's leader election admits several final offsets; the
+    // quotient folds rotation-equivalent ones together.
+    assert!(report.terminals >= 1);
+}
+
+#[test]
+fn algo2_exhaustive_n16_k4_uniform() {
+    let report = verify_instance(16, &[0, 4, 8, 12], Algorithm::LogSpace);
+    assert_eq!(report.terminals, 1);
+}
+
+#[test]
+fn relaxed_exhaustive_n12_k4_clustered() {
+    // The largest instance in the suite (~67 k quotient states): the
+    // no-knowledge algorithm's long walks make clustered starts by far
+    // the most schedule-rich family.
+    let report = verify_instance(12, &[0, 1, 2, 3], Algorithm::Relaxed);
+    assert_eq!(report.terminals, 1);
+}
+
+#[test]
+fn relaxed_exhaustive_n16_k4_uniform() {
+    let report = verify_instance(16, &[0, 4, 8, 12], Algorithm::Relaxed);
+    assert_eq!(report.terminals, 1);
+}
+
+#[test]
+fn symmetry_reduction_preserves_the_verdict() {
+    // The quotient must change the state count, never the outcome: on a
+    // fully symmetric instance both modes verify the same property.
+    let init = InitialConfig::new(12, vec![0, 3, 6, 9]).expect("valid");
+    let pred = |r: &Ring<FullKnowledge>| satisfies_halting_deployment(r).is_satisfied();
+    let ring = Ring::new(&init, |_| FullKnowledge::new(4));
+    let plain = Explorer::new()
+        .symmetry(SymmetryMode::Off)
+        .threads(1)
+        .run(&ring, pred)
+        .expect("plain exploration");
+    let reduced = Explorer::new()
+        .symmetry(SymmetryMode::Rotation)
+        .threads(1)
+        .run(&ring, pred)
+        .expect("reduced exploration");
+    assert!(
+        reduced.states * 3 < plain.states,
+        "l = 4 symmetry must cut states by ≥3× ({} vs {})",
+        reduced.states,
+        plain.states
+    );
+    // Each terminal class's orbit has size dividing l = 4 (1, 2 or 4),
+    // so only these bounds are sound — NOT divisibility of the totals.
+    assert!(plain.terminals >= reduced.terminals);
+    assert!(plain.terminals <= 4 * reduced.terminals);
 }
 
 #[test]

@@ -1,0 +1,206 @@
+//! Differential soundness tests for the exploration engine:
+//!
+//! * every terminal configuration reached by sampled (seeded random)
+//!   executions appears in the exhaustive explorer's terminal set — the
+//!   explorer really does cover everything sampling can find;
+//! * the frontier-parallel engine reports identical state/terminal counts,
+//!   terminal fingerprints and merge-edge diagnostics to the retained
+//!   serial reference, under both symmetry modes.
+
+use ringdeploy::sim::canonical::{canonical_fingerprint, plain_fingerprint};
+use ringdeploy::sim::explore::{ExploreLimits, ExploreReport, Explorer, SymmetryMode};
+use ringdeploy::sim::scheduler::Random;
+use ringdeploy::sim::{
+    satisfies_halting_deployment, satisfies_suspended_deployment, Behavior, RunLimits,
+};
+use ringdeploy::{FullKnowledge, InitialConfig, LogSpace, NoKnowledge, Ring};
+
+fn explore<B>(init: &InitialConfig, make: impl Fn() -> B + Sync, halts: bool) -> ExploreReport
+where
+    B: Behavior + Clone + std::hash::Hash + Send + Sync,
+    B::Message: Clone + std::hash::Hash + Send + Sync,
+{
+    let ring = Ring::new(init, |_| make());
+    Explorer::new()
+        .symmetry(SymmetryMode::Rotation)
+        .threads(1)
+        .run(&ring, move |r| {
+            if halts {
+                satisfies_halting_deployment(r).is_satisfied()
+            } else {
+                satisfies_suspended_deployment(r).is_satisfied()
+            }
+        })
+        .expect("exhaustive exploration succeeds")
+}
+
+/// 100 seeded random executions; every final configuration's canonical
+/// fingerprint must be a member of the exhaustive terminal set.
+fn sampled_terminals_are_covered<B>(
+    init: &InitialConfig,
+    make: impl Fn() -> B + Sync,
+    halts: bool,
+    label: &str,
+) where
+    B: Behavior + Clone + std::hash::Hash + Send + Sync,
+    B::Message: Clone + std::hash::Hash + Send + Sync,
+{
+    let report = explore(init, &make, halts);
+    assert!(report.terminals >= 1, "{label}");
+    let n = init.ring_size();
+    let k = init.agent_count();
+    for seed in 0..100u64 {
+        let mut ring = Ring::new(init, |_| make());
+        let out = ring
+            .run(&mut Random::seeded(seed), RunLimits::for_instance(n, k))
+            .unwrap_or_else(|e| panic!("{label}: sampled run {seed} failed: {e}"));
+        assert!(out.quiescent, "{label}: seed {seed}");
+        let fp = canonical_fingerprint(&ring);
+        assert!(
+            report.contains_terminal(fp),
+            "{label}: seed {seed} reached a terminal the explorer missed"
+        );
+    }
+}
+
+#[test]
+fn algo1_sampled_terminals_subset_of_exhaustive() {
+    let init = InitialConfig::new(8, vec![0, 1, 4]).expect("valid");
+    sampled_terminals_are_covered(&init, || FullKnowledge::new(3), true, "algo1");
+}
+
+#[test]
+fn algo2_sampled_terminals_subset_of_exhaustive() {
+    // Clustered homes: under rotation reduction several distinct final
+    // offsets share terminal classes; every sampled run must land in one.
+    let init = InitialConfig::new(9, vec![0, 1, 2]).expect("valid");
+    sampled_terminals_are_covered(&init, || LogSpace::new(3), true, "algo2");
+}
+
+#[test]
+fn relaxed_sampled_terminals_subset_of_exhaustive() {
+    let init = InitialConfig::new(6, vec![0, 1, 3]).expect("valid");
+    sampled_terminals_are_covered(&init, NoKnowledge::new, false, "relaxed");
+}
+
+/// The parallel engine must agree with the serial reference on every
+/// deterministic report field, for all three algorithms and both symmetry
+/// modes (`max_depth_seen` is the documented exception: DFS path depth vs
+/// BFS layer count).
+#[test]
+fn parallel_exploration_matches_serial_reference() {
+    let cases: Vec<(&str, InitialConfig)> = vec![
+        (
+            "n=8 clustered",
+            InitialConfig::new(8, vec![0, 1, 2]).expect("valid"),
+        ),
+        (
+            "n=8 uniform",
+            InitialConfig::new(8, vec![0, 2, 4, 6]).expect("valid"),
+        ),
+    ];
+    for (label, init) in &cases {
+        let k = init.agent_count();
+        for symmetry in [SymmetryMode::Off, SymmetryMode::Rotation] {
+            for algo in 0..3 {
+                let (serial, parallel) = match algo {
+                    0 => run_both(init, || FullKnowledge::new(k), true, symmetry),
+                    1 => run_both(init, || LogSpace::new(k), true, symmetry),
+                    _ => run_both(init, NoKnowledge::new, false, symmetry),
+                };
+                assert_eq!(
+                    serial.states, parallel.states,
+                    "{label} {symmetry:?} algo{algo}"
+                );
+                assert_eq!(
+                    serial.terminals, parallel.terminals,
+                    "{label} {symmetry:?} algo{algo}"
+                );
+                assert_eq!(
+                    serial.terminal_fingerprints, parallel.terminal_fingerprints,
+                    "{label} {symmetry:?} algo{algo}"
+                );
+                assert_eq!(
+                    serial.merge_edges, parallel.merge_edges,
+                    "{label} {symmetry:?} algo{algo}"
+                );
+            }
+        }
+    }
+}
+
+fn run_both<B>(
+    init: &InitialConfig,
+    make: impl Fn() -> B + Sync,
+    halts: bool,
+    symmetry: SymmetryMode,
+) -> (ExploreReport, ExploreReport)
+where
+    B: Behavior + Clone + std::hash::Hash + Send + Sync,
+    B::Message: Clone + std::hash::Hash + Send + Sync,
+{
+    let pred = move |r: &Ring<B>| {
+        if halts {
+            satisfies_halting_deployment(r).is_satisfied()
+        } else {
+            satisfies_suspended_deployment(r).is_satisfied()
+        }
+    };
+    let ring = Ring::new(init, |_| make());
+    let serial = Explorer::new()
+        .symmetry(symmetry)
+        .run_serial(&ring, pred)
+        .expect("serial");
+    // Force genuine multi-worker execution even on single-core hosts.
+    let parallel = Explorer::new()
+        .symmetry(symmetry)
+        .threads(4)
+        .run(&ring, pred)
+        .expect("parallel");
+    (serial, parallel)
+}
+
+/// Under `SymmetryMode::Off` the terminal set is keyed by plain
+/// fingerprints; sampled runs must land in it as well (the membership
+/// check must match the mode's fingerprint function).
+#[test]
+fn plain_mode_membership_uses_plain_fingerprints() {
+    let init = InitialConfig::new(8, vec![0, 1, 4]).expect("valid");
+    let ring = Ring::new(&init, |_| FullKnowledge::new(3));
+    let report = Explorer::new()
+        .symmetry(SymmetryMode::Off)
+        .threads(1)
+        .run(&ring, |r| satisfies_halting_deployment(r).is_satisfied())
+        .expect("explore");
+    for seed in 0..25u64 {
+        let mut run = Ring::new(&init, |_| FullKnowledge::new(3));
+        run.run(&mut Random::seeded(seed), RunLimits::for_instance(8, 3))
+            .expect("sampled run");
+        assert!(
+            report.contains_terminal(plain_fingerprint(&run)),
+            "seed {seed}"
+        );
+    }
+}
+
+/// Exploration must respect explicitly tiny limits the same way in both
+/// engines (typed limit error, no panic).
+#[test]
+fn both_engines_report_limit_errors() {
+    let init = InitialConfig::new(10, vec![0, 1, 2]).expect("valid");
+    let ring = Ring::new(&init, |_| FullKnowledge::new(3));
+    for threads in [1usize, 4] {
+        let err = Explorer::new()
+            .limits(ExploreLimits::new(10, 100_000))
+            .threads(threads)
+            .run(&ring, |_| true)
+            .expect_err("ten states cannot cover the space");
+        assert!(
+            matches!(
+                err.kind(),
+                ringdeploy::sim::explore::ExploreErrorKind::LimitExceeded(_)
+            ),
+            "threads {threads}"
+        );
+    }
+}

@@ -50,7 +50,7 @@ fn relaxed_run_replays_exactly() {
 }
 
 #[test]
-fn truncated_replay_panics_with_exhaustion() {
+fn truncated_replay_reports_typed_exhaustion() {
     let init = InitialConfig::new(12, vec![0, 4]).expect("valid");
     let mut recording = Recording::new(Random::seeded(5));
     let mut original = Ring::new(&init, |_| LogSpace::new(2));
@@ -59,13 +59,23 @@ fn truncated_replay_panics_with_exhaustion() {
         .expect("run");
 
     // Replay only half the log: the run cannot finish and the replay
-    // scheduler reports exhaustion instead of silently improvising.
+    // scheduler reports exhaustion as a typed error instead of panicking
+    // (or silently improvising).
     let mut log = recording.into_log();
     log.truncate(log.len() / 2);
+    let half = log.len();
     let mut replay = Replay::new(log);
     let mut copy = Ring::new(&init, |_| LogSpace::new(2));
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let _ = copy.run(&mut replay, RunLimits::for_instance(12, 2));
-    }));
-    assert!(result.is_err(), "exhausted replay must panic");
+    let err = copy
+        .run(&mut replay, RunLimits::for_instance(12, 2))
+        .expect_err("truncated replay cannot reach quiescence");
+    assert_eq!(
+        err,
+        ringdeploy::sim::SimError::ScheduleExhausted {
+            consumed: half as u64
+        }
+    );
+    // The replayed prefix itself is exact: every logged choice was used.
+    assert_eq!(replay.position(), half);
+    assert_eq!(replay.remaining(), 0);
 }
