@@ -200,7 +200,7 @@ impl Explore {
     }
 
     /// Caps each cell's explorer worker threads (default: available
-    /// parallelism; `1` selects the serial reference engine).
+    /// parallelism; `1` selects the clone-free serial DFS).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
         self
@@ -308,6 +308,32 @@ pub fn explore_one(
     init: &InitialConfig,
     explorer: &Explorer,
 ) -> Result<ExploreReport, ExploreErrorKind> {
+    explore_one_impl(algorithm, init, explorer, false)
+}
+
+/// As [`explore_one`], but through the **retained clone-based reference
+/// engine** ([`Explorer::run_serial_reference`]) — the pre-0.5 serial DFS
+/// kept as the differential oracle for the clone-free engines and as the
+/// baseline of the `explore_scale` expansion-throughput gate. Ignores the
+/// explorer's thread setting (the reference is serial by definition).
+///
+/// # Errors
+///
+/// As [`explore_one`].
+pub fn explore_one_reference(
+    algorithm: Algorithm,
+    init: &InitialConfig,
+    explorer: &Explorer,
+) -> Result<ExploreReport, ExploreErrorKind> {
+    explore_one_impl(algorithm, init, explorer, true)
+}
+
+fn explore_one_impl(
+    algorithm: Algorithm,
+    init: &InitialConfig,
+    explorer: &Explorer,
+    reference: bool,
+) -> Result<ExploreReport, ExploreErrorKind> {
     let k = init.agent_count();
     let halts = algorithm.halts();
     fn run<B>(
@@ -315,26 +341,31 @@ pub fn explore_one(
         init: &InitialConfig,
         make: impl Fn() -> B + Sync,
         halts: bool,
+        reference: bool,
     ) -> Result<ExploreReport, ExploreErrorKind>
     where
         B: Behavior + Clone + std::hash::Hash + Send + Sync,
         B::Message: Clone + std::hash::Hash + Send + Sync,
     {
         let ring = Ring::new(init, |_| make());
-        explorer
-            .run(&ring, move |r| {
-                if halts {
-                    satisfies_halting_deployment(r).is_satisfied()
-                } else {
-                    satisfies_suspended_deployment(r).is_satisfied()
-                }
-            })
-            .map_err(|e| e.kind())
+        let pred = move |r: &Ring<B>| {
+            if halts {
+                satisfies_halting_deployment(r).is_satisfied()
+            } else {
+                satisfies_suspended_deployment(r).is_satisfied()
+            }
+        };
+        let result = if reference {
+            explorer.run_serial_reference(&ring, pred)
+        } else {
+            explorer.run(&ring, pred)
+        };
+        result.map_err(|e| e.kind())
     }
     match algorithm {
-        Algorithm::FullKnowledge => run(explorer, init, || FullKnowledge::new(k), halts),
-        Algorithm::LogSpace => run(explorer, init, || LogSpace::new(k), halts),
-        Algorithm::Relaxed => run(explorer, init, NoKnowledge::new, halts),
+        Algorithm::FullKnowledge => run(explorer, init, || FullKnowledge::new(k), halts, reference),
+        Algorithm::LogSpace => run(explorer, init, || LogSpace::new(k), halts, reference),
+        Algorithm::Relaxed => run(explorer, init, NoKnowledge::new, halts, reference),
     }
 }
 

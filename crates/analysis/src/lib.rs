@@ -50,7 +50,9 @@ pub mod sweep;
 mod table;
 
 pub use experiment::{Cell, Measurement};
-pub use explore::{explore_one, Explore, ExploreBatchError, ExploreCell, ExploreRow};
+pub use explore::{
+    explore_one, explore_one_reference, Explore, ExploreBatchError, ExploreCell, ExploreRow,
+};
 pub use generators::{
     clustered_config, from_gaps, periodic_config, quarter_ring_config, random_aperiodic_config,
     random_config, theorem5_config, uniform_config,

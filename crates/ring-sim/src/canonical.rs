@@ -40,10 +40,12 @@
 //! state, token flag and inbox) into one rotation-invariant `u64`, so a
 //! configuration becomes a length-`n` symbol sequence and rotating the
 //! configuration rotates the sequence. [`canonical_fingerprint`] then
-//! hashes the lexicographically minimal rotation of that sequence (Booth's
-//! algorithm via [`ringdeploy_seq::min_rotation`] — the same machinery the
-//! paper's algorithms use on distance sequences), collapsing all `n`
-//! rotations of a configuration to a single 64-bit visited-set entry.
+//! hashes the lexicographically minimal rotation of that sequence
+//! (progressive candidate elimination via
+//! [`ringdeploy_seq::min_rotation_elim`] — the same minimal-rotation
+//! machinery the paper's algorithms apply to distance sequences, in the
+//! variant that wins on ring-sized inputs), collapsing all `n` rotations
+//! of a configuration to a single 64-bit visited-set entry.
 //!
 //! As with the plain fingerprint, a hash collision can only merge two
 //! distinct states and therefore *under*-explore — never produce a false
@@ -52,18 +54,170 @@
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
-use ringdeploy_seq::canonical_rotation;
+use ringdeploy_seq::min_rotation_elim;
 
 use crate::agent::Behavior;
 use crate::engine::Ring;
 
-/// Hashes `(n, k, symbols)` into the final 64-bit fingerprint.
-fn seal(n: usize, k: usize, symbols: &[u64]) -> u64 {
-    let mut h = DefaultHasher::new();
-    n.hash(&mut h);
-    k.hash(&mut h);
-    symbols.hash(&mut h);
-    h.finish()
+/// One round of the symbol/sealing chain: multiply–xorshift
+/// (splitmix64-style) absorption of one word.
+///
+/// Symbol extraction and sealing run once per generated child state in
+/// the explorer — the hottest hashes in the codebase — so they use a
+/// cheap strong-mixing chain instead of a SipHash pass (~6× less per
+/// word). As with any 64-bit fingerprint, a collision can only *merge*
+/// two states (under-exploration), never fabricate a violation — see the
+/// module docs.
+#[inline]
+fn mix(h: u64, x: u64) -> u64 {
+    let mut z = (h ^ x).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z ^= z >> 29;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 32)
+}
+
+/// A [`Hasher`] over the [`mix`] chain — the engine's symbol hasher
+/// ([`Ring::node_symbol`]). Accepts every `write_*` shape a derived
+/// `Hash` impl can emit (integer writes fold directly; byte-slice writes
+/// fold 8-byte little-endian chunks plus a length-tagged remainder), so
+/// arbitrary behavior and message types hash through it unchanged.
+#[derive(Clone)]
+pub(crate) struct MixHasher(u64);
+
+impl Default for MixHasher {
+    fn default() -> Self {
+        MixHasher(0x243F_6A88_85A3_08D3)
+    }
+}
+
+impl Hasher for MixHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.0 = mix(self.0, u64::from_le_bytes(word));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.0 = mix(self.0, u64::from_le_bytes(word));
+        }
+        // Length tag: distinguishes e.g. [0] from [0, 0].
+        self.0 = mix(self.0, bytes.len() as u64);
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.0 = mix(self.0, v as u64);
+    }
+
+    fn write_u16(&mut self, v: u16) {
+        self.0 = mix(self.0, v as u64);
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.0 = mix(self.0, v as u64);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = mix(self.0, v);
+    }
+
+    fn write_u128(&mut self, v: u128) {
+        self.0 = mix(self.0, v as u64);
+        self.0 = mix(self.0, (v >> 64) as u64);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.0 = mix(self.0, v as u64);
+    }
+
+    fn write_i8(&mut self, v: i8) {
+        self.write_u8(v as u8);
+    }
+
+    fn write_i16(&mut self, v: i16) {
+        self.write_u16(v as u16);
+    }
+
+    fn write_i32(&mut self, v: i32) {
+        self.write_u32(v as u32);
+    }
+
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_i128(&mut self, v: i128) {
+        self.write_u128(v as u128);
+    }
+
+    fn write_isize(&mut self, v: isize) {
+        self.write_usize(v as usize);
+    }
+}
+
+/// Hashes `(n, k, rotation of symbols)` into the final 64-bit
+/// fingerprint, element by element — no rotated vector is materialised.
+/// Every sealing path (batch, naive reference, the explorer's incremental
+/// symbol cache) routes through here so the value is identical by
+/// construction.
+fn seal_rotation<'a>(
+    n: usize,
+    k: usize,
+    len: usize,
+    rotation: impl Iterator<Item = &'a u64>,
+) -> u64 {
+    let mut h = mix(0x243F_6A88_85A3_08D3, n as u64);
+    h = mix(h, k as u64);
+    h = mix(h, len as u64);
+    for &symbol in rotation {
+        h = mix(h, symbol);
+    }
+    h
+}
+
+/// Fingerprint of an already-extracted symbol sequence: its minimal
+/// rotation, sealed with the instance shape. This is
+/// [`canonical_fingerprint`] minus the `O(n)` symbol extraction — the
+/// entry point for the explorer's incremental cache, which maintains the
+/// symbol vector across [`Ring::apply`](Ring::apply)/[`Ring::undo`](Ring::undo)
+/// by re-deriving only the ≤ 2 touched nodes' symbols.
+pub fn fingerprint_of_symbols(n: usize, k: usize, symbols: &[u64]) -> u64 {
+    fingerprint_of_symbols_with(n, k, symbols, &mut Vec::new())
+}
+
+/// [`fingerprint_of_symbols`] with a caller-provided scratch buffer for
+/// the min-rotation candidate set — fully allocation-free, for the
+/// explorer's per-child hot path. Uses progressive candidate elimination
+/// ([`min_rotation_elim`]), which beats Booth's algorithm on ring-sized
+/// symbol sequences.
+pub fn fingerprint_of_symbols_with(
+    n: usize,
+    k: usize,
+    symbols: &[u64],
+    scratch: &mut Vec<usize>,
+) -> u64 {
+    let r = min_rotation_elim(symbols, scratch);
+    // Two plain slice loops rather than a chained rotation iterator: the
+    // chain's per-element branch is measurable at this call frequency.
+    // The absorption order is identical to `seal_rotation` over the
+    // materialised rotation, so the value is too.
+    let mut h = mix(0x243F_6A88_85A3_08D3, n as u64);
+    h = mix(h, k as u64);
+    h = mix(h, symbols.len() as u64);
+    for &symbol in &symbols[r..] {
+        h = mix(h, symbol);
+    }
+    for &symbol in &symbols[..r] {
+        h = mix(h, symbol);
+    }
+    h
 }
 
 /// Fingerprint of the schedule-relevant state **without** any symmetry
@@ -88,19 +242,16 @@ where
 /// same value, and — up to 64-bit hash collisions — non-equivalent
 /// configurations produce different values.
 ///
-/// `O(n)` beyond the symbol extraction, using Booth's minimal-rotation
-/// algorithm. See the [module docs](self) for the soundness argument.
+/// Near-linear beyond the symbol extraction (candidate-elimination
+/// minimal rotation + one sealing pass). See the [module docs](self) for
+/// the soundness argument.
 pub fn canonical_fingerprint<B>(ring: &Ring<B>) -> u64
 where
     B: Behavior + Hash,
     B::Message: Hash,
 {
     let symbols = ring.node_symbols();
-    seal(
-        ring.ring_size(),
-        ring.agent_count(),
-        &canonical_rotation(&symbols),
-    )
+    fingerprint_of_symbols(ring.ring_size(), ring.agent_count(), &symbols)
 }
 
 /// Reference implementation of [`canonical_fingerprint`]: materialises
@@ -109,7 +260,7 @@ where
 ///
 /// `O(n²)` and allocation-heavy — exists to differentially test the fast
 /// path (it exercises `Ring::rotated` and `node_symbols` independently of
-/// Booth's algorithm); never use it in exploration.
+/// the min-rotation algorithm); never use it in exploration.
 pub fn canonical_fingerprint_naive<B>(ring: &Ring<B>) -> u64
 where
     B: Behavior + Clone + Hash,
@@ -120,7 +271,7 @@ where
         .map(|r| ring.rotated(r).node_symbols())
         .min()
         .expect("rings have at least one node");
-    seal(n, ring.agent_count(), &best)
+    seal_rotation(n, ring.agent_count(), best.len(), best.iter())
 }
 
 #[cfg(test)]

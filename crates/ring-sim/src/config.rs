@@ -107,8 +107,12 @@ impl<B: crate::Behavior> crate::Ring<B> {
             n: self.ring_size(),
             agents,
             tokens: self.tokens().to_vec(),
-            staying: self.staying_sets(),
-            links: self.link_queues(),
+            staying: self.staying_sets().to_vec(),
+            links: self
+                .link_queues()
+                .iter()
+                .map(|q| q.iter().copied().collect())
+                .collect(),
         }
     }
 }

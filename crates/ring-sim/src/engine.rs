@@ -107,12 +107,12 @@ pub struct RunOutcome {
     pub metrics: Metrics,
 }
 
-struct AgentSlot<B: Behavior> {
-    behavior: B,
-    place: Place,
-    idle: Idle,
+pub(crate) struct AgentSlot<B: Behavior> {
+    pub(crate) behavior: B,
+    pub(crate) place: Place,
+    pub(crate) idle: Idle,
     /// Whether the agent still holds its token.
-    token_held: bool,
+    pub(crate) token_held: bool,
     home: NodeId,
 }
 
@@ -248,15 +248,15 @@ impl EnabledSet {
 /// then inspect with [`Ring::configuration`], [`Ring::staying_positions`]
 /// and the predicate helpers.
 pub struct Ring<B: Behavior> {
-    n: usize,
-    tokens: Vec<u32>,
+    pub(crate) n: usize,
+    pub(crate) tokens: Vec<u32>,
     /// `p_i`: agents staying at node `i`.
-    staying: Vec<Vec<AgentId>>,
+    pub(crate) staying: Vec<Vec<AgentId>>,
     /// `q_i`: agents in transit towards node `i` (FIFO; head arrives first).
-    links: Vec<VecDeque<AgentId>>,
+    pub(crate) links: Vec<VecDeque<AgentId>>,
     /// `m_j`: pending messages per agent.
-    inboxes: Vec<VecDeque<B::Message>>,
-    agents: Vec<AgentSlot<B>>,
+    pub(crate) inboxes: Vec<VecDeque<B::Message>>,
+    pub(crate) agents: Vec<AgentSlot<B>>,
     /// Incrementally maintained enabled activations; see [`EnabledSet`].
     enabled: EnabledSet,
     metrics: Metrics,
@@ -285,6 +285,63 @@ where
             steps: self.steps,
             discipline: self.discipline,
         }
+    }
+}
+
+/// The record of one reversible step — everything [`Ring::apply`] mutated,
+/// in exactly the form [`Ring::undo`] needs to reverse it.
+///
+/// Deliberately **not** a snapshot: only the touched cells are stored (the
+/// pre-step behavior of the one agent that acted, the drained inbox, the
+/// broadcast receiver list, the vacated staying-list position, the
+/// enabled-set edits and the metric/phase deltas), so the record is a few
+/// words for a typical step. Schedule-history that the step appends to but
+/// that can be reversed arithmetically (metrics counters, phase tallies,
+/// the step counter) is stored as deltas; the peak-memory watermark — a
+/// running max with no local inverse — keeps its pre-step value.
+pub struct StepUndo<B: Behavior> {
+    activation: Activation,
+    /// The node the action executed at.
+    node: NodeId,
+    prev_behavior: B,
+    prev_place: Place,
+    prev_idle: Idle,
+    released_token: bool,
+    /// The inbox contents the action consumed, in FIFO order.
+    drained: Vec<B::Message>,
+    /// Broadcast receivers in delivery order, each flagged with whether
+    /// the delivery enabled it (empty-inbox suspended receiver).
+    receivers: Vec<(AgentId, bool)>,
+    /// For a staying agent that moved: the staying-list index it vacated
+    /// (list order is part of the configuration identity).
+    left_staying_pos: Option<usize>,
+    moved: bool,
+    /// LIFO ablation only: the queue head the push displaced.
+    displaced: Option<AgentId>,
+    /// The successor head enabled by this arrival's link pop.
+    successor_enabled: Option<AgentId>,
+    /// Whether the agent ended the action enabled again (new queue head,
+    /// or a `Ready` stay).
+    re_enabled: bool,
+    prev_peak_memory_bits: usize,
+    phase: &'static str,
+    /// Whether this step created the phase tally (it is then the last
+    /// entry, and undo pops it to restore first-appearance order).
+    phase_new: bool,
+}
+
+impl<B: Behavior> StepUndo<B> {
+    /// The node the recorded action executed at. Together with
+    /// [`moved_to`](StepUndo::moved_to) this is the complete set of nodes
+    /// whose [`node_symbol`](Ring::node_symbol) the step can have changed.
+    pub fn acted_at(&self) -> NodeId {
+        self.node
+    }
+
+    /// The destination node if the recorded action moved (`n` is the ring
+    /// size, which the record does not carry), `None` if it stayed.
+    pub fn moved_to(&self, n: usize) -> Option<NodeId> {
+        self.moved.then(|| self.node.next(n))
     }
 }
 
@@ -763,6 +820,390 @@ impl<B: Behavior> Ring<B> {
         }
     }
 
+    /// Executes one atomic action exactly like [`Ring::step`], but returns
+    /// a [`StepUndo`] record from which [`Ring::undo`] restores the ring
+    /// **bit-exactly** — configuration, enabled set, behavior states,
+    /// metrics, phase tallies and step counter all included.
+    ///
+    /// Only the cells the action actually mutated are recorded (the popped
+    /// link head, the drained inbox, broadcast deltas, idle transitions,
+    /// enabled-set edits, metrics/phase deltas), so an `apply`/`undo` pair
+    /// costs `O(touched)` — a handful of words plus one behavior clone —
+    /// instead of the `O(n + k)` deep clone the exhaustive explorer used
+    /// to pay per child expansion.
+    ///
+    /// Undo records must be consumed in **LIFO order**: `undo` assumes the
+    /// ring is in exactly the state the matching `apply` left it in (the
+    /// explorer's depth-first discipline guarantees this).
+    ///
+    /// # Panics
+    ///
+    /// As [`Ring::step`]; additionally panics if tracing is enabled —
+    /// trace buffers are capacity-bounded and lossy, so trace events
+    /// cannot be rolled back (the explorer always expands traceless, per
+    /// the exploration contract).
+    pub fn apply(&mut self, activation: Activation) -> StepUndo<B>
+    where
+        B: Clone,
+    {
+        assert!(
+            self.trace.is_none(),
+            "apply requires tracing disabled: the bounded trace buffer is lossy and cannot be \
+             rolled back"
+        );
+        let id = activation.agent;
+        let idx = id.index();
+
+        assert!(
+            self.enabled.contains(activation),
+            "activation of {id} (arrival: {}) is not enabled",
+            activation.arrival
+        );
+        self.enabled.remove(id);
+
+        let prev_place = self.agents[idx].place;
+        let prev_idle = self.agents[idx].idle;
+        let prev_behavior = self.agents[idx].behavior.clone();
+        let prev_peak_memory_bits = self.metrics.peak_memory_bits();
+
+        // 1. Resolve the node and (for arrivals) complete the move.
+        let mut successor_enabled = None;
+        let node = if activation.arrival {
+            let to = match prev_place {
+                Place::InTransit { to } => to,
+                Place::Staying { .. } => panic!("arrival activation for staying agent {id}"),
+            };
+            let q = &mut self.links[to.index()];
+            assert_eq!(
+                q.front().copied(),
+                Some(id),
+                "agent {id} must be at the head of its link queue (FIFO)"
+            );
+            q.pop_front();
+            if let Some(&new_head) = q.front() {
+                successor_enabled = Some(new_head);
+                self.enabled.insert(
+                    to.index(),
+                    Activation {
+                        agent: new_head,
+                        arrival: true,
+                    },
+                );
+            }
+            to
+        } else {
+            match prev_place {
+                Place::Staying { at } => at,
+                Place::InTransit { .. } => panic!("wake activation for in-transit agent {id}"),
+            }
+        };
+
+        // 2. Consume all pending messages (kept for the undo record).
+        let drained: Vec<B::Message> = self.inboxes[idx].drain(..).collect();
+
+        // 3. Local computation — bookkeeping mirrors `step` op for op.
+        let staying_others = self.staying[node.index()]
+            .iter()
+            .filter(|&&a| a != id)
+            .count();
+        let obs = Observation {
+            tokens: self.tokens[node.index()],
+            staying_agents: staying_others,
+            messages: &drained,
+            arrived: activation.arrival,
+        };
+        let action: Action<B::Message> = self.agents[idx].behavior.act(&obs);
+        self.steps += 1;
+        self.metrics.record_activation(id);
+        self.metrics
+            .observe_memory(self.agents[idx].behavior.memory_bits());
+        let phase = self.agents[idx].behavior.phase_name();
+        let phase_pos = self.phases.iter().position(|t| t.name == phase);
+        let phase_new = phase_pos.is_none();
+        let tally = match phase_pos {
+            Some(i) => &mut self.phases[i],
+            None => {
+                self.phases.push(PhaseTally {
+                    name: phase,
+                    activations: 0,
+                    moves: 0,
+                });
+                self.phases.last_mut().expect("just pushed")
+            }
+        };
+        tally.activations += 1;
+        if action.next == Next::Move {
+            tally.moves += 1;
+        }
+
+        // 4a. Token release.
+        let released_token = action.release_token;
+        if released_token {
+            assert!(
+                self.agents[idx].token_held,
+                "agent {id} released its token twice"
+            );
+            self.agents[idx].token_held = false;
+            self.tokens[node.index()] += 1;
+            self.metrics.record_token_release();
+        }
+
+        // 4b. Broadcast to agents staying at the node (excluding self).
+        let mut receivers: Vec<(AgentId, bool)> = Vec::new();
+        if let Some(msg) = action.broadcast {
+            let targets: Vec<AgentId> = self.staying[node.index()]
+                .iter()
+                .copied()
+                .filter(|&a| a != id)
+                .collect();
+            for a in targets {
+                let was_empty = self.inboxes[a.index()].is_empty();
+                self.inboxes[a.index()].push_back(msg.clone());
+                let enables = was_empty && self.agents[a.index()].idle == Idle::Suspended;
+                if enables {
+                    self.enabled.insert(
+                        self.n + a.index(),
+                        Activation {
+                            agent: a,
+                            arrival: false,
+                        },
+                    );
+                }
+                receivers.push((a, enables));
+            }
+            self.metrics.record_broadcast(receivers.len());
+        }
+
+        // 5. Move or stay.
+        let mut left_staying_pos = None;
+        let mut displaced = None;
+        let mut re_enabled = false;
+        let moved = action.next == Next::Move;
+        match action.next {
+            Next::Move => {
+                if !activation.arrival {
+                    let p = &mut self.staying[node.index()];
+                    let pos = p
+                        .iter()
+                        .position(|&a| a == id)
+                        .expect("staying agent is a member of its node's staying set");
+                    p.remove(pos);
+                    left_staying_pos = Some(pos);
+                }
+                let dest = node.next(self.n);
+                match self.discipline {
+                    LinkDiscipline::Fifo => {
+                        let q = &mut self.links[dest.index()];
+                        q.push_back(id);
+                        if q.len() == 1 {
+                            re_enabled = true;
+                            self.enabled.insert(
+                                dest.index(),
+                                Activation {
+                                    agent: id,
+                                    arrival: true,
+                                },
+                            );
+                        }
+                    }
+                    LinkDiscipline::Lifo => {
+                        let q = &mut self.links[dest.index()];
+                        q.push_front(id);
+                        displaced = q.get(1).copied();
+                        if let Some(displaced) = displaced {
+                            self.enabled.remove(displaced);
+                        }
+                        re_enabled = true;
+                        self.enabled.insert(
+                            dest.index(),
+                            Activation {
+                                agent: id,
+                                arrival: true,
+                            },
+                        );
+                    }
+                }
+                self.agents[idx].place = Place::InTransit { to: dest };
+                self.agents[idx].idle = Idle::Ready;
+                self.metrics.record_move(id);
+            }
+            Next::Stay(idle) => {
+                if activation.arrival {
+                    self.staying[node.index()].push(id);
+                }
+                self.agents[idx].place = Place::Staying { at: node };
+                self.agents[idx].idle = idle;
+                let wake = match idle {
+                    Idle::Ready => true,
+                    Idle::Suspended => !self.inboxes[idx].is_empty(),
+                    Idle::Halted => false,
+                };
+                if wake {
+                    re_enabled = true;
+                    self.enabled.insert(
+                        self.n + idx,
+                        Activation {
+                            agent: id,
+                            arrival: false,
+                        },
+                    );
+                }
+            }
+        }
+
+        StepUndo {
+            activation,
+            node,
+            prev_behavior,
+            prev_place,
+            prev_idle,
+            released_token,
+            drained,
+            receivers,
+            left_staying_pos,
+            moved,
+            displaced,
+            successor_enabled,
+            re_enabled,
+            prev_peak_memory_bits,
+            phase,
+            phase_new,
+        }
+    }
+
+    /// Reverses the action recorded in `undo`, restoring the ring to the
+    /// exact state before the matching [`Ring::apply`] — see `apply` for
+    /// the contract (LIFO consumption; the ring must be in the state the
+    /// `apply` left it in).
+    pub fn undo(&mut self, undo: StepUndo<B>) {
+        let StepUndo {
+            activation,
+            node,
+            prev_behavior,
+            prev_place,
+            prev_idle,
+            released_token,
+            drained,
+            receivers,
+            left_staying_pos,
+            moved,
+            displaced,
+            successor_enabled,
+            re_enabled,
+            prev_peak_memory_bits,
+            phase,
+            phase_new,
+        } = undo;
+        let id = activation.agent;
+        let idx = id.index();
+
+        // 5'. Reverse the move/stay (the last thing `apply` did).
+        if moved {
+            let dest = node.next(self.n);
+            if re_enabled {
+                self.enabled.remove(id);
+            }
+            let q = &mut self.links[dest.index()];
+            match self.discipline {
+                LinkDiscipline::Fifo => {
+                    let back = q.pop_back();
+                    debug_assert_eq!(back, Some(id), "undo out of order: mover not at tail");
+                }
+                LinkDiscipline::Lifo => {
+                    let front = q.pop_front();
+                    debug_assert_eq!(front, Some(id), "undo out of order: mover not at head");
+                    if let Some(d) = displaced {
+                        debug_assert_eq!(q.front().copied(), Some(d));
+                        self.enabled.insert(
+                            dest.index(),
+                            Activation {
+                                agent: d,
+                                arrival: true,
+                            },
+                        );
+                    }
+                }
+            }
+            if let Some(pos) = left_staying_pos {
+                self.staying[node.index()].insert(pos, id);
+            }
+            self.metrics.unrecord_move(id);
+        } else {
+            if re_enabled {
+                self.enabled.remove(id);
+            }
+            if activation.arrival {
+                let popped = self.staying[node.index()].pop();
+                debug_assert_eq!(popped, Some(id), "undo out of order: settler not last");
+            }
+        }
+        self.agents[idx].place = prev_place;
+        self.agents[idx].idle = prev_idle;
+
+        // 4b'. Reverse the broadcast, last delivery first.
+        for &(a, enabled) in receivers.iter().rev() {
+            let popped = self.inboxes[a.index()].pop_back();
+            debug_assert!(
+                popped.is_some(),
+                "undo out of order: delivered message gone"
+            );
+            if enabled {
+                self.enabled.remove(a);
+            }
+        }
+        self.metrics.unrecord_broadcast(receivers.len());
+
+        // 4a'. Reverse the token release.
+        if released_token {
+            self.agents[idx].token_held = true;
+            self.tokens[node.index()] -= 1;
+            self.metrics.unrecord_token_release();
+        }
+
+        // 3'. Reverse the computation bookkeeping.
+        let tally = self
+            .phases
+            .iter_mut()
+            .find(|t| t.name == phase)
+            .expect("undo out of order: phase tally missing");
+        tally.activations -= 1;
+        if moved {
+            tally.moves -= 1;
+        }
+        if phase_new {
+            debug_assert_eq!(self.phases.last().map(|t| t.name), Some(phase));
+            self.phases.pop();
+        }
+        self.metrics.unrecord_activation(id);
+        self.metrics.set_peak_memory(prev_peak_memory_bits);
+        self.steps -= 1;
+        self.agents[idx].behavior = prev_behavior;
+
+        // 2'. Restore the drained inbox (FIFO order preserved).
+        debug_assert!(
+            self.inboxes[idx].is_empty(),
+            "undo out of order: inbox refilled"
+        );
+        self.inboxes[idx].extend(drained);
+
+        // 1'. Reverse the link pop: the agent returns to its queue head,
+        // displacing the successor we enabled.
+        if activation.arrival {
+            if let Some(s) = successor_enabled {
+                self.enabled.remove(s);
+            }
+            self.links[node.index()].push_front(id);
+        }
+
+        // 0'. The original activation is enabled again.
+        let key = if activation.arrival {
+            node.index()
+        } else {
+            self.n + idx
+        };
+        self.enabled.insert(key, activation);
+    }
+
     /// Runs asynchronously under `scheduler` until quiescence.
     ///
     /// # Errors
@@ -866,6 +1307,21 @@ impl<B: Behavior> Ring<B> {
         }
     }
 
+    /// A clone with tracing stripped — the working copy the exhaustive
+    /// explorer steps in place. Expansion must run traceless (the bounded
+    /// trace buffer is lossy, so [`Ring::apply`] refuses to record into
+    /// it) and a trace is schedule-history, not configuration, so carrying
+    /// it through millions of expansions would be pure dead weight.
+    pub(crate) fn clone_for_exploration(&self) -> Ring<B>
+    where
+        B: Clone,
+        B::Message: Clone,
+    {
+        let mut clone = self.clone();
+        clone.trace = None;
+        clone
+    }
+
     /// Whether a specific activation (same agent, same form) is currently
     /// enabled — an `O(1)` lookup in the incremental set. This is the
     /// predicate external round drivers (e.g. the vis space-time capture)
@@ -884,17 +1340,19 @@ impl<B: Behavior> Ring<B> {
         self.agents[id.index()].token_held
     }
 
-    /// A copy of the staying sets `P = (p_0, …, p_{n-1})`.
-    pub fn staying_sets(&self) -> Vec<Vec<AgentId>> {
-        self.staying.clone()
+    /// Borrowed view of the staying sets `P = (p_0, …, p_{n-1})`, in list
+    /// order (the order agents settled at the node). Allocation-free;
+    /// callers needing an owned snapshot (e.g. [`Ring::configuration`])
+    /// copy what they keep.
+    pub fn staying_sets(&self) -> &[Vec<AgentId>] {
+        &self.staying
     }
 
-    /// A copy of the link queues `Q = (q_0, …, q_{n-1})`, head first.
-    pub fn link_queues(&self) -> Vec<Vec<AgentId>> {
-        self.links
-            .iter()
-            .map(|q| q.iter().copied().collect())
-            .collect()
+    /// Borrowed view of the link queues `Q = (q_0, …, q_{n-1})`, head
+    /// first. Allocation-free, like [`Ring::staying_sets`]; the queues are
+    /// exposed as the engine's own `VecDeque`s.
+    pub fn link_queues(&self) -> &[VecDeque<AgentId>] {
+        &self.links
     }
 
     /// Hashes the schedule-relevant state: tokens, staying sets, link
@@ -948,30 +1406,45 @@ impl<B: Behavior> Ring<B> {
         B: std::hash::Hash,
         B::Message: std::hash::Hash,
     {
-        use std::collections::hash_map::DefaultHasher;
+        (0..self.n).map(|v| self.node_symbol(v)).collect()
+    }
+
+    /// The rotation-invariant symbol of a single node — see
+    /// [`node_symbols`](Ring::node_symbols) for what it covers. A node's
+    /// symbol depends only on state *local* to that node (its token count
+    /// and the data of agents staying there or in transit towards it), so
+    /// a step invalidates at most the two symbols of the node acted at and
+    /// the move destination — the property the explorer's incremental
+    /// fingerprint cache exploits to patch rather than rebuild the symbol
+    /// sequence.
+    pub fn node_symbol(&self, v: usize) -> u64
+    where
+        B: std::hash::Hash,
+        B::Message: std::hash::Hash,
+    {
+        use crate::canonical::MixHasher;
         use std::hash::{Hash, Hasher};
-        let hash_agent = |h: &mut DefaultHasher, idx: usize| {
+        let hash_agent = |h: &mut MixHasher, idx: usize| {
             let slot = &self.agents[idx];
             slot.behavior.hash(h);
             slot.idle.hash(h);
             slot.token_held.hash(h);
             self.inboxes[idx].hash(h);
         };
-        (0..self.n)
-            .map(|v| {
-                let mut h = DefaultHasher::new();
-                self.tokens[v].hash(&mut h);
-                self.staying[v].len().hash(&mut h);
-                for &a in &self.staying[v] {
-                    hash_agent(&mut h, a.index());
-                }
-                self.links[v].len().hash(&mut h);
-                for &a in &self.links[v] {
-                    hash_agent(&mut h, a.index());
-                }
-                h.finish()
-            })
-            .collect()
+        // The explorer re-derives symbols once per generated child state,
+        // so this uses the cheap multiply–xorshift hasher rather than a
+        // SipHash pass — see [`crate::canonical`].
+        let mut h = MixHasher::default();
+        self.tokens[v].hash(&mut h);
+        self.staying[v].len().hash(&mut h);
+        for &a in &self.staying[v] {
+            hash_agent(&mut h, a.index());
+        }
+        self.links[v].len().hash(&mut h);
+        for &a in &self.links[v] {
+            hash_agent(&mut h, a.index());
+        }
+        h.finish()
     }
 
     /// Observer-side rotation of the whole configuration: node `r` of
@@ -1033,6 +1506,14 @@ impl<B: Behavior> Ring<B> {
         };
         rotated.enabled = rotated.rebuilt_enabled();
         rotated
+    }
+
+    /// Replaces the incremental enabled set with a rescan-derived rebuild
+    /// — used by constructors of derived rings and by
+    /// [`PackedState::restore_into`](crate::packed::PackedState::restore_into)
+    /// after overwriting the configuration wholesale.
+    pub(crate) fn refresh_enabled(&mut self) {
+        self.enabled = self.rebuilt_enabled();
     }
 
     /// Builds a fresh [`EnabledSet`] for the current configuration from

@@ -23,7 +23,7 @@
 //!
 //! # The [`Explorer`] engine
 //!
-//! State counts explode with `n` and `k`; the engine fights back on two
+//! State counts explode with `n` and `k`; the engine fights back on three
 //! fronts, configured through the [`Explorer`] builder:
 //!
 //! * **rotation symmetry reduction** ([`SymmetryMode::Rotation`], the
@@ -35,6 +35,17 @@
 //!   [`crate::canonical`] for the canonical form and the soundness
 //!   argument; it requires the terminal predicate to be
 //!   rotation-invariant (the Definition 1/2 predicates are).
+//! * **reversible, clone-free expansion**: children are generated with
+//!   [`Ring::apply`]/[`Ring::undo`] — an exactly-invertible step that
+//!   records only the mutated cells — so the serial engine walks the
+//!   whole space in one live ring (no per-child deep clone), canonical
+//!   fingerprints are maintained incrementally (only the ≤ 2 symbols a
+//!   step touches are re-derived; the min-rotation is recomputed on the
+//!   patched vector), and the parallel frontier stores
+//!   [`PackedState`](crate::packed::PackedState) snapshots — flat words
+//!   per state instead of `O(n + k)` heap allocations. The pre-0.5
+//!   clone-based DFS is retained verbatim as
+//!   [`Explorer::run_serial_reference`], the differential oracle.
 //! * **frontier-parallel search** ([`Explorer::threads`]): breadth-first
 //!   layers are expanded by a persistent, barrier-synchronized worker
 //!   pool over a hash-sharded visited map (narrow layers run inline —
@@ -42,10 +53,9 @@
 //!   deterministically — a
 //!   parallel run returns byte-identical `states` / `terminals` /
 //!   [`terminal_fingerprints`](ExploreReport::terminal_fingerprints) /
-//!   [`merge_edges`](ExploreReport::merge_edges) to the retained serial
-//!   reference ([`Explorer::run_serial`]).
+//!   [`merge_edges`](ExploreReport::merge_edges) to the serial engines.
 //!
-//! The serial reference detects livelocks as DFS back-edges on the
+//! The serial engines detect livelocks as DFS back-edges on the
 //! current path; the parallel engine records the quotient edge list and
 //! certifies acyclicity with a Kahn elimination after the sweep
 //! ([`Explorer::certify_termination`] turns this off to save the edge
@@ -65,9 +75,37 @@ use std::hash::Hash;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use crate::agent::Behavior;
-use crate::canonical::{canonical_fingerprint, plain_fingerprint};
-use crate::engine::Ring;
+use crate::canonical::{canonical_fingerprint, fingerprint_of_symbols_with, plain_fingerprint};
+use crate::engine::{Ring, StepUndo};
 use crate::error::SimError;
+use crate::packed::PackedState;
+use crate::scheduler::Activation;
+
+/// Pass-through hasher for fingerprint-keyed sets and maps: fingerprints
+/// are already well-mixed 64-bit hash outputs (SipHash for plain mode,
+/// the multiply–xorshift seal for canonical mode), so re-hashing them
+/// through SipHash on every visited-set probe — once per generated child
+/// — is pure waste.
+/// The retained clone-based reference engine keeps the default hasher:
+/// it is preserved as the 0.4 baseline, probes and all.
+#[derive(Default, Clone)]
+struct FpHasher(u64);
+
+impl std::hash::Hasher for FpHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("fingerprint keys are u64 and hash via write_u64");
+    }
+
+    fn write_u64(&mut self, fp: u64) {
+        self.0 = fp;
+    }
+}
+
+type FpBuildHasher = std::hash::BuildHasherDefault<FpHasher>;
 
 /// Limits for an exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -159,6 +197,15 @@ pub struct ExploreReport {
     /// `edges − (states − 1)`, and identical between the serial and
     /// parallel engines.
     pub merge_edges: u64,
+    /// Peak count of *live* states the engine held at once: the deepest
+    /// DFS path for the serial engines, the widest BFS layer for the
+    /// parallel engine. Multiplied by the per-state footprint (a
+    /// [`PackedState`](crate::packed::PackedState) for the parallel
+    /// frontier) this bounds the engine's working-set memory; like
+    /// [`max_depth_seen`](ExploreReport::max_depth_seen) it is
+    /// engine-specific and excluded from the differential-identity
+    /// guarantees.
+    pub peak_frontier: usize,
 }
 
 impl ExploreReport {
@@ -187,6 +234,7 @@ mod json_impls {
                 ("terminals", self.terminals.to_json()),
                 ("max_depth_seen", self.max_depth_seen.to_json()),
                 ("merge_edges", self.merge_edges.to_json()),
+                ("peak_frontier", self.peak_frontier.to_json()),
             ])
         }
     }
@@ -199,6 +247,14 @@ where
 {
     /// A terminal configuration violates the predicate; the offending ring
     /// is returned for inspection.
+    ///
+    /// The returned ring's *configuration* (tokens, places, queues,
+    /// inboxes, behavior states, enabled set) is exactly the violating
+    /// state. Its metrics/phase/step bookkeeping reflects the engine that
+    /// found it: the path's own history for the serial in-place DFS, the
+    /// capturing worker's scratch bookkeeping for the parallel engine
+    /// (frontier snapshots deliberately do not carry schedule-history —
+    /// see [`crate::packed`]).
     PredicateViolated {
         /// The violating quiescent configuration.
         ring: Box<Ring<B>>,
@@ -326,6 +382,130 @@ where
         .run_serial(ring, terminal_ok)
 }
 
+/// Saved pre-step symbols of the ≤ 2 nodes one step touched — what
+/// [`FingerprintCache::revert`] needs to roll the cache back alongside
+/// [`Ring::undo`].
+#[derive(Clone, Copy)]
+struct SymbolPatch {
+    slots: [(usize, u64); 2],
+    len: usize,
+}
+
+impl SymbolPatch {
+    const EMPTY: SymbolPatch = SymbolPatch {
+        slots: [(0, 0); 2],
+        len: 0,
+    };
+}
+
+/// The explorer's incremental fingerprint state.
+///
+/// Under [`SymmetryMode::Rotation`] the per-node symbol vector is cached
+/// and maintained across [`Ring::apply`]/[`Ring::undo`]: a step can only
+/// change the symbols of the node it acted at and (for a move) the
+/// destination node — symbols are node-local by construction
+/// ([`Ring::node_symbol`]) — so the cache re-derives at most two symbols
+/// per child and recomputes the minimal rotation of the patched vector
+/// (progressive candidate elimination — see
+/// [`ringdeploy_seq::min_rotation_elim`]). That
+/// turns the per-child `O(n)` symbol extraction (`n` hash rounds over the
+/// full local state) into `O(touched)`, leaving only the cheap `O(n)`
+/// scan over bare `u64`s for min-rotation + sealing.
+///
+/// Under [`SymmetryMode::Off`] there is nothing to cache: the plain
+/// fingerprint hashes the whole configuration by definition.
+enum FingerprintCache {
+    Plain,
+    Rotation {
+        symbols: Vec<u64>,
+        /// Reused min-rotation candidate buffer
+        /// ([`ringdeploy_seq::min_rotation_elim`]) — no allocation per
+        /// fingerprint in the hot path.
+        minrot: Vec<usize>,
+    },
+}
+
+impl FingerprintCache {
+    fn new<B>(mode: SymmetryMode, ring: &Ring<B>) -> Self
+    where
+        B: Behavior + Hash,
+        B::Message: Hash,
+    {
+        match mode {
+            SymmetryMode::Off => FingerprintCache::Plain,
+            SymmetryMode::Rotation => FingerprintCache::Rotation {
+                symbols: ring.node_symbols(),
+                minrot: Vec::new(),
+            },
+        }
+    }
+
+    /// Re-derives the whole symbol vector — called once per frontier
+    /// state by the parallel workers after restoring a packed snapshot.
+    fn reset<B>(&mut self, ring: &Ring<B>)
+    where
+        B: Behavior + Hash,
+        B::Message: Hash,
+    {
+        if let FingerprintCache::Rotation { symbols, .. } = self {
+            symbols.clear();
+            symbols.extend((0..ring.ring_size()).map(|v| ring.node_symbol(v)));
+        }
+    }
+
+    /// The fingerprint of the ring's current state (which the cache must
+    /// be in sync with).
+    fn fingerprint<B>(&mut self, ring: &Ring<B>) -> u64
+    where
+        B: Behavior + Hash,
+        B::Message: Hash,
+    {
+        match self {
+            FingerprintCache::Plain => plain_fingerprint(ring),
+            FingerprintCache::Rotation { symbols, minrot } => {
+                fingerprint_of_symbols_with(ring.ring_size(), ring.agent_count(), symbols, minrot)
+            }
+        }
+    }
+
+    /// Called right after [`Ring::apply`]: refreshes the symbols of the
+    /// touched nodes, returning their previous values for [`revert`].
+    ///
+    /// [`revert`]: FingerprintCache::revert
+    fn patch<B>(&mut self, ring: &Ring<B>, undo: &StepUndo<B>) -> SymbolPatch
+    where
+        B: Behavior + Hash,
+        B::Message: Hash,
+    {
+        let FingerprintCache::Rotation { symbols, .. } = self else {
+            return SymbolPatch::EMPTY;
+        };
+        let mut patch = SymbolPatch::EMPTY;
+        let v = undo.acted_at().index();
+        patch.slots[patch.len] = (v, symbols[v]);
+        patch.len += 1;
+        symbols[v] = ring.node_symbol(v);
+        if let Some(dest) = undo.moved_to(ring.ring_size()) {
+            let d = dest.index();
+            if d != v {
+                patch.slots[patch.len] = (d, symbols[d]);
+                patch.len += 1;
+                symbols[d] = ring.node_symbol(d);
+            }
+        }
+        patch
+    }
+
+    /// Rolls the cache back alongside [`Ring::undo`].
+    fn revert(&mut self, patch: SymbolPatch) {
+        if let FingerprintCache::Rotation { symbols, .. } = self {
+            for &(v, old) in patch.slots[..patch.len].iter() {
+                symbols[v] = old;
+            }
+        }
+    }
+}
+
 /// Number of mutex-guarded partitions of the parallel visited map. A
 /// power of two well above any realistic worker count, so contention is
 /// dominated by the hash distribution, not the shard count.
@@ -408,7 +588,7 @@ impl Explorer {
     }
 
     /// Sets the worker-thread count (default: available parallelism).
-    /// `1` selects the serial reference engine.
+    /// `1` selects the clone-free serial DFS ([`Explorer::run_serial`]).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
         self
@@ -436,9 +616,9 @@ impl Explorer {
         }
     }
 
-    /// Explores every schedule of `ring`, dispatching to the serial
-    /// reference for one thread and to the frontier-parallel engine
-    /// otherwise.
+    /// Explores every schedule of `ring`, dispatching to the clone-free
+    /// serial DFS ([`Explorer::run_serial`]) for one thread and to the
+    /// frontier-parallel engine otherwise.
     ///
     /// Under [`SymmetryMode::Rotation`] the predicate must be invariant
     /// under rotation and agent relabeling (the Definition 1/2 uniform
@@ -469,11 +649,25 @@ impl Explorer {
         }
     }
 
-    /// The serial reference engine: depth-first, with back-edge (livelock)
-    /// detection on the DFS path. The parallel engine must report
-    /// identical `states`, `terminals`, `terminal_fingerprints` and
-    /// `merge_edges` on every instance — `tests/explorer_differential.rs`
-    /// pins this.
+    /// The serial engine: a **clone-free, in-place DFS** over one live
+    /// ring. Children are generated with the reversible
+    /// [`Ring::apply`]/[`Ring::undo`] pair instead of deep-cloning the
+    /// parent per successor, and under [`SymmetryMode::Rotation`] the
+    /// canonical fingerprint is computed from a cached symbol vector
+    /// patched at the ≤ 2 nodes a step touches (the min-rotation is then
+    /// recomputed on the patched vector) instead of re-deriving all `n` symbols
+    /// per state. The only clone left in the hot path is the violation
+    /// capture when a terminal fails the predicate.
+    ///
+    /// Livelocks are detected as back-edges on the DFS path, exactly as in
+    /// the retained clone-based reference
+    /// ([`Explorer::run_serial_reference`]), and the deterministic report
+    /// fields (`states`, `terminals`, `terminal_fingerprints`,
+    /// `merge_edges`) are identical to it and to the parallel engine —
+    /// `tests/explorer_differential.rs` pins all three against each other.
+    /// `max_depth_seen`/`peak_frontier` may differ from the reference:
+    /// the two DFS engines expand children in opposite sibling order, so
+    /// their spanning trees (and hence first-visit depths) can differ.
     ///
     /// # Errors
     ///
@@ -488,8 +682,163 @@ impl Explorer {
         B::Message: Clone + Hash,
     {
         let limits = self.limits;
+        let mut cur = ring.clone_for_exploration();
+        let mut cache = FingerprintCache::new(self.symmetry, &cur);
+        let root_fp = cache.fingerprint(&cur);
+
+        /// Visited-map value: the state is fully explored…
+        const DONE: u8 = 0;
+        /// …or still on the DFS path (a re-encounter is a back edge, i.e.
+        /// a livelock). One map serves as visited set *and* path set, so
+        /// the per-child cost is a single probe.
+        const ON_PATH: u8 = 1;
+        let mut visited: HashMap<u64, u8, FpBuildHasher> = HashMap::default();
+        let mut terminal_fps: Vec<u64> = Vec::new();
+        let mut report = ExploreReport {
+            states: 1,
+            terminals: 0,
+            max_depth_seen: 0,
+            terminal_fingerprints: Vec::new(),
+            merge_edges: 0,
+            peak_frontier: 1,
+        };
+        visited.insert(root_fp, ON_PATH);
+        if report.states > limits.max_states {
+            return Err(ExploreError::LimitExceeded(SimError::StepLimitExceeded {
+                limit: limits.max_states as u64,
+            }));
+        }
+        if cur.enabled_activations().is_empty() {
+            report.terminals = 1;
+            report.terminal_fingerprints = vec![root_fp];
+            if !terminal_ok(&cur) {
+                return Err(ExploreError::PredicateViolated {
+                    ring: Box::new(cur),
+                    depth: 0,
+                });
+            }
+            return Ok(report);
+        }
+
+        /// One live state on the DFS path: its fingerprint, its slice of
+        /// the shared activation arena, and the undo record that returns
+        /// the ring to its parent.
+        struct Frame<B: Behavior> {
+            fp: u64,
+            acts_start: usize,
+            next: usize,
+            undo: Option<(StepUndo<B>, SymbolPatch)>,
+        }
+
+        // All live states' enabled activations live in one arena,
+        // truncated on frame pop — no per-state allocation in steady
+        // state.
+        let mut arena: Vec<Activation> = Vec::new();
+        arena.extend_from_slice(cur.enabled_activations());
+        let mut stack: Vec<Frame<B>> = vec![Frame {
+            fp: root_fp,
+            acts_start: 0,
+            next: 0,
+            undo: None,
+        }];
+
+        while let Some(top) = stack.last_mut() {
+            if top.acts_start + top.next >= arena.len() {
+                // All children expanded: return to the parent state.
+                let frame = stack.pop().expect("stack is non-empty");
+                *visited.get_mut(&frame.fp).expect("path state is visited") = DONE;
+                arena.truncate(frame.acts_start);
+                if let Some((undo, patch)) = frame.undo {
+                    cache.revert(patch);
+                    cur.undo(undo);
+                }
+                continue;
+            }
+            let act = arena[top.acts_start + top.next];
+            top.next += 1;
+            let depth = stack.len();
+            report.max_depth_seen = report.max_depth_seen.max(depth);
+            if depth > limits.max_depth {
+                return Err(ExploreError::LimitExceeded(SimError::StepLimitExceeded {
+                    limit: limits.max_depth as u64,
+                }));
+            }
+            let undo = cur.apply(act);
+            let patch = cache.patch(&cur, &undo);
+            let fp = cache.fingerprint(&cur);
+            match visited.entry(fp) {
+                std::collections::hash_map::Entry::Occupied(seen) => {
+                    if *seen.get() == ON_PATH {
+                        return Err(ExploreError::CycleDetected { depth });
+                    }
+                    report.merge_edges += 1;
+                    cache.revert(patch);
+                    cur.undo(undo);
+                    continue;
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(ON_PATH);
+                }
+            }
+            report.states += 1;
+            if report.states > limits.max_states {
+                return Err(ExploreError::LimitExceeded(SimError::StepLimitExceeded {
+                    limit: limits.max_states as u64,
+                }));
+            }
+            if cur.enabled_activations().is_empty() {
+                report.terminals += 1;
+                terminal_fps.push(fp);
+                if !terminal_ok(&cur) {
+                    // The one clone-shaped cost left: capturing the
+                    // violating configuration moves the live ring out.
+                    return Err(ExploreError::PredicateViolated {
+                        ring: Box::new(cur),
+                        depth,
+                    });
+                }
+                *visited.get_mut(&fp).expect("just inserted") = DONE;
+                cache.revert(patch);
+                cur.undo(undo);
+                continue;
+            }
+            let acts_start = arena.len();
+            arena.extend_from_slice(cur.enabled_activations());
+            stack.push(Frame {
+                fp,
+                acts_start,
+                next: 0,
+                undo: Some((undo, patch)),
+            });
+            report.peak_frontier = report.peak_frontier.max(stack.len());
+        }
+        terminal_fps.sort_unstable();
+        report.terminal_fingerprints = terminal_fps;
+        Ok(report)
+    }
+
+    /// The **retained clone-based reference engine** — the pre-0.5 serial
+    /// DFS that deep-clones the parent ring per child expansion and
+    /// recomputes every fingerprint from scratch. Kept verbatim (modulo
+    /// traceless root cloning) as the differential oracle for the
+    /// clone-free [`run_serial`](Explorer::run_serial) and the packed
+    /// parallel engine, and as the baseline of the `explore_scale`
+    /// expansion-throughput gate. Never use it for real exploration.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExploreError`].
+    pub fn run_serial_reference<B>(
+        &self,
+        ring: &Ring<B>,
+        mut terminal_ok: impl FnMut(&Ring<B>) -> bool,
+    ) -> Result<ExploreReport, ExploreError<B>>
+    where
+        B: Behavior + Clone + Hash,
+        B::Message: Clone + Hash,
+    {
+        let limits = self.limits;
         let mut visited: HashSet<u64> = HashSet::new();
-        // DFS path as a set of fingerprints for O(1) back-edge checks.
         let mut on_path: HashSet<u64> = HashSet::new();
         let mut terminal_fps: Vec<u64> = Vec::new();
         let mut report = ExploreReport {
@@ -498,6 +847,7 @@ impl Explorer {
             max_depth_seen: 0,
             terminal_fingerprints: Vec::new(),
             merge_edges: 0,
+            peak_frontier: 0,
         };
 
         enum Frame<B: Behavior + Clone>
@@ -510,7 +860,8 @@ impl Explorer {
             Leave(u64),
         }
 
-        let mut stack: Vec<Frame<B>> = vec![Frame::Enter(Box::new(ring.clone()), 0)];
+        let mut stack: Vec<Frame<B>> =
+            vec![Frame::Enter(Box::new(ring.clone_for_exploration()), 0)];
         while let Some(frame) = stack.pop() {
             match frame {
                 Frame::Leave(fp) => {
@@ -546,6 +897,7 @@ impl Explorer {
                         continue;
                     }
                     on_path.insert(fp);
+                    report.peak_frontier = report.peak_frontier.max(on_path.len());
                     stack.push(Frame::Leave(fp));
                     // Index loop over the borrowed enabled slice —
                     // allocation-free in the checker's innermost loop
@@ -565,7 +917,11 @@ impl Explorer {
     }
 
     /// The frontier-parallel engine: expands breadth-first layers with a
-    /// scoped worker pool over a sharded visited map.
+    /// scoped worker pool over a sharded visited map. The frontier holds
+    /// [`PackedState`] snapshots — a handful of flat words per state —
+    /// instead of boxed deep clones; each worker owns one long-lived
+    /// scratch ring it restores snapshots into and expands with the
+    /// reversible [`Ring::apply`]/[`Ring::undo`] pair.
     fn run_parallel<B>(
         &self,
         ring: &Ring<B>,
@@ -604,6 +960,7 @@ impl Explorer {
                 max_depth_seen: 0,
                 terminal_fingerprints: vec![root_fp],
                 merge_edges: 0,
+                peak_frontier: 1,
             });
         }
 
@@ -619,6 +976,7 @@ impl Explorer {
         let cursor = AtomicUsize::new(0);
 
         let mut max_depth_seen: usize = 0;
+        let mut peak_frontier: usize = 1;
         let loop_result = std::thread::scope(|scope| {
             for _ in 0..threads {
                 let barrier = &barrier;
@@ -629,37 +987,50 @@ impl Explorer {
                 let visited = &visited;
                 let state_count = &state_count;
                 let limit_hit = &limit_hit;
-                scope.spawn(move || loop {
-                    barrier.wait();
-                    if stop.load(Ordering::Relaxed) {
-                        break;
+                scope.spawn(move || {
+                    // Worker-owned scratch engine + fingerprint cache,
+                    // reused across every state of every layer.
+                    let mut scratch = ring.clone_for_exploration();
+                    let mut cache = FingerprintCache::new(self.symmetry, &scratch);
+                    loop {
+                        barrier.wait();
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let current = job
+                            .lock()
+                            .expect("explorer job slot poisoned")
+                            .clone()
+                            .expect("a released layer always has a job");
+                        let out = self.expand_chunks(
+                            &mut scratch,
+                            &mut cache,
+                            &current.frontier,
+                            cursor,
+                            visited,
+                            state_count,
+                            limit_hit,
+                            current.layer,
+                            terminal_ok,
+                        );
+                        outs.lock().expect("explorer outs poisoned").push(out);
+                        barrier.wait();
                     }
-                    let current = job
-                        .lock()
-                        .expect("explorer job slot poisoned")
-                        .clone()
-                        .expect("a released layer always has a job");
-                    let out = self.expand_chunks(
-                        &current.frontier,
-                        cursor,
-                        visited,
-                        state_count,
-                        limit_hit,
-                        current.layer,
-                        terminal_ok,
-                    );
-                    outs.lock().expect("explorer outs poisoned").push(out);
-                    barrier.wait();
                 });
             }
 
-            let mut frontier: std::sync::Arc<Vec<(Box<Ring<B>>, u64)>> =
-                std::sync::Arc::new(vec![(Box::new(ring.clone()), root_fp)]);
+            // The coordinator's own scratch pair, for inline narrow
+            // layers.
+            let mut inline_scratch = ring.clone_for_exploration();
+            let mut inline_cache = FingerprintCache::new(self.symmetry, &inline_scratch);
+            let mut frontier: std::sync::Arc<Vec<(PackedState<B>, u64)>> =
+                std::sync::Arc::new(vec![(PackedState::pack(ring), root_fp)]);
             let mut layer: usize = 0;
             let result = loop {
                 if frontier.is_empty() {
                     break Ok(());
                 }
+                peak_frontier = peak_frontier.max(frontier.len());
                 layer += 1;
                 if layer > limits.max_depth {
                     break Err(ExploreError::LimitExceeded(SimError::StepLimitExceeded {
@@ -673,6 +1044,8 @@ impl Explorer {
                 // costs more than the work, and the workers stay parked.
                 let mut merged = if frontier.len() < PARALLEL_FRONTIER_MIN {
                     self.expand_chunks(
+                        &mut inline_scratch,
+                        &mut inline_cache,
                         &frontier,
                         &cursor,
                         &visited,
@@ -739,15 +1112,20 @@ impl Explorer {
             max_depth_seen,
             merge_edges: edge_count - (states as u64 - 1),
             terminal_fingerprints: terminal_fps,
+            peak_frontier,
         })
     }
 
-    /// Worker body: claim chunks of the frontier, expand each state, and
-    /// collect the thread-local partial results.
+    /// Worker body: claim chunks of the frontier, restore each packed
+    /// state into the worker's scratch ring, expand its children with
+    /// reversible apply/undo, and collect the thread-local partial
+    /// results.
     #[allow(clippy::too_many_arguments)]
     fn expand_chunks<B>(
         &self,
-        frontier: &[(Box<Ring<B>>, u64)],
+        scratch: &mut Ring<B>,
+        cache: &mut FingerprintCache,
+        frontier: &[(PackedState<B>, u64)],
         cursor: &AtomicUsize,
         visited: &ShardedVisited,
         state_count: &AtomicUsize,
@@ -769,34 +1147,44 @@ impl Explorer {
                 break;
             }
             let end = (start + CLAIM_CHUNK).min(frontier.len());
-            for (state, fp) in &frontier[start..end] {
+            for (packed, fp) in &frontier[start..end] {
+                packed.restore_into(scratch);
+                cache.reset(scratch);
                 // Index loop over the borrowed slice: allocation-free in
                 // the hot path (`Activation` is `Copy`).
-                for i in 0..state.enabled_activations().len() {
-                    let act = state.enabled_activations()[i];
-                    let mut child = state.as_ref().clone();
-                    child.step(act);
-                    let child_fp = self.fingerprint(&child);
+                for i in 0..scratch.enabled_activations().len() {
+                    let act = scratch.enabled_activations()[i];
+                    let undo = scratch.apply(act);
+                    let patch = cache.patch(scratch, &undo);
+                    let child_fp = cache.fingerprint(scratch);
                     out.edge_count += 1;
                     if self.certify_termination {
                         out.edges.push((*fp, child_fp));
                     }
-                    if !visited.insert(child_fp, layer as u32) {
-                        continue;
-                    }
-                    let count = state_count.fetch_add(1, Ordering::Relaxed) + 1;
-                    if count > self.limits.max_states {
-                        limit_hit.store(true, Ordering::Relaxed);
-                        break 'claim;
-                    }
-                    if child.enabled_activations().is_empty() {
-                        out.terminals.push(child_fp);
-                        if !terminal_ok(&child) {
-                            out.offer_violation(child_fp, Box::new(child));
+                    if visited.insert(child_fp, layer as u32) {
+                        let count = state_count.fetch_add(1, Ordering::Relaxed) + 1;
+                        if count > self.limits.max_states {
+                            limit_hit.store(true, Ordering::Relaxed);
+                            // Scratch is left mid-child; the next claimed
+                            // state restores it wholesale anyway.
+                            break 'claim;
                         }
-                    } else {
-                        out.next.push((Box::new(child), child_fp));
+                        if scratch.enabled_activations().is_empty() {
+                            out.terminals.push(child_fp);
+                            if !terminal_ok(scratch) {
+                                // Clone only on violation capture. The
+                                // clone's configuration is exact; its
+                                // metrics/phases are scratch bookkeeping,
+                                // not the path's (see
+                                // [`ExploreError::PredicateViolated`]).
+                                out.offer_violation(child_fp, Box::new(scratch.clone()));
+                            }
+                        } else {
+                            out.next.push((PackedState::pack(scratch), child_fp));
+                        }
                     }
+                    cache.revert(patch);
+                    scratch.undo(undo);
                 }
             }
         }
@@ -806,8 +1194,8 @@ impl Explorer {
 
 /// One BFS layer's work order, published to the persistent worker pool.
 struct LayerJob<B: Behavior> {
-    /// The states to expand (shared read-only with every worker).
-    frontier: std::sync::Arc<Vec<(Box<Ring<B>>, u64)>>,
+    /// The packed states to expand (shared read-only with every worker).
+    frontier: std::sync::Arc<Vec<(PackedState<B>, u64)>>,
     /// The layer index (first-seen depth of the children).
     layer: usize,
 }
@@ -824,7 +1212,7 @@ impl<B: Behavior> Clone for LayerJob<B> {
 /// Thread-local partial results of one worker over one BFS layer.
 struct WorkerOut<B: Behavior> {
     /// Newly discovered non-terminal states (the next frontier's share).
-    next: Vec<(Box<Ring<B>>, u64)>,
+    next: Vec<(PackedState<B>, u64)>,
     /// Newly discovered terminal fingerprints.
     terminals: Vec<u64>,
     /// Recorded quotient edges (when termination certification is on).
@@ -870,14 +1258,14 @@ impl<B: Behavior> WorkerOut<B> {
 /// workers contend only when their fingerprints collide modulo the shard
 /// count.
 struct ShardedVisited {
-    shards: Vec<std::sync::Mutex<HashMap<u64, u32>>>,
+    shards: Vec<std::sync::Mutex<HashMap<u64, u32, FpBuildHasher>>>,
 }
 
 impl ShardedVisited {
     fn new() -> Self {
         ShardedVisited {
             shards: (0..VISITED_SHARDS)
-                .map(|_| std::sync::Mutex::new(HashMap::new()))
+                .map(|_| std::sync::Mutex::new(HashMap::default()))
                 .collect(),
         }
     }
@@ -930,7 +1318,7 @@ impl ShardedVisited {
 /// concrete configuration graph is (see [`crate::canonical`]).
 fn find_cycle(edges: &mut [(u64, u64)], visited: &ShardedVisited) -> Option<usize> {
     edges.sort_unstable();
-    let mut indegree: HashMap<u64, u32> = HashMap::new();
+    let mut indegree: HashMap<u64, u32, FpBuildHasher> = HashMap::default();
     for &(_, to) in edges.iter() {
         *indegree.entry(to).or_insert(0) += 1;
     }

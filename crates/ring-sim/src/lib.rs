@@ -87,6 +87,7 @@ mod error;
 pub mod explore;
 mod initial;
 mod metrics;
+pub mod packed;
 mod predicate;
 mod render;
 pub mod scheduler;
@@ -95,7 +96,7 @@ mod trace;
 pub use action::{Action, Idle, Next};
 pub use agent::{bits_for, Behavior, Observation};
 pub use config::{AgentView, Configuration, Place};
-pub use engine::{LinkDiscipline, PhaseTally, Ring, RunLimits, RunOutcome};
+pub use engine::{LinkDiscipline, PhaseTally, Ring, RunLimits, RunOutcome, StepUndo};
 pub use error::SimError;
 pub use initial::{InitialConfig, InitialConfigError};
 pub use metrics::Metrics;

@@ -56,6 +56,34 @@ impl Metrics {
         self.peak_memory_bits = self.peak_memory_bits.max(bits);
     }
 
+    // Exact inverses of the `record_*` calls one engine step makes,
+    // consumed by [`Ring::undo`](crate::Ring::undo). `observe_memory` is a
+    // running max and has no local inverse; `undo` restores the saved
+    // pre-step peak via `set_peak_memory` instead.
+
+    pub(crate) fn unrecord_move(&mut self, id: AgentId) {
+        self.moves[id.index()] -= 1;
+    }
+
+    pub(crate) fn unrecord_activation(&mut self, id: AgentId) {
+        self.activations[id.index()] -= 1;
+    }
+
+    pub(crate) fn unrecord_broadcast(&mut self, receivers: usize) {
+        if receivers > 0 {
+            self.messages_sent -= 1;
+            self.message_receipts -= receivers as u64;
+        }
+    }
+
+    pub(crate) fn unrecord_token_release(&mut self) {
+        self.token_releases -= 1;
+    }
+
+    pub(crate) fn set_peak_memory(&mut self, bits: usize) {
+        self.peak_memory_bits = bits;
+    }
+
     /// Moves per agent, in agent order.
     pub fn moves(&self) -> &[u64] {
         &self.moves

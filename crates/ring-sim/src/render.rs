@@ -37,7 +37,7 @@ pub fn render_ring<B: Behavior>(ring: &Ring<B>) -> String {
         }
     }
     // Preserve actual queue order for in-transit agents.
-    for (node, q) in ring.link_queues().into_iter().enumerate() {
+    for (node, q) in ring.link_queues().iter().enumerate() {
         transit[node] = q.iter().map(|a| format!("a{}", a.index())).collect();
     }
     let width = (n as f64).log10().floor() as usize + 1;

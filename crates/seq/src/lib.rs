@@ -46,6 +46,7 @@ pub use period::{
     starts_with_fourfold_repetition,
 };
 pub use rotation::{
-    canonical_rotation, compare_rotations, min_rotation, min_rotation_naive, shift, shifted_eq,
+    canonical_rotation, compare_rotations, min_rotation, min_rotation_elim, min_rotation_naive,
+    min_rotation_with, shift, shifted_eq,
 };
 pub use symmetry::{fundamental, is_cyclically_periodic, symmetry_degree};

@@ -19,7 +19,7 @@
 //! * `--sync`                 run in lock-step rounds and report ideal time
 //! * `--explore`              exhaustively verify EVERY fair schedule of the
 //!   instance (symmetry-reduced bounded model checking) instead of running one
-//! * `--explore-serial`       with `--explore`: force the serial reference engine
+//! * `--explore-serial`       with `--explore`: force the serial (single-thread) engine
 //! * `--render`               print before/after ASCII ring renders
 //! * `--json`                 print the full report as JSON instead of text
 
@@ -263,6 +263,10 @@ fn explore(opts: &Options, init: &InitialConfig) -> Result<(), String> {
         report.max_depth_seen
     );
     println!("merges    : {} back/cross edges", report.merge_edges);
+    println!(
+        "frontier  : {} peak live states (deepest DFS path / widest BFS layer)",
+        report.peak_frontier
+    );
     Ok(())
 }
 

@@ -154,6 +154,43 @@ fn relaxed_exhaustive_n16_k4_uniform() {
     assert_eq!(report.terminals, 1);
 }
 
+// ---------------------------------------------------------------------
+// Verification at n = 20, k = 4 — the scale the 0.5 reversible engine
+// unlocked (clone-free in-place DFS + packed parallel frontier +
+// incremental canonical fingerprints; the clone-based 0.4 engine topped
+// out at n = 16 within the same time budgets). One symmetric instance
+// per algorithm family, machine-checked over every fair schedule.
+// ---------------------------------------------------------------------
+
+#[test]
+fn algo1_exhaustive_n20_k4_uniform() {
+    let report = verify_instance(20, &[0, 5, 10, 15], Algorithm::FullKnowledge);
+    assert_eq!(report.terminals, 1);
+}
+
+#[test]
+fn algo2_exhaustive_n20_k4_uniform() {
+    let report = verify_instance(20, &[0, 5, 10, 15], Algorithm::LogSpace);
+    assert_eq!(report.terminals, 1);
+}
+
+#[test]
+fn relaxed_exhaustive_n20_k4_uniform() {
+    // ~25 k quotient states; the largest relaxed instance in the suite.
+    let report = verify_instance(20, &[0, 5, 10, 15], Algorithm::Relaxed);
+    assert_eq!(report.terminals, 1);
+}
+
+#[test]
+fn algo1_exhaustive_n14_k6() {
+    // Six agents spread over 14 nodes (distance sequence 2,2,2,2,2,4 —
+    // aperiodic, so the quotient cannot help): ~178 k states, the widest
+    // branching in the suite, exercising the packed parallel frontier at
+    // real scale.
+    let report = verify_instance(14, &[0, 2, 4, 6, 8, 10], Algorithm::FullKnowledge);
+    assert_eq!(report.terminals, 1);
+}
+
 #[test]
 fn symmetry_reduction_preserves_the_verdict() {
     // The quotient must change the state count, never the outcome: on a

@@ -83,12 +83,14 @@ fn relaxed_sampled_terminals_subset_of_exhaustive() {
     sampled_terminals_are_covered(&init, NoKnowledge::new, false, "relaxed");
 }
 
-/// The parallel engine must agree with the serial reference on every
-/// deterministic report field, for all three algorithms and both symmetry
-/// modes (`max_depth_seen` is the documented exception: DFS path depth vs
-/// BFS layer count).
+/// The clone-free in-place serial DFS and the packed-state parallel BFS
+/// must both agree with the **retained clone-based reference explorer**
+/// on every deterministic report field, for all three algorithms and both
+/// symmetry modes on the PR 3 differential instances (`max_depth_seen`
+/// and `peak_frontier` are the documented exceptions: DFS spanning trees
+/// and BFS layers measure depth and live-state width differently).
 #[test]
-fn parallel_exploration_matches_serial_reference() {
+fn clone_free_engines_match_clone_based_reference() {
     let cases: Vec<(&str, InitialConfig)> = vec![
         (
             "n=8 clustered",
@@ -103,38 +105,40 @@ fn parallel_exploration_matches_serial_reference() {
         let k = init.agent_count();
         for symmetry in [SymmetryMode::Off, SymmetryMode::Rotation] {
             for algo in 0..3 {
-                let (serial, parallel) = match algo {
-                    0 => run_both(init, || FullKnowledge::new(k), true, symmetry),
-                    1 => run_both(init, || LogSpace::new(k), true, symmetry),
-                    _ => run_both(init, NoKnowledge::new, false, symmetry),
+                let (reference, serial, parallel) = match algo {
+                    0 => run_three(init, || FullKnowledge::new(k), true, symmetry),
+                    1 => run_three(init, || LogSpace::new(k), true, symmetry),
+                    _ => run_three(init, NoKnowledge::new, false, symmetry),
                 };
-                assert_eq!(
-                    serial.states, parallel.states,
-                    "{label} {symmetry:?} algo{algo}"
-                );
-                assert_eq!(
-                    serial.terminals, parallel.terminals,
-                    "{label} {symmetry:?} algo{algo}"
-                );
-                assert_eq!(
-                    serial.terminal_fingerprints, parallel.terminal_fingerprints,
-                    "{label} {symmetry:?} algo{algo}"
-                );
-                assert_eq!(
-                    serial.merge_edges, parallel.merge_edges,
-                    "{label} {symmetry:?} algo{algo}"
-                );
+                for (engine, report) in [("serial", &serial), ("parallel", &parallel)] {
+                    assert_eq!(
+                        reference.states, report.states,
+                        "{label} {symmetry:?} algo{algo} {engine}"
+                    );
+                    assert_eq!(
+                        reference.terminals, report.terminals,
+                        "{label} {symmetry:?} algo{algo} {engine}"
+                    );
+                    assert_eq!(
+                        reference.terminal_fingerprints, report.terminal_fingerprints,
+                        "{label} {symmetry:?} algo{algo} {engine}"
+                    );
+                    assert_eq!(
+                        reference.merge_edges, report.merge_edges,
+                        "{label} {symmetry:?} algo{algo} {engine}"
+                    );
+                }
             }
         }
     }
 }
 
-fn run_both<B>(
+fn run_three<B>(
     init: &InitialConfig,
     make: impl Fn() -> B + Sync,
     halts: bool,
     symmetry: SymmetryMode,
-) -> (ExploreReport, ExploreReport)
+) -> (ExploreReport, ExploreReport, ExploreReport)
 where
     B: Behavior + Clone + std::hash::Hash + Send + Sync,
     B::Message: Clone + std::hash::Hash + Send + Sync,
@@ -147,6 +151,10 @@ where
         }
     };
     let ring = Ring::new(init, |_| make());
+    let reference = Explorer::new()
+        .symmetry(symmetry)
+        .run_serial_reference(&ring, pred)
+        .expect("reference");
     let serial = Explorer::new()
         .symmetry(symmetry)
         .run_serial(&ring, pred)
@@ -157,7 +165,7 @@ where
         .threads(4)
         .run(&ring, pred)
         .expect("parallel");
-    (serial, parallel)
+    (reference, serial, parallel)
 }
 
 /// Under `SymmetryMode::Off` the terminal set is keyed by plain
