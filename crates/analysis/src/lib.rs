@@ -13,6 +13,11 @@
 //! * [`Explore`]: the exhaustive-verification counterpart of `Sweep` —
 //!   each cell runs the symmetry-reduced bounded model checker over
 //!   *every* schedule of its instance instead of sampling one.
+//! * [`Certify`]: the bound-certification counterpart — each cell finds
+//!   the exact adversarial worst case of a paper measure
+//!   (branch-and-bound over the reversible engine) and evaluates the
+//!   recorded paper bound against it, with a replayable witness
+//!   schedule and the competitive ratio versus [`oracle_moves`].
 //! * [`Summary`] / [`LinearFit`]: statistics for scaling-shape checks.
 //! * [`TextTable`]: aligned text / CSV rendering for the `experiments`
 //!   binary that regenerates every table and figure.
@@ -40,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod certify;
 mod experiment;
 pub mod explore;
 pub mod generators;
@@ -49,6 +55,11 @@ mod stats;
 pub mod sweep;
 mod table;
 
+pub use certify::{
+    certify_one, paper_bound, worst_case_one, BoundCertificate, Certify, CertifyBatchError,
+    CertifyCell, CertifyErrorKind, CertifyRow, CertifySettings, EvidenceTier, PaperBound,
+    SearchStats,
+};
 pub use experiment::{Cell, Measurement};
 pub use explore::{
     explore_one, explore_one_reference, Explore, ExploreBatchError, ExploreCell, ExploreRow,
@@ -59,6 +70,7 @@ pub use generators::{
 };
 pub use memory_model::{algo1_bounds, algo2_bounds, relaxed_bounds, theorem1_lower_bound, Bound};
 pub use oracle::{oracle_moves, oracle_moves_brute_force, OracleSolution};
+pub use ringdeploy_sim::adversary::{Adversary, AdversaryError, Objective, WorstCase};
 pub use stats::{LinearFit, Summary};
 pub use sweep::{
     measure_one, measure_with_ideal_time, summarize, MeasureError, Sweep, SweepCell, SweepError,

@@ -1,0 +1,711 @@
+//! Worst-case schedule synthesis — a branch-and-bound adversary over the
+//! reversible engine.
+//!
+//! The exhaustive explorer ([`crate::explore`]) answers *qualitative*
+//! questions: does every fair schedule deploy, and can any schedule loop
+//! forever? This module answers the *quantitative* one the paper's
+//! headline results are actually about: **which schedule does the
+//! adversary pick, and how bad is it?** For a given instance and
+//! [`Objective`] it computes the exact maximum the objective can reach
+//! over *every* fair asynchronous schedule, and returns the maximising
+//! schedule itself as a replayable witness — a `Vec` of scheduler picks
+//! that drives [`Replay`](crate::scheduler::Replay) through the exact
+//! worst-case execution.
+//!
+//! # The search
+//!
+//! A depth-first branch-and-bound over the configuration graph, built on
+//! the same machinery as the explorer's serial engine:
+//!
+//! * children are generated in place with the reversible
+//!   [`Ring::apply`]/[`Ring::undo`] pair (no per-child clone), the
+//!   enabled slices of all live states share one activation arena, and
+//!   canonical fingerprints are maintained incrementally (the explorer's
+//!   `FingerprintCache`: ≤ 2 node symbols re-derived per step);
+//! * the visited map stores, per fingerprint, the **best accumulated
+//!   objective value** any path has entered that state with. A child
+//!   whose fingerprint was already reached with at least the current
+//!   accumulated value is pruned — *fingerprint-with-cost dominance*;
+//!   reaching a known state with a strictly larger accumulated value
+//!   re-expands it (and records the improvement, so each state
+//!   re-expands at most once per distinct improvement).
+//!
+//! # Why dominance pruning never loses the true maximum
+//!
+//! Write `acc(π)` for the objective accumulated along a path `π` from
+//! `C_0` to a state `C`, and `rem(C)` for the maximum the objective can
+//! still gain over schedules from `C` to quiescence. Both objective
+//! kinds combine monotonically: additive objectives (moves, activations)
+//! as `acc + rem`, the peak objective (memory watermark) as
+//! `max(acc, rem)` — in both cases the final value is non-decreasing in
+//! `acc` for fixed `rem`. `rem` is a function of the *configuration
+//! only*: behaviors are deterministic, so the schedules available from
+//! `C` — and their gains — depend only on `C`. Under
+//! [`SymmetryMode::Rotation`] the same holds per rotation class, because
+//! behaviors are anonymous: rotating a configuration bijects its
+//! schedules and preserves every gain (see [`crate::canonical`]).
+//! Therefore if some path reached fingerprint `f` with accumulated value
+//! `a'`, any later path reaching `f` with `a ≤ a'` is dominated: its
+//! best completion is at most `combine(a, rem) ≤ combine(a', rem)`,
+//! which the search already considered when it expanded `f` at `a'`.
+//! Pruning it cannot lower the computed maximum — and the witness
+//! returned is always a concrete path the search actually walked, so it
+//! is replayable by construction.
+//!
+//! A fingerprint re-encountered **on the current DFS path** is a cycle:
+//! an infinite fair execution exists and the worst case is ill-defined
+//! (for move-like objectives, unbounded), reported as
+//! [`AdversaryError::CycleDetected`] exactly like the explorer.
+//!
+//! # Example
+//!
+//! ```
+//! use ringdeploy_sim::adversary::{Adversary, Objective};
+//! use ringdeploy_sim::scheduler::Replay;
+//! # use ringdeploy_sim::{Action, Behavior, InitialConfig, Observation, Ring, RunLimits};
+//! # #[derive(Clone, Hash)]
+//! # struct Hop { left: usize, released: bool }
+//! # impl Behavior for Hop {
+//! #     type Message = ();
+//! #     fn act(&mut self, _o: &Observation<'_, ()>) -> Action<()> {
+//! #         let release = !std::mem::replace(&mut self.released, true);
+//! #         if self.left > 0 { self.left -= 1; Action::moving().with_token_release(release) }
+//! #         else { Action::halting().with_token_release(release) }
+//! #     }
+//! #     fn memory_bits(&self) -> usize { 8 }
+//! # }
+//! let init = InitialConfig::new(6, vec![0, 3])?;
+//! let ring = Ring::new(&init, |_| Hop { left: 2, released: false });
+//! let worst = Adversary::new().run(&ring, Objective::TotalMoves)?;
+//! assert_eq!(worst.value, 4); // both walkers hop twice under any schedule
+//!
+//! // The witness replays to the exact claimed execution.
+//! let mut replay_ring = Ring::new(&init, |_| Hop { left: 2, released: false });
+//! let outcome = replay_ring.run(&mut Replay::new(worst.witness.clone()), RunLimits::default())?;
+//! assert!(outcome.quiescent);
+//! assert_eq!(outcome.metrics.total_moves(), worst.value);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::agent::Behavior;
+use crate::engine::{Ring, StepUndo};
+use crate::error::SimError;
+use crate::explore::{ExploreLimits, FingerprintCache, FpBuildHasher, SymbolPatch, SymmetryMode};
+use crate::scheduler::Activation;
+
+/// The quantity the adversarial schedule maximises — the paper's three
+/// complexity measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Total moves of all agents (the paper's *total moves* row).
+    /// Additive; counted from the search's start configuration.
+    TotalMoves,
+    /// Atomic actions executed (activations). Additive; counted from the
+    /// search's start configuration.
+    TotalActivations,
+    /// Peak per-agent memory in bits (the paper's *agent memory* row) —
+    /// the running maximum of
+    /// [`Behavior::memory_bits`](crate::Behavior::memory_bits) over
+    /// agents and time, i.e. the watermark
+    /// [`Metrics::peak_memory_bits`](crate::Metrics::peak_memory_bits).
+    PeakMemoryBits,
+}
+
+impl Objective {
+    /// All objectives, in Table-1 order (memory, —, moves ordered as
+    /// moves, activations, memory here for search-cost reasons).
+    pub const ALL: [Objective; 3] = [
+        Objective::TotalMoves,
+        Objective::TotalActivations,
+        Objective::PeakMemoryBits,
+    ];
+
+    /// A stable machine-readable name (used by the CLI and JSON reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Objective::TotalMoves => "total-moves",
+            Objective::TotalActivations => "total-activations",
+            Objective::PeakMemoryBits => "peak-memory-bits",
+        }
+    }
+
+    /// Parses the output of [`Objective::name`].
+    pub fn from_name(name: &str) -> Option<Objective> {
+        Objective::ALL.into_iter().find(|o| o.name() == name)
+    }
+
+    /// Whether the objective accumulates additively along a schedule
+    /// (`false` for the peak-watermark objective, which combines by
+    /// `max`). Both shapes are monotone in the accumulated value, which
+    /// is what makes dominance pruning sound — see the [module
+    /// docs](self).
+    pub fn is_additive(self) -> bool {
+        !matches!(self, Objective::PeakMemoryBits)
+    }
+}
+
+impl std::fmt::Display for Objective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The adversary's answer: the exact worst-case value, the schedule that
+/// achieves it, and search diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorstCase {
+    /// The objective that was maximised.
+    pub objective: Objective,
+    /// The exact maximum over every fair schedule. Additive objectives
+    /// count from the search's start configuration;
+    /// [`Objective::PeakMemoryBits`] is the absolute watermark (it
+    /// includes the initial memory observation).
+    pub value: u64,
+    /// The maximising schedule: the scheduler picks, in order, from the
+    /// start configuration to the worst terminal — directly consumable
+    /// by [`Replay`](crate::scheduler::Replay) on a fresh ring of the
+    /// same instance.
+    pub witness: Vec<Activation>,
+    /// Fingerprint of the terminal configuration the witness ends in
+    /// ([`canonical_fingerprint`](crate::canonical::canonical_fingerprint)
+    /// under [`SymmetryMode::Rotation`], the plain fingerprint under
+    /// [`SymmetryMode::Off`]).
+    pub terminal_fingerprint: u64,
+    /// Distinct configurations entered into the visited map (rotation
+    /// classes under [`SymmetryMode::Rotation`]) — the reachable state
+    /// count, equal to what the explorer reports for the same mode.
+    pub distinct_states: usize,
+    /// State expansions performed, *including* dominance re-expansions
+    /// (a state whose best-entry value improves is expanded again). The
+    /// branch-and-bound's true work measure; `expansions −
+    /// distinct_states` counts the re-expansions.
+    pub expansions: usize,
+    /// Children cut by fingerprint-with-cost dominance (reached with an
+    /// accumulated value ≤ the best already recorded for their
+    /// fingerprint).
+    pub dominance_prunes: u64,
+    /// Terminal (quiescent) configurations encountered, counting
+    /// re-encounters along different dominating paths.
+    pub terminal_hits: u64,
+    /// Longest DFS path explored.
+    pub max_depth_seen: usize,
+}
+
+/// Failures of a worst-case search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdversaryError {
+    /// A configuration repeats along one schedule: an infinite fair
+    /// execution exists and the worst case is ill-defined (for additive
+    /// objectives, unbounded).
+    CycleDetected {
+        /// Schedule depth at which the repeat closed.
+        depth: usize,
+    },
+    /// `max_states` (counted in expansions) or `max_depth` exceeded
+    /// before the search completed.
+    LimitExceeded(SimError),
+}
+
+impl std::fmt::Display for AdversaryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdversaryError::CycleDetected { depth } => write!(
+                f,
+                "configuration repeats at depth {depth}: an infinite fair execution exists, \
+                 so no terminal worst case is defined"
+            ),
+            AdversaryError::LimitExceeded(e) => write!(f, "adversary limits exceeded: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AdversaryError {}
+
+/// Visited-map entry: the best accumulated objective value any path has
+/// entered this state with, plus the DFS-path flag (a re-encounter while
+/// on the path is a cycle).
+struct Entry {
+    best: u64,
+    on_path: bool,
+}
+
+/// The configurable worst-case search engine. See the [module
+/// docs](self).
+#[derive(Debug, Clone)]
+pub struct Adversary {
+    limits: ExploreLimits,
+    symmetry: SymmetryMode,
+}
+
+impl Default for Adversary {
+    fn default() -> Self {
+        Adversary::new()
+    }
+}
+
+impl Adversary {
+    /// Default engine: default [`ExploreLimits`] (the `max_states` budget
+    /// caps *expansions*, re-expansions included) and
+    /// [`SymmetryMode::Rotation`].
+    pub fn new() -> Self {
+        Adversary {
+            limits: ExploreLimits::default(),
+            symmetry: SymmetryMode::default(),
+        }
+    }
+
+    /// Overrides the search limits.
+    pub fn limits(mut self, limits: ExploreLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Selects the dominance quotient (default:
+    /// [`SymmetryMode::Rotation`]). [`SymmetryMode::Off`] prunes only on
+    /// exact (plain-fingerprint) re-encounters — the *unpruned
+    /// enumeration* baseline the `adversary_scale` bench compares
+    /// against; both modes compute the same maximum (the objectives are
+    /// rotation-invariant).
+    pub fn symmetry(mut self, symmetry: SymmetryMode) -> Self {
+        self.symmetry = symmetry;
+        self
+    }
+
+    /// Finds the exact worst case of `objective` over every fair schedule
+    /// of `ring`, with a replayable witness.
+    ///
+    /// # Errors
+    ///
+    /// See [`AdversaryError`].
+    pub fn run<B>(&self, ring: &Ring<B>, objective: Objective) -> Result<WorstCase, AdversaryError>
+    where
+        B: Behavior + Clone + Hash,
+        B::Message: Clone + Hash,
+    {
+        let limits = self.limits;
+        let mut cur = ring.clone_for_exploration();
+        let mut cache = FingerprintCache::new(self.symmetry, &cur);
+        let root_fp = cache.fingerprint(&cur);
+        let root_acc = match objective {
+            Objective::PeakMemoryBits => cur.metrics().peak_memory_bits() as u64,
+            _ => 0,
+        };
+
+        let mut visited: HashMap<u64, Entry, FpBuildHasher> = HashMap::default();
+        visited.insert(
+            root_fp,
+            Entry {
+                best: root_acc,
+                on_path: true,
+            },
+        );
+        let mut worst = WorstCase {
+            objective,
+            value: 0,
+            witness: Vec::new(),
+            terminal_fingerprint: root_fp,
+            distinct_states: 1,
+            expansions: 1,
+            dominance_prunes: 0,
+            terminal_hits: 0,
+            max_depth_seen: 0,
+        };
+        if cur.enabled_activations().is_empty() {
+            // Quiescent start: the empty schedule is the only (and worst)
+            // schedule.
+            worst.value = root_acc;
+            worst.terminal_hits = 1;
+            return Ok(worst);
+        }
+        // Best terminal value found so far (None until the first terminal;
+        // every maximal schedule ends in one unless a cycle aborts first).
+        let mut best: Option<u64> = None;
+
+        /// One live state on the DFS path — the explorer's frame plus the
+        /// accumulated objective value entering the state.
+        struct Frame<B: Behavior> {
+            fp: u64,
+            acc: u64,
+            acts_start: usize,
+            next: usize,
+            undo: Option<(StepUndo<B>, SymbolPatch)>,
+        }
+
+        let mut arena: Vec<Activation> = Vec::new();
+        arena.extend_from_slice(cur.enabled_activations());
+        let mut stack: Vec<Frame<B>> = vec![Frame {
+            fp: root_fp,
+            acc: root_acc,
+            acts_start: 0,
+            next: 0,
+            undo: None,
+        }];
+        // Scheduler picks along the current path, aligned with
+        // `stack[1..]`; cloned into the witness on every improvement.
+        let mut path: Vec<Activation> = Vec::new();
+
+        while let Some(top) = stack.last_mut() {
+            if top.acts_start + top.next >= arena.len() {
+                // All children expanded: return to the parent state.
+                let frame = stack.pop().expect("stack is non-empty");
+                visited
+                    .get_mut(&frame.fp)
+                    .expect("path state is visited")
+                    .on_path = false;
+                arena.truncate(frame.acts_start);
+                if let Some((undo, patch)) = frame.undo {
+                    cache.revert(patch);
+                    cur.undo(undo);
+                    path.pop();
+                }
+                continue;
+            }
+            let act = arena[top.acts_start + top.next];
+            top.next += 1;
+            let parent_acc = top.acc;
+            let depth = stack.len();
+            worst.max_depth_seen = worst.max_depth_seen.max(depth);
+            if depth > limits.max_depth {
+                return Err(AdversaryError::LimitExceeded(SimError::StepLimitExceeded {
+                    limit: limits.max_depth as u64,
+                }));
+            }
+            let undo = cur.apply(act);
+            let patch = cache.patch(&cur, &undo);
+            let fp = cache.fingerprint(&cur);
+            let acc = match objective {
+                Objective::TotalMoves => {
+                    parent_acc + u64::from(undo.moved_to(cur.ring_size()).is_some())
+                }
+                Objective::TotalActivations => parent_acc + 1,
+                Objective::PeakMemoryBits => cur.metrics().peak_memory_bits() as u64,
+            };
+            // Terminal-ness is known now; computing it before the visited
+            // probe lets the entry arms set `on_path` directly (terminals
+            // are processed immediately and never join the path), saving a
+            // second map lookup per expansion in the search's hot loop.
+            let terminal = cur.enabled_activations().is_empty();
+            match visited.entry(fp) {
+                std::collections::hash_map::Entry::Occupied(mut seen) => {
+                    if seen.get().on_path {
+                        // Re-encountering a path state closes a concrete
+                        // cycle (Rotation mode: a quotient cycle, which
+                        // lifts to a concrete one — see crate::canonical).
+                        return Err(AdversaryError::CycleDetected { depth });
+                    }
+                    if acc <= seen.get().best {
+                        // Dominated: a path already entered this state at
+                        // least as expensively; its completions cover ours.
+                        worst.dominance_prunes += 1;
+                        cache.revert(patch);
+                        cur.undo(undo);
+                        continue;
+                    }
+                    let entry = seen.get_mut();
+                    entry.best = acc;
+                    entry.on_path = !terminal;
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(Entry {
+                        best: acc,
+                        on_path: !terminal,
+                    });
+                    worst.distinct_states += 1;
+                }
+            }
+            worst.expansions += 1;
+            if worst.expansions > limits.max_states {
+                return Err(AdversaryError::LimitExceeded(SimError::StepLimitExceeded {
+                    limit: limits.max_states as u64,
+                }));
+            }
+            if terminal {
+                worst.terminal_hits += 1;
+                if best.is_none_or(|b| acc > b) {
+                    best = Some(acc);
+                    worst.witness.clear();
+                    worst.witness.extend_from_slice(&path);
+                    worst.witness.push(act);
+                    worst.terminal_fingerprint = fp;
+                }
+                cache.revert(patch);
+                cur.undo(undo);
+                continue;
+            }
+            path.push(act);
+            let acts_start = arena.len();
+            arena.extend_from_slice(cur.enabled_activations());
+            stack.push(Frame {
+                fp,
+                acc,
+                acts_start,
+                next: 0,
+                undo: Some((undo, patch)),
+            });
+        }
+        worst.value = best.expect("a cycle-free search reaches at least one terminal");
+        Ok(worst)
+    }
+}
+
+#[cfg(feature = "serde")]
+mod json_impls {
+    use super::{Objective, WorstCase};
+    use ringdeploy_json::{FromJson, Json, JsonError, ToJson};
+
+    impl ToJson for Objective {
+        fn to_json(&self) -> Json {
+            Json::String(self.name().to_string())
+        }
+    }
+
+    impl FromJson for Objective {
+        fn from_json(json: &Json) -> Result<Self, JsonError> {
+            json.as_str()
+                .and_then(Objective::from_name)
+                .ok_or_else(|| JsonError::Decode(format!("unknown objective {json}")))
+        }
+    }
+
+    impl ToJson for WorstCase {
+        /// The full report, witness included (the witness is the whole
+        /// point: it makes the claimed worst case independently
+        /// replayable).
+        fn to_json(&self) -> Json {
+            Json::object([
+                ("objective", self.objective.to_json()),
+                ("value", self.value.to_json()),
+                ("witness", self.witness.to_json()),
+                (
+                    "terminal_fingerprint",
+                    // Fingerprints use all 64 bits; JSON numbers only
+                    // round-trip 53. Hex-string encoding keeps them exact.
+                    format!("{:016x}", self.terminal_fingerprint).to_json(),
+                ),
+                ("distinct_states", self.distinct_states.to_json()),
+                ("expansions", self.expansions.to_json()),
+                ("dominance_prunes", self.dominance_prunes.to_json()),
+                ("terminal_hits", self.terminal_hits.to_json()),
+                ("max_depth_seen", self.max_depth_seen.to_json()),
+            ])
+        }
+    }
+
+    impl FromJson for WorstCase {
+        fn from_json(json: &Json) -> Result<Self, JsonError> {
+            let fp_hex: String = json.field("terminal_fingerprint")?;
+            let terminal_fingerprint = u64::from_str_radix(&fp_hex, 16).map_err(|_| {
+                JsonError::Decode(format!("bad terminal_fingerprint hex `{fp_hex}`"))
+            })?;
+            Ok(WorstCase {
+                objective: json.field("objective")?,
+                value: json.field("value")?,
+                witness: json.field("witness")?,
+                terminal_fingerprint,
+                distinct_states: json.field("distinct_states")?,
+                expansions: json.field("expansions")?,
+                dominance_prunes: json.field("dominance_prunes")?,
+                terminal_hits: json.field("terminal_hits")?,
+                max_depth_seen: json.field("max_depth_seen")?,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{Action, Idle};
+    use crate::agent::Observation;
+    use crate::initial::InitialConfig;
+    use crate::scheduler::Replay;
+    use crate::RunLimits;
+
+    /// Walks `hops` hops, drops token at start, halts.
+    #[derive(Clone, Hash, PartialEq, Eq)]
+    struct Walker {
+        hops: usize,
+        released: bool,
+    }
+
+    impl Behavior for Walker {
+        type Message = ();
+        fn act(&mut self, _obs: &Observation<'_, ()>) -> Action<()> {
+            let release = !std::mem::replace(&mut self.released, true);
+            if self.hops > 0 {
+                self.hops -= 1;
+                Action::moving().with_token_release(release)
+            } else {
+                Action::halting().with_token_release(release)
+            }
+        }
+        fn memory_bits(&self) -> usize {
+            8
+        }
+    }
+
+    /// Stops early if it ever observes another staying agent at its node —
+    /// so the schedule genuinely changes the move count.
+    #[derive(Clone, Hash, PartialEq, Eq)]
+    struct Shy {
+        hops: usize,
+        released: bool,
+    }
+
+    impl Behavior for Shy {
+        type Message = ();
+        fn act(&mut self, obs: &Observation<'_, ()>) -> Action<()> {
+            let release = !std::mem::replace(&mut self.released, true);
+            if self.hops > 0 && obs.staying_agents == 0 {
+                self.hops -= 1;
+                Action::moving().with_token_release(release)
+            } else {
+                Action::halting().with_token_release(release)
+            }
+        }
+        fn memory_bits(&self) -> usize {
+            8
+        }
+    }
+
+    #[test]
+    fn schedule_independent_objective_is_exact() {
+        // Two independent walkers: every schedule produces exactly 4 moves
+        // and 6 activations.
+        let init = InitialConfig::new(6, vec![0, 3]).expect("valid");
+        let ring = Ring::new(&init, |_| Walker {
+            hops: 2,
+            released: false,
+        });
+        let moves = Adversary::new()
+            .run(&ring, Objective::TotalMoves)
+            .expect("search succeeds");
+        assert_eq!(moves.value, 4);
+        assert_eq!(moves.witness.len(), 6);
+        let acts = Adversary::new()
+            .run(&ring, Objective::TotalActivations)
+            .expect("search succeeds");
+        assert_eq!(acts.value, 6);
+    }
+
+    #[test]
+    fn schedule_dependent_objective_finds_the_maximum() {
+        // Two Shy agents heading for the same region: a schedule that
+        // keeps them apart lets both walk their full 3 hops (6 moves); a
+        // schedule that makes them meet stops one early. The adversary
+        // must find 6 — and the witness must replay to exactly 6.
+        let init = InitialConfig::new(4, vec![0, 1]).expect("valid");
+        let make = |_| Shy {
+            hops: 3,
+            released: false,
+        };
+        let ring = Ring::new(&init, make);
+        let worst = Adversary::new()
+            .run(&ring, Objective::TotalMoves)
+            .expect("search succeeds");
+        assert_eq!(worst.value, 6, "adversary must keep the agents apart");
+
+        let mut replay_ring = Ring::new(&init, make);
+        let outcome = replay_ring
+            .run(
+                &mut Replay::new(worst.witness.clone()),
+                RunLimits::default(),
+            )
+            .expect("witness replays");
+        assert!(outcome.quiescent);
+        assert_eq!(outcome.metrics.total_moves(), worst.value);
+        assert_eq!(
+            crate::canonical::canonical_fingerprint(&replay_ring),
+            worst.terminal_fingerprint
+        );
+    }
+
+    #[test]
+    fn symmetry_modes_agree_on_the_value() {
+        let init = InitialConfig::new(6, vec![0, 3]).expect("valid");
+        let ring = Ring::new(&init, |_| Shy {
+            hops: 4,
+            released: false,
+        });
+        for objective in Objective::ALL {
+            let rotation = Adversary::new()
+                .symmetry(SymmetryMode::Rotation)
+                .run(&ring, objective)
+                .expect("rotation");
+            let plain = Adversary::new()
+                .symmetry(SymmetryMode::Off)
+                .run(&ring, objective)
+                .expect("off");
+            assert_eq!(rotation.value, plain.value, "{objective}");
+            assert!(
+                rotation.expansions <= plain.expansions,
+                "{objective}: the quotient can only shrink the search"
+            );
+        }
+    }
+
+    /// An agent that ping-pongs between Ready-stay states forever.
+    #[derive(Clone, Hash, PartialEq, Eq)]
+    struct Spinner;
+
+    impl Behavior for Spinner {
+        type Message = ();
+        fn act(&mut self, _obs: &Observation<'_, ()>) -> Action<()> {
+            Action::staying(Idle::Ready)
+        }
+        fn memory_bits(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn livelock_is_reported_as_cycle() {
+        let init = InitialConfig::new(3, vec![0]).expect("valid");
+        let ring = Ring::new(&init, |_| Spinner);
+        let err = Adversary::new()
+            .run(&ring, Objective::TotalActivations)
+            .unwrap_err();
+        assert!(matches!(err, AdversaryError::CycleDetected { .. }), "{err}");
+    }
+
+    #[test]
+    fn expansion_limit_is_enforced() {
+        let init = InitialConfig::new(8, vec![0, 2, 4, 6]).expect("valid");
+        let ring = Ring::new(&init, |_| Walker {
+            hops: 7,
+            released: false,
+        });
+        let err = Adversary::new()
+            .limits(ExploreLimits::new(5, 10_000))
+            .run(&ring, Objective::TotalMoves)
+            .unwrap_err();
+        assert!(matches!(err, AdversaryError::LimitExceeded(_)), "{err}");
+        let err = Adversary::new()
+            .limits(ExploreLimits::new(1_000_000, 3))
+            .run(&ring, Objective::TotalMoves)
+            .unwrap_err();
+        assert!(matches!(err, AdversaryError::LimitExceeded(_)), "{err}");
+    }
+
+    #[test]
+    fn quiescent_start_returns_the_empty_witness() {
+        let init = InitialConfig::new(4, vec![0]).expect("valid");
+        let mut ring = Ring::new(&init, |_| Walker {
+            hops: 0,
+            released: false,
+        });
+        // Drive to quiescence first; the search then starts at a terminal.
+        let mut scheduler = crate::scheduler::RoundRobin::new();
+        ring.run(&mut scheduler, RunLimits::default())
+            .expect("runs out");
+        let worst = Adversary::new()
+            .run(&ring, Objective::TotalMoves)
+            .expect("search succeeds");
+        assert_eq!(worst.value, 0);
+        assert!(worst.witness.is_empty());
+        assert_eq!(worst.terminal_hits, 1);
+    }
+}

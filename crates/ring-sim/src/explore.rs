@@ -89,7 +89,7 @@ use crate::scheduler::Activation;
 /// The retained clone-based reference engine keeps the default hasher:
 /// it is preserved as the 0.4 baseline, probes and all.
 #[derive(Default, Clone)]
-struct FpHasher(u64);
+pub(crate) struct FpHasher(u64);
 
 impl std::hash::Hasher for FpHasher {
     fn finish(&self) -> u64 {
@@ -105,7 +105,7 @@ impl std::hash::Hasher for FpHasher {
     }
 }
 
-type FpBuildHasher = std::hash::BuildHasherDefault<FpHasher>;
+pub(crate) type FpBuildHasher = std::hash::BuildHasherDefault<FpHasher>;
 
 /// Limits for an exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -222,7 +222,7 @@ impl ExploreReport {
 #[cfg(feature = "serde")]
 mod json_impls {
     use super::ExploreReport;
-    use ringdeploy_json::{Json, ToJson};
+    use ringdeploy_json::{FromJson, Json, JsonError, ToJson};
 
     impl ToJson for ExploreReport {
         /// Scalar fields only: the terminal fingerprint list (potentially
@@ -236,6 +236,21 @@ mod json_impls {
                 ("merge_edges", self.merge_edges.to_json()),
                 ("peak_frontier", self.peak_frontier.to_json()),
             ])
+        }
+    }
+
+    impl FromJson for ExploreReport {
+        /// Inverse of the scalar encoding; the terminal fingerprint list
+        /// is not serialized (see [`ToJson`] above) and decodes empty.
+        fn from_json(json: &Json) -> Result<Self, JsonError> {
+            Ok(ExploreReport {
+                states: json.field("states")?,
+                terminals: json.field("terminals")?,
+                max_depth_seen: json.field("max_depth_seen")?,
+                terminal_fingerprints: Vec::new(),
+                merge_edges: json.field("merge_edges")?,
+                peak_frontier: json.field("peak_frontier")?,
+            })
         }
     }
 }
@@ -386,7 +401,7 @@ where
 /// [`FingerprintCache::revert`] needs to roll the cache back alongside
 /// [`Ring::undo`].
 #[derive(Clone, Copy)]
-struct SymbolPatch {
+pub(crate) struct SymbolPatch {
     slots: [(usize, u64); 2],
     len: usize,
 }
@@ -414,7 +429,11 @@ impl SymbolPatch {
 ///
 /// Under [`SymmetryMode::Off`] there is nothing to cache: the plain
 /// fingerprint hashes the whole configuration by definition.
-enum FingerprintCache {
+///
+/// Shared with the worst-case schedule search ([`crate::adversary`]),
+/// which walks the same reversible engine with the same incremental
+/// fingerprints.
+pub(crate) enum FingerprintCache {
     Plain,
     Rotation {
         symbols: Vec<u64>,
@@ -426,7 +445,7 @@ enum FingerprintCache {
 }
 
 impl FingerprintCache {
-    fn new<B>(mode: SymmetryMode, ring: &Ring<B>) -> Self
+    pub(crate) fn new<B>(mode: SymmetryMode, ring: &Ring<B>) -> Self
     where
         B: Behavior + Hash,
         B::Message: Hash,
@@ -442,7 +461,7 @@ impl FingerprintCache {
 
     /// Re-derives the whole symbol vector — called once per frontier
     /// state by the parallel workers after restoring a packed snapshot.
-    fn reset<B>(&mut self, ring: &Ring<B>)
+    pub(crate) fn reset<B>(&mut self, ring: &Ring<B>)
     where
         B: Behavior + Hash,
         B::Message: Hash,
@@ -455,7 +474,7 @@ impl FingerprintCache {
 
     /// The fingerprint of the ring's current state (which the cache must
     /// be in sync with).
-    fn fingerprint<B>(&mut self, ring: &Ring<B>) -> u64
+    pub(crate) fn fingerprint<B>(&mut self, ring: &Ring<B>) -> u64
     where
         B: Behavior + Hash,
         B::Message: Hash,
@@ -472,7 +491,7 @@ impl FingerprintCache {
     /// touched nodes, returning their previous values for [`revert`].
     ///
     /// [`revert`]: FingerprintCache::revert
-    fn patch<B>(&mut self, ring: &Ring<B>, undo: &StepUndo<B>) -> SymbolPatch
+    pub(crate) fn patch<B>(&mut self, ring: &Ring<B>, undo: &StepUndo<B>) -> SymbolPatch
     where
         B: Behavior + Hash,
         B::Message: Hash,
@@ -497,7 +516,7 @@ impl FingerprintCache {
     }
 
     /// Rolls the cache back alongside [`Ring::undo`].
-    fn revert(&mut self, patch: SymbolPatch) {
+    pub(crate) fn revert(&mut self, patch: SymbolPatch) {
         if let FingerprintCache::Rotation { symbols, .. } = self {
             for &(v, old) in patch.slots[..patch.len].iter() {
                 symbols[v] = old;

@@ -79,6 +79,7 @@
 #![warn(missing_docs)]
 
 mod action;
+pub mod adversary;
 mod agent;
 pub mod canonical;
 mod config;

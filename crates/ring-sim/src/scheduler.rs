@@ -358,6 +358,37 @@ impl Scheduler for Replay {
     }
 }
 
+#[cfg(feature = "serde")]
+mod json_impls {
+    use super::Activation;
+    use crate::AgentId;
+    use ringdeploy_json::{FromJson, Json, JsonError, ToJson};
+
+    impl ToJson for Activation {
+        /// The adversarial-witness wire format: schedules are thousands of
+        /// activations long, so each entry is a compact two-element
+        /// `[agent, arrival]` pair rather than a keyed object.
+        fn to_json(&self) -> Json {
+            Json::Array(vec![self.agent.index().to_json(), Json::Bool(self.arrival)])
+        }
+    }
+
+    impl FromJson for Activation {
+        fn from_json(json: &Json) -> Result<Self, JsonError> {
+            let items = json
+                .as_array()
+                .filter(|items| items.len() == 2)
+                .ok_or_else(|| {
+                    JsonError::Decode(format!("expected [agent, arrival] pair, found {json}"))
+                })?;
+            Ok(Activation {
+                agent: AgentId(usize::from_json(&items[0])?),
+                arrival: bool::from_json(&items[1])?,
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

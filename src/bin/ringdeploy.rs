@@ -5,6 +5,8 @@
 //! ringdeploy --n 18 --homes 0,1,2,3,4,5 --algo algo1 --schedule random:42 --render
 //! ringdeploy --n 60 --k 6 --seed 7 --algo relaxed --sync
 //! ringdeploy --n 12 --homes 0,3,6,9 --algo algo2 --explore
+//! ringdeploy --n 12 --homes 0,1,2,3 --algo algo1 --adversary moves
+//! ringdeploy --n 12 --homes 0,3,6,9 --algo relaxed --certify --json
 //! ```
 //!
 //! Options:
@@ -20,13 +22,24 @@
 //! * `--explore`              exhaustively verify EVERY fair schedule of the
 //!   instance (symmetry-reduced bounded model checking) instead of running one
 //! * `--explore-serial`       with `--explore`: force the serial (single-thread) engine
+//! * `--adversary <obj>`      synthesise the exact worst-case schedule for
+//!   `moves` | `activations` | `memory` (branch-and-bound over every fair
+//!   schedule) and report the maximum with its replayable witness
+//! * `--certify`              certify the paper bounds: adversarial exact
+//!   worst case for all three objectives vs. the recorded `c·k·n`-style
+//!   bounds, with the competitive ratio vs. the offline oracle; exits
+//!   non-zero if any bound is violated
+//! * `--tier <t>`             with `--certify`: evidence tier `sweep` |
+//!   `exhaustive` | `adversarial` (default `adversarial`)
 //! * `--render`               print before/after ASCII ring renders
 //! * `--json`                 print the full report as JSON instead of text
 
 use std::process::ExitCode;
 
 use rand::SeedableRng;
-use ringdeploy::analysis::random_config;
+use ringdeploy::analysis::certify::{certify_one, CertifySettings, EvidenceTier};
+use ringdeploy::analysis::{random_config, worst_case_one};
+use ringdeploy::sim::adversary::{Adversary, Objective};
 use ringdeploy::{Algorithm, Deployment, FullKnowledge, InitialConfig, Ring, Schedule};
 
 struct Options {
@@ -39,6 +52,10 @@ struct Options {
     schedule_set: bool,
     explore: bool,
     explore_serial: bool,
+    adversary: Option<Objective>,
+    certify: bool,
+    tier: EvidenceTier,
+    tier_set: bool,
     render: bool,
     json: bool,
 }
@@ -46,7 +63,8 @@ struct Options {
 fn usage() -> &'static str {
     "usage: ringdeploy --n <nodes> (--homes a,b,c | --k <agents> [--seed s]) \
      [--algo algo1|algo2|relaxed] [--schedule round-robin|random:<seed>|one-at-a-time|delay:<agent>] \
-     [--sync] [--explore [--explore-serial]] [--render] [--json]"
+     [--sync] [--explore [--explore-serial]] [--adversary moves|activations|memory] \
+     [--certify [--tier sweep|exhaustive|adversarial]] [--render] [--json]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -60,6 +78,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         schedule_set: false,
         explore: false,
         explore_serial: false,
+        adversary: None,
+        certify: false,
+        tier: EvidenceTier::Adversarial,
+        tier_set: false,
         render: false,
         json: false,
     };
@@ -103,6 +125,21 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--sync" => opts.schedule = Schedule::Synchronous,
             "--explore" => opts.explore = true,
             "--explore-serial" => opts.explore_serial = true,
+            "--adversary" => {
+                opts.adversary = Some(match value(&mut i)?.as_str() {
+                    "moves" | "total-moves" => Objective::TotalMoves,
+                    "activations" | "total-activations" => Objective::TotalActivations,
+                    "memory" | "peak-memory-bits" => Objective::PeakMemoryBits,
+                    other => return Err(format!("unknown objective `{other}`")),
+                });
+            }
+            "--certify" => opts.certify = true,
+            "--tier" => {
+                let spec = value(&mut i)?;
+                opts.tier = EvidenceTier::from_name(&spec)
+                    .ok_or_else(|| format!("unknown evidence tier `{spec}`"))?;
+                opts.tier_set = true;
+            }
             "--render" => opts.render = true,
             "--json" => opts.json = true,
             "--help" | "-h" => return Err(usage().to_string()),
@@ -119,9 +156,22 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if opts.explore_serial && !opts.explore {
         return Err(format!("--explore-serial requires --explore\n{}", usage()));
     }
-    if opts.explore && (opts.schedule_set || opts.schedule == Schedule::Synchronous) {
+    if opts.tier_set && !opts.certify {
+        return Err(format!("--tier requires --certify\n{}", usage()));
+    }
+    let quantified_modes = usize::from(opts.explore)
+        + usize::from(opts.adversary.is_some())
+        + usize::from(opts.certify);
+    if quantified_modes > 1 {
         return Err(format!(
-            "--explore quantifies over every fair schedule; drop --schedule/--sync\n{}",
+            "--explore, --adversary and --certify are mutually exclusive\n{}",
+            usage()
+        ));
+    }
+    if quantified_modes > 0 && (opts.schedule_set || opts.schedule == Schedule::Synchronous) {
+        return Err(format!(
+            "--explore/--adversary/--certify quantify over every fair schedule; \
+             drop --schedule/--sync\n{}",
             usage()
         ));
     }
@@ -177,6 +227,12 @@ fn run(opts: &Options) -> Result<(), String> {
     }
     if opts.explore {
         return explore(opts, &init);
+    }
+    if let Some(objective) = opts.adversary {
+        return adversary(opts, &init, objective);
+    }
+    if opts.certify {
+        return certify(opts, &init);
     }
     let report = Deployment::of(&init)
         .algorithm(opts.algo)
@@ -288,6 +344,116 @@ fn explore_instance(
         .map_err(|e| format!("exhaustive verification FAILED: {e}"))
 }
 
+/// Synthesises the exact worst-case schedule for one objective
+/// (branch-and-bound over every fair schedule, rotation quotient).
+fn adversary(opts: &Options, init: &InitialConfig, objective: Objective) -> Result<(), String> {
+    use ringdeploy::sim::explore::ExploreLimits;
+
+    let engine = Adversary::new().limits(ExploreLimits::for_instance(
+        init.ring_size(),
+        init.agent_count(),
+    ));
+    let worst = worst_case_one(opts.algo, init, &engine, objective)
+        .map_err(|e| format!("worst-case search FAILED: {e}"))?;
+    if opts.json {
+        #[cfg(feature = "serde")]
+        {
+            use ringdeploy_json::{Json, ToJson};
+            let json = Json::object([
+                ("mode", "adversary".to_json()),
+                ("algorithm", opts.algo.to_json()),
+                ("n", init.ring_size().to_json()),
+                ("k", init.agent_count().to_json()),
+                ("symmetry_degree", init.symmetry_degree().to_json()),
+                ("report", worst.to_json()),
+            ]);
+            println!("{json}");
+            return Ok(());
+        }
+        #[cfg(not(feature = "serde"))]
+        return Err("--json requires the `serde` feature (enabled by default)".to_string());
+    }
+    println!("algorithm : {}", opts.algo.name());
+    println!("mode      : adversarial worst case (every fair schedule, exact)");
+    println!("objective : {objective}");
+    println!("worst case: {}", worst.value);
+    println!(
+        "witness   : {} scheduler picks (replayable via Replay)",
+        worst.witness.len()
+    );
+    println!(
+        "search    : {} states, {} expansions, {} dominance prunes, depth {}",
+        worst.distinct_states, worst.expansions, worst.dominance_prunes, worst.max_depth_seen
+    );
+    Ok(())
+}
+
+/// Certifies the paper bounds for all three objectives at the selected
+/// evidence tier; fails (non-zero exit) if any bound is violated.
+fn certify(opts: &Options, init: &InitialConfig) -> Result<(), String> {
+    let settings = CertifySettings::default();
+    let mut certificates = Vec::new();
+    for objective in Objective::ALL {
+        let cert = certify_one(opts.algo, init, objective, opts.tier, &settings)
+            .map_err(|e| format!("certification FAILED ({objective}): {e}"))?;
+        certificates.push(cert);
+    }
+    let violation = violation_error(&certificates);
+    if opts.json {
+        #[cfg(feature = "serde")]
+        {
+            use ringdeploy_json::{Json, ToJson};
+            let json = Json::object([
+                ("mode", "certify".to_json()),
+                ("algorithm", opts.algo.to_json()),
+                ("n", init.ring_size().to_json()),
+                ("k", init.agent_count().to_json()),
+                ("symmetry_degree", init.symmetry_degree().to_json()),
+                ("tier", opts.tier.to_json()),
+                ("certificates", certificates.to_json()),
+            ]);
+            println!("{json}");
+        }
+        #[cfg(not(feature = "serde"))]
+        return Err("--json requires the `serde` feature (enabled by default)".to_string());
+    } else {
+        println!("algorithm : {}", opts.algo.name());
+        println!("mode      : bound certification ({} tier)", opts.tier);
+        for cert in &certificates {
+            let ratio = cert
+                .competitive_ratio
+                .map(|r| format!(", {r:.2}x vs offline oracle"))
+                .unwrap_or_default();
+            println!(
+                "{:<17} : worst {:>6}  bound {:>8.1} ({} with c = {})  {}{ratio}",
+                cert.objective.name(),
+                cert.worst_value,
+                cert.bound.value,
+                cert.bound.formula,
+                cert.bound.constant,
+                if cert.holds() { "OK" } else { "VIOLATED" },
+            );
+        }
+    }
+    match violation {
+        Some(error) => Err(error),
+        None => Ok(()),
+    }
+}
+
+/// The non-zero-exit decision of `--certify` (the CI gate): `Some`
+/// error text when any certificate's measured worst case violates its
+/// recorded paper bound.
+fn violation_error(certificates: &[ringdeploy::BoundCertificate]) -> Option<String> {
+    let violated = certificates.iter().filter(|c| !c.holds()).count();
+    (violated > 0).then(|| {
+        format!(
+            "{violated} of {} paper bounds VIOLATED by a measured worst case",
+            certificates.len()
+        )
+    })
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match parse_args(&args) {
@@ -302,5 +468,54 @@ fn main() -> ExitCode {
             eprintln!("{e}");
             ExitCode::from(2)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringdeploy::analysis::PaperBound;
+    use ringdeploy::BoundCertificate;
+
+    fn certificate(worst_value: u64, bound_value: f64) -> BoundCertificate {
+        BoundCertificate {
+            algorithm: Algorithm::FullKnowledge,
+            objective: Objective::TotalMoves,
+            tier: EvidenceTier::Adversarial,
+            n: 12,
+            k: 4,
+            symmetry_degree: 1,
+            bound: PaperBound {
+                formula: "c*k*n",
+                constant: 3.0,
+                value: bound_value,
+            },
+            worst_value,
+            witness: None,
+            terminal_fingerprint: None,
+            oracle_moves: None,
+            competitive_ratio: None,
+            search: None,
+        }
+    }
+
+    /// The CI gate's decision function: a violated bound — which no real
+    /// instance produces (that is what the CI `adversary` job asserts) —
+    /// must turn into the non-zero-exit error, and exactly then. A bound
+    /// met with equality still holds.
+    #[test]
+    fn violation_error_fires_exactly_on_violated_bounds() {
+        assert_eq!(violation_error(&[certificate(96, 144.0)]), None);
+        assert_eq!(violation_error(&[certificate(144, 144.0)]), None);
+        let error = violation_error(&[
+            certificate(96, 144.0),
+            certificate(145, 144.0),
+            certificate(700, 144.0),
+        ])
+        .expect("violations must fail the run");
+        assert_eq!(
+            error,
+            "2 of 3 paper bounds VIOLATED by a measured worst case"
+        );
     }
 }

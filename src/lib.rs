@@ -64,7 +64,10 @@ pub use ringdeploy_seq as seq;
 pub use ringdeploy_sim as sim;
 pub use ringdeploy_vis as vis;
 
-pub use ringdeploy_analysis::{Explore, ExploreRow, Sweep, SweepRow, Workload};
+pub use ringdeploy_analysis::{
+    Adversary, BoundCertificate, Certify, CertifyRow, Explore, ExploreRow, Objective, Sweep,
+    SweepRow, Workload, WorstCase,
+};
 pub use ringdeploy_core::{
     Algorithm, DeployError, DeployReport, Deployment, FullKnowledge, LogSpace, NoKnowledge,
     PhaseMetric, Rendezvous, RendezvousVerdict, Schedule, SpacingPlan, TerminatingEstimator,

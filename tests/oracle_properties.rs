@@ -1,0 +1,243 @@
+//! Independent verification of the offline-optimal oracle
+//! (`analysis::oracle_moves`), which now underwrites the bound
+//! certificates' competitive ratios: if the oracle over-estimated the
+//! offline optimum, every reported ratio would silently flatter the
+//! algorithms.
+//!
+//! The oracle prunes its search with two classical reductions:
+//!
+//! * **order-preserving assignment** — for sorted agents and sorted
+//!   targets only the `k` cyclic shifts need be tried, not all `k!`
+//!   permutations;
+//! * **candidate rotations** — only target-pattern rotations `δ` making
+//!   some agent's cost zero can be optimal, cutting `δ ∈ 0..n` down to
+//!   ≤ k² candidates.
+//!
+//! This suite checks both reductions against a brute force that applies
+//! *neither*: all `n` rotations of the canonical gap pattern × all `k!`
+//! assignments (`n ≤ 8, k ≤ 3` keeps that to ≤ 48·6 evaluations). A
+//! second, pattern-unrestricted brute force additionally enumerates
+//! every uniform gap pattern, pinning the `k | n` exactness claim: when
+//! the gaps are all equal the canonical pattern is the *only* pattern,
+//! so the oracle is the true unrestricted optimum.
+
+use proptest::prelude::*;
+use proptest::TestCaseError;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ringdeploy::analysis::{oracle_moves, oracle_moves_brute_force};
+use ringdeploy::{InitialConfig, SpacingPlan};
+
+/// All permutations of `0..k` (k ≤ 3 ⇒ at most 6), built recursively.
+fn permutations(k: usize) -> Vec<Vec<usize>> {
+    fn go(prefix: &mut Vec<usize>, rest: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if rest.is_empty() {
+            out.push(prefix.clone());
+            return;
+        }
+        for i in 0..rest.len() {
+            let x = rest.remove(i);
+            prefix.push(x);
+            go(prefix, rest, out);
+            prefix.pop();
+            rest.insert(i, x);
+        }
+    }
+    let mut out = Vec::new();
+    go(&mut Vec::new(), &mut (0..k).collect(), &mut out);
+    out
+}
+
+/// Minimal forward cost over all `n` rotations of the **canonical**
+/// gap pattern (the one the oracle and the paper's algorithms use) ×
+/// **all `k!` assignments** — the oracle's claim with both of its
+/// reductions stripped.
+fn canonical_pattern_full_brute(init: &InitialConfig) -> u64 {
+    let n = init.ring_size() as u64;
+    let k = init.agent_count();
+    let mut agents: Vec<u64> = init.homes().iter().map(|&h| h as u64).collect();
+    agents.sort_unstable();
+    let plan = SpacingPlan::new(n, k as u64, 1).expect("k ≤ n");
+    let offsets: Vec<u64> = (0..k as u64).map(|j| plan.offset(j)).collect();
+    let perms = permutations(k);
+    let mut best = u64::MAX;
+    for delta in 0..n {
+        for perm in &perms {
+            let cost: u64 = (0..k)
+                .map(|i| {
+                    let target = (delta + offsets[perm[i]]) % n;
+                    (target + n - agents[i]) % n
+                })
+                .sum();
+            best = best.min(cost);
+        }
+    }
+    best
+}
+
+/// The true unrestricted optimum: every uniform gap pattern (each way of
+/// choosing which `n mod k` gaps are long) × every rotation × every
+/// assignment.
+fn unrestricted_brute(init: &InitialConfig) -> u64 {
+    let n = init.ring_size();
+    let k = init.agent_count();
+    let mut agents: Vec<u64> = init.homes().iter().map(|&h| h as u64).collect();
+    agents.sort_unstable();
+    let floor = n / k;
+    let r = n % k;
+    let perms = permutations(k);
+    let mut best = u64::MAX;
+    // Each subset of gap positions of size r gets the long (ceil) gap.
+    for mask in 0u32..(1 << k) {
+        if mask.count_ones() as usize != r {
+            continue;
+        }
+        let mut offsets = Vec::with_capacity(k);
+        let mut acc = 0u64;
+        for j in 0..k {
+            offsets.push(acc);
+            acc += floor as u64 + u64::from(mask & (1 << j) != 0);
+        }
+        assert_eq!(acc, n as u64, "gaps must tile the ring");
+        for delta in 0..n as u64 {
+            for perm in &perms {
+                let cost: u64 = (0..k)
+                    .map(|i| {
+                        let target = (delta + offsets[perm[i]]) % n as u64;
+                        (target + n as u64 - agents[i]) % n as u64
+                    })
+                    .sum();
+                best = best.min(cost);
+            }
+        }
+    }
+    best
+}
+
+/// A random tiny instance: distinct homes, `n ≤ 8`, `k ≤ 3`.
+fn tiny_instance(seed: u64) -> InitialConfig {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n: usize = rng.gen_range(2..=8);
+    let k = rng.gen_range(1..=n.min(3));
+    let mut homes: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        homes.swap(i, j);
+    }
+    homes.truncate(k);
+    InitialConfig::new(n, homes).expect("distinct homes in range")
+}
+
+fn check_oracle(init: &InitialConfig) -> Result<(), TestCaseError> {
+    let n = init.ring_size();
+    let k = init.agent_count();
+    let fast = oracle_moves(init).total_moves;
+    let canonical = canonical_pattern_full_brute(init);
+    let unrestricted = unrestricted_brute(init);
+    // The oracle's two reductions (cyclic shifts only, candidate
+    // rotations only) must lose nothing against the reduction-free
+    // search of the same pattern space.
+    prop_assert_eq!(
+        fast,
+        canonical,
+        "n={} homes={:?}: oracle {} != canonical-pattern brute {}",
+        n,
+        init.homes(),
+        fast,
+        canonical
+    );
+    // Restricting to the canonical pattern is an upper bound on the
+    // unrestricted optimum…
+    prop_assert!(
+        fast >= unrestricted,
+        "n={} homes={:?}: oracle {} beats the true optimum {}",
+        n,
+        init.homes(),
+        fast,
+        unrestricted
+    );
+    // …and exact when k | n (the pattern is then unique).
+    if n.is_multiple_of(k) {
+        prop_assert_eq!(
+            fast,
+            unrestricted,
+            "n={} homes={:?}: k | n must be exact ({} vs {})",
+            n,
+            init.homes(),
+            fast,
+            unrestricted
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The oracle equals the reduction-free brute force on its own
+    /// pattern space, never beats the unrestricted optimum, and is exact
+    /// whenever `k | n`.
+    #[test]
+    fn oracle_matches_brute_force_optimum(seed in 0u64..1_000_000) {
+        check_oracle(&tiny_instance(seed))?;
+    }
+}
+
+/// Exhaustive (not sampled) sweep of every instance with `n ≤ 7, k ≤ 3`:
+/// the full cross-check at a size where enumerating all home sets is
+/// cheap — a few hundred instances, each against both brute forces.
+#[test]
+fn oracle_exact_on_every_tiny_instance() {
+    fn subsets(
+        n: usize,
+        k: usize,
+        from: usize,
+        acc: &mut Vec<usize>,
+        visit: &mut dyn FnMut(&[usize]),
+    ) {
+        if acc.len() == k {
+            visit(acc);
+            return;
+        }
+        for h in from..n {
+            acc.push(h);
+            subsets(n, k, h + 1, acc, visit);
+            acc.pop();
+        }
+    }
+    let mut instances = 0usize;
+    for n in 2..=7usize {
+        for k in 1..=n.min(3) {
+            subsets(n, k, 0, &mut Vec::new(), &mut |homes| {
+                let init = InitialConfig::new(n, homes.to_vec()).expect("valid");
+                check_oracle(&init).unwrap_or_else(|e| panic!("n={n} homes={homes:?}: {e:?}"));
+                instances += 1;
+            });
+        }
+    }
+    assert!(instances > 100, "the sweep must actually cover the space");
+}
+
+/// The pre-existing exported brute force (`oracle_moves_brute_force`,
+/// cyclic shifts only) must agree with the reduction-free one whenever
+/// the order-preserving theorem applies — i.e. always. A disagreement
+/// would mean the *old* test-support brute force was itself leaning on
+/// an unverified reduction.
+#[test]
+fn exported_brute_force_agrees_with_full_assignments() {
+    let cases = [
+        (6usize, vec![0usize, 1]),
+        (7, vec![0, 2, 3]),
+        (8, vec![0, 1, 2]),
+        (8, vec![1, 4, 6]),
+        (5, vec![0, 1, 2]),
+    ];
+    for (n, homes) in cases {
+        let init = InitialConfig::new(n, homes.clone()).expect("valid");
+        assert_eq!(
+            oracle_moves_brute_force(&init),
+            unrestricted_brute(&init),
+            "n={n} homes={homes:?}"
+        );
+    }
+}
