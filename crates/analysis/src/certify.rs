@@ -100,6 +100,7 @@ const FORMULA_KN_OVER_L: &str = "c*k*n/l";
 const FORMULA_K_LOG_N: &str = "c*k*log2(n)";
 const FORMULA_LOG_N: &str = "c*log2(n)";
 const FORMULA_K_OVER_L_LOG: &str = "c*(k/l)*log2(n/l)";
+#[cfg(feature = "serde")]
 const BOUND_FORMULAS: [&str; 5] = [
     FORMULA_KN,
     FORMULA_KN_OVER_L,
@@ -279,6 +280,12 @@ pub struct BoundCertificate {
     pub competitive_ratio: Option<f64>,
     /// Branch-and-bound diagnostics — search tiers only.
     pub search: Option<SearchStats>,
+    /// Fingerprint of the canonical instance key this certificate
+    /// answers ([`InstanceKey::fingerprint`](crate::InstanceKey)),
+    /// stamped by batch/service layers so cache identity is auditable
+    /// from the certificate alone. `None` for ad-hoc certifications.
+    /// Hex-encoded in JSON.
+    pub instance_fingerprint: Option<u64>,
 }
 
 impl BoundCertificate {
@@ -473,6 +480,7 @@ pub fn certify_one(
         oracle_moves: oracle,
         competitive_ratio: ratio,
         search,
+        instance_fingerprint: None,
     })
 }
 
@@ -857,6 +865,12 @@ mod json_impls {
                         None => Json::Null,
                     },
                 ),
+                (
+                    "instance_fingerprint",
+                    self.instance_fingerprint
+                        .map(|fp| format!("{fp:016x}"))
+                        .to_json(),
+                ),
                 // Derived, emitted for human/CI consumption; ignored on
                 // decode.
                 ("holds", self.holds().to_json()),
@@ -866,14 +880,16 @@ mod json_impls {
 
     impl FromJson for BoundCertificate {
         fn from_json(json: &Json) -> Result<Self, JsonError> {
-            let fp_hex: Option<String> = json.optional_field("terminal_fingerprint")?;
-            let terminal_fingerprint = fp_hex
-                .map(|hex| {
-                    u64::from_str_radix(&hex, 16).map_err(|_| {
-                        JsonError::Decode(format!("bad terminal_fingerprint hex `{hex}`"))
-                    })
+            let decode_hex = |name: &str| -> Result<Option<u64>, JsonError> {
+                let hex: Option<String> = json.optional_field(name)?;
+                hex.map(|hex| {
+                    u64::from_str_radix(&hex, 16)
+                        .map_err(|_| JsonError::Decode(format!("bad {name} hex `{hex}`")))
                 })
-                .transpose()?;
+                .transpose()
+            };
+            let terminal_fingerprint = decode_hex("terminal_fingerprint")?;
+            let instance_fingerprint = decode_hex("instance_fingerprint")?;
             Ok(BoundCertificate {
                 algorithm: json.field("algorithm")?,
                 objective: json.field("objective")?,
@@ -888,6 +904,7 @@ mod json_impls {
                 oracle_moves: json.optional_field("oracle_moves")?,
                 competitive_ratio: json.optional_field("competitive_ratio")?,
                 search: json.optional_field("search")?,
+                instance_fingerprint,
             })
         }
     }

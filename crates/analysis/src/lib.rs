@@ -49,6 +49,7 @@ pub mod certify;
 mod experiment;
 pub mod explore;
 pub mod generators;
+pub mod key;
 mod memory_model;
 mod oracle;
 mod stats;
@@ -68,6 +69,7 @@ pub use generators::{
     clustered_config, from_gaps, periodic_config, quarter_ring_config, random_aperiodic_config,
     random_config, theorem5_config, uniform_config,
 };
+pub use key::{InstanceKey, JobKind};
 pub use memory_model::{algo1_bounds, algo2_bounds, relaxed_bounds, theorem1_lower_bound, Bound};
 pub use oracle::{oracle_moves, oracle_moves_brute_force, OracleSolution};
 pub use ringdeploy_sim::adversary::{Adversary, AdversaryError, Objective, WorstCase};

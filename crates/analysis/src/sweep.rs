@@ -731,6 +731,78 @@ pub fn summarize(rows: &[SweepRow]) -> Vec<Cell> {
         .collect()
 }
 
+#[cfg(feature = "serde")]
+mod json_impls {
+    use super::{SweepSchedule, Workload};
+    use ringdeploy_core::Schedule;
+    use ringdeploy_json::{FromJson, Json, JsonError, ToJson};
+
+    impl ToJson for Workload {
+        fn to_json(&self) -> Json {
+            let (family, l) = match self {
+                Workload::Random { .. } => ("random", None),
+                Workload::RandomAperiodic { .. } => ("aperiodic", None),
+                Workload::QuarterRing { .. } => ("quarter", None),
+                Workload::Periodic { l, .. } => ("periodic", Some(*l)),
+                Workload::Uniform { .. } => ("uniform", None),
+                Workload::LargeRing { .. } => ("large", None),
+            };
+            let mut fields = vec![
+                ("family", Json::String(family.to_string())),
+                ("n", self.n().to_json()),
+                ("k", self.k().to_json()),
+            ];
+            if let Some(l) = l {
+                fields.push(("l", l.to_json()));
+            }
+            Json::object(fields)
+        }
+    }
+
+    impl FromJson for Workload {
+        fn from_json(json: &Json) -> Result<Self, JsonError> {
+            let family: String = json.field("family")?;
+            let n: usize = json.field("n")?;
+            let k: usize = json.field("k")?;
+            Ok(match family.as_str() {
+                "random" => Workload::Random { n, k },
+                "aperiodic" => Workload::RandomAperiodic { n, k },
+                "quarter" => Workload::QuarterRing { n, k },
+                "periodic" => Workload::Periodic {
+                    n,
+                    k,
+                    l: json.field("l")?,
+                },
+                "uniform" => Workload::Uniform { n, k },
+                "large" => Workload::LargeRing { n, k },
+                other => {
+                    return Err(JsonError::Decode(format!(
+                        "unknown workload family `{other}`"
+                    )))
+                }
+            })
+        }
+    }
+
+    impl ToJson for SweepSchedule {
+        fn to_json(&self) -> Json {
+            match self {
+                SweepSchedule::Preset(preset) => preset.to_json(),
+                SweepSchedule::RandomPerSeed => Json::String("random-per-seed".to_string()),
+            }
+        }
+    }
+
+    impl FromJson for SweepSchedule {
+        fn from_json(json: &Json) -> Result<Self, JsonError> {
+            if json.as_str() == Some("random-per-seed") {
+                return Ok(SweepSchedule::RandomPerSeed);
+            }
+            Schedule::from_json(json).map(SweepSchedule::Preset)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

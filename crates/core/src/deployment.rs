@@ -311,6 +311,7 @@ impl Driver<'_> {
             metrics: outcome.metrics,
             phases,
             trace: ring.take_trace(),
+            instance_fingerprint: None,
         })
     }
 }

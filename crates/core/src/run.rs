@@ -208,6 +208,11 @@ pub struct DeployReport {
     /// [`Deployment::capture_trace`](crate::deployment::Deployment::capture_trace).
     /// Not serialized.
     pub trace: Option<Trace>,
+    /// Fingerprint of the canonical instance key this report answers
+    /// (`InstanceKey::fingerprint` in `ringdeploy-analysis`), stamped by
+    /// batch/service layers so cache identity is auditable from the
+    /// report alone. `None` for ad-hoc runs. Hex-encoded in JSON.
+    pub instance_fingerprint: Option<u64>,
 }
 
 impl DeployReport {
@@ -221,6 +226,16 @@ impl DeployReport {
 mod json_impls {
     use super::{Algorithm, DeployReport, PhaseMetric, Schedule};
     use ringdeploy_json::{FromJson, Json, JsonError, ToJson};
+
+    /// Decodes an optional hex-encoded u64 fingerprint field.
+    fn decode_hex_fingerprint(json: &Json, name: &str) -> Result<Option<u64>, JsonError> {
+        let hex: Option<String> = json.optional_field(name)?;
+        hex.map(|hex| {
+            u64::from_str_radix(&hex, 16)
+                .map_err(|_| JsonError::Decode(format!("bad {name} hex `{hex}`")))
+        })
+        .transpose()
+    }
 
     impl ToJson for Algorithm {
         fn to_json(&self) -> Json {
@@ -302,6 +317,14 @@ mod json_impls {
                 ("steps", self.steps.to_json()),
                 ("metrics", self.metrics.to_json()),
                 ("phases", self.phases.to_json()),
+                (
+                    "instance_fingerprint",
+                    // Hex-encoded: fingerprints use all 64 bits, JSON
+                    // numbers only round-trip 53.
+                    self.instance_fingerprint
+                        .map(|fp| format!("{fp:016x}"))
+                        .to_json(),
+                ),
             ])
         }
     }
@@ -321,6 +344,7 @@ mod json_impls {
                 metrics: json.field("metrics")?,
                 phases: json.field("phases")?,
                 trace: None,
+                instance_fingerprint: decode_hex_fingerprint(json, "instance_fingerprint")?,
             })
         }
     }

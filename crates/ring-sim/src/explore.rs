@@ -206,6 +206,12 @@ pub struct ExploreReport {
     /// engine-specific and excluded from the differential-identity
     /// guarantees.
     pub peak_frontier: usize,
+    /// Fingerprint of the canonical instance key this report answers
+    /// (`InstanceKey::fingerprint` in `ringdeploy-analysis`), stamped by
+    /// batch/service layers so cache identity is auditable from the
+    /// report alone. `None` for ad-hoc explorations. Hex-encoded in
+    /// JSON.
+    pub instance_fingerprint: Option<u64>,
 }
 
 impl ExploreReport {
@@ -235,6 +241,14 @@ mod json_impls {
                 ("max_depth_seen", self.max_depth_seen.to_json()),
                 ("merge_edges", self.merge_edges.to_json()),
                 ("peak_frontier", self.peak_frontier.to_json()),
+                (
+                    "instance_fingerprint",
+                    // Hex-encoded: fingerprints use all 64 bits, JSON
+                    // numbers only round-trip 53.
+                    self.instance_fingerprint
+                        .map(|fp| format!("{fp:016x}"))
+                        .to_json(),
+                ),
             ])
         }
     }
@@ -250,6 +264,15 @@ mod json_impls {
                 terminal_fingerprints: Vec::new(),
                 merge_edges: json.field("merge_edges")?,
                 peak_frontier: json.field("peak_frontier")?,
+                instance_fingerprint: {
+                    let hex: Option<String> = json.optional_field("instance_fingerprint")?;
+                    hex.map(|hex| {
+                        u64::from_str_radix(&hex, 16).map_err(|_| {
+                            JsonError::Decode(format!("bad instance_fingerprint hex `{hex}`"))
+                        })
+                    })
+                    .transpose()?
+                },
             })
         }
     }
@@ -720,6 +743,7 @@ impl Explorer {
             terminal_fingerprints: Vec::new(),
             merge_edges: 0,
             peak_frontier: 1,
+            instance_fingerprint: None,
         };
         visited.insert(root_fp, ON_PATH);
         if report.states > limits.max_states {
@@ -867,6 +891,7 @@ impl Explorer {
             terminal_fingerprints: Vec::new(),
             merge_edges: 0,
             peak_frontier: 0,
+            instance_fingerprint: None,
         };
 
         enum Frame<B: Behavior + Clone>
@@ -980,6 +1005,7 @@ impl Explorer {
                 terminal_fingerprints: vec![root_fp],
                 merge_edges: 0,
                 peak_frontier: 1,
+                instance_fingerprint: None,
             });
         }
 
@@ -1132,6 +1158,7 @@ impl Explorer {
             merge_edges: edge_count - (states as u64 - 1),
             terminal_fingerprints: terminal_fps,
             peak_frontier,
+            instance_fingerprint: None,
         })
     }
 

@@ -1,0 +1,89 @@
+//! A minimal blocking client for `ringdeployd`'s TCP endpoint.
+//!
+//! One [`Client`] is one connection: [`Client::send`] writes request
+//! frames, [`Client::recv`] reads response frames in daemon order.
+//! Raw-line access ([`Client::recv_line`]) is exposed for tools that
+//! forward frames verbatim (the `ringdeploy --connect` mode does, so
+//! its output stays `jq`-able).
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+
+use ringdeploy_json::ToJson;
+
+use crate::protocol::{parse_response, Request, Response};
+
+/// One connection to a running daemon.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr` (host:port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/clone failures.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { writer, reader })
+    }
+
+    /// Writes one request frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure.
+    pub fn send(&mut self, request: &Request) -> io::Result<()> {
+        let line = request.to_json().to_string();
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()
+    }
+
+    /// Reads the next frame as a raw line; `None` on EOF (the daemon
+    /// hung up after `bye`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the read failure.
+    pub fn recv_line(&mut self) -> io::Result<Option<String>> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Ok(None);
+            }
+            let trimmed = line.trim();
+            if !trimmed.is_empty() {
+                return Ok(Some(trimmed.to_string()));
+            }
+        }
+    }
+
+    /// Reads and parses the next frame; `None` on EOF.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures; a frame that fails to parse becomes
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn recv(&mut self) -> io::Result<Option<Response>> {
+        match self.recv_line()? {
+            None => Ok(None),
+            Some(line) => parse_response(&line)
+                .map(Some)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+        }
+    }
+
+    /// Half-closes the write side, signalling the daemon this client is
+    /// finished submitting (its EOF cancels the client's pending jobs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket shutdown failure.
+    pub fn finish_writes(&mut self) -> io::Result<()> {
+        self.writer.shutdown(Shutdown::Write)
+    }
+}

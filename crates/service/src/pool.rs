@@ -1,0 +1,102 @@
+//! The shared worker pool: a bounded work queue multiplexing every
+//! job's cache-miss cells onto `std::thread` workers.
+//!
+//! The queue is a [`std::sync::mpsc::sync_channel`] with capacity
+//! [`DaemonConfig::queue_capacity`](crate::DaemonConfig): the actor
+//! dispatches with [`WorkerPool::try_dispatch`] and treats a full queue
+//! as backpressure (it simply stops dispatching until a completion
+//! event frees a slot — the actor thread never blocks). Workers catch
+//! panics, so one malformed cell cannot take a worker down.
+
+use std::sync::mpsc::{Sender, SyncSender, TrySendError};
+use std::thread::JoinHandle;
+
+use ringdeploy_analysis::key::InstanceKey;
+
+use crate::daemon::{CellDone, Event};
+use crate::engine;
+
+/// One unit of work: compute the report of `key` for cell `cell` of
+/// job `job` (the daemon's internal job id).
+pub struct WorkItem {
+    /// Internal job id.
+    pub job: u64,
+    /// Cell index within the job.
+    pub cell: usize,
+    /// What to compute.
+    pub key: InstanceKey,
+}
+
+/// The worker threads plus the bounded dispatch queue.
+pub struct WorkerPool {
+    tx: Option<SyncSender<WorkItem>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads consuming a queue of `queue_capacity`
+    /// slots; completions are posted to `events`.
+    pub fn spawn(workers: usize, queue_capacity: usize, events: Sender<Event>) -> WorkerPool {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<WorkItem>(queue_capacity.max(1));
+        let rx = std::sync::Arc::new(std::sync::Mutex::new(rx));
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let rx = rx.clone();
+                let events = events.clone();
+                std::thread::Builder::new()
+                    .name(format!("ringdeployd-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only for the receive: workers
+                        // compute concurrently.
+                        let item = match rx.lock().expect("queue lock").recv() {
+                            Ok(item) => item,
+                            Err(_) => break, // queue closed: shutdown
+                        };
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            engine::compute(&item.key)
+                        }))
+                        .unwrap_or_else(|_| Err("worker panicked computing cell".to_string()));
+                        if events
+                            .send(Event::CellDone(CellDone {
+                                job: item.job,
+                                cell: item.cell,
+                                result,
+                            }))
+                            .is_err()
+                        {
+                            break; // actor gone: shutdown
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            handles,
+        }
+    }
+
+    /// Attempts to enqueue `item`; hands it back when the queue is full
+    /// (the actor retries after the next completion event).
+    pub fn try_dispatch(&self, item: WorkItem) -> Result<(), WorkItem> {
+        let tx = self.tx.as_ref().expect("pool not shut down");
+        match tx.try_send(item) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(item)) => Err(item),
+            Err(TrySendError::Disconnected(_)) => {
+                unreachable!("workers outlive the dispatch side")
+            }
+        }
+    }
+
+    /// Closes the queue and joins every worker — the no-thread-leak
+    /// guarantee of graceful shutdown. Callers must have drained their
+    /// in-flight items' completion events first (or be prepared for the
+    /// events channel to be dropped).
+    pub fn shutdown(mut self) {
+        drop(self.tx.take());
+        for handle in self.handles.drain(..) {
+            handle.join().expect("worker thread panicked");
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Transports: TCP listener and stdio, both feeding the [`Daemon`]'s
+//! event queue.
+//!
+//! Transport threads are dumb pipes — a reader thread turns lines into
+//! [`Event::Frame`]s, the accept thread turns sockets into
+//! [`Event::Opened`]s — and all protocol logic lives in the actor. On
+//! shutdown the daemon hangs up every connection
+//! ([`ClientSink::hangup`]), which unblocks the readers; the accept
+//! loop is unblocked by a self-connection, and [`Server::run`] joins
+//! every transport thread before returning.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::daemon::{ClientSink, Daemon, DaemonConfig, Event};
+use crate::protocol::StatsReport;
+
+struct TcpSink(TcpStream);
+
+impl Write for TcpSink {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.0.flush()
+    }
+}
+
+impl ClientSink for TcpSink {
+    fn hangup(&mut self) {
+        let _ = self.0.shutdown(Shutdown::Both);
+    }
+}
+
+/// Reads lines from `stream`, posting each as a frame; posts `Closed`
+/// on EOF or error. Exits when the daemon hangs the socket up.
+fn read_loop(conn: u64, stream: TcpStream, events: Sender<Event>) {
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if events.send(Event::Frame { conn, line }).is_err() {
+            return; // daemon gone
+        }
+    }
+    let _ = events.send(Event::Closed { conn });
+}
+
+/// A bound `ringdeployd` TCP endpoint. [`Server::bind`], read the port
+/// back with [`Server::local_addr`], then [`Server::run`] on a thread
+/// you own.
+pub struct Server {
+    listener: TcpListener,
+    config: DaemonConfig,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str, config: DaemonConfig) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            config,
+        })
+    }
+
+    /// The bound address (port-0 discovery).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a `shutdown` frame drains the daemon; returns the
+    /// final stats. Joins the accept thread and every reader thread —
+    /// when this returns, no server thread is left running.
+    pub fn run(self) -> StatsReport {
+        let addr = self.listener.local_addr().ok();
+        let (daemon, events) = Daemon::new(self.config);
+        let done = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let listener = self.listener;
+            let events = events.clone();
+            let done = done.clone();
+            std::thread::Builder::new()
+                .name("ringdeployd-accept".to_string())
+                .spawn(move || {
+                    let mut readers: Vec<JoinHandle<()>> = Vec::new();
+                    let mut next_conn: u64 = 1;
+                    while let Ok((stream, _peer)) = listener.accept() {
+                        if done.load(Ordering::SeqCst) {
+                            break; // the wake-up self-connection
+                        }
+                        let conn = next_conn;
+                        next_conn += 1;
+                        let Ok(write_half) = stream.try_clone() else {
+                            continue;
+                        };
+                        if events
+                            .send(Event::Opened {
+                                conn,
+                                sink: Box::new(TcpSink(write_half)),
+                                eof_is_shutdown: false,
+                            })
+                            .is_err()
+                        {
+                            break;
+                        }
+                        let events = events.clone();
+                        let reader = std::thread::Builder::new()
+                            .name(format!("ringdeployd-reader-{conn}"))
+                            .spawn(move || read_loop(conn, stream, events))
+                            .expect("spawn reader thread");
+                        readers.push(reader);
+                    }
+                    for reader in readers {
+                        reader.join().expect("reader thread panicked");
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+        let stats = daemon.run();
+        // Unblock the (blocking) accept call with a throwaway
+        // self-connection so the thread can observe `done` and exit.
+        done.store(true, Ordering::SeqCst);
+        if let Some(addr) = addr {
+            let _ = TcpStream::connect(addr);
+        }
+        accept.join().expect("accept thread panicked");
+        stats
+    }
+}
+
+struct StdoutSink(io::Stdout);
+
+impl Write for StdoutSink {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.0.flush()
+    }
+}
+
+impl ClientSink for StdoutSink {}
+
+/// Serves one client over stdin/stdout: requests are lines on stdin,
+/// frames go to stdout, and EOF on stdin is a shutdown request.
+/// Returns the final stats.
+///
+/// The stdin reader thread is detached, not joined: if the client sends
+/// a `shutdown` frame without closing stdin, the reader stays blocked
+/// in `read_line` and only exits with the process.
+pub fn serve_stdio(config: DaemonConfig) -> StatsReport {
+    let (daemon, events) = Daemon::new(config);
+    events
+        .send(Event::Opened {
+            conn: 0,
+            sink: Box::new(StdoutSink(io::stdout())),
+            eof_is_shutdown: true,
+        })
+        .expect("daemon receiver alive");
+    {
+        let events = events.clone();
+        std::thread::Builder::new()
+            .name("ringdeployd-stdin".to_string())
+            .spawn(move || {
+                let stdin = io::stdin();
+                for line in stdin.lock().lines() {
+                    let Ok(line) = line else { break };
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    if events.send(Event::Frame { conn: 0, line }).is_err() {
+                        return;
+                    }
+                }
+                let _ = events.send(Event::Closed { conn: 0 });
+            })
+            .expect("spawn stdin reader");
+    }
+    daemon.run()
+}

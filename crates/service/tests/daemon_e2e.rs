@@ -1,0 +1,360 @@
+//! End-to-end daemon tests over real TCP connections: cache
+//! determinism, in-order streaming under a tiny queue, concurrent
+//! clients, admission backpressure, failure isolation and graceful
+//! shutdown (the final `handle.join()` in every test doubles as the
+//! no-thread-leak assertion — `Server::run` joins the pool, the accept
+//! thread and every reader before returning).
+
+use std::thread::JoinHandle;
+
+use ringdeploy_analysis::key::JobKind;
+use ringdeploy_analysis::Workload;
+use ringdeploy_core::Algorithm;
+use ringdeploy_service::{
+    Backpressure, Client, DaemonConfig, JobSpec, Request, Response, RowFrame, Server, StatsReport,
+};
+
+fn start(config: DaemonConfig) -> (String, JoinHandle<StatsReport>) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn small_config() -> DaemonConfig {
+    DaemonConfig {
+        workers: 2,
+        queue_capacity: 4,
+        cache_bytes: 1 << 20,
+        max_jobs: 4,
+    }
+}
+
+fn sweep_job(seeds: &[u64]) -> JobSpec {
+    JobSpec {
+        seeds: seeds.to_vec(),
+        ..JobSpec::new(
+            JobKind::Sweep,
+            Algorithm::FullKnowledge,
+            Workload::Random { n: 16, k: 4 },
+        )
+    }
+}
+
+fn submit(client: &mut Client, id: u64, backpressure: Backpressure, job: JobSpec) {
+    client
+        .send(&Request::Submit {
+            id,
+            backpressure,
+            job,
+        })
+        .expect("send submit");
+}
+
+/// Collects frames until the `done`/`rejected`/`error` of job `id`.
+fn collect_job(client: &mut Client, id: u64) -> Vec<Response> {
+    let mut frames = Vec::new();
+    loop {
+        let frame = client
+            .recv()
+            .expect("recv frame")
+            .expect("daemon hung up mid-job");
+        let terminal = matches!(
+            &frame,
+            Response::Done { id: done, .. } if *done == id
+        ) || matches!(
+            &frame,
+            Response::Rejected { id: rej, .. } if *rej == id
+        ) || matches!(&frame, Response::Error { id: Some(e), .. } if *e == id);
+        frames.push(frame);
+        if terminal {
+            return frames;
+        }
+    }
+}
+
+fn rows(frames: &[Response]) -> Vec<&RowFrame> {
+    frames
+        .iter()
+        .filter_map(|f| match f {
+            Response::Row(row) => Some(row),
+            _ => None,
+        })
+        .collect()
+}
+
+fn shutdown(client: &mut Client) {
+    client.send(&Request::Shutdown).expect("send shutdown");
+    loop {
+        match client.recv().expect("recv during shutdown") {
+            Some(Response::Bye) | None => return,
+            Some(_) => {}
+        }
+    }
+}
+
+fn stats(client: &mut Client) -> StatsReport {
+    client.send(&Request::Stats).expect("send stats");
+    match client.recv().expect("recv stats") {
+        Some(Response::Stats(stats)) => stats,
+        other => panic!("expected stats frame, got {other:?}"),
+    }
+}
+
+/// The tentpole guarantee: a repeated identical request is served from
+/// the cache, byte-identical, without re-running the engine.
+#[test]
+fn repeated_job_is_served_from_cache_byte_identical() {
+    let (addr, handle) = start(small_config());
+    let mut client = Client::connect(&addr).expect("connect");
+
+    submit(&mut client, 1, Backpressure::Block, sweep_job(&[0, 1]));
+    let cold = collect_job(&mut client, 1);
+    let cold_rows = rows(&cold);
+    assert_eq!(cold_rows.len(), 2);
+    assert!(cold_rows.iter().all(|r| !r.cached), "cold run computes");
+
+    let computed_after_cold = stats(&mut client).cells_computed;
+    assert_eq!(computed_after_cold, 2);
+
+    submit(&mut client, 2, Backpressure::Block, sweep_job(&[0, 1]));
+    let warm = collect_job(&mut client, 2);
+    let warm_rows = rows(&warm);
+    assert_eq!(warm_rows.len(), 2);
+    assert!(
+        warm_rows.iter().all(|r| r.cached),
+        "warm run hits the cache"
+    );
+    for (cold_row, warm_row) in cold_rows.iter().zip(&warm_rows) {
+        assert_eq!(
+            cold_row.payload.to_string(),
+            warm_row.payload.to_string(),
+            "cached payload must be byte-identical to the cold payload"
+        );
+        assert_eq!(cold_row.fingerprint, warm_row.fingerprint);
+        assert_eq!(cold_row.key, warm_row.key);
+    }
+    match warm.last() {
+        Some(Response::Done {
+            rows, cache_hits, ..
+        }) => {
+            assert_eq!((*rows, *cache_hits), (2, 2));
+        }
+        other => panic!("expected done, got {other:?}"),
+    }
+
+    let after = stats(&mut client);
+    assert_eq!(
+        after.cells_computed, computed_after_cold,
+        "the warm run must not re-run the engine"
+    );
+    assert_eq!(after.cache.hits, 2);
+
+    shutdown(&mut client);
+    let final_stats = handle.join().expect("server thread");
+    assert_eq!(final_stats.completed_jobs, 2);
+}
+
+/// Rows stream with consecutive `seq` starting at 0 even when the
+/// worker queue holds a single slot (maximal stall pressure).
+#[test]
+fn rows_arrive_in_cell_order_under_a_one_slot_queue() {
+    let (addr, handle) = start(DaemonConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..small_config()
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+    submit(
+        &mut client,
+        7,
+        Backpressure::Block,
+        sweep_job(&[0, 1, 2, 3, 4, 5]),
+    );
+    let frames = collect_job(&mut client, 7);
+    let rows = rows(&frames);
+    assert_eq!(rows.len(), 6);
+    for (expect, row) in rows.iter().enumerate() {
+        assert_eq!(row.seq, expect, "in-order delivery");
+        assert_eq!(row.id, 7);
+    }
+    shutdown(&mut client);
+    handle.join().expect("server thread");
+}
+
+/// Two clients stream interleaved jobs; each sees its own rows in
+/// order with its own id.
+#[test]
+fn concurrent_clients_get_independent_in_order_streams() {
+    let (addr, handle) = start(small_config());
+    let workers: Vec<_> = (0..2u64)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                // Distinct seeds per client → distinct cells → both
+                // clients genuinely compute concurrently.
+                let seeds: Vec<u64> = (0..4).map(|s| 100 * c + s).collect();
+                submit(&mut client, c, Backpressure::Block, sweep_job(&seeds));
+                let frames = collect_job(&mut client, c);
+                let rows = rows(&frames);
+                assert_eq!(rows.len(), 4);
+                for (expect, row) in rows.iter().enumerate() {
+                    assert_eq!((row.id, row.seq), (c, expect));
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("client thread");
+    }
+    let mut client = Client::connect(&addr).expect("connect");
+    assert_eq!(stats(&mut client).completed_jobs, 2);
+    shutdown(&mut client);
+    handle.join().expect("server thread");
+}
+
+/// With `max_jobs = 1`, a second submit is refused under
+/// [`Backpressure::Reject`] and queued under [`Backpressure::Block`]
+/// (its `accepted` only arrives after the first job's `done`).
+#[test]
+fn admission_backpressure_rejects_or_queues() {
+    let (addr, handle) = start(DaemonConfig {
+        workers: 1,
+        queue_capacity: 1,
+        max_jobs: 1,
+        ..small_config()
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // Both submits go out back-to-back so the daemon processes the
+    // second while the first is still running.
+    submit(
+        &mut client,
+        1,
+        Backpressure::Block,
+        sweep_job(&[0, 1, 2, 3]),
+    );
+    submit(&mut client, 2, Backpressure::Reject, sweep_job(&[9]));
+    let frames = collect_job(&mut client, 2);
+    assert!(
+        frames
+            .iter()
+            .any(|f| matches!(f, Response::Rejected { id: 2, .. })),
+        "reject policy refuses at capacity: {frames:?}"
+    );
+    // Job 1's rows are split across both collections (the reject
+    // frame may interleave with them); count them together.
+    let mut first = frames;
+    first.extend(collect_job(&mut client, 1));
+    let first_rows: Vec<_> = rows(&first).into_iter().filter(|r| r.id == 1).collect();
+    assert_eq!(first_rows.len(), 4);
+
+    // Same shape with Block: job 4 queues, its `accepted` must come
+    // after job 3's `done`.
+    submit(
+        &mut client,
+        3,
+        Backpressure::Block,
+        sweep_job(&[10, 11, 12]),
+    );
+    submit(&mut client, 4, Backpressure::Block, sweep_job(&[13]));
+    let mut all = collect_job(&mut client, 4);
+    let done_3 = all
+        .iter()
+        .position(|f| matches!(f, Response::Done { id: 3, .. }))
+        .expect("job 3 completes");
+    let accepted_4 = all
+        .iter()
+        .position(|f| matches!(f, Response::Accepted { id: 4, .. }))
+        .expect("job 4 admitted");
+    assert!(
+        accepted_4 > done_3,
+        "blocked job admitted only after the running job drained"
+    );
+    all.clear();
+
+    let report = stats(&mut client);
+    assert_eq!(report.completed_jobs, 3);
+    assert_eq!(report.rejected_jobs, 1);
+    shutdown(&mut client);
+    handle.join().expect("server thread");
+}
+
+/// A cell whose workload parameters are invalid aborts its job with an
+/// `error` frame — and the daemon (and its workers) survive to serve
+/// the next job.
+#[test]
+fn failed_cells_abort_the_job_not_the_daemon() {
+    let (addr, handle) = start(small_config());
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // l = 3 divides n = 12 but not k = 4: the generator rejects it.
+    let bad = JobSpec::new(
+        JobKind::Sweep,
+        Algorithm::FullKnowledge,
+        Workload::Periodic { n: 12, k: 4, l: 3 },
+    );
+    submit(&mut client, 1, Backpressure::Block, bad);
+    let frames = collect_job(&mut client, 1);
+    assert!(
+        frames
+            .iter()
+            .any(|f| matches!(f, Response::Error { id: Some(1), .. })),
+        "invalid cell surfaces as an error frame: {frames:?}"
+    );
+    assert!(
+        !frames.iter().any(|f| matches!(f, Response::Done { .. })),
+        "an aborted job has no done frame"
+    );
+
+    submit(&mut client, 2, Backpressure::Block, sweep_job(&[0]));
+    let frames = collect_job(&mut client, 2);
+    assert_eq!(
+        rows(&frames).len(),
+        1,
+        "daemon still serves after a failure"
+    );
+
+    shutdown(&mut client);
+    handle.join().expect("server thread");
+}
+
+/// Shutdown drains: a job submitted immediately before `shutdown`
+/// still streams every row and its `done` before `bye`.
+#[test]
+fn shutdown_drains_in_flight_jobs() {
+    let (addr, handle) = start(small_config());
+    let mut client = Client::connect(&addr).expect("connect");
+    submit(&mut client, 1, Backpressure::Block, sweep_job(&[0, 1, 2]));
+    client.send(&Request::Shutdown).expect("send shutdown");
+
+    let mut saw_done = false;
+    let mut row_count = 0;
+    loop {
+        match client.recv().expect("recv") {
+            Some(Response::Accepted { id: 1, cells: 3 }) => {}
+            Some(Response::Row(row)) => {
+                assert_eq!(row.seq, row_count, "drained rows stay in order");
+                row_count += 1;
+            }
+            Some(Response::Done { id: 1, rows, .. }) => {
+                assert_eq!(rows, 3);
+                saw_done = true;
+            }
+            Some(Response::Bye) | None => break,
+            Some(other) => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert!(saw_done, "in-flight job completed before bye");
+    assert_eq!(row_count, 3);
+
+    let final_stats = handle.join().expect("server thread");
+    assert_eq!(final_stats.completed_jobs, 1);
+    assert_eq!(final_stats.active_jobs, 0);
+
+    // A submit racing the drain is refused, not lost silently.
+    // (Covered implicitly: the daemon already exited, so a new connect
+    // must fail.)
+    assert!(Client::connect(&addr).is_err(), "daemon is gone");
+}

@@ -1,0 +1,301 @@
+//! Wire-protocol pinning tests: every frame round-trips through its
+//! JSON encoding, and every encoding's field-name set is pinned so an
+//! accidental rename breaks loudly (clients parse these names).
+
+use ringdeploy_analysis::key::{InstanceKey, JobKind};
+use ringdeploy_analysis::{EvidenceTier, Objective, SweepSchedule, Workload};
+use ringdeploy_core::{Algorithm, Schedule};
+use ringdeploy_json::{FromJson, Json, ToJson};
+use ringdeploy_service::{
+    parse_request, parse_response, Backpressure, CacheStats, JobSpec, Request, Response, RowFrame,
+    StatsReport,
+};
+
+fn keys(json: &Json) -> Vec<String> {
+    let Json::Object(map) = json else {
+        panic!("expected object, found {json}");
+    };
+    map.keys().cloned().collect()
+}
+
+fn round_trip_request(request: &Request) -> Request {
+    let line = request.to_json().to_string();
+    parse_request(&line).expect("round-trip")
+}
+
+fn round_trip_response(response: &Response) -> Response {
+    let line = response.to_json().to_string();
+    parse_response(&line).expect("round-trip")
+}
+
+fn spec() -> JobSpec {
+    JobSpec {
+        kind: JobKind::Certify,
+        algorithms: vec![Algorithm::FullKnowledge, Algorithm::LogSpace],
+        workloads: vec![
+            Workload::Random { n: 16, k: 4 },
+            Workload::Periodic { n: 12, k: 4, l: 2 },
+        ],
+        schedules: vec![
+            SweepSchedule::Preset(Schedule::Random(9)),
+            SweepSchedule::RandomPerSeed,
+        ],
+        objectives: vec![Objective::TotalMoves],
+        tier: EvidenceTier::Adversarial,
+        seeds: vec![0, 7],
+    }
+}
+
+fn key() -> InstanceKey {
+    InstanceKey {
+        kind: JobKind::Sweep,
+        algorithm: Algorithm::FullKnowledge,
+        workload: Workload::Random { n: 32, k: 8 },
+        schedule: Some(Schedule::Random(7)),
+        seed: 7,
+        objective: None,
+        tier: None,
+    }
+}
+
+#[test]
+fn every_request_round_trips() {
+    let requests = [
+        Request::Submit {
+            id: 3,
+            backpressure: Backpressure::Reject,
+            job: spec(),
+        },
+        Request::Stats,
+        Request::Shutdown,
+    ];
+    for request in &requests {
+        assert_eq!(&round_trip_request(request), request);
+    }
+}
+
+#[test]
+fn every_response_round_trips() {
+    let stats = StatsReport {
+        cache: CacheStats {
+            hits: 5,
+            misses: 7,
+            evictions: 1,
+            entries: 6,
+            bytes: 4096,
+        },
+        active_jobs: 2,
+        waiting_jobs: 1,
+        completed_jobs: 9,
+        rejected_jobs: 3,
+        cells_computed: 41,
+    };
+    let responses = [
+        Response::Accepted { id: 3, cells: 12 },
+        Response::Rejected {
+            id: 3,
+            reason: "at capacity".to_string(),
+        },
+        Response::Row(RowFrame {
+            id: 3,
+            seq: 4,
+            cached: true,
+            fingerprint: 0xdfa0_b50a_9791_74b7,
+            key: key(),
+            payload: Json::object([("check", Json::String("ok".to_string()))]),
+        }),
+        Response::Done {
+            id: 3,
+            rows: 12,
+            cache_hits: 4,
+        },
+        Response::Error {
+            id: Some(3),
+            message: "boom".to_string(),
+        },
+        Response::Error {
+            id: None,
+            message: "bad frame".to_string(),
+        },
+        Response::Stats(stats),
+        Response::Bye,
+    ];
+    for response in &responses {
+        assert_eq!(&round_trip_response(response), response);
+    }
+}
+
+#[test]
+fn frame_field_sets_are_pinned() {
+    let submit = Request::Submit {
+        id: 1,
+        backpressure: Backpressure::Block,
+        job: spec(),
+    };
+    assert_eq!(
+        keys(&submit.to_json()),
+        ["backpressure", "id", "job", "type"]
+    );
+    assert_eq!(
+        keys(&spec().to_json()),
+        [
+            "algorithms",
+            "kind",
+            "objectives",
+            "schedules",
+            "seeds",
+            "tier",
+            "workloads",
+        ]
+    );
+    let row = Response::Row(RowFrame {
+        id: 1,
+        seq: 0,
+        cached: false,
+        fingerprint: 1,
+        key: key(),
+        payload: Json::Null,
+    });
+    assert_eq!(
+        keys(&row.to_json()),
+        [
+            "cached",
+            "fingerprint",
+            "id",
+            "key",
+            "payload",
+            "seq",
+            "type"
+        ]
+    );
+    assert_eq!(
+        keys(&Response::Accepted { id: 1, cells: 2 }.to_json()),
+        ["cells", "id", "type"]
+    );
+    assert_eq!(
+        keys(
+            &Response::Done {
+                id: 1,
+                rows: 2,
+                cache_hits: 1
+            }
+            .to_json()
+        ),
+        ["cache_hits", "id", "rows", "type"]
+    );
+    assert_eq!(
+        keys(&Response::Stats(StatsReport::default()).to_json()),
+        [
+            "active_jobs",
+            "cache",
+            "cells_computed",
+            "completed_jobs",
+            "rejected_jobs",
+            "type",
+            "waiting_jobs",
+        ]
+    );
+    assert_eq!(
+        keys(&CacheStats::default().to_json()),
+        ["bytes", "entries", "evictions", "hits", "misses"]
+    );
+}
+
+/// The fingerprint crosses the wire as 16 hex digits — JSON numbers only
+/// round-trip 53 bits.
+#[test]
+fn row_fingerprint_is_hex_encoded_full_width() {
+    let row = Response::Row(RowFrame {
+        id: 1,
+        seq: 0,
+        cached: false,
+        fingerprint: u64::MAX,
+        key: key(),
+        payload: Json::Null,
+    });
+    let json = row.to_json();
+    let hex: String = json.field("fingerprint").expect("fingerprint field");
+    assert_eq!(hex, "ffffffffffffffff");
+    let Response::Row(back) = Response::from_json(&json).expect("decode") else {
+        panic!("expected row frame");
+    };
+    assert_eq!(back.fingerprint, u64::MAX);
+}
+
+/// Submit defaults: backpressure, tier and seeds may be omitted.
+#[test]
+fn submit_defaults_are_applied_on_decode() {
+    let line = r#"{"type":"submit","id":9,"job":{"kind":"sweep",
+        "algorithms":["algo1-full-knowledge"],
+        "workloads":[{"family":"random","n":16,"k":4}]}}"#
+        .replace('\n', " ");
+    let Request::Submit {
+        id,
+        backpressure,
+        job,
+    } = parse_request(&line).expect("decode")
+    else {
+        panic!("expected submit");
+    };
+    assert_eq!(id, 9);
+    assert_eq!(backpressure, Backpressure::Block);
+    assert_eq!(job.kind, JobKind::Sweep);
+    assert_eq!(job.tier, EvidenceTier::Adversarial);
+    assert_eq!(job.seeds, vec![0]);
+    assert!(job.schedules.is_empty());
+    assert!(job.objectives.is_empty());
+}
+
+#[test]
+fn malformed_frames_are_errors_not_panics() {
+    assert!(parse_request("not json").is_err());
+    assert!(parse_request("{\"type\":\"warp\"}").is_err());
+    assert!(parse_request("{\"no\":\"type\"}").is_err());
+    assert!(parse_response("{\"type\":\"warp\"}").is_err());
+}
+
+/// The canonical wire encoding of a frame is deterministic (sorted
+/// keys, no whitespace) — the cache byte-identity guarantee needs this.
+#[test]
+fn frame_encoding_is_deterministic() {
+    let frame = Response::Row(RowFrame {
+        id: 2,
+        seq: 1,
+        cached: true,
+        fingerprint: 0xdfa0_b50a_9791_74b7,
+        key: key(),
+        payload: Json::object([("b", 1u64.to_json()), ("a", 2u64.to_json())]),
+    });
+    let first = frame.to_json().to_string();
+    let second = frame.to_json().to_string();
+    assert_eq!(first, second);
+    assert!(first.contains(r#""a":2,"b":1"#), "keys sorted: {first}");
+    assert!(!first.contains('\n'));
+}
+
+/// A job spec expands to keys in the deterministic batch row order, and
+/// those keys carry the spec's kind.
+#[test]
+fn job_spec_expansion_matches_batch_row_order() {
+    let job = JobSpec {
+        kind: JobKind::Sweep,
+        objectives: Vec::new(),
+        schedules: Vec::new(),
+        ..spec()
+    };
+    let keys = job.keys().expect("expansion");
+    // 2 algorithms × 2 workloads × 1 default schedule × 2 seeds.
+    assert_eq!(keys.len(), 8);
+    assert!(keys.iter().all(|k| k.kind == JobKind::Sweep));
+    let again = job.keys().expect("expansion is deterministic");
+    assert_eq!(keys, again);
+}
+
+#[test]
+fn empty_dimensions_are_rejected() {
+    let job = JobSpec {
+        algorithms: Vec::new(),
+        ..spec()
+    };
+    assert!(job.keys().is_err());
+}

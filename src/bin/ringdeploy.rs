@@ -33,6 +33,21 @@
 //!   `exhaustive` | `adversarial` (default `adversarial`)
 //! * `--render`               print before/after ASCII ring renders
 //! * `--json`                 print the full report as JSON instead of text
+//!
+//! Daemon modes (see `DESIGN.md` §0.7 — the `ringdeployd` service):
+//!
+//! * `--serve stdio|<addr>`   run the long-lived deployment daemon on
+//!   stdin/stdout or a TCP listener (`127.0.0.1:0` picks a free port and
+//!   prints `listening <addr>`); tuning: `--workers`, `--queue`,
+//!   `--cache-bytes`, `--max-jobs`
+//! * `--connect <addr>`       submit one job to a running daemon and print
+//!   its frames verbatim (one JSON object per line). The job is
+//!   `--job sweep|explore|adversary|certify` over `--workload
+//!   random|aperiodic|quarter|periodic|uniform|large` with `--n`, `--k`
+//!   (and `--l` for periodic), `--seeds a,b,c`, `--algo`, `--objective`,
+//!   `--tier`, `--id`, `--backpressure block|reject`. `--connect <addr>
+//!   --stats` prints a stats snapshot; `--connect <addr> --shutdown`
+//!   drains and stops the daemon.
 
 use std::process::ExitCode;
 
@@ -454,8 +469,265 @@ fn violation_error(certificates: &[ringdeploy::BoundCertificate]) -> Option<Stri
     })
 }
 
+/// `--serve` / `--connect`: the `ringdeployd` daemon front end. Kept in
+/// one serde-gated module because the whole wire protocol needs JSON.
+#[cfg(feature = "serde")]
+mod service_cli {
+    use std::io::Write;
+    use std::process::ExitCode;
+
+    use ringdeploy::analysis::certify::EvidenceTier;
+    use ringdeploy::analysis::key::JobKind;
+    use ringdeploy::analysis::Workload;
+    use ringdeploy::service::{
+        parse_response, serve_stdio, Backpressure, Client, DaemonConfig, JobSpec, Request,
+        Response, Server,
+    };
+    use ringdeploy::sim::adversary::Objective;
+    use ringdeploy::Algorithm;
+    use ringdeploy_json::ToJson;
+
+    /// True when the invocation is a daemon-mode one (dispatched here
+    /// instead of the single-instance parser).
+    pub fn wants_dispatch(args: &[String]) -> bool {
+        args.iter().any(|a| a == "--serve" || a == "--connect")
+    }
+
+    pub fn dispatch(args: &[String]) -> ExitCode {
+        match run(args) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        }
+    }
+
+    fn usage() -> &'static str {
+        "usage: ringdeploy --serve stdio|<addr> [--workers w] [--queue q] \
+         [--cache-bytes b] [--max-jobs j]\n\
+         \x20      ringdeploy --connect <addr> (--stats | --shutdown | \
+         [--job sweep|explore|adversary|certify] --workload <family> --n <n> --k <k> \
+         [--l <l>] [--seeds a,b,c] [--algo a] [--objective o] [--tier t] [--id i] \
+         [--backpressure block|reject])"
+    }
+
+    fn run(args: &[String]) -> Result<ExitCode, String> {
+        if args.iter().any(|a| a == "--serve") {
+            serve(args)
+        } else {
+            connect(args)
+        }
+    }
+
+    fn value(args: &[String], i: &mut usize) -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value after {}\n{}", args[*i - 1], usage()))
+    }
+
+    fn parse<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        raw.parse().map_err(|e| format!("{flag}: {e}"))
+    }
+
+    fn serve(args: &[String]) -> Result<ExitCode, String> {
+        let mut target = None;
+        let mut config = DaemonConfig::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--serve" => target = Some(value(args, &mut i)?),
+                "--workers" => config.workers = parse("--workers", &value(args, &mut i)?)?,
+                "--queue" => config.queue_capacity = parse("--queue", &value(args, &mut i)?)?,
+                "--cache-bytes" => {
+                    config.cache_bytes = parse("--cache-bytes", &value(args, &mut i)?)?;
+                }
+                "--max-jobs" => config.max_jobs = parse("--max-jobs", &value(args, &mut i)?)?,
+                other => return Err(format!("unknown serve option `{other}`\n{}", usage())),
+            }
+            i += 1;
+        }
+        let target = target.expect("dispatched on --serve");
+        let stats = if target == "stdio" {
+            let stats = serve_stdio(config);
+            // stdout is the protocol channel in stdio mode.
+            eprintln!("{}", stats.to_json());
+            stats
+        } else {
+            let server =
+                Server::bind(&target, config).map_err(|e| format!("--serve {target}: {e}"))?;
+            let addr = server.local_addr().map_err(|e| e.to_string())?;
+            println!("listening {addr}");
+            std::io::stdout().flush().map_err(|e| e.to_string())?;
+            let stats = server.run();
+            println!("{}", stats.to_json());
+            stats
+        };
+        let _ = stats;
+        Ok(ExitCode::SUCCESS)
+    }
+
+    fn workload(family: &str, n: usize, k: usize, l: Option<usize>) -> Result<Workload, String> {
+        match family {
+            "random" => Ok(Workload::Random { n, k }),
+            "aperiodic" | "random-aperiodic" => Ok(Workload::RandomAperiodic { n, k }),
+            "quarter" | "quarter-ring" => Ok(Workload::QuarterRing { n, k }),
+            "periodic" => {
+                let l = l.ok_or_else(|| "--workload periodic requires --l".to_string())?;
+                Ok(Workload::Periodic { n, k, l })
+            }
+            "uniform" => Ok(Workload::Uniform { n, k }),
+            "large" | "large-ring" => Ok(Workload::LargeRing { n, k }),
+            other => Err(format!("unknown workload family `{other}`\n{}", usage())),
+        }
+    }
+
+    enum Action {
+        Stats,
+        Shutdown,
+        Submit,
+    }
+
+    fn connect(args: &[String]) -> Result<ExitCode, String> {
+        let mut addr = None;
+        let mut action = Action::Submit;
+        let mut job_kind = JobKind::Sweep;
+        let mut algo = Algorithm::FullKnowledge;
+        let mut family = "random".to_string();
+        let mut n = 0usize;
+        let mut k = 0usize;
+        let mut l = None;
+        let mut seeds = vec![0u64];
+        let mut objectives = Vec::new();
+        let mut tier = EvidenceTier::Adversarial;
+        let mut id = 1u64;
+        let mut backpressure = Backpressure::Block;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--connect" => addr = Some(value(args, &mut i)?),
+                "--stats" => action = Action::Stats,
+                "--shutdown" => action = Action::Shutdown,
+                "--job" => {
+                    let spec = value(args, &mut i)?;
+                    job_kind = JobKind::from_name(&spec)
+                        .ok_or_else(|| format!("unknown job kind `{spec}`\n{}", usage()))?;
+                }
+                "--algo" => {
+                    algo = match value(args, &mut i)?.as_str() {
+                        "algo1" | "full-knowledge" => Algorithm::FullKnowledge,
+                        "algo2" | "log-space" => Algorithm::LogSpace,
+                        "relaxed" | "no-knowledge" => Algorithm::Relaxed,
+                        other => return Err(format!("unknown algorithm `{other}`")),
+                    };
+                }
+                "--workload" => family = value(args, &mut i)?,
+                "--n" => n = parse("--n", &value(args, &mut i)?)?,
+                "--k" => k = parse("--k", &value(args, &mut i)?)?,
+                "--l" => l = Some(parse("--l", &value(args, &mut i)?)?),
+                "--seeds" => {
+                    let list = value(args, &mut i)?;
+                    let parsed: Result<Vec<u64>, String> = list
+                        .split(',')
+                        .map(|s| parse("--seeds", s.trim()))
+                        .collect();
+                    seeds = parsed?;
+                }
+                "--objective" => {
+                    objectives.push(match value(args, &mut i)?.as_str() {
+                        "moves" | "total-moves" => Objective::TotalMoves,
+                        "activations" | "total-activations" => Objective::TotalActivations,
+                        "memory" | "peak-memory-bits" => Objective::PeakMemoryBits,
+                        other => return Err(format!("unknown objective `{other}`")),
+                    });
+                }
+                "--tier" => {
+                    let spec = value(args, &mut i)?;
+                    tier = EvidenceTier::from_name(&spec)
+                        .ok_or_else(|| format!("unknown evidence tier `{spec}`"))?;
+                }
+                "--id" => id = parse("--id", &value(args, &mut i)?)?,
+                "--backpressure" => {
+                    let spec = value(args, &mut i)?;
+                    backpressure = Backpressure::from_name(&spec)
+                        .ok_or_else(|| format!("unknown backpressure policy `{spec}`"))?;
+                }
+                other => return Err(format!("unknown connect option `{other}`\n{}", usage())),
+            }
+            i += 1;
+        }
+        let addr = addr.expect("dispatched on --connect");
+        let mut client = Client::connect(&addr).map_err(|e| format!("--connect {addr}: {e}"))?;
+        match action {
+            Action::Stats => {
+                client.send(&Request::Stats).map_err(|e| e.to_string())?;
+                let line = client
+                    .recv_line()
+                    .map_err(|e| e.to_string())?
+                    .ok_or_else(|| "daemon closed the connection".to_string())?;
+                println!("{line}");
+                Ok(ExitCode::SUCCESS)
+            }
+            Action::Shutdown => {
+                client.send(&Request::Shutdown).map_err(|e| e.to_string())?;
+                while let Some(line) = client.recv_line().map_err(|e| e.to_string())? {
+                    println!("{line}");
+                    if matches!(parse_response(&line), Ok(Response::Bye)) {
+                        break;
+                    }
+                }
+                Ok(ExitCode::SUCCESS)
+            }
+            Action::Submit => {
+                if n == 0 || k == 0 {
+                    return Err(format!("--n and --k are required to submit\n{}", usage()));
+                }
+                let job = JobSpec {
+                    kind: job_kind,
+                    algorithms: vec![algo],
+                    workloads: vec![workload(&family, n, k, l)?],
+                    schedules: Vec::new(),
+                    objectives,
+                    tier,
+                    seeds,
+                };
+                client
+                    .send(&Request::Submit {
+                        id,
+                        backpressure,
+                        job,
+                    })
+                    .map_err(|e| e.to_string())?;
+                // Forward frames verbatim (the output stays jq-able) and
+                // derive the exit code from the job's terminal frame.
+                while let Some(line) = client.recv_line().map_err(|e| e.to_string())? {
+                    println!("{line}");
+                    match parse_response(&line) {
+                        Ok(Response::Done { id: done_id, .. }) if done_id == id => {
+                            return Ok(ExitCode::SUCCESS);
+                        }
+                        Ok(Response::Rejected { .. } | Response::Error { .. }) => {
+                            return Ok(ExitCode::FAILURE);
+                        }
+                        _ => {}
+                    }
+                }
+                Err("daemon closed the connection before the job finished".to_string())
+            }
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    #[cfg(feature = "serde")]
+    if service_cli::wants_dispatch(&args) {
+        return service_cli::dispatch(&args);
+    }
     match parse_args(&args) {
         Ok(opts) => match run(&opts) {
             Ok(()) => ExitCode::SUCCESS,
@@ -496,6 +768,7 @@ mod tests {
             oracle_moves: None,
             competitive_ratio: None,
             search: None,
+            instance_fingerprint: None,
         }
     }
 

@@ -18,7 +18,9 @@
 //! * [`analysis`] — workload generators, the parallel [`Sweep`] batch
 //!   API, statistics;
 //! * [`embed`] — the §5 extension: Euler-tour ring embedding for trees and
-//!   spanning-tree embedding for general graphs.
+//!   spanning-tree embedding for general graphs;
+//! * [`service`] — `ringdeployd`, the long-lived deployment daemon with
+//!   the deterministic result cache (`--serve` / `--connect` in the CLI).
 //!
 //! # Quickstart
 //!
@@ -61,6 +63,8 @@ pub use ringdeploy_embed as embed;
 #[cfg(feature = "serde")]
 pub use ringdeploy_json as json;
 pub use ringdeploy_seq as seq;
+#[cfg(feature = "serde")]
+pub use ringdeploy_service as service;
 pub use ringdeploy_sim as sim;
 pub use ringdeploy_vis as vis;
 

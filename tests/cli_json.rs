@@ -66,6 +66,7 @@ fn deploy_report_round_trips_with_pinned_fields() {
             "algorithm",
             "check",
             "ideal_time",
+            "instance_fingerprint",
             "k",
             "metrics",
             "n",
@@ -120,6 +121,7 @@ fn explore_report_round_trips_with_pinned_fields() {
     assert_eq!(
         keys(field(&json, "report")),
         [
+            "instance_fingerprint",
             "max_depth_seen",
             "merge_edges",
             "peak_frontier",
@@ -227,6 +229,7 @@ fn certify_report_round_trips_with_pinned_fields() {
                 "bound",
                 "competitive_ratio",
                 "holds",
+                "instance_fingerprint",
                 "k",
                 "n",
                 "objective",
