@@ -66,71 +66,23 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use ringdeploy_core::{
-    Algorithm, DeployError, Deployment, FullKnowledge, LogSpace, NoKnowledge, Schedule,
-};
+use ringdeploy_core::{Algorithm, DeployError, Deployment, Schedule};
 use ringdeploy_sim::adversary::{Adversary, AdversaryError, Objective, WorstCase};
 use ringdeploy_sim::explore::{ExploreLimits, SymmetryMode};
 use ringdeploy_sim::scheduler::Activation;
-use ringdeploy_sim::{Behavior, InitialConfig, Ring};
+use ringdeploy_sim::InitialConfig;
 
-use crate::memory_model::{algo1_bounds, algo2_bounds, relaxed_bounds};
-use crate::oracle::oracle_moves;
 use crate::sweep::Workload;
 
-/// A paper bound evaluated at an instance: the formula, the recorded
-/// per-family constant (see the [module docs](self)) and the resulting
-/// numeric bound.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct PaperBound {
-    /// The bound's shape, constant included symbolically (e.g.
-    /// `"c*k*n"`).
-    pub formula: &'static str,
-    /// The recorded constant `c`.
-    pub constant: f64,
-    /// `c` × the shape evaluated at the instance.
-    pub value: f64,
-}
-
-/// The closed set of recorded bound formulas — the single source both
-/// [`paper_bound`] (encoder) and the `PaperBound` JSON decoder draw
-/// from, so the two cannot drift apart.
-const FORMULA_KN: &str = "c*k*n";
-const FORMULA_KN_OVER_L: &str = "c*k*n/l";
-const FORMULA_K_LOG_N: &str = "c*k*log2(n)";
-const FORMULA_LOG_N: &str = "c*log2(n)";
-const FORMULA_K_OVER_L_LOG: &str = "c*(k/l)*log2(n/l)";
-#[cfg(feature = "serde")]
-const BOUND_FORMULAS: [&str; 5] = [
-    FORMULA_KN,
-    FORMULA_KN_OVER_L,
-    FORMULA_K_LOG_N,
-    FORMULA_LOG_N,
-    FORMULA_K_OVER_L_LOG,
-];
-
-/// Recorded per-family constants: `(moves, activations, memory)` — the
-/// empirical envelopes of the adversarial exact maxima over the
-/// exhaustive verification tier (see the [module docs](self)).
-fn recorded_constants(algorithm: Algorithm) -> (f64, f64, f64) {
-    match algorithm {
-        // Measured worst cases: ≤ 2.0·kn moves, ≤ 2.1·kn activations,
-        // ≤ 2.0·k·log₂n memory bits.
-        Algorithm::FullKnowledge => (3.0, 3.0, 3.0),
-        // Measured: ≤ 2.7·kn moves, ≤ 3.0·kn activations, ≤ 6.7·log₂n
-        // memory bits (the log-space counters carry a small multiple).
-        Algorithm::LogSpace => (4.0, 4.0, 8.0),
-        // Measured: ≤ 13.1·kn/l moves and activations (the ~14n-per-agent
-        // no-knowledge walks), ≤ 11·(k/l)·log₂(n/l) memory bits.
-        Algorithm::Relaxed => (16.0, 16.0, 16.0),
-    }
-}
+pub use ringdeploy_core::PaperBound;
 
 /// The paper bound for `algorithm` × `objective` at an `(n, k, l)`
-/// instance, with the recorded constant. Shapes come from the Table-1
-/// expectations in [`crate::memory_model`]; the activation bound shares
-/// the move shape (every activation beyond the `O(kn)` moves is a
-/// wake/suspend bounded by the same walks).
+/// instance, with the recorded constant — a thin wrapper over
+/// [`ProblemFamily::paper_bound`](ringdeploy_core::ProblemFamily::paper_bound),
+/// kept for callers that predate the trait. Shapes come from the
+/// Table-1 expectations in `ringdeploy-core`; the activation bound
+/// shares the move shape (every activation beyond the bounded moves is
+/// a wake/suspend bounded by the same walks).
 pub fn paper_bound(
     algorithm: Algorithm,
     objective: Objective,
@@ -138,38 +90,7 @@ pub fn paper_bound(
     k: usize,
     l: usize,
 ) -> PaperBound {
-    let bounds = match algorithm {
-        Algorithm::FullKnowledge => algo1_bounds(n, k),
-        Algorithm::LogSpace => algo2_bounds(n, k),
-        Algorithm::Relaxed => relaxed_bounds(n, k, l.max(1)),
-    };
-    // memory_model convention: [0] = memory, [1] = time, [2] = moves.
-    let (memory, moves) = (bounds[0], bounds[2]);
-    let (c_moves, c_acts, c_mem) = recorded_constants(algorithm);
-    let (shape, constant) = match objective {
-        Objective::TotalMoves => (moves, c_moves),
-        Objective::TotalActivations => (moves, c_acts),
-        Objective::PeakMemoryBits => (memory, c_mem),
-    };
-    let formula = match (algorithm, objective) {
-        (Algorithm::Relaxed, Objective::TotalMoves | Objective::TotalActivations) => {
-            FORMULA_KN_OVER_L
-        }
-        (_, Objective::TotalMoves | Objective::TotalActivations) => FORMULA_KN,
-        (Algorithm::FullKnowledge, Objective::PeakMemoryBits) => FORMULA_K_LOG_N,
-        (Algorithm::LogSpace, Objective::PeakMemoryBits) => FORMULA_LOG_N,
-        (Algorithm::Relaxed, Objective::PeakMemoryBits) => FORMULA_K_OVER_L_LOG,
-    };
-    PaperBound {
-        formula,
-        constant,
-        // Floor the shape at 1: `log₂(n)` vanishes on the degenerate
-        // `n = 1` ring (`relaxed_bounds` already guards its own log the
-        // same way), and a zero bound would turn every certificate into
-        // a false VIOLATED verdict and `utilisation` into a division by
-        // zero.
-        value: constant * shape.value.max(1.0),
-    }
+    algorithm.paper_bound(objective, n, k, l)
 }
 
 /// How much evidence backs a certificate — see the [module docs](self).
@@ -362,11 +283,11 @@ impl From<AdversaryError> for CertifyErrorKind {
 }
 
 /// Runs the worst-case search for one explicit instance under
-/// `algorithm` — the single place that maps an [`Algorithm`] to its
-/// behavior factory for the adversary, mirroring
-/// [`explore_one`](crate::explore_one). [`Certify`] cells, the CLI's
-/// `--adversary`/`--certify` modes and the `adversary_scale` bench all
-/// route through here.
+/// `algorithm` — trait-routed through
+/// [`ProblemFamily::worst_case`](ringdeploy_core::ProblemFamily::worst_case),
+/// mirroring [`explore_one`](crate::explore_one). [`Certify`] cells, the
+/// CLI's `--adversary`/`--certify` modes and the `adversary_scale` bench
+/// all route through here.
 ///
 /// # Errors
 ///
@@ -377,25 +298,7 @@ pub fn worst_case_one(
     adversary: &Adversary,
     objective: Objective,
 ) -> Result<WorstCase, AdversaryError> {
-    fn run<B>(
-        adversary: &Adversary,
-        init: &InitialConfig,
-        make: impl Fn() -> B,
-        objective: Objective,
-    ) -> Result<WorstCase, AdversaryError>
-    where
-        B: Behavior + Clone + std::hash::Hash,
-        B::Message: Clone + std::hash::Hash,
-    {
-        let ring = Ring::new(init, |_| make());
-        adversary.run(&ring, objective)
-    }
-    let k = init.agent_count();
-    match algorithm {
-        Algorithm::FullKnowledge => run(adversary, init, || FullKnowledge::new(k), objective),
-        Algorithm::LogSpace => run(adversary, init, || LogSpace::new(k), objective),
-        Algorithm::Relaxed => run(adversary, init, NoKnowledge::new, objective),
-    }
+    algorithm.worst_case(init, adversary, objective)
 }
 
 /// The objective's value in a completed run's report.
@@ -460,9 +363,11 @@ pub fn certify_one(
     };
     let (oracle, ratio) = match objective {
         Objective::TotalMoves => {
-            let oracle = oracle_moves(init).total_moves;
-            let ratio = (oracle > 0).then(|| worst_value as f64 / oracle as f64);
-            (Some(oracle), ratio)
+            let oracle = algorithm.oracle_moves(init);
+            let ratio = oracle
+                .filter(|&o| o > 0)
+                .map(|o| worst_value as f64 / o as f64);
+            (oracle, ratio)
         }
         _ => (None, None),
     };
@@ -769,36 +674,8 @@ impl Certify {
 
 #[cfg(feature = "serde")]
 mod json_impls {
-    use super::{BoundCertificate, EvidenceTier, PaperBound, SearchStats};
+    use super::{BoundCertificate, EvidenceTier, SearchStats};
     use ringdeploy_json::{FromJson, Json, JsonError, ToJson};
-
-    impl ToJson for PaperBound {
-        fn to_json(&self) -> Json {
-            Json::object([
-                ("formula", self.formula.to_json()),
-                ("constant", self.constant.to_json()),
-                ("value", self.value.to_json()),
-            ])
-        }
-    }
-
-    impl FromJson for PaperBound {
-        fn from_json(json: &Json) -> Result<Self, JsonError> {
-            // `formula` is a &'static str in-process; decoded values map
-            // onto the same recorded formula set `paper_bound` draws
-            // from, so encoder and decoder cannot drift.
-            let formula: String = json.field("formula")?;
-            let formula = super::BOUND_FORMULAS
-                .into_iter()
-                .find(|f| *f == formula)
-                .ok_or_else(|| JsonError::Decode(format!("unknown bound formula `{formula}`")))?;
-            Ok(PaperBound {
-                formula,
-                constant: json.field("constant")?,
-                value: json.field("value")?,
-            })
-        }
-    }
 
     impl ToJson for EvidenceTier {
         fn to_json(&self) -> Json {
@@ -913,6 +790,7 @@ mod json_impls {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ringdeploy_core::oracle_moves;
 
     #[test]
     fn adversarial_tier_certifies_the_exhaustive_instances() {

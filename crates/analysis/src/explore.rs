@@ -28,13 +28,11 @@
 //! # Ok::<(), ringdeploy_analysis::ExploreBatchError>(())
 //! ```
 
-use ringdeploy_core::{Algorithm, FullKnowledge, LogSpace, NoKnowledge};
+use ringdeploy_core::Algorithm;
 use ringdeploy_sim::explore::{
     ExploreErrorKind, ExploreLimits, ExploreReport, Explorer, SymmetryMode,
 };
-use ringdeploy_sim::{
-    satisfies_halting_deployment, satisfies_suspended_deployment, Behavior, InitialConfig, Ring,
-};
+use ringdeploy_sim::InitialConfig;
 
 use crate::sweep::Workload;
 
@@ -291,13 +289,15 @@ impl Explore {
 }
 
 /// Exhaustively explores one explicit instance under `algorithm` with the
-/// given engine configuration — the single place that maps an
-/// [`Algorithm`] to its behavior factory and its Definition 1/2 terminal
+/// given engine configuration — trait-routed through
+/// [`ProblemFamily::explore`](ringdeploy_core::ProblemFamily::explore),
+/// which pairs the family's behavior factory with its terminal
 /// predicate. [`Explore`] cells, the CLI's `--explore` mode and the
 /// `explore_scale` bench all route through here.
 ///
-/// The Definition 1/2 predicates are rotation-invariant (uniform spacing
-/// is a property of the gap multiset), so both symmetry modes are sound.
+/// Family predicates are rotation-invariant by the trait contract
+/// (uniform spacing and group sizes are properties of gap/group
+/// multisets), so both symmetry modes are sound.
 ///
 /// # Errors
 ///
@@ -308,7 +308,7 @@ pub fn explore_one(
     init: &InitialConfig,
     explorer: &Explorer,
 ) -> Result<ExploreReport, ExploreErrorKind> {
-    explore_one_impl(algorithm, init, explorer, false)
+    algorithm.explore(init, explorer, false)
 }
 
 /// As [`explore_one`], but through the **retained clone-based reference
@@ -325,48 +325,7 @@ pub fn explore_one_reference(
     init: &InitialConfig,
     explorer: &Explorer,
 ) -> Result<ExploreReport, ExploreErrorKind> {
-    explore_one_impl(algorithm, init, explorer, true)
-}
-
-fn explore_one_impl(
-    algorithm: Algorithm,
-    init: &InitialConfig,
-    explorer: &Explorer,
-    reference: bool,
-) -> Result<ExploreReport, ExploreErrorKind> {
-    let k = init.agent_count();
-    let halts = algorithm.halts();
-    fn run<B>(
-        explorer: &Explorer,
-        init: &InitialConfig,
-        make: impl Fn() -> B + Sync,
-        halts: bool,
-        reference: bool,
-    ) -> Result<ExploreReport, ExploreErrorKind>
-    where
-        B: Behavior + Clone + std::hash::Hash + Send + Sync,
-        B::Message: Clone + std::hash::Hash + Send + Sync,
-    {
-        let ring = Ring::new(init, |_| make());
-        let pred = move |r: &Ring<B>| {
-            if halts {
-                satisfies_halting_deployment(r).is_satisfied()
-            } else {
-                satisfies_suspended_deployment(r).is_satisfied()
-            }
-        };
-        let result = if reference {
-            explorer.run_serial_reference(&ring, pred)
-        } else {
-            explorer.run(&ring, pred)
-        };
-        result.map_err(|e| e.kind())
-    }
-    match algorithm {
-        Algorithm::FullKnowledge => run(explorer, init, || FullKnowledge::new(k), halts, reference),
-        Algorithm::LogSpace => run(explorer, init, || LogSpace::new(k), halts, reference),
-        Algorithm::Relaxed => run(explorer, init, NoKnowledge::new, halts, reference),
-    }
+    algorithm.explore(init, explorer, true)
 }
 
 #[cfg(test)]

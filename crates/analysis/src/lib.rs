@@ -50,8 +50,6 @@ mod experiment;
 pub mod explore;
 pub mod generators;
 pub mod key;
-mod memory_model;
-mod oracle;
 mod stats;
 pub mod sweep;
 mod table;
@@ -70,8 +68,17 @@ pub use generators::{
     random_config, theorem5_config, uniform_config,
 };
 pub use key::{InstanceKey, JobKind};
-pub use memory_model::{algo1_bounds, algo2_bounds, relaxed_bounds, theorem1_lower_bound, Bound};
-pub use oracle::{oracle_moves, oracle_moves_brute_force, OracleSolution};
+// The paper-bound shapes and the offline oracle moved into
+// `ringdeploy-core` alongside the `ProblemFamily` trait that consumes
+// them; re-exported here so `ringdeploy::analysis::{oracle_moves, ..}`
+// callers keep working.
+pub use ringdeploy_core::{
+    algo1_bounds, algo2_bounds, gathering_bounds, relaxed_bounds, theorem1_lower_bound, Bound,
+};
+pub use ringdeploy_core::{
+    gathering_oracle_brute_force, gathering_oracle_moves, oracle_moves, oracle_moves_brute_force,
+    OracleSolution,
+};
 pub use ringdeploy_sim::adversary::{Adversary, AdversaryError, Objective, WorstCase};
 pub use stats::{LinearFit, Summary};
 pub use sweep::{

@@ -4,20 +4,23 @@
 //! Two measurements per instance, both computing the **same exact
 //! worst-case total moves**:
 //!
-//! * **pruned** — the branch-and-bound with
-//!   `SymmetryMode::Rotation` fingerprint-with-cost dominance (the
-//!   production engine): a child whose canonical fingerprint was already
-//!   reached with at least the current accumulated cost is cut;
+//! * **pruned** — the search with `SymmetryMode::Rotation`
+//!   remaining-value memoisation (the production engine): a child whose
+//!   canonical fingerprint is already solved folds its whole subtree in
+//!   `O(1)`;
 //! * **unpruned** — the same search over the plain (unquotiented)
-//!   configuration space (`SymmetryMode::Off`): dominance only merges
+//!   configuration space (`SymmetryMode::Off`): the memo only merges
 //!   exact concrete re-encounters, so every reachable concrete
 //!   configuration is enumerated — the exhaustive-enumeration baseline.
 //!
 //! Gates enforced by the bench itself:
 //!
 //! * **answer identity**: both modes must report the same worst-case
-//!   value (the objective is rotation-invariant; see the pruning
+//!   value (the objective is rotation-invariant; see the memoisation
 //!   soundness argument in `ringdeploy-sim::adversary`);
+//! * **linear work**: the exact remaining-value memo expands every
+//!   distinct state at most once, so `pruned_expansions ≤
+//!   distinct_states` on every instance;
 //! * **pruning effectiveness**: on the symmetry-degree-4 instances the
 //!   pruned search must expand **≤ 1/3** of the states the unpruned
 //!   enumeration expands (measured ~3.9×, tracking the quotient's state
@@ -44,6 +47,7 @@ struct Sample {
     symmetry_degree: usize,
     value: u64,
     witness_len: usize,
+    distinct_states: usize,
     pruned_expansions: usize,
     unpruned_expansions: usize,
     pruned: Duration,
@@ -115,6 +119,7 @@ fn measure(algorithm: Algorithm, n: usize, homes: &[usize], repeats: usize) -> S
         symmetry_degree: init.symmetry_degree(),
         value: pruned_case.value,
         witness_len: pruned_case.witness.len(),
+        distinct_states: pruned_case.distinct_states,
         pruned_expansions: pruned_case.expansions,
         unpruned_expansions: unpruned_case.expansions,
         pruned,
@@ -181,7 +186,7 @@ fn main() {
             format!(
                 "    {{\"algo\": \"{}\", \"n\": {}, \"k\": {}, \"symmetry_degree\": {}, \
                  \"worst_moves\": {}, \"witness_len\": {}, \"oracle_moves\": {}, \
-                 \"competitive_ratio\": {competitive}, \
+                 \"competitive_ratio\": {competitive}, \"distinct_states\": {}, \
                  \"pruned_expansions\": {}, \"unpruned_expansions\": {}, \
                  \"pruning_ratio\": {:.2}, \"pruned_ms\": {:.3}, \"unpruned_ms\": {:.3}, \
                  \"states_per_sec\": {:.0}}}",
@@ -192,6 +197,7 @@ fn main() {
                 s.value,
                 s.witness_len,
                 s.oracle,
+                s.distinct_states,
                 s.pruned_expansions,
                 s.unpruned_expansions,
                 s.pruning_ratio(),
@@ -210,7 +216,22 @@ fn main() {
     std::fs::write(path, &json).expect("write BENCH_adversary.json");
     println!("\nwrote {path}");
 
-    // Pruning effectiveness: on every l = 4 instance the branch-and-bound
+    // Linear work: the exact remaining-value memo solves each distinct
+    // state once, so expansions can never exceed the reachable state
+    // count — on any instance.
+    for s in &samples {
+        assert!(
+            s.pruned_expansions <= s.distinct_states,
+            "memoised search must expand each state at most once on {} n={}: \
+             {} expansions > {} states",
+            s.algo,
+            s.n,
+            s.pruned_expansions,
+            s.distinct_states
+        );
+    }
+
+    // Pruning effectiveness: on every l = 4 instance the memoised search
     // must expand at most a third of the unpruned enumeration — the
     // acceptance gate of the adversarial-search subsystem.
     for s in samples.iter().filter(|s| s.symmetry_degree >= 4) {

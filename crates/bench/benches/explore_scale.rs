@@ -145,10 +145,12 @@ fn state_bytes(algorithm: Algorithm, init: &InitialConfig) -> (usize, usize) {
         (PackedState::pack(ring).heap_bytes(), ring_heap_bytes(ring))
     }
     let k = init.agent_count();
-    match algorithm {
-        Algorithm::FullKnowledge => of(&Ring::new(init, |_| FullKnowledge::new(k))),
-        Algorithm::LogSpace => of(&Ring::new(init, |_| LogSpace::new(k))),
-        Algorithm::Relaxed => of(&Ring::new(init, |_| NoKnowledge::new())),
+    if algorithm == Algorithm::FullKnowledge {
+        of(&Ring::new(init, |_| FullKnowledge::new(k)))
+    } else if algorithm == Algorithm::LogSpace {
+        of(&Ring::new(init, |_| LogSpace::new(k)))
+    } else {
+        of(&Ring::new(init, |_| NoKnowledge::new()))
     }
 }
 

@@ -80,10 +80,12 @@ pub fn table1_sweep(algorithm: Algorithm) -> Sweep {
 }
 
 fn bound_values(algorithm: Algorithm, n: usize, k: usize, l: usize) -> [f64; 3] {
-    let b = match algorithm {
-        Algorithm::FullKnowledge => algo1_bounds(n, k),
-        Algorithm::LogSpace => algo2_bounds(n, k),
-        Algorithm::Relaxed => relaxed_bounds(n, k, l),
+    let b = if algorithm == Algorithm::FullKnowledge {
+        algo1_bounds(n, k)
+    } else if algorithm == Algorithm::LogSpace {
+        algo2_bounds(n, k)
+    } else {
+        relaxed_bounds(n, k, l)
     };
     [b[0].value, b[1].value, b[2].value]
 }
@@ -141,10 +143,12 @@ pub fn table1() -> String {
     out.push_str("== Table 1: results in each model (measured) ==\n\n");
     for algo in Algorithm::ALL {
         let (table, worst) = table1_for(algo);
-        let paper = match algo {
-            Algorithm::FullKnowledge => "paper: memory O(k log n), time O(n), moves O(kn)",
-            Algorithm::LogSpace => "paper: memory O(log n), time O(n log k), moves O(kn)",
-            Algorithm::Relaxed => "paper: memory O((k/l) log(n/l)), time O(n/l), moves O(kn/l)",
+        let paper = if algo == Algorithm::FullKnowledge {
+            "paper: memory O(k log n), time O(n), moves O(kn)"
+        } else if algo == Algorithm::LogSpace {
+            "paper: memory O(log n), time O(n log k), moves O(kn)"
+        } else {
+            "paper: memory O((k/l) log(n/l)), time O(n/l), moves O(kn/l)"
         };
         out.push_str(&format!("-- {algo} --\n{paper}\n"));
         out.push_str(&table.render());

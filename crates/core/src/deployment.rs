@@ -81,14 +81,8 @@
 //! ```
 
 use ringdeploy_sim::scheduler::RoundRobin;
-use ringdeploy_sim::{
-    satisfies_halting_deployment, satisfies_suspended_deployment, Behavior, InitialConfig, Ring,
-    RunLimits, Scheduler,
-};
+use ringdeploy_sim::{Behavior, DeploymentCheck, InitialConfig, Ring, RunLimits, Scheduler};
 
-use crate::algo1::FullKnowledge;
-use crate::algo2::LogSpace;
-use crate::relaxed::NoKnowledge;
 use crate::run::{Algorithm, DeployError, DeployReport, PhaseMetric, Schedule};
 
 /// Type-state of [`Deployment`]: asynchronous execution under a fair
@@ -188,7 +182,7 @@ impl<'a> Deployment<'a, Asynchronous> {
             limits,
             trace_capacity,
         };
-        driver.execute(Mode::Asynchronous(scheduler.as_mut()))
+        driver.execute(DriveMode::Asynchronous(scheduler.as_mut()))
     }
 
     /// Runs under any [`Schedule`] preset, mapping
@@ -222,7 +216,7 @@ impl<'a> Deployment<'a, Synchronous> {
             limits: self.limits,
             trace_capacity: self.trace_capacity,
         };
-        driver.execute(Mode::Synchronous)
+        driver.execute(DriveMode::Synchronous)
     }
 }
 
@@ -248,32 +242,55 @@ impl<'a, M> Deployment<'a, M> {
     }
 }
 
-enum Mode<'s> {
+/// Execution mode of one [`Driver`] run: asynchronous under a fair
+/// scheduler, or lock-step synchronous (ideal-time measurement).
+/// Family implementations receive it opaquely through
+/// [`ProblemFamily::deploy`](crate::ProblemFamily::deploy) and pass it
+/// straight to [`Driver::run_behavior`].
+pub enum DriveMode<'s> {
+    /// Asynchronous execution under the given fair scheduler.
     Asynchronous(&'s mut dyn Scheduler),
+    /// Lock-step rounds; the report carries
+    /// [`ideal_time`](DeployReport::ideal_time).
     Synchronous,
 }
 
-struct Driver<'a> {
+/// The low-level, behavior-generic run driver handed to
+/// [`ProblemFamily::deploy`](crate::ProblemFamily::deploy): it owns the
+/// instance, limits and trace knobs of one configured run, and a family
+/// finishes it by calling [`Driver::run_behavior`] with its behavior
+/// factory and success check.
+pub struct Driver<'a> {
     init: &'a InitialConfig,
     algorithm: Algorithm,
     limits: Option<RunLimits>,
     trace_capacity: Option<usize>,
 }
 
-impl Driver<'_> {
-    fn execute(self, mode: Mode<'_>) -> Result<DeployReport, DeployError> {
-        let k = self.init.agent_count();
-        match self.algorithm {
-            Algorithm::FullKnowledge => self.run_behavior(mode, |_| FullKnowledge::new(k)),
-            Algorithm::LogSpace => self.run_behavior(mode, |_| LogSpace::new(k)),
-            Algorithm::Relaxed => self.run_behavior(mode, |_| NoKnowledge::new()),
-        }
+impl<'a> Driver<'a> {
+    /// The initial configuration this run starts from.
+    pub fn init(&self) -> &'a InitialConfig {
+        self.init
     }
 
-    fn run_behavior<B: Behavior>(
+    fn execute(self, mode: DriveMode<'_>) -> Result<DeployReport, DeployError> {
+        let family = self.algorithm;
+        family.deploy(self, mode)
+    }
+
+    /// Runs `factory`-built behaviors to quiescence under `mode`,
+    /// verifies the terminal configuration with `check`, and assembles
+    /// the [`DeployReport`] — the single engine-facing code path every
+    /// family's [`deploy`](crate::ProblemFamily::deploy) delegates to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError::Sim`] when the run exceeds its limits.
+    pub fn run_behavior<B: Behavior>(
         self,
-        mode: Mode<'_>,
+        mode: DriveMode<'_>,
         factory: impl FnMut(ringdeploy_sim::AgentId) -> B,
+        check: impl FnOnce(&Ring<B>) -> DeploymentCheck,
     ) -> Result<DeployReport, DeployError> {
         let n = self.init.ring_size();
         let k = self.init.agent_count();
@@ -283,17 +300,13 @@ impl Driver<'_> {
             ring.enable_trace(capacity);
         }
         let (outcome, scheduler_label) = match mode {
-            Mode::Asynchronous(scheduler) => {
+            DriveMode::Asynchronous(scheduler) => {
                 let label = scheduler.name().to_string();
                 (ring.run(scheduler, limits)?, label)
             }
-            Mode::Synchronous => (ring.run_synchronous(limits)?, "synchronous".to_string()),
+            DriveMode::Synchronous => (ring.run_synchronous(limits)?, "synchronous".to_string()),
         };
-        let check = if self.algorithm.halts() {
-            satisfies_halting_deployment(&ring)
-        } else {
-            satisfies_suspended_deployment(&ring)
-        };
+        let check = check(&ring);
         let positions = ring
             .staying_positions()
             .expect("quiescent runs leave no agent in transit");

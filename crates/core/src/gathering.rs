@@ -1,0 +1,427 @@
+//! **g-partial gathering** (Shibata, Kawai, Ooshita, Kakugawa, Masuzawa;
+//! arXiv:1505.06596): from distinct home nodes, agents must end up
+//! partitioned into groups of at least `g`, each group halted on a
+//! common node. The paper proves Θ(gn) total moves for the problem on
+//! the same asynchronous unidirectional ring model as the uniform
+//! -deployment paper.
+//!
+//! The implementation here is the token-census variant, structurally a
+//! sibling of Algorithm 1:
+//!
+//! 1. **Boot** — release the token at the home node, start walking.
+//! 2. **Recon** — travel once around the ring (detected by counting `k`
+//!    token nodes), recording the inter-home gap sequence `D`.
+//! 3. **Election** — agent `i`'s view is the rotation of the global gap
+//!    sequence starting at its own home. The agents whose view is the
+//!    lexicographically minimal rotation (there are exactly `l` of
+//!    them, the symmetry degree) become **leaders** and halt at home;
+//!    every other agent walks forward to the nearest leader's home
+//!    (`D[0] + … + D[r−1]` hops, where `r` is the first minimal
+//!    rotation index of its view) and halts there.
+//!
+//! Each leader collects the `k/l` agents of its preceding stretch, so
+//! the run achieves g-partial gathering exactly when `g ≤ k/l` — in
+//! particular a fully periodic start (`l = k`, e.g. uniform homes)
+//! admits no `g ≥ 2` gathering under this scheme, mirroring the paper's
+//! impossibility for indistinguishable symmetric configurations.
+//!
+//! The behavior observes only tokens (never other agents), and the
+//! engine's FIFO initial placement guarantees a walker reaches a home
+//! node only after that home's own agent released its token — so the
+//! final grouping is schedule-independent, which the exhaustive
+//! explorer re-verifies in `tests/partial_gathering.rs`.
+
+use ringdeploy_seq::min_rotation;
+use ringdeploy_sim::{bits_for, Action, Behavior, InitialConfig, Observation};
+
+/// What the agent is currently doing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum State {
+    /// Waiting for the very first activation at the home node.
+    Boot,
+    /// Travelling once around the ring, recording inter-home gaps.
+    Recon {
+        /// Hops since the last token node.
+        dis: u64,
+        /// Gaps recorded so far (`D[0..j]`).
+        d: Vec<u64>,
+    },
+    /// Walking the remaining hops to the elected leader's home.
+    Gather {
+        /// Hops still to make.
+        remaining: u64,
+    },
+    /// Halted — as a leader at home, or as a follower at a leader's
+    /// home.
+    Done,
+}
+
+/// The g-partial-gathering agent. Construct one per agent with
+/// [`PartialGathering::new`], passing the known agent count `k`.
+///
+/// The target group size `g` is deliberately **not** a parameter: the
+/// census walk and leader election are the same for every `g`, and the
+/// achieved grouping (`k/l` agents per leader) is checked against `g`
+/// by the family's success predicate
+/// ([`satisfies_partial_gathering`](ringdeploy_sim::satisfies_partial_gathering)).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PartialGathering {
+    k: usize,
+    state: State,
+}
+
+impl PartialGathering {
+    /// Creates an agent that knows the total number of agents `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "at least one agent");
+        PartialGathering {
+            k,
+            state: State::Boot,
+        }
+    }
+
+    /// Whether the agent has halted at its group's node.
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, State::Done)
+    }
+}
+
+impl Behavior for PartialGathering {
+    type Message = ();
+
+    fn act(&mut self, obs: &Observation<'_, ()>) -> Action<()> {
+        match std::mem::replace(&mut self.state, State::Done) {
+            State::Boot => {
+                // First action at the home node: release the token and
+                // set off on the census circuit.
+                debug_assert!(obs.arrived);
+                self.state = State::Recon {
+                    dis: 0,
+                    d: Vec::with_capacity(self.k),
+                };
+                Action::moving().with_token_release(true)
+            }
+            State::Recon { mut dis, mut d } => {
+                dis += 1;
+                if obs.has_token() {
+                    d.push(dis);
+                    dis = 0;
+                    if d.len() == self.k {
+                        // Back at the home node: the circuit is
+                        // complete. The first minimal rotation index of
+                        // the view locates the nearest leader ahead.
+                        let rank = min_rotation(&d);
+                        if rank == 0 {
+                            // This agent's view is minimal: leader,
+                            // halts at home.
+                            self.state = State::Done;
+                            return Action::halting();
+                        }
+                        let remaining: u64 = d[..rank].iter().sum();
+                        self.state = State::Gather { remaining };
+                        return Action::moving();
+                    }
+                }
+                self.state = State::Recon { dis, d };
+                Action::moving()
+            }
+            State::Gather { remaining } => {
+                let remaining = remaining - 1;
+                if remaining == 0 {
+                    self.state = State::Done;
+                    return Action::halting();
+                }
+                self.state = State::Gather { remaining };
+                Action::moving()
+            }
+            State::Done => {
+                // A halted agent is never activated by the engine; if a
+                // bug did so, keep halting.
+                Action::halting()
+            }
+        }
+    }
+
+    fn memory_bits(&self) -> usize {
+        // k is known a priori.
+        let mut bits = bits_for(self.k as u64);
+        match &self.state {
+            State::Boot | State::Done => {}
+            State::Recon { dis, d } => {
+                bits += bits_for(*dis);
+                bits += d.iter().map(|&x| bits_for(x)).sum::<usize>();
+                bits += bits_for(d.len() as u64); // the index j
+            }
+            State::Gather { remaining } => {
+                bits += bits_for(*remaining);
+            }
+        }
+        bits
+    }
+
+    fn phase_name(&self) -> &'static str {
+        match self.state {
+            State::Boot => "boot",
+            State::Recon { .. } => "recon",
+            State::Gather { .. } => "gather",
+            State::Done => "done",
+        }
+    }
+}
+
+/// Offline-optimal total moves for g-partial gathering on `init`:
+/// the cheapest way a centralised solver could group the agents.
+///
+/// On a unidirectional ring an optimal grouping never "crosses": each
+/// group is a consecutive arc of the cyclically-sorted homes, meeting
+/// at the arc's forward-most home (any further node adds a full hop per
+/// member; wrapping past it adds `n` per wrapped member). The solver
+/// therefore tries every cyclic cut of the sorted homes and, for each,
+/// a dynamic program over consecutive arcs of size ≥ `g` — `O(k³)`
+/// total. [`gathering_oracle_brute_force`] checks this structural claim
+/// against *all* set partitions on tiny instances.
+///
+/// Returns `None` when the instance is unsolvable (`k < g`: even a
+/// single all-agents group is too small).
+pub fn gathering_oracle_moves(init: &InitialConfig, g: usize) -> Option<u64> {
+    let n = init.ring_size() as u64;
+    let k = init.agent_count();
+    let g = g.max(1);
+    if k < g {
+        return None;
+    }
+    let mut homes: Vec<u64> = init.homes().iter().map(|&h| h as u64).collect();
+    homes.sort_unstable();
+
+    let mut best = u64::MAX;
+    for s in 0..k {
+        // Unroll the cycle at cut s: positions ascend, wrapped homes
+        // shifted up by n so forward distances are plain differences.
+        let rot: Vec<u64> = (0..k)
+            .map(|i| homes[(s + i) % k] + if s + i >= k { n } else { 0 })
+            .collect();
+        // dp[i] = min cost of partitioning rot[i..] into arcs of size ≥ g.
+        let mut dp = vec![u64::MAX; k + 1];
+        dp[k] = 0;
+        for i in (0..k).rev() {
+            for j in (i + g)..=k {
+                if dp[j] == u64::MAX {
+                    continue;
+                }
+                let meet = rot[j - 1];
+                let cost: u64 = rot[i..j].iter().map(|&h| meet - h).sum();
+                dp[i] = dp[i].min(dp[j].saturating_add(cost));
+            }
+        }
+        best = best.min(dp[0]);
+    }
+    (best != u64::MAX).then_some(best)
+}
+
+/// Verifies the oracle by exhaustive search over **all** set partitions
+/// of the agents into groups of size ≥ `g` and all `n` meeting nodes
+/// per group. Exposed for differential tests; do not call with `k > 8`.
+///
+/// Returns `None` when no valid partition exists (`k < g`).
+pub fn gathering_oracle_brute_force(init: &InitialConfig, g: usize) -> Option<u64> {
+    let n = init.ring_size() as u64;
+    let k = init.agent_count();
+    let g = g.max(1);
+    assert!(k <= 8, "brute force is exponential");
+    if k < g {
+        return None;
+    }
+    let homes: Vec<u64> = init.homes().iter().map(|&h| h as u64).collect();
+
+    /// Cheapest meeting node for one group: try every node.
+    fn group_cost(members: &[u64], n: u64) -> u64 {
+        (0..n)
+            .map(|t| members.iter().map(|&h| (t + n - h) % n).sum())
+            .min()
+            .expect("ring has at least one node")
+    }
+
+    // Enumerate set partitions via restricted growth strings, keeping
+    // only those whose blocks all have ≥ g members.
+    fn recurse(
+        homes: &[u64],
+        assignment: &mut Vec<usize>,
+        blocks: usize,
+        g: usize,
+        n: u64,
+        best: &mut u64,
+    ) {
+        if assignment.len() == homes.len() {
+            let mut groups: Vec<Vec<u64>> = vec![Vec::new(); blocks];
+            for (agent, &block) in assignment.iter().enumerate() {
+                groups[block].push(homes[agent]);
+            }
+            if groups.iter().any(|group| group.len() < g) {
+                return;
+            }
+            let cost: u64 = groups.iter().map(|group| group_cost(group, n)).sum();
+            *best = (*best).min(cost);
+            return;
+        }
+        for block in 0..=blocks {
+            assignment.push(block);
+            recurse(homes, assignment, blocks.max(block + 1), g, n, best);
+            assignment.pop();
+        }
+    }
+
+    let mut best = u64::MAX;
+    recurse(&homes, &mut Vec::with_capacity(k), 0, g, n, &mut best);
+    (best != u64::MAX).then_some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringdeploy_sim::scheduler::{OneAtATime, Random, RoundRobin};
+    use ringdeploy_sim::{satisfies_partial_gathering, InitialConfig, Ring, RunLimits, Scheduler};
+
+    fn run(n: usize, homes: Vec<usize>, sched: &mut dyn Scheduler) -> Ring<PartialGathering> {
+        let k = homes.len();
+        let init = InitialConfig::new(n, homes).unwrap();
+        let mut ring = Ring::new(&init, |_| PartialGathering::new(k));
+        let out = ring
+            .run(sched, RunLimits::for_instance(n, k))
+            .expect("run must reach quiescence");
+        assert!(out.quiescent);
+        ring
+    }
+
+    #[test]
+    fn clustered_start_gathers_everyone_at_the_leader() {
+        // Homes {0,1,2,3} on n = 12: gap view from agent 0 is
+        // (1,1,1,9), the unique minimal rotation, so agent 0 leads and
+        // the other three walk 11, 10 and 9 hops to node 0.
+        let ring = run(12, vec![0, 1, 2, 3], &mut RoundRobin::new());
+        assert!(satisfies_partial_gathering(&ring, 2).is_satisfied());
+        assert!(satisfies_partial_gathering(&ring, 4).is_satisfied());
+        assert_eq!(ring.staying_positions(), Some(vec![0, 0, 0, 0]));
+        // 4 census circuits (48) + walks 11 + 10 + 9 = 78 moves.
+        assert_eq!(ring.metrics().total_moves(), 78);
+    }
+
+    #[test]
+    fn periodic_start_forms_one_group_per_leader() {
+        // Homes {0,1,4,5} on n = 8: gap sequence (1,3,1,3), l = 2, so
+        // agents 0 and 2 lead and collect one follower each.
+        let ring = run(8, vec![0, 1, 4, 5], &mut Random::seeded(7));
+        assert!(satisfies_partial_gathering(&ring, 2).is_satisfied());
+        let mut positions = ring.staying_positions().unwrap();
+        positions.sort_unstable();
+        assert_eq!(positions, vec![0, 0, 4, 4]);
+    }
+
+    #[test]
+    fn fully_symmetric_start_cannot_gather_pairs() {
+        // Uniform homes: l = k, every agent is its own leader, groups
+        // of 1 — g = 2 is unsatisfiable, exactly the symmetric
+        // impossibility.
+        let ring = run(12, vec![0, 3, 6, 9], &mut OneAtATime::new());
+        assert!(satisfies_partial_gathering(&ring, 1).is_satisfied());
+        assert!(!satisfies_partial_gathering(&ring, 2).is_satisfied());
+    }
+
+    #[test]
+    fn grouping_is_schedule_independent() {
+        let mut baseline: Option<Vec<usize>> = None;
+        for seed in 0..6 {
+            let ring = run(10, vec![0, 1, 2], &mut Random::seeded(seed));
+            let mut positions = ring.staying_positions().unwrap();
+            positions.sort_unstable();
+            match &baseline {
+                None => baseline = Some(positions),
+                Some(expected) => assert_eq!(&positions, expected, "seed {seed}"),
+            }
+        }
+    }
+
+    #[test]
+    fn moves_stay_within_the_gn_envelope() {
+        // Census (≤ kn) + walks (< n each): with k ≤ 8g the recorded
+        // 16·g·n envelope dominates comfortably.
+        for (n, homes, g) in [
+            (12usize, vec![0usize, 1, 2, 3], 2usize),
+            (16, vec![0, 1, 2, 3], 2),
+            (10, vec![0, 1, 2], 3),
+            (9, vec![0, 4], 2),
+        ] {
+            let k = homes.len();
+            let ring = run(n, homes.clone(), &mut RoundRobin::new());
+            assert!(
+                satisfies_partial_gathering(&ring, g).is_satisfied(),
+                "n={n} g={g}"
+            );
+            let moves = ring.metrics().total_moves();
+            assert!(
+                moves <= 16 * (g * n) as u64,
+                "n={n} k={k} g={g}: {moves} moves exceed 16gn"
+            );
+        }
+    }
+
+    #[test]
+    fn single_agent_is_its_own_group() {
+        let ring = run(9, vec![4], &mut RoundRobin::new());
+        assert!(satisfies_partial_gathering(&ring, 1).is_satisfied());
+        assert_eq!(ring.staying_positions(), Some(vec![4]));
+    }
+
+    #[test]
+    fn oracle_matches_brute_force_on_small_instances() {
+        let cases = [
+            (12usize, vec![0usize, 1, 2, 3], 2usize),
+            (12, vec![0, 1, 2, 3], 4),
+            (8, vec![0, 1, 4, 5], 2),
+            (12, vec![0, 3, 6, 9], 2),
+            (10, vec![0, 1, 2], 1),
+            (11, vec![0, 2, 3, 7, 8], 2),
+            (9, vec![1, 4, 6], 3),
+        ];
+        for (n, homes, g) in cases {
+            let init = InitialConfig::new(n, homes.clone()).expect("valid");
+            assert_eq!(
+                gathering_oracle_moves(&init, g),
+                gathering_oracle_brute_force(&init, g),
+                "n={n} homes={homes:?} g={g}"
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_worked_example() {
+        // Homes {0,1,2,3} on n = 12, g = 2: pair {0,1} meets at 1
+        // (cost 1), pair {2,3} meets at 3 (cost 1).
+        let init = InitialConfig::new(12, vec![0, 1, 2, 3]).expect("valid");
+        assert_eq!(gathering_oracle_moves(&init, 2), Some(2));
+        // One group of four meets at 3: cost 3 + 2 + 1 = 6.
+        assert_eq!(gathering_oracle_moves(&init, 4), Some(6));
+        // Unsolvable: five-strong groups need five agents.
+        assert_eq!(gathering_oracle_moves(&init, 5), None);
+    }
+
+    #[test]
+    fn oracle_never_beats_the_distributed_run() {
+        for (n, homes, g) in [
+            (12usize, vec![0usize, 1, 2, 3], 2usize),
+            (16, vec![0, 1, 2, 3], 2),
+            (10, vec![0, 1, 2], 3),
+        ] {
+            let init = InitialConfig::new(n, homes.clone()).expect("valid");
+            let oracle = gathering_oracle_moves(&init, g).expect("solvable");
+            let ring = run(n, homes, &mut RoundRobin::new());
+            assert!(
+                oracle <= ring.metrics().total_moves(),
+                "n={n} g={g}: oracle {oracle} beats the run"
+            );
+        }
+    }
+}

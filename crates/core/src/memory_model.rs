@@ -67,6 +67,27 @@ pub fn relaxed_bounds(n: usize, k: usize, l: usize) -> [Bound; 3] {
     ]
 }
 
+/// Expected shapes for the **g-partial-gathering family**
+/// (arXiv:1505.06596) at `(n, k, g)`: `Θ(gn)` total moves, `O(n)` time,
+/// `O(k log n)` memory for the token-census recon walk.
+pub fn gathering_bounds(n: usize, k: usize, g: usize) -> [Bound; 3] {
+    let (nf, kf, gf) = (n as f64, k as f64, g as f64);
+    [
+        Bound {
+            formula: "O(k log n)",
+            value: kf * nf.log2().max(1.0),
+        },
+        Bound {
+            formula: "O(n)",
+            value: nf,
+        },
+        Bound {
+            formula: "O(gn)",
+            value: gf * nf,
+        },
+    ]
+}
+
 /// The Theorem-1 lower bound on total moves for the quarter-ring
 /// configuration: `kn/16`.
 pub fn theorem1_lower_bound(n: usize, k: usize) -> f64 {

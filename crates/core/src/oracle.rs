@@ -19,7 +19,7 @@
 //! divided by the oracle's give the *competitive ratio* — the price of
 //! distributedness (no ids, no knowledge, tokens only).
 
-use ringdeploy_core::SpacingPlan;
+use crate::SpacingPlan;
 use ringdeploy_sim::InitialConfig;
 
 /// The oracle's answer for one instance.
@@ -223,8 +223,9 @@ mod tests {
 
     #[test]
     fn theorem1_shape_on_quarter_ring() {
-        // Oracle on the Fig. 3 workload is Θ(kn): at least kn/16.
-        let init = crate::generators::quarter_ring_config(64, 16);
+        // Oracle on the Fig. 3 workload (16 agents packed on the first
+        // quarter of a 64-node ring) is Θ(kn): at least kn/16.
+        let init = InitialConfig::new(64, (0..16).collect::<Vec<_>>()).expect("valid");
         let sol = oracle_moves(&init);
         assert!(sol.total_moves as f64 >= 64.0 * 16.0 / 16.0);
     }

@@ -1,58 +1,15 @@
-//! Run-driver vocabulary: the [`Algorithm`] choice, the [`Schedule`]
-//! adversary presets and the [`DeployReport`] produced by every run.
+//! Run-driver vocabulary: the [`Schedule`] adversary presets and the
+//! [`DeployReport`] produced by every run.
 //!
-//! The builder that actually drives runs lives in
-//! [`crate::deployment::Deployment`].
+//! The family choice lives in [`crate::family`] (the [`Algorithm`]
+//! handle re-exported here is an alias of
+//! [`Family`](crate::family::Family)); the builder that actually drives
+//! runs lives in [`crate::deployment::Deployment`].
 
 use ringdeploy_sim::scheduler::{DelayAgent, OneAtATime, Random, RoundRobin};
 use ringdeploy_sim::{AgentId, DeploymentCheck, Metrics, PhaseTally, Scheduler, SimError, Trace};
 
-/// Which of the paper's algorithms to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Algorithm {
-    /// Algorithm 1 (§3.1): knowledge of `k`, `O(k log n)` memory.
-    FullKnowledge,
-    /// Algorithms 2+3 (§3.2): knowledge of `k`, `O(log n)` memory.
-    LogSpace,
-    /// Algorithms 4–6 (§4.2): no knowledge, no termination detection.
-    Relaxed,
-}
-
-impl Algorithm {
-    /// All three algorithms, in paper order.
-    pub const ALL: [Algorithm; 3] = [
-        Algorithm::FullKnowledge,
-        Algorithm::LogSpace,
-        Algorithm::Relaxed,
-    ];
-
-    /// Human-readable name matching the paper's sections.
-    pub fn name(self) -> &'static str {
-        match self {
-            Algorithm::FullKnowledge => "algo1-full-knowledge",
-            Algorithm::LogSpace => "algo2-log-space",
-            Algorithm::Relaxed => "algo4-relaxed",
-        }
-    }
-
-    /// Whether the algorithm terminates by halting (Definition 1) rather
-    /// than suspending (Definition 2).
-    pub fn halts(self) -> bool {
-        !matches!(self, Algorithm::Relaxed)
-    }
-
-    /// Parses the output of [`Algorithm::name`] (used by serialization and
-    /// the CLI).
-    pub fn from_name(name: &str) -> Option<Algorithm> {
-        Algorithm::ALL.into_iter().find(|a| a.name() == name)
-    }
-}
-
-impl std::fmt::Display for Algorithm {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
-    }
-}
+pub use crate::family::Algorithm;
 
 /// Which schedule adversary drives the run — the *preset* vocabulary.
 ///
@@ -224,7 +181,7 @@ impl DeployReport {
 
 #[cfg(feature = "serde")]
 mod json_impls {
-    use super::{Algorithm, DeployReport, PhaseMetric, Schedule};
+    use super::{DeployReport, PhaseMetric, Schedule};
     use ringdeploy_json::{FromJson, Json, JsonError, ToJson};
 
     /// Decodes an optional hex-encoded u64 fingerprint field.
@@ -235,20 +192,6 @@ mod json_impls {
                 .map_err(|_| JsonError::Decode(format!("bad {name} hex `{hex}`")))
         })
         .transpose()
-    }
-
-    impl ToJson for Algorithm {
-        fn to_json(&self) -> Json {
-            Json::String(self.name().to_string())
-        }
-    }
-
-    impl FromJson for Algorithm {
-        fn from_json(json: &Json) -> Result<Self, JsonError> {
-            json.as_str()
-                .and_then(Algorithm::from_name)
-                .ok_or_else(|| JsonError::Decode(format!("unknown algorithm {json}")))
-        }
     }
 
     impl ToJson for Schedule {

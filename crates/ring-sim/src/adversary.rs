@@ -22,35 +22,39 @@
 //!   enabled slices of all live states share one activation arena, and
 //!   canonical fingerprints are maintained incrementally (the explorer's
 //!   `FingerprintCache`: ≤ 2 node symbols re-derived per step);
-//! * the visited map stores, per fingerprint, the **best accumulated
-//!   objective value** any path has entered that state with. A child
-//!   whose fingerprint was already reached with at least the current
-//!   accumulated value is pruned — *fingerprint-with-cost dominance*;
-//!   reaching a known state with a strictly larger accumulated value
-//!   re-expands it (and records the improvement, so each state
-//!   re-expands at most once per distinct improvement).
+//! * the visited map memoises, per fingerprint, the exact
+//!   **maximum-remaining value** `rem(C)`: the most the objective can
+//!   still gain over any fair schedule from `C` to quiescence,
+//!   computed bottom-up when the DFS pops the state. A child whose
+//!   fingerprint is already solved folds its entire subtree in `O(1)` —
+//!   its contribution is `combine(gain, rem)` — so **every distinct
+//!   state is expanded exactly once**, and the search degenerates to a
+//!   linear-in-states dynamic program over the configuration DAG.
 //!
-//! # Why dominance pruning never loses the true maximum
+//! # Why remaining-value memoisation is exact
 //!
-//! Write `acc(π)` for the objective accumulated along a path `π` from
-//! `C_0` to a state `C`, and `rem(C)` for the maximum the objective can
-//! still gain over schedules from `C` to quiescence. Both objective
-//! kinds combine monotonically: additive objectives (moves, activations)
-//! as `acc + rem`, the peak objective (memory watermark) as
-//! `max(acc, rem)` — in both cases the final value is non-decreasing in
-//! `acc` for fixed `rem`. `rem` is a function of the *configuration
-//! only*: behaviors are deterministic, so the schedules available from
-//! `C` — and their gains — depend only on `C`. Under
-//! [`SymmetryMode::Rotation`] the same holds per rotation class, because
-//! behaviors are anonymous: rotating a configuration bijects its
-//! schedules and preserves every gain (see [`crate::canonical`]).
-//! Therefore if some path reached fingerprint `f` with accumulated value
-//! `a'`, any later path reaching `f` with `a ≤ a'` is dominated: its
-//! best completion is at most `combine(a, rem) ≤ combine(a', rem)`,
-//! which the search already considered when it expanded `f` at `a'`.
-//! Pruning it cannot lower the computed maximum — and the witness
-//! returned is always a concrete path the search actually walked, so it
-//! is replayable by construction.
+//! Write `gain(a, C)` for the objective contribution of activating `a`
+//! in `C` (a move bit, an activation count, or the acting agent's
+//! post-step memory observation) and `rem(C)` for the maximum over fair
+//! schedules from `C` of the combined future gains — additive
+//! objectives combine as `+`, the peak objective (memory watermark) as
+//! `max`. Behaviors are deterministic, so the schedules available from
+//! `C` — and their gains — depend only on `C`, never on how the search
+//! reached it: `rem` is a function of the *configuration only*, and
+//! satisfies the Bellman recurrence
+//! `rem(C) = max_a combine(gain(a, C), rem(C·a))` with `rem = 0` at
+//! quiescent states. Under [`SymmetryMode::Rotation`] the same holds
+//! per rotation class, because behaviors are anonymous: rotating a
+//! configuration bijects its schedules and preserves every gain (see
+//! [`crate::canonical`]). The DFS computes this recurrence exactly —
+//! states on the current path are marked in-flight (a re-encounter is a
+//! cycle, see below), finished states carry their `rem` — and the
+//! answer is `combine(acc(C_0), rem(C_0))` where `acc(C_0)` is the
+//! initial watermark for the peak objective and `0` otherwise. The
+//! witness is reconstructed afterwards by descending from the root
+//! along children attaining `combine(gain, rem(child)) = rem(parent)`;
+//! every step of that descent is an enabled activation of a reachable
+//! configuration, so the schedule is replayable by construction.
 //!
 //! A fingerprint re-encountered **on the current DFS path** is a cycle:
 //! an infinite fair execution exists and the worst case is ill-defined
@@ -178,17 +182,17 @@ pub struct WorstCase {
     /// classes under [`SymmetryMode::Rotation`]) — the reachable state
     /// count, equal to what the explorer reports for the same mode.
     pub distinct_states: usize,
-    /// State expansions performed, *including* dominance re-expansions
-    /// (a state whose best-entry value improves is expanded again). The
-    /// branch-and-bound's true work measure; `expansions −
-    /// distinct_states` counts the re-expansions.
+    /// State expansions performed. The remaining-value memo solves each
+    /// state the first time it is reached, so a completed search
+    /// expands every distinct state exactly once:
+    /// `expansions == distinct_states`.
     pub expansions: usize,
-    /// Children cut by fingerprint-with-cost dominance (reached with an
-    /// accumulated value ≤ the best already recorded for their
-    /// fingerprint).
+    /// Children folded through the remaining-value memo: their
+    /// fingerprint was already solved, so the whole subtree contributed
+    /// `combine(gain, rem)` in `O(1)` instead of being re-walked.
     pub dominance_prunes: u64,
-    /// Terminal (quiescent) configurations encountered, counting
-    /// re-encounters along different dominating paths.
+    /// Terminal (quiescent) configurations encountered, counting memo
+    /// re-encounters along different paths.
     pub terminal_hits: u64,
     /// Longest DFS path explored.
     pub max_depth_seen: usize,
@@ -224,12 +228,25 @@ impl std::fmt::Display for AdversaryError {
 
 impl std::error::Error for AdversaryError {}
 
-/// Visited-map entry: the best accumulated objective value any path has
-/// entered this state with, plus the DFS-path flag (a re-encounter while
-/// on the path is a cycle).
-struct Entry {
-    best: u64,
-    on_path: bool,
+/// Visited-map entry: a state still being solved on the current DFS
+/// path (a re-encounter is a cycle) or a finished state carrying its
+/// exact maximum-remaining objective value.
+enum Entry {
+    /// On the current DFS path; its remaining value is in flight.
+    OnPath,
+    /// Solved: the exact maximum the objective can still gain from this
+    /// state to quiescence.
+    Done(u64),
+}
+
+/// `combine(gain, rest)` of the module docs: how one step's gain merges
+/// with the remaining value of the state it leads to.
+fn combine(objective: Objective, gain: u64, rest: u64) -> u64 {
+    if objective.is_additive() {
+        gain + rest
+    } else {
+        gain.max(rest)
+    }
 }
 
 /// The configurable worst-case search engine. See the [module
@@ -263,8 +280,8 @@ impl Adversary {
         self
     }
 
-    /// Selects the dominance quotient (default:
-    /// [`SymmetryMode::Rotation`]). [`SymmetryMode::Off`] prunes only on
+    /// Selects the memoisation quotient (default:
+    /// [`SymmetryMode::Rotation`]). [`SymmetryMode::Off`] memoises only
     /// exact (plain-fingerprint) re-encounters — the *unpruned
     /// enumeration* baseline the `adversary_scale` bench compares
     /// against; both modes compute the same maximum (the objectives are
@@ -295,13 +312,7 @@ impl Adversary {
         };
 
         let mut visited: HashMap<u64, Entry, FpBuildHasher> = HashMap::default();
-        visited.insert(
-            root_fp,
-            Entry {
-                best: root_acc,
-                on_path: true,
-            },
-        );
+        visited.insert(root_fp, Entry::OnPath);
         let mut worst = WorstCase {
             objective,
             value: 0,
@@ -320,15 +331,18 @@ impl Adversary {
             worst.terminal_hits = 1;
             return Ok(worst);
         }
-        // Best terminal value found so far (None until the first terminal;
-        // every maximal schedule ends in one unless a cycle aborts first).
-        let mut best: Option<u64> = None;
 
-        /// One live state on the DFS path — the explorer's frame plus the
-        /// accumulated objective value entering the state.
+        /// One live state on the DFS path — the explorer's frame plus
+        /// the entering step's gain and the running Bellman maximum over
+        /// the children solved so far.
         struct Frame<B: Behavior> {
             fp: u64,
-            acc: u64,
+            /// Objective contribution of the activation that entered
+            /// this state (unused on the root frame).
+            gain: u64,
+            /// `max_a combine(gain(a), rem(child_a))` over the children
+            /// expanded so far — `rem` of this state once all are done.
+            best_rem: u64,
             acts_start: usize,
             next: usize,
             undo: Option<(StepUndo<B>, SymbolPatch)>,
@@ -338,34 +352,37 @@ impl Adversary {
         arena.extend_from_slice(cur.enabled_activations());
         let mut stack: Vec<Frame<B>> = vec![Frame {
             fp: root_fp,
-            acc: root_acc,
+            gain: 0,
+            best_rem: 0,
             acts_start: 0,
             next: 0,
             undo: None,
         }];
-        // Scheduler picks along the current path, aligned with
-        // `stack[1..]`; cloned into the witness on every improvement.
-        let mut path: Vec<Activation> = Vec::new();
+        let mut root_rem = 0u64;
 
         while let Some(top) = stack.last_mut() {
             if top.acts_start + top.next >= arena.len() {
-                // All children expanded: return to the parent state.
+                // All children solved: this state's remaining value is
+                // final. Record it and fold it into the parent.
                 let frame = stack.pop().expect("stack is non-empty");
-                visited
-                    .get_mut(&frame.fp)
-                    .expect("path state is visited")
-                    .on_path = false;
+                *visited.get_mut(&frame.fp).expect("path state is visited") =
+                    Entry::Done(frame.best_rem);
                 arena.truncate(frame.acts_start);
                 if let Some((undo, patch)) = frame.undo {
                     cache.revert(patch);
                     cur.undo(undo);
-                    path.pop();
+                    let parent = stack.last_mut().expect("non-root frames have parents");
+                    parent.best_rem =
+                        parent
+                            .best_rem
+                            .max(combine(objective, frame.gain, frame.best_rem));
+                } else {
+                    root_rem = frame.best_rem;
                 }
                 continue;
             }
             let act = arena[top.acts_start + top.next];
             top.next += 1;
-            let parent_acc = top.acc;
             let depth = stack.len();
             worst.max_depth_seen = worst.max_depth_seen.max(depth);
             if depth > limits.max_depth {
@@ -376,77 +393,108 @@ impl Adversary {
             let undo = cur.apply(act);
             let patch = cache.patch(&cur, &undo);
             let fp = cache.fingerprint(&cur);
-            let acc = match objective {
-                Objective::TotalMoves => {
-                    parent_acc + u64::from(undo.moved_to(cur.ring_size()).is_some())
-                }
-                Objective::TotalActivations => parent_acc + 1,
-                Objective::PeakMemoryBits => cur.metrics().peak_memory_bits() as u64,
+            let gain = match objective {
+                Objective::TotalMoves => u64::from(undo.moved_to(cur.ring_size()).is_some()),
+                Objective::TotalActivations => 1,
+                // The acting agent's post-step memory observation: the
+                // only way the watermark can rise on this step.
+                Objective::PeakMemoryBits => cur.behavior(act.agent).memory_bits() as u64,
             };
-            // Terminal-ness is known now; computing it before the visited
-            // probe lets the entry arms set `on_path` directly (terminals
-            // are processed immediately and never join the path), saving a
-            // second map lookup per expansion in the search's hot loop.
             let terminal = cur.enabled_activations().is_empty();
-            match visited.entry(fp) {
-                std::collections::hash_map::Entry::Occupied(mut seen) => {
-                    if seen.get().on_path {
-                        // Re-encountering a path state closes a concrete
-                        // cycle (Rotation mode: a quotient cycle, which
-                        // lifts to a concrete one — see crate::canonical).
-                        return Err(AdversaryError::CycleDetected { depth });
-                    }
-                    if acc <= seen.get().best {
-                        // Dominated: a path already entered this state at
-                        // least as expensively; its completions cover ours.
+            let solved = match visited.entry(fp) {
+                std::collections::hash_map::Entry::Occupied(seen) => match *seen.get() {
+                    // Re-encountering a path state closes a concrete
+                    // cycle (Rotation mode: a quotient cycle, which
+                    // lifts to a concrete one — see crate::canonical).
+                    Entry::OnPath => return Err(AdversaryError::CycleDetected { depth }),
+                    // Memo hit: the subtree is already solved; fold its
+                    // exact remaining value in O(1).
+                    Entry::Done(rem) => {
                         worst.dominance_prunes += 1;
-                        cache.revert(patch);
-                        cur.undo(undo);
-                        continue;
+                        if terminal {
+                            worst.terminal_hits += 1;
+                        }
+                        Some(rem)
                     }
-                    let entry = seen.get_mut();
-                    entry.best = acc;
-                    entry.on_path = !terminal;
-                }
+                },
                 std::collections::hash_map::Entry::Vacant(slot) => {
-                    slot.insert(Entry {
-                        best: acc,
-                        on_path: !terminal,
-                    });
                     worst.distinct_states += 1;
+                    worst.expansions += 1;
+                    if terminal {
+                        // Terminals are solved on sight: nothing remains.
+                        worst.terminal_hits += 1;
+                        slot.insert(Entry::Done(0));
+                        Some(0)
+                    } else {
+                        slot.insert(Entry::OnPath);
+                        None
+                    }
                 }
-            }
-            worst.expansions += 1;
+            };
             if worst.expansions > limits.max_states {
                 return Err(AdversaryError::LimitExceeded(SimError::StepLimitExceeded {
                     limit: limits.max_states as u64,
                 }));
             }
-            if terminal {
-                worst.terminal_hits += 1;
-                if best.is_none_or(|b| acc > b) {
-                    best = Some(acc);
-                    worst.witness.clear();
-                    worst.witness.extend_from_slice(&path);
-                    worst.witness.push(act);
-                    worst.terminal_fingerprint = fp;
-                }
+            if let Some(rem) = solved {
                 cache.revert(patch);
                 cur.undo(undo);
+                let parent = stack.last_mut().expect("child has a parent frame");
+                parent.best_rem = parent.best_rem.max(combine(objective, gain, rem));
                 continue;
             }
-            path.push(act);
             let acts_start = arena.len();
             arena.extend_from_slice(cur.enabled_activations());
             stack.push(Frame {
                 fp,
-                acc,
+                gain,
+                best_rem: 0,
                 acts_start,
                 next: 0,
                 undo: Some((undo, patch)),
             });
         }
-        worst.value = best.expect("a cycle-free search reaches at least one terminal");
+        worst.value = combine(objective, root_acc, root_rem);
+
+        // Witness reconstruction: `cur` is back at the root (the final
+        // pop undid every step), and every reachable state's remaining
+        // value is memoised. Descend greedily along children attaining
+        // the Bellman maximum; the path is an enabled-activation
+        // sequence by construction, hence replayable.
+        let mut need = root_rem;
+        loop {
+            if cur.enabled_activations().is_empty() {
+                worst.terminal_fingerprint = cache.fingerprint(&cur);
+                break;
+            }
+            let acts: Vec<Activation> = cur.enabled_activations().to_vec();
+            let mut advanced = false;
+            for act in acts {
+                let undo = cur.apply(act);
+                let patch = cache.patch(&cur, &undo);
+                let fp = cache.fingerprint(&cur);
+                let gain = match objective {
+                    Objective::TotalMoves => u64::from(undo.moved_to(cur.ring_size()).is_some()),
+                    Objective::TotalActivations => 1,
+                    Objective::PeakMemoryBits => cur.behavior(act.agent).memory_bits() as u64,
+                };
+                let Some(Entry::Done(rem)) = visited.get(&fp) else {
+                    unreachable!("every reachable state was solved by the completed search")
+                };
+                if combine(objective, gain, *rem) == need {
+                    worst.witness.push(act);
+                    need = *rem;
+                    advanced = true;
+                    break;
+                }
+                cache.revert(patch);
+                cur.undo(undo);
+            }
+            assert!(
+                advanced,
+                "witness descent must follow the Bellman optimum (rem is exact)"
+            );
+        }
         Ok(worst)
     }
 }

@@ -102,8 +102,8 @@ pub use error::SimError;
 pub use initial::{InitialConfig, InitialConfigError};
 pub use metrics::Metrics;
 pub use predicate::{
-    is_uniform_spacing, satisfies_halting_deployment, satisfies_suspended_deployment, uniform_gaps,
-    DeploymentCheck,
+    is_uniform_spacing, satisfies_halting_deployment, satisfies_partial_gathering,
+    satisfies_suspended_deployment, uniform_gaps, DeploymentCheck,
 };
 pub use render::render_ring;
 pub use scheduler::Scheduler;

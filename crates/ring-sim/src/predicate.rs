@@ -1,5 +1,6 @@
-//! Acceptance predicates: uniform spacing and the Definition 1 /
-//! Definition 2 termination conditions.
+//! Acceptance predicates: uniform spacing, the Definition 1 /
+//! Definition 2 termination conditions, and the g-partial-gathering
+//! grouping condition.
 
 use crate::action::Idle;
 use crate::agent::Behavior;
@@ -40,6 +41,16 @@ pub enum DeploymentCheck {
         floor: u64,
         /// Allowed ceiling value.
         ceil: u64,
+    },
+    /// An occupied node hosts fewer agents than the gathering requires
+    /// (violates g-partial gathering).
+    UndersizedGroup {
+        /// The node hosting the undersized group.
+        node: usize,
+        /// Number of agents staying there.
+        count: usize,
+        /// The required minimum group size `g`.
+        required: usize,
     },
 }
 
@@ -122,31 +133,80 @@ pub fn satisfies_suspended_deployment<B: Behavior>(ring: &Ring<B>) -> Deployment
     check(ring, Idle::Suspended, true)
 }
 
+/// Checks **g-partial gathering** (Shibata et al., arXiv:1505.06596):
+/// all agents halted, all links empty, and every node hosting at least
+/// one agent hosts at least `g` of them.
+///
+/// Unlike the uniform-deployment definitions, agents are *supposed* to
+/// share nodes here, so there is no distinctness or spacing condition —
+/// the grouping condition replaces both.
+pub fn satisfies_partial_gathering<B: Behavior>(ring: &Ring<B>, g: usize) -> DeploymentCheck {
+    let mut positions = match settled_positions(ring, Idle::Halted, false) {
+        Ok(positions) => positions,
+        Err(violation) => return violation,
+    };
+    positions.sort_unstable();
+    let mut i = 0;
+    while i < positions.len() {
+        let node = positions[i];
+        let mut count = 0;
+        while i < positions.len() && positions[i] == node {
+            count += 1;
+            i += 1;
+        }
+        if count < g {
+            return DeploymentCheck::UndersizedGroup {
+                node,
+                count,
+                required: g,
+            };
+        }
+    }
+    DeploymentCheck::Satisfied
+}
+
+/// The per-agent part shared by every terminal predicate: all agents
+/// settled (none in transit) in the required idle state, inboxes empty
+/// when the definition demands it. Returns the staying positions in
+/// agent-id order, or the first violation.
+fn settled_positions<B: Behavior>(
+    ring: &Ring<B>,
+    required: Idle,
+    require_empty_inboxes: bool,
+) -> Result<Vec<usize>, DeploymentCheck> {
+    let k = ring.agent_count();
+    let mut positions = Vec::with_capacity(k);
+    for i in 0..k {
+        let id = crate::AgentId(i);
+        match ring.place_of(id) {
+            Place::InTransit { .. } => return Err(DeploymentCheck::AgentInTransit),
+            Place::Staying { at } => positions.push(at.index()),
+        }
+        let idle = ring.idle_of(id);
+        if idle != required {
+            return Err(DeploymentCheck::WrongIdleState {
+                agent: i,
+                found: idle,
+            });
+        }
+        if require_empty_inboxes && ring.inbox_len(id) > 0 {
+            return Err(DeploymentCheck::PendingMessages { agent: i });
+        }
+    }
+    Ok(positions)
+}
+
 fn check<B: Behavior>(
     ring: &Ring<B>,
     required: Idle,
     require_empty_inboxes: bool,
 ) -> DeploymentCheck {
     let n = ring.ring_size();
-    let k = ring.agent_count();
-    let mut positions = Vec::with_capacity(k);
-    for i in 0..k {
-        let id = crate::AgentId(i);
-        match ring.place_of(id) {
-            Place::InTransit { .. } => return DeploymentCheck::AgentInTransit,
-            Place::Staying { at } => positions.push(at.index()),
-        }
-        let idle = ring.idle_of(id);
-        if idle != required {
-            return DeploymentCheck::WrongIdleState {
-                agent: i,
-                found: idle,
-            };
-        }
-        if require_empty_inboxes && ring.inbox_len(id) > 0 {
-            return DeploymentCheck::PendingMessages { agent: i };
-        }
-    }
+    let positions = match settled_positions(ring, required, require_empty_inboxes) {
+        Ok(positions) => positions,
+        Err(violation) => return violation,
+    };
+    let k = positions.len();
     // Distinctness.
     let mut sorted = positions.clone();
     sorted.sort_unstable();
@@ -254,6 +314,18 @@ mod json_impls {
                         ("ceil", ceil.to_json()),
                     ]),
                 )]),
+                DeploymentCheck::UndersizedGroup {
+                    node,
+                    count,
+                    required,
+                } => Json::object([(
+                    "undersized_group",
+                    Json::object([
+                        ("node", node.to_json()),
+                        ("count", count.to_json()),
+                        ("required", required.to_json()),
+                    ]),
+                )]),
             }
         }
     }
@@ -288,6 +360,11 @@ mod json_impls {
                     gap: payload.field("gap")?,
                     floor: payload.field("floor")?,
                     ceil: payload.field("ceil")?,
+                }),
+                "undersized_group" => Ok(DeploymentCheck::UndersizedGroup {
+                    node: payload.field("node")?,
+                    count: payload.field("count")?,
+                    required: payload.field("required")?,
                 }),
                 other => Err(JsonError::Decode(format!("unknown check `{other}`"))),
             }

@@ -299,3 +299,62 @@ fn empty_dimensions_are_rejected() {
     };
     assert!(job.keys().is_err());
 }
+
+/// Cache-identity separation across problem families: two keys that
+/// agree on every dimension except the family must produce distinct
+/// canonical encodings *and* distinct FNV fingerprints — otherwise the
+/// daemon would serve a uniform-deployment result for a gathering
+/// request (or a g=2 result for a g=3 one) straight from the cache.
+#[test]
+fn cache_keys_never_collide_across_families() {
+    let families = [
+        Algorithm::FullKnowledge,
+        Algorithm::LogSpace,
+        Algorithm::Relaxed,
+        Algorithm::partial_gathering(2),
+        Algorithm::partial_gathering(3),
+    ];
+    let keys: Vec<InstanceKey> = families
+        .iter()
+        .map(|&algorithm| InstanceKey { algorithm, ..key() })
+        .collect();
+    for (i, a) in keys.iter().enumerate() {
+        for b in &keys[i + 1..] {
+            assert_ne!(
+                a.canonical(),
+                b.canonical(),
+                "canonical encodings must differ: {} vs {}",
+                a.label(),
+                b.label()
+            );
+            assert_ne!(
+                a.fingerprint(),
+                b.fingerprint(),
+                "fingerprints must differ: {} vs {}",
+                a.label(),
+                b.label()
+            );
+        }
+    }
+}
+
+/// The gathering family name survives the wire: an `InstanceKey`
+/// carrying `partial-gathering-g3` round-trips through its canonical
+/// JSON back to the *same interned* family handle.
+#[test]
+fn gathering_family_round_trips_through_the_wire_encoding() {
+    let original = InstanceKey {
+        algorithm: Algorithm::partial_gathering(3),
+        ..key()
+    };
+    let encoded = original.to_json();
+    assert!(
+        encoded
+            .to_string()
+            .contains(r#""algorithm":"partial-gathering-g3""#),
+        "canonical name on the wire: {encoded}"
+    );
+    let decoded = InstanceKey::from_json(&encoded).expect("round-trip");
+    assert_eq!(decoded, original);
+    assert_eq!(decoded.fingerprint(), original.fingerprint());
+}

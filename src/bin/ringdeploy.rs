@@ -15,7 +15,10 @@
 //! * `--homes <a,b,c>`        explicit agent homes, or
 //! * `--k <usize>`            number of agents placed uniformly at random
 //! * `--seed <u64>`           placement seed for `--k` (default 0)
-//! * `--algo <name>`          `algo1` | `algo2` | `relaxed` (default `algo1`)
+//! * `--algo <name>`          `algo1` | `algo2` | `relaxed` |
+//!   `partial-gathering[-g<G>]` (default `algo1`)
+//! * `--g <usize>`            group size for `--algo partial-gathering`
+//!   (default 2)
 //! * `--schedule <s>`         `round-robin` | `random:<seed>` | `one-at-a-time`
 //!   | `delay:<agent>` (default `round-robin`)
 //! * `--sync`                 run in lock-step rounds and report ideal time
@@ -63,6 +66,7 @@ struct Options {
     k: Option<usize>,
     seed: u64,
     algo: Algorithm,
+    g: Option<usize>,
     schedule: Schedule,
     schedule_set: bool,
     explore: bool,
@@ -77,7 +81,8 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: ringdeploy --n <nodes> (--homes a,b,c | --k <agents> [--seed s]) \
-     [--algo algo1|algo2|relaxed] [--schedule round-robin|random:<seed>|one-at-a-time|delay:<agent>] \
+     [--algo algo1|algo2|relaxed|partial-gathering [--g <size>]] \
+     [--schedule round-robin|random:<seed>|one-at-a-time|delay:<agent>] \
      [--sync] [--explore [--explore-serial]] [--adversary moves|activations|memory] \
      [--certify [--tier sweep|exhaustive|adversarial]] [--render] [--json]"
 }
@@ -89,6 +94,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         k: None,
         seed: 0,
         algo: Algorithm::FullKnowledge,
+        g: None,
         schedule: Schedule::RoundRobin,
         schedule_set: false,
         explore: false,
@@ -125,12 +131,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?;
             }
             "--algo" => {
-                opts.algo = match value(&mut i)?.as_str() {
-                    "algo1" | "full-knowledge" => Algorithm::FullKnowledge,
-                    "algo2" | "log-space" => Algorithm::LogSpace,
-                    "relaxed" | "no-knowledge" => Algorithm::Relaxed,
-                    other => return Err(format!("unknown algorithm `{other}`")),
-                };
+                let spec = value(&mut i)?;
+                opts.algo = Algorithm::from_name(&spec)
+                    .ok_or_else(|| format!("unknown algorithm `{spec}`"))?;
+            }
+            "--g" => {
+                opts.g = Some(value(&mut i)?.parse().map_err(|e| format!("--g: {e}"))?);
             }
             "--schedule" => {
                 let spec = value(&mut i)?;
@@ -170,6 +176,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if opts.explore_serial && !opts.explore {
         return Err(format!("--explore-serial requires --explore\n{}", usage()));
+    }
+    if let Some(g) = opts.g {
+        if !opts.algo.name().starts_with("partial-gathering") {
+            return Err(format!(
+                "--g only applies to --algo partial-gathering\n{}",
+                usage()
+            ));
+        }
+        opts.algo = Algorithm::partial_gathering(g);
     }
     if opts.tier_set && !opts.certify {
         return Err(format!("--tier requires --certify\n{}", usage()));
@@ -272,7 +287,7 @@ fn run(opts: &Options) -> Result<(), String> {
     println!(
         "verdict   : {}",
         if report.succeeded() {
-            "uniform deployment reached"
+            "success (problem predicate satisfied)"
         } else {
             "FAILED"
         }
@@ -508,8 +523,8 @@ mod service_cli {
          [--cache-bytes b] [--max-jobs j]\n\
          \x20      ringdeploy --connect <addr> (--stats | --shutdown | \
          [--job sweep|explore|adversary|certify] --workload <family> --n <n> --k <k> \
-         [--l <l>] [--seeds a,b,c] [--algo a] [--objective o] [--tier t] [--id i] \
-         [--backpressure block|reject])"
+         [--l <l>] [--seeds a,b,c] [--algo a [--g <size>]] [--objective o] [--tier t] \
+         [--id i] [--backpressure block|reject])"
     }
 
     fn run(args: &[String]) -> Result<ExitCode, String> {
@@ -597,6 +612,7 @@ mod service_cli {
         let mut action = Action::Submit;
         let mut job_kind = JobKind::Sweep;
         let mut algo = Algorithm::FullKnowledge;
+        let mut g: Option<usize> = None;
         let mut family = "random".to_string();
         let mut n = 0usize;
         let mut k = 0usize;
@@ -618,12 +634,12 @@ mod service_cli {
                         .ok_or_else(|| format!("unknown job kind `{spec}`\n{}", usage()))?;
                 }
                 "--algo" => {
-                    algo = match value(args, &mut i)?.as_str() {
-                        "algo1" | "full-knowledge" => Algorithm::FullKnowledge,
-                        "algo2" | "log-space" => Algorithm::LogSpace,
-                        "relaxed" | "no-knowledge" => Algorithm::Relaxed,
-                        other => return Err(format!("unknown algorithm `{other}`")),
-                    };
+                    let spec = value(args, &mut i)?;
+                    algo = Algorithm::from_name(&spec)
+                        .ok_or_else(|| format!("unknown algorithm `{spec}`"))?;
+                }
+                "--g" => {
+                    g = Some(parse("--g", &value(args, &mut i)?)?);
                 }
                 "--workload" => family = value(args, &mut i)?,
                 "--n" => n = parse("--n", &value(args, &mut i)?)?,
@@ -661,6 +677,15 @@ mod service_cli {
             i += 1;
         }
         let addr = addr.expect("dispatched on --connect");
+        if let Some(g) = g {
+            if !algo.name().starts_with("partial-gathering") {
+                return Err(format!(
+                    "--g only applies to --algo partial-gathering\n{}",
+                    usage()
+                ));
+            }
+            algo = Algorithm::partial_gathering(g);
+        }
         let mut client = Client::connect(&addr).map_err(|e| format!("--connect {addr}: {e}"))?;
         match action {
             Action::Stats => {

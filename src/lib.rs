@@ -73,8 +73,9 @@ pub use ringdeploy_analysis::{
     SweepRow, Workload, WorstCase,
 };
 pub use ringdeploy_core::{
-    Algorithm, DeployError, DeployReport, Deployment, FullKnowledge, LogSpace, NoKnowledge,
-    PhaseMetric, Rendezvous, RendezvousVerdict, Schedule, SpacingPlan, TerminatingEstimator,
+    Algorithm, DeployError, DeployReport, Deployment, Family, FullKnowledge, LogSpace, NoKnowledge,
+    PartialGathering, PhaseMetric, ProblemFamily, Rendezvous, RendezvousVerdict, Schedule,
+    SpacingPlan, TerminatingEstimator,
 };
 pub use ringdeploy_seq::DistanceSeq;
 pub use ringdeploy_sim::{

@@ -191,16 +191,12 @@ fn independent_dp_reference_reproduces_the_maxima() {
         for algorithm in Algorithm::ALL {
             for objective in Objective::ALL {
                 let worst = adversary_value(algorithm, &init, SymmetryMode::Rotation, objective);
-                let reference = match algorithm {
-                    Algorithm::FullKnowledge => {
-                        dp_reference(&Ring::new(&init, |_| FullKnowledge::new(k)), objective)
-                    }
-                    Algorithm::LogSpace => {
-                        dp_reference(&Ring::new(&init, |_| LogSpace::new(k)), objective)
-                    }
-                    Algorithm::Relaxed => {
-                        dp_reference(&Ring::new(&init, |_| NoKnowledge::new()), objective)
-                    }
+                let reference = if algorithm == Algorithm::FullKnowledge {
+                    dp_reference(&Ring::new(&init, |_| FullKnowledge::new(k)), objective)
+                } else if algorithm == Algorithm::LogSpace {
+                    dp_reference(&Ring::new(&init, |_| LogSpace::new(k)), objective)
+                } else {
+                    dp_reference(&Ring::new(&init, |_| NoKnowledge::new()), objective)
                 };
                 assert_eq!(
                     worst.value, reference,
