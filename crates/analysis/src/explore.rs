@@ -6,8 +6,8 @@
 //!
 //! Unlike `Sweep`, cells execute **sequentially** while each cell's
 //! exploration parallelises internally: one exploration already saturates
-//! the machine's cores (frontier-parallel BFS over a sharded visited
-//! map), so nesting cell-level parallelism on top would only add memory
+//! the machine's cores (work-stealing DFS over a striped visited map),
+//! so nesting cell-level parallelism on top would only add memory
 //! pressure and contention. Row order is deterministic either way.
 //!
 //! # Example
@@ -28,7 +28,7 @@
 //! # Ok::<(), ringdeploy_analysis::ExploreBatchError>(())
 //! ```
 
-use ringdeploy_core::Algorithm;
+use ringdeploy_core::{Algorithm, ExploreEngine};
 use ringdeploy_sim::explore::{
     ExploreErrorKind, ExploreLimits, ExploreReport, Explorer, SymmetryMode,
 };
@@ -198,7 +198,9 @@ impl Explore {
     }
 
     /// Caps each cell's explorer worker threads (default: available
-    /// parallelism; `1` selects the clone-free serial DFS).
+    /// parallelism). `1` runs the work-stealing engine with a single
+    /// worker — fully deterministic, and report-identical to the serial
+    /// DFS on everything but the `peak_frontier` metric.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
         self
@@ -308,7 +310,23 @@ pub fn explore_one(
     init: &InitialConfig,
     explorer: &Explorer,
 ) -> Result<ExploreReport, ExploreErrorKind> {
-    algorithm.explore(init, explorer, false)
+    algorithm.explore(init, explorer, ExploreEngine::Stealing)
+}
+
+/// As [`explore_one`], but through the **clone-free serial DFS**
+/// ([`Explorer::run_serial`]) — the deterministic single-threaded engine
+/// with on-path cycle detection, the baseline the work-stealing engine's
+/// speedup gate measures against. Ignores the explorer's thread setting.
+///
+/// # Errors
+///
+/// As [`explore_one`].
+pub fn explore_one_serial(
+    algorithm: Algorithm,
+    init: &InitialConfig,
+    explorer: &Explorer,
+) -> Result<ExploreReport, ExploreErrorKind> {
+    algorithm.explore(init, explorer, ExploreEngine::Serial)
 }
 
 /// As [`explore_one`], but through the **retained clone-based reference
@@ -325,7 +343,7 @@ pub fn explore_one_reference(
     init: &InitialConfig,
     explorer: &Explorer,
 ) -> Result<ExploreReport, ExploreErrorKind> {
-    algorithm.explore(init, explorer, true)
+    algorithm.explore(init, explorer, ExploreEngine::Reference)
 }
 
 #[cfg(test)]

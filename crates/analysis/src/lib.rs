@@ -61,7 +61,8 @@ pub use certify::{
 };
 pub use experiment::{Cell, Measurement};
 pub use explore::{
-    explore_one, explore_one_reference, Explore, ExploreBatchError, ExploreCell, ExploreRow,
+    explore_one, explore_one_reference, explore_one_serial, Explore, ExploreBatchError,
+    ExploreCell, ExploreRow,
 };
 pub use generators::{
     clustered_config, from_gaps, periodic_config, quarter_ring_config, random_aperiodic_config,

@@ -1,6 +1,6 @@
 //! Exploration-engine benchmark: expansion throughput of the reversible
 //! clone-free engines, rotation-symmetry reduction, frontier memory and
-//! frontier-parallel speedup of the exhaustive model checker.
+//! work-stealing parallel speedup of the exhaustive model checker.
 //!
 //! Four measurements per instance, all exploring the *same* state space:
 //!
@@ -13,8 +13,16 @@
 //! * **serial** — the clone-free serial DFS over the rotation quotient:
 //!   reversible `apply`/`undo` expansion, incremental canonical
 //!   fingerprints (≤ 2 symbols re-derived per child);
-//! * **parallel** — frontier-parallel BFS over the rotation quotient with
-//!   a `PackedState` frontier and one worker per available core.
+//! * **parallel** — the work-stealing engine over the rotation quotient
+//!   (per-worker clone-free DFS, delta-encoded `PackedState` steal
+//!   handoffs, striped visited map) with one worker per available core.
+//!
+//! Parallel numbers are **honest about the host**: the timed parallel
+//! run uses exactly `cores()` workers, and on hosts with fewer than two
+//! cores no parallel timing is published at all — `parallel_ms` and
+//! `speedup` are `null` in the JSON (a multi-worker run on one core
+//! measures oversubscription, not speedup; an untimed two-worker pass
+//! still checks report identity).
 //!
 //! Gates enforced by the bench itself:
 //!
@@ -24,8 +32,9 @@
 //!   host-independent);
 //! * **frontier memory**: a packed state must undercut half a deep clone;
 //! * **symmetry reduction**: ≥ 3× state cut on the `l = 4` instances;
-//! * **parallel speedup**: ≥ 2× over the clone-free serial engine **when
-//!   the host has ≥ 4 cores** (recorded but not enforced below that).
+//! * **parallel speedup**: ≥ 2× over the clone-free serial engine on
+//!   **every** `l = 4` instance **when the host has ≥ 4 cores** (skipped
+//!   below that).
 //!
 //! Besides the table on stdout it writes `BENCH_explore.json` at the
 //! workspace root (published as a CI artifact), including per-instance
@@ -37,7 +46,7 @@
 
 use std::time::{Duration, Instant};
 
-use ringdeploy_analysis::{explore_one, explore_one_reference};
+use ringdeploy_analysis::{explore_one, explore_one_reference, explore_one_serial};
 use ringdeploy_core::{Algorithm, FullKnowledge, LogSpace, NoKnowledge};
 use ringdeploy_sim::explore::{ExploreLimits, ExploreReport, Explorer, SymmetryMode};
 use ringdeploy_sim::packed::{ring_heap_bytes, PackedState};
@@ -53,8 +62,12 @@ struct Sample {
     reference: Duration,
     plain: Duration,
     reduced: Duration,
-    parallel: Duration,
-    /// Widest BFS layer of the parallel sweep.
+    /// Timed work-stealing run at `cores()` workers; `None` on hosts with
+    /// fewer than two cores (no honest parallel measurement exists
+    /// there — see the module docs).
+    parallel: Option<Duration>,
+    /// Peak outstanding steal tasks of the parallel sweep (the states
+    /// held as packed snapshots at once).
     peak_frontier: usize,
     /// Per-state heap bytes: packed snapshot vs deep ring clone.
     packed_bytes: usize,
@@ -66,8 +79,9 @@ impl Sample {
         self.states_plain as f64 / self.states_reduced as f64
     }
 
-    fn speedup(&self) -> f64 {
-        self.reduced.as_secs_f64() / self.parallel.as_secs_f64()
+    fn speedup(&self) -> Option<f64> {
+        self.parallel
+            .map(|parallel| self.reduced.as_secs_f64() / parallel.as_secs_f64())
     }
 
     fn states_per_sec(&self) -> f64 {
@@ -188,25 +202,40 @@ fn measure(algorithm: Algorithm, n: usize, homes: &[usize], repeats: usize) -> S
         .expect("reference exploration succeeds")
     });
     let (plain_report, plain) = best_of(repeats, || {
-        explore_one(algorithm, &init, &explorer_for(&init, SymmetryMode::Off, 1))
+        explore_one_serial(algorithm, &init, &explorer_for(&init, SymmetryMode::Off, 1))
             .expect("plain exploration succeeds")
     });
     let (reduced_report, reduced) = best_of(repeats, || {
-        explore_one(
+        explore_one_serial(
             algorithm,
             &init,
             &explorer_for(&init, SymmetryMode::Rotation, 1),
         )
         .expect("serial exploration succeeds")
     });
-    let (parallel_report, parallel) = best_of(repeats, || {
-        explore_one(
+    // Timed parallel run only where an honest measurement exists (≥ 2
+    // cores, exactly one worker per core); on single-core hosts an
+    // *untimed* two-worker pass still exercises the work-stealing engine
+    // so the report-identity assertions below hold everywhere.
+    let (parallel_report, parallel) = if cores() >= 2 {
+        let (report, elapsed) = best_of(repeats, || {
+            explore_one(
+                algorithm,
+                &init,
+                &explorer_for(&init, SymmetryMode::Rotation, cores()),
+            )
+            .expect("parallel exploration succeeds")
+        });
+        (report, Some(elapsed))
+    } else {
+        let report = explore_one(
             algorithm,
             &init,
-            &explorer_for(&init, SymmetryMode::Rotation, cores().max(2)),
+            &explorer_for(&init, SymmetryMode::Rotation, 2),
         )
-        .expect("parallel exploration succeeds")
-    });
+        .expect("parallel exploration succeeds");
+        (report, None)
+    };
     assert_eq!(
         reduced_report.states, reference_report.states,
         "clone-free serial must agree with the clone-based reference"
@@ -216,11 +245,19 @@ fn measure(algorithm: Algorithm, n: usize, homes: &[usize], repeats: usize) -> S
         "clone-free serial must agree with the clone-based reference"
     );
     assert_eq!(
+        reduced_report.merge_edges, reference_report.merge_edges,
+        "clone-free serial must agree with the clone-based reference"
+    );
+    assert_eq!(
         reduced_report.states, parallel_report.states,
         "parallel engine must agree with the serial engine"
     );
     assert_eq!(
         reduced_report.terminal_fingerprints, parallel_report.terminal_fingerprints,
+        "parallel engine must agree with the serial engine"
+    );
+    assert_eq!(
+        reduced_report.merge_edges, parallel_report.merge_edges,
         "parallel engine must agree with the serial engine"
     );
     let (packed_bytes, clone_bytes) = state_bytes(algorithm, &init);
@@ -274,8 +311,12 @@ fn main() {
         "peak_KiB"
     );
     for s in &samples {
+        let par_ms = s
+            .parallel
+            .map_or("-".to_string(), |p| format!("{:.2}", p.as_secs_f64() * 1e3));
+        let speedup = s.speedup().map_or("-".to_string(), |x| format!("{x:.2}x"));
         println!(
-            "{:>8} {:>4} {:>3} {:>3} {:>9} {:>9} {:>5.2}x {:>9.2} {:>9.2} {:>9.2} {:>7.2}x {:>7.2}x {:>10.1} {:>9.1}",
+            "{:>8} {:>4} {:>3} {:>3} {:>9} {:>9} {:>5.2}x {:>9.2} {:>9.2} {:>9} {:>7.2}x {:>8} {:>10.1} {:>9.1}",
             s.algo,
             s.n,
             s.k,
@@ -285,9 +326,9 @@ fn main() {
             s.reduction(),
             s.reference.as_secs_f64() * 1e3,
             s.reduced.as_secs_f64() * 1e3,
-            s.parallel.as_secs_f64() * 1e3,
+            par_ms,
             s.speedup_vs_reference(),
-            s.speedup(),
+            speedup,
             s.states_per_sec() / 1e3,
             s.peak_states_bytes() as f64 / 1024.0
         );
@@ -303,11 +344,20 @@ fn main() {
                 }
                 None => "null".to_string(),
             };
+            // 1-core hosts publish `null` for the parallel columns: a
+            // multi-worker timing there would be a measurement of
+            // oversubscription, not of the engine.
+            let parallel_ms = s.parallel.map_or("null".to_string(), |p| {
+                format!("{:.3}", p.as_secs_f64() * 1e3)
+            });
+            let speedup = s
+                .speedup()
+                .map_or("null".to_string(), |x| format!("{x:.2}"));
             format!(
                 "    {{\"algo\": \"{}\", \"n\": {}, \"k\": {}, \"symmetry_degree\": {}, \
                  \"states_plain\": {}, \"states_reduced\": {}, \"reduction\": {:.2}, \
                  \"reference_ms\": {:.3}, \"plain_ms\": {:.3}, \"serial_ms\": {:.3}, \
-                 \"parallel_ms\": {:.3}, \"speedup\": {:.2}, \
+                 \"parallel_ms\": {parallel_ms}, \"speedup\": {speedup}, \
                  \"states_per_sec\": {:.0}, \"ref_states_per_sec\": {:.0}, \
                  \"serial_speedup_vs_ref\": {:.2}, \"serial_speedup_vs_pr3\": {vs_pr3}, \
                  \"peak_frontier\": {}, \
@@ -323,8 +373,6 @@ fn main() {
                 s.reference.as_secs_f64() * 1e3,
                 s.plain.as_secs_f64() * 1e3,
                 s.reduced.as_secs_f64() * 1e3,
-                s.parallel.as_secs_f64() * 1e3,
-                s.speedup(),
                 s.states_per_sec(),
                 s.ref_states_per_sec(),
                 s.speedup_vs_reference(),
@@ -336,11 +384,18 @@ fn main() {
             )
         })
         .collect();
+    // The honest thread count: the workers the *timed* parallel runs
+    // actually used, `null` when no parallel timing was taken.
+    let parallel_threads = if cores() >= 2 {
+        cores().to_string()
+    } else {
+        "null".to_string()
+    };
     let json = format!(
         "{{\n  \"benchmark\": \"explore_scale\",\n  \"cores\": {},\n  \
          \"parallel_threads\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
         cores(),
-        cores().max(2),
+        parallel_threads,
         rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");
@@ -396,11 +451,17 @@ fn main() {
     // Parallel speedup: ≥2× over the serial reference, enforced only on
     // hosts with enough cores for the claim to be meaningful.
     if cores() >= 4 {
-        let best = samples.iter().map(Sample::speedup).fold(f64::MIN, f64::max);
-        assert!(
-            best >= 2.0,
-            "expected ≥2× parallel speedup on ≥4 cores (best {best:.2}x)"
-        );
+        for s in samples.iter().filter(|s| s.symmetry_degree >= 4) {
+            let speedup = s
+                .speedup()
+                .expect("timed parallel run exists on multi-core hosts");
+            assert!(
+                speedup >= 2.0,
+                "expected ≥2× parallel speedup on ≥4 cores for n={} l={} (got {speedup:.2}x)",
+                s.n,
+                s.symmetry_degree
+            );
+        }
     } else {
         println!(
             "note: {} core(s) available — the ≥2× parallel-speedup gate needs ≥4 and was skipped",

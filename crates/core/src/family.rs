@@ -126,6 +126,28 @@ fn table1_bound(
     }
 }
 
+/// Which exploration engine a [`ProblemFamily::explore`] call runs.
+///
+/// All three explore the same quotient and agree on `states`,
+/// `terminals`, the sorted terminal fingerprints and `merge_edges`
+/// (pinned by the differential test tier); they differ in cost model and
+/// in the scheduling-shaped diagnostics (`max_depth_seen`,
+/// `peak_frontier`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExploreEngine {
+    /// The work-stealing engine ([`Explorer::run`]) at the explorer's
+    /// thread setting — the production path.
+    Stealing,
+    /// The clone-free serial DFS ([`Explorer::run_serial`]): reversible
+    /// apply/undo expansion with on-path cycle detection. Deterministic
+    /// by construction; the baseline the parallel speedup gate measures
+    /// against.
+    Serial,
+    /// The retained clone-based reference oracle
+    /// ([`Explorer::run_serial_reference`]). Differential testing only.
+    Reference,
+}
+
 /// Runs the exhaustive explorer for a family's behavior + terminal
 /// predicate — the generic half every [`ProblemFamily::explore`] impl
 /// delegates to.
@@ -137,7 +159,7 @@ pub fn explore_family<B>(
     explorer: &Explorer,
     init: &InitialConfig,
     make: impl Fn() -> B + Sync,
-    reference: bool,
+    engine: ExploreEngine,
     terminal_ok: impl Fn(&Ring<B>) -> bool + Sync,
 ) -> Result<ExploreReport, ExploreErrorKind>
 where
@@ -145,10 +167,10 @@ where
     B::Message: Clone + Hash + Send + Sync,
 {
     let ring = Ring::new(init, |_| make());
-    let result = if reference {
-        explorer.run_serial_reference(&ring, terminal_ok)
-    } else {
-        explorer.run(&ring, terminal_ok)
+    let result = match engine {
+        ExploreEngine::Stealing => explorer.run(&ring, terminal_ok),
+        ExploreEngine::Serial => explorer.run_serial(&ring, terminal_ok),
+        ExploreEngine::Reference => explorer.run_serial_reference(&ring, terminal_ok),
     };
     result.map_err(|e| e.kind())
 }
@@ -218,8 +240,9 @@ pub trait ProblemFamily: Send + Sync {
     fn deploy(&self, driver: Driver<'_>, mode: DriveMode<'_>) -> Result<DeployReport, DeployError>;
 
     /// Exhaustively explores every schedule of one instance with the
-    /// bounded model checker (`reference` selects the retained
-    /// clone-based serial engine used as a differential oracle).
+    /// bounded model checker (`engine` selects the work-stealing
+    /// production engine, the clone-free serial DFS, or the retained
+    /// clone-based reference oracle — see [`ExploreEngine`]).
     ///
     /// # Errors
     ///
@@ -229,7 +252,7 @@ pub trait ProblemFamily: Send + Sync {
         &self,
         init: &InitialConfig,
         explorer: &Explorer,
-        reference: bool,
+        engine: ExploreEngine,
     ) -> Result<ExploreReport, ExploreErrorKind>;
 
     /// Finds the exact adversarial worst case of `objective` on one
@@ -395,14 +418,14 @@ impl ProblemFamily for UniformFullKnowledge {
         &self,
         init: &InitialConfig,
         explorer: &Explorer,
-        reference: bool,
+        engine: ExploreEngine,
     ) -> Result<ExploreReport, ExploreErrorKind> {
         let k = init.agent_count();
         explore_family(
             explorer,
             init,
             || FullKnowledge::new(k),
-            reference,
+            engine,
             |r| satisfies_halting_deployment(r).is_satisfied(),
         )
     }
@@ -456,14 +479,14 @@ impl ProblemFamily for UniformLogSpace {
         &self,
         init: &InitialConfig,
         explorer: &Explorer,
-        reference: bool,
+        engine: ExploreEngine,
     ) -> Result<ExploreReport, ExploreErrorKind> {
         let k = init.agent_count();
         explore_family(
             explorer,
             init,
             || LogSpace::new(k),
-            reference,
+            engine,
             |r| satisfies_halting_deployment(r).is_satisfied(),
         )
     }
@@ -516,9 +539,9 @@ impl ProblemFamily for UniformRelaxed {
         &self,
         init: &InitialConfig,
         explorer: &Explorer,
-        reference: bool,
+        engine: ExploreEngine,
     ) -> Result<ExploreReport, ExploreErrorKind> {
-        explore_family(explorer, init, NoKnowledge::new, reference, |r| {
+        explore_family(explorer, init, NoKnowledge::new, engine, |r| {
             satisfies_suspended_deployment(r).is_satisfied()
         })
     }
@@ -588,7 +611,7 @@ impl ProblemFamily for PartialGatheringFamily {
         &self,
         init: &InitialConfig,
         explorer: &Explorer,
-        reference: bool,
+        engine: ExploreEngine,
     ) -> Result<ExploreReport, ExploreErrorKind> {
         let k = init.agent_count();
         let g = self.g;
@@ -596,7 +619,7 @@ impl ProblemFamily for PartialGatheringFamily {
             explorer,
             init,
             || PartialGathering::new(k),
-            reference,
+            engine,
             move |r| satisfies_partial_gathering(r, g).is_satisfied(),
         )
     }

@@ -41,38 +41,43 @@
 //!   whole space in one live ring (no per-child deep clone), canonical
 //!   fingerprints are maintained incrementally (only the ≤ 2 symbols a
 //!   step touches are re-derived; the min-rotation is recomputed on the
-//!   patched vector), and the parallel frontier stores
-//!   [`PackedState`](crate::packed::PackedState) snapshots — flat words
-//!   per state instead of `O(n + k)` heap allocations. The pre-0.5
-//!   clone-based DFS is retained verbatim as
-//!   [`Explorer::run_serial_reference`], the differential oracle.
-//! * **frontier-parallel search** ([`Explorer::threads`]): breadth-first
-//!   layers are expanded by a persistent, barrier-synchronized worker
-//!   pool over a hash-sharded visited map (narrow layers run inline —
-//!   no per-layer thread churn), and reports are aggregated
-//!   deterministically — a
-//!   parallel run returns byte-identical `states` / `terminals` /
+//!   patched vector). The pre-0.5 clone-based DFS is retained verbatim
+//!   as [`Explorer::run_serial_reference`], the differential oracle.
+//! * **work-stealing parallel search** ([`Explorer::threads`]): every
+//!   worker runs the same clone-free DFS on a private scratch ring and
+//!   donates untried sibling activations to a shared injector queue when
+//!   it runs low — each donated child travels as a delta-encoded steal
+//!   handoff (one `Arc`-shared
+//!   [`PackedState`](crate::packed::PackedState) parent snapshot plus
+//!   the `Copy` activation that produces the child). The visited set is
+//!   a striped (64-shard, fingerprint-keyed) concurrent map; each
+//!   fingerprint is admitted exactly once and each (state, activation)
+//!   pair is expanded by exactly one worker, so `states` / `terminals` /
 //!   [`terminal_fingerprints`](ExploreReport::terminal_fingerprints) /
-//!   [`merge_edges`](ExploreReport::merge_edges) to the serial engines.
+//!   [`merge_edges`](ExploreReport::merge_edges) are byte-identical to
+//!   the serial engines regardless of stealing order.
 //!
-//! The serial engines detect livelocks as DFS back-edges on the
-//! current path; the parallel engine records the quotient edge list and
+//! The serial engines detect livelocks as DFS back-edges on the current
+//! path; the work-stealing engine records the quotient edge list and
 //! certifies acyclicity with a Kahn elimination after the sweep
 //! ([`Explorer::certify_termination`] turns this off to save the edge
 //! memory on very large sweeps — at the cost of the termination half of
-//! the proof). The two engines may disagree on
-//! [`max_depth_seen`](ExploreReport::max_depth_seen) (DFS path depth vs.
-//! BFS layer count) and on *which* error they report when several exist.
-//! For the same reason [`ExploreLimits::max_depth`] is interpreted in
-//! each engine's own depth measure: a limit tight enough to bind can
-//! stop the serial DFS (whose paths run deeper than BFS layers) on an
-//! instance the parallel engine still covers. With non-binding limits —
-//! the verification regime — the engines never disagree on whether
-//! exploration succeeds, and the other report fields are byte-identical.
+//! the proof). Multi-worker runs may differ from the serial engines on
+//! the scheduling-dependent diagnostics
+//! ([`max_depth_seen`](ExploreReport::max_depth_seen),
+//! [`peak_frontier`](ExploreReport::peak_frontier)) and on *which* error
+//! they report when several exist; with one worker the whole report is
+//! deterministic. Limit enforcement is race-free — a shared atomic state
+//! budget gates on the visited-set insert, so each distinct state is
+//! counted exactly once and a limit of `N` errors iff the space exceeds
+//! `N` states, in every engine at every worker count. With non-binding
+//! limits — the verification regime — the engines never disagree on
+//! whether exploration succeeds.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::Hash;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::agent::Behavior;
 use crate::canonical::{canonical_fingerprint, fingerprint_of_symbols_with, plain_fingerprint};
@@ -180,11 +185,13 @@ pub struct ExploreReport {
     pub states: usize,
     /// Distinct terminal (quiescent) configurations reached.
     pub terminals: usize,
-    /// Deepest point of the exploration: longest DFS path for the serial
-    /// engine; for the parallel engine, the deepest BFS layer at which a
-    /// **new** state was discovered (a final layer whose expansions all
-    /// hit already-visited states does not count). The only report field
-    /// on which the two engines may differ.
+    /// Deepest schedule depth attempted: the longest DFS path for the
+    /// serial engines; for the work-stealing engine, the deepest depth
+    /// any worker reached (a donated subtree root inherits its parent's
+    /// depth + 1). A state's first-visit depth depends on which path won
+    /// the visited-set race, so with multiple workers this diagnostic is
+    /// scheduling-dependent; with one worker it equals the serial
+    /// engine's value.
     pub max_depth_seen: usize,
     /// Fingerprints of the terminal configurations, sorted ascending —
     /// the key to membership checks such as "does every terminal reached
@@ -198,10 +205,12 @@ pub struct ExploreReport {
     /// parallel engines.
     pub merge_edges: u64,
     /// Peak count of *live* states the engine held at once: the deepest
-    /// DFS path for the serial engines, the widest BFS layer for the
-    /// parallel engine. Multiplied by the per-state footprint (a
-    /// [`PackedState`](crate::packed::PackedState) for the parallel
-    /// frontier) this bounds the engine's working-set memory; like
+    /// DFS path for the serial engines; for the work-stealing engine,
+    /// the peak number of outstanding steal tasks (queued + executing
+    /// donated subtree roots — the states held as
+    /// [`PackedState`](crate::packed::PackedState) snapshots at once).
+    /// Multiplied by the per-state footprint this bounds the engine's
+    /// snapshot working-set memory; like
     /// [`max_depth_seen`](ExploreReport::max_depth_seen) it is
     /// engine-specific and excluded from the differential-identity
     /// guarantees.
@@ -302,12 +311,12 @@ where
     /// A configuration repeats along one schedule: an infinite execution
     /// (livelock) exists.
     CycleDetected {
-        /// Schedule depth at which the repeat was found (serial engine)
-        /// or, for the parallel engine, the earliest first-seen BFS layer
-        /// among the states with cyclic ancestry — states on a cycle *or
-        /// downstream of one* (Kahn elimination cannot tell the two
-        /// apart without a full SCC pass), so the layer locates the
-        /// entangled region, not necessarily a cycle member.
+        /// Schedule depth at which the repeat was found (serial engines)
+        /// or, for the work-stealing engine, the earliest first-seen
+        /// depth among the states with cyclic ancestry — states on a
+        /// cycle *or downstream of one* (Kahn elimination cannot tell
+        /// the two apart without a full SCC pass), so the depth locates
+        /// the entangled region, not necessarily a cycle member.
         depth: usize,
     },
     /// `max_states` or `max_depth` exceeded before the space was covered.
@@ -553,15 +562,6 @@ impl FingerprintCache {
 /// dominated by the hash distribution, not the shard count.
 const VISITED_SHARDS: usize = 64;
 
-/// How many frontier states a worker claims per fetch — large enough to
-/// amortise the atomic, small enough to balance ragged layers.
-const CLAIM_CHUNK: usize = 16;
-
-/// Frontiers narrower than this are expanded inline on the coordinating
-/// thread: spawning workers for a handful of states costs more than the
-/// expansion itself, and deep explorations are mostly narrow layers.
-const PARALLEL_FRONTIER_MIN: usize = 32;
-
 /// The configurable exploration engine. See the [module docs](self).
 ///
 /// # Examples
@@ -630,17 +630,21 @@ impl Explorer {
     }
 
     /// Sets the worker-thread count (default: available parallelism).
-    /// `1` selects the clone-free serial DFS ([`Explorer::run_serial`]).
+    /// Every count — including `1` — runs the work-stealing engine
+    /// through [`Explorer::run`]; a single worker simply never donates,
+    /// so the same code path is exercised (and testable) at every width.
+    /// The dedicated serial DFS remains available as
+    /// [`Explorer::run_serial`].
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
         self
     }
 
-    /// Whether the **parallel** engine records the quotient edge list and
-    /// certifies acyclicity after the sweep (default: `true`). Turning
-    /// this off drops the termination half of the proof in exchange for
-    /// `O(edges)` less memory; the serial engine always detects cycles
-    /// (its DFS path makes them free).
+    /// Whether the **work-stealing** engine records the quotient edge
+    /// list and certifies acyclicity after the sweep (default: `true`).
+    /// Turning this off drops the termination half of the proof in
+    /// exchange for `O(edges)` less memory; the serial engine always
+    /// detects cycles (its DFS path makes them free).
     pub fn certify_termination(mut self, certify: bool) -> Self {
         self.certify_termination = certify;
         self
@@ -658,9 +662,12 @@ impl Explorer {
         }
     }
 
-    /// Explores every schedule of `ring`, dispatching to the clone-free
-    /// serial DFS ([`Explorer::run_serial`]) for one thread and to the
-    /// frontier-parallel engine otherwise.
+    /// Explores every schedule of `ring` with the work-stealing engine at
+    /// the configured worker count. A single worker runs the *same*
+    /// engine (it just never donates work), so `threads(1)` is a
+    /// first-class, testable configuration rather than a silent reroute
+    /// to [`Explorer::run_serial`] — and with one worker the whole
+    /// report, diagnostics included, is deterministic.
     ///
     /// Under [`SymmetryMode::Rotation`] the predicate must be invariant
     /// under rotation and agent relabeling (the Definition 1/2 uniform
@@ -684,11 +691,7 @@ impl Explorer {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1)
         });
-        if threads <= 1 {
-            self.run_serial(ring, |r| terminal_ok(r))
-        } else {
-            self.run_parallel(ring, threads, &terminal_ok)
-        }
+        self.run_stealing(ring, threads, &terminal_ok)
     }
 
     /// The serial engine: a **clone-free, in-place DFS** over one live
@@ -960,13 +963,25 @@ impl Explorer {
         Ok(report)
     }
 
-    /// The frontier-parallel engine: expands breadth-first layers with a
-    /// scoped worker pool over a sharded visited map. The frontier holds
-    /// [`PackedState`] snapshots — a handful of flat words per state —
-    /// instead of boxed deep clones; each worker owns one long-lived
-    /// scratch ring it restores snapshots into and expands with the
-    /// reversible [`Ring::apply`]/[`Ring::undo`] pair.
-    fn run_parallel<B>(
+    /// The **work-stealing engine**: every worker runs the clone-free
+    /// in-place DFS of [`run_serial`](Explorer::run_serial) on its own
+    /// scratch ring, and load-balances by *donating* untried sibling
+    /// activations of its deepest live state to a shared [`Injector`]
+    /// whenever the queue runs low. A donated child travels as a
+    /// delta-encoded steal handoff — one `Arc`-shared
+    /// [`PackedState`] snapshot of the parent plus the `Copy`
+    /// [`Activation`] that produces the child
+    /// ([`PackedState::restore_child_into`]) — so donating `m` siblings
+    /// costs one pack, not `m`.
+    ///
+    /// Determinism: the striped visited map admits each fingerprint
+    /// exactly once, and each (state, activation) pair is expanded by
+    /// exactly one worker (its discoverer, or the stealer it was donated
+    /// to — the donor removes donated activations from its own list), so
+    /// the transition multiset — and with it `states`, `terminals`,
+    /// sorted `terminal_fingerprints` and `merge_edges` — is a function
+    /// of the quotient graph alone, independent of stealing order.
+    fn run_stealing<B>(
         &self,
         ring: &Ring<B>,
         threads: usize,
@@ -977,20 +992,12 @@ impl Explorer {
         B::Message: Clone + Hash + Send + Sync,
     {
         let limits = self.limits;
-        let visited = ShardedVisited::new();
         let root_fp = self.fingerprint(ring);
-        visited.insert(root_fp, 0);
         if limits.max_states == 0 {
             return Err(ExploreError::LimitExceeded(SimError::StepLimitExceeded {
                 limit: 0,
             }));
         }
-        let mut terminal_fps: Vec<u64> = Vec::new();
-        let mut edges: Vec<(u64, u64)> = Vec::new();
-        let mut edge_count: u64 = 0;
-        let state_count = AtomicUsize::new(1);
-        let limit_hit = AtomicBool::new(false);
-
         if ring.enabled_activations().is_empty() {
             if !terminal_ok(ring) {
                 return Err(ExploreError::PredicateViolated {
@@ -1009,141 +1016,70 @@ impl Explorer {
             });
         }
 
-        // The persistent worker pool: one `thread::scope` for the whole
-        // sweep, synchronized per layer with a barrier — workers park on
-        // the start barrier between layers, so a layer costs two barrier
-        // crossings instead of a spawn/join cycle per worker (deep
-        // explorations have hundreds of layers).
-        let barrier = std::sync::Barrier::new(threads + 1);
-        let stop = AtomicBool::new(false);
-        let job: std::sync::Mutex<Option<LayerJob<B>>> = std::sync::Mutex::new(None);
-        let outs: std::sync::Mutex<Vec<WorkerOut<B>>> = std::sync::Mutex::new(Vec::new());
-        let cursor = AtomicUsize::new(0);
+        let visited = ShardedVisited::new();
+        visited.insert(root_fp, 0);
+        let state_count = AtomicUsize::new(1);
+        let limit_slot: Mutex<Option<SimError>> = Mutex::new(None);
+        let injector = Injector::new(threads);
+        injector.push_batch(std::iter::once(StealTask {
+            parent: Arc::new(PackedState::pack(ring)),
+            parent_fp: root_fp,
+            act: None,
+            depth: 0,
+        }));
+        let ctx = StealCtx {
+            explorer: self,
+            injector: &injector,
+            visited: &visited,
+            state_count: &state_count,
+            limit: &limit_slot,
+            terminal_ok,
+            threads,
+        };
 
-        let mut max_depth_seen: usize = 0;
-        let mut peak_frontier: usize = 1;
-        let loop_result = std::thread::scope(|scope| {
-            for _ in 0..threads {
-                let barrier = &barrier;
-                let stop = &stop;
-                let job = &job;
-                let outs = &outs;
-                let cursor = &cursor;
-                let visited = &visited;
-                let state_count = &state_count;
-                let limit_hit = &limit_hit;
-                scope.spawn(move || {
-                    // Worker-owned scratch engine + fingerprint cache,
-                    // reused across every state of every layer.
-                    let mut scratch = ring.clone_for_exploration();
-                    let mut cache = FingerprintCache::new(self.symmetry, &scratch);
-                    loop {
-                        barrier.wait();
-                        if stop.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        let current = job
-                            .lock()
-                            .expect("explorer job slot poisoned")
-                            .clone()
-                            .expect("a released layer always has a job");
-                        let out = self.expand_chunks(
-                            &mut scratch,
-                            &mut cache,
-                            &current.frontier,
-                            cursor,
-                            visited,
-                            state_count,
-                            limit_hit,
-                            current.layer,
-                            terminal_ok,
-                        );
-                        outs.lock().expect("explorer outs poisoned").push(out);
-                        barrier.wait();
-                    }
-                });
-            }
-
-            // The coordinator's own scratch pair, for inline narrow
-            // layers.
-            let mut inline_scratch = ring.clone_for_exploration();
-            let mut inline_cache = FingerprintCache::new(self.symmetry, &inline_scratch);
-            let mut frontier: std::sync::Arc<Vec<(PackedState<B>, u64)>> =
-                std::sync::Arc::new(vec![(PackedState::pack(ring), root_fp)]);
-            let mut layer: usize = 0;
-            let result = loop {
-                if frontier.is_empty() {
-                    break Ok(());
-                }
-                peak_frontier = peak_frontier.max(frontier.len());
-                layer += 1;
-                if layer > limits.max_depth {
-                    break Err(ExploreError::LimitExceeded(SimError::StepLimitExceeded {
-                        limit: limits.max_depth as u64,
-                    }));
-                }
-                let states_before = state_count.load(Ordering::Relaxed);
-                cursor.store(0, Ordering::Relaxed);
-                // Narrow layers (a handful of states near the root and
-                // the terminals) are expanded inline: waking the pool
-                // costs more than the work, and the workers stay parked.
-                let mut merged = if frontier.len() < PARALLEL_FRONTIER_MIN {
-                    self.expand_chunks(
-                        &mut inline_scratch,
-                        &mut inline_cache,
-                        &frontier,
-                        &cursor,
-                        &visited,
-                        &state_count,
-                        &limit_hit,
-                        layer,
-                        terminal_ok,
-                    )
-                } else {
-                    *job.lock().expect("explorer job slot poisoned") = Some(LayerJob {
-                        frontier: frontier.clone(),
-                        layer,
-                    });
-                    barrier.wait(); // release the pool onto this layer
-                    barrier.wait(); // all workers done
-                    let mut merged = WorkerOut::new();
-                    for out in outs.lock().expect("explorer outs poisoned").drain(..) {
-                        merged.absorb(out);
-                    }
-                    merged
-                };
-                // Limit errors take precedence: once the flag is set,
-                // workers stop early and the layer's other diagnostics
-                // are incomplete.
-                if limit_hit.load(Ordering::Relaxed) {
-                    break Err(ExploreError::LimitExceeded(SimError::StepLimitExceeded {
-                        limit: limits.max_states as u64,
-                    }));
-                }
-                if let Some((_, violating)) = merged.violation.take() {
-                    break Err(ExploreError::PredicateViolated {
-                        ring: violating,
-                        depth: layer,
-                    });
-                }
-                if state_count.load(Ordering::Relaxed) > states_before {
-                    max_depth_seen = layer;
-                }
-                terminal_fps.extend_from_slice(&merged.terminals);
-                edge_count += merged.edge_count;
-                if self.certify_termination {
-                    edges.append(&mut merged.edges);
-                }
-                frontier = std::sync::Arc::new(merged.next);
-            };
-            // Shutdown: release the parked workers exactly once with the
-            // stop flag set; they break before the end barrier.
-            stop.store(true, Ordering::Relaxed);
-            barrier.wait();
-            result
+        let outs: Vec<StealOut<B>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| scope.spawn(|| steal_worker_loop(ring, &ctx)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("steal worker panicked"))
+                .collect()
         });
-        loop_result?;
 
+        // Error precedence mirrors the old layered engine: limits first
+        // (once a limit fires, every worker stops early and the other
+        // diagnostics are incomplete), then the smallest-fingerprint
+        // predicate violation (deterministic regardless of which worker
+        // captured it), then the post-sweep acyclicity check.
+        if let Some(err) = ctx
+            .limit
+            .lock()
+            .expect("explorer limit slot poisoned")
+            .take()
+        {
+            return Err(ExploreError::LimitExceeded(err));
+        }
+        let mut terminal_fps: Vec<u64> = Vec::new();
+        let mut edges: Vec<(u64, u64)> = Vec::new();
+        let mut edge_count: u64 = 0;
+        let mut max_depth_seen: usize = 0;
+        let mut violation: Option<(u64, usize, Box<Ring<B>>)> = None;
+        for mut out in outs {
+            terminal_fps.append(&mut out.terminals);
+            edges.append(&mut out.edges);
+            edge_count += out.edge_count;
+            max_depth_seen = max_depth_seen.max(out.max_depth);
+            if let Some((fp, depth, ring)) = out.violation.take() {
+                match &violation {
+                    Some((best, _, _)) if *best <= fp => {}
+                    _ => violation = Some((fp, depth, ring)),
+                }
+            }
+        }
+        if let Some((_, depth, ring)) = violation {
+            return Err(ExploreError::PredicateViolated { ring, depth });
+        }
         let states = state_count.load(Ordering::Relaxed);
         if self.certify_termination {
             if let Some(depth) = find_cycle(&mut edges, &visited) {
@@ -1157,179 +1093,449 @@ impl Explorer {
             max_depth_seen,
             merge_edges: edge_count - (states as u64 - 1),
             terminal_fingerprints: terminal_fps,
-            peak_frontier,
+            peak_frontier: injector.peak_outstanding(),
             instance_fingerprint: None,
         })
     }
+}
 
-    /// Worker body: claim chunks of the frontier, restore each packed
-    /// state into the worker's scratch ring, expand its children with
-    /// reversible apply/undo, and collect the thread-local partial
-    /// results.
-    #[allow(clippy::too_many_arguments)]
-    fn expand_chunks<B>(
-        &self,
-        scratch: &mut Ring<B>,
-        cache: &mut FingerprintCache,
-        frontier: &[(PackedState<B>, u64)],
-        cursor: &AtomicUsize,
-        visited: &ShardedVisited,
-        state_count: &AtomicUsize,
-        limit_hit: &AtomicBool,
-        layer: usize,
-        terminal_ok: &(impl Fn(&Ring<B>) -> bool + Sync),
-    ) -> WorkerOut<B>
-    where
-        B: Behavior + Clone + Hash,
-        B::Message: Clone + Hash,
-    {
-        let mut out = WorkerOut::new();
-        'claim: loop {
-            if limit_hit.load(Ordering::Relaxed) {
-                break;
-            }
-            let start = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
-            if start >= frontier.len() {
-                break;
-            }
-            let end = (start + CLAIM_CHUNK).min(frontier.len());
-            for (packed, fp) in &frontier[start..end] {
-                packed.restore_into(scratch);
-                cache.reset(scratch);
-                // Index loop over the borrowed slice: allocation-free in
-                // the hot path (`Activation` is `Copy`).
-                for i in 0..scratch.enabled_activations().len() {
-                    let act = scratch.enabled_activations()[i];
-                    let undo = scratch.apply(act);
-                    let patch = cache.patch(scratch, &undo);
-                    let child_fp = cache.fingerprint(scratch);
-                    out.edge_count += 1;
-                    if self.certify_termination {
-                        out.edges.push((*fp, child_fp));
-                    }
-                    if visited.insert(child_fp, layer as u32) {
-                        let count = state_count.fetch_add(1, Ordering::Relaxed) + 1;
-                        if count > self.limits.max_states {
-                            limit_hit.store(true, Ordering::Relaxed);
-                            // Scratch is left mid-child; the next claimed
-                            // state restores it wholesale anyway.
-                            break 'claim;
-                        }
-                        if scratch.enabled_activations().is_empty() {
-                            out.terminals.push(child_fp);
-                            if !terminal_ok(scratch) {
-                                // Clone only on violation capture. The
-                                // clone's configuration is exact; its
-                                // metrics/phases are scratch bookkeeping,
-                                // not the path's (see
-                                // [`ExploreError::PredicateViolated`]).
-                                out.offer_violation(child_fp, Box::new(scratch.clone()));
-                            }
-                        } else {
-                            out.next.push((PackedState::pack(scratch), child_fp));
-                        }
-                    }
-                    cache.revert(patch);
-                    scratch.undo(undo);
-                }
-            }
+/// One unit of stealable work: a subtree root, delta-encoded against an
+/// `Arc`-shared parent snapshot. `act == None` only for the global root
+/// task (the root is packed directly and already counted); `act ==
+/// Some(a)` denotes the *child* of `parent` under `a` — the stealer
+/// restores the parent, applies the delta, and performs all of the
+/// child's bookkeeping (edge accounting, visited insert, terminal check)
+/// before expanding its subtree.
+struct StealTask<B: Behavior> {
+    parent: Arc<PackedState<B>>,
+    /// Fingerprint of `parent` (the recorded edge's source).
+    parent_fp: u64,
+    act: Option<Activation>,
+    /// Schedule depth of the denoted state.
+    depth: usize,
+}
+
+/// The shared work queue of the stealing engine — the "injector" of
+/// work-stealing terminology, `std`-only (`Mutex` + `Condvar`).
+///
+/// Global termination detection is built into the accounting: a task is
+/// *outstanding* from push until its executor calls
+/// [`complete`](Injector::complete), and the sweep is over exactly when
+/// no task is outstanding — an executing worker can still donate, so an
+/// empty queue alone proves nothing. Because every pop precedes its
+/// `complete`, outstanding-count zero with an empty queue is a stable
+/// property; waiting workers are woken to observe it and exit.
+struct Injector<B: Behavior> {
+    state: Mutex<InjectorState<B>>,
+    ready: Condvar,
+    /// Racy mirror of the queue length, so the donation heuristic in the
+    /// workers' hot loop is one relaxed load, not a lock acquisition.
+    approx_len: AtomicUsize,
+    /// Early-stop flag (limit hit or predicate violated): workers poll it
+    /// once per DFS iteration and abandon their subtrees.
+    stop: AtomicBool,
+    /// Queue-pressure threshold under which workers donate: 0 for a
+    /// single worker (no one to steal), `2 × threads` otherwise.
+    low_water: usize,
+}
+
+struct InjectorState<B: Behavior> {
+    queue: VecDeque<StealTask<B>>,
+    /// Tasks popped but not yet completed.
+    executing: usize,
+    /// Peak of `queue.len() + executing` — the engine's live-snapshot
+    /// working set, reported as [`ExploreReport::peak_frontier`].
+    peak: usize,
+}
+
+impl<B: Behavior> Injector<B> {
+    fn new(threads: usize) -> Self {
+        Injector {
+            state: Mutex::new(InjectorState {
+                queue: VecDeque::new(),
+                executing: 0,
+                peak: 0,
+            }),
+            ready: Condvar::new(),
+            approx_len: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            low_water: if threads > 1 { threads * 2 } else { 0 },
         }
-        out
+    }
+
+    /// Whether workers should donate part of their untried activations.
+    fn hungry(&self) -> bool {
+        self.approx_len.load(Ordering::Relaxed) < self.low_water
+    }
+
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    /// Sets the early-stop flag and wakes every parked worker.
+    fn halt(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        drop(self.state.lock().expect("steal queue poisoned"));
+        self.ready.notify_all();
+    }
+
+    fn push_batch(&self, tasks: impl Iterator<Item = StealTask<B>>) {
+        let mut state = self.state.lock().expect("steal queue poisoned");
+        state.queue.extend(tasks);
+        state.peak = state.peak.max(state.queue.len() + state.executing);
+        self.approx_len.store(state.queue.len(), Ordering::Relaxed);
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    /// Blocks until a task is available, the sweep is complete, or the
+    /// engine is halted; `None` means "go home" in the latter two cases.
+    fn acquire(&self) -> Option<StealTask<B>> {
+        let mut state = self.state.lock().expect("steal queue poisoned");
+        loop {
+            if self.stopped() {
+                return None;
+            }
+            if let Some(task) = state.queue.pop_front() {
+                state.executing += 1;
+                self.approx_len.store(state.queue.len(), Ordering::Relaxed);
+                return Some(task);
+            }
+            if state.executing == 0 {
+                // Complete: nothing queued, nothing executing. Wake the
+                // other waiters so they observe the same and exit.
+                self.ready.notify_all();
+                return None;
+            }
+            state = self.ready.wait(state).expect("steal queue poisoned");
+        }
+    }
+
+    /// Marks the most recently acquired task finished; wakes waiters if
+    /// this completed the sweep.
+    fn complete(&self) {
+        let mut state = self.state.lock().expect("steal queue poisoned");
+        state.executing -= 1;
+        if state.executing == 0 && state.queue.is_empty() {
+            drop(state);
+            self.ready.notify_all();
+        }
+    }
+
+    fn peak_outstanding(&self) -> usize {
+        self.state.lock().expect("steal queue poisoned").peak
     }
 }
 
-/// One BFS layer's work order, published to the persistent worker pool.
-struct LayerJob<B: Behavior> {
-    /// The packed states to expand (shared read-only with every worker).
-    frontier: std::sync::Arc<Vec<(PackedState<B>, u64)>>,
-    /// The layer index (first-seen depth of the children).
-    layer: usize,
+/// Shared read-only context of one work-stealing sweep — everything a
+/// worker needs besides its own mutable scratch state.
+struct StealCtx<'a, B: Behavior, F> {
+    explorer: &'a Explorer,
+    injector: &'a Injector<B>,
+    visited: &'a ShardedVisited,
+    state_count: &'a AtomicUsize,
+    /// First limit error wins (race-free: set under this lock before the
+    /// halt, read once after the join).
+    limit: &'a Mutex<Option<SimError>>,
+    terminal_ok: &'a F,
+    threads: usize,
 }
 
-impl<B: Behavior> Clone for LayerJob<B> {
-    fn clone(&self) -> Self {
-        LayerJob {
-            frontier: self.frontier.clone(),
-            layer: self.layer,
+impl<B: Behavior, F> StealCtx<'_, B, F> {
+    /// Records a limit error (first writer wins) and halts the sweep.
+    fn set_limit(&self, limit: usize) {
+        let mut slot = self.limit.lock().expect("explorer limit slot poisoned");
+        if slot.is_none() {
+            *slot = Some(SimError::StepLimitExceeded {
+                limit: limit as u64,
+            });
         }
+        drop(slot);
+        self.injector.halt();
     }
 }
 
-/// Thread-local partial results of one worker over one BFS layer.
-struct WorkerOut<B: Behavior> {
-    /// Newly discovered non-terminal states (the next frontier's share).
-    next: Vec<(PackedState<B>, u64)>,
+/// One live state on a steal worker's DFS path. Same shape as the serial
+/// engine's frame, plus the lazily memoised packed snapshot used when
+/// this state's untried activations are donated.
+struct StealFrame<B: Behavior> {
+    fp: u64,
+    /// Schedule depth of this state.
+    depth: usize,
+    acts_start: usize,
+    next: usize,
+    undo: Option<(StepUndo<B>, SymbolPatch)>,
+    packed: Option<Arc<PackedState<B>>>,
+}
+
+/// Thread-local partial results of one steal worker over the whole sweep.
+struct StealOut<B: Behavior> {
     /// Newly discovered terminal fingerprints.
     terminals: Vec<u64>,
     /// Recorded quotient edges (when termination certification is on).
     edges: Vec<(u64, u64)>,
     /// All transitions generated (tree + merge edges).
     edge_count: u64,
-    /// Smallest-fingerprint predicate violation, for a deterministic
-    /// error choice regardless of worker interleaving.
-    violation: Option<(u64, Box<Ring<B>>)>,
+    /// Deepest schedule depth attempted.
+    max_depth: usize,
+    /// Smallest-fingerprint predicate violation this worker found, with
+    /// its depth — the cross-worker minimum makes the error choice
+    /// deterministic regardless of interleaving.
+    violation: Option<(u64, usize, Box<Ring<B>>)>,
 }
 
-impl<B: Behavior> WorkerOut<B> {
+impl<B: Behavior> StealOut<B> {
     fn new() -> Self {
-        WorkerOut {
-            next: Vec::new(),
+        StealOut {
             terminals: Vec::new(),
             edges: Vec::new(),
             edge_count: 0,
+            max_depth: 0,
             violation: None,
         }
     }
 
-    fn offer_violation(&mut self, fp: u64, ring: Box<Ring<B>>) {
+    fn offer_violation(&mut self, fp: u64, depth: usize, ring: Box<Ring<B>>) {
         match &self.violation {
-            Some((best, _)) if *best <= fp => {}
-            _ => self.violation = Some((fp, ring)),
-        }
-    }
-
-    fn absorb(&mut self, mut other: WorkerOut<B>) {
-        self.next.append(&mut other.next);
-        self.terminals.append(&mut other.terminals);
-        self.edges.append(&mut other.edges);
-        self.edge_count += other.edge_count;
-        if let Some((fp, ring)) = other.violation.take() {
-            self.offer_violation(fp, ring);
+            Some((best, _, _)) if *best <= fp => {}
+            _ => self.violation = Some((fp, depth, ring)),
         }
     }
 }
 
-/// The parallel visited map: fingerprint → first-seen BFS layer,
-/// hash-partitioned into [`VISITED_SHARDS`] mutex-guarded shards so
-/// workers contend only when their fingerprints collide modulo the shard
-/// count.
+/// A steal worker's mutable state: one long-lived scratch ring and
+/// fingerprint cache (restored wholesale per task), the DFS activation
+/// arena and frame stack (reused across tasks), and the partial results.
+struct StealWorker<B: Behavior> {
+    scratch: Ring<B>,
+    cache: FingerprintCache,
+    arena: Vec<Activation>,
+    stack: Vec<StealFrame<B>>,
+    out: StealOut<B>,
+}
+
+/// Worker entry point: drain the injector until the sweep completes or
+/// halts, running each task's subtree DFS.
+fn steal_worker_loop<B, F>(ring: &Ring<B>, ctx: &StealCtx<'_, B, F>) -> StealOut<B>
+where
+    B: Behavior + Clone + Hash,
+    B::Message: Clone + Hash,
+    F: Fn(&Ring<B>) -> bool,
+{
+    let scratch = ring.clone_for_exploration();
+    let cache = FingerprintCache::new(ctx.explorer.symmetry, &scratch);
+    let mut worker = StealWorker {
+        scratch,
+        cache,
+        arena: Vec::new(),
+        stack: Vec::new(),
+        out: StealOut::new(),
+    };
+    while let Some(task) = ctx.injector.acquire() {
+        steal_run_task(&mut worker, task, ctx);
+        ctx.injector.complete();
+    }
+    worker.out
+}
+
+/// Runs one steal task: decode the denoted state, perform the child's
+/// bookkeeping if the task is a delta-encoded handoff, then expand the
+/// subtree depth-first with reversible apply/undo — donating untried
+/// sibling activations of the deepest frame whenever the injector runs
+/// low.
+fn steal_run_task<B, F>(w: &mut StealWorker<B>, task: StealTask<B>, ctx: &StealCtx<'_, B, F>)
+where
+    B: Behavior + Clone + Hash,
+    B::Message: Clone + Hash,
+    F: Fn(&Ring<B>) -> bool,
+{
+    let limits = ctx.explorer.limits;
+    let certify = ctx.explorer.certify_termination;
+    let (fp, depth) = match task.act {
+        None => {
+            // The global root: already inserted and counted by the
+            // coordinator; just rehydrate and expand.
+            task.parent.restore_into(&mut w.scratch);
+            w.cache.reset(&w.scratch);
+            (task.parent_fp, task.depth)
+        }
+        Some(act) => {
+            // Delta-decode the donated child, then do all of its
+            // bookkeeping here — the donor only recorded the handoff.
+            task.parent.restore_child_into(&mut w.scratch, act);
+            w.cache.reset(&w.scratch);
+            let fp = w.cache.fingerprint(&w.scratch);
+            w.out.edge_count += 1;
+            if certify {
+                w.out.edges.push((task.parent_fp, fp));
+            }
+            w.out.max_depth = w.out.max_depth.max(task.depth);
+            if task.depth > limits.max_depth {
+                ctx.set_limit(limits.max_depth);
+                return;
+            }
+            if !ctx.visited.insert(fp, task.depth as u32) {
+                return; // merge edge: someone else got here first
+            }
+            let count = ctx.state_count.fetch_add(1, Ordering::Relaxed) + 1;
+            if count > limits.max_states {
+                ctx.set_limit(limits.max_states);
+                return;
+            }
+            if w.scratch.enabled_activations().is_empty() {
+                w.out.terminals.push(fp);
+                if !(ctx.terminal_ok)(&w.scratch) {
+                    w.out
+                        .offer_violation(fp, task.depth, Box::new(w.scratch.clone()));
+                    ctx.injector.halt();
+                }
+                return;
+            }
+            (fp, task.depth)
+        }
+    };
+
+    // Scratch now holds a visited, non-terminal state: expand its subtree
+    // exactly like the serial DFS, minus the on-path cycle check (cycles
+    // are certified globally after the sweep — see `find_cycle`).
+    w.arena.clear();
+    w.arena.extend_from_slice(w.scratch.enabled_activations());
+    w.stack.clear();
+    w.stack.push(StealFrame {
+        fp,
+        depth,
+        acts_start: 0,
+        next: 0,
+        undo: None,
+        packed: None,
+    });
+    while let Some(top) = w.stack.last_mut() {
+        if ctx.injector.stopped() {
+            // Abandon the subtree; the next task restores scratch
+            // wholesale, so no unwinding is needed.
+            return;
+        }
+        if top.acts_start + top.next >= w.arena.len() {
+            let frame = w.stack.pop().expect("stack is non-empty");
+            w.arena.truncate(frame.acts_start);
+            if let Some((undo, patch)) = frame.undo {
+                w.cache.revert(patch);
+                w.scratch.undo(undo);
+            }
+            continue;
+        }
+        // Donation: if the queue is running dry and this frame still has
+        // at least two untried activations, pack the frame's state once
+        // (memoised) and hand off half of the remaining tail as
+        // delta-encoded children. Only-child chains never donate, so the
+        // pack cost is only paid where there is real branching to share.
+        let remaining = w.arena.len() - (top.acts_start + top.next);
+        if ctx.threads > 1 && remaining >= 2 && ctx.injector.hungry() {
+            let parent = top
+                .packed
+                .get_or_insert_with(|| Arc::new(PackedState::pack(&w.scratch)))
+                .clone();
+            let parent_fp = top.fp;
+            let child_depth = top.depth + 1;
+            let from = w.arena.len() - remaining / 2;
+            ctx.injector
+                .push_batch(w.arena[from..].iter().map(|&act| StealTask {
+                    parent: parent.clone(),
+                    parent_fp,
+                    act: Some(act),
+                    depth: child_depth,
+                }));
+            w.arena.truncate(from);
+            continue;
+        }
+        let act = w.arena[top.acts_start + top.next];
+        top.next += 1;
+        let child_depth = top.depth + 1;
+        w.out.max_depth = w.out.max_depth.max(child_depth);
+        if child_depth > limits.max_depth {
+            ctx.set_limit(limits.max_depth);
+            return;
+        }
+        let undo = w.scratch.apply(act);
+        let patch = w.cache.patch(&w.scratch, &undo);
+        let child_fp = w.cache.fingerprint(&w.scratch);
+        w.out.edge_count += 1;
+        if certify {
+            w.out.edges.push((top.fp, child_fp));
+        }
+        if !ctx.visited.insert(child_fp, child_depth as u32) {
+            // Merge edge: someone else owns this state; roll back.
+            w.cache.revert(patch);
+            w.scratch.undo(undo);
+            continue;
+        }
+        let count = ctx.state_count.fetch_add(1, Ordering::Relaxed) + 1;
+        if count > limits.max_states {
+            ctx.set_limit(limits.max_states);
+            return;
+        }
+        if w.scratch.enabled_activations().is_empty() {
+            w.out.terminals.push(child_fp);
+            if !(ctx.terminal_ok)(&w.scratch) {
+                // Clone only on violation capture. The clone's
+                // configuration is exact; its metrics/phases are scratch
+                // bookkeeping, not the path's (see
+                // [`ExploreError::PredicateViolated`]).
+                w.out
+                    .offer_violation(child_fp, child_depth, Box::new(w.scratch.clone()));
+                ctx.injector.halt();
+                return;
+            }
+            w.cache.revert(patch);
+            w.scratch.undo(undo);
+            continue;
+        }
+        let acts_start = w.arena.len();
+        w.arena.extend_from_slice(w.scratch.enabled_activations());
+        w.stack.push(StealFrame {
+            fp: child_fp,
+            depth: child_depth,
+            acts_start,
+            next: 0,
+            undo: Some((undo, patch)),
+            packed: None,
+        });
+    }
+}
+
+/// The striped concurrent visited map of the work-stealing engine:
+/// fingerprint → first-seen schedule depth, hash-partitioned into
+/// [`VISITED_SHARDS`] mutex-guarded shards so workers contend only when
+/// their fingerprints collide modulo the shard count. The per-shard
+/// insert is the atomic decision point that admits each fingerprint
+/// exactly once — the root of the engine's determinism argument.
 struct ShardedVisited {
-    shards: Vec<std::sync::Mutex<HashMap<u64, u32, FpBuildHasher>>>,
+    shards: Vec<Mutex<HashMap<u64, u32, FpBuildHasher>>>,
 }
 
 impl ShardedVisited {
     fn new() -> Self {
         ShardedVisited {
             shards: (0..VISITED_SHARDS)
-                .map(|_| std::sync::Mutex::new(HashMap::default()))
+                .map(|_| Mutex::new(HashMap::default()))
                 .collect(),
         }
     }
 
-    /// Inserts `fp` first seen at `layer`; `false` if already present.
-    fn insert(&self, fp: u64, layer: u32) -> bool {
+    /// Inserts `fp` first seen at `depth`; `false` if already present.
+    fn insert(&self, fp: u64, depth: u32) -> bool {
         let shard = (fp % VISITED_SHARDS as u64) as usize;
         let mut map = self.shards[shard].lock().expect("visited shard poisoned");
         match map.entry(fp) {
             std::collections::hash_map::Entry::Occupied(_) => false,
             std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert(layer);
+                v.insert(depth);
                 true
             }
         }
     }
 
-    /// First-seen layer of a fingerprint, if visited.
+    /// First-seen depth of a fingerprint, if visited.
     fn layer_of(&self, fp: u64) -> Option<u32> {
         let shard = (fp % VISITED_SHARDS as u64) as usize;
         self.shards[shard]
@@ -1356,7 +1562,7 @@ impl ShardedVisited {
 }
 
 /// Kahn elimination over the recorded quotient edges: returns the
-/// earliest first-seen layer among the residual states (on a cycle or
+/// earliest first-seen depth among the residual states (on a cycle or
 /// downstream of one — see [`ExploreError::CycleDetected`]), or `None`
 /// when the graph is acyclic (termination certified).
 ///
@@ -1390,7 +1596,7 @@ fn find_cycle(edges: &mut [(u64, u64)], visited: &ShardedVisited) -> Option<usiz
         return None;
     }
     // Residual states (in-degree never reached zero) lie on a cycle or
-    // downstream of one; report the earliest layer among them.
+    // downstream of one; report the earliest first-seen depth among them.
     all.iter()
         .filter(|fp| indegree.get(fp).is_some_and(|d| *d > 0))
         .filter_map(|fp| visited.layer_of(*fp))
@@ -1503,6 +1709,71 @@ mod tests {
                 "{symmetry:?}"
             );
             assert_eq!(serial.merge_edges, parallel.merge_edges, "{symmetry:?}");
+        }
+    }
+
+    #[test]
+    fn single_worker_stealing_matches_serial_exactly() {
+        // `threads(1)` runs the work-stealing engine with one worker —
+        // no donation, one deterministic DFS — so even the
+        // engine-specific diagnostic `max_depth_seen` must equal the
+        // serial engine's (the expansion order is identical).
+        let init = InitialConfig::new(8, vec![0, 2, 5]).expect("valid");
+        let ring = Ring::new(&init, |_| Walker {
+            hops: 3,
+            released: false,
+        });
+        for symmetry in [SymmetryMode::Off, SymmetryMode::Rotation] {
+            let serial = Explorer::new()
+                .symmetry(symmetry)
+                .run_serial(&ring, |_| true)
+                .expect("serial");
+            let stealing = Explorer::new()
+                .symmetry(symmetry)
+                .threads(1)
+                .run(&ring, |_| true)
+                .expect("stealing-1");
+            assert_eq!(serial.states, stealing.states, "{symmetry:?}");
+            assert_eq!(serial.terminals, stealing.terminals, "{symmetry:?}");
+            assert_eq!(
+                serial.terminal_fingerprints, stealing.terminal_fingerprints,
+                "{symmetry:?}"
+            );
+            assert_eq!(serial.merge_edges, stealing.merge_edges, "{symmetry:?}");
+            assert_eq!(
+                serial.max_depth_seen, stealing.max_depth_seen,
+                "{symmetry:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stealing_report_is_independent_of_worker_count() {
+        // The deterministic quadruple must not move across widths or
+        // repeated runs — donation points and steal order vary, the
+        // quotient graph does not.
+        let init = InitialConfig::new(8, vec![0, 2, 5]).expect("valid");
+        let ring = Ring::new(&init, |_| Walker {
+            hops: 3,
+            released: false,
+        });
+        let baseline = Explorer::new().threads(1).run(&ring, |_| true).expect("1");
+        for threads in [2usize, 3, 4, 8] {
+            for rep in 0..3 {
+                let report = Explorer::new()
+                    .threads(threads)
+                    .run(&ring, |_| true)
+                    .expect("stealing");
+                assert_eq!(baseline.states, report.states, "t={threads} rep={rep}");
+                assert_eq!(
+                    baseline.terminal_fingerprints, report.terminal_fingerprints,
+                    "t={threads} rep={rep}"
+                );
+                assert_eq!(
+                    baseline.merge_edges, report.merge_edges,
+                    "t={threads} rep={rep}"
+                );
+            }
         }
     }
 

@@ -1,6 +1,6 @@
 //! Bit-packed snapshots of the **schedule-relevant** configuration — the
-//! compact state representation the exhaustive explorer's parallel BFS
-//! keeps in its frontier and hands between workers.
+//! compact state representation the exhaustive explorer's work-stealing
+//! engine hands between workers as steal tasks.
 //!
 //! A deep [`Ring`] clone carries `O(n + k)` separate heap allocations
 //! (one `Vec` per staying set, one `VecDeque` per link and inbox, plus
@@ -22,17 +22,25 @@
 //!   inboxes are empty (the common case by far).
 //!
 //! [`PackedState::restore_into`] rehydrates a live engine **in place**,
-//! reusing the target ring's allocations, so a worker unpacks frontier
+//! reusing the target ring's allocations, so a worker unpacks stolen
 //! states into one long-lived scratch ring with no steady-state heap
 //! traffic. Metrics, phase tallies, the trace and the step counter of the
 //! target are deliberately left untouched: they are schedule-history, not
 //! configuration, and are excluded from state identity (the fingerprint
 //! ignores them too).
+//!
+//! Steal handoffs are **delta-encoded**: when a worker donates several
+//! untried children of one state, it packs the parent once (shared via
+//! `Arc`) and ships each child as the parent plus the `Copy`
+//! [`Activation`] that produces it —
+//! [`PackedState::restore_child_into`] decodes the pair on the stealing
+//! side. Donating `m` siblings therefore costs one `pack`, not `m`.
 
 use crate::action::Idle;
 use crate::agent::Behavior;
 use crate::config::Place;
 use crate::engine::Ring;
+use crate::scheduler::Activation;
 use crate::{AgentId, NodeId};
 
 /// Flag bits of a packed agent word (low 16 bits; node in the high 16).
@@ -212,6 +220,23 @@ where
         ring.refresh_enabled();
     }
 
+    /// Rehydrates `ring` to this snapshot's **child** under `act`: the
+    /// decode side of the work-stealing explorer's delta-encoded steal
+    /// handoff (parent snapshot + activation, see the [module
+    /// docs](self)). The undo record of the applied step is discarded —
+    /// a stolen subtree root is never rolled back past itself.
+    ///
+    /// # Panics
+    ///
+    /// As [`restore_into`](PackedState::restore_into); additionally,
+    /// `act` must be enabled in the restored parent (it was when the
+    /// donor packed it — [`Ring::apply`] panics on a disabled
+    /// activation).
+    pub fn restore_child_into(&self, ring: &mut Ring<B>, act: Activation) {
+        self.restore_into(ring);
+        let _undo = ring.apply(act);
+    }
+
     /// Heap bytes this snapshot owns (payload of the six buffers) —
     /// the per-state memory figure the exploration benchmark reports.
     pub fn heap_bytes(&self) -> usize {
@@ -346,6 +371,35 @@ mod tests {
                 assert_eq!(scratch.tokens(), original.tokens());
                 assert_eq!(scratch.staying_sets(), original.staying_sets());
                 assert_eq!(scratch.link_queues(), original.link_queues());
+            }
+        }
+    }
+
+    #[test]
+    fn delta_encoded_child_restores_exactly() {
+        // The steal handoff (parent snapshot + activation) must decode to
+        // the same configuration as stepping a deep clone of the parent —
+        // for every enabled activation of assorted mid-run states.
+        for seed in 0..10u64 {
+            for steps in [0usize, 3, 7] {
+                let parent = mid_run_ring(seed, steps);
+                let packed = PackedState::pack(&parent);
+                for i in 0..parent.enabled_activations().len() {
+                    let act = parent.enabled_activations()[i];
+                    let mut expected = parent.clone();
+                    expected.step(act);
+                    let mut scratch = mid_run_ring(seed ^ 0xbeef, steps + 1);
+                    packed.restore_child_into(&mut scratch, act);
+                    assert_eq!(
+                        plain_fingerprint(&scratch),
+                        plain_fingerprint(&expected),
+                        "seed {seed} steps {steps} act {act:?}"
+                    );
+                    assert_eq!(
+                        scratch.enabled_activations(),
+                        expected.enabled_activations()
+                    );
+                }
             }
         }
     }

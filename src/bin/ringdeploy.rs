@@ -24,7 +24,10 @@
 //! * `--sync`                 run in lock-step rounds and report ideal time
 //! * `--explore`              exhaustively verify EVERY fair schedule of the
 //!   instance (symmetry-reduced bounded model checking) instead of running one
-//! * `--explore-serial`       with `--explore`: force the serial (single-thread) engine
+//! * `--explore-serial`       with `--explore`: force the clone-free serial
+//!   DFS instead of the work-stealing engine
+//! * `--explore-threads <t>`  with `--explore`: run the work-stealing engine
+//!   with exactly `t` workers (default: one per available core)
 //! * `--adversary <obj>`      synthesise the exact worst-case schedule for
 //!   `moves` | `activations` | `memory` (branch-and-bound over every fair
 //!   schedule) and report the maximum with its replayable witness
@@ -71,6 +74,7 @@ struct Options {
     schedule_set: bool,
     explore: bool,
     explore_serial: bool,
+    explore_threads: Option<usize>,
     adversary: Option<Objective>,
     certify: bool,
     tier: EvidenceTier,
@@ -83,7 +87,8 @@ fn usage() -> &'static str {
     "usage: ringdeploy --n <nodes> (--homes a,b,c | --k <agents> [--seed s]) \
      [--algo algo1|algo2|relaxed|partial-gathering [--g <size>]] \
      [--schedule round-robin|random:<seed>|one-at-a-time|delay:<agent>] \
-     [--sync] [--explore [--explore-serial]] [--adversary moves|activations|memory] \
+     [--sync] [--explore [--explore-serial | --explore-threads <t>]] \
+     [--adversary moves|activations|memory] \
      [--certify [--tier sweep|exhaustive|adversarial]] [--render] [--json]"
 }
 
@@ -99,6 +104,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         schedule_set: false,
         explore: false,
         explore_serial: false,
+        explore_threads: None,
         adversary: None,
         certify: false,
         tier: EvidenceTier::Adversarial,
@@ -146,6 +152,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--sync" => opts.schedule = Schedule::Synchronous,
             "--explore" => opts.explore = true,
             "--explore-serial" => opts.explore_serial = true,
+            "--explore-threads" => {
+                let t: usize = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--explore-threads: {e}"))?;
+                if t == 0 {
+                    return Err("--explore-threads must be at least 1".to_string());
+                }
+                opts.explore_threads = Some(t);
+            }
             "--adversary" => {
                 opts.adversary = Some(match value(&mut i)?.as_str() {
                     "moves" | "total-moves" => Objective::TotalMoves,
@@ -176,6 +191,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if opts.explore_serial && !opts.explore {
         return Err(format!("--explore-serial requires --explore\n{}", usage()));
+    }
+    if opts.explore_threads.is_some() && !opts.explore {
+        return Err(format!("--explore-threads requires --explore\n{}", usage()));
+    }
+    if opts.explore_threads.is_some() && opts.explore_serial {
+        return Err(format!(
+            "--explore-serial and --explore-threads are mutually exclusive\n{}",
+            usage()
+        ));
     }
     if let Some(g) = opts.g {
         if !opts.algo.name().starts_with("partial-gathering") {
@@ -345,12 +369,13 @@ fn explore(opts: &Options, init: &InitialConfig) -> Result<(), String> {
         report.terminals
     );
     println!(
-        "depth     : {} (longest DFS path / BFS layers)",
+        "depth     : {} (longest schedule explored)",
         report.max_depth_seen
     );
     println!("merges    : {} back/cross edges", report.merge_edges);
     println!(
-        "frontier  : {} peak live states (deepest DFS path / widest BFS layer)",
+        "frontier  : {} peak live snapshots (serial: deepest DFS path; \
+         stealing: peak outstanding steal tasks)",
         report.peak_frontier
     );
     Ok(())
@@ -360,18 +385,22 @@ fn explore_instance(
     opts: &Options,
     init: &InitialConfig,
 ) -> Result<ringdeploy::sim::explore::ExploreReport, String> {
-    use ringdeploy::analysis::explore_one;
+    use ringdeploy::analysis::{explore_one, explore_one_serial};
     use ringdeploy::sim::explore::{ExploreLimits, Explorer};
 
     let mut explorer = Explorer::new().limits(ExploreLimits::for_instance(
         init.ring_size(),
         init.agent_count(),
     ));
-    if opts.explore_serial {
-        explorer = explorer.threads(1);
+    if let Some(threads) = opts.explore_threads {
+        explorer = explorer.threads(threads);
     }
-    explore_one(opts.algo, init, &explorer)
-        .map_err(|e| format!("exhaustive verification FAILED: {e}"))
+    let result = if opts.explore_serial {
+        explore_one_serial(opts.algo, init, &explorer)
+    } else {
+        explore_one(opts.algo, init, &explorer)
+    };
+    result.map_err(|e| format!("exhaustive verification FAILED: {e}"))
 }
 
 /// Synthesises the exact worst-case schedule for one objective

@@ -18,9 +18,10 @@ use ringdeploy::{
 
 /// Runs the symmetry-reduced explorer on one instance through the shared
 /// algorithm dispatch (`analysis::explore_one`), asserting success and
-/// returning the report. Two worker threads exercise the parallel engine
-/// at verification scale regardless of host core count; the serial
-/// reference is differentially checked in `explorer_differential.rs`.
+/// returning the report. Two workers exercise the work-stealing engine
+/// (donation, striped visited map) at verification scale regardless of
+/// host core count; the serial reference is differentially checked in
+/// `explorer_differential.rs`.
 fn verify_instance(n: usize, homes: &[usize], algorithm: Algorithm) -> ExploreReport {
     let k = homes.len();
     let init = InitialConfig::new(n, homes.to_vec()).expect("valid instance");
@@ -188,6 +189,59 @@ fn algo1_exhaustive_n14_k6() {
     // branching in the suite, exercising the packed parallel frontier at
     // real scale.
     let report = verify_instance(14, &[0, 2, 4, 6, 8, 10], Algorithm::FullKnowledge);
+    assert_eq!(report.terminals, 1);
+}
+
+// ---------------------------------------------------------------------
+// Verification at n = 24, k = 4 and n = 16, k = 6 — the ceiling the 0.9
+// work-stealing explorer unlocked (per-worker clone-free DFS over
+// delta-encoded PackedState steal handoffs + a striped concurrent
+// visited map; the 0.4 barrier-synchronized BFS paid more in layer
+// merges than it won back in parallelism). Every family, including
+// g-partial gathering, is machine-checked at the new scale.
+// ---------------------------------------------------------------------
+
+#[test]
+fn algo1_exhaustive_n24_k4_uniform() {
+    // ~13 k quotient states over a 24-node ring.
+    let report = verify_instance(24, &[0, 6, 12, 18], Algorithm::FullKnowledge);
+    assert_eq!(report.terminals, 1);
+}
+
+#[test]
+fn algo2_exhaustive_n24_k4_uniform() {
+    let report = verify_instance(24, &[0, 6, 12, 18], Algorithm::LogSpace);
+    assert_eq!(report.terminals, 1);
+}
+
+#[test]
+fn relaxed_exhaustive_n24_k4_uniform() {
+    // ~49 k quotient states; the largest relaxed instance in the suite.
+    let report = verify_instance(24, &[0, 6, 12, 18], Algorithm::Relaxed);
+    assert_eq!(report.terminals, 1);
+}
+
+#[test]
+fn gathering_exhaustive_n24_k4_g2() {
+    // Two clustered pairs half a ring apart (l = 2, k/l = 2 ≥ g): every
+    // schedule gathers the four agents into groups of ≥ 2 (~31 k states).
+    let report = verify_instance(24, &[0, 1, 12, 13], Algorithm::partial_gathering(2));
+    assert_eq!(report.terminals, 1);
+}
+
+#[test]
+fn algo1_exhaustive_n16_k6() {
+    // Six agents on sixteen nodes (period 8, l = 2): ~150 k quotient
+    // states, the widest branching in the suite.
+    let report = verify_instance(16, &[0, 2, 4, 8, 10, 12], Algorithm::FullKnowledge);
+    assert_eq!(report.terminals, 1);
+}
+
+#[test]
+fn gathering_exhaustive_n16_k6_g3() {
+    // Two clustered triples half a ring apart (l = 2, k/l = 3 ≥ g):
+    // ~152 k quotient states.
+    let report = verify_instance(16, &[0, 1, 2, 8, 9, 10], Algorithm::partial_gathering(3));
     assert_eq!(report.terminals, 1);
 }
 

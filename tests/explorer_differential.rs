@@ -3,17 +3,32 @@
 //! * every terminal configuration reached by sampled (seeded random)
 //!   executions appears in the exhaustive explorer's terminal set — the
 //!   explorer really does cover everything sampling can find;
-//! * the frontier-parallel engine reports identical state/terminal counts,
-//!   terminal fingerprints and merge-edge diagnostics to the retained
-//!   serial reference, under both symmetry modes.
+//! * the work-stealing engine reports identical state/terminal counts,
+//!   terminal fingerprints and merge-edge diagnostics to the clone-free
+//!   serial DFS and the retained clone-based reference, across all five
+//!   problem families × FIFO/LIFO link disciplines × worker counts
+//!   {1, 2, 4}, and every engine agrees on *whether* an instance fails
+//!   (a family that breaks under LIFO overtaking must be rejected by
+//!   all of them);
+//! * limit enforcement is race-free: the `max_states` boundary between
+//!   success and `LimitExceeded` sits at exactly the same count for
+//!   every engine and worker count;
+//! * a property test pins that the stealing order never changes the
+//!   report (random instances, workers ∈ {2, 3, 4} vs the serial DFS).
 
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use ringdeploy::sim::canonical::{canonical_fingerprint, plain_fingerprint};
-use ringdeploy::sim::explore::{ExploreLimits, ExploreReport, Explorer, SymmetryMode};
+use ringdeploy::sim::explore::{
+    ExploreErrorKind, ExploreLimits, ExploreReport, Explorer, SymmetryMode,
+};
 use ringdeploy::sim::scheduler::Random;
 use ringdeploy::sim::{
-    satisfies_halting_deployment, satisfies_suspended_deployment, Behavior, RunLimits,
+    satisfies_halting_deployment, satisfies_partial_gathering, satisfies_suspended_deployment,
+    Behavior, LinkDiscipline, RunLimits,
 };
-use ringdeploy::{FullKnowledge, InitialConfig, LogSpace, NoKnowledge, Ring};
+use ringdeploy::{FullKnowledge, InitialConfig, LogSpace, NoKnowledge, PartialGathering, Ring};
 
 fn explore<B>(init: &InitialConfig, make: impl Fn() -> B + Sync, halts: bool) -> ExploreReport
 where
@@ -204,11 +219,258 @@ fn both_engines_report_limit_errors() {
             .run(&ring, |_| true)
             .expect_err("ten states cannot cover the space");
         assert!(
-            matches!(
-                err.kind(),
-                ringdeploy::sim::explore::ExploreErrorKind::LimitExceeded(_)
-            ),
+            matches!(err.kind(), ExploreErrorKind::LimitExceeded(_)),
             "threads {threads}"
         );
+    }
+}
+
+/// The `max_states` budget is race-free across workers: the boundary
+/// between success and `LimitExceeded` sits at exactly the state count
+/// of the space, for the serial DFS and the stealing engine at every
+/// worker count — a budget of N errors iff the space holds more than N
+/// states, never "N plus whatever the workers had in flight".
+#[test]
+fn limit_boundary_is_engine_independent() {
+    let init = InitialConfig::new(10, vec![0, 1, 2]).expect("valid");
+    let ring = Ring::new(&init, |_| FullKnowledge::new(3));
+    let pred = |r: &Ring<FullKnowledge>| satisfies_halting_deployment(r).is_satisfied();
+    let states = Explorer::new()
+        .symmetry(SymmetryMode::Rotation)
+        .run_serial(&ring, pred)
+        .expect("unlimited exploration succeeds")
+        .states;
+    let at = |max_states: usize| {
+        Explorer::new()
+            .symmetry(SymmetryMode::Rotation)
+            .limits(ExploreLimits::new(max_states, 100_000))
+    };
+    assert!(
+        at(states).run_serial(&ring, pred).is_ok(),
+        "serial at the exact count"
+    );
+    assert!(
+        matches!(
+            at(states - 1).run_serial(&ring, pred),
+            Err(e) if matches!(e.kind(), ExploreErrorKind::LimitExceeded(_))
+        ),
+        "serial one below the count"
+    );
+    for threads in [1usize, 2, 4] {
+        let exact = at(states).threads(threads).run(&ring, pred);
+        assert!(
+            exact.is_ok(),
+            "threads {threads}: a budget of exactly {states} states must succeed"
+        );
+        let below = at(states - 1).threads(threads).run(&ring, pred);
+        assert!(
+            matches!(
+                below,
+                Err(ref e) if matches!(e.kind(), ExploreErrorKind::LimitExceeded(_))
+            ),
+            "threads {threads}: a budget of {} states must be exceeded",
+            states - 1
+        );
+    }
+}
+
+/// Which engine a differential leg runs.
+#[derive(Clone, Copy)]
+enum Engine {
+    Reference,
+    Serial,
+    Stealing(usize),
+}
+
+/// Runs one engine over one family instance under one link discipline,
+/// type-erasing the error to its kind.
+fn run_engine<B>(
+    init: &InitialConfig,
+    make: &(impl Fn() -> B + Sync),
+    pred: &(impl Fn(&Ring<B>) -> bool + Sync),
+    discipline: LinkDiscipline,
+    engine: Engine,
+) -> Result<ExploreReport, ExploreErrorKind>
+where
+    B: Behavior + Clone + std::hash::Hash + Send + Sync,
+    B::Message: Clone + std::hash::Hash + Send + Sync,
+{
+    let mut ring = Ring::new(init, |_| make());
+    ring.set_link_discipline(discipline);
+    let explorer =
+        Explorer::new()
+            .symmetry(SymmetryMode::Rotation)
+            .limits(ExploreLimits::for_instance(
+                init.ring_size(),
+                init.agent_count(),
+            ));
+    let result = match engine {
+        Engine::Reference => explorer.run_serial_reference(&ring, pred),
+        Engine::Serial => explorer.run_serial(&ring, pred),
+        Engine::Stealing(threads) => explorer.threads(threads).run(&ring, pred),
+    };
+    result.map_err(|e| e.kind())
+}
+
+/// One family × discipline leg: reference, serial and stealing at
+/// workers {1, 2, 4} must agree — on the full deterministic report
+/// quadruple when the exploration succeeds, and on the *fact* of
+/// failure when it does not. The failure kind itself is traversal-
+/// shaped, not part of the contract: a family broken under LIFO
+/// overtaking typically exhibits violations, livelocks and
+/// depth-limit blowups at once, and which one an engine meets first
+/// depends on its spanning tree (the reference's explicit stack, the
+/// serial DFS's on-path check, the stealing engine's post-sweep
+/// certification).
+fn assert_family_agrees<B>(
+    init: &InitialConfig,
+    make: impl Fn() -> B + Sync,
+    pred: impl Fn(&Ring<B>) -> bool + Sync,
+    discipline: LinkDiscipline,
+    label: &str,
+) where
+    B: Behavior + Clone + std::hash::Hash + Send + Sync,
+    B::Message: Clone + std::hash::Hash + Send + Sync,
+{
+    let reference = run_engine(init, &make, &pred, discipline, Engine::Reference);
+    if discipline == LinkDiscipline::Fifo {
+        assert!(
+            reference.is_ok(),
+            "{label}: every family must verify under FIFO (the paper's model): {reference:?}"
+        );
+    }
+    let serial = run_engine(init, &make, &pred, discipline, Engine::Serial);
+    let legs = [1usize, 2, 4]
+        .map(|threads| run_engine(init, &make, &pred, discipline, Engine::Stealing(threads)));
+    for (name, result) in std::iter::once(("serial", &serial)).chain([
+        ("stealing-1", &legs[0]),
+        ("stealing-2", &legs[1]),
+        ("stealing-4", &legs[2]),
+    ]) {
+        match (&reference, result) {
+            (Ok(want), Ok(got)) => {
+                assert_eq!(want.states, got.states, "{label} {discipline:?} {name}");
+                assert_eq!(
+                    want.terminals, got.terminals,
+                    "{label} {discipline:?} {name}"
+                );
+                assert_eq!(
+                    want.terminal_fingerprints, got.terminal_fingerprints,
+                    "{label} {discipline:?} {name}"
+                );
+                assert_eq!(
+                    want.merge_edges, got.merge_edges,
+                    "{label} {discipline:?} {name}"
+                );
+            }
+            (Err(_), Err(_)) => {}
+            (want, got) => {
+                panic!("{label} {discipline:?} {name}: reference {want:?} but {name} {got:?}")
+            }
+        }
+    }
+    // The single-worker stealing engine never donates, so it is the
+    // serial DFS in a different harness: `max_depth_seen` must match
+    // too (multi-worker depth is legitimately schedule-shaped).
+    if let (Ok(serial), Ok(stealing1)) = (&serial, &legs[0]) {
+        assert_eq!(
+            serial.max_depth_seen, stealing1.max_depth_seen,
+            "{label} {discipline:?}: stealing-1 is exactly the serial DFS"
+        );
+    }
+}
+
+/// All five families × FIFO/LIFO × engines × worker counts.
+#[test]
+fn five_families_agree_across_engines_and_disciplines() {
+    for discipline in [LinkDiscipline::Fifo, LinkDiscipline::Lifo] {
+        let init = InitialConfig::new(8, vec![0, 1, 4]).expect("valid");
+        assert_family_agrees(
+            &init,
+            || FullKnowledge::new(3),
+            |r| satisfies_halting_deployment(r).is_satisfied(),
+            discipline,
+            "full-knowledge",
+        );
+        let init = InitialConfig::new(9, vec![0, 1, 2]).expect("valid");
+        assert_family_agrees(
+            &init,
+            || LogSpace::new(3),
+            |r| satisfies_halting_deployment(r).is_satisfied(),
+            discipline,
+            "log-space",
+        );
+        let init = InitialConfig::new(6, vec![0, 1, 3]).expect("valid");
+        assert_family_agrees(
+            &init,
+            NoKnowledge::new,
+            |r| satisfies_suspended_deployment(r).is_satisfied(),
+            discipline,
+            "relaxed",
+        );
+        let init = InitialConfig::new(8, vec![0, 1, 4, 5]).expect("valid");
+        assert_family_agrees(
+            &init,
+            || PartialGathering::new(4),
+            |r| satisfies_partial_gathering(r, 2).is_satisfied(),
+            discipline,
+            "partial-gathering g=2",
+        );
+        let init = InitialConfig::new(8, vec![0, 1, 2]).expect("valid");
+        assert_family_agrees(
+            &init,
+            || PartialGathering::new(3),
+            |r| satisfies_partial_gathering(r, 3).is_satisfied(),
+            discipline,
+            "partial-gathering g=3",
+        );
+    }
+}
+
+/// A random small instance: distinct homes on a ring of 6..=9 nodes.
+fn random_instance(seed: u64) -> InitialConfig {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n: usize = rng.gen_range(6..=9);
+    let k = rng.gen_range(2..=3usize);
+    let mut homes: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        homes.swap(i, j);
+    }
+    homes.truncate(k);
+    InitialConfig::new(n, homes).expect("distinct homes in range")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Stealing order is scheduling noise: whatever subtrees get donated
+    /// and whoever wins each visited-insert race, the report quadruple
+    /// is a function of the instance alone.
+    #[test]
+    fn stealing_order_never_changes_the_report(seed in 0u64..1_000_000) {
+        let init = random_instance(seed);
+        let k = init.agent_count();
+        let ring = Ring::new(&init, |_| FullKnowledge::new(k));
+        let pred = |r: &Ring<FullKnowledge>| satisfies_halting_deployment(r).is_satisfied();
+        let baseline = Explorer::new()
+            .symmetry(SymmetryMode::Rotation)
+            .run_serial(&ring, pred)
+            .expect("serial exploration succeeds");
+        for threads in [2usize, 3, 4] {
+            let stolen = Explorer::new()
+                .symmetry(SymmetryMode::Rotation)
+                .threads(threads)
+                .run(&ring, pred)
+                .expect("stealing exploration succeeds");
+            prop_assert_eq!(baseline.states, stolen.states, "seed {} threads {}", seed, threads);
+            prop_assert_eq!(baseline.terminals, stolen.terminals, "seed {} threads {}", seed, threads);
+            prop_assert_eq!(
+                &baseline.terminal_fingerprints,
+                &stolen.terminal_fingerprints,
+                "seed {} threads {}", seed, threads
+            );
+            prop_assert_eq!(baseline.merge_edges, stolen.merge_edges, "seed {} threads {}", seed, threads);
+        }
     }
 }
