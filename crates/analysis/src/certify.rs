@@ -70,7 +70,7 @@ use ringdeploy_core::{Algorithm, DeployError, Deployment, Schedule};
 use ringdeploy_sim::adversary::{Adversary, AdversaryError, Objective, WorstCase};
 use ringdeploy_sim::explore::{ExploreLimits, SymmetryMode};
 use ringdeploy_sim::scheduler::Activation;
-use ringdeploy_sim::InitialConfig;
+use ringdeploy_sim::{DeploymentCheck, FaultPlan, InitialConfig};
 
 use crate::sweep::Workload;
 
@@ -162,6 +162,27 @@ impl From<&WorstCase> for SearchStats {
     }
 }
 
+/// The graceful-degradation verdict of a certificate on a **faulted**
+/// instance (non-empty [`FaultPlan`]): does the family still meet its
+/// definition and bound, halt in the typed crash-degraded state, or
+/// fail to reach quiescence at all? Computed from a deterministic
+/// round-robin probe run of the faulted instance, alongside the
+/// worst-case search. Fault-free certificates carry no verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DegradationVerdict {
+    /// The faulted instance still satisfies its full definition and the
+    /// measured worst case satisfies the recorded bound (possible under
+    /// edge-outage-only plans, which delay but never destroy agents).
+    BoundHolds,
+    /// The faulted instance reaches quiescence but not the definition;
+    /// the typed [`DeploymentCheck`] says exactly how it degraded
+    /// (crash-degraded survivors, a bad gap, a collision, ...).
+    Degraded(DeploymentCheck),
+    /// The probe run never reached quiescence within its limits — the
+    /// fault plan is pinned as divergent for this instance.
+    Diverges,
+}
+
 /// One certified bound: instance, recorded bound, measured worst case,
 /// evidence. See the [module docs](self).
 #[derive(Debug, Clone, PartialEq)]
@@ -201,6 +222,11 @@ pub struct BoundCertificate {
     pub competitive_ratio: Option<f64>,
     /// Branch-and-bound diagnostics — search tiers only.
     pub search: Option<SearchStats>,
+    /// Graceful-degradation verdict — instances with a non-empty
+    /// [`FaultPlan`] only. `None` (and omitted from JSON, keeping
+    /// fault-free certificates byte-identical to the pre-fault
+    /// encoding) otherwise.
+    pub degradation: Option<DegradationVerdict>,
     /// Fingerprint of the canonical instance key this certificate
     /// answers ([`InstanceKey::fingerprint`](crate::InstanceKey)),
     /// stamped by batch/service layers so cache identity is auditable
@@ -371,6 +397,8 @@ pub fn certify_one(
         }
         _ => (None, None),
     };
+    let holds = (worst_value as f64) <= bound.value;
+    let degradation = degradation_verdict(algorithm, init, holds);
     Ok(BoundCertificate {
         algorithm,
         objective,
@@ -385,8 +413,39 @@ pub fn certify_one(
         oracle_moves: oracle,
         competitive_ratio: ratio,
         search,
+        degradation,
         instance_fingerprint: None,
     })
+}
+
+/// The graceful-degradation tier: probes a faulted instance with one
+/// deterministic round-robin run to quiescence and classifies the
+/// outcome. `None` for fault-free instances — the verdict (like the
+/// fault plan itself) only exists on faulted keys.
+fn degradation_verdict(
+    algorithm: Algorithm,
+    init: &InitialConfig,
+    bound_holds: bool,
+) -> Option<DegradationVerdict> {
+    if init.faults().is_empty() {
+        return None;
+    }
+    Some(
+        match Deployment::of(init)
+            .algorithm(algorithm)
+            .run_preset(Schedule::RoundRobin)
+        {
+            Ok(report) if report.check.is_satisfied() && bound_holds => {
+                DegradationVerdict::BoundHolds
+            }
+            // Quiescent but short of the full claim — either the check
+            // failed (typically `CrashDegraded`) or the measured worst
+            // case broke the recorded bound; the carried check says
+            // which.
+            Ok(report) => DegradationVerdict::Degraded(report.check),
+            Err(_) => DegradationVerdict::Diverges,
+        },
+    )
 }
 
 /// Coordinates of one cell in a certification batch's cross product.
@@ -496,6 +555,7 @@ pub struct Certify {
     seeds: Vec<u64>,
     tier: EvidenceTier,
     settings: CertifySettings,
+    faults: FaultPlan,
 }
 
 impl Default for Certify {
@@ -516,6 +576,7 @@ impl Certify {
             seeds: vec![0],
             tier: EvidenceTier::Adversarial,
             settings: CertifySettings::default(),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -590,6 +651,15 @@ impl Certify {
         self
     }
 
+    /// Injects a deterministic fault plan into every cell's instance
+    /// (default: fault-free). Faulted cells certify through the
+    /// graceful-degradation tier: their certificates carry a
+    /// [`DegradationVerdict`].
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Enumerates the cells in deterministic order (algorithms outermost,
     /// then workloads, then objectives, seeds innermost).
     ///
@@ -653,7 +723,10 @@ impl Certify {
     /// failing cell.
     pub fn stream(&self, mut on_row: impl FnMut(CertifyRow)) -> Result<(), CertifyBatchError> {
         for cell in self.cells()? {
-            let init = cell.workload.instantiate(cell.seed);
+            let init = cell
+                .workload
+                .instantiate(cell.seed)
+                .with_faults(self.faults.clone());
             let certificate = certify_one(
                 cell.algorithm,
                 &init,
@@ -674,8 +747,36 @@ impl Certify {
 
 #[cfg(feature = "serde")]
 mod json_impls {
-    use super::{BoundCertificate, EvidenceTier, SearchStats};
+    use super::{BoundCertificate, DegradationVerdict, EvidenceTier, SearchStats};
     use ringdeploy_json::{FromJson, Json, JsonError, ToJson};
+
+    impl ToJson for DegradationVerdict {
+        fn to_json(&self) -> Json {
+            match self {
+                DegradationVerdict::BoundHolds => Json::String("bound_holds".to_string()),
+                DegradationVerdict::Diverges => Json::String("diverges".to_string()),
+                DegradationVerdict::Degraded(check) => {
+                    Json::object([("degraded", check.to_json())])
+                }
+            }
+        }
+    }
+
+    impl FromJson for DegradationVerdict {
+        fn from_json(json: &Json) -> Result<Self, JsonError> {
+            match json.as_str() {
+                Some("bound_holds") => return Ok(DegradationVerdict::BoundHolds),
+                Some("diverges") => return Ok(DegradationVerdict::Diverges),
+                Some(other) => {
+                    return Err(JsonError::Decode(format!(
+                        "unknown degradation verdict `{other}`"
+                    )))
+                }
+                None => {}
+            }
+            json.field("degraded").map(DegradationVerdict::Degraded)
+        }
+    }
 
     impl ToJson for EvidenceTier {
         fn to_json(&self) -> Json {
@@ -715,7 +816,7 @@ mod json_impls {
 
     impl ToJson for BoundCertificate {
         fn to_json(&self) -> Json {
-            Json::object([
+            let mut json = Json::object([
                 ("algorithm", self.algorithm.to_json()),
                 ("objective", self.objective.to_json()),
                 ("tier", self.tier.to_json()),
@@ -751,7 +852,13 @@ mod json_impls {
                 // Derived, emitted for human/CI consumption; ignored on
                 // decode.
                 ("holds", self.holds().to_json()),
-            ])
+            ]);
+            // Faulted certificates only: omitted (not null) when absent
+            // so fault-free payload bytes match the pre-fault encoding.
+            if let (Json::Object(map), Some(verdict)) = (&mut json, &self.degradation) {
+                map.insert("degradation".to_string(), verdict.to_json());
+            }
+            json
         }
     }
 
@@ -781,6 +888,7 @@ mod json_impls {
                 oracle_moves: json.optional_field("oracle_moves")?,
                 competitive_ratio: json.optional_field("competitive_ratio")?,
                 search: json.optional_field("search")?,
+                degradation: json.optional_field("degradation")?,
                 instance_fingerprint,
             })
         }

@@ -32,7 +32,7 @@ use ringdeploy_core::{Algorithm, ExploreEngine};
 use ringdeploy_sim::explore::{
     ExploreErrorKind, ExploreLimits, ExploreReport, Explorer, SymmetryMode,
 };
-use ringdeploy_sim::InitialConfig;
+use ringdeploy_sim::{FaultPlan, InitialConfig};
 
 use crate::sweep::Workload;
 
@@ -120,6 +120,7 @@ pub struct Explore {
     limits: Option<ExploreLimits>,
     symmetry: SymmetryMode,
     threads: Option<usize>,
+    faults: FaultPlan,
 }
 
 impl Default for Explore {
@@ -139,6 +140,7 @@ impl Explore {
             limits: None,
             symmetry: SymmetryMode::default(),
             threads: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -194,6 +196,15 @@ impl Explore {
     /// [`SymmetryMode::Rotation`]).
     pub fn symmetry(mut self, symmetry: SymmetryMode) -> Self {
         self.symmetry = symmetry;
+        self
+    }
+
+    /// Injects a deterministic fault plan into every cell's instance
+    /// (default: fault-free): the explorer then sweeps every bounded-
+    /// fault execution the plan admits, with fault moves enumerated as
+    /// adversary-controllable transitions.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -278,7 +289,10 @@ impl Explore {
     }
 
     fn explore_cell(&self, cell: &ExploreCell) -> Result<ExploreReport, ExploreErrorKind> {
-        let init = cell.workload.instantiate(cell.seed);
+        let init = cell
+            .workload
+            .instantiate(cell.seed)
+            .with_faults(self.faults.clone());
         let limits = self
             .limits
             .unwrap_or_else(|| ExploreLimits::for_instance(init.ring_size(), init.agent_count()));

@@ -34,6 +34,7 @@
 
 use ringdeploy_core::{Algorithm, Schedule};
 use ringdeploy_sim::adversary::Objective;
+use ringdeploy_sim::FaultPlan;
 
 use crate::certify::{CertifyCell, EvidenceTier};
 use crate::explore::ExploreCell;
@@ -103,6 +104,11 @@ pub struct InstanceKey {
     pub objective: Option<Objective>,
     /// Evidence tier — [`JobKind::Certify`] only.
     pub tier: Option<EvidenceTier>,
+    /// Deterministic fault plan injected into the instance. An empty
+    /// plan is the fault-free baseline and is **omitted** from the
+    /// canonical encoding, so every pre-fault cache key (and its
+    /// fingerprint) is preserved byte-for-byte.
+    pub faults: FaultPlan,
 }
 
 impl InstanceKey {
@@ -116,6 +122,7 @@ impl InstanceKey {
             seed: cell.seed,
             objective: None,
             tier: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -129,6 +136,7 @@ impl InstanceKey {
             seed: cell.seed,
             objective: None,
             tier: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -142,6 +150,7 @@ impl InstanceKey {
             seed: cell.seed,
             objective: Some(cell.objective),
             tier: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -155,7 +164,18 @@ impl InstanceKey {
             seed: cell.seed,
             objective: Some(cell.objective),
             tier: Some(tier),
+            faults: FaultPlan::none(),
         }
+    }
+
+    /// Returns the key with `faults` as its fault plan. Non-empty plans
+    /// join the canonical encoding (a faulted query is a *different*
+    /// cacheable instance); an empty plan leaves the key — and its
+    /// canonical bytes — exactly as before.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// A human-readable label for logs and error messages.
@@ -175,6 +195,9 @@ impl InstanceKey {
         }
         if let Some(tier) = self.tier {
             label.push_str(&format!(":{tier}"));
+        }
+        if !self.faults.is_empty() {
+            label.push_str(&format!(":faults[{}]", self.faults));
         }
         label
     }
@@ -237,7 +260,7 @@ mod json_impls {
 
     impl ToJson for InstanceKey {
         fn to_json(&self) -> Json {
-            Json::object([
+            let mut fields = vec![
                 ("kind", self.kind.to_json()),
                 ("algorithm", self.algorithm.to_json()),
                 ("workload", self.workload.to_json()),
@@ -245,7 +268,14 @@ mod json_impls {
                 ("seed", self.seed.to_json()),
                 ("objective", self.objective.to_json()),
                 ("tier", self.tier.to_json()),
-            ])
+            ];
+            // Omitted when empty so fault-free canonical encodings (and
+            // every deployed cache identity) stay byte-identical to the
+            // pre-fault era.
+            if !self.faults.is_empty() {
+                fields.push(("faults", self.faults.to_json()));
+            }
+            Json::object(fields)
         }
     }
 
@@ -259,6 +289,7 @@ mod json_impls {
                 seed: json.field("seed")?,
                 objective: json.optional_field("objective")?,
                 tier: json.optional_field("tier")?,
+                faults: json.optional_field("faults")?.unwrap_or_default(),
             })
         }
     }
@@ -277,6 +308,7 @@ mod tests {
             seed: 7,
             objective: None,
             tier: None,
+            faults: FaultPlan::none(),
         }
     }
 

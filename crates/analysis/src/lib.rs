@@ -56,8 +56,8 @@ mod table;
 
 pub use certify::{
     certify_one, paper_bound, worst_case_one, BoundCertificate, Certify, CertifyBatchError,
-    CertifyCell, CertifyErrorKind, CertifyRow, CertifySettings, EvidenceTier, PaperBound,
-    SearchStats,
+    CertifyCell, CertifyErrorKind, CertifyRow, CertifySettings, DegradationVerdict, EvidenceTier,
+    PaperBound, SearchStats,
 };
 pub use experiment::{Cell, Measurement};
 pub use explore::{

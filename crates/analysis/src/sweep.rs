@@ -34,7 +34,7 @@ use std::sync::Mutex;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use ringdeploy_core::{Algorithm, DeployError, Deployment, Schedule};
-use ringdeploy_sim::{InitialConfig, RunLimits};
+use ringdeploy_sim::{FaultPlan, InitialConfig, RunLimits};
 
 use crate::experiment::{Cell, Measurement};
 use crate::generators::{
@@ -377,6 +377,7 @@ pub struct Sweep {
     ideal_time: bool,
     threads: Option<usize>,
     limits: Option<RunLimits>,
+    faults: FaultPlan,
 }
 
 impl Default for Sweep {
@@ -398,6 +399,7 @@ impl Sweep {
             ideal_time: false,
             threads: None,
             limits: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -483,6 +485,15 @@ impl Sweep {
         self
     }
 
+    /// Injects a deterministic fault plan into every cell's instance
+    /// (default: fault-free). The plan joins the instance the same way
+    /// [`InitialConfig::with_faults`] does, so an empty plan leaves
+    /// every measurement bit-identical to a plain sweep.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Enumerates the cells in deterministic order (algorithms outermost,
     /// seeds innermost). Workloads with a fixed seed contribute one cell
     /// per schedule instead of one per schedule × seed.
@@ -525,7 +536,10 @@ impl Sweep {
     }
 
     fn measure_cell(&self, cell: &SweepCell) -> Result<Measurement, MeasureError> {
-        let init = cell.workload.instantiate(cell.seed);
+        let init = cell
+            .workload
+            .instantiate(cell.seed)
+            .with_faults(self.faults.clone());
         if self.ideal_time && cell.schedule != Schedule::Synchronous {
             measure_with_ideal_time(&init, cell.algorithm, cell.schedule, self.limits)
         } else {

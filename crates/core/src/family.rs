@@ -45,7 +45,7 @@ use ringdeploy_sim::adversary::{Adversary, AdversaryError, Objective, WorstCase}
 use ringdeploy_sim::explore::{ExploreErrorKind, ExploreReport, Explorer};
 use ringdeploy_sim::{
     satisfies_halting_deployment, satisfies_partial_gathering, satisfies_suspended_deployment,
-    Behavior, InitialConfig, Ring,
+    Behavior, DeploymentCheck, InitialConfig, Ring,
 };
 
 use crate::algo1::FullKnowledge;
@@ -146,6 +146,16 @@ pub enum ExploreEngine {
     /// The retained clone-based reference oracle
     /// ([`Explorer::run_serial_reference`]). Differential testing only.
     Reference,
+}
+
+/// Whether a terminal configuration is acceptable to the exhaustive
+/// explorer: either it satisfies the family's definition outright, or it
+/// is the typed crash-degradation outcome (survivors settled, definition
+/// unattainable because the fault plan crash-stopped agents). Fault-free
+/// instances never produce [`DeploymentCheck::CrashDegraded`], so this
+/// is exactly `is_satisfied` for them.
+pub fn explore_terminal_ok(check: &DeploymentCheck) -> bool {
+    check.is_satisfied() || check.is_crash_degraded()
 }
 
 /// Runs the exhaustive explorer for a family's behavior + terminal
@@ -426,7 +436,7 @@ impl ProblemFamily for UniformFullKnowledge {
             init,
             || FullKnowledge::new(k),
             engine,
-            |r| satisfies_halting_deployment(r).is_satisfied(),
+            |r| explore_terminal_ok(&satisfies_halting_deployment(r)),
         )
     }
 
@@ -487,7 +497,7 @@ impl ProblemFamily for UniformLogSpace {
             init,
             || LogSpace::new(k),
             engine,
-            |r| satisfies_halting_deployment(r).is_satisfied(),
+            |r| explore_terminal_ok(&satisfies_halting_deployment(r)),
         )
     }
 
@@ -542,7 +552,7 @@ impl ProblemFamily for UniformRelaxed {
         engine: ExploreEngine,
     ) -> Result<ExploreReport, ExploreErrorKind> {
         explore_family(explorer, init, NoKnowledge::new, engine, |r| {
-            satisfies_suspended_deployment(r).is_satisfied()
+            explore_terminal_ok(&satisfies_suspended_deployment(r))
         })
     }
 
@@ -620,7 +630,7 @@ impl ProblemFamily for PartialGatheringFamily {
             init,
             || PartialGathering::new(k),
             engine,
-            move |r| satisfies_partial_gathering(r, g).is_satisfied(),
+            move |r| explore_terminal_ok(&satisfies_partial_gathering(r, g)),
         )
     }
 

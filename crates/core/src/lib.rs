@@ -64,8 +64,9 @@ pub use algo1::{FullKnowledge, Learned};
 pub use algo2::{BaseInfo, LogSpace, Role, SegmentId};
 pub use deployment::{Asynchronous, Deployment, DriveMode, Driver, Synchronous};
 pub use family::{
-    explore_family, worst_case_family, Algorithm, ExploreEngine, Family, PaperBound,
-    PartialGatheringFamily, ProblemFamily, UniformFullKnowledge, UniformLogSpace, UniformRelaxed,
+    explore_family, explore_terminal_ok, worst_case_family, Algorithm, ExploreEngine, Family,
+    PaperBound, PartialGatheringFamily, ProblemFamily, UniformFullKnowledge, UniformLogSpace,
+    UniformRelaxed,
 };
 pub use gathering::{gathering_oracle_brute_force, gathering_oracle_moves, PartialGathering};
 pub use memory_model::{

@@ -177,6 +177,13 @@ impl DeployReport {
     pub fn succeeded(&self) -> bool {
         self.check.is_satisfied()
     }
+
+    /// Whether the run ended in the typed crash-degradation outcome:
+    /// survivors settled, but the fault plan's crash-stops made the full
+    /// definition unattainable.
+    pub fn degraded(&self) -> bool {
+        self.check.is_crash_degraded()
+    }
 }
 
 #[cfg(feature = "serde")]

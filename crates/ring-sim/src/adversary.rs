@@ -397,8 +397,15 @@ impl Adversary {
                 Objective::TotalMoves => u64::from(undo.moved_to(cur.ring_size()).is_some()),
                 Objective::TotalActivations => 1,
                 // The acting agent's post-step memory observation: the
-                // only way the watermark can rise on this step.
-                Objective::PeakMemoryBits => cur.behavior(act.agent).memory_bits() as u64,
+                // only way the watermark can rise on this step. Fault
+                // moves have no acting agent and observe nothing.
+                Objective::PeakMemoryBits => {
+                    if act.is_fault() {
+                        0
+                    } else {
+                        cur.behavior(act.agent).memory_bits() as u64
+                    }
+                }
             };
             let terminal = cur.enabled_activations().is_empty();
             let solved = match visited.entry(fp) {
@@ -476,7 +483,13 @@ impl Adversary {
                 let gain = match objective {
                     Objective::TotalMoves => u64::from(undo.moved_to(cur.ring_size()).is_some()),
                     Objective::TotalActivations => 1,
-                    Objective::PeakMemoryBits => cur.behavior(act.agent).memory_bits() as u64,
+                    Objective::PeakMemoryBits => {
+                        if act.is_fault() {
+                            0
+                        } else {
+                            cur.behavior(act.agent).memory_bits() as u64
+                        }
+                    }
                 };
                 let Some(Entry::Done(rem)) = visited.get(&fp) else {
                     unreachable!("every reachable state was solved by the completed search")

@@ -220,6 +220,28 @@ pub fn fingerprint_of_symbols_with(
     h
 }
 
+/// [`fingerprint_of_symbols_with`] plus one extra rotation-invariant
+/// word, mixed in after the sealed rotation — the hook through which the
+/// explorer folds [`Ring::fault_seal_word`] (global fault state no node
+/// symbol captures, e.g. the remaining outage budget) into canonical
+/// fingerprints. `extra == 0` (the fault-free case by construction)
+/// yields exactly the unsealed value, so fault-free fingerprints are
+/// bit-identical to the pre-fault engine.
+pub fn fingerprint_of_symbols_sealed(
+    n: usize,
+    k: usize,
+    symbols: &[u64],
+    scratch: &mut Vec<usize>,
+    extra: u64,
+) -> u64 {
+    let fp = fingerprint_of_symbols_with(n, k, symbols, scratch);
+    if extra == 0 {
+        fp
+    } else {
+        mix(fp, extra)
+    }
+}
+
 /// Fingerprint of the schedule-relevant state **without** any symmetry
 /// reduction: everything that influences future behavior (tokens, staying
 /// sets, link queues, inboxes, agent places/idle/token flags, behavior
@@ -251,7 +273,13 @@ where
     B::Message: Hash,
 {
     let symbols = ring.node_symbols();
-    fingerprint_of_symbols(ring.ring_size(), ring.agent_count(), &symbols)
+    fingerprint_of_symbols_sealed(
+        ring.ring_size(),
+        ring.agent_count(),
+        &symbols,
+        &mut Vec::new(),
+        ring.fault_seal_word(),
+    )
 }
 
 /// Reference implementation of [`canonical_fingerprint`]: materialises
@@ -271,7 +299,13 @@ where
         .map(|r| ring.rotated(r).node_symbols())
         .min()
         .expect("rings have at least one node");
-    seal_rotation(n, ring.agent_count(), best.len(), best.iter())
+    let fp = seal_rotation(n, ring.agent_count(), best.len(), best.iter());
+    let extra = ring.fault_seal_word();
+    if extra == 0 {
+        fp
+    } else {
+        mix(fp, extra)
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@ use crate::action::{Action, Idle, Next};
 use crate::agent::{Behavior, Observation};
 use crate::config::Place;
 use crate::error::SimError;
+use crate::fault::{EdgeFault, FaultPlan};
 use crate::initial::InitialConfig;
 use crate::metrics::Metrics;
 use crate::scheduler::{Activation, Scheduler};
@@ -157,8 +158,13 @@ const NOT_ENABLED: usize = usize::MAX;
 ///   memmoves rather than `O(1)` pointer swaps: `Scheduler::select`
 ///   consumes `&[Activation]` by index, so order is behaviorally
 ///   significant and cannot be sacrificed for a swap-remove dense set.
-/// * `pos[a]` is the index of agent `a`'s activation in `acts`, or
-///   [`NOT_ENABLED`].
+/// * `pos[s]` is the index of slot `s`'s activation in `acts`, or
+///   [`NOT_ENABLED`]. Slots `0..k` are the agents; under a fault plan
+///   with a dynamic-edge budget, slots `k..k+n` are the per-node `Down`
+///   moves and slot `k+n` is the `Restore` move (see
+///   [`crate::fault::EdgeFault`]). Fault-free rings never populate the
+///   fault slots, so their enabled slices are byte-identical to the
+///   pre-fault engine.
 ///
 /// Which mutations toggle enablement (each arm of [`Ring::step`] updates
 /// the set exactly where the old code relied on the next rescan):
@@ -181,16 +187,32 @@ struct EnabledSet {
     keys: Vec<usize>,
     /// The enabled activations in canonical scan order.
     acts: Vec<Activation>,
-    /// Per-agent position into `acts`, or [`NOT_ENABLED`].
+    /// Per-slot position into `acts`, or [`NOT_ENABLED`].
     pos: Vec<usize>,
+    /// Ring size (fault-move slot arithmetic).
+    n: usize,
+    /// Agent count (fault-move slot arithmetic).
+    k: usize,
+}
+
+/// The `pos` slot of an activation: agents occupy `0..k`, `Down(v)`
+/// occupies `k + v`, `Restore` occupies `k + n`.
+fn slot_of(n: usize, k: usize, act: &Activation) -> usize {
+    match act.fault {
+        None => act.agent.index(),
+        Some(EdgeFault::Down(v)) => k + v.index(),
+        Some(EdgeFault::Restore) => k + n,
+    }
 }
 
 impl EnabledSet {
-    fn new(agent_count: usize) -> Self {
+    fn new(n: usize, agent_count: usize) -> Self {
         EnabledSet {
             keys: Vec::with_capacity(agent_count),
             acts: Vec::with_capacity(agent_count),
-            pos: vec![NOT_ENABLED; agent_count],
+            pos: vec![NOT_ENABLED; agent_count + n + 1],
+            n,
+            k: agent_count,
         }
     }
 
@@ -208,13 +230,13 @@ impl EnabledSet {
 
     /// Whether exactly this activation (same agent, same form) is enabled.
     fn contains(&self, act: Activation) -> bool {
-        let p = self.pos[act.agent.index()];
+        let p = self.pos[slot_of(self.n, self.k, &act)];
         p != NOT_ENABLED && self.acts[p] == act
     }
 
     fn insert(&mut self, key: usize, act: Activation) {
         debug_assert_eq!(
-            self.pos[act.agent.index()],
+            self.pos[slot_of(self.n, self.k, &act)],
             NOT_ENABLED,
             "agent {} already has an enabled activation",
             act.agent
@@ -223,19 +245,30 @@ impl EnabledSet {
         debug_assert!(self.keys.get(i) != Some(&key), "duplicate key {key}");
         self.keys.insert(i, key);
         self.acts.insert(i, act);
+        let (n, k) = (self.n, self.k);
         for (j, a) in self.acts.iter().enumerate().skip(i) {
-            self.pos[a.agent.index()] = j;
+            self.pos[slot_of(n, k, a)] = j;
         }
     }
 
     fn remove(&mut self, agent: AgentId) {
-        let i = self.pos[agent.index()];
-        assert!(i != NOT_ENABLED, "agent {agent} has no enabled activation");
+        self.remove_slot(agent.index());
+    }
+
+    /// Removes a fault move (or any activation) by its slot.
+    fn remove_act(&mut self, act: &Activation) {
+        self.remove_slot(slot_of(self.n, self.k, act));
+    }
+
+    fn remove_slot(&mut self, slot: usize) {
+        let i = self.pos[slot];
+        assert!(i != NOT_ENABLED, "slot {slot} has no enabled activation");
         self.keys.remove(i);
         self.acts.remove(i);
-        self.pos[agent.index()] = NOT_ENABLED;
+        self.pos[slot] = NOT_ENABLED;
+        let (n, k) = (self.n, self.k);
         for (j, a) in self.acts.iter().enumerate().skip(i) {
-            self.pos[a.agent.index()] = j;
+            self.pos[slot_of(n, k, a)] = j;
         }
     }
 }
@@ -264,6 +297,18 @@ pub struct Ring<B: Behavior> {
     phases: Vec<PhaseTally>,
     steps: u64,
     discipline: LinkDiscipline,
+    /// The fault plan this ring executes under ([`FaultPlan::none`] for
+    /// the fault-free engine; carried in from [`InitialConfig`]).
+    pub(crate) faults: FaultPlan,
+    /// Lifetime activation count per agent — the crash-threshold clock.
+    pub(crate) acted: Vec<u64>,
+    /// Which agents have crash-stopped.
+    pub(crate) crashed: Vec<bool>,
+    /// The node whose incoming edge is currently down, if any
+    /// (1-interval connectivity: at most one).
+    pub(crate) down_edge: Option<NodeId>,
+    /// Remaining dynamic-edge outage budget.
+    pub(crate) outages_left: u32,
 }
 
 impl<B: Behavior + Clone> Clone for Ring<B>
@@ -284,6 +329,11 @@ where
             phases: self.phases.clone(),
             steps: self.steps,
             discipline: self.discipline,
+            faults: self.faults.clone(),
+            acted: self.acted.clone(),
+            crashed: self.crashed.clone(),
+            down_edge: self.down_edge,
+            outages_left: self.outages_left,
         }
     }
 }
@@ -301,9 +351,11 @@ where
 /// running max with no local inverse — keeps its pre-step value.
 pub struct StepUndo<B: Behavior> {
     activation: Activation,
-    /// The node the action executed at.
+    /// The node the action executed at (for edge-fault moves: the node
+    /// whose incoming edge was taken down or restored).
     node: NodeId,
-    prev_behavior: B,
+    /// `None` for edge-fault moves (no agent acted).
+    prev_behavior: Option<B>,
     prev_place: Place,
     prev_idle: Idle,
     released_token: bool,
@@ -328,6 +380,12 @@ pub struct StepUndo<B: Behavior> {
     /// Whether this step created the phase tally (it is then the last
     /// entry, and undo pops it to restore first-appearance order).
     phase_new: bool,
+    /// The plan crash-stopped the agent in this step: the activation was
+    /// consumed, no computation ran, no phase/activation bookkeeping.
+    crashed: bool,
+    /// Edge-fault moves only: the down edge before the move (`Down`
+    /// records `None`, `Restore` records the edge it brought back).
+    prev_down_edge: Option<NodeId>,
 }
 
 impl<B: Behavior> StepUndo<B> {
@@ -371,6 +429,8 @@ impl<B: Behavior> Ring<B> {
         for slot in &agents {
             metrics.observe_memory(slot.behavior.memory_bits());
         }
+        let faults = init.faults().clone();
+        let outages_left = faults.edge_outages();
         let mut ring = Ring {
             n,
             tokens: vec![0; n],
@@ -380,12 +440,17 @@ impl<B: Behavior> Ring<B> {
             agents,
             // Placeholder; seeded from the rescan below (every home
             // buffer's head may arrive; no agent stays yet).
-            enabled: EnabledSet::new(k),
+            enabled: EnabledSet::new(n, k),
             metrics,
             trace: None,
             phases: Vec::new(),
             steps: 0,
             discipline: LinkDiscipline::Fifo,
+            faults,
+            acted: vec![0; k],
+            crashed: vec![false; k],
+            down_edge: None,
+            outages_left,
         };
         ring.enabled = ring.rebuilt_enabled();
         ring
@@ -486,6 +551,178 @@ impl<B: Behavior> Ring<B> {
         &self.tokens
     }
 
+    /// The fault plan this ring executes under.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Whether the agent has crash-stopped (it never acts again; its
+    /// token, if still held at the crash, dropped where it died).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn is_crashed(&self, id: AgentId) -> bool {
+        self.crashed[id.index()]
+    }
+
+    /// Number of agents that have crash-stopped so far.
+    pub fn crashed_count(&self) -> usize {
+        self.crashed.iter().filter(|&&c| c).count()
+    }
+
+    /// Lifetime activation count of an agent (the crash-threshold
+    /// clock; counts arrivals, wakes and the crash itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn activations_of(&self, id: AgentId) -> u64 {
+        self.acted[id.index()]
+    }
+
+    /// The node whose incoming edge is currently down, if any.
+    pub fn down_edge(&self) -> Option<NodeId> {
+        self.down_edge
+    }
+
+    /// Remaining dynamic-edge outage budget.
+    pub fn outages_left(&self) -> u32 {
+        self.outages_left
+    }
+
+    /// Whether the plan can ever put edge-fault moves in the enabled
+    /// set (cheap static gate for the sync helpers).
+    fn edge_faults_armed(&self) -> bool {
+        self.faults.edge_outages() > 0
+    }
+
+    /// Whether the plan crash-stops `id` at its next activation.
+    fn crash_due(&self, id: AgentId) -> bool {
+        !self.crashed[id.index()] && self.faults.crash_after(id) == Some(self.acted[id.index()])
+    }
+
+    /// Re-derives the enablement of the `Down(v)` fault move from the
+    /// current state (idempotent). Down is enabled iff budget remains,
+    /// no edge is currently down, and node `v`'s queue is non-empty —
+    /// the non-empty requirement keeps terminal configurations
+    /// fault-quiescent (an outage of an idle edge changes nothing, so
+    /// offering it would only manufacture infinite executions).
+    fn sync_down_candidate(&mut self, v: usize) {
+        if !self.edge_faults_armed() {
+            return;
+        }
+        let want = self.outages_left > 0 && self.down_edge.is_none() && !self.links[v].is_empty();
+        let act = Activation::fault_down(NodeId(v));
+        let have = self.enabled.contains(act);
+        if want && !have {
+            self.enabled.insert(self.n + self.agents.len() + v, act);
+        } else if !want && have {
+            self.enabled.remove_act(&act);
+        }
+    }
+
+    /// Re-derives the enablement of every fault move (all `Down`
+    /// candidates plus `Restore`) — used after moves that flip the
+    /// global edge state. `O(n)`, paid only on fault moves.
+    fn sync_all_fault_moves(&mut self) {
+        if !self.edge_faults_armed() {
+            return;
+        }
+        for v in 0..self.n {
+            self.sync_down_candidate(v);
+        }
+        let act = Activation::fault_restore();
+        let want = self.down_edge.is_some();
+        let have = self.enabled.contains(act);
+        if want && !have {
+            self.enabled.insert(2 * self.n + self.agents.len(), act);
+        } else if !want && have {
+            self.enabled.remove_act(&act);
+        }
+    }
+
+    /// Completes a crash-stop after stage 1 (node resolution, link pop,
+    /// successor enable) has run: the agent performs no computation, its
+    /// pending messages become dead letters, any held token drops at the
+    /// crash node, and the agent is permanently removed from the staying
+    /// set — crashed agents are *invisible* (a crash-stopped agent is
+    /// behaviorally indistinguishable from one that vanished, except for
+    /// the token it left behind). Returns the undo material: the drained
+    /// inbox, the vacated staying-list position and whether a token
+    /// dropped.
+    fn crash_finish(
+        &mut self,
+        activation: Activation,
+        node: NodeId,
+    ) -> (Vec<B::Message>, Option<usize>, bool) {
+        let id = activation.agent;
+        let idx = id.index();
+        let drained: Vec<B::Message> = self.inboxes[idx].drain(..).collect();
+        let mut left_staying_pos = None;
+        if !activation.arrival {
+            let p = &mut self.staying[node.index()];
+            let pos = p
+                .iter()
+                .position(|&a| a == id)
+                .expect("staying agent is a member of its node's staying set");
+            p.remove(pos);
+            left_staying_pos = Some(pos);
+        }
+        let released_token = self.agents[idx].token_held;
+        if released_token {
+            self.agents[idx].token_held = false;
+            self.tokens[node.index()] += 1;
+            self.metrics.record_token_release();
+        }
+        self.agents[idx].place = Place::Staying { at: node };
+        self.agents[idx].idle = Idle::Halted;
+        self.crashed[idx] = true;
+        self.acted[idx] += 1;
+        self.steps += 1;
+        (drained, left_staying_pos, released_token)
+    }
+
+    /// Executes an edge-fault move (the activation must already be
+    /// validated as enabled). Returns the affected node and the previous
+    /// down edge for the undo record.
+    fn edge_fault_finish(&mut self, activation: Activation) -> (NodeId, Option<NodeId>) {
+        self.enabled.remove_act(&activation);
+        let prev_down_edge = self.down_edge;
+        let node = match activation
+            .fault
+            .expect("edge_fault_finish requires a fault move")
+        {
+            EdgeFault::Down(v) => {
+                debug_assert!(self.outages_left > 0 && self.down_edge.is_none());
+                self.outages_left -= 1;
+                self.down_edge = Some(v);
+                // The head arrival of the downed edge leaves the set
+                // (Down requires a non-empty queue, so a head exists).
+                let head = *self.links[v.index()]
+                    .front()
+                    .expect("Down requires a non-empty queue");
+                self.enabled.remove(head);
+                v
+            }
+            EdgeFault::Restore => {
+                let v = self.down_edge.take().expect("Restore requires a down edge");
+                // The queue could only grow while the edge was down (its
+                // head could not arrive), so a head exists to re-enable.
+                let head = *self.links[v.index()]
+                    .front()
+                    .expect("a downed queue cannot drain");
+                self.enabled.insert(v.index(), Activation::arrival(head));
+                v
+            }
+        };
+        // Down/Restore flip the global edge state: every fault move's
+        // enablement may change.
+        self.sync_all_fault_moves();
+        self.steps += 1;
+        (node, prev_down_edge)
+    }
+
     /// If **all** agents are staying, returns their node indices in agent
     /// order; `None` if any agent is in transit.
     pub fn staying_positions(&self) -> Option<Vec<usize>> {
@@ -555,12 +792,13 @@ impl<B: Behavior> Ring<B> {
     /// [`Ring::enabled_activations`] instead.
     pub fn enabled_rescan(&self) -> Vec<Activation> {
         let mut out = Vec::new();
-        for q in &self.links {
+        for (v, q) in self.links.iter().enumerate() {
+            // The head of a downed edge cannot arrive until Restore.
+            if self.down_edge == Some(NodeId(v)) {
+                continue;
+            }
             if let Some(&head) = q.front() {
-                out.push(Activation {
-                    agent: head,
-                    arrival: true,
-                });
+                out.push(Activation::arrival(head));
             }
         }
         for (i, slot) in self.agents.iter().enumerate() {
@@ -571,11 +809,20 @@ impl<B: Behavior> Ring<B> {
                     Idle::Halted => false,
                 };
                 if wake {
-                    out.push(Activation {
-                        agent: AgentId(i),
-                        arrival: false,
-                    });
+                    out.push(Activation::wake(AgentId(i)));
                 }
+            }
+        }
+        if self.edge_faults_armed() {
+            if self.outages_left > 0 && self.down_edge.is_none() {
+                for (v, q) in self.links.iter().enumerate() {
+                    if !q.is_empty() {
+                        out.push(Activation::fault_down(NodeId(v)));
+                    }
+                }
+            }
+            if self.down_edge.is_some() {
+                out.push(Activation::fault_restore());
             }
         }
         out
@@ -589,6 +836,15 @@ impl<B: Behavior> Ring<B> {
     /// if a behavior releases a token twice (protocol bug worth failing
     /// loudly on).
     pub fn step(&mut self, activation: Activation) {
+        // Edge-fault moves mutate link availability, not agents.
+        if activation.is_fault() {
+            assert!(
+                self.enabled.contains(activation),
+                "fault move {activation:?} is not enabled"
+            );
+            self.edge_fault_finish(activation);
+            return;
+        }
         let id = activation.agent;
         let idx = id.index();
 
@@ -617,14 +873,10 @@ impl<B: Behavior> Ring<B> {
             // Link pop: the next queued agent (if any) becomes the head
             // and may now arrive.
             if let Some(&new_head) = q.front() {
-                self.enabled.insert(
-                    to.index(),
-                    Activation {
-                        agent: new_head,
-                        arrival: true,
-                    },
-                );
+                self.enabled
+                    .insert(to.index(), Activation::arrival(new_head));
             }
+            self.sync_down_candidate(to.index());
             to
         } else {
             match self.agents[idx].place {
@@ -632,6 +884,22 @@ impl<B: Behavior> Ring<B> {
                 Place::InTransit { .. } => panic!("wake activation for in-transit agent {id}"),
             }
         };
+
+        // 1b. A planned crash-stop consumes the activation: no
+        // computation, the held token drops where the agent died, its
+        // pending messages become dead letters, and it never acts again.
+        if self.crash_due(id) {
+            self.crash_finish(activation, node);
+            if let Some(trace) = &mut self.trace {
+                trace.push(Event::Stayed {
+                    agent: id,
+                    node,
+                    idle: Idle::Halted,
+                });
+            }
+            return;
+        }
+        self.acted[idx] += 1;
 
         // 2. Consume all pending messages.
         let messages: Vec<B::Message> = self.inboxes[idx].drain(..).collect();
@@ -709,13 +977,7 @@ impl<B: Behavior> Ring<B> {
                 self.inboxes[a.index()].push_back(msg.clone());
                 receivers += 1;
                 if was_empty && self.agents[a.index()].idle == Idle::Suspended {
-                    self.enabled.insert(
-                        self.n + a.index(),
-                        Activation {
-                            agent: a,
-                            arrival: false,
-                        },
-                    );
+                    self.enabled.insert(self.n + a.index(), Activation::wake(a));
                 }
             }
             self.metrics.record_broadcast(receivers);
@@ -739,20 +1001,17 @@ impl<B: Behavior> Ring<B> {
                     }
                 }
                 let dest = node.next(self.n);
+                // While the destination edge is down, no head is enabled
+                // there — the mover queues up silently until Restore.
+                let dest_down = self.down_edge == Some(dest);
                 match self.discipline {
                     LinkDiscipline::Fifo => {
                         let q = &mut self.links[dest.index()];
                         q.push_back(id);
                         // Link push (FIFO): only a push onto an empty queue
                         // creates a new head.
-                        if q.len() == 1 {
-                            self.enabled.insert(
-                                dest.index(),
-                                Activation {
-                                    agent: id,
-                                    arrival: true,
-                                },
-                            );
+                        if q.len() == 1 && !dest_down {
+                            self.enabled.insert(dest.index(), Activation::arrival(id));
                         }
                     }
                     LinkDiscipline::Lifo => {
@@ -760,19 +1019,18 @@ impl<B: Behavior> Ring<B> {
                         q.push_front(id);
                         // Link push (LIFO ablation): the mover overtakes;
                         // the displaced head (if any) is no longer enabled.
-                        let displaced = q.get(1).copied();
-                        if let Some(displaced) = displaced {
-                            self.enabled.remove(displaced);
+                        // On a down edge the old head was already disabled
+                        // and the new one stays out of the set.
+                        if !dest_down {
+                            let displaced = q.get(1).copied();
+                            if let Some(displaced) = displaced {
+                                self.enabled.remove(displaced);
+                            }
+                            self.enabled.insert(dest.index(), Activation::arrival(id));
                         }
-                        self.enabled.insert(
-                            dest.index(),
-                            Activation {
-                                agent: id,
-                                arrival: true,
-                            },
-                        );
                     }
                 }
+                self.sync_down_candidate(dest.index());
                 self.agents[idx].place = Place::InTransit { to: dest };
                 self.agents[idx].idle = Idle::Ready;
                 self.metrics.record_move(id);
@@ -801,13 +1059,7 @@ impl<B: Behavior> Ring<B> {
                     Idle::Halted => false,
                 };
                 if wake {
-                    self.enabled.insert(
-                        self.n + idx,
-                        Activation {
-                            agent: id,
-                            arrival: false,
-                        },
-                    );
+                    self.enabled.insert(self.n + idx, Activation::wake(id));
                 }
                 if let Some(trace) = &mut self.trace {
                     trace.push(Event::Stayed {
@@ -851,6 +1103,36 @@ impl<B: Behavior> Ring<B> {
             "apply requires tracing disabled: the bounded trace buffer is lossy and cannot be \
              rolled back"
         );
+        // Edge-fault moves: no agent acts; the record carries only the
+        // toggled edge and the previous down state.
+        if activation.is_fault() {
+            assert!(
+                self.enabled.contains(activation),
+                "fault move {activation:?} is not enabled"
+            );
+            let prev_peak_memory_bits = self.metrics.peak_memory_bits();
+            let (node, prev_down_edge) = self.edge_fault_finish(activation);
+            return StepUndo {
+                activation,
+                node,
+                prev_behavior: None,
+                prev_place: Place::Staying { at: node },
+                prev_idle: Idle::Ready,
+                released_token: false,
+                drained: Vec::new(),
+                receivers: Vec::new(),
+                left_staying_pos: None,
+                moved: false,
+                displaced: None,
+                successor_enabled: None,
+                re_enabled: false,
+                prev_peak_memory_bits,
+                phase: "",
+                phase_new: false,
+                crashed: false,
+                prev_down_edge,
+            };
+        }
         let id = activation.agent;
         let idx = id.index();
 
@@ -863,7 +1145,6 @@ impl<B: Behavior> Ring<B> {
 
         let prev_place = self.agents[idx].place;
         let prev_idle = self.agents[idx].idle;
-        let prev_behavior = self.agents[idx].behavior.clone();
         let prev_peak_memory_bits = self.metrics.peak_memory_bits();
 
         // 1. Resolve the node and (for arrivals) complete the move.
@@ -882,14 +1163,10 @@ impl<B: Behavior> Ring<B> {
             q.pop_front();
             if let Some(&new_head) = q.front() {
                 successor_enabled = Some(new_head);
-                self.enabled.insert(
-                    to.index(),
-                    Activation {
-                        agent: new_head,
-                        arrival: true,
-                    },
-                );
+                self.enabled
+                    .insert(to.index(), Activation::arrival(new_head));
             }
+            self.sync_down_candidate(to.index());
             to
         } else {
             match prev_place {
@@ -897,6 +1174,34 @@ impl<B: Behavior> Ring<B> {
                 Place::InTransit { .. } => panic!("wake activation for in-transit agent {id}"),
             }
         };
+
+        // 1b. A planned crash-stop: the activation is consumed, no
+        // computation runs, no phase/metric activation bookkeeping.
+        if self.crash_due(id) {
+            let (drained, left_staying_pos, released_token) = self.crash_finish(activation, node);
+            return StepUndo {
+                activation,
+                node,
+                prev_behavior: None,
+                prev_place,
+                prev_idle,
+                released_token,
+                drained,
+                receivers: Vec::new(),
+                left_staying_pos,
+                moved: false,
+                displaced: None,
+                successor_enabled,
+                re_enabled: false,
+                prev_peak_memory_bits,
+                phase: "",
+                phase_new: false,
+                crashed: true,
+                prev_down_edge: None,
+            };
+        }
+        self.acted[idx] += 1;
+        let prev_behavior = self.agents[idx].behavior.clone();
 
         // 2. Consume all pending messages (kept for the undo record).
         let drained: Vec<B::Message> = self.inboxes[idx].drain(..).collect();
@@ -961,13 +1266,7 @@ impl<B: Behavior> Ring<B> {
                 self.inboxes[a.index()].push_back(msg.clone());
                 let enables = was_empty && self.agents[a.index()].idle == Idle::Suspended;
                 if enables {
-                    self.enabled.insert(
-                        self.n + a.index(),
-                        Activation {
-                            agent: a,
-                            arrival: false,
-                        },
-                    );
+                    self.enabled.insert(self.n + a.index(), Activation::wake(a));
                 }
                 receivers.push((a, enables));
             }
@@ -991,38 +1290,30 @@ impl<B: Behavior> Ring<B> {
                     left_staying_pos = Some(pos);
                 }
                 let dest = node.next(self.n);
+                let dest_down = self.down_edge == Some(dest);
                 match self.discipline {
                     LinkDiscipline::Fifo => {
                         let q = &mut self.links[dest.index()];
                         q.push_back(id);
-                        if q.len() == 1 {
+                        if q.len() == 1 && !dest_down {
                             re_enabled = true;
-                            self.enabled.insert(
-                                dest.index(),
-                                Activation {
-                                    agent: id,
-                                    arrival: true,
-                                },
-                            );
+                            self.enabled.insert(dest.index(), Activation::arrival(id));
                         }
                     }
                     LinkDiscipline::Lifo => {
                         let q = &mut self.links[dest.index()];
                         q.push_front(id);
-                        displaced = q.get(1).copied();
-                        if let Some(displaced) = displaced {
-                            self.enabled.remove(displaced);
+                        if !dest_down {
+                            displaced = q.get(1).copied();
+                            if let Some(displaced) = displaced {
+                                self.enabled.remove(displaced);
+                            }
+                            re_enabled = true;
+                            self.enabled.insert(dest.index(), Activation::arrival(id));
                         }
-                        re_enabled = true;
-                        self.enabled.insert(
-                            dest.index(),
-                            Activation {
-                                agent: id,
-                                arrival: true,
-                            },
-                        );
                     }
                 }
+                self.sync_down_candidate(dest.index());
                 self.agents[idx].place = Place::InTransit { to: dest };
                 self.agents[idx].idle = Idle::Ready;
                 self.metrics.record_move(id);
@@ -1040,13 +1331,7 @@ impl<B: Behavior> Ring<B> {
                 };
                 if wake {
                     re_enabled = true;
-                    self.enabled.insert(
-                        self.n + idx,
-                        Activation {
-                            agent: id,
-                            arrival: false,
-                        },
-                    );
+                    self.enabled.insert(self.n + idx, Activation::wake(id));
                 }
             }
         }
@@ -1054,7 +1339,7 @@ impl<B: Behavior> Ring<B> {
         StepUndo {
             activation,
             node,
-            prev_behavior,
+            prev_behavior: Some(prev_behavior),
             prev_place,
             prev_idle,
             released_token,
@@ -1068,6 +1353,8 @@ impl<B: Behavior> Ring<B> {
             prev_peak_memory_bits,
             phase,
             phase_new,
+            crashed: false,
+            prev_down_edge: None,
         }
     }
 
@@ -1076,6 +1363,94 @@ impl<B: Behavior> Ring<B> {
     /// the contract (LIFO consumption; the ring must be in the state the
     /// `apply` left it in).
     pub fn undo(&mut self, undo: StepUndo<B>) {
+        // Edge-fault moves reverse through their own tiny path: restore
+        // the previous down state and budget, then re-derive the affected
+        // head arrival and every fault move from the restored state.
+        if undo.activation.is_fault() {
+            let StepUndo {
+                activation,
+                node,
+                prev_down_edge,
+                ..
+            } = undo;
+            match activation.fault.expect("fault undo") {
+                EdgeFault::Down(v) => {
+                    debug_assert_eq!(node, v);
+                    debug_assert_eq!(self.down_edge, Some(v));
+                    self.down_edge = prev_down_edge;
+                    self.outages_left += 1;
+                }
+                EdgeFault::Restore => {
+                    debug_assert_eq!(self.down_edge, None);
+                    debug_assert_eq!(prev_down_edge, Some(node));
+                    self.down_edge = prev_down_edge;
+                }
+            }
+            self.steps -= 1;
+            // The toggled edge's head arrival flips with the edge.
+            if let Some(&head) = self.links[node.index()].front() {
+                let act = Activation::arrival(head);
+                let blocked = self.down_edge == Some(node);
+                let have = self.enabled.contains(act);
+                if blocked && have {
+                    self.enabled.remove(head);
+                } else if !blocked && !have {
+                    self.enabled.insert(node.index(), act);
+                }
+            }
+            self.sync_all_fault_moves();
+            return;
+        }
+        // Crash-stops reverse the stage-1 + crash bookkeeping only — no
+        // computation, broadcast or move ever happened.
+        if undo.crashed {
+            let StepUndo {
+                activation,
+                node,
+                prev_place,
+                prev_idle,
+                released_token,
+                drained,
+                left_staying_pos,
+                successor_enabled,
+                ..
+            } = undo;
+            let id = activation.agent;
+            let idx = id.index();
+            debug_assert!(self.crashed[idx], "undo out of order: agent not crashed");
+            self.crashed[idx] = false;
+            self.acted[idx] -= 1;
+            self.steps -= 1;
+            self.agents[idx].place = prev_place;
+            self.agents[idx].idle = prev_idle;
+            if released_token {
+                self.agents[idx].token_held = true;
+                self.tokens[node.index()] -= 1;
+                self.metrics.unrecord_token_release();
+            }
+            if let Some(pos) = left_staying_pos {
+                self.staying[node.index()].insert(pos, id);
+            }
+            debug_assert!(
+                self.inboxes[idx].is_empty(),
+                "undo out of order: inbox refilled"
+            );
+            self.inboxes[idx].extend(drained);
+            if activation.arrival {
+                if let Some(s) = successor_enabled {
+                    self.enabled.remove(s);
+                }
+                self.links[node.index()].push_front(id);
+                self.sync_down_candidate(node.index());
+            }
+            let key = if activation.arrival {
+                node.index()
+            } else {
+                self.n + idx
+            };
+            self.enabled.insert(key, activation);
+            return;
+        }
         let StepUndo {
             activation,
             node,
@@ -1093,6 +1468,8 @@ impl<B: Behavior> Ring<B> {
             prev_peak_memory_bits,
             phase,
             phase_new,
+            crashed: _,
+            prev_down_edge: _,
         } = undo;
         let id = activation.agent;
         let idx = id.index();
@@ -1114,16 +1491,11 @@ impl<B: Behavior> Ring<B> {
                     debug_assert_eq!(front, Some(id), "undo out of order: mover not at head");
                     if let Some(d) = displaced {
                         debug_assert_eq!(q.front().copied(), Some(d));
-                        self.enabled.insert(
-                            dest.index(),
-                            Activation {
-                                agent: d,
-                                arrival: true,
-                            },
-                        );
+                        self.enabled.insert(dest.index(), Activation::arrival(d));
                     }
                 }
             }
+            self.sync_down_candidate(dest.index());
             if let Some(pos) = left_staying_pos {
                 self.staying[node.index()].insert(pos, id);
             }
@@ -1177,7 +1549,8 @@ impl<B: Behavior> Ring<B> {
         self.metrics.unrecord_activation(id);
         self.metrics.set_peak_memory(prev_peak_memory_bits);
         self.steps -= 1;
-        self.agents[idx].behavior = prev_behavior;
+        self.acted[idx] -= 1;
+        self.agents[idx].behavior = prev_behavior.expect("normal step records its prev behavior");
 
         // 2'. Restore the drained inbox (FIFO order preserved).
         debug_assert!(
@@ -1193,6 +1566,7 @@ impl<B: Behavior> Ring<B> {
                 self.enabled.remove(s);
             }
             self.links[node.index()].push_front(id);
+            self.sync_down_candidate(node.index());
         }
 
         // 0'. The original activation is enabled again.
@@ -1283,8 +1657,18 @@ impl<B: Behavior> Ring<B> {
             }
             // Snapshot the incremental set (no rescan) — the activations
             // enabled at the start of the round, executed in agent-id
-            // order.
-            let mut enabled = self.enabled.as_slice().to_vec();
+            // order. Edge-fault moves are adversary choices and the
+            // synchronous driver is not an adversary: ideal time is
+            // measured on a fault-free network, so they are never played
+            // here (planned crash-stops still fire — they live inside
+            // `step`, not in the move set).
+            let mut enabled: Vec<Activation> = self
+                .enabled
+                .as_slice()
+                .iter()
+                .copied()
+                .filter(|a| !a.is_fault())
+                .collect();
             enabled.sort_by_key(|a| a.agent.index());
             for act in enabled {
                 // Re-validate: the activation may have been disabled by an
@@ -1376,6 +1760,22 @@ impl<B: Behavior> Ring<B> {
             slot.idle.hash(h);
             slot.token_held.hash(h);
         }
+        // Fault state is schedule-relevant (it gates future crash firings
+        // and edge moves) but hashed only under a non-empty plan, so
+        // fault-free hashes are bit-identical to the pre-fault engine.
+        if !self.faults.is_empty() {
+            self.crashed.hash(h);
+            for c in self.faults.crashes() {
+                // Activations *remaining* until the crash, not the raw
+                // lifetime count: two states whose future behavior agrees
+                // must hash alike even if their pasts differ.
+                if !self.crashed[c.agent.index()] {
+                    c.after.saturating_sub(self.acted[c.agent.index()]).hash(h);
+                }
+            }
+            self.down_edge.hash(h);
+            self.outages_left.hash(h);
+        }
     }
 
     /// One rotation-invariant 64-bit summary ("symbol") per node of the
@@ -1424,12 +1824,26 @@ impl<B: Behavior> Ring<B> {
     {
         use crate::canonical::MixHasher;
         use std::hash::{Hash, Hasher};
+        let faulted = !self.faults.is_empty();
         let hash_agent = |h: &mut MixHasher, idx: usize| {
             let slot = &self.agents[idx];
             slot.behavior.hash(h);
             slot.idle.hash(h);
             slot.token_held.hash(h);
             self.inboxes[idx].hash(h);
+            // Under a fault plan, an agent's pending crash clock is part
+            // of its anonymous local data (remaining activations, not the
+            // raw count — see `hash_schedule_state`). Crashed agents are
+            // in no list, so they never reach this closure.
+            if faulted {
+                match self.faults.crash_after(AgentId(idx)) {
+                    Some(after) if !self.crashed[idx] => {
+                        1u8.hash(h);
+                        after.saturating_sub(self.acted[idx]).hash(h);
+                    }
+                    _ => 0u8.hash(h),
+                }
+            }
         };
         // The explorer re-derives symbols once per generated child state,
         // so this uses the cheap multiply–xorshift hasher rather than a
@@ -1444,7 +1858,30 @@ impl<B: Behavior> Ring<B> {
         for &a in &self.links[v] {
             hash_agent(&mut h, a.index());
         }
+        if faulted {
+            // The down edge rotates with the ring, so it belongs to the
+            // node symbol, not the rotation-invariant seal.
+            (self.down_edge == Some(NodeId(v))).hash(&mut h);
+        }
         h.finish()
+    }
+
+    /// A rotation-invariant word summarizing the *global* fault state
+    /// that no node symbol captures — today exactly the remaining
+    /// dynamic-edge budget. `0` under an empty plan (so fault-free
+    /// canonical fingerprints are bit-identical to the pre-fault engine);
+    /// always non-zero otherwise. The explorer mixes it into canonical
+    /// fingerprints so states differing only in remaining outages are
+    /// not conflated.
+    pub fn fault_seal_word(&self) -> u64 {
+        if self.faults.is_empty() {
+            return 0;
+        }
+        use crate::canonical::MixHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = MixHasher::default();
+        self.outages_left.hash(&mut h);
+        h.finish() | 1
     }
 
     /// Observer-side rotation of the whole configuration: node `r` of
@@ -1497,12 +1934,17 @@ impl<B: Behavior> Ring<B> {
             inboxes: self.inboxes.clone(),
             agents,
             // Placeholder; replaced by the rescan-derived rebuild below.
-            enabled: EnabledSet::new(self.agents.len()),
+            enabled: EnabledSet::new(n, self.agents.len()),
             metrics: self.metrics.clone(),
             trace: self.trace.clone(),
             phases: self.phases.clone(),
             steps: self.steps,
             discipline: self.discipline,
+            faults: self.faults.clone(),
+            acted: self.acted.clone(),
+            crashed: self.crashed.clone(),
+            down_edge: self.down_edge.map(map),
+            outages_left: self.outages_left,
         };
         rotated.enabled = rotated.rebuilt_enabled();
         rotated
@@ -1523,16 +1965,19 @@ impl<B: Behavior> Ring<B> {
     /// [`Ring::rotated`]) cannot drift from `step`'s incremental updates.
     fn rebuilt_enabled(&self) -> EnabledSet {
         // The rescan emits arrivals by destination node, then wakes by
-        // agent id — ascending keys, so each insert lands at the tail.
-        let mut enabled = EnabledSet::new(self.agents.len());
+        // agent id, then fault moves — ascending keys, so each insert
+        // lands at the tail.
+        let k = self.agents.len();
+        let mut enabled = EnabledSet::new(self.n, k);
         for act in self.enabled_rescan() {
-            let key = if act.arrival {
-                match self.agents[act.agent.index()].place {
+            let key = match act.fault {
+                Some(EdgeFault::Down(v)) => self.n + k + v.index(),
+                Some(EdgeFault::Restore) => 2 * self.n + k,
+                None if act.arrival => match self.agents[act.agent.index()].place {
                     Place::InTransit { to } => to.index(),
                     Place::Staying { .. } => unreachable!("arrival implies in transit"),
-                }
-            } else {
-                self.n + act.agent.index()
+                },
+                None => self.n + act.agent.index(),
             };
             enabled.insert(key, act);
         }

@@ -80,7 +80,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use crate::agent::Behavior;
-use crate::canonical::{canonical_fingerprint, fingerprint_of_symbols_with, plain_fingerprint};
+use crate::canonical::{canonical_fingerprint, fingerprint_of_symbols_sealed, plain_fingerprint};
 use crate::engine::{Ring, StepUndo};
 use crate::error::SimError;
 use crate::packed::PackedState;
@@ -513,9 +513,13 @@ impl FingerprintCache {
     {
         match self {
             FingerprintCache::Plain => plain_fingerprint(ring),
-            FingerprintCache::Rotation { symbols, minrot } => {
-                fingerprint_of_symbols_with(ring.ring_size(), ring.agent_count(), symbols, minrot)
-            }
+            FingerprintCache::Rotation { symbols, minrot } => fingerprint_of_symbols_sealed(
+                ring.ring_size(),
+                ring.agent_count(),
+                symbols,
+                minrot,
+                ring.fault_seal_word(),
+            ),
         }
     }
 

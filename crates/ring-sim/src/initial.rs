@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use crate::fault::FaultPlan;
 use crate::NodeId;
 
 /// Error returned when an [`InitialConfig`] is invalid.
@@ -75,6 +76,9 @@ impl std::error::Error for InitialConfigError {}
 pub struct InitialConfig {
     n: usize,
     homes: Vec<usize>,
+    /// The fault plan the execution runs under; [`FaultPlan::none`]
+    /// (the default) reproduces the fault-free engine bit for bit.
+    faults: FaultPlan,
 }
 
 impl InitialConfig {
@@ -108,7 +112,25 @@ impl InitialConfig {
             }
             seen[h] = true;
         }
-        Ok(InitialConfig { n, homes })
+        Ok(InitialConfig {
+            n,
+            homes,
+            faults: FaultPlan::none(),
+        })
+    }
+
+    /// Attaches a fault plan: the engine built from this configuration
+    /// crash-stops the planned agents and arms the dynamic-edge budget.
+    /// See [`crate::fault`].
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The fault plan ([`FaultPlan::none`] unless set).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// The ring size `n`.

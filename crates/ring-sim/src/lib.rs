@@ -86,6 +86,7 @@ mod config;
 mod engine;
 mod error;
 pub mod explore;
+pub mod fault;
 mod initial;
 mod metrics;
 pub mod packed;
@@ -99,6 +100,7 @@ pub use agent::{bits_for, Behavior, Observation};
 pub use config::{AgentView, Configuration, Place};
 pub use engine::{LinkDiscipline, PhaseTally, Ring, RunLimits, RunOutcome, StepUndo};
 pub use error::SimError;
+pub use fault::{CrashFault, EdgeFault, FaultPlan};
 pub use initial::{InitialConfig, InitialConfigError};
 pub use metrics::Metrics;
 pub use predicate::{

@@ -72,6 +72,26 @@ pub struct PackedState<B: Behavior> {
     /// Inbox boundaries: agent `i`'s messages are
     /// `messages[offsets[i]..offsets[i + 1]]`. `None` ⇔ all inboxes empty.
     offsets: Option<Box<[u32]>>,
+    /// Fault-execution state; `None` ⇔ the ring runs under an empty
+    /// [`FaultPlan`](crate::fault::FaultPlan) (the plan itself is
+    /// instance identity and lives in the target ring, not the snapshot).
+    faults: Option<PackedFaults>,
+}
+
+/// The schedule-relevant fault state of a ring under a non-empty plan.
+/// Crashed agents are in no staying list or link queue, so `slots` holds
+/// `k − crashed` entries and the crash flags here say which agents are
+/// missing.
+#[derive(Clone)]
+struct PackedFaults {
+    /// Lifetime activation count per agent (the crash clock).
+    acted: Box<[u64]>,
+    /// Which agents have crash-stopped.
+    crashed: Box<[bool]>,
+    /// The node whose incoming edge is down, if any.
+    down_edge: Option<u16>,
+    /// Remaining dynamic-edge outage budget.
+    outages_left: u32,
 }
 
 impl<B: Behavior + Clone> Clone for PackedState<B>
@@ -86,6 +106,7 @@ where
             behaviors: self.behaviors.clone(),
             messages: self.messages.clone(),
             offsets: self.offsets.clone(),
+            faults: self.faults.clone(),
         }
     }
 }
@@ -129,7 +150,23 @@ where
             slots.extend(ring.staying[v].iter().map(|a| a.index() as u16));
             slots.extend(ring.links[v].iter().map(|a| a.index() as u16));
         }
-        debug_assert_eq!(slots.len(), k, "every agent is in exactly one place");
+        let faults = if ring.fault_plan().is_empty() {
+            debug_assert_eq!(slots.len(), k, "every agent is in exactly one place");
+            None
+        } else {
+            // Crash-stopped agents are invisible: in no list at all.
+            debug_assert_eq!(
+                slots.len() + ring.crashed_count(),
+                k,
+                "every non-crashed agent is in exactly one place"
+            );
+            Some(PackedFaults {
+                acted: ring.acted.clone().into_boxed_slice(),
+                crashed: ring.crashed.clone().into_boxed_slice(),
+                down_edge: ring.down_edge.map(|v| v.index() as u16),
+                outages_left: ring.outages_left,
+            })
+        };
         let tokens: Box<[u16]> = ring
             .tokens
             .iter()
@@ -158,6 +195,7 @@ where
             behaviors,
             messages,
             offsets,
+            faults,
         }
     }
 
@@ -217,6 +255,16 @@ where
                 ring.staying[node].push(AgentId(i));
             }
         }
+        match (&self.faults, ring.fault_plan().is_empty()) {
+            (None, true) => {}
+            (Some(f), false) => {
+                ring.acted.copy_from_slice(&f.acted);
+                ring.crashed.copy_from_slice(&f.crashed);
+                ring.down_edge = f.down_edge.map(|v| NodeId(v as usize));
+                ring.outages_left = f.outages_left;
+            }
+            _ => panic!("fault plan mismatch between snapshot and target ring"),
+        }
         ring.refresh_enabled();
     }
 
@@ -250,6 +298,10 @@ where
                 .offsets
                 .as_ref()
                 .map_or(0, |o| o.len() * size_of::<u32>())
+            + self
+                .faults
+                .as_ref()
+                .map_or(0, |f| f.acted.len() * size_of::<u64>() + f.crashed.len())
     }
 }
 

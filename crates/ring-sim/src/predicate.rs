@@ -52,12 +52,32 @@ pub enum DeploymentCheck {
         /// The required minimum group size `g`.
         required: usize,
     },
+    /// The run was **crash-degraded**: every surviving agent settled in
+    /// the required idle state, but planned crash-stops removed agents,
+    /// so the original `k`-agent definition is unattainable by
+    /// construction. This is the typed graceful-degradation verdict the
+    /// fault-aware certification tier accepts (see
+    /// [`crate::fault::FaultPlan`]); the structural spacing/grouping
+    /// conditions are not judged against the depleted population.
+    CrashDegraded {
+        /// Number of crash-stopped agents.
+        crashed: usize,
+        /// Number of surviving (settled) agents.
+        survivors: usize,
+    },
 }
 
 impl DeploymentCheck {
     /// `true` when the configuration satisfies the definition.
     pub fn is_satisfied(&self) -> bool {
         matches!(self, DeploymentCheck::Satisfied)
+    }
+
+    /// `true` when the only thing between the configuration and the
+    /// definition is planned crash-stops — the graceful-degradation
+    /// acceptance used by fault-aware certification.
+    pub fn is_crash_degraded(&self) -> bool {
+        matches!(self, DeploymentCheck::CrashDegraded { .. })
     }
 }
 
@@ -145,6 +165,13 @@ pub fn satisfies_partial_gathering<B: Behavior>(ring: &Ring<B>, g: usize) -> Dep
         Ok(positions) => positions,
         Err(violation) => return violation,
     };
+    let crashed = ring.crashed_count();
+    if crashed > 0 {
+        return DeploymentCheck::CrashDegraded {
+            crashed,
+            survivors: positions.len(),
+        };
+    }
     positions.sort_unstable();
     let mut i = 0;
     while i < positions.len() {
@@ -178,6 +205,12 @@ fn settled_positions<B: Behavior>(
     let mut positions = Vec::with_capacity(k);
     for i in 0..k {
         let id = crate::AgentId(i);
+        // Crash-stopped agents are invisible to the protocol (their
+        // token stays, they never move again); they hold no claim on a
+        // deployment slot and are excused from the idle-state check.
+        if ring.is_crashed(id) {
+            continue;
+        }
         match ring.place_of(id) {
             Place::InTransit { .. } => return Err(DeploymentCheck::AgentInTransit),
             Place::Staying { at } => positions.push(at.index()),
@@ -206,6 +239,17 @@ fn check<B: Behavior>(
         Ok(positions) => positions,
         Err(violation) => return violation,
     };
+    let crashed = ring.crashed_count();
+    if crashed > 0 {
+        // The survivors settled cleanly, but the definition quantifies
+        // over all k agents; with crash-stops it is unattainable by
+        // construction. Report the typed degradation verdict instead of
+        // judging the depleted population against the k-agent spacing.
+        return DeploymentCheck::CrashDegraded {
+            crashed,
+            survivors: positions.len(),
+        };
+    }
     let k = positions.len();
     // Distinctness.
     let mut sorted = positions.clone();
@@ -326,6 +370,13 @@ mod json_impls {
                         ("required", required.to_json()),
                     ]),
                 )]),
+                DeploymentCheck::CrashDegraded { crashed, survivors } => Json::object([(
+                    "crash_degraded",
+                    Json::object([
+                        ("crashed", crashed.to_json()),
+                        ("survivors", survivors.to_json()),
+                    ]),
+                )]),
             }
         }
     }
@@ -365,6 +416,10 @@ mod json_impls {
                     node: payload.field("node")?,
                     count: payload.field("count")?,
                     required: payload.field("required")?,
+                }),
+                "crash_degraded" => Ok(DeploymentCheck::CrashDegraded {
+                    crashed: payload.field("crashed")?,
+                    survivors: payload.field("survivors")?,
                 }),
                 other => Err(JsonError::Decode(format!("unknown check `{other}`"))),
             }

@@ -19,16 +19,74 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::AgentId;
+use crate::fault::EdgeFault;
+use crate::{AgentId, NodeId};
 
 /// One schedulable activation, as presented to a [`Scheduler`].
+///
+/// Under a non-empty [`FaultPlan`](crate::FaultPlan) with a
+/// dynamic-edge budget, the enabled set also contains *fault moves*
+/// ([`Activation::fault_down`] / [`Activation::fault_restore`]): no
+/// agent acts, the adversary instead toggles an edge. Fault moves carry
+/// the sentinel agent id [`Activation::FAULT_AGENT`] so the built-in
+/// fair schedulers (which rank by agent id) deprioritize them; they are
+/// primarily for the adversarial searcher and replay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Activation {
-    /// The agent that would act.
+    /// The agent that would act; [`Activation::FAULT_AGENT`] for fault
+    /// moves.
     pub agent: AgentId,
     /// `true` if this activation is an arrival from a link queue head,
-    /// `false` if it is a wake-up of a staying agent.
+    /// `false` if it is a wake-up of a staying agent (or a fault move).
     pub arrival: bool,
+    /// The dynamic-edge fault this move injects, if it is a fault move.
+    pub fault: Option<EdgeFault>,
+}
+
+impl Activation {
+    /// Sentinel agent id carried by fault moves (no agent acts).
+    pub const FAULT_AGENT: AgentId = AgentId(usize::MAX);
+
+    /// An arrival of `agent` from its link-queue head.
+    pub fn arrival(agent: AgentId) -> Activation {
+        Activation {
+            agent,
+            arrival: true,
+            fault: None,
+        }
+    }
+
+    /// A wake-up of the staying `agent`.
+    pub fn wake(agent: AgentId) -> Activation {
+        Activation {
+            agent,
+            arrival: false,
+            fault: None,
+        }
+    }
+
+    /// The adversary move taking down the edge entering `node`.
+    pub fn fault_down(node: NodeId) -> Activation {
+        Activation {
+            agent: Activation::FAULT_AGENT,
+            arrival: false,
+            fault: Some(EdgeFault::Down(node)),
+        }
+    }
+
+    /// The adversary move restoring the currently missing edge.
+    pub fn fault_restore() -> Activation {
+        Activation {
+            agent: Activation::FAULT_AGENT,
+            arrival: false,
+            fault: Some(EdgeFault::Restore),
+        }
+    }
+
+    /// `true` iff this is a fault move (no agent acts).
+    pub fn is_fault(&self) -> bool {
+        self.fault.is_some()
+    }
 }
 
 /// Returned by [`Scheduler::try_select`] when a finite schedule (e.g. a
@@ -115,7 +173,11 @@ impl Scheduler for RoundRobin {
             .min_by_key(|(_, a)| a.agent.index().wrapping_sub(self.cursor))
             .map(|(i, _)| i)
             .expect("enabled set is non-empty");
-        self.cursor = enabled[chosen].agent.index() + 1;
+        // Fault moves carry the sentinel id and are picked only when
+        // nothing else is enabled; they do not advance the cursor.
+        if !enabled[chosen].is_fault() {
+            self.cursor = enabled[chosen].agent.index() + 1;
+        }
         chosen
     }
 
@@ -233,7 +295,7 @@ impl Scheduler for DelayAgent {
 /// # use ringdeploy_sim::scheduler::Activation;
 /// # use ringdeploy_sim::AgentId;
 /// let mut rec = Recording::new(Random::seeded(1));
-/// let enabled = [Activation { agent: AgentId(0), arrival: true }];
+/// let enabled = [Activation::arrival(AgentId(0))];
 /// rec.select(&enabled);
 /// let mut replay = Replay::new(rec.into_log());
 /// assert_eq!(replay.select(&enabled), 0);
@@ -361,29 +423,58 @@ impl Scheduler for Replay {
 #[cfg(feature = "serde")]
 mod json_impls {
     use super::Activation;
-    use crate::AgentId;
+    use crate::fault::EdgeFault;
+    use crate::{AgentId, NodeId};
     use ringdeploy_json::{FromJson, Json, JsonError, ToJson};
 
     impl ToJson for Activation {
         /// The adversarial-witness wire format: schedules are thousands of
         /// activations long, so each entry is a compact two-element
-        /// `[agent, arrival]` pair rather than a keyed object.
+        /// `[agent, arrival]` pair rather than a keyed object. Fault
+        /// moves encode as `["fault", "down", node]` / `["fault",
+        /// "restore"]` so fault-free witnesses are byte-identical to the
+        /// pre-fault format.
         fn to_json(&self) -> Json {
-            Json::Array(vec![self.agent.index().to_json(), Json::Bool(self.arrival)])
+            match self.fault {
+                None => Json::Array(vec![self.agent.index().to_json(), Json::Bool(self.arrival)]),
+                Some(EdgeFault::Down(node)) => Json::Array(vec![
+                    Json::String("fault".to_string()),
+                    Json::String("down".to_string()),
+                    node.index().to_json(),
+                ]),
+                Some(EdgeFault::Restore) => Json::Array(vec![
+                    Json::String("fault".to_string()),
+                    Json::String("restore".to_string()),
+                ]),
+            }
         }
     }
 
     impl FromJson for Activation {
         fn from_json(json: &Json) -> Result<Self, JsonError> {
-            let items = json
-                .as_array()
-                .filter(|items| items.len() == 2)
-                .ok_or_else(|| {
-                    JsonError::Decode(format!("expected [agent, arrival] pair, found {json}"))
-                })?;
+            let items = json.as_array().ok_or_else(|| {
+                JsonError::Decode(format!("expected activation array, found {json}"))
+            })?;
+            if items.first().and_then(Json::as_str) == Some("fault") {
+                return match items.get(1).and_then(Json::as_str) {
+                    Some("down") if items.len() == 3 => Ok(Activation::fault_down(NodeId(
+                        usize::from_json(&items[2])?,
+                    ))),
+                    Some("restore") if items.len() == 2 => Ok(Activation::fault_restore()),
+                    _ => Err(JsonError::Decode(format!(
+                        "expected [\"fault\",\"down\",node] or [\"fault\",\"restore\"], found {json}"
+                    ))),
+                };
+            }
+            if items.len() != 2 {
+                return Err(JsonError::Decode(format!(
+                    "expected [agent, arrival] pair, found {json}"
+                )));
+            }
             Ok(Activation {
                 agent: AgentId(usize::from_json(&items[0])?),
                 arrival: bool::from_json(&items[1])?,
+                fault: None,
             })
         }
     }
@@ -395,10 +486,7 @@ mod tests {
 
     fn acts(ids: &[usize]) -> Vec<Activation> {
         ids.iter()
-            .map(|&i| Activation {
-                agent: AgentId(i),
-                arrival: true,
-            })
+            .map(|&i| Activation::arrival(AgentId(i)))
             .collect()
     }
 
@@ -484,10 +572,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "replay diverged")]
     fn replay_panics_on_divergence() {
-        let mut rep = Replay::new(vec![Activation {
-            agent: AgentId(7),
-            arrival: false,
-        }]);
+        let mut rep = Replay::new(vec![Activation::wake(AgentId(7))]);
         let enabled = acts(&[0, 1]);
         rep.select(&enabled);
     }

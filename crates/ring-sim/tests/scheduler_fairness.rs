@@ -138,10 +138,7 @@ proptest! {
             }
             let enabled: Vec<Activation> = ids
                 .iter()
-                .map(|&i| Activation {
-                    agent: AgentId(i),
-                    arrival: rng.gen_range(0..2) == 0,
-                })
+                .map(|&i| if rng.gen_range(0..2) == 0 { Activation::arrival(AgentId(i)) } else { Activation::wake(AgentId(i)) })
                 .collect();
             let chosen = rr.select(&enabled);
             prop_assert!(chosen < enabled.len());
@@ -170,7 +167,7 @@ proptest! {
             let ids = random_homes(&mut rng, k, subset_size);
             let enabled: Vec<Activation> = ids
                 .iter()
-                .map(|&i| Activation { agent: AgentId(i), arrival: false })
+                .map(|&i| Activation::wake(AgentId(i)))
                 .collect();
             let chosen = rr.select(&enabled);
             let expected = ids

@@ -136,10 +136,7 @@ fn empty_log_exhausts_immediately_without_stepping() {
 
 #[test]
 fn try_select_reports_exhaustion_and_select_still_panics() {
-    let acts = [Activation {
-        agent: AgentId(0),
-        arrival: true,
-    }];
+    let acts = [Activation::arrival(AgentId(0))];
     let mut replay = Replay::new(vec![acts[0]]);
     assert_eq!(replay.try_select(&acts), Ok(0));
     assert_eq!(
@@ -159,10 +156,7 @@ fn try_select_reports_exhaustion_and_select_still_panics() {
 
 #[test]
 fn recording_forwards_inner_exhaustion_without_logging() {
-    let acts = [Activation {
-        agent: AgentId(1),
-        arrival: false,
-    }];
+    let acts = [Activation::wake(AgentId(1))];
     let mut recording = Recording::new(Replay::new(vec![acts[0]]));
     assert_eq!(recording.try_select(&acts), Ok(0));
     assert_eq!(
@@ -174,10 +168,7 @@ fn recording_forwards_inner_exhaustion_without_logging() {
 
 #[test]
 fn boxed_scheduler_preserves_try_select_override() {
-    let acts = [Activation {
-        agent: AgentId(0),
-        arrival: true,
-    }];
+    let acts = [Activation::arrival(AgentId(0))];
     // Through Box<dyn Scheduler>, the Replay override must still fire —
     // a plain default-method dispatch on the box would panic via select.
     let mut boxed: Box<dyn Scheduler> = Box::new(Replay::new(Vec::new()));
@@ -190,13 +181,7 @@ fn boxed_scheduler_preserves_try_select_override() {
 #[test]
 #[should_panic(expected = "replay diverged")]
 fn divergence_is_still_caller_misuse() {
-    let mut replay = Replay::new(vec![Activation {
-        agent: AgentId(7),
-        arrival: false,
-    }]);
-    let acts = [Activation {
-        agent: AgentId(0),
-        arrival: true,
-    }];
+    let mut replay = Replay::new(vec![Activation::wake(AgentId(7))]);
+    let acts = [Activation::arrival(AgentId(0))];
     let _ = replay.try_select(&acts);
 }

@@ -8,10 +8,23 @@
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
 
 use ringdeploy_json::ToJson;
 
 use crate::protocol::{parse_response, Request, Response};
+
+/// Connect failures worth retrying: the daemon exists (or will momentarily)
+/// but the TCP handshake lost a race with its listener.
+fn is_transient(error: &io::Error) -> bool {
+    matches!(
+        error.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::TimedOut
+    )
+}
 
 /// One connection to a running daemon.
 pub struct Client {
@@ -29,6 +42,33 @@ impl Client {
         let writer = TcpStream::connect(addr)?;
         let reader = BufReader::new(writer.try_clone()?);
         Ok(Client { writer, reader })
+    }
+
+    /// Connects to `addr`, retrying *transient* connect failures
+    /// (connection refused/reset/aborted, timeout — typically a daemon
+    /// that has not finished binding its listener yet) with exponential
+    /// backoff: `backoff`, `2·backoff`, `4·backoff`, … between the up
+    /// to `attempts` attempts. Non-transient failures (e.g. a bad
+    /// address) and the final attempt's failure propagate immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first non-transient or the last transient connect
+    /// failure.
+    pub fn connect_with_retry(addr: &str, attempts: u32, backoff: Duration) -> io::Result<Client> {
+        let attempts = attempts.max(1);
+        let mut wait = backoff;
+        for _ in 1..attempts {
+            match Client::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) if is_transient(&e) => {
+                    std::thread::sleep(wait);
+                    wait = wait.saturating_mul(2);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Client::connect(addr)
     }
 
     /// Writes one request frame.

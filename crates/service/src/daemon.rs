@@ -19,9 +19,10 @@
 //! **cell order** as the contiguous ready prefix grows → `done`.
 //!
 //! A failed cell emits `error` and cancels the job's remaining cells; a
-//! closed connection cancels its jobs silently. Cancelled jobs linger
-//! until their in-flight cells drain (the results still populate the
-//! cache) and are then dropped.
+//! job overrunning its `timeout_ms` deadline emits `timeout` and is
+//! cancelled the same way; a closed connection cancels its jobs
+//! silently. Cancelled jobs linger until their in-flight cells drain
+//! (the results still populate the cache) and are then dropped.
 //!
 //! # Shutdown
 //!
@@ -36,7 +37,8 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::io::Write;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
 
 use ringdeploy_analysis::key::InstanceKey;
 use ringdeploy_json::{Json, ToJson};
@@ -94,6 +96,9 @@ pub struct CellDone {
     pub cell: usize,
     /// The rendered report, or the failure message.
     pub result: Result<Json, String>,
+    /// The worker caught a panic computing this cell (`result` is the
+    /// substitute error). Counted in [`StatsReport::panics`].
+    pub panicked: bool,
 }
 
 /// Everything that can happen to the daemon, in one queue.
@@ -165,9 +170,13 @@ struct Job {
     /// Completed cells awaiting in-order emission: cell index →
     /// (served-from-cache, result).
     ready: BTreeMap<usize, (bool, Result<Json, String>)>,
-    /// No further frames for this job (error emitted or connection
-    /// closed); in-flight cells still drain into the cache.
+    /// No further frames for this job (error emitted, deadline hit, or
+    /// connection closed); in-flight cells still drain into the cache.
     canceled: bool,
+    /// When [`JobSpec::timeout_ms`](crate::protocol::JobSpec) is set:
+    /// the instant (measured from admission) past which the job is
+    /// cancelled with a `timeout` frame.
+    deadline: Option<Instant>,
 }
 
 /// The actor: owns all state, processes [`Event`]s. See the
@@ -185,13 +194,16 @@ pub struct Daemon {
     /// Jobs that hit a full worker queue; re-queued on the next
     /// completion.
     stalled: HashSet<u64>,
-    /// Admission wait-list ([`Backpressure::Block`]).
-    waiting: VecDeque<(ConnId, u64, Vec<InstanceKey>)>,
+    /// Admission wait-list ([`Backpressure::Block`]); the last element
+    /// is the job's `timeout_ms` (the deadline starts at admission).
+    waiting: VecDeque<(ConnId, u64, Vec<InstanceKey>, Option<u64>)>,
     next_job: u64,
     draining: bool,
     completed_jobs: u64,
     rejected_jobs: u64,
     cells_computed: u64,
+    panics: u64,
+    timeouts: u64,
 }
 
 impl Daemon {
@@ -216,6 +228,8 @@ impl Daemon {
             completed_jobs: 0,
             rejected_jobs: 0,
             cells_computed: 0,
+            panics: 0,
+            timeouts: 0,
         };
         (daemon, tx)
     }
@@ -224,10 +238,27 @@ impl Daemon {
     /// stats. Joins every worker thread before returning.
     pub fn run(mut self) -> StatsReport {
         while !(self.draining && self.jobs.is_empty() && self.waiting.is_empty()) {
-            let Ok(event) = self.events.recv() else {
-                break; // every sender gone — nothing can ever arrive
+            // Block until the next event — or only until the earliest
+            // job deadline, so a timed-out job is cancelled promptly
+            // even when no worker completion is forthcoming.
+            let event = match self.next_deadline() {
+                None => match self.events.recv() {
+                    Ok(event) => Some(event),
+                    Err(_) => break, // every sender gone
+                },
+                Some(deadline) => {
+                    let wait = deadline.saturating_duration_since(Instant::now());
+                    match self.events.recv_timeout(wait) {
+                        Ok(event) => Some(event),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
             };
-            self.handle(event);
+            if let Some(event) = event {
+                self.handle(event);
+            }
+            self.expire_jobs();
             self.run_until_idle();
         }
         let stats = self.stats();
@@ -251,6 +282,47 @@ impl Daemon {
             completed_jobs: self.completed_jobs,
             rejected_jobs: self.rejected_jobs,
             cells_computed: self.cells_computed,
+            panics: self.panics,
+            timeouts: self.timeouts,
+        }
+    }
+
+    /// The earliest deadline among live (non-cancelled) jobs, bounding
+    /// how long the actor may block on the event queue.
+    fn next_deadline(&self) -> Option<Instant> {
+        self.jobs
+            .values()
+            .filter(|job| !job.canceled)
+            .filter_map(|job| job.deadline)
+            .min()
+    }
+
+    /// Cancels every job whose deadline has passed with a typed
+    /// `timeout` frame. The cancelled job's in-flight cells still drain
+    /// into the cache (phase 3 keeps the job until `in_flight == 0`),
+    /// so a timeout never poisons cached results.
+    fn expire_jobs(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<u64> = self
+            .jobs
+            .iter()
+            .filter(|(_, job)| !job.canceled && job.deadline.is_some_and(|d| d <= now))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            let Some(job) = self.jobs.get_mut(&id) else {
+                continue;
+            };
+            job.canceled = true;
+            job.next_dispatch = job.keys.len();
+            self.timeouts += 1;
+            let frame = Response::Timeout {
+                id: job.client_id,
+                rows: job.emitted,
+            };
+            let conn = job.conn;
+            self.send_to(conn, &frame);
+            self.queue_process(id);
         }
     }
 
@@ -317,6 +389,9 @@ impl Daemon {
             }
             Event::CellDone(done) => {
                 self.cells_computed += 1;
+                if done.panicked {
+                    self.panics += 1;
+                }
                 if let Some(job) = self.jobs.get_mut(&done.job) {
                     job.in_flight -= 1;
                     if let Ok(payload) = &done.result {
@@ -352,6 +427,7 @@ impl Daemon {
                     );
                     return;
                 }
+                let timeout_ms = job.timeout_ms;
                 let keys = match job.keys() {
                     Ok(keys) => keys,
                     Err(message) => {
@@ -366,10 +442,12 @@ impl Daemon {
                     }
                 };
                 if self.jobs.len() < self.config.max_jobs {
-                    self.admit(conn, id, keys);
+                    self.admit(conn, id, keys, timeout_ms);
                 } else {
                     match backpressure {
-                        Backpressure::Block => self.waiting.push_back((conn, id, keys)),
+                        Backpressure::Block => {
+                            self.waiting.push_back((conn, id, keys, timeout_ms));
+                        }
                         Backpressure::Reject => {
                             self.rejected_jobs += 1;
                             let reason = format!(
@@ -395,7 +473,7 @@ impl Daemon {
             return;
         }
         self.draining = true;
-        while let Some((conn, id, _)) = self.waiting.pop_front() {
+        while let Some((conn, id, _, _)) = self.waiting.pop_front() {
             self.rejected_jobs += 1;
             self.send_to(
                 conn,
@@ -407,10 +485,17 @@ impl Daemon {
         }
     }
 
-    fn admit(&mut self, conn: ConnId, client_id: u64, keys: Vec<InstanceKey>) {
+    fn admit(
+        &mut self,
+        conn: ConnId,
+        client_id: u64,
+        keys: Vec<InstanceKey>,
+        timeout_ms: Option<u64>,
+    ) {
         let internal = self.next_job;
         self.next_job += 1;
         let canon = keys.iter().map(InstanceKey::canonical).collect();
+        let deadline = timeout_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
         self.send_to(
             conn,
             &Response::Accepted {
@@ -431,6 +516,7 @@ impl Daemon {
                 hits: 0,
                 ready: BTreeMap::new(),
                 canceled: false,
+                deadline,
             },
         );
         self.queue_process(internal);
@@ -450,7 +536,7 @@ impl Daemon {
             }
             self.queue_process(id);
         }
-        self.waiting.retain(|(c, _, _)| *c != conn);
+        self.waiting.retain(|(c, _, _, _)| *c != conn);
     }
 
     /// One stewart-style processing step for one job: advance the
@@ -551,10 +637,10 @@ impl Daemon {
 
     fn admit_waiting(&mut self) {
         while self.jobs.len() < self.config.max_jobs {
-            let Some((conn, id, keys)) = self.waiting.pop_front() else {
+            let Some((conn, id, keys, timeout_ms)) = self.waiting.pop_front() else {
                 break;
             };
-            self.admit(conn, id, keys);
+            self.admit(conn, id, keys, timeout_ms);
         }
     }
 }

@@ -97,14 +97,16 @@ pub fn compute(key: &InstanceKey) -> Result<Json, String> {
 fn instantiate(key: &InstanceKey) -> Result<InitialConfig, String> {
     let workload = key.workload;
     let seed = key.seed;
-    std::panic::catch_unwind(move || workload.instantiate(seed)).map_err(|panic| {
-        let detail = panic
-            .downcast_ref::<String>()
-            .map(String::as_str)
-            .or_else(|| panic.downcast_ref::<&str>().copied())
-            .unwrap_or("invalid parameters");
-        format!("{}: workload rejected: {detail}", key.label())
-    })
+    std::panic::catch_unwind(move || workload.instantiate(seed))
+        .map(|init| init.with_faults(key.faults.clone()))
+        .map_err(|panic| {
+            let detail = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("invalid parameters");
+            format!("{}: workload rejected: {detail}", key.label())
+        })
 }
 
 #[cfg(test)]
@@ -122,6 +124,7 @@ mod tests {
             seed: 3,
             objective: None,
             tier: None,
+            faults: ringdeploy_sim::FaultPlan::none(),
         }
     }
 
@@ -162,6 +165,7 @@ mod tests {
             seed: 0,
             objective: None,
             tier: None,
+            faults: ringdeploy_sim::FaultPlan::none(),
         };
         assert!(compute(&base).is_ok());
         let adversary = InstanceKey {

@@ -16,6 +16,21 @@ use ringdeploy_analysis::key::InstanceKey;
 use crate::daemon::{CellDone, Event};
 use crate::engine;
 
+/// Deliberate fault injection for the chaos CI drill: when
+/// `RINGDEPLOYD_CHAOS_PANIC` is set (non-empty), any cell whose key
+/// label contains the value panics mid-compute. The panic is caught by
+/// the worker like any other, counted in
+/// [`StatsReport::panics`](crate::protocol::StatsReport), and surfaced
+/// to the client as a normal cell error — the drill proves one
+/// poisoned cell cannot take a worker (or the daemon) down.
+fn chaos_panic_hook(key: &InstanceKey) {
+    if let Ok(needle) = std::env::var("RINGDEPLOYD_CHAOS_PANIC") {
+        if !needle.is_empty() && key.label().contains(&needle) {
+            panic!("chaos: injected worker panic for {}", key.label());
+        }
+    }
+}
+
 /// One unit of work: compute the report of `key` for cell `cell` of
 /// job `job` (the daemon's internal job id).
 pub struct WorkItem {
@@ -52,15 +67,20 @@ impl WorkerPool {
                             Ok(item) => item,
                             Err(_) => break, // queue closed: shutdown
                         };
-                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            engine::compute(&item.key)
-                        }))
-                        .unwrap_or_else(|_| Err("worker panicked computing cell".to_string()));
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                chaos_panic_hook(&item.key);
+                                engine::compute(&item.key)
+                            }));
+                        let panicked = outcome.is_err();
+                        let result = outcome
+                            .unwrap_or_else(|_| Err("worker panicked computing cell".to_string()));
                         if events
                             .send(Event::CellDone(CellDone {
                                 job: item.job,
                                 cell: item.cell,
                                 result,
+                                panicked,
                             }))
                             .is_err()
                         {
@@ -78,6 +98,9 @@ impl WorkerPool {
 
     /// Attempts to enqueue `item`; hands it back when the queue is full
     /// (the actor retries after the next completion event).
+    // The Err *is* the handed-back item by design; boxing it would cost
+    // an allocation per backpressure bounce on the actor's hot path.
+    #[allow(clippy::result_large_err)]
     pub fn try_dispatch(&self, item: WorkItem) -> Result<(), WorkItem> {
         let tx = self.tx.as_ref().expect("pool not shut down");
         match tx.try_send(item) {

@@ -21,9 +21,10 @@
 //! Responses (per submitted job, in this order):
 //! `accepted` (or `rejected`), then one `row` per cell **in cell
 //! order**, then `done`. `error` replaces the remaining rows when a
-//! cell fails or the request itself is malformed. `stats` answers a
-//! stats request; `bye` acknowledges shutdown and precedes connection
-//! close.
+//! cell fails or the request itself is malformed; `timeout` replaces
+//! them when the job overruns its [`JobSpec::timeout_ms`] deadline.
+//! `stats` answers a stats request; `bye` acknowledges shutdown and
+//! precedes connection close.
 
 use ringdeploy_analysis::key::{InstanceKey, JobKind};
 use ringdeploy_analysis::{
@@ -31,6 +32,7 @@ use ringdeploy_analysis::{
 };
 use ringdeploy_core::Algorithm;
 use ringdeploy_json::{FromJson, Json, JsonError, ToJson};
+use ringdeploy_sim::FaultPlan;
 
 /// What the daemon does when a submit arrives while the concurrent-job
 /// bound ([`DaemonConfig::max_jobs`](crate::DaemonConfig)) is reached.
@@ -87,6 +89,15 @@ pub struct JobSpec {
     pub tier: EvidenceTier,
     /// Seed dimension (defaults to the single seed 0 when empty).
     pub seeds: Vec<u64>,
+    /// Fault plan applied to every cell of the job. The empty plan is
+    /// omitted from the wire encoding and from the expanded
+    /// [`InstanceKey`]s, so fault-free jobs hit the exact cache entries
+    /// they did before fault support existed.
+    pub faults: FaultPlan,
+    /// Per-job deadline in milliseconds, enforced by the daemon. On
+    /// expiry the job is cancelled with a typed `timeout` frame;
+    /// in-flight cells still drain into the cache.
+    pub timeout_ms: Option<u64>,
 }
 
 impl JobSpec {
@@ -100,7 +111,23 @@ impl JobSpec {
             objectives: Vec::new(),
             tier: EvidenceTier::Adversarial,
             seeds: vec![0],
+            faults: FaultPlan::none(),
+            timeout_ms: None,
         }
+    }
+
+    /// Applies `faults` to every cell of the job.
+    #[must_use]
+    pub fn faults(mut self, faults: FaultPlan) -> JobSpec {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the per-job deadline.
+    #[must_use]
+    pub fn timeout_ms(mut self, timeout_ms: u64) -> JobSpec {
+        self.timeout_ms = Some(timeout_ms);
+        self
     }
 
     /// Expands the cross product into cache keys, in the deterministic
@@ -115,7 +142,7 @@ impl JobSpec {
         } else {
             self.seeds.clone()
         };
-        match self.kind {
+        let mut keys: Vec<InstanceKey> = match self.kind {
             JobKind::Sweep => {
                 let mut sweep = Sweep::new()
                     .algorithms(self.algorithms.iter().copied())
@@ -133,7 +160,7 @@ impl JobSpec {
                     };
                 }
                 let cells = sweep.cells().map_err(|e| e.to_string())?;
-                Ok(cells.iter().map(InstanceKey::for_sweep).collect())
+                cells.iter().map(InstanceKey::for_sweep).collect()
             }
             JobKind::Explore => {
                 let explore = Explore::new()
@@ -141,7 +168,7 @@ impl JobSpec {
                     .workloads(self.workloads.iter().copied())
                     .seeds(seeds);
                 let cells = explore.cells().map_err(|e| e.to_string())?;
-                Ok(cells.iter().map(InstanceKey::for_explore).collect())
+                cells.iter().map(InstanceKey::for_explore).collect()
             }
             JobKind::Adversary | JobKind::Certify => {
                 let mut certify = Certify::new()
@@ -153,7 +180,7 @@ impl JobSpec {
                     certify = certify.objectives(self.objectives.iter().copied());
                 }
                 let cells = certify.cells().map_err(|e| e.to_string())?;
-                Ok(cells
+                cells
                     .iter()
                     .map(|cell| {
                         if self.kind == JobKind::Adversary {
@@ -162,9 +189,16 @@ impl JobSpec {
                             InstanceKey::for_certify(cell, self.tier)
                         }
                     })
-                    .collect())
+                    .collect()
             }
+        };
+        if !self.faults.is_empty() {
+            keys = keys
+                .into_iter()
+                .map(|key| key.with_faults(self.faults.clone()))
+                .collect();
         }
+        Ok(keys)
     }
 }
 
@@ -240,6 +274,13 @@ pub struct StatsReport {
     pub rejected_jobs: u64,
     /// Cells actually computed by the worker pool (cache misses).
     pub cells_computed: u64,
+    /// Worker panics caught by the pool's `catch_unwind` since startup.
+    /// Nonzero means a cell crashed its worker thread mid-compute; the
+    /// CI service job asserts this stays 0.
+    pub panics: u64,
+    /// Jobs cancelled by their [`JobSpec::timeout_ms`] deadline since
+    /// startup.
+    pub timeouts: u64,
 }
 
 /// A daemon → client frame.
@@ -270,6 +311,15 @@ pub enum Response {
         rows: usize,
         /// How many of them came from the cache.
         cache_hits: usize,
+    },
+    /// The job overran its [`JobSpec::timeout_ms`] deadline; it is
+    /// cancelled and no further rows follow. In-flight cells still
+    /// finish into the cache, so a timed-out job never poisons it.
+    Timeout {
+        /// The client-chosen job id.
+        id: u64,
+        /// Rows already delivered before the deadline hit.
+        rows: usize,
     },
     /// A malformed request (`id: None`) or a failed cell (`id` set; the
     /// job is aborted, no further rows follow).
@@ -313,7 +363,7 @@ impl FromJson for Backpressure {
 
 impl ToJson for JobSpec {
     fn to_json(&self) -> Json {
-        Json::object([
+        let mut fields = vec![
             ("kind", self.kind.to_json()),
             ("algorithms", Json::array(self.algorithms.iter())),
             ("workloads", Json::array(self.workloads.iter())),
@@ -321,7 +371,17 @@ impl ToJson for JobSpec {
             ("objectives", Json::array(self.objectives.iter())),
             ("tier", self.tier.to_json()),
             ("seeds", Json::array(self.seeds.iter())),
-        ])
+        ];
+        // Both fields default to "absent"; omitting them keeps
+        // fault-free submit frames byte-identical to the pre-fault
+        // protocol.
+        if !self.faults.is_empty() {
+            fields.push(("faults", self.faults.to_json()));
+        }
+        if let Some(timeout_ms) = self.timeout_ms {
+            fields.push(("timeout_ms", timeout_ms.to_json()));
+        }
+        Json::object(fields)
     }
 }
 
@@ -337,6 +397,8 @@ impl FromJson for JobSpec {
                 .optional_field("tier")?
                 .unwrap_or(EvidenceTier::Adversarial),
             seeds: json.optional_field("seeds")?.unwrap_or_else(|| vec![0]),
+            faults: json.optional_field("faults")?.unwrap_or_default(),
+            timeout_ms: json.optional_field("timeout_ms")?,
         })
     }
 }
@@ -408,6 +470,8 @@ impl ToJson for StatsReport {
             ("completed_jobs", self.completed_jobs.to_json()),
             ("rejected_jobs", self.rejected_jobs.to_json()),
             ("cells_computed", self.cells_computed.to_json()),
+            ("panics", self.panics.to_json()),
+            ("timeouts", self.timeouts.to_json()),
         ])
     }
 }
@@ -421,6 +485,8 @@ impl FromJson for StatsReport {
             completed_jobs: json.field("completed_jobs")?,
             rejected_jobs: json.field("rejected_jobs")?,
             cells_computed: json.field("cells_computed")?,
+            panics: json.optional_field("panics")?.unwrap_or_default(),
+            timeouts: json.optional_field("timeouts")?.unwrap_or_default(),
         })
     }
 }
@@ -461,6 +527,11 @@ impl ToJson for Response {
                 ("id", id.to_json()),
                 ("rows", rows.to_json()),
                 ("cache_hits", cache_hits.to_json()),
+            ]),
+            Response::Timeout { id, rows } => Json::object([
+                ("type", Json::String("timeout".to_string())),
+                ("id", id.to_json()),
+                ("rows", rows.to_json()),
             ]),
             Response::Error { id, message } => Json::object([
                 ("type", Json::String("error".to_string())),
@@ -507,6 +578,10 @@ impl FromJson for Response {
                 id: json.field("id")?,
                 rows: json.field("rows")?,
                 cache_hits: json.field("cache_hits")?,
+            }),
+            "timeout" => Ok(Response::Timeout {
+                id: json.field("id")?,
+                rows: json.field("rows")?,
             }),
             "error" => Ok(Response::Error {
                 id: json.optional_field("id")?,

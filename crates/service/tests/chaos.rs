@@ -1,0 +1,176 @@
+//! Chaos engineering for `ringdeployd`: injected worker panics and
+//! mid-job client disconnects must leave the daemon serving, the cache
+//! unpoisoned and every thread joined.
+//!
+//! The panic injection rides the process-global
+//! `RINGDEPLOYD_CHAOS_PANIC` env var (a substring matched against each
+//! cell's key label by the worker pool), so these phases live in their
+//! own test binary — and in a single sequential test — to keep the
+//! armed window away from unrelated e2e tests.
+
+use std::thread::JoinHandle;
+
+use ringdeploy_analysis::key::JobKind;
+use ringdeploy_analysis::Workload;
+use ringdeploy_core::Algorithm;
+use ringdeploy_service::{
+    Backpressure, Client, DaemonConfig, JobSpec, Request, Response, RowFrame, Server, StatsReport,
+};
+
+fn start(config: DaemonConfig) -> (String, JoinHandle<StatsReport>) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn sweep_job(seeds: &[u64]) -> JobSpec {
+    JobSpec {
+        seeds: seeds.to_vec(),
+        ..JobSpec::new(
+            JobKind::Sweep,
+            Algorithm::FullKnowledge,
+            Workload::Random { n: 16, k: 4 },
+        )
+    }
+}
+
+fn submit(client: &mut Client, id: u64, job: JobSpec) {
+    client
+        .send(&Request::Submit {
+            id,
+            backpressure: Backpressure::Block,
+            job,
+        })
+        .expect("send submit");
+}
+
+/// Collects frames until job `id`'s terminal (`done`/`error`/`timeout`).
+fn collect_job(client: &mut Client, id: u64) -> Vec<Response> {
+    let mut frames = Vec::new();
+    loop {
+        let frame = client
+            .recv()
+            .expect("recv frame")
+            .expect("daemon hung up mid-job");
+        let terminal = matches!(&frame, Response::Done { id: done, .. } if *done == id)
+            || matches!(&frame, Response::Error { id: Some(e), .. } if *e == id)
+            || matches!(&frame, Response::Timeout { id: t, .. } if *t == id);
+        frames.push(frame);
+        if terminal {
+            return frames;
+        }
+    }
+}
+
+fn rows(frames: &[Response]) -> Vec<&RowFrame> {
+    frames
+        .iter()
+        .filter_map(|f| match f {
+            Response::Row(row) => Some(row),
+            _ => None,
+        })
+        .collect()
+}
+
+/// One daemon, four phases: (1) an armed chaos hook panics exactly one
+/// worker cell — the job aborts with a typed error frame and the panic
+/// is counted; (2) disarmed, the same job completes — the panicked cell
+/// was never cached; (3) the full job re-serves byte-identical entirely
+/// from the cache; (4) a client that vanishes mid-job doesn't wedge
+/// anything. The final `handle.join()` doubles as the no-leaked-threads
+/// assertion: `Server::run` joins the pool, the accept thread and every
+/// reader before returning.
+#[test]
+fn chaos_panics_and_disconnects_leave_a_clean_daemon() {
+    std::env::set_var("RINGDEPLOYD_CHAOS_PANIC", "seed2");
+    let (addr, handle) = start(DaemonConfig {
+        workers: 2,
+        queue_capacity: 4,
+        cache_bytes: 1 << 20,
+        max_jobs: 4,
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // Phase 1: cell `seed2` panics inside its worker. Rows 0 and 1
+    // stream normally, then the job aborts with an error frame.
+    submit(&mut client, 1, sweep_job(&[0, 1, 2, 3]));
+    let frames = collect_job(&mut client, 1);
+    let abort = frames.iter().find_map(|f| match f {
+        Response::Error {
+            id: Some(1),
+            message,
+        } => Some(message.clone()),
+        _ => None,
+    });
+    let abort = abort.unwrap_or_else(|| panic!("injected panic must abort job 1: {frames:?}"));
+    assert!(abort.contains("panic"), "typed panic message: {abort}");
+    assert!(
+        !frames.iter().any(|f| matches!(f, Response::Done { .. })),
+        "an aborted job has no done frame"
+    );
+    assert_eq!(rows(&frames).len(), 2, "the prefix before the panic flows");
+
+    // Phase 2: disarmed, the identical job completes — the panic left
+    // no poisoned cache entry behind for `seed2`.
+    std::env::remove_var("RINGDEPLOYD_CHAOS_PANIC");
+    submit(&mut client, 2, sweep_job(&[0, 1, 2, 3]));
+    let healthy = collect_job(&mut client, 2);
+    let healthy_rows = rows(&healthy);
+    assert_eq!(healthy_rows.len(), 4);
+    assert!(
+        healthy
+            .iter()
+            .any(|f| matches!(f, Response::Done { id: 2, .. })),
+        "disarmed job completes: {healthy:?}"
+    );
+
+    // Phase 3: byte-identical cached re-serve of the whole job.
+    submit(&mut client, 3, sweep_job(&[0, 1, 2, 3]));
+    let warm = collect_job(&mut client, 3);
+    let warm_rows = rows(&warm);
+    assert_eq!(warm_rows.len(), 4);
+    assert!(warm_rows.iter().all(|r| r.cached), "fully cached re-serve");
+    for (cold, warm) in healthy_rows.iter().zip(&warm_rows) {
+        assert_eq!(
+            cold.payload.to_string(),
+            warm.payload.to_string(),
+            "cached payload must be byte-identical after the chaos run"
+        );
+        assert_eq!(cold.fingerprint, warm.fingerprint);
+    }
+
+    // Phase 4: a client that disconnects mid-job. Its job is cancelled,
+    // in-flight cells drain into the cache, and the daemon keeps
+    // serving everyone else.
+    let mut doomed = Client::connect(&addr).expect("connect doomed client");
+    submit(&mut doomed, 9, sweep_job(&[50, 51, 52, 53, 54, 55]));
+    drop(doomed);
+    submit(&mut client, 4, sweep_job(&[60]));
+    let frames = collect_job(&mut client, 4);
+    assert_eq!(
+        rows(&frames).len(),
+        1,
+        "daemon still serves after a mid-job disconnect"
+    );
+
+    // Exactly one caught panic over the whole session, zero timeouts.
+    client.send(&Request::Stats).expect("send stats");
+    let report = match client.recv().expect("recv stats") {
+        Some(Response::Stats(stats)) => stats,
+        other => panic!("expected stats frame, got {other:?}"),
+    };
+    assert_eq!(report.panics, 1);
+    assert_eq!(report.timeouts, 0);
+
+    client.send(&Request::Shutdown).expect("send shutdown");
+    loop {
+        match client.recv().expect("recv during shutdown") {
+            Some(Response::Bye) | None => break,
+            Some(_) => {}
+        }
+    }
+    let final_stats = handle.join().expect("server thread joins cleanly");
+    assert_eq!(final_stats.panics, 1);
+    assert_eq!(final_stats.completed_jobs, 3);
+}

@@ -65,7 +65,8 @@ fn collect_job(client: &mut Client, id: u64) -> Vec<Response> {
         ) || matches!(
             &frame,
             Response::Rejected { id: rej, .. } if *rej == id
-        ) || matches!(&frame, Response::Error { id: Some(e), .. } if *e == id);
+        ) || matches!(&frame, Response::Error { id: Some(e), .. } if *e == id)
+            || matches!(&frame, Response::Timeout { id: t, .. } if *t == id);
         frames.push(frame);
         if terminal {
             return frames;
@@ -318,6 +319,55 @@ fn failed_cells_abort_the_job_not_the_daemon() {
 
     shutdown(&mut client);
     handle.join().expect("server thread");
+}
+
+/// Per-job deadlines: a job whose `timeout_ms` expires before its cells
+/// dispatch is cancelled with a typed `timeout` frame (never a `done`),
+/// the daemon counts it, and the same job resubmitted with a generous
+/// deadline completes normally — the timeout never poisoned the cache
+/// or wedged the daemon.
+#[test]
+fn deadlines_cancel_jobs_with_a_typed_timeout_frame() {
+    let (addr, handle) = start(small_config());
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let hopeless = JobSpec {
+        timeout_ms: Some(0),
+        ..sweep_job(&[20, 21])
+    };
+    submit(&mut client, 1, Backpressure::Block, hopeless);
+    let frames = collect_job(&mut client, 1);
+    assert!(
+        frames
+            .iter()
+            .any(|f| matches!(f, Response::Timeout { id: 1, .. })),
+        "an expired deadline surfaces as a typed timeout frame: {frames:?}"
+    );
+    assert!(
+        !frames.iter().any(|f| matches!(f, Response::Done { .. })),
+        "a timed-out job has no done frame"
+    );
+
+    let generous = JobSpec {
+        timeout_ms: Some(60_000),
+        ..sweep_job(&[20, 21])
+    };
+    submit(&mut client, 2, Backpressure::Block, generous);
+    let frames = collect_job(&mut client, 2);
+    assert_eq!(rows(&frames).len(), 2, "daemon still serves after timeout");
+    assert!(
+        frames
+            .iter()
+            .any(|f| matches!(f, Response::Done { id: 2, .. })),
+        "a met deadline is invisible: {frames:?}"
+    );
+
+    let report = stats(&mut client);
+    assert_eq!(report.timeouts, 1);
+    assert_eq!(report.panics, 0);
+    shutdown(&mut client);
+    let final_stats = handle.join().expect("server thread");
+    assert_eq!(final_stats.completed_jobs, 1);
 }
 
 /// Shutdown drains: a job submitted immediately before `shutdown`

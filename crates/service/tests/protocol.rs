@@ -10,6 +10,7 @@ use ringdeploy_service::{
     parse_request, parse_response, Backpressure, CacheStats, JobSpec, Request, Response, RowFrame,
     StatsReport,
 };
+use ringdeploy_sim::{AgentId, FaultPlan};
 
 fn keys(json: &Json) -> Vec<String> {
     let Json::Object(map) = json else {
@@ -43,6 +44,8 @@ fn spec() -> JobSpec {
         objectives: vec![Objective::TotalMoves],
         tier: EvidenceTier::Adversarial,
         seeds: vec![0, 7],
+        faults: FaultPlan::none(),
+        timeout_ms: None,
     }
 }
 
@@ -55,6 +58,7 @@ fn key() -> InstanceKey {
         seed: 7,
         objective: None,
         tier: None,
+        faults: FaultPlan::none(),
     }
 }
 
@@ -89,6 +93,8 @@ fn every_response_round_trips() {
         completed_jobs: 9,
         rejected_jobs: 3,
         cells_computed: 41,
+        panics: 1,
+        timeouts: 2,
     };
     let responses = [
         Response::Accepted { id: 3, cells: 12 },
@@ -117,6 +123,7 @@ fn every_response_round_trips() {
             id: None,
             message: "bad frame".to_string(),
         },
+        Response::Timeout { id: 3, rows: 5 },
         Response::Stats(stats),
         Response::Bye,
     ];
@@ -184,13 +191,19 @@ fn frame_field_sets_are_pinned() {
         ["cache_hits", "id", "rows", "type"]
     );
     assert_eq!(
+        keys(&Response::Timeout { id: 1, rows: 2 }.to_json()),
+        ["id", "rows", "type"]
+    );
+    assert_eq!(
         keys(&Response::Stats(StatsReport::default()).to_json()),
         [
             "active_jobs",
             "cache",
             "cells_computed",
             "completed_jobs",
+            "panics",
             "rejected_jobs",
+            "timeouts",
             "type",
             "waiting_jobs",
         ]
@@ -289,6 +302,63 @@ fn job_spec_expansion_matches_batch_row_order() {
     assert!(keys.iter().all(|k| k.kind == JobKind::Sweep));
     let again = job.keys().expect("expansion is deterministic");
     assert_eq!(keys, again);
+}
+
+/// Fault-plan and deadline plumbing: a faulty spec round-trips, emits
+/// the two extra fields, and every expanded key carries the plan — while
+/// the fault-free spec's encoding stays byte-identical to the pre-fault
+/// protocol (pinned by `frame_field_sets_are_pinned` above).
+#[test]
+fn fault_plans_and_deadlines_ride_the_job_spec() {
+    let plan = FaultPlan::none()
+        .with_crash(AgentId(2), 3)
+        .with_edge_outages(1);
+    let job = JobSpec {
+        kind: JobKind::Sweep,
+        objectives: Vec::new(),
+        schedules: Vec::new(),
+        ..spec()
+    }
+    .faults(plan.clone())
+    .timeout_ms(1500);
+    assert_eq!(
+        keys(&job.to_json()),
+        [
+            "algorithms",
+            "faults",
+            "kind",
+            "objectives",
+            "schedules",
+            "seeds",
+            "tier",
+            "timeout_ms",
+            "workloads",
+        ]
+    );
+    let line = Request::Submit {
+        id: 4,
+        backpressure: Backpressure::Block,
+        job: job.clone(),
+    }
+    .to_json()
+    .to_string();
+    let Request::Submit { job: back, .. } = parse_request(&line).expect("decode") else {
+        panic!("expected submit");
+    };
+    assert_eq!(back, job);
+    let expanded = job.keys().expect("expansion");
+    assert!(!expanded.is_empty());
+    assert!(expanded.iter().all(|k| k.faults == plan));
+    // Same spec without faults expands to fault-free keys whose
+    // canonical encodings never mention the field.
+    let bare = JobSpec {
+        faults: FaultPlan::none(),
+        ..job
+    };
+    for key in bare.keys().expect("expansion") {
+        assert!(key.faults.is_empty());
+        assert!(!key.canonical().contains("faults"));
+    }
 }
 
 #[test]

@@ -79,5 +79,6 @@ pub use ringdeploy_core::{
 };
 pub use ringdeploy_seq::DistanceSeq;
 pub use ringdeploy_sim::{
-    is_uniform_spacing, render_ring, InitialConfig, Metrics, Ring, RunLimits, Scheduler,
+    is_uniform_spacing, render_ring, AgentId, FaultPlan, InitialConfig, Metrics, Ring, RunLimits,
+    Scheduler,
 };
