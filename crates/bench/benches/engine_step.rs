@@ -148,4 +148,23 @@ fn main() {
             s.speedup()
         );
     }
+
+    // Absolute regression gate on the hot path itself (not just vs the
+    // rescan reference): the k = 64 / n = 4096 row measured 244.3 ns per
+    // incremental step before the SoA refactor, the `EnabledSet` hole
+    // recycling, the round-robin early-exit scan, and the `memory_bits`
+    // cache. The ≥1.5× budget from that baseline is 163 ns; the four
+    // optimisations together land around 80 ns, so the gate has ~2×
+    // headroom against machine noise while still catching any O(k)
+    // regression sneaking back into the per-step loop.
+    let hot = samples
+        .iter()
+        .find(|s| s.n == 4096 && s.k == 64)
+        .expect("the k = 64 hot-path row is part of the fixed config set");
+    let hot_ns = hot.ns_per_step(hot.incremental);
+    assert!(
+        hot_ns <= 163.0,
+        "hot-path regression: n = 4096, k = 64 incremental step took {hot_ns:.1} ns \
+         (gate: ≤163 ns, i.e. ≥1.5x over the 244.3 ns pre-SoA baseline)"
+    );
 }

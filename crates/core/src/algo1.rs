@@ -18,7 +18,7 @@
 //! `⌊n/k⌋` for the rest (see [`SpacingPlan`]).
 
 use ringdeploy_seq::{min_rotation, symmetry_degree};
-use ringdeploy_sim::{bits_for, Action, Behavior, Observation};
+use ringdeploy_sim::{bits_for, Action, Behavior, LinkDiscipline, Observation};
 
 use crate::spacing::SpacingPlan;
 
@@ -49,11 +49,36 @@ enum State {
 /// After the run, [`FullKnowledge::learned`] exposes what the agent
 /// computed (ring size, distance sequence, rank, base distance) for
 /// inspection in tests and experiments.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone)]
 pub struct FullKnowledge {
     k: usize,
     state: State,
     learned: Option<Learned>,
+    /// Cached `Σ bits_for(d[i])` over the recorded distances, maintained
+    /// incrementally so [`Behavior::memory_bits`] — called by the engine
+    /// on every activation — stays `O(1)` instead of rescanning `d`
+    /// (`O(k)` per step, the dominant cost at large `k`). Derived from
+    /// `state`/`learned`, so it is excluded from `Hash`/`PartialEq` to
+    /// keep state fingerprints bit-identical to the uncached layout.
+    d_bits: usize,
+}
+
+// Manual impls over the semantic fields only: `d_bits` is a function of
+// `state` and must not perturb hashing or equality.
+impl PartialEq for FullKnowledge {
+    fn eq(&self, other: &Self) -> bool {
+        self.k == other.k && self.state == other.state && self.learned == other.learned
+    }
+}
+
+impl Eq for FullKnowledge {}
+
+impl std::hash::Hash for FullKnowledge {
+    fn hash<H: std::hash::Hasher>(&self, hasher: &mut H) {
+        self.k.hash(hasher);
+        self.state.hash(hasher);
+        self.learned.hash(hasher);
+    }
 }
 
 /// The values an Algorithm 1 agent derives at the end of its selection
@@ -86,6 +111,7 @@ impl FullKnowledge {
             k,
             state: State::Boot,
             learned: None,
+            d_bits: 0,
         }
     }
 
@@ -141,6 +167,7 @@ impl Behavior for FullKnowledge {
                 dis += 1;
                 if obs.has_token() {
                     d.push(dis);
+                    self.d_bits += bits_for(dis);
                     dis = 0;
                     if d.len() == self.k {
                         // Back at the home node: the circuit is complete.
@@ -180,17 +207,23 @@ impl Behavior for FullKnowledge {
             State::Boot => {}
             State::Selection { dis, d } => {
                 bits += bits_for(*dis);
-                bits += d.iter().map(|&x| bits_for(x)).sum::<usize>();
+                debug_assert_eq!(
+                    self.d_bits,
+                    d.iter().map(|&x| bits_for(x)).sum::<usize>(),
+                    "d_bits cache out of sync with the recorded distances"
+                );
+                bits += self.d_bits;
                 bits += bits_for(d.len() as u64); // the index j
             }
             State::Deployment { remaining } => {
                 bits += bits_for(*remaining);
-                if let Some(learned) = &self.learned {
+                if self.learned.is_some() {
                     // The distance sequence is retained through deployment
                     // (the paper's agent computed rank from it and may no
                     // longer need it, but memory complexity is measured at
-                    // its peak anyway).
-                    bits += learned.d.iter().map(|&x| bits_for(x)).sum::<usize>();
+                    // its peak anyway). `d_bits` already covers it: the
+                    // vector moved into `learned.d` unchanged.
+                    bits += self.d_bits;
                 }
             }
             State::Done => {}
@@ -205,6 +238,41 @@ impl Behavior for FullKnowledge {
             State::Deployment { .. } => "deployment",
             State::Done => "done",
         }
+    }
+
+    fn max_remaining_moves(&self, n: usize, discipline: LinkDiscipline) -> Option<u64> {
+        // Under FIFO, every home's initial agent heads its own arrival
+        // queue, so a token is always released before any other agent can
+        // pass that home: the selection circuit is *exactly* `n` hops and
+        // the recorded distances are exact. Under LIFO a mover can
+        // overtake a not-yet-booted agent, miss its token and need extra
+        // laps, so no tight bound exists — decline to prune.
+        if discipline != LinkDiscipline::Fifo {
+            return None;
+        }
+        let n = n as u64;
+        Some(match &self.state {
+            // Circuit (n) plus the deployment walk R = disBase + offset ≤
+            // (n−1) + (n−1): at most 3n − 2 hops in total.
+            State::Boot => (3 * n).saturating_sub(2),
+            State::Selection { dis, d } => {
+                // Hops already spent on the circuit; the remainder is
+                // exactly `n − spent` under FIFO (saturating only as a
+                // defensive measure — stored states satisfy spent < n).
+                // The circuit-completing activation already takes the
+                // first of the ≤ 2n − 2 deployment hops, so the walk
+                // adds at most 2n − 3 further moves.
+                let spent = dis + d.iter().sum::<u64>();
+                n.saturating_sub(spent) + (2 * n).saturating_sub(3)
+            }
+            // `Deployment { remaining }` is stored *after* a move was
+            // taken, and the final activation (remaining == 1) halts
+            // without moving: exactly `remaining − 1` moves are left.
+            // Exactness here is what lets the adversary's bound prune
+            // collapse the deployment-interleaving lattice to one chain.
+            State::Deployment { remaining } => remaining.saturating_sub(1),
+            State::Done => 0,
+        })
     }
 }
 

@@ -29,7 +29,17 @@
 //!   fingerprint is already solved folds its entire subtree in `O(1)` —
 //!   its contribution is `combine(gain, rem)` — so **every distinct
 //!   state is expanded exactly once**, and the search degenerates to a
-//!   linear-in-states dynamic program over the configuration DAG.
+//!   linear-in-states dynamic program over the configuration DAG;
+//! * for [`Objective::TotalMoves`] on fault-free plans, an **admissible
+//!   upper bound** ([`Ring::max_remaining_moves`], the sum of the
+//!   per-agent [`Behavior::max_remaining_moves`] hints) cuts children
+//!   whose `gain + bound` cannot beat a value a solved sibling already
+//!   attained — such subtrees are skipped before they are ever
+//!   fingerprint-counted (reported as
+//!   [`WorstCase::bound_prunes`]). The cut never drops the maximum:
+//!   the bound over-approximates the child's true remaining value, and
+//!   the attaining sibling is already memoised, so both the Bellman
+//!   value and the witness descent survive intact.
 //!
 //! # Why remaining-value memoisation is exact
 //!
@@ -191,6 +201,13 @@ pub struct WorstCase {
     /// fingerprint was already solved, so the whole subtree contributed
     /// `combine(gain, rem)` in `O(1)` instead of being re-walked.
     pub dominance_prunes: u64,
+    /// Children cut by the admissible upper bound
+    /// ([`Ring::max_remaining_moves`]): `gain + bound ≤` a value a
+    /// solved sibling already attained, so the subtree was skipped
+    /// without ever being fingerprint-counted. Only the
+    /// [`Objective::TotalMoves`] objective on fault-free plans prunes
+    /// this way; everywhere else this stays `0`.
+    pub bound_prunes: u64,
     /// Terminal (quiescent) configurations encountered, counting memo
     /// re-encounters along different paths.
     pub terminal_hits: u64,
@@ -255,6 +272,7 @@ fn combine(objective: Objective, gain: u64, rest: u64) -> u64 {
 pub struct Adversary {
     limits: ExploreLimits,
     symmetry: SymmetryMode,
+    bound_prune: bool,
 }
 
 impl Default for Adversary {
@@ -271,6 +289,7 @@ impl Adversary {
         Adversary {
             limits: ExploreLimits::default(),
             symmetry: SymmetryMode::default(),
+            bound_prune: true,
         }
     }
 
@@ -288,6 +307,18 @@ impl Adversary {
     /// rotation-invariant).
     pub fn symmetry(mut self, symmetry: SymmetryMode) -> Self {
         self.symmetry = symmetry;
+        self
+    }
+
+    /// Enables or disables the admissible move-bound prune (default:
+    /// enabled). The prune only ever arms itself for
+    /// [`Objective::TotalMoves`] on fault-free plans, and only cuts when
+    /// the behaviors provide [`Behavior::max_remaining_moves`] hints;
+    /// disabling it forces the search to enumerate the full reachable
+    /// space, which the coverage tests and the `adversary_scale` bench
+    /// baselines rely on.
+    pub fn bound_prune(mut self, enabled: bool) -> Self {
+        self.bound_prune = enabled;
         self
     }
 
@@ -310,6 +341,14 @@ impl Adversary {
             Objective::PeakMemoryBits => cur.metrics().peak_memory_bits() as u64,
             _ => 0,
         };
+        // The move-bound prune is admissible only when the per-agent
+        // hints are: [`Behavior::max_remaining_moves`] promises a bound
+        // under *fault-free* schedules (a crash elsewhere can strand an
+        // algorithm's termination condition and make it walk longer), so
+        // the prune arms only for the moves objective on fault-free
+        // plans. Other objectives have no per-agent bound at all.
+        let bound_prune =
+            self.bound_prune && objective == Objective::TotalMoves && cur.fault_plan().is_empty();
 
         let mut visited: HashMap<u64, Entry, FpBuildHasher> = HashMap::default();
         visited.insert(root_fp, Entry::OnPath);
@@ -321,6 +360,7 @@ impl Adversary {
             distinct_states: 1,
             expansions: 1,
             dominance_prunes: 0,
+            bound_prunes: 0,
             terminal_hits: 0,
             max_depth_seen: 0,
         };
@@ -425,14 +465,38 @@ impl Adversary {
                     }
                 },
                 std::collections::hash_map::Entry::Vacant(slot) => {
-                    worst.distinct_states += 1;
-                    worst.expansions += 1;
                     if terminal {
                         // Terminals are solved on sight: nothing remains.
+                        worst.distinct_states += 1;
+                        worst.expansions += 1;
                         worst.terminal_hits += 1;
                         slot.insert(Entry::Done(0));
                         Some(0)
+                    } else if bound_prune
+                        && cur.max_remaining_moves().is_some_and(|ub| {
+                            let parent = stack.last().expect("child has a parent frame");
+                            // `best_rem > 0` certifies the bound was
+                            // *attained* by an already-memoised sibling
+                            // (it starts at 0 and only solved children
+                            // raise it); the witness descent relies on
+                            // that attainer existing when it skips this
+                            // never-memoised child.
+                            parent.best_rem > 0 && combine(objective, gain, ub) <= parent.best_rem
+                        })
+                    {
+                        // Admissible prune: even if every remaining move
+                        // the child's agents can make counts, the subtree
+                        // cannot beat a value a solved sibling already
+                        // achieves. The child is *not* entered into the
+                        // visited map — another path may still reach and
+                        // solve it exactly.
+                        worst.bound_prunes += 1;
+                        cache.revert(patch);
+                        cur.undo(undo);
+                        continue;
                     } else {
+                        worst.distinct_states += 1;
+                        worst.expansions += 1;
                         slot.insert(Entry::OnPath);
                         None
                     }
@@ -491,14 +555,17 @@ impl Adversary {
                         }
                     }
                 };
-                let Some(Entry::Done(rem)) = visited.get(&fp) else {
-                    unreachable!("every reachable state was solved by the completed search")
-                };
-                if combine(objective, gain, *rem) == need {
-                    worst.witness.push(act);
-                    need = *rem;
-                    advanced = true;
-                    break;
+                // A child absent from the map was bound-pruned (never
+                // expanded): the prune certified a solved sibling
+                // attains at least its best possible contribution, so
+                // skipping it cannot lose the Bellman optimum.
+                if let Some(Entry::Done(rem)) = visited.get(&fp) {
+                    if combine(objective, gain, *rem) == need {
+                        worst.witness.push(act);
+                        need = *rem;
+                        advanced = true;
+                        break;
+                    }
                 }
                 cache.revert(patch);
                 cur.undo(undo);
@@ -549,6 +616,7 @@ mod json_impls {
                 ("distinct_states", self.distinct_states.to_json()),
                 ("expansions", self.expansions.to_json()),
                 ("dominance_prunes", self.dominance_prunes.to_json()),
+                ("bound_prunes", self.bound_prunes.to_json()),
                 ("terminal_hits", self.terminal_hits.to_json()),
                 ("max_depth_seen", self.max_depth_seen.to_json()),
             ])
@@ -569,6 +637,8 @@ mod json_impls {
                 distinct_states: json.field("distinct_states")?,
                 expansions: json.field("expansions")?,
                 dominance_prunes: json.field("dominance_prunes")?,
+                // Absent in reports cached before the bound prune existed.
+                bound_prunes: json.optional_field("bound_prunes")?.unwrap_or(0),
                 terminal_hits: json.field("terminal_hits")?,
                 max_depth_seen: json.field("max_depth_seen")?,
             })
@@ -609,11 +679,14 @@ mod tests {
     }
 
     /// Stops early if it ever observes another staying agent at its node —
-    /// so the schedule genuinely changes the move count.
+    /// so the schedule genuinely changes the move count. When `hinted`,
+    /// it also reports its remaining hop budget as a move bound, arming
+    /// the adversary's admissible prune.
     #[derive(Clone, Hash, PartialEq, Eq)]
     struct Shy {
         hops: usize,
         released: bool,
+        hinted: bool,
     }
 
     impl Behavior for Shy {
@@ -629,6 +702,14 @@ mod tests {
         }
         fn memory_bits(&self) -> usize {
             8
+        }
+        fn max_remaining_moves(
+            &self,
+            _n: usize,
+            _discipline: crate::LinkDiscipline,
+        ) -> Option<u64> {
+            // The hop budget bounds moves under any discipline.
+            self.hinted.then_some(self.hops as u64)
         }
     }
 
@@ -662,6 +743,7 @@ mod tests {
         let make = |_| Shy {
             hops: 3,
             released: false,
+            hinted: true,
         };
         let ring = Ring::new(&init, make);
         let worst = Adversary::new()
@@ -690,20 +772,98 @@ mod tests {
         let ring = Ring::new(&init, |_| Shy {
             hops: 4,
             released: false,
+            hinted: false,
         });
         for objective in Objective::ALL {
-            let rotation = Adversary::new()
-                .symmetry(SymmetryMode::Rotation)
-                .run(&ring, objective)
-                .expect("rotation");
             let plain = Adversary::new()
                 .symmetry(SymmetryMode::Off)
                 .run(&ring, objective)
                 .expect("off");
-            assert_eq!(rotation.value, plain.value, "{objective}");
+            for quotient in [SymmetryMode::Rotation, SymmetryMode::Dihedral] {
+                let folded = Adversary::new()
+                    .symmetry(quotient)
+                    .run(&ring, objective)
+                    .expect("quotient mode");
+                assert_eq!(folded.value, plain.value, "{objective} under {quotient:?}");
+                assert!(
+                    folded.expansions <= plain.expansions,
+                    "{objective} under {quotient:?}: the quotient can only shrink the search"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bound_prune_preserves_value_and_witness() {
+        // Same instance solved with and without the per-agent move hint:
+        // identical worst value, a replayable witness, and the hinted run
+        // must actually cut subtrees.
+        let init = InitialConfig::new(5, vec![0, 1, 3]).expect("valid");
+        let make_hinted = |_| Shy {
+            hops: 4,
+            released: false,
+            hinted: true,
+        };
+        let hinted_ring = Ring::new(&init, make_hinted);
+        let plain_ring = Ring::new(&init, |_| Shy {
+            hops: 4,
+            released: false,
+            hinted: false,
+        });
+        for symmetry in [
+            SymmetryMode::Off,
+            SymmetryMode::Rotation,
+            SymmetryMode::Dihedral,
+        ] {
+            let pruned = Adversary::new()
+                .symmetry(symmetry)
+                .run(&hinted_ring, Objective::TotalMoves)
+                .expect("hinted search");
+            let exact = Adversary::new()
+                .symmetry(symmetry)
+                .run(&plain_ring, Objective::TotalMoves)
+                .expect("hintless search");
+            assert_eq!(exact.bound_prunes, 0, "no hint, no prune");
+            assert_eq!(
+                pruned.value, exact.value,
+                "{symmetry:?}: prune must be lossless"
+            );
             assert!(
-                rotation.expansions <= plain.expansions,
-                "{objective}: the quotient can only shrink the search"
+                pruned.bound_prunes > 0,
+                "{symmetry:?}: the hint must actually cut subtrees"
+            );
+            assert!(
+                pruned.expansions <= exact.expansions,
+                "{symmetry:?}: pruning can only shrink the expansion count"
+            );
+
+            let mut replay_ring = Ring::new(&init, make_hinted);
+            let outcome = replay_ring
+                .run(
+                    &mut Replay::new(pruned.witness.clone()),
+                    RunLimits::default(),
+                )
+                .expect("witness replays");
+            assert!(outcome.quiescent);
+            assert_eq!(outcome.metrics.total_moves(), pruned.value);
+        }
+    }
+
+    #[test]
+    fn bound_prune_is_disabled_for_other_objectives() {
+        let init = InitialConfig::new(5, vec![0, 1, 3]).expect("valid");
+        let ring = Ring::new(&init, |_| Shy {
+            hops: 4,
+            released: false,
+            hinted: true,
+        });
+        for objective in [Objective::TotalActivations, Objective::PeakMemoryBits] {
+            let worst = Adversary::new()
+                .run(&ring, objective)
+                .expect("search succeeds");
+            assert_eq!(
+                worst.bound_prunes, 0,
+                "{objective}: the hint only bounds moves"
             );
         }
     }

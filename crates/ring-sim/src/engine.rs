@@ -108,29 +108,52 @@ pub struct RunOutcome {
     pub metrics: Metrics,
 }
 
-pub(crate) struct AgentSlot<B: Behavior> {
-    pub(crate) behavior: B,
-    pub(crate) place: Place,
-    pub(crate) idle: Idle,
-    /// Whether the agent still holds its token.
-    pub(crate) token_held: bool,
-    home: NodeId,
+/// Flag bits of a packed agent word (low 16 bits; node in the high 16).
+/// The layout is shared verbatim with [`crate::packed::PackedState`] — the
+/// live engine now stores agents in the same structure-of-arrays form the
+/// packed snapshots proved 3–4× smaller, so `pack`/`restore` degenerate to
+/// flat copies and the step hot path touches one `u32` per agent instead
+/// of a struct-of-enums slot.
+pub(crate) const IN_TRANSIT: u32 = 1;
+pub(crate) const IDLE_SHIFT: u32 = 1;
+pub(crate) const IDLE_MASK: u32 = 0b110;
+pub(crate) const TOKEN_HELD: u32 = 1 << 3;
+
+/// Packs an agent's whereabouts into one word: `node << 16 |
+/// token_held << 3 | idle << 1 | in_transit`.
+#[inline]
+pub(crate) fn meta_word(place: Place, idle: Idle, token_held: bool) -> u32 {
+    let (transit, node) = match place {
+        Place::Staying { at } => (0, at.index()),
+        Place::InTransit { to } => (IN_TRANSIT, to.index()),
+    };
+    let idle = match idle {
+        Idle::Ready => 0u32,
+        Idle::Suspended => 1,
+        Idle::Halted => 2,
+    };
+    let held = if token_held { TOKEN_HELD } else { 0 };
+    (node as u32) << 16 | held | idle << IDLE_SHIFT | transit
 }
 
-impl<B: Behavior + Clone> Clone for AgentSlot<B> {
-    fn clone(&self) -> Self {
-        AgentSlot {
-            behavior: self.behavior.clone(),
-            place: self.place,
-            idle: self.idle,
-            token_held: self.token_held,
-            home: self.home,
-        }
+#[inline]
+pub(crate) fn meta_place(word: u32) -> Place {
+    let node = NodeId((word >> 16) as usize);
+    if word & IN_TRANSIT != 0 {
+        Place::InTransit { to: node }
+    } else {
+        Place::Staying { at: node }
     }
 }
 
-/// Sentinel for "agent has no enabled activation" in [`EnabledSet::pos`].
-const NOT_ENABLED: usize = usize::MAX;
+#[inline]
+pub(crate) fn meta_idle(word: u32) -> Idle {
+    match (word & IDLE_MASK) >> IDLE_SHIFT {
+        0 => Idle::Ready,
+        1 => Idle::Suspended,
+        _ => Idle::Halted,
+    }
+}
 
 /// The incrementally maintained set of enabled activations.
 ///
@@ -139,32 +162,37 @@ const NOT_ENABLED: usize = usize::MAX;
 /// making a run `Θ(n · steps)` regardless of how few agents were active.
 /// This structure is instead updated in place by the handful of mutations
 /// that can toggle enablement (link push/pop, inbox push/drain, idle-state
-/// transitions, halting), so a step costs `O(k)` in the worst case and
-/// `O(log k)` typically, independent of `n`.
+/// transitions, halting).
 ///
 /// # Invariants
 ///
-/// * At most one activation per agent is ever enabled (an agent is either
-///   in transit or staying, never both), so `pos` is keyed by agent.
 /// * `acts` is kept in the *canonical scan order* of the historical full
 ///   rescan — arrivals ordered by destination node, then wakes ordered by
-///   agent id (`keys[i] = dest_node` for arrivals, `n + agent` for wakes;
-///   keys are unique because each link queue has one head). Index-picking
+///   agent id, then fault moves (`keys[i] = dest_node` for arrivals,
+///   `n + agent` for wakes, `n + k + v` for `Down(v)`, `2n + k` for
+///   `Restore`; keys are unique because each link queue has one head and
+///   each agent has at most one enabled activation). Index-picking
 ///   schedulers such as [`Random`](crate::scheduler::Random) therefore
 ///   observe exactly the slice the rescan produced, byte for byte, which
 ///   is what makes executions bit-identical to the reference
 ///   implementation retained as [`Ring::enabled_rescan`]. Keeping an
-///   indexable, canonically ordered view is also why updates are `O(k)`
-///   memmoves rather than `O(1)` pointer swaps: `Scheduler::select`
+///   indexable, canonically ordered view is why updates are ordered
+///   inserts rather than `O(1)` swap-removes: `Scheduler::select`
 ///   consumes `&[Activation]` by index, so order is behaviorally
-///   significant and cannot be sacrificed for a swap-remove dense set.
-/// * `pos[s]` is the index of slot `s`'s activation in `acts`, or
-///   [`NOT_ENABLED`]. Slots `0..k` are the agents; under a fault plan
-///   with a dynamic-edge budget, slots `k..k+n` are the per-node `Down`
-///   moves and slot `k+n` is the `Restore` move (see
-///   [`crate::fault::EdgeFault`]). Fault-free rings never populate the
-///   fault slots, so their enabled slices are byte-identical to the
-///   pre-fault engine.
+///   significant.
+/// * Entries are located by **binary search on the key** — callers derive
+///   an activation's key from the configuration (the acting agent's
+///   packed place word, or the fault-move arithmetic), which is what
+///   removed the old per-slot position table and its `O(k)` rewrite loop
+///   after every memmove.
+/// * `hole` is the *lazy-removal* fast path: a removal only marks its
+///   index, and the next insert whose key fits between the hole's
+///   neighbors overwrites it in place. The dominant step pattern —
+///   consume one activation, re-enable one at the same or an adjacent key
+///   — therefore costs `O(log k)` with **zero** memmoves. A hole never
+///   outlives the engine operation that made it: every mutating path
+///   ends with [`EnabledSet::flush`], so the slice readers see is always
+///   compact.
 ///
 /// Which mutations toggle enablement (each arm of [`Ring::step`] updates
 /// the set exactly where the old code relied on the next rescan):
@@ -183,93 +211,104 @@ const NOT_ENABLED: usize = usize::MAX;
 ///   absent from the set.
 #[derive(Debug, Clone)]
 struct EnabledSet {
-    /// Sort keys parallel to `acts`; see the type-level invariants.
-    keys: Vec<usize>,
+    /// Sort keys parallel to `acts` (canonical scan positions; `2n + k`
+    /// tops out far below `u32::MAX` at the `u16`-indexed ring sizes the
+    /// packed agent words support).
+    keys: Vec<u32>,
     /// The enabled activations in canonical scan order.
     acts: Vec<Activation>,
-    /// Per-slot position into `acts`, or [`NOT_ENABLED`].
-    pos: Vec<usize>,
-    /// Ring size (fault-move slot arithmetic).
-    n: usize,
-    /// Agent count (fault-move slot arithmetic).
-    k: usize,
-}
-
-/// The `pos` slot of an activation: agents occupy `0..k`, `Down(v)`
-/// occupies `k + v`, `Restore` occupies `k + n`.
-fn slot_of(n: usize, k: usize, act: &Activation) -> usize {
-    match act.fault {
-        None => act.agent.index(),
-        Some(EdgeFault::Down(v)) => k + v.index(),
-        Some(EdgeFault::Restore) => k + n,
-    }
+    /// Index of a lazily removed entry awaiting reuse, if any.
+    hole: Option<usize>,
 }
 
 impl EnabledSet {
-    fn new(n: usize, agent_count: usize) -> Self {
+    fn new(agent_count: usize) -> Self {
         EnabledSet {
             keys: Vec::with_capacity(agent_count),
             acts: Vec::with_capacity(agent_count),
-            pos: vec![NOT_ENABLED; agent_count + n + 1],
-            n,
-            k: agent_count,
+            hole: None,
         }
     }
 
+    /// Commits a pending lazy removal, compacting the vectors.
+    fn flush(&mut self) {
+        if let Some(i) = self.hole.take() {
+            self.keys.remove(i);
+            self.acts.remove(i);
+        }
+    }
+
+    /// Locates `key` by binary search; a pending hole's stale entry is
+    /// reported as absent. Keys above `u32::MAX` (the "impossible form"
+    /// sentinel from [`Ring::enabled_key_of`]) are never present.
+    fn find(&self, key: usize) -> Option<usize> {
+        let key = u32::try_from(key).ok()?;
+        let i = self.keys.partition_point(|&k| k < key);
+        (self.keys.get(i) == Some(&key) && self.hole != Some(i)).then_some(i)
+    }
+
     fn as_slice(&self) -> &[Activation] {
+        debug_assert!(self.hole.is_none(), "read with uncommitted removal");
         &self.acts
     }
 
     fn is_empty(&self) -> bool {
+        debug_assert!(self.hole.is_none(), "read with uncommitted removal");
         self.acts.is_empty()
     }
 
     fn len(&self) -> usize {
+        debug_assert!(self.hole.is_none(), "read with uncommitted removal");
         self.acts.len()
     }
 
-    /// Whether exactly this activation (same agent, same form) is enabled.
-    fn contains(&self, act: Activation) -> bool {
-        let p = self.pos[slot_of(self.n, self.k, &act)];
-        p != NOT_ENABLED && self.acts[p] == act
+    /// Whether exactly this activation (same agent, same form) is enabled
+    /// under the given key.
+    fn contains(&self, key: usize, act: Activation) -> bool {
+        self.find(key).is_some_and(|i| self.acts[i] == act)
     }
 
     fn insert(&mut self, key: usize, act: Activation) {
-        debug_assert_eq!(
-            self.pos[slot_of(self.n, self.k, &act)],
-            NOT_ENABLED,
-            "agent {} already has an enabled activation",
-            act.agent
-        );
+        let key = u32::try_from(key).expect("enabled key fits u32");
+        debug_assert!(self.find(key as usize).is_none(), "duplicate key {key}");
+        if let Some(h) = self.hole.take() {
+            // Recycle the stale slot by sliding only the entries between
+            // it and the new key's sorted position — one short-range move
+            // instead of a full-tail `remove` plus a full-tail `insert`.
+            // In the hot path (an agent re-enabled one node further) the
+            // two positions are adjacent and nothing moves at all.
+            let p = self.keys.partition_point(|&k| k < key);
+            if h < p {
+                // Stale entry sorts before the new key: shift the gap left.
+                self.keys.copy_within(h + 1..p, h);
+                self.acts.copy_within(h + 1..p, h);
+                self.keys[p - 1] = key;
+                self.acts[p - 1] = act;
+            } else {
+                // Stale entry sorts at or after the new key: shift right.
+                self.keys.copy_within(p..h, p + 1);
+                self.acts.copy_within(p..h, p + 1);
+                self.keys[p] = key;
+                self.acts[p] = act;
+            }
+            return;
+        }
         let i = self.keys.partition_point(|&k| k < key);
-        debug_assert!(self.keys.get(i) != Some(&key), "duplicate key {key}");
         self.keys.insert(i, key);
         self.acts.insert(i, act);
-        let (n, k) = (self.n, self.k);
-        for (j, a) in self.acts.iter().enumerate().skip(i) {
-            self.pos[slot_of(n, k, a)] = j;
-        }
     }
 
-    fn remove(&mut self, agent: AgentId) {
-        self.remove_slot(agent.index());
-    }
-
-    /// Removes a fault move (or any activation) by its slot.
-    fn remove_act(&mut self, act: &Activation) {
-        self.remove_slot(slot_of(self.n, self.k, act));
-    }
-
-    fn remove_slot(&mut self, slot: usize) {
-        let i = self.pos[slot];
-        assert!(i != NOT_ENABLED, "slot {slot} has no enabled activation");
-        self.keys.remove(i);
-        self.acts.remove(i);
-        self.pos[slot] = NOT_ENABLED;
-        let (n, k) = (self.n, self.k);
-        for (j, a) in self.acts.iter().enumerate().skip(i) {
-            self.pos[slot_of(n, k, a)] = j;
-        }
+    /// Removes the entry at `key` (lazily — see the type-level docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entry with this key is present.
+    fn remove(&mut self, key: usize) {
+        self.flush();
+        let i = self
+            .find(key)
+            .unwrap_or_else(|| panic!("key {key} has no enabled activation"));
+        self.hole = Some(i);
     }
 }
 
@@ -289,7 +328,15 @@ pub struct Ring<B: Behavior> {
     pub(crate) links: Vec<VecDeque<AgentId>>,
     /// `m_j`: pending messages per agent.
     pub(crate) inboxes: Vec<VecDeque<B::Message>>,
-    pub(crate) agents: Vec<AgentSlot<B>>,
+    /// Behavior state per agent (the only generically sized per-agent
+    /// column of the structure-of-arrays layout).
+    pub(crate) behaviors: Vec<B>,
+    /// Packed per-agent whereabouts word — `node << 16 | token_held << 3
+    /// | idle << 1 | in_transit`, the same layout as
+    /// [`crate::packed::PackedState`].
+    pub(crate) meta: Vec<u32>,
+    /// Home node per agent (immutable after construction).
+    homes: Vec<NodeId>,
     /// Incrementally maintained enabled activations; see [`EnabledSet`].
     enabled: EnabledSet,
     metrics: Metrics,
@@ -322,7 +369,9 @@ where
             staying: self.staying.clone(),
             links: self.links.clone(),
             inboxes: self.inboxes.clone(),
-            agents: self.agents.clone(),
+            behaviors: self.behaviors.clone(),
+            meta: self.meta.clone(),
+            homes: self.homes.clone(),
             enabled: self.enabled.clone(),
             metrics: self.metrics.clone(),
             trace: self.trace.clone(),
@@ -412,22 +461,28 @@ impl<B: Behavior> Ring<B> {
     pub fn new(init: &InitialConfig, mut make_behavior: impl FnMut(AgentId) -> B) -> Self {
         let n = init.ring_size();
         let k = init.agent_count();
+        assert!(
+            n <= u16::MAX as usize + 1 && k <= u16::MAX as usize,
+            "packed agent words index nodes and agents with u16 (n = {n}, k = {k})"
+        );
         let mut links: Vec<VecDeque<AgentId>> = vec![VecDeque::new(); n];
-        let mut agents = Vec::with_capacity(k);
+        let mut behaviors = Vec::with_capacity(k);
+        let mut meta = Vec::with_capacity(k);
+        let mut homes = Vec::with_capacity(k);
         for (i, &home) in init.homes().iter().enumerate() {
             let id = AgentId(i);
             links[home].push_back(id);
-            agents.push(AgentSlot {
-                behavior: make_behavior(id),
-                place: Place::InTransit { to: NodeId(home) },
-                idle: Idle::Ready,
-                token_held: true,
-                home: NodeId(home),
-            });
+            behaviors.push(make_behavior(id));
+            meta.push(meta_word(
+                Place::InTransit { to: NodeId(home) },
+                Idle::Ready,
+                true,
+            ));
+            homes.push(NodeId(home));
         }
         let mut metrics = Metrics::new(k);
-        for slot in &agents {
-            metrics.observe_memory(slot.behavior.memory_bits());
+        for behavior in &behaviors {
+            metrics.observe_memory(behavior.memory_bits());
         }
         let faults = init.faults().clone();
         let outages_left = faults.edge_outages();
@@ -437,10 +492,12 @@ impl<B: Behavior> Ring<B> {
             staying: vec![Vec::new(); n],
             links,
             inboxes: vec![VecDeque::new(); k],
-            agents,
+            behaviors,
+            meta,
+            homes,
             // Placeholder; seeded from the rescan below (every home
             // buffer's head may arrive; no agent stays yet).
-            enabled: EnabledSet::new(n, k),
+            enabled: EnabledSet::new(k),
             metrics,
             trace: None,
             phases: Vec::new(),
@@ -454,6 +511,11 @@ impl<B: Behavior> Ring<B> {
         };
         ring.enabled = ring.rebuilt_enabled();
         ring
+    }
+
+    /// The link queueing discipline in force.
+    pub fn link_discipline(&self) -> LinkDiscipline {
+        self.discipline
     }
 
     /// Switches the link queueing discipline — **ablation only**; see
@@ -502,7 +564,7 @@ impl<B: Behavior> Ring<B> {
 
     /// Number of agents `k`.
     pub fn agent_count(&self) -> usize {
-        self.agents.len()
+        self.meta.len()
     }
 
     /// Metrics accumulated so far.
@@ -516,7 +578,7 @@ impl<B: Behavior> Ring<B> {
     ///
     /// Panics if `id` is out of range.
     pub fn behavior(&self, id: AgentId) -> &B {
-        &self.agents[id.index()].behavior
+        &self.behaviors[id.index()]
     }
 
     /// The home node of an agent.
@@ -525,7 +587,7 @@ impl<B: Behavior> Ring<B> {
     ///
     /// Panics if `id` is out of range.
     pub fn home_of(&self, id: AgentId) -> NodeId {
-        self.agents[id.index()].home
+        self.homes[id.index()]
     }
 
     /// The current place of an agent (staying at a node or in transit).
@@ -534,7 +596,7 @@ impl<B: Behavior> Ring<B> {
     ///
     /// Panics if `id` is out of range.
     pub fn place_of(&self, id: AgentId) -> Place {
-        self.agents[id.index()].place
+        meta_place(self.meta[id.index()])
     }
 
     /// The current idle state of an agent (meaningful when staying).
@@ -543,7 +605,85 @@ impl<B: Behavior> Ring<B> {
     ///
     /// Panics if `id` is out of range.
     pub fn idle_of(&self, id: AgentId) -> Idle {
-        self.agents[id.index()].idle
+        meta_idle(self.meta[id.index()])
+    }
+
+    #[inline]
+    fn set_place(&mut self, idx: usize, place: Place) {
+        let (transit, node) = match place {
+            Place::Staying { at } => (0, at.index()),
+            Place::InTransit { to } => (IN_TRANSIT, to.index()),
+        };
+        let word = &mut self.meta[idx];
+        *word = (*word & (IDLE_MASK | TOKEN_HELD)) | (node as u32) << 16 | transit;
+    }
+
+    #[inline]
+    fn set_idle(&mut self, idx: usize, idle: Idle) {
+        let bits = match idle {
+            Idle::Ready => 0u32,
+            Idle::Suspended => 1,
+            Idle::Halted => 2,
+        };
+        let word = &mut self.meta[idx];
+        *word = (*word & !IDLE_MASK) | bits << IDLE_SHIFT;
+    }
+
+    #[inline]
+    fn set_token_held(&mut self, idx: usize, held: bool) {
+        if held {
+            self.meta[idx] |= TOKEN_HELD;
+        } else {
+            self.meta[idx] &= !TOKEN_HELD;
+        }
+    }
+
+    /// The canonical-scan key under which `act` would currently live in
+    /// the enabled set: arrivals sort by destination node, wakes by
+    /// `n + agent`, fault moves by `n + k + v` / `2n + k`. An activation
+    /// whose form contradicts the agent's current place (an arrival for a
+    /// staying agent or vice versa) cannot be enabled and maps to an
+    /// impossible key.
+    #[inline]
+    fn enabled_key_of(&self, act: Activation) -> usize {
+        match act.fault {
+            Some(EdgeFault::Down(v)) => self.n + self.meta.len() + v.index(),
+            Some(EdgeFault::Restore) => 2 * self.n + self.meta.len(),
+            None => {
+                let word = self.meta[act.agent.index()];
+                let transit = word & IN_TRANSIT != 0;
+                if act.arrival && transit {
+                    (word >> 16) as usize
+                } else if !act.arrival && !transit {
+                    self.n + act.agent.index()
+                } else {
+                    usize::MAX
+                }
+            }
+        }
+    }
+
+    /// Removes agent `id`'s enabled activation, deriving its key from the
+    /// agent's current place word (in transit ⇒ the arrival at its
+    /// destination; staying ⇒ its wake).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the agent has no enabled activation.
+    #[inline]
+    fn enabled_remove_agent(&mut self, id: AgentId) {
+        let word = self.meta[id.index()];
+        let key = if word & IN_TRANSIT != 0 {
+            (word >> 16) as usize
+        } else {
+            self.n + id.index()
+        };
+        debug_assert_eq!(
+            self.enabled.find(key).map(|i| self.enabled.acts[i].agent),
+            Some(id),
+            "enabled entry at key {key} does not belong to {id}"
+        );
+        self.enabled.remove(key);
     }
 
     /// Token count at each node (`T` of Table 2).
@@ -614,11 +754,12 @@ impl<B: Behavior> Ring<B> {
         }
         let want = self.outages_left > 0 && self.down_edge.is_none() && !self.links[v].is_empty();
         let act = Activation::fault_down(NodeId(v));
-        let have = self.enabled.contains(act);
+        let key = self.n + self.meta.len() + v;
+        let have = self.enabled.contains(key, act);
         if want && !have {
-            self.enabled.insert(self.n + self.agents.len() + v, act);
+            self.enabled.insert(key, act);
         } else if !want && have {
-            self.enabled.remove_act(&act);
+            self.enabled.remove(key);
         }
     }
 
@@ -633,12 +774,13 @@ impl<B: Behavior> Ring<B> {
             self.sync_down_candidate(v);
         }
         let act = Activation::fault_restore();
+        let key = 2 * self.n + self.meta.len();
         let want = self.down_edge.is_some();
-        let have = self.enabled.contains(act);
+        let have = self.enabled.contains(key, act);
         if want && !have {
-            self.enabled.insert(2 * self.n + self.agents.len(), act);
+            self.enabled.insert(key, act);
         } else if !want && have {
-            self.enabled.remove_act(&act);
+            self.enabled.remove(key);
         }
     }
 
@@ -669,17 +811,18 @@ impl<B: Behavior> Ring<B> {
             p.remove(pos);
             left_staying_pos = Some(pos);
         }
-        let released_token = self.agents[idx].token_held;
+        let released_token = self.meta[idx] & TOKEN_HELD != 0;
         if released_token {
-            self.agents[idx].token_held = false;
+            self.set_token_held(idx, false);
             self.tokens[node.index()] += 1;
             self.metrics.record_token_release();
         }
-        self.agents[idx].place = Place::Staying { at: node };
-        self.agents[idx].idle = Idle::Halted;
+        self.set_place(idx, Place::Staying { at: node });
+        self.set_idle(idx, Idle::Halted);
         self.crashed[idx] = true;
         self.acted[idx] += 1;
         self.steps += 1;
+        self.enabled.flush();
         (drained, left_staying_pos, released_token)
     }
 
@@ -687,7 +830,7 @@ impl<B: Behavior> Ring<B> {
     /// validated as enabled). Returns the affected node and the previous
     /// down edge for the undo record.
     fn edge_fault_finish(&mut self, activation: Activation) -> (NodeId, Option<NodeId>) {
-        self.enabled.remove_act(&activation);
+        self.enabled.remove(self.enabled_key_of(activation));
         let prev_down_edge = self.down_edge;
         let node = match activation
             .fault
@@ -699,10 +842,8 @@ impl<B: Behavior> Ring<B> {
                 self.down_edge = Some(v);
                 // The head arrival of the downed edge leaves the set
                 // (Down requires a non-empty queue, so a head exists).
-                let head = *self.links[v.index()]
-                    .front()
-                    .expect("Down requires a non-empty queue");
-                self.enabled.remove(head);
+                debug_assert!(!self.links[v.index()].is_empty());
+                self.enabled.remove(v.index());
                 v
             }
             EdgeFault::Restore => {
@@ -720,15 +861,16 @@ impl<B: Behavior> Ring<B> {
         // enablement may change.
         self.sync_all_fault_moves();
         self.steps += 1;
+        self.enabled.flush();
         (node, prev_down_edge)
     }
 
     /// If **all** agents are staying, returns their node indices in agent
     /// order; `None` if any agent is in transit.
     pub fn staying_positions(&self) -> Option<Vec<usize>> {
-        self.agents
+        self.meta
             .iter()
-            .map(|slot| match slot.place {
+            .map(|&word| match meta_place(word) {
                 Place::Staying { at } => Some(at.index()),
                 Place::InTransit { .. } => None,
             })
@@ -747,16 +889,16 @@ impl<B: Behavior> Ring<B> {
 
     /// Whether every agent is in the halt state.
     pub fn all_halted(&self) -> bool {
-        self.agents
+        self.meta
             .iter()
-            .all(|s| matches!(s.place, Place::Staying { .. }) && s.idle == Idle::Halted)
+            .all(|&w| w & IN_TRANSIT == 0 && meta_idle(w) == Idle::Halted)
     }
 
     /// Whether every agent is in a suspended state.
     pub fn all_suspended(&self) -> bool {
-        self.agents
+        self.meta
             .iter()
-            .all(|s| matches!(s.place, Place::Staying { .. }) && s.idle == Idle::Suspended)
+            .all(|&w| w & IN_TRANSIT == 0 && meta_idle(w) == Idle::Suspended)
     }
 
     /// The currently enabled activations:
@@ -801,9 +943,9 @@ impl<B: Behavior> Ring<B> {
                 out.push(Activation::arrival(head));
             }
         }
-        for (i, slot) in self.agents.iter().enumerate() {
-            if let Place::Staying { .. } = slot.place {
-                let wake = match slot.idle {
+        for (i, &word) in self.meta.iter().enumerate() {
+            if word & IN_TRANSIT == 0 {
+                let wake = match meta_idle(word) {
                     Idle::Ready => true,
                     Idle::Suspended => !self.inboxes[i].is_empty(),
                     Idle::Halted => false,
@@ -839,7 +981,8 @@ impl<B: Behavior> Ring<B> {
         // Edge-fault moves mutate link availability, not agents.
         if activation.is_fault() {
             assert!(
-                self.enabled.contains(activation),
+                self.enabled
+                    .contains(self.enabled_key_of(activation), activation),
                 "fault move {activation:?} is not enabled"
             );
             self.edge_fault_finish(activation);
@@ -851,15 +994,16 @@ impl<B: Behavior> Ring<B> {
         // 0. Consume the activation from the enabled set; the arms below
         // re-insert whatever the mutations re-enable.
         assert!(
-            self.enabled.contains(activation),
+            self.enabled
+                .contains(self.enabled_key_of(activation), activation),
             "activation of {id} (arrival: {}) is not enabled",
             activation.arrival
         );
-        self.enabled.remove(id);
+        self.enabled_remove_agent(id);
 
         // 1. Resolve the node and (for arrivals) complete the move.
         let node = if activation.arrival {
-            let to = match self.agents[idx].place {
+            let to = match meta_place(self.meta[idx]) {
                 Place::InTransit { to } => to,
                 Place::Staying { .. } => panic!("arrival activation for staying agent {id}"),
             };
@@ -879,7 +1023,7 @@ impl<B: Behavior> Ring<B> {
             self.sync_down_candidate(to.index());
             to
         } else {
-            match self.agents[idx].place {
+            match meta_place(self.meta[idx]) {
                 Place::Staying { at } => at,
                 Place::InTransit { .. } => panic!("wake activation for in-transit agent {id}"),
             }
@@ -915,12 +1059,12 @@ impl<B: Behavior> Ring<B> {
             messages: &messages,
             arrived: activation.arrival,
         };
-        let action: Action<B::Message> = self.agents[idx].behavior.act(&obs);
+        let action: Action<B::Message> = self.behaviors[idx].act(&obs);
         self.steps += 1;
         self.metrics.record_activation(id);
         self.metrics
-            .observe_memory(self.agents[idx].behavior.memory_bits());
-        let phase = self.agents[idx].behavior.phase_name();
+            .observe_memory(self.behaviors[idx].memory_bits());
+        let phase = self.behaviors[idx].phase_name();
         let tally = match self.phases.iter_mut().find(|t| t.name == phase) {
             Some(tally) => tally,
             None => {
@@ -942,17 +1086,17 @@ impl<B: Behavior> Ring<B> {
                 node,
                 arrived: activation.arrival,
                 messages: messages.len(),
-                phase: self.agents[idx].behavior.phase_name(),
+                phase: self.behaviors[idx].phase_name(),
             });
         }
 
         // 4a. Token release.
         if action.release_token {
             assert!(
-                self.agents[idx].token_held,
+                self.meta[idx] & TOKEN_HELD != 0,
                 "agent {id} released its token twice"
             );
-            self.agents[idx].token_held = false;
+            self.set_token_held(idx, false);
             self.tokens[node.index()] += 1;
             self.metrics.record_token_release();
             if let Some(trace) = &mut self.trace {
@@ -976,7 +1120,7 @@ impl<B: Behavior> Ring<B> {
                 let was_empty = self.inboxes[a.index()].is_empty();
                 self.inboxes[a.index()].push_back(msg.clone());
                 receivers += 1;
-                if was_empty && self.agents[a.index()].idle == Idle::Suspended {
+                if was_empty && meta_idle(self.meta[a.index()]) == Idle::Suspended {
                     self.enabled.insert(self.n + a.index(), Activation::wake(a));
                 }
             }
@@ -1022,17 +1166,19 @@ impl<B: Behavior> Ring<B> {
                         // On a down edge the old head was already disabled
                         // and the new one stays out of the set.
                         if !dest_down {
-                            let displaced = q.get(1).copied();
-                            if let Some(displaced) = displaced {
-                                self.enabled.remove(displaced);
+                            // The displaced head's arrival shares the
+                            // mover's key (both are keyed by `dest`), so
+                            // remove+insert reuses the hole in place.
+                            if q.get(1).is_some() {
+                                self.enabled.remove(dest.index());
                             }
                             self.enabled.insert(dest.index(), Activation::arrival(id));
                         }
                     }
                 }
                 self.sync_down_candidate(dest.index());
-                self.agents[idx].place = Place::InTransit { to: dest };
-                self.agents[idx].idle = Idle::Ready;
+                self.set_place(idx, Place::InTransit { to: dest });
+                self.set_idle(idx, Idle::Ready);
                 self.metrics.record_move(id);
                 if let Some(trace) = &mut self.trace {
                     trace.push(Event::Moved {
@@ -1046,8 +1192,8 @@ impl<B: Behavior> Ring<B> {
                 if activation.arrival {
                     self.staying[node.index()].push(id);
                 }
-                self.agents[idx].place = Place::Staying { at: node };
-                self.agents[idx].idle = idle;
+                self.set_place(idx, Place::Staying { at: node });
+                self.set_idle(idx, idle);
                 // Idle transition: `Ready` re-enables the agent;
                 // `Suspended` wakes only on a non-empty inbox (always empty
                 // here — the inbox was drained this step and broadcasts
@@ -1070,6 +1216,7 @@ impl<B: Behavior> Ring<B> {
                 }
             }
         }
+        self.enabled.flush();
     }
 
     /// Executes one atomic action exactly like [`Ring::step`], but returns
@@ -1107,7 +1254,8 @@ impl<B: Behavior> Ring<B> {
         // toggled edge and the previous down state.
         if activation.is_fault() {
             assert!(
-                self.enabled.contains(activation),
+                self.enabled
+                    .contains(self.enabled_key_of(activation), activation),
                 "fault move {activation:?} is not enabled"
             );
             let prev_peak_memory_bits = self.metrics.peak_memory_bits();
@@ -1137,14 +1285,15 @@ impl<B: Behavior> Ring<B> {
         let idx = id.index();
 
         assert!(
-            self.enabled.contains(activation),
+            self.enabled
+                .contains(self.enabled_key_of(activation), activation),
             "activation of {id} (arrival: {}) is not enabled",
             activation.arrival
         );
-        self.enabled.remove(id);
+        self.enabled_remove_agent(id);
 
-        let prev_place = self.agents[idx].place;
-        let prev_idle = self.agents[idx].idle;
+        let prev_place = meta_place(self.meta[idx]);
+        let prev_idle = meta_idle(self.meta[idx]);
         let prev_peak_memory_bits = self.metrics.peak_memory_bits();
 
         // 1. Resolve the node and (for arrivals) complete the move.
@@ -1201,7 +1350,7 @@ impl<B: Behavior> Ring<B> {
             };
         }
         self.acted[idx] += 1;
-        let prev_behavior = self.agents[idx].behavior.clone();
+        let prev_behavior = self.behaviors[idx].clone();
 
         // 2. Consume all pending messages (kept for the undo record).
         let drained: Vec<B::Message> = self.inboxes[idx].drain(..).collect();
@@ -1217,12 +1366,12 @@ impl<B: Behavior> Ring<B> {
             messages: &drained,
             arrived: activation.arrival,
         };
-        let action: Action<B::Message> = self.agents[idx].behavior.act(&obs);
+        let action: Action<B::Message> = self.behaviors[idx].act(&obs);
         self.steps += 1;
         self.metrics.record_activation(id);
         self.metrics
-            .observe_memory(self.agents[idx].behavior.memory_bits());
-        let phase = self.agents[idx].behavior.phase_name();
+            .observe_memory(self.behaviors[idx].memory_bits());
+        let phase = self.behaviors[idx].phase_name();
         let phase_pos = self.phases.iter().position(|t| t.name == phase);
         let phase_new = phase_pos.is_none();
         let tally = match phase_pos {
@@ -1245,10 +1394,10 @@ impl<B: Behavior> Ring<B> {
         let released_token = action.release_token;
         if released_token {
             assert!(
-                self.agents[idx].token_held,
+                self.meta[idx] & TOKEN_HELD != 0,
                 "agent {id} released its token twice"
             );
-            self.agents[idx].token_held = false;
+            self.set_token_held(idx, false);
             self.tokens[node.index()] += 1;
             self.metrics.record_token_release();
         }
@@ -1264,7 +1413,7 @@ impl<B: Behavior> Ring<B> {
             for a in targets {
                 let was_empty = self.inboxes[a.index()].is_empty();
                 self.inboxes[a.index()].push_back(msg.clone());
-                let enables = was_empty && self.agents[a.index()].idle == Idle::Suspended;
+                let enables = was_empty && meta_idle(self.meta[a.index()]) == Idle::Suspended;
                 if enables {
                     self.enabled.insert(self.n + a.index(), Activation::wake(a));
                 }
@@ -1305,8 +1454,8 @@ impl<B: Behavior> Ring<B> {
                         q.push_front(id);
                         if !dest_down {
                             displaced = q.get(1).copied();
-                            if let Some(displaced) = displaced {
-                                self.enabled.remove(displaced);
+                            if displaced.is_some() {
+                                self.enabled.remove(dest.index());
                             }
                             re_enabled = true;
                             self.enabled.insert(dest.index(), Activation::arrival(id));
@@ -1314,16 +1463,16 @@ impl<B: Behavior> Ring<B> {
                     }
                 }
                 self.sync_down_candidate(dest.index());
-                self.agents[idx].place = Place::InTransit { to: dest };
-                self.agents[idx].idle = Idle::Ready;
+                self.set_place(idx, Place::InTransit { to: dest });
+                self.set_idle(idx, Idle::Ready);
                 self.metrics.record_move(id);
             }
             Next::Stay(idle) => {
                 if activation.arrival {
                     self.staying[node.index()].push(id);
                 }
-                self.agents[idx].place = Place::Staying { at: node };
-                self.agents[idx].idle = idle;
+                self.set_place(idx, Place::Staying { at: node });
+                self.set_idle(idx, idle);
                 let wake = match idle {
                     Idle::Ready => true,
                     Idle::Suspended => !self.inboxes[idx].is_empty(),
@@ -1335,6 +1484,7 @@ impl<B: Behavior> Ring<B> {
                 }
             }
         }
+        self.enabled.flush();
 
         StepUndo {
             activation,
@@ -1391,14 +1541,15 @@ impl<B: Behavior> Ring<B> {
             if let Some(&head) = self.links[node.index()].front() {
                 let act = Activation::arrival(head);
                 let blocked = self.down_edge == Some(node);
-                let have = self.enabled.contains(act);
+                let have = self.enabled.contains(node.index(), act);
                 if blocked && have {
-                    self.enabled.remove(head);
+                    self.enabled.remove(node.index());
                 } else if !blocked && !have {
                     self.enabled.insert(node.index(), act);
                 }
             }
             self.sync_all_fault_moves();
+            self.enabled.flush();
             return;
         }
         // Crash-stops reverse the stage-1 + crash bookkeeping only — no
@@ -1421,10 +1572,10 @@ impl<B: Behavior> Ring<B> {
             self.crashed[idx] = false;
             self.acted[idx] -= 1;
             self.steps -= 1;
-            self.agents[idx].place = prev_place;
-            self.agents[idx].idle = prev_idle;
+            self.set_place(idx, prev_place);
+            self.set_idle(idx, prev_idle);
             if released_token {
-                self.agents[idx].token_held = true;
+                self.set_token_held(idx, true);
                 self.tokens[node.index()] -= 1;
                 self.metrics.unrecord_token_release();
             }
@@ -1438,7 +1589,7 @@ impl<B: Behavior> Ring<B> {
             self.inboxes[idx].extend(drained);
             if activation.arrival {
                 if let Some(s) = successor_enabled {
-                    self.enabled.remove(s);
+                    self.enabled_remove_agent(s);
                 }
                 self.links[node.index()].push_front(id);
                 self.sync_down_candidate(node.index());
@@ -1449,6 +1600,7 @@ impl<B: Behavior> Ring<B> {
                 self.n + idx
             };
             self.enabled.insert(key, activation);
+            self.enabled.flush();
             return;
         }
         let StepUndo {
@@ -1478,7 +1630,7 @@ impl<B: Behavior> Ring<B> {
         if moved {
             let dest = node.next(self.n);
             if re_enabled {
-                self.enabled.remove(id);
+                self.enabled_remove_agent(id);
             }
             let q = &mut self.links[dest.index()];
             match self.discipline {
@@ -1502,15 +1654,15 @@ impl<B: Behavior> Ring<B> {
             self.metrics.unrecord_move(id);
         } else {
             if re_enabled {
-                self.enabled.remove(id);
+                self.enabled_remove_agent(id);
             }
             if activation.arrival {
                 let popped = self.staying[node.index()].pop();
                 debug_assert_eq!(popped, Some(id), "undo out of order: settler not last");
             }
         }
-        self.agents[idx].place = prev_place;
-        self.agents[idx].idle = prev_idle;
+        self.set_place(idx, prev_place);
+        self.set_idle(idx, prev_idle);
 
         // 4b'. Reverse the broadcast, last delivery first.
         for &(a, enabled) in receivers.iter().rev() {
@@ -1520,14 +1672,14 @@ impl<B: Behavior> Ring<B> {
                 "undo out of order: delivered message gone"
             );
             if enabled {
-                self.enabled.remove(a);
+                self.enabled_remove_agent(a);
             }
         }
         self.metrics.unrecord_broadcast(receivers.len());
 
         // 4a'. Reverse the token release.
         if released_token {
-            self.agents[idx].token_held = true;
+            self.set_token_held(idx, true);
             self.tokens[node.index()] -= 1;
             self.metrics.unrecord_token_release();
         }
@@ -1550,7 +1702,7 @@ impl<B: Behavior> Ring<B> {
         self.metrics.set_peak_memory(prev_peak_memory_bits);
         self.steps -= 1;
         self.acted[idx] -= 1;
-        self.agents[idx].behavior = prev_behavior.expect("normal step records its prev behavior");
+        self.behaviors[idx] = prev_behavior.expect("normal step records its prev behavior");
 
         // 2'. Restore the drained inbox (FIFO order preserved).
         debug_assert!(
@@ -1563,7 +1715,7 @@ impl<B: Behavior> Ring<B> {
         // displacing the successor we enabled.
         if activation.arrival {
             if let Some(s) = successor_enabled {
-                self.enabled.remove(s);
+                self.enabled_remove_agent(s);
             }
             self.links[node.index()].push_front(id);
             self.sync_down_candidate(node.index());
@@ -1576,6 +1728,7 @@ impl<B: Behavior> Ring<B> {
             self.n + idx
         };
         self.enabled.insert(key, activation);
+        self.enabled.flush();
     }
 
     /// Runs asynchronously under `scheduler` until quiescence.
@@ -1711,7 +1864,7 @@ impl<B: Behavior> Ring<B> {
     /// predicate external round drivers (e.g. the vis space-time capture)
     /// should use instead of re-deriving enablement from queue state.
     pub fn is_enabled(&self, act: Activation) -> bool {
-        self.enabled.contains(act)
+        self.enabled.contains(self.enabled_key_of(act), act)
     }
 
     /// Number of pending messages for an agent.
@@ -1721,7 +1874,7 @@ impl<B: Behavior> Ring<B> {
 
     /// Whether the agent still holds its token.
     pub fn token_held(&self, id: AgentId) -> bool {
-        self.agents[id.index()].token_held
+        self.meta[id.index()] & TOKEN_HELD != 0
     }
 
     /// Borrowed view of the staying sets `P = (p_0, …, p_{n-1})`, in list
@@ -1754,11 +1907,12 @@ impl<B: Behavior> Ring<B> {
         self.staying.hash(h);
         self.links.hash(h);
         self.inboxes.hash(h);
-        for slot in &self.agents {
-            slot.behavior.hash(h);
-            slot.place.hash(h);
-            slot.idle.hash(h);
-            slot.token_held.hash(h);
+        for (idx, behavior) in self.behaviors.iter().enumerate() {
+            let word = self.meta[idx];
+            behavior.hash(h);
+            meta_place(word).hash(h);
+            meta_idle(word).hash(h);
+            (word & TOKEN_HELD != 0).hash(h);
         }
         // Fault state is schedule-relevant (it gates future crash firings
         // and edge moves) but hashed only under a non-empty plan, so
@@ -1826,10 +1980,10 @@ impl<B: Behavior> Ring<B> {
         use std::hash::{Hash, Hasher};
         let faulted = !self.faults.is_empty();
         let hash_agent = |h: &mut MixHasher, idx: usize| {
-            let slot = &self.agents[idx];
-            slot.behavior.hash(h);
-            slot.idle.hash(h);
-            slot.token_held.hash(h);
+            let word = self.meta[idx];
+            self.behaviors[idx].hash(h);
+            meta_idle(word).hash(h);
+            (word & TOKEN_HELD != 0).hash(h);
             self.inboxes[idx].hash(h);
             // Under a fault plan, an agent's pending crash clock is part
             // of its anonymous local data (remaining activations, not the
@@ -1884,6 +2038,198 @@ impl<B: Behavior> Ring<B> {
         h.finish() | 1
     }
 
+    /// The **split** symbol of node `v`: `(node part, edge part)` — the
+    /// raw material of the dihedral quotient (see [`crate::canonical`]).
+    ///
+    /// Unlike [`node_symbol`](Ring::node_symbol), which folds a node's
+    /// staying set and incoming link queue into one word, the split form
+    /// keeps them separate so a reflection (which re-pairs nodes with the
+    /// *other* adjacent edge) can be expressed as a re-pairing of
+    /// unchanged parts. Two further differences, both deliberate:
+    ///
+    /// * the node part hashes the staying agents as a **sorted multiset**
+    ///   of their full agent hashes, not in list order — list order is
+    ///   unobservable (an [`Observation`](crate::agent::Observation)
+    ///   exposes only the count, and broadcasts deliver to every
+    ///   co-located agent), so the dihedral quotient also merges states
+    ///   differing only by a relabeling of equally-stated staying agents;
+    /// * the edge part keeps the link queue in **queue order** — arrival
+    ///   order *is* observable under FIFO.
+    ///
+    /// Like `node_symbol`, a step invalidates at most the parts of the
+    /// node acted at and the move destination.
+    pub fn node_symbol_split(&self, v: usize) -> (u64, u64)
+    where
+        B: std::hash::Hash,
+        B::Message: std::hash::Hash,
+    {
+        use crate::canonical::MixHasher;
+        use std::hash::{Hash, Hasher};
+        let faulted = !self.faults.is_empty();
+        let agent_word = |idx: usize| -> u64 {
+            let mut h = MixHasher::default();
+            let word = self.meta[idx];
+            self.behaviors[idx].hash(&mut h);
+            meta_idle(word).hash(&mut h);
+            (word & TOKEN_HELD != 0).hash(&mut h);
+            self.inboxes[idx].hash(&mut h);
+            if faulted {
+                match self.faults.crash_after(AgentId(idx)) {
+                    Some(after) if !self.crashed[idx] => {
+                        1u8.hash(&mut h);
+                        after.saturating_sub(self.acted[idx]).hash(&mut h);
+                    }
+                    _ => 0u8.hash(&mut h),
+                }
+            }
+            h.finish()
+        };
+        let mut h = MixHasher::default();
+        self.tokens[v].hash(&mut h);
+        self.staying[v].len().hash(&mut h);
+        let mut members: Vec<u64> = self.staying[v]
+            .iter()
+            .map(|a| agent_word(a.index()))
+            .collect();
+        members.sort_unstable();
+        for w in members {
+            w.hash(&mut h);
+        }
+        let node_part = h.finish();
+        let mut h = MixHasher::default();
+        self.links[v].len().hash(&mut h);
+        for &a in &self.links[v] {
+            agent_word(a.index()).hash(&mut h);
+        }
+        if faulted {
+            (self.down_edge == Some(NodeId(v))).hash(&mut h);
+        }
+        (node_part, h.finish())
+    }
+
+    /// All `n` split symbols, node parts and edge parts as two parallel
+    /// vectors — see [`node_symbol_split`](Ring::node_symbol_split).
+    pub fn node_symbols_split(&self) -> (Vec<u64>, Vec<u64>)
+    where
+        B: std::hash::Hash,
+        B::Message: std::hash::Hash,
+    {
+        let mut nodes = Vec::with_capacity(self.n);
+        let mut edges = Vec::with_capacity(self.n);
+        for v in 0..self.n {
+            let (np, ep) = self.node_symbol_split(v);
+            nodes.push(np);
+            edges.push(ep);
+        }
+        (nodes, edges)
+    }
+
+    /// Observer-side **reflection** of the whole configuration: node `v`
+    /// of `self` becomes node `(n − v) mod n` of the result, and the edge
+    /// *into* node `v` (carrying link queue `q_v`) becomes the edge into
+    /// node `(n + 1 − v) mod n`, queue order preserved.
+    ///
+    /// Like [`Ring::rotated`] this returns a fully functional engine
+    /// (consistent staying sets, link queues, packed agent words and a
+    /// rescan-rebuilt enabled set). **Unlike** rotation, reflection is
+    /// *not* an automorphism of the directed-ring transition system —
+    /// agents move forward, and reflection reverses what "forward" pairs
+    /// with — so the reflected ring generally reaches different futures.
+    /// It exists for the dihedral fingerprint and its tests (the
+    /// fingerprint of a ring and of its reflection agree by
+    /// construction); see `DESIGN.md` §0.11 for when quotienting by it is
+    /// justified.
+    ///
+    /// Reflecting twice is the identity.
+    pub fn reflected(&self) -> Ring<B>
+    where
+        B: Clone,
+        B::Message: Clone,
+    {
+        let n = self.n;
+        // Node images and edge images differ by one: node v ↦ n−v, but
+        // the edge into v (between nodes v−1 and v) ↦ the edge between
+        // nodes n−v and n−v+1, i.e. the edge into n+1−v.
+        let map_node = |v: usize| (n - v) % n;
+        let map_edge = |v: usize| (n + 1 - v) % n;
+        let mut staying: Vec<Vec<AgentId>> = vec![Vec::new(); n];
+        let mut links: Vec<VecDeque<AgentId>> = vec![VecDeque::new(); n];
+        let mut tokens = vec![0u32; n];
+        for v in 0..n {
+            staying[map_node(v)] = self.staying[v].clone();
+            links[map_edge(v)] = self.links[v].clone();
+            tokens[map_node(v)] = self.tokens[v];
+        }
+        let meta: Vec<u32> = self
+            .meta
+            .iter()
+            .map(|&word| {
+                let place = match meta_place(word) {
+                    Place::Staying { at } => Place::Staying {
+                        at: NodeId(map_node(at.index())),
+                    },
+                    Place::InTransit { to } => Place::InTransit {
+                        to: NodeId(map_edge(to.index())),
+                    },
+                };
+                meta_word(place, meta_idle(word), word & TOKEN_HELD != 0)
+            })
+            .collect();
+        let mut reflected = Ring {
+            n,
+            tokens,
+            staying,
+            links,
+            inboxes: self.inboxes.clone(),
+            behaviors: self.behaviors.clone(),
+            meta,
+            homes: self
+                .homes
+                .iter()
+                .map(|&h| NodeId(map_node(h.index())))
+                .collect(),
+            // Placeholder; replaced by the rescan-derived rebuild below.
+            enabled: EnabledSet::new(self.meta.len()),
+            metrics: self.metrics.clone(),
+            trace: self.trace.clone(),
+            phases: self.phases.clone(),
+            steps: self.steps,
+            discipline: self.discipline,
+            faults: self.faults.clone(),
+            acted: self.acted.clone(),
+            crashed: self.crashed.clone(),
+            down_edge: self.down_edge.map(|v| NodeId(map_edge(v.index()))),
+            outages_left: self.outages_left,
+        };
+        reflected.enabled = reflected.rebuilt_enabled();
+        reflected
+    }
+
+    /// An admissible upper bound on the total number of `Move` actions the
+    /// whole configuration can still produce under any schedule — the sum
+    /// of [`Behavior::max_remaining_moves`] over agents that can still
+    /// act (crash-stopped and halted agents never wake again, so they
+    /// contribute nothing regardless of their behavior's hint), or
+    /// `None` if any live agent cannot bound its future.
+    ///
+    /// The adversary's branch-and-bound uses this to discard subtrees
+    /// whose optimistic total cannot beat the best already found; see
+    /// [`crate::adversary`] for the admissibility requirements.
+    pub fn max_remaining_moves(&self) -> Option<u64> {
+        let mut total = 0u64;
+        for (idx, b) in self.behaviors.iter().enumerate() {
+            let word = self.meta[idx];
+            // A staying Halted agent is terminal (halted agents never
+            // wake; in-transit agents are never Halted) — as is a
+            // crashed one, whose idle state is also Halted.
+            if self.crashed[idx] || (word & IN_TRANSIT == 0 && meta_idle(word) == Idle::Halted) {
+                continue;
+            }
+            total = total.saturating_add(b.max_remaining_moves(self.n, self.discipline)?);
+        }
+        Some(total)
+    }
+
     /// Observer-side rotation of the whole configuration: node `r` of
     /// `self` becomes node `0` of the result (agents, tokens, staying
     /// sets, link queues and homes move along; agent ids are unchanged).
@@ -1912,18 +2258,15 @@ impl<B: Behavior> Ring<B> {
         let staying: Vec<Vec<AgentId>> = rotate_vec(&self.staying);
         let links: Vec<VecDeque<AgentId>> =
             (0..n).map(|i| self.links[(i + r) % n].clone()).collect();
-        let agents: Vec<AgentSlot<B>> = self
-            .agents
+        let meta: Vec<u32> = self
+            .meta
             .iter()
-            .map(|slot| AgentSlot {
-                behavior: slot.behavior.clone(),
-                place: match slot.place {
+            .map(|&word| {
+                let place = match meta_place(word) {
                     Place::Staying { at } => Place::Staying { at: map(at) },
                     Place::InTransit { to } => Place::InTransit { to: map(to) },
-                },
-                idle: slot.idle,
-                token_held: slot.token_held,
-                home: map(slot.home),
+                };
+                meta_word(place, meta_idle(word), word & TOKEN_HELD != 0)
             })
             .collect();
         let mut rotated = Ring {
@@ -1932,9 +2275,11 @@ impl<B: Behavior> Ring<B> {
             staying,
             links,
             inboxes: self.inboxes.clone(),
-            agents,
+            behaviors: self.behaviors.clone(),
+            meta,
+            homes: self.homes.iter().map(|&h| map(h)).collect(),
             // Placeholder; replaced by the rescan-derived rebuild below.
-            enabled: EnabledSet::new(n, self.agents.len()),
+            enabled: EnabledSet::new(self.meta.len()),
             metrics: self.metrics.clone(),
             trace: self.trace.clone(),
             phases: self.phases.clone(),
@@ -1967,16 +2312,17 @@ impl<B: Behavior> Ring<B> {
         // The rescan emits arrivals by destination node, then wakes by
         // agent id, then fault moves — ascending keys, so each insert
         // lands at the tail.
-        let k = self.agents.len();
-        let mut enabled = EnabledSet::new(self.n, k);
+        let k = self.meta.len();
+        let mut enabled = EnabledSet::new(k);
         for act in self.enabled_rescan() {
             let key = match act.fault {
                 Some(EdgeFault::Down(v)) => self.n + k + v.index(),
                 Some(EdgeFault::Restore) => 2 * self.n + k,
-                None if act.arrival => match self.agents[act.agent.index()].place {
-                    Place::InTransit { to } => to.index(),
-                    Place::Staying { .. } => unreachable!("arrival implies in transit"),
-                },
+                None if act.arrival => {
+                    let word = self.meta[act.agent.index()];
+                    debug_assert!(word & IN_TRANSIT != 0, "arrival implies in transit");
+                    (word >> 16) as usize
+                }
                 None => self.n + act.agent.index(),
             };
             enabled.insert(key, act);

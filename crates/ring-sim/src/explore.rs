@@ -80,7 +80,10 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use crate::agent::Behavior;
-use crate::canonical::{canonical_fingerprint, fingerprint_of_symbols_sealed, plain_fingerprint};
+use crate::canonical::{
+    canonical_fingerprint, dihedral_fingerprint, dihedral_fingerprint_of_split,
+    fingerprint_of_symbols_sealed, plain_fingerprint, DihedralScratch,
+};
 use crate::engine::{Ring, StepUndo};
 use crate::error::SimError;
 use crate::packed::PackedState;
@@ -175,6 +178,17 @@ pub enum SymmetryMode {
     /// rotation-invariant predicates — see [`crate::canonical`].
     #[default]
     Rotation,
+    /// Quotient by the full dihedral group (rotations **and**
+    /// reflections) plus relabeling of equally-stated staying agents:
+    /// all `2n` dihedral images of a configuration share one
+    /// [`dihedral_fingerprint`] entry. Rotation and relabeling are
+    /// automorphisms of the directed ring; **reflection is not** (agents
+    /// move forward, and reflection reverses what "forward" means), so
+    /// this mode additionally requires the algorithm's reachable
+    /// behavior to be direction-agnostic — validated per family by the
+    /// Rotation-vs-Dihedral value-agreement suites; see `DESIGN.md`
+    /// §0.11.
+    Dihedral,
 }
 
 /// Outcome of an exhaustive exploration.
@@ -432,17 +446,27 @@ where
 /// Saved pre-step symbols of the ≤ 2 nodes one step touched — what
 /// [`FingerprintCache::revert`] needs to roll the cache back alongside
 /// [`Ring::undo`].
+///
+/// Slot indices `< n` address the node-symbol array (rotation mode) or
+/// the node-part array (dihedral mode); indices `≥ n` address the
+/// dihedral edge-part array at `slot − n`. Dihedral steps touch up to
+/// two nodes × two parts = 4 slots.
 #[derive(Clone, Copy)]
 pub(crate) struct SymbolPatch {
-    slots: [(usize, u64); 2],
+    slots: [(usize, u64); 4],
     len: usize,
 }
 
 impl SymbolPatch {
     const EMPTY: SymbolPatch = SymbolPatch {
-        slots: [(0, 0); 2],
+        slots: [(0, 0); 4],
         len: 0,
     };
+
+    fn push(&mut self, slot: usize, old: u64) {
+        self.slots[self.len] = (slot, old);
+        self.len += 1;
+    }
 }
 
 /// The explorer's incremental fingerprint state.
@@ -474,6 +498,15 @@ pub(crate) enum FingerprintCache {
         /// fingerprint in the hot path.
         minrot: Vec<usize>,
     },
+    Dihedral {
+        /// Node parts of the split symbols
+        /// ([`Ring::node_symbol_split`]).
+        nodes: Vec<u64>,
+        /// Edge parts, parallel to `nodes`.
+        edges: Vec<u64>,
+        /// Reused forward/reflected-reading and candidate buffers.
+        scratch: DihedralScratch,
+    },
 }
 
 impl FingerprintCache {
@@ -488,6 +521,14 @@ impl FingerprintCache {
                 symbols: ring.node_symbols(),
                 minrot: Vec::new(),
             },
+            SymmetryMode::Dihedral => {
+                let (nodes, edges) = ring.node_symbols_split();
+                FingerprintCache::Dihedral {
+                    nodes,
+                    edges,
+                    scratch: DihedralScratch::default(),
+                }
+            }
         }
     }
 
@@ -498,9 +539,21 @@ impl FingerprintCache {
         B: Behavior + Hash,
         B::Message: Hash,
     {
-        if let FingerprintCache::Rotation { symbols, .. } = self {
-            symbols.clear();
-            symbols.extend((0..ring.ring_size()).map(|v| ring.node_symbol(v)));
+        match self {
+            FingerprintCache::Plain => {}
+            FingerprintCache::Rotation { symbols, .. } => {
+                symbols.clear();
+                symbols.extend((0..ring.ring_size()).map(|v| ring.node_symbol(v)));
+            }
+            FingerprintCache::Dihedral { nodes, edges, .. } => {
+                nodes.clear();
+                edges.clear();
+                for v in 0..ring.ring_size() {
+                    let (np, ep) = ring.node_symbol_split(v);
+                    nodes.push(np);
+                    edges.push(ep);
+                }
+            }
         }
     }
 
@@ -520,6 +573,18 @@ impl FingerprintCache {
                 minrot,
                 ring.fault_seal_word(),
             ),
+            FingerprintCache::Dihedral {
+                nodes,
+                edges,
+                scratch,
+            } => dihedral_fingerprint_of_split(
+                ring.ring_size(),
+                ring.agent_count(),
+                nodes,
+                edges,
+                scratch,
+                ring.fault_seal_word(),
+            ),
         }
     }
 
@@ -532,20 +597,28 @@ impl FingerprintCache {
         B: Behavior + Hash,
         B::Message: Hash,
     {
-        let FingerprintCache::Rotation { symbols, .. } = self else {
-            return SymbolPatch::EMPTY;
-        };
         let mut patch = SymbolPatch::EMPTY;
+        let n = ring.ring_size();
         let v = undo.acted_at().index();
-        patch.slots[patch.len] = (v, symbols[v]);
-        patch.len += 1;
-        symbols[v] = ring.node_symbol(v);
-        if let Some(dest) = undo.moved_to(ring.ring_size()) {
-            let d = dest.index();
-            if d != v {
-                patch.slots[patch.len] = (d, symbols[d]);
-                patch.len += 1;
-                symbols[d] = ring.node_symbol(d);
+        let dest = undo.moved_to(n).map(|d| d.index()).filter(|&d| d != v);
+        match self {
+            FingerprintCache::Plain => {}
+            FingerprintCache::Rotation { symbols, .. } => {
+                patch.push(v, symbols[v]);
+                symbols[v] = ring.node_symbol(v);
+                if let Some(d) = dest {
+                    patch.push(d, symbols[d]);
+                    symbols[d] = ring.node_symbol(d);
+                }
+            }
+            FingerprintCache::Dihedral { nodes, edges, .. } => {
+                for u in [v].into_iter().chain(dest) {
+                    patch.push(u, nodes[u]);
+                    patch.push(n + u, edges[u]);
+                    let (np, ep) = ring.node_symbol_split(u);
+                    nodes[u] = np;
+                    edges[u] = ep;
+                }
             }
         }
         patch
@@ -553,9 +626,22 @@ impl FingerprintCache {
 
     /// Rolls the cache back alongside [`Ring::undo`].
     pub(crate) fn revert(&mut self, patch: SymbolPatch) {
-        if let FingerprintCache::Rotation { symbols, .. } = self {
-            for &(v, old) in patch.slots[..patch.len].iter() {
-                symbols[v] = old;
+        match self {
+            FingerprintCache::Plain => {}
+            FingerprintCache::Rotation { symbols, .. } => {
+                for &(v, old) in patch.slots[..patch.len].iter() {
+                    symbols[v] = old;
+                }
+            }
+            FingerprintCache::Dihedral { nodes, edges, .. } => {
+                let n = nodes.len();
+                for &(slot, old) in patch.slots[..patch.len].iter() {
+                    if slot < n {
+                        nodes[slot] = old;
+                    } else {
+                        edges[slot - n] = old;
+                    }
+                }
             }
         }
     }
@@ -663,6 +749,7 @@ impl Explorer {
         match self.symmetry {
             SymmetryMode::Off => plain_fingerprint(ring),
             SymmetryMode::Rotation => canonical_fingerprint(ring),
+            SymmetryMode::Dihedral => dihedral_fingerprint(ring),
         }
     }
 
@@ -1696,7 +1783,11 @@ mod tests {
             hops: 3,
             released: false,
         });
-        for symmetry in [SymmetryMode::Off, SymmetryMode::Rotation] {
+        for symmetry in [
+            SymmetryMode::Off,
+            SymmetryMode::Rotation,
+            SymmetryMode::Dihedral,
+        ] {
             let serial = Explorer::new()
                 .symmetry(symmetry)
                 .run_serial(&ring, |_| true)
@@ -1727,7 +1818,11 @@ mod tests {
             hops: 3,
             released: false,
         });
-        for symmetry in [SymmetryMode::Off, SymmetryMode::Rotation] {
+        for symmetry in [
+            SymmetryMode::Off,
+            SymmetryMode::Rotation,
+            SymmetryMode::Dihedral,
+        ] {
             let serial = Explorer::new()
                 .symmetry(symmetry)
                 .run_serial(&ring, |_| true)

@@ -39,15 +39,9 @@
 use crate::action::Idle;
 use crate::agent::Behavior;
 use crate::config::Place;
-use crate::engine::Ring;
+use crate::engine::{Ring, IN_TRANSIT};
 use crate::scheduler::Activation;
 use crate::{AgentId, NodeId};
-
-/// Flag bits of a packed agent word (low 16 bits; node in the high 16).
-const IN_TRANSIT: u32 = 1;
-const IDLE_SHIFT: u32 = 1;
-const IDLE_MASK: u32 = 0b110;
-const TOKEN_HELD: u32 = 1 << 3;
 
 /// A compact snapshot of one configuration. See the [module docs](self).
 ///
@@ -129,22 +123,10 @@ where
             n <= u16::MAX as usize + 1 && k <= u16::MAX as usize,
             "packed states index nodes and agents with u16 (n = {n}, k = {k})"
         );
-        let agents: Box<[u32]> = (0..k)
-            .map(|i| {
-                let slot = &ring.agents[i];
-                let (transit, node) = match slot.place {
-                    Place::Staying { at } => (0, at.index()),
-                    Place::InTransit { to } => (IN_TRANSIT, to.index()),
-                };
-                let idle = match slot.idle {
-                    Idle::Ready => 0u32,
-                    Idle::Suspended => 1,
-                    Idle::Halted => 2,
-                };
-                let held = if slot.token_held { TOKEN_HELD } else { 0 };
-                (node as u32) << 16 | held | idle << IDLE_SHIFT | transit
-            })
-            .collect();
+        // The live ring already keeps its per-agent whereabouts in exactly
+        // this packed-word layout (structure-of-arrays `Ring::meta`), so
+        // the agent column is a straight copy.
+        let agents: Box<[u32]> = ring.meta.as_slice().into();
         let mut slots = Vec::with_capacity(k);
         for v in 0..n {
             slots.extend(ring.staying[v].iter().map(|a| a.index() as u16));
@@ -172,7 +154,7 @@ where
             .iter()
             .map(|&t| u16::try_from(t).expect("token count fits u16"))
             .collect();
-        let behaviors: Box<[B]> = ring.agents.iter().map(|s| s.behavior.clone()).collect();
+        let behaviors: Box<[B]> = ring.behaviors.iter().cloned().collect();
         let (messages, offsets) = if ring.inboxes.iter().all(|m| m.is_empty()) {
             (Box::from([]), None)
         } else {
@@ -223,22 +205,11 @@ where
         for q in &mut ring.links {
             q.clear();
         }
+        // Same word layout both sides — the agent column restores with a
+        // straight copy (see `pack`).
+        ring.meta.copy_from_slice(&self.agents);
         for i in 0..k {
-            let word = self.agents[i];
-            let node = NodeId((word >> 16) as usize);
-            let slot = &mut ring.agents[i];
-            slot.place = if word & IN_TRANSIT != 0 {
-                Place::InTransit { to: node }
-            } else {
-                Place::Staying { at: node }
-            };
-            slot.idle = match (word & IDLE_MASK) >> IDLE_SHIFT {
-                0 => Idle::Ready,
-                1 => Idle::Suspended,
-                _ => Idle::Halted,
-            };
-            slot.token_held = word & TOKEN_HELD != 0;
-            slot.behavior = self.behaviors[i].clone();
+            ring.behaviors[i] = self.behaviors[i].clone();
             ring.inboxes[i].clear();
             if let Some(offsets) = &self.offsets {
                 let (start, end) = (offsets[i] as usize, offsets[i + 1] as usize);

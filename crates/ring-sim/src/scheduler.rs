@@ -167,12 +167,22 @@ impl Scheduler for RoundRobin {
         // after the cursor (cyclically by agent id).
         // Key = wrapped distance from the cursor: ids ≥ cursor come first in
         // ascending order, then ids < cursor — i.e. cyclic order by agent id.
-        let chosen = enabled
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, a)| a.agent.index().wrapping_sub(self.cursor))
-            .map(|(i, _)| i)
-            .expect("enabled set is non-empty");
+        // An agent has at most one enabled activation, so a distance of 0
+        // is the unique minimum — stop scanning the moment it appears
+        // (the common case mid-run, when the cursor agent is enabled).
+        assert!(!enabled.is_empty(), "enabled set is non-empty");
+        let mut chosen = 0usize;
+        let mut best = usize::MAX;
+        for (i, a) in enabled.iter().enumerate() {
+            let d = a.agent.index().wrapping_sub(self.cursor);
+            if d < best {
+                chosen = i;
+                best = d;
+                if d == 0 {
+                    break;
+                }
+            }
+        }
         // Fault moves carry the sentinel id and are picked only when
         // nothing else is enabled; they do not advance the cursor.
         if !enabled[chosen].is_fault() {

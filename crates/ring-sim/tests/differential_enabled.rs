@@ -23,7 +23,8 @@ use ringdeploy_sim::scheduler::{
     Activation, DelayAgent, OneAtATime, Random, Recording, RoundRobin, Scheduler,
 };
 use ringdeploy_sim::{
-    Action, AgentId, Behavior, InitialConfig, LinkDiscipline, Observation, Ring, RunLimits,
+    Action, AgentId, Behavior, FaultPlan, InitialConfig, LinkDiscipline, Observation, Ring,
+    RunLimits,
 };
 
 /// Exercises every enablement-toggling mutation: walks `hops` hops, then
@@ -199,6 +200,96 @@ fn production_run_loop_replays_the_rescan_driven_execution() {
             );
             assert_eq!(production_ring.tokens(), reference_ring.tokens());
             assert_eq!(production_ring.metrics(), reference_ring.metrics());
+        }
+    }
+}
+
+/// The faulted axis of the differential: crash-stop agents and
+/// dynamic-edge outages add whole new enablement transitions — an
+/// activation consumed by a crash (dropping its token in place and
+/// dead-lettering its inbox), `Down`/`Restore` fault moves appearing in
+/// and leaving the enabled set, and arrivals re-enabled when the missing
+/// edge returns. The incremental set must track all of them exactly as
+/// the rescan does, under both link disciplines and every scheduler.
+#[test]
+fn incremental_set_matches_rescan_under_faulted_plans() {
+    for seed in 0..24u64 {
+        let mut rng = SmallRng::seed_from_u64(5000 + seed);
+        let max_n = [8, 16, 33, 64][seed as usize % 4];
+        let (base, hops) = random_instance(&mut rng, max_n);
+        let k = base.agent_count();
+        // Crash one seed-chosen agent early and grant the adversary one
+        // or two dynamic-edge outages, so every fault class is in play.
+        let plan = FaultPlan::seeded_crash(seed, k).with_edge_outages(1 + (seed as u32 % 2));
+        let init = base.with_faults(plan);
+        for discipline in [LinkDiscipline::Fifo, LinkDiscipline::Lifo] {
+            for scheduler in &mut schedulers(seed, k) {
+                let mut ring: Ring<Hopper> = Ring::new(&init, |_| Hopper::new(hops));
+                ring.set_link_discipline(discipline);
+                // Outages pause progress but never add unbounded work:
+                // each `Down` burns budget, so the fault moves extend the
+                // run by at most 2 × budget steps.
+                let budget = 64 * k * (init.ring_size() + 4) + 8;
+                let log = run_against_rescan(&mut ring, scheduler.as_mut(), budget);
+                assert!(!log.is_empty());
+                assert!(ring.enabled_activations().is_empty());
+                assert_eq!(ring.steps(), log.len() as u64);
+            }
+        }
+    }
+}
+
+/// Production-loop replay, faulted edition: `Ring::run` must make the
+/// same choices (including when to play `Down`/`Restore` moves and when
+/// a crash consumes an activation) as the rescan-driven loop.
+#[test]
+fn production_run_loop_replays_faulted_executions() {
+    for seed in 0..12u64 {
+        let mut rng = SmallRng::seed_from_u64(7000 + seed);
+        let (base, hops) = random_instance(&mut rng, 48);
+        let k = base.agent_count();
+        let plan = FaultPlan::seeded_crash(seed * 3 + 1, k).with_edge_outages(1);
+        let init = base.with_faults(plan);
+
+        for which in 0..4usize {
+            let make: &dyn Fn() -> Box<dyn Scheduler> = match which {
+                0 => &|| Box::new(RoundRobin::new()),
+                1 => &|| Box::new(Random::seeded(seed * 11 + 3)),
+                2 => &|| Box::new(OneAtATime::new()),
+                _ => &|| Box::new(DelayAgent::new(AgentId(seed as usize % k))),
+            };
+
+            let mut reference_ring: Ring<Hopper> = Ring::new(&init, |_| Hopper::new(hops));
+            let mut reference_sched = make();
+            let reference_log = run_against_rescan(
+                &mut reference_ring,
+                reference_sched.as_mut(),
+                64 * k * (init.ring_size() + 4) + 8,
+            );
+
+            let mut production_ring: Ring<Hopper> = Ring::new(&init, |_| Hopper::new(hops));
+            let mut production_sched = Recording::new(make());
+            let outcome = production_ring
+                .run(&mut production_sched, RunLimits::default())
+                .expect("faulted production run quiesces");
+
+            assert!(outcome.quiescent);
+            assert_eq!(
+                production_sched.log(),
+                reference_log.as_slice(),
+                "faulted step sequences diverged (seed {seed}, scheduler #{which})"
+            );
+            assert_eq!(
+                production_ring.staying_positions(),
+                reference_ring.staying_positions()
+            );
+            assert_eq!(production_ring.tokens(), reference_ring.tokens());
+            assert_eq!(production_ring.metrics(), reference_ring.metrics());
+            assert_eq!(
+                production_ring.crashed_count(),
+                reference_ring.crashed_count(),
+                "the plan's crash must fire identically in both drivers"
+            );
         }
     }
 }

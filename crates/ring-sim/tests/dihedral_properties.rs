@@ -1,0 +1,198 @@
+//! Property tests for the dihedral-canonicalization layer: on random
+//! mid-execution configurations, the fast min-over-both-orientations
+//! fingerprint is invariant under **every** element of the dihedral
+//! group (all rotations, all reflected rotations), agrees with the
+//! naive all-2n-images reference, and the reflection operator is a
+//! well-formed engine involution.
+//!
+//! Soundness of *quotienting* by the dihedral group is a separate,
+//! per-instance question (reflection is not an automorphism of the
+//! directed ring — see DESIGN.md §0.11); these tests pin down the
+//! algebra of the fingerprint itself, which must hold unconditionally.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ringdeploy_sim::canonical::{
+    dihedral_fingerprint, dihedral_fingerprint_naive, plain_fingerprint,
+};
+use ringdeploy_sim::explore::{ExploreError, ExploreLimits, Explorer, SymmetryMode};
+use ringdeploy_sim::scheduler::{Random, Scheduler};
+use ringdeploy_sim::{Action, Behavior, Idle, InitialConfig, Observation, Ring};
+
+/// Walks a per-agent number of hops, greets co-located agents once, then
+/// suspends — the same shape as the rotation suite's `Wanderer`, so
+/// mid-run states cover tokens, staying sets, link queues, inboxes and
+/// every idle state.
+#[derive(Clone, Hash, PartialEq, Eq)]
+struct Wanderer {
+    hops: usize,
+    released: bool,
+    greeted: bool,
+}
+
+impl Behavior for Wanderer {
+    type Message = u8;
+    fn act(&mut self, obs: &Observation<'_, u8>) -> Action<u8> {
+        let release = !std::mem::replace(&mut self.released, true);
+        if self.hops > 0 {
+            self.hops -= 1;
+            return Action::moving().with_token_release(release);
+        }
+        let greet = !std::mem::replace(&mut self.greeted, true) && obs.staying_agents > 0;
+        let action = Action::staying(Idle::Suspended).with_token_release(release);
+        if greet {
+            action.with_broadcast(42)
+        } else {
+            action
+        }
+    }
+    fn memory_bits(&self) -> usize {
+        16
+    }
+}
+
+/// A random instance (distinct homes, per-agent walk lengths) advanced a
+/// random number of steps under a seeded random scheduler.
+fn random_mid_run_ring(seed: u64) -> Ring<Wanderer> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n: usize = rng.gen_range(3..=10);
+    let k = rng.gen_range(1..=n.min(4));
+    let mut homes: Vec<usize> = (0..n).collect();
+    // Partial Fisher–Yates: the first k entries become distinct homes.
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        homes.swap(i, j);
+    }
+    homes.truncate(k);
+    let hops: Vec<usize> = (0..k).map(|_| rng.gen_range(0..2 * n)).collect();
+    let init = InitialConfig::new(n, homes).expect("distinct homes in range");
+    let mut ring = Ring::new(&init, |id| Wanderer {
+        hops: hops[id.index()],
+        released: false,
+        greeted: false,
+    });
+    let steps = rng.gen_range(0..3 * n * k + 1);
+    let mut scheduler = Random::seeded(seed ^ 0x9e37_79b9_7f4a_7c15);
+    for _ in 0..steps {
+        let enabled = ring.enabled();
+        if enabled.is_empty() {
+            break;
+        }
+        let chosen = scheduler.select(&enabled);
+        ring.step(enabled[chosen]);
+    }
+    ring
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// The fast (paired-Booth) dihedral fingerprint equals the naive
+    /// minimum over all `2n` group images on arbitrary reachable states.
+    #[test]
+    fn dihedral_fingerprint_agrees_with_naive_reference(seed in 0u64..1_000_000) {
+        let ring = random_mid_run_ring(seed);
+        prop_assert_eq!(
+            dihedral_fingerprint(&ring),
+            dihedral_fingerprint_naive(&ring),
+            "n = {}, k = {}", ring.ring_size(), ring.agent_count()
+        );
+    }
+
+    /// Every element of the dihedral group — all `n` rotations and all
+    /// `n` reflected rotations — produces the same dihedral fingerprint,
+    /// and the transformed rings are themselves consistent engines.
+    #[test]
+    fn dihedral_fingerprint_is_invariant_under_the_full_group(seed in 0u64..1_000_000) {
+        let ring = random_mid_run_ring(seed);
+        let canon = dihedral_fingerprint(&ring);
+        let reflected = ring.reflected();
+        prop_assert_eq!(reflected.enabled(), reflected.enabled_rescan());
+        let mut plains = std::collections::HashSet::new();
+        for r in 0..ring.ring_size() {
+            let rotated = ring.rotated(r);
+            let mirrored = reflected.rotated(r);
+            prop_assert_eq!(
+                dihedral_fingerprint(&rotated), canon,
+                "rotation {} of n = {}", r, ring.ring_size()
+            );
+            prop_assert_eq!(
+                dihedral_fingerprint(&mirrored), canon,
+                "reflected rotation {} of n = {}", r, ring.ring_size()
+            );
+            plains.insert(plain_fingerprint(&rotated));
+            plains.insert(plain_fingerprint(&mirrored));
+        }
+        // Orbit–stabiliser: the number of distinct concrete images under
+        // the order-2n dihedral group divides 2n.
+        prop_assert!((2 * ring.ring_size()).is_multiple_of(plains.len()),
+            "orbit size {} must divide 2n = {}", plains.len(), 2 * ring.ring_size());
+    }
+
+    /// Reflecting twice is the identity, and reflection commutes with
+    /// rotation the dihedral way: `reflect ∘ rotate(r) =
+    /// rotate(n − r) ∘ reflect`.
+    #[test]
+    fn reflection_is_an_involution_and_conjugates_rotations(seed in 0u64..1_000_000) {
+        let ring = random_mid_run_ring(seed);
+        let n = ring.ring_size();
+        prop_assert_eq!(
+            plain_fingerprint(&ring.reflected().reflected()),
+            plain_fingerprint(&ring)
+        );
+        for r in 1..n {
+            prop_assert_eq!(
+                plain_fingerprint(&ring.rotated(r).reflected()),
+                plain_fingerprint(&ring.reflected().rotated(n - r)),
+                "conjugation at r = {} of n = {}", r, n
+            );
+        }
+    }
+
+    /// When the dihedral-quotient exploration completes, it agrees with
+    /// the rotation quotient on the verdict and can only shrink the
+    /// state count; when the fold does not apply it says so by reporting
+    /// a quotient cycle rather than returning silently-wrong data.
+    #[test]
+    fn dihedral_exploration_completes_exactly_or_detects_a_cycle(seed in 0u64..10_000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n: usize = rng.gen_range(3..=7);
+        let k = rng.gen_range(1..=n.min(3));
+        let mut homes: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = rng.gen_range(i..n);
+            homes.swap(i, j);
+        }
+        homes.truncate(k);
+        let hops: Vec<usize> = (0..k).map(|_| rng.gen_range(0..n)).collect();
+        let init = InitialConfig::new(n, homes).expect("distinct homes in range");
+        let make_ring = || {
+            Ring::new(&init, |id: ringdeploy_sim::AgentId| Wanderer {
+                hops: hops[id.index()],
+                released: false,
+                greeted: false,
+            })
+        };
+        let run = |mode: SymmetryMode| {
+            Explorer::new()
+                .limits(ExploreLimits::for_instance(n, k))
+                .symmetry(mode)
+                .threads(1)
+                .run(&make_ring(), |_| true)
+        };
+        let rotation = run(SymmetryMode::Rotation).expect("rotation quotient is sound");
+        match run(SymmetryMode::Dihedral) {
+            Ok(dihedral) => {
+                prop_assert!(dihedral.states <= rotation.states,
+                    "dihedral {} > rotation {} states", dihedral.states, rotation.states);
+                prop_assert!(dihedral.terminals <= rotation.terminals);
+            }
+            Err(ExploreError::CycleDetected { .. }) => {
+                // The fold declared itself inapplicable to this
+                // instance — acceptable, and the only failure mode.
+            }
+            Err(e) => prop_assert!(false, "unexpected error: {}", e),
+        }
+    }
+}

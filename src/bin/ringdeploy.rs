@@ -31,6 +31,11 @@
 //! * `--adversary <obj>`      synthesise the exact worst-case schedule for
 //!   `moves` | `activations` | `memory` (branch-and-bound over every fair
 //!   schedule) and report the maximum with its replayable witness
+//! * `--symmetry <mode>`      state-space quotient for `--explore` /
+//!   `--adversary`: `off` | `rotation` (default) | `dihedral`. Dihedral
+//!   adds reflection + relabeling of indistinguishable co-located agents;
+//!   it is validated per instance (see DESIGN.md §0.11) and reports a
+//!   quotient cycle where the fold does not apply
 //! * `--certify`              certify the paper bounds: adversarial exact
 //!   worst case for all three objectives vs. the recorded `c·k·n`-style
 //!   bounds, with the competitive ratio vs. the offline oracle; exits
@@ -66,6 +71,7 @@ use rand::SeedableRng;
 use ringdeploy::analysis::certify::{certify_one, CertifySettings, EvidenceTier};
 use ringdeploy::analysis::{random_config, worst_case_one};
 use ringdeploy::sim::adversary::{Adversary, Objective};
+use ringdeploy::sim::explore::SymmetryMode;
 use ringdeploy::{
     AgentId, Algorithm, Deployment, FaultPlan, FullKnowledge, InitialConfig, Ring, Schedule,
 };
@@ -83,6 +89,8 @@ struct Options {
     explore_serial: bool,
     explore_threads: Option<usize>,
     adversary: Option<Objective>,
+    symmetry: SymmetryMode,
+    symmetry_set: bool,
     certify: bool,
     tier: EvidenceTier,
     tier_set: bool,
@@ -96,7 +104,7 @@ fn usage() -> &'static str {
      [--algo algo1|algo2|relaxed|partial-gathering [--g <size>]] \
      [--schedule round-robin|random:<seed>|one-at-a-time|delay:<agent>] \
      [--sync] [--explore [--explore-serial | --explore-threads <t>]] \
-     [--adversary moves|activations|memory] \
+     [--adversary moves|activations|memory] [--symmetry off|rotation|dihedral] \
      [--certify [--tier sweep|exhaustive|adversarial]] \
      [--faults crash=<agent>@<step>,dynamic-edge[:<budget>]] [--render] [--json]"
 }
@@ -115,6 +123,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         explore_serial: false,
         explore_threads: None,
         adversary: None,
+        symmetry: SymmetryMode::Rotation,
+        symmetry_set: false,
         certify: false,
         tier: EvidenceTier::Adversarial,
         tier_set: false,
@@ -179,6 +189,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     other => return Err(format!("unknown objective `{other}`")),
                 });
             }
+            "--symmetry" => {
+                opts.symmetry = match value(&mut i)?.as_str() {
+                    "off" | "none" => SymmetryMode::Off,
+                    "rotation" => SymmetryMode::Rotation,
+                    "dihedral" => SymmetryMode::Dihedral,
+                    other => return Err(format!("unknown symmetry mode `{other}`")),
+                };
+                opts.symmetry_set = true;
+            }
             "--certify" => opts.certify = true,
             "--tier" => {
                 let spec = value(&mut i)?;
@@ -226,6 +245,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if opts.tier_set && !opts.certify {
         return Err(format!("--tier requires --certify\n{}", usage()));
+    }
+    if opts.symmetry_set && !opts.explore && opts.adversary.is_none() {
+        return Err(format!(
+            "--symmetry requires --explore or --adversary\n{}",
+            usage()
+        ));
     }
     let quantified_modes = usize::from(opts.explore)
         + usize::from(opts.adversary.is_some())
@@ -427,8 +452,13 @@ fn explore(opts: &Options, init: &InitialConfig) -> Result<(), String> {
         #[cfg(not(feature = "serde"))]
         return Err("--json requires the `serde` feature (enabled by default)".to_string());
     }
+    let quotient = match opts.symmetry {
+        SymmetryMode::Off => "no quotient",
+        SymmetryMode::Rotation => "rotation quotient",
+        SymmetryMode::Dihedral => "dihedral quotient",
+    };
     println!("algorithm : {}", opts.algo.name());
-    println!("mode      : exhaustive (every fair schedule, rotation quotient)");
+    println!("mode      : exhaustive (every fair schedule, {quotient})");
     println!(
         "verdict   : {}",
         if opts.faults.is_empty() {
@@ -438,7 +468,7 @@ fn explore(opts: &Options, init: &InitialConfig) -> Result<(), String> {
              (satisfied or crash-degraded), no livelock"
         }
     );
-    println!("states    : {} rotation classes visited", report.states);
+    println!("states    : {} state classes visited", report.states);
     println!(
         "terminals : {} distinct final configurations",
         report.terminals
@@ -463,10 +493,12 @@ fn explore_instance(
     use ringdeploy::analysis::{explore_one, explore_one_serial};
     use ringdeploy::sim::explore::{ExploreLimits, Explorer};
 
-    let mut explorer = Explorer::new().limits(ExploreLimits::for_instance(
-        init.ring_size(),
-        init.agent_count(),
-    ));
+    let mut explorer = Explorer::new()
+        .limits(ExploreLimits::for_instance(
+            init.ring_size(),
+            init.agent_count(),
+        ))
+        .symmetry(opts.symmetry);
     if let Some(threads) = opts.explore_threads {
         explorer = explorer.threads(threads);
     }
@@ -483,10 +515,12 @@ fn explore_instance(
 fn adversary(opts: &Options, init: &InitialConfig, objective: Objective) -> Result<(), String> {
     use ringdeploy::sim::explore::ExploreLimits;
 
-    let engine = Adversary::new().limits(ExploreLimits::for_instance(
-        init.ring_size(),
-        init.agent_count(),
-    ));
+    let engine = Adversary::new()
+        .limits(ExploreLimits::for_instance(
+            init.ring_size(),
+            init.agent_count(),
+        ))
+        .symmetry(opts.symmetry);
     let worst = worst_case_one(opts.algo, init, &engine, objective)
         .map_err(|e| format!("worst-case search FAILED: {e}"))?;
     if opts.json {
@@ -516,8 +550,12 @@ fn adversary(opts: &Options, init: &InitialConfig, objective: Objective) -> Resu
         worst.witness.len()
     );
     println!(
-        "search    : {} states, {} expansions, {} dominance prunes, depth {}",
-        worst.distinct_states, worst.expansions, worst.dominance_prunes, worst.max_depth_seen
+        "search    : {} states, {} expansions, {} dominance prunes, {} bound prunes, depth {}",
+        worst.distinct_states,
+        worst.expansions,
+        worst.dominance_prunes,
+        worst.bound_prunes,
+        worst.max_depth_seen
     );
     Ok(())
 }

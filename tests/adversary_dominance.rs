@@ -3,13 +3,14 @@
 //! * **dominance over sampling** — on every exhaustive-tier instance the
 //!   adversarial exact maximum is ≥ the maximum over a 64-seed random
 //!   sweep (plus the deterministic adversary presets);
-//! * **quotient soundness** — the rotation-quotiented search
-//!   (`SymmetryMode::Rotation`, fingerprint-with-cost dominance) reports
-//!   exactly the value of the plain search (`SymmetryMode::Off`), which
-//!   enumerates every reachable concrete configuration;
-//! * **full coverage** — the plain search's `distinct_states` equals the
-//!   exhaustive explorer's `states` in the same mode (and likewise for
-//!   the rotation quotient): the maximum really is taken over the
+//! * **quotient soundness** — the rotation- and dihedral-quotiented
+//!   searches (with the admissible move-bound prune enabled, the
+//!   production default) report exactly the value of the unpruned plain
+//!   search (`SymmetryMode::Off`), which enumerates every reachable
+//!   concrete configuration;
+//! * **full coverage** — with the bound prune disabled, the search's
+//!   `distinct_states` equals the exhaustive explorer's `states` in the
+//!   same mode (all three modes): the maximum really is taken over the
 //!   explorer's *entire* reachable state space, not a subset;
 //! * **independent recomputation** — a reference algorithm of a
 //!   different shape (top-down dynamic programming on the
@@ -19,7 +20,7 @@
 use std::collections::HashMap;
 
 use ringdeploy::analysis::explore_one;
-use ringdeploy::sim::adversary::{Adversary, Objective, WorstCase};
+use ringdeploy::sim::adversary::{Adversary, AdversaryError, Objective, WorstCase};
 use ringdeploy::sim::canonical::plain_fingerprint;
 use ringdeploy::sim::explore::{ExploreLimits, Explorer, SymmetryMode};
 use ringdeploy::sim::{Behavior, Ring};
@@ -32,19 +33,31 @@ use ringdeploy::{
 /// completes for all three families.
 const INSTANCES: &[(usize, &[usize])] = &[(8, &[0, 4]), (8, &[0, 1, 2]), (12, &[0, 3, 6, 9])];
 
-fn adversary_value(
+fn try_adversary_value(
     algorithm: Algorithm,
     init: &InitialConfig,
     symmetry: SymmetryMode,
     objective: Objective,
-) -> WorstCase {
+    prune: bool,
+) -> Result<WorstCase, AdversaryError> {
     let adversary = Adversary::new()
         .limits(ExploreLimits::for_instance(
             init.ring_size(),
             init.agent_count(),
         ))
-        .symmetry(symmetry);
+        .symmetry(symmetry)
+        .bound_prune(prune);
     ringdeploy::analysis::worst_case_one(algorithm, init, &adversary, objective)
+}
+
+fn adversary_value(
+    algorithm: Algorithm,
+    init: &InitialConfig,
+    symmetry: SymmetryMode,
+    objective: Objective,
+    prune: bool,
+) -> WorstCase {
+    try_adversary_value(algorithm, init, symmetry, objective, prune)
         .unwrap_or_else(|e| panic!("{algorithm} {objective} {symmetry:?}: {e}"))
 }
 
@@ -77,8 +90,13 @@ fn adversarial_max_dominates_random_sweeps_and_equals_plain_search() {
                 }
             }
             for (objective, sampled_max) in Objective::ALL.into_iter().zip(sampled) {
-                let rotation = adversary_value(algorithm, &init, SymmetryMode::Rotation, objective);
-                let plain = adversary_value(algorithm, &init, SymmetryMode::Off, objective);
+                // Pruned quotiented searches (the production default)
+                // against the fully-enumerated plain baseline: the
+                // symmetry fold *and* the admissible move-bound prune
+                // must both be value-preserving on the real algorithms.
+                let rotation =
+                    adversary_value(algorithm, &init, SymmetryMode::Rotation, objective, true);
+                let plain = adversary_value(algorithm, &init, SymmetryMode::Off, objective, false);
                 assert!(
                     rotation.value >= sampled_max,
                     "{algorithm} {objective} n={n} homes={homes:?}: adversarial max {} below \
@@ -91,6 +109,24 @@ fn adversarial_max_dominates_random_sweeps_and_equals_plain_search() {
                     "{algorithm} {objective} n={n} homes={homes:?}: quotiented and plain \
                      searches disagree"
                 );
+                // The dihedral fold is not universally sound (reflection
+                // is not an automorphism of the *directed* ring, see
+                // DESIGN.md §0.11): on reflection-symmetric instances it
+                // can merge a reachable state with its distinct mirror
+                // and report a spurious quotient cycle. A detected cycle
+                // is the fold declaring itself inapplicable — skip; but
+                // whenever the search *completes*, its value must be
+                // exact.
+                match try_adversary_value(algorithm, &init, SymmetryMode::Dihedral, objective, true)
+                {
+                    Ok(dihedral) => assert_eq!(
+                        dihedral.value, plain.value,
+                        "{algorithm} {objective} n={n} homes={homes:?}: dihedral quotient \
+                         and plain searches disagree"
+                    ),
+                    Err(AdversaryError::CycleDetected { .. }) => {}
+                    Err(e) => panic!("{algorithm} {objective} n={n} Dihedral: {e}"),
+                }
             }
         }
     }
@@ -101,24 +137,63 @@ fn search_covers_exactly_the_explorers_reachable_space() {
     for &(n, homes) in INSTANCES {
         let init = InitialConfig::new(n, homes.to_vec()).expect("valid");
         for algorithm in Algorithm::ALL {
-            for symmetry in [SymmetryMode::Off, SymmetryMode::Rotation] {
+            for symmetry in [
+                SymmetryMode::Off,
+                SymmetryMode::Rotation,
+                SymmetryMode::Dihedral,
+            ] {
                 let explorer = Explorer::new()
                     .limits(ExploreLimits::for_instance(n, init.agent_count()))
                     .symmetry(symmetry)
                     .threads(1);
-                let explored = explore_one(algorithm, &init, &explorer)
-                    .unwrap_or_else(|e| panic!("{algorithm} n={n} {symmetry:?}: {e}"));
+                let explored = match explore_one(algorithm, &init, &explorer) {
+                    Ok(explored) => explored,
+                    // The dihedral fold can merge a state with its
+                    // distinct mirror and report a spurious quotient
+                    // livelock — the fold declaring itself inapplicable
+                    // to this instance (DESIGN.md §0.11). Skip; the
+                    // adversary detects the same cycle.
+                    Err(e) if symmetry == SymmetryMode::Dihedral => {
+                        let err = try_adversary_value(
+                            algorithm,
+                            &init,
+                            symmetry,
+                            Objective::TotalMoves,
+                            false,
+                        )
+                        .expect_err("explorer saw a quotient cycle, so must the adversary");
+                        assert!(
+                            matches!(err, AdversaryError::CycleDetected { .. }),
+                            "{algorithm} n={n} {symmetry:?}: explorer failed ({e}) but the \
+                             adversary failed differently: {err}"
+                        );
+                        continue;
+                    }
+                    Err(e) => panic!("{algorithm} n={n} {symmetry:?}: {e}"),
+                };
                 // The objective does not change reachability; one check
-                // per objective pins that the search neither skips nor
-                // invents states.
+                // per objective pins that the unpruned search neither
+                // skips nor invents states. The bound prune is turned
+                // off here on purpose: cutting subtrees is its entire
+                // job, so coverage is only exact without it.
                 for objective in Objective::ALL {
-                    let worst = adversary_value(algorithm, &init, symmetry, objective);
+                    let worst = adversary_value(algorithm, &init, symmetry, objective, false);
                     assert_eq!(
                         worst.distinct_states, explored.states,
                         "{algorithm} {objective} n={n} homes={homes:?} {symmetry:?}: \
                          worst-case search must cover the explorer's reachable space exactly"
                     );
+                    assert_eq!(worst.bound_prunes, 0, "prune was disabled");
                 }
+                // With the prune enabled the space can only shrink, and
+                // never below the terminal-bearing core.
+                let pruned =
+                    adversary_value(algorithm, &init, symmetry, Objective::TotalMoves, true);
+                assert!(
+                    pruned.distinct_states <= explored.states,
+                    "{algorithm} n={n} homes={homes:?} {symmetry:?}: pruning must not \
+                     invent states"
+                );
             }
         }
     }
@@ -190,7 +265,8 @@ fn independent_dp_reference_reproduces_the_maxima() {
         let k = init.agent_count();
         for algorithm in Algorithm::ALL {
             for objective in Objective::ALL {
-                let worst = adversary_value(algorithm, &init, SymmetryMode::Rotation, objective);
+                let worst =
+                    adversary_value(algorithm, &init, SymmetryMode::Rotation, objective, true);
                 let reference = if algorithm == Algorithm::FullKnowledge {
                     dp_reference(&Ring::new(&init, |_| FullKnowledge::new(k)), objective)
                 } else if algorithm == Algorithm::LogSpace {

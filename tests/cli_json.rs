@@ -160,6 +160,7 @@ fn adversary_report_round_trips_and_the_decoded_witness_replays() {
     assert_eq!(
         keys(field(&json, "report")),
         [
+            "bound_prunes",
             "distinct_states",
             "dominance_prunes",
             "expansions",

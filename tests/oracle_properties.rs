@@ -218,6 +218,42 @@ fn oracle_exact_on_every_tiny_instance() {
     assert!(instances > 100, "the sweep must actually cover the space");
 }
 
+/// Pins the oracle labels of the `adversary_scale` benchmark instances
+/// (`BENCH_adversary.json`). The symmetric `l = k` rows start out
+/// *already uniform* — equally spaced homes — so their `oracle_moves: 0`
+/// is the correct offline optimum and the null competitive ratio means
+/// the denominator is legitimately zero, not that data is missing. The
+/// periodic-but-clustered and aperiodic rows must keep their nonzero
+/// optima, so the benchmark always reports at least one real ratio per
+/// symmetry tier below `l = k`.
+#[test]
+fn bench_instance_oracle_labels_are_pinned() {
+    // l = k = 4: already uniform, optimum genuinely zero.
+    for (n, homes) in [(12usize, vec![0usize, 3, 6, 9]), (16, vec![0, 4, 8, 12])] {
+        let init = InitialConfig::new(n, homes.clone()).expect("valid");
+        assert_eq!(
+            init.symmetry_degree(),
+            init.agent_count(),
+            "n={n} homes={homes:?}: expected an equally-spaced (l = k) instance"
+        );
+        assert_eq!(
+            oracle_moves(&init).total_moves,
+            0,
+            "n={n} homes={homes:?}: an already-uniform instance costs nothing"
+        );
+    }
+    // l = 2 < k: periodic but clustered — targets {0, 2, 4, 6} on n = 8,
+    // so agents at 1 and 5 each walk one hop.
+    let periodic = InitialConfig::new(8, vec![0, 1, 4, 5]).expect("valid");
+    assert_eq!(periodic.symmetry_degree(), 2);
+    assert_eq!(oracle_moves(&periodic).total_moves, 2);
+    // l = 1: aperiodic cluster — targets {0, 3, 6, 9} on n = 12, so the
+    // agents at 1, 2, 3 walk 2 + 4 + 6 hops.
+    let aperiodic = InitialConfig::new(12, vec![0, 1, 2, 3]).expect("valid");
+    assert_eq!(aperiodic.symmetry_degree(), 1);
+    assert_eq!(oracle_moves(&aperiodic).total_moves, 12);
+}
+
 /// The pre-existing exported brute force (`oracle_moves_brute_force`,
 /// cyclic shifts only) must agree with the reduction-free one whenever
 /// the order-preserving theorem applies — i.e. always. A disagreement
